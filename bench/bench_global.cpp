@@ -1,0 +1,71 @@
+// Extension study: the paper's staged per-packet annealing vs global
+// whole-schedule annealing with the simulator as the exact cost oracle
+// (see core/global_annealer.hpp).  Finding: despite optimizing the true
+// objective, plain global annealing at a thousands-of-simulations budget
+// does NOT beat the staged scheme — the packet decomposition prunes the
+// search space (8^111 mappings for GJ) so effectively that the cheap
+// analytic estimate wins.  This quantifies why the paper's staging is the
+// right design, not merely a convenience.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/global_annealer.hpp"
+#include "report/experiment.hpp"
+#include "topology/builders.hpp"
+#include "util/table.hpp"
+#include "workloads/registry.hpp"
+
+using namespace dagsched;
+
+int main() {
+  benchutil::headline(
+      "Staged (paper) vs global simulated annealing, hypercube, with "
+      "communication");
+
+  TableWriter table({"program", "HLF", "staged SA", "global SA",
+                     "global vs staged %", "oracle sims"});
+  CsvWriter csv({"program", "hlf_speedup", "staged_speedup",
+                 "global_speedup", "global_vs_staged_pct", "simulations"});
+
+  const Topology machine = topo::hypercube(3);
+  const CommModel comm = CommModel::paper_default();
+
+  for (const char* program : {"NE", "GJ", "FFT", "MM"}) {
+    const workloads::Workload w = workloads::by_name(program);
+    const double total = static_cast<double>(w.graph.total_work());
+
+    report::CompareOptions options;
+    options.sa_seeds = 3;
+    const report::ComparisonRow staged =
+        report::compare_sa_hlf(program, w.graph, machine, comm, options);
+
+    sa::GlobalAnnealOptions global_options;
+    global_options.seed = 1;
+    const sa::GlobalAnnealResult global =
+        sa::anneal_global(w.graph, machine, comm, global_options);
+    const double global_speedup =
+        total / static_cast<double>(global.makespan);
+
+    const double vs_staged =
+        100.0 * (global_speedup - staged.sa_speedup) / staged.sa_speedup;
+    table.add_row({program, benchutil::f2(staged.hlf_speedup),
+                   benchutil::f2(staged.sa_speedup),
+                   benchutil::f2(global_speedup),
+                   benchutil::f1(vs_staged),
+                   std::to_string(global.simulations)});
+    csv.add_row({program, benchutil::f2(staged.hlf_speedup),
+                 benchutil::f2(staged.sa_speedup),
+                 benchutil::f2(global_speedup), benchutil::f2(vs_staged),
+                 std::to_string(global.simulations)});
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("expected shape: both annealers beat HLF's pinned-replay "
+              "quality, but the staged scheme stays ahead of (or ties) the "
+              "global one at this budget — the packet decomposition is "
+              "doing real search-space pruning, which is the point of the "
+              "paper's design.\n");
+  benchutil::write_csv(csv, "global");
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Throughput microbenchmarks (google-benchmark): the hot paths of the
+// library — level computation, packet cost evaluation, annealing sweeps,
+// and full simulated executions.
+
+#include <benchmark/benchmark.h>
+
+#include "core/annealer.hpp"
+#include "core/cost.hpp"
+#include "core/packet.hpp"
+#include "core/sa_scheduler.hpp"
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+#include "sched/hlf.hpp"
+#include "sim/engine.hpp"
+#include "topology/builders.hpp"
+#include "workloads/registry.hpp"
+
+namespace {
+
+using namespace dagsched;
+
+void BM_TaskLevels(benchmark::State& state) {
+  gen::GnpDagOptions options;
+  options.num_tasks = static_cast<int>(state.range(0));
+  options.edge_probability = 0.05;
+  options.seed = 42;
+  const TaskGraph graph = gen::gnp_dag(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(task_levels(graph));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TaskLevels)->Arg(100)->Arg(1000)->Arg(5000);
+
+void BM_CriticalPath(benchmark::State& state) {
+  gen::GnpDagOptions options;
+  options.num_tasks = static_cast<int>(state.range(0));
+  options.edge_probability = 0.05;
+  options.seed = 42;
+  const TaskGraph graph = gen::gnp_dag(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(critical_path(graph));
+  }
+}
+BENCHMARK(BM_CriticalPath)->Arg(100)->Arg(1000);
+
+/// Builds a synthetic annealing packet of `n` candidate tasks for 8
+/// processors with random levels and inputs.
+sa::AnnealingPacket synthetic_packet(int n, const Topology& topology) {
+  sa::AnnealingPacket packet;
+  Rng rng(7);
+  for (ProcId p = 0; p < topology.num_procs(); ++p) packet.procs.push_back(p);
+  for (int i = 0; i < n; ++i) {
+    sa::PacketTask task;
+    task.task = i;
+    task.level = us(rng.uniform_int(10, 500));
+    const int inputs = static_cast<int>(rng.uniform_int(0, 3));
+    for (int j = 0; j < inputs; ++j) {
+      const Time weight = us(rng.uniform_int(1, 16));
+      task.inputs.push_back(sa::PacketTask::Input{
+          static_cast<ProcId>(rng.uniform_index(
+              static_cast<std::size_t>(topology.num_procs()))),
+          weight});
+      task.total_input_weight += weight;
+    }
+    packet.tasks.push_back(std::move(task));
+  }
+  return packet;
+}
+
+void BM_PacketCostEvaluate(benchmark::State& state) {
+  const Topology topology = topo::hypercube(3);
+  const CommModel comm = CommModel::paper_default();
+  const sa::AnnealingPacket packet =
+      synthetic_packet(static_cast<int>(state.range(0)), topology);
+  const sa::PacketCostModel cost(packet, topology, comm, 0.5, 0.5);
+  Rng rng(1);
+  const sa::Mapping mapping =
+      sa::Mapping::initial(packet, sa::InitKind::Random, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cost.evaluate(mapping));
+  }
+}
+BENCHMARK(BM_PacketCostEvaluate)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_AnnealPacket(benchmark::State& state) {
+  const Topology topology = topo::hypercube(3);
+  const CommModel comm = CommModel::paper_default();
+  const sa::AnnealingPacket packet =
+      synthetic_packet(static_cast<int>(state.range(0)), topology);
+  const sa::PacketCostModel cost(packet, topology, comm, 0.5, 0.5);
+  sa::AnnealOptions options;
+  std::int64_t iterations = 0;
+  for (auto _ : state) {
+    Rng rng(99);
+    const sa::AnnealResult result =
+        sa::anneal_packet(packet, cost, options, rng);
+    iterations += result.iterations;
+    benchmark::DoNotOptimize(result.best_cost.total);
+  }
+  state.SetItemsProcessed(iterations);  // proposed moves per second
+}
+BENCHMARK(BM_AnnealPacket)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_SimulateHlf(benchmark::State& state) {
+  const workloads::Workload w = workloads::by_name("GJ");
+  const Topology topology = topo::hypercube(3);
+  const CommModel comm = CommModel::paper_default();
+  sim::SimOptions options;
+  options.record_trace = false;
+  for (auto _ : state) {
+    sched::HlfScheduler hlf;
+    benchmark::DoNotOptimize(
+        sim::simulate(w.graph, topology, comm, hlf, options).makespan);
+  }
+  state.SetItemsProcessed(state.iterations() * w.graph.num_tasks());
+}
+BENCHMARK(BM_SimulateHlf);
+
+void BM_SimulateSa(benchmark::State& state) {
+  const workloads::Workload w = workloads::by_name("GJ");
+  const Topology topology = topo::hypercube(3);
+  const CommModel comm = CommModel::paper_default();
+  sim::SimOptions options;
+  options.record_trace = false;
+  for (auto _ : state) {
+    sa::SaScheduler scheduler;
+    benchmark::DoNotOptimize(
+        sim::simulate(w.graph, topology, comm, scheduler, options).makespan);
+  }
+  state.SetItemsProcessed(state.iterations() * w.graph.num_tasks());
+}
+BENCHMARK(BM_SimulateSa);
+
+}  // namespace

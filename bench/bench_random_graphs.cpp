@@ -1,0 +1,95 @@
+// Statistical SA-vs-HLF comparison on random taskgraphs, in the spirit of
+// the Adam/Chandy/Dickinson study the paper cites (900 random graphs, HLF
+// within 5% of optimal without communication).  Claims to check:
+//   - without communication SA ~ HLF on random DAGs (HLF is already
+//     near-optimal there);
+//   - with communication SA dominates, and the margin grows with the
+//     communication-to-computation ratio.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "graph/generators.hpp"
+#include "report/experiment.hpp"
+#include "topology/builders.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace dagsched;
+
+int main() {
+  benchutil::headline(
+      "Random layered taskgraphs - SA vs HLF across communication ratios "
+      "(cf. the Adam et al. study cited in par. 1/6)");
+
+  const Topology topology = topo::hypercube(3);
+  const int kGraphs = 40;
+
+  TableWriter table({"comm weights", "comm", "graphs", "mean gain %",
+                     "min gain %", "max gain %", "SA wins", "ties",
+                     "HLF wins"});
+  CsvWriter csv({"weight_scale", "with_comm", "seed", "sa_speedup",
+                 "hlf_speedup", "gain_pct"});
+
+  struct Config {
+    const char* label;
+    Time max_weight;
+    bool with_comm;
+  };
+  const std::vector<Config> configs = {
+      {"none (w/o comm)", us(std::int64_t{8}), false},
+      {"light (<= 4us)", us(std::int64_t{4}), true},
+      {"medium (<= 16us)", us(std::int64_t{16}), true},
+      {"heavy (<= 40us)", us(std::int64_t{40}), true},
+  };
+
+  for (const Config& config : configs) {
+    std::vector<double> gains;
+    int sa_wins = 0, ties = 0, hlf_wins = 0;
+    for (int i = 0; i < kGraphs; ++i) {
+      gen::LayeredDagOptions gopt;
+      gopt.layers = 8;
+      gopt.min_width = 3;
+      gopt.max_width = 10;
+      gopt.min_duration = us(std::int64_t{10});
+      gopt.max_duration = us(std::int64_t{60});
+      gopt.min_weight = 0;
+      gopt.max_weight = config.max_weight;
+      gopt.seed = 1000 + static_cast<std::uint64_t>(i);
+      const TaskGraph graph = gen::layered_dag(gopt);
+
+      const CommModel comm = config.with_comm ? CommModel::paper_default()
+                                              : CommModel::disabled();
+      report::CompareOptions copt;
+      copt.sa_seeds = 3;
+      const report::ComparisonRow row = report::compare_sa_hlf(
+          "rand" + std::to_string(i), graph, topology, comm, copt);
+      gains.push_back(row.gain_pct());
+      if (row.sa_makespan < row.hlf_makespan) {
+        ++sa_wins;
+      } else if (row.sa_makespan == row.hlf_makespan) {
+        ++ties;
+      } else {
+        ++hlf_wins;
+      }
+      csv.add_row({config.label, config.with_comm ? "1" : "0",
+                   std::to_string(gopt.seed),
+                   benchutil::f2(row.sa_speedup),
+                   benchutil::f2(row.hlf_speedup),
+                   benchutil::f2(row.gain_pct())});
+    }
+    const Summary summary = summarize(gains);
+    table.add_row({config.label, config.with_comm ? "with" : "w/o",
+                   std::to_string(kGraphs), benchutil::f1(summary.mean),
+                   benchutil::f1(summary.min), benchutil::f1(summary.max),
+                   std::to_string(sa_wins), std::to_string(ties),
+                   std::to_string(hlf_wins)});
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("expected shape: gains ~0 without communication, "
+              "increasingly positive as weights grow.\n");
+  benchutil::write_csv(csv, "random_graphs");
+  return 0;
+}

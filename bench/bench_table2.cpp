@@ -1,0 +1,75 @@
+// Reproduces Table 2: speedups of simulated annealing vs the HLF list
+// algorithm for the four programs on the three architectures, with and
+// without communication.  Absolute values depend on the reconstructed
+// simulator; the claims to check are the *shape* ones:
+//   - without communication SA matches HLF (gains ~0);
+//   - with communication SA consistently outperforms HLF;
+//   - the bus (distance-1) tops the hypercube, the ring suffers most from
+//     routing, and the largest gains appear where locality can be
+//     exploited (NE chains, MM row broadcasts).
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "report/experiment.hpp"
+#include "report/paper.hpp"
+#include "util/table.hpp"
+
+using namespace dagsched;
+
+int main() {
+  benchutil::headline("Table 2 - speedups: SA vs HLF (paper vs measured)");
+
+  report::CompareOptions options;
+  options.sa_seeds = 5;
+
+  TableWriter table({"program", "architecture", "comm", "(Sp)SA", "(Sp)HLF",
+                     "% gain", "paper SA", "paper HLF", "paper % gain"});
+  CsvWriter csv({"program", "architecture", "with_comm", "sa_speedup",
+                 "hlf_speedup", "gain_pct", "paper_sa", "paper_hlf",
+                 "paper_gain_pct"});
+
+  int sign_matches = 0;
+  int cells = 0;
+  for (const report::ComparisonRow& row : report::table2_sweep(options)) {
+    const auto paper =
+        report::paper_speedup(row.program, row.topology, row.with_comm);
+    const std::string comm_label = row.with_comm ? "with" : "w/o";
+    std::string paper_sa = "-";
+    std::string paper_hlf = "-";
+    std::string paper_gain = "-";
+    if (paper.has_value()) {
+      paper_sa = benchutil::f2(paper->sa);
+      paper_hlf = benchutil::f2(paper->hlf);
+      paper_gain = benchutil::f1(paper->gain_pct());
+      ++cells;
+      // Shape check: the gain has the same sign (treating <1% as zero).
+      const double measured = row.gain_pct();
+      const double published = paper->gain_pct();
+      const auto sign = [](double g) { return g > 1.0 ? 1 : (g < -1.0 ? -1
+                                                                      : 0); };
+      if (sign(measured) == sign(published) ||
+          (sign(published) == 0 && sign(measured) >= 0) ||
+          (sign(published) > 0 && sign(measured) > 0)) {
+        ++sign_matches;
+      }
+    }
+    table.add_row({row.program, row.topology, comm_label,
+                   benchutil::f2(row.sa_speedup),
+                   benchutil::f2(row.hlf_speedup),
+                   benchutil::f1(row.gain_pct()), paper_sa, paper_hlf,
+                   paper_gain});
+    csv.add_row({row.program, row.topology, row.with_comm ? "1" : "0",
+                 benchutil::f2(row.sa_speedup),
+                 benchutil::f2(row.hlf_speedup),
+                 benchutil::f2(row.gain_pct()), paper_sa, paper_hlf,
+                 paper_gain});
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("shape check: measured gain sign matches the paper in %d/%d "
+              "cells\n",
+              sign_matches, cells);
+  benchutil::write_csv(csv, "table2");
+  return 0;
+}

@@ -1,0 +1,41 @@
+#pragma once
+
+// Shared plumbing for the benchmark harnesses: headline printing and
+// best-effort CSV mirroring under bench_out/.
+
+#include <cstdio>
+#include <string>
+
+#include "util/csv.hpp"
+
+namespace dagsched::benchutil {
+
+inline void headline(const std::string& title) {
+  std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+/// Writes the CSV next to the current working directory; failures are
+/// reported but never fatal (the printed tables are the primary output).
+inline void write_csv(const CsvWriter& csv, const std::string& name) {
+  const std::string path = "bench_out/" + name + ".csv";
+  if (csv.write_file(path)) {
+    std::printf("[csv] wrote %s (%zu rows)\n", path.c_str(), csv.num_rows());
+  } else {
+    std::printf("[csv] could not write %s (continuing)\n", path.c_str());
+  }
+}
+
+/// Formats a double with two decimals (the paper's precision).
+inline std::string f2(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.2f", value);
+  return buffer;
+}
+
+inline std::string f1(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.1f", value);
+  return buffer;
+}
+
+}  // namespace dagsched::benchutil

@@ -1,0 +1,68 @@
+// Signal-processing scenario: the FFT workload across all three paper
+// architectures, comparing four policies — SA, plain HLF, random-placement
+// HLF and the communication-aware HLF ablation — to show where annealing
+// pays off relative to simpler placement rules.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/sa_scheduler.hpp"
+#include "sched/hlf.hpp"
+#include "sched/random_policy.hpp"
+#include "sim/engine.hpp"
+#include "topology/builders.hpp"
+#include "util/table.hpp"
+#include "workloads/fft.hpp"
+
+using namespace dagsched;
+
+int main() {
+  const workloads::Workload w = workloads::fft();
+  const CommModel comm = CommModel::paper_default();
+  const std::vector<Topology> machines = {topo::hypercube(3), topo::bus(8),
+                                          topo::ring(9)};
+
+  TableWriter table({"architecture", "policy", "makespan (us)", "speedup",
+                     "messages"});
+
+  for (const Topology& machine : machines) {
+    struct Entry {
+      std::string name;
+      std::unique_ptr<sim::SchedulingPolicy> policy;
+    };
+    std::vector<Entry> entries;
+    sa::SaSchedulerOptions sa_options;
+    sa_options.seed = 3;
+    entries.push_back({"SA", std::make_unique<sa::SaScheduler>(sa_options)});
+    entries.push_back(
+        {"HLF", std::make_unique<sched::HlfScheduler>()});
+    entries.push_back(
+        {"HLF-random", std::make_unique<sched::HlfScheduler>(
+                           sched::HlfPlacement::Random, 17)});
+    entries.push_back(
+        {"HLF-mincomm", std::make_unique<sched::HlfScheduler>(
+                            sched::HlfPlacement::MinComm)});
+    entries.push_back(
+        {"random", std::make_unique<sched::RandomScheduler>(17)});
+
+    for (Entry& entry : entries) {
+      const sim::SimResult result =
+          sim::simulate(w.graph, machine, comm, *entry.policy);
+      table.add_row({machine.name(), entry.name,
+                     std::to_string(static_cast<long>(to_us(
+                         result.makespan))),
+                     std::to_string(result.speedup(w.graph.total_work()))
+                         .substr(0, 4),
+                     std::to_string(result.num_messages)});
+    }
+    table.add_rule();
+  }
+
+  std::printf("FFT (73 vector tasks) under the paper's communication "
+              "model:\n\n%s\n",
+              table.render().c_str());
+  std::printf("note: SA and HLF-mincomm exploit the heterogeneous input "
+              "slices; plain and random HLF cannot.\n");
+  return 0;
+}

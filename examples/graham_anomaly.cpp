@@ -1,0 +1,68 @@
+// Scheduling-theory scenario: Graham's multiprocessing timing anomaly
+// (Graham 1969), referenced by the paper in §6b — "the SA algorithm is able
+// to optimally solve the Graham list scheduling anomalies".
+//
+// Nine tasks, three processors, priority list (T1..T9).  Speed every task
+// up by one unit and the same list scheduler finishes LATER (12 -> 13);
+// simulated annealing finds the 10-unit optimum of the reduced instance.
+
+#include <cstdio>
+#include <numeric>
+
+#include "core/sa_scheduler.hpp"
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+#include "report/gantt.hpp"
+#include "sched/fixed_list.hpp"
+#include "sim/engine.hpp"
+#include "topology/builders.hpp"
+
+using namespace dagsched;
+
+int main() {
+  const Topology machine = topo::complete(3);
+  const CommModel comm = CommModel::disabled();
+  std::vector<TaskId> list(9);
+  std::iota(list.begin(), list.end(), 0);
+
+  for (const bool reduced : {false, true}) {
+    const TaskGraph graph = gen::graham_anomaly(reduced);
+    std::printf("=== %s instance (critical path %.0f units) ===\n\n",
+                reduced ? "reduced (every task one unit faster)"
+                        : "original",
+                to_us(critical_path(graph).length));
+
+    sched::FixedListScheduler list_sched(list);
+    const sim::SimResult list_result =
+        sim::simulate(graph, machine, comm, list_sched);
+    std::printf("fixed list (T1..T9): makespan %.0f units\n",
+                to_us(list_result.makespan));
+
+    report::GanttOptions gantt;
+    gantt.width = 78;
+    gantt.show_comm_rows = false;
+    gantt.show_legend = false;
+    std::printf("%s\n", report::render_gantt(graph, machine,
+                                             list_result.trace, gantt)
+                            .c_str());
+
+    if (reduced) {
+      sa::SaSchedulerOptions options;
+      options.seed = 4;
+      sa::SaScheduler annealer(options);
+      const sim::SimResult sa_result =
+          sim::simulate(graph, machine, comm, annealer);
+      std::printf("simulated annealing: makespan %.0f units%s\n",
+                  to_us(sa_result.makespan),
+                  sa_result.makespan == critical_path(graph).length
+                      ? " — optimal (equals the critical path)"
+                      : "");
+      std::printf("%s\n", report::render_gantt(graph, machine,
+                                               sa_result.trace, gantt)
+                              .c_str());
+      std::printf("the anomaly: faster tasks, longer list schedule "
+                  "(12 -> 13); annealing recovers the optimum (10).\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Robot control scenario: the paper's headline workload.  Schedules the
+// Newton-Euler inverse dynamics taskgraph on the 8-processor hypercube,
+// compares SA against HLF with and without communication, and renders the
+// SA schedule's Gantt chart (the paper's Figure 2 setting).
+
+#include <cstdio>
+
+#include "core/sa_scheduler.hpp"
+#include "graph/analysis.hpp"
+#include "report/gantt.hpp"
+#include "sched/hlf.hpp"
+#include "sim/engine.hpp"
+#include "topology/builders.hpp"
+#include "workloads/newton_euler.hpp"
+
+using namespace dagsched;
+
+int main() {
+  const workloads::Workload w = workloads::newton_euler();
+  const Topology machine = topo::hypercube(3);
+  const GraphStats stats = compute_stats(w.graph);
+
+  std::printf("Newton-Euler inverse dynamics: %d scalar tasks, "
+              "critical path %.1fus, max speedup %.2f\n\n",
+              stats.tasks, to_us(stats.critical_path_length),
+              stats.max_speedup);
+
+  for (const bool with_comm : {false, true}) {
+    const CommModel comm = with_comm ? CommModel::paper_default()
+                                     : CommModel::disabled();
+    sched::HlfScheduler hlf;
+    const sim::SimResult hlf_result =
+        sim::simulate(w.graph, machine, comm, hlf);
+
+    sim::SimResult best_sa;
+    best_sa.makespan = kTimeInfinity;
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      sa::SaSchedulerOptions options;
+      options.seed = seed;
+      sa::SaScheduler annealer(options);
+      sim::SimResult result = sim::simulate(w.graph, machine, comm, annealer);
+      if (result.makespan < best_sa.makespan) best_sa = std::move(result);
+    }
+
+    const double sp_sa = best_sa.speedup(w.graph.total_work());
+    const double sp_hlf = hlf_result.speedup(w.graph.total_work());
+    std::printf("%s communication: SA speedup %.2f vs HLF %.2f "
+                "(gain %.1f%%, %d messages)\n",
+                with_comm ? "with" : "without", sp_sa, sp_hlf,
+                100.0 * (sp_sa - sp_hlf) / sp_hlf, best_sa.num_messages);
+
+    if (with_comm) {
+      std::printf("\nSA schedule, start of the run (Figure 2 setting):\n\n");
+      report::GanttOptions gantt;
+      gantt.width = 100;
+      gantt.window_end = best_sa.makespan / 3;
+      std::printf("%s\n", report::render_gantt(w.graph, machine,
+                                               best_sa.trace, gantt)
+                              .c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,111 @@
+#include "core/annealer.hpp"
+
+#include <cmath>
+
+#include "core/boltzmann.hpp"
+#include "util/require.hpp"
+
+namespace dagsched::sa {
+
+void AnnealOptions::validate() const {
+  require(wb >= 0.0 && wc >= 0.0 && std::fabs(wb + wc - 1.0) < 1e-9,
+          "AnnealOptions: weights must be non-negative and sum to 1");
+  cooling.validate();
+  require(moves_per_temperature >= 0,
+          "AnnealOptions: negative moves_per_temperature");
+  require(convergence_window >= 1, "AnnealOptions: bad convergence window");
+  require(convergence_eps >= 0.0, "AnnealOptions: negative convergence eps");
+}
+
+AnnealResult anneal_packet(const AnnealingPacket& packet,
+                           const PacketCostModel& cost,
+                           const AnnealOptions& options, Rng& rng,
+                           PacketTrajectory* trajectory) {
+  options.validate();
+
+  AnnealResult result;
+  Mapping current = Mapping::initial(packet, options.init, rng);
+  CostBreakdown current_cost = cost.evaluate(current);
+  result.initial_cost = current_cost;
+  result.mapping = current;
+  result.best_cost = current_cost;
+
+  const int moves_per_temp =
+      options.moves_per_temperature > 0
+          ? options.moves_per_temperature
+          : std::max(6, 2 * packet.num_tasks());
+
+  int constant_steps = 0;
+  double previous_step_cost = current_cost.total;
+
+  for (int step = 0; step < options.cooling.max_steps; ++step) {
+    const double temp = options.cooling.temperature(step);
+    result.temperature_steps = step + 1;
+
+    for (int i = 0; i < moves_per_temp; ++i) {
+      Move move;
+      if (!current.propose(packet, rng, move)) {
+        // Single task on a single processor: nothing to optimize.
+        return result;
+      }
+      ++result.iterations;
+      const double delta = cost.move_delta(current, move);
+      const bool accept =
+          rng.uniform01() < boltzmann_acceptance(delta, temp);
+      if (accept) {
+        current.apply(move);
+        // Incremental bookkeeping of the raw components; the normalized
+        // total is re-derived from them (eq. 6) to avoid drift against
+        // evaluate().
+        switch (move.kind) {
+          case MoveKind::Move:
+            current_cost.comm += cost.task_comm_cost(move.task_a,
+                                                     move.to_proc) -
+                                 cost.task_comm_cost(move.task_a,
+                                                     move.from_proc);
+            break;
+          case MoveKind::Swap:
+            current_cost.comm +=
+                cost.task_comm_cost(move.task_a, move.to_proc) +
+                cost.task_comm_cost(move.task_b, move.from_proc) -
+                cost.task_comm_cost(move.task_a, move.from_proc) -
+                cost.task_comm_cost(move.task_b, move.to_proc);
+            break;
+          case MoveKind::Replace:
+            current_cost.load += cost.task_level_us(move.task_b) -
+                                 cost.task_level_us(move.task_a);
+            current_cost.comm +=
+                cost.task_comm_cost(move.task_a, move.to_proc) -
+                cost.task_comm_cost(move.task_b, move.to_proc);
+            break;
+        }
+        current_cost.total = cost.wc() * current_cost.comm / cost.delta_fc() +
+                             cost.wb() * current_cost.load / cost.delta_fb();
+        if (current_cost.total < result.best_cost.total) {
+          result.best_cost = current_cost;
+          result.mapping = current;
+        }
+      }
+      if (trajectory != nullptr) {
+        trajectory->points.push_back(TrajectoryPoint{
+            result.iterations, temp, accept, current_cost.load,
+            current_cost.comm, current_cost.total});
+      }
+    }
+
+    // Paper stop rule: cost constant for `convergence_window` steps.
+    if (std::fabs(current_cost.total - previous_step_cost) <=
+        options.convergence_eps) {
+      if (++constant_steps >= options.convergence_window) {
+        result.converged_early = true;
+        break;
+      }
+    } else {
+      constant_steps = 0;
+    }
+    previous_step_cost = current_cost.total;
+  }
+  return result;
+}
+
+}  // namespace dagsched::sa

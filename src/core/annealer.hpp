@@ -1,0 +1,77 @@
+#pragma once
+
+// The per-packet annealing loop (paper §5, step 2): random §5 moves
+// accepted with the Boltzmann probability under a cooling temperature
+// sequence, stopping early when the cost stays constant for a window of
+// temperature steps (§6a: five) or after the preset maximum.
+
+#include <vector>
+
+#include "core/cooling.hpp"
+#include "core/cost.hpp"
+#include "core/mapping.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace dagsched::sa {
+
+struct AnnealOptions {
+  /// Cost weights (eq. 6); must sum to 1.  The paper uses 0.5 / 0.5.
+  double wb = 0.5;
+  double wc = 0.5;
+
+  CoolingSchedule cooling;
+
+  /// Proposed moves per temperature step; 0 selects the automatic choice
+  /// max(6, 2 N).
+  int moves_per_temperature = 0;
+
+  /// Stop when the end-of-step cost changed by less than convergence_eps
+  /// for this many consecutive temperature steps (the paper's "constant for
+  /// five iterations").
+  int convergence_window = 5;
+  double convergence_eps = 1e-12;
+
+  /// Initial mapping of each packet.
+  InitKind init = InitKind::HighestLevel;
+
+  void validate() const;
+};
+
+/// One recorded annealing iteration (a proposed move) for Figure 1.
+struct TrajectoryPoint {
+  int iteration = 0;
+  double temperature = 0.0;
+  bool accepted = false;
+  double load_cost = 0.0;   ///< F_b of the current mapping (us)
+  double comm_cost = 0.0;   ///< F_c of the current mapping (us)
+  double total_cost = 0.0;  ///< normalized eq. 6 cost
+};
+
+/// The annealing history of one packet.
+struct PacketTrajectory {
+  int epoch_index = -1;
+  Time when = 0;
+  int candidates = 0;
+  int idle_procs = 0;
+  std::vector<TrajectoryPoint> points;
+};
+
+struct AnnealResult {
+  Mapping mapping;          ///< best mapping observed
+  CostBreakdown best_cost;  ///< cost of `mapping`
+  CostBreakdown initial_cost;
+  int iterations = 0;       ///< proposed moves
+  int temperature_steps = 0;
+  bool converged_early = false;
+};
+
+/// Runs the annealing loop on one packet.  `trajectory`, when non-null,
+/// receives one point per proposed move (current-state costs, Figure 1
+/// style).  Deterministic for a given rng state.
+AnnealResult anneal_packet(const AnnealingPacket& packet,
+                           const PacketCostModel& cost,
+                           const AnnealOptions& options, Rng& rng,
+                           PacketTrajectory* trajectory = nullptr);
+
+}  // namespace dagsched::sa

@@ -1,0 +1,18 @@
+#include "core/boltzmann.hpp"
+
+#include <cmath>
+
+namespace dagsched::sa {
+
+double boltzmann_acceptance(double delta_f, double temp) {
+  if (temp <= 0.0) {
+    return delta_f < 0.0 ? 1.0 : 0.0;  // eq. 2: deterministic acceptance
+  }
+  const double exponent = delta_f / temp;
+  // exp() overflows around 709; the acceptance saturates far earlier.
+  if (exponent > 700.0) return 0.0;
+  if (exponent < -700.0) return 1.0;
+  return 1.0 / (1.0 + std::exp(exponent));
+}
+
+}  // namespace dagsched::sa

@@ -1,0 +1,19 @@
+#pragma once
+
+// Boltzmann acceptance (paper eq. 1/2).
+//
+// A proposed remapping with cost difference dF = F(m') - F(m) is accepted
+// with probability
+//     B(dF, Temp) = 1 / (1 + e^{dF / Temp}).
+// At Temp = infinity every move is a coin flip (B = 1/2); at Temp = 0 the
+// rule is deterministic descent: accept iff dF < 0 (eq. 2).  The eq. 1
+// argument is the *difference*: the printed limits only make sense for one.
+
+namespace dagsched::sa {
+
+/// Acceptance probability of a move with cost difference `delta_f` at
+/// temperature `temp` (temp <= 0 is treated as the deterministic limit).
+/// Overflow-safe for any finite inputs.
+double boltzmann_acceptance(double delta_f, double temp);
+
+}  // namespace dagsched::sa

@@ -1,0 +1,49 @@
+#include "core/cooling.hpp"
+
+#include <cmath>
+
+namespace dagsched::sa {
+
+std::string to_string(CoolingKind kind) {
+  switch (kind) {
+    case CoolingKind::Geometric:
+      return "geometric";
+    case CoolingKind::Linear:
+      return "linear";
+    case CoolingKind::Logarithmic:
+      return "logarithmic";
+    case CoolingKind::Constant:
+      return "constant";
+  }
+  return "unknown";
+}
+
+void CoolingSchedule::validate() const {
+  require(t0 > 0.0, "CoolingSchedule: t0 must be positive");
+  require(alpha > 0.0 && alpha < 1.0, "CoolingSchedule: alpha outside (0,1)");
+  require(t_min >= 0.0, "CoolingSchedule: negative t_min");
+  require(max_steps >= 1, "CoolingSchedule: need at least one step");
+}
+
+double CoolingSchedule::temperature(int step) const {
+  require(step >= 0, "CoolingSchedule::temperature: negative step");
+  double temp = t0;
+  switch (kind) {
+    case CoolingKind::Geometric:
+      temp = t0 * std::pow(alpha, step);
+      break;
+    case CoolingKind::Linear:
+      temp = t0 * (1.0 - static_cast<double>(step) /
+                             static_cast<double>(max_steps));
+      break;
+    case CoolingKind::Logarithmic:
+      temp = t0 / std::log(static_cast<double>(step) + std::exp(1.0));
+      break;
+    case CoolingKind::Constant:
+      temp = t0;
+      break;
+  }
+  return std::max(temp, t_min);
+}
+
+}  // namespace dagsched::sa

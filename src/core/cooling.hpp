@@ -1,0 +1,39 @@
+#pragma once
+
+// Cooling schedules (paper §2: "The cooling function generates a sequence
+// of temperatures Temp_i, varying from infinity (an arbitrary acceptance)
+// to 0 (a deterministic acceptance)").  The paper does not publish its
+// schedule — only the stop rule (§6a: constant cost for five iterations or
+// a preset maximum) — so the schedule kind is a parameter and
+// bench_cooling ablates it.
+
+#include <string>
+
+#include "util/require.hpp"
+
+namespace dagsched::sa {
+
+enum class CoolingKind {
+  Geometric,    ///< t0 * alpha^k (the default)
+  Linear,       ///< t0 * (1 - k / max_steps)
+  Logarithmic,  ///< t0 / ln(k + e)
+  Constant,     ///< t0 (degenerate; for ablation only)
+};
+
+std::string to_string(CoolingKind kind);
+
+struct CoolingSchedule {
+  CoolingKind kind = CoolingKind::Geometric;
+  double t0 = 2.0;        ///< initial temperature (normalized-cost units)
+  double alpha = 0.90;    ///< geometric decay factor, in (0, 1)
+  double t_min = 1e-4;    ///< floor temperature
+  int max_steps = 60;     ///< temperature steps (the paper's preset maximum)
+
+  /// Temperature of step k (k in [0, max_steps)); never below t_min.
+  double temperature(int step) const;
+
+  /// Throws std::invalid_argument on nonsensical parameters.
+  void validate() const;
+};
+
+}  // namespace dagsched::sa

@@ -1,0 +1,114 @@
+#include "core/cost.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace dagsched::sa {
+
+PacketCostModel::PacketCostModel(const AnnealingPacket& packet,
+                                 const Topology& topology,
+                                 const CommModel& comm, double wb, double wc)
+    : packet_(packet), topology_(topology), comm_(comm), wb_(wb), wc_(wc) {
+  require(packet.num_tasks() > 0 && packet.num_procs() > 0,
+          "PacketCostModel: empty packet");
+  require(wb >= 0.0 && wc >= 0.0, "PacketCostModel: negative weight");
+  require(std::fabs(wb + wc - 1.0) < 1e-9,
+          "PacketCostModel: wb + wc must equal 1");
+
+  const int k = packet.num_selected();
+
+  // dF_b = (Max - Min) / N_idle over the K highest / lowest levels.
+  std::vector<double> levels;
+  levels.reserve(packet.tasks.size());
+  for (const PacketTask& t : packet.tasks) {
+    levels.push_back(to_us(t.level));
+  }
+  std::sort(levels.begin(), levels.end());
+  double min_sum = 0.0;
+  double max_sum = 0.0;
+  for (int i = 0; i < k; ++i) {
+    min_sum += levels[static_cast<std::size_t>(i)];
+    max_sum += levels[levels.size() - 1 - static_cast<std::size_t>(i)];
+  }
+  delta_fb_ = (max_sum - min_sum) / static_cast<double>(packet.num_procs());
+  delta_fb_ = std::max(delta_fb_, 1.0);
+
+  // dF_c: the K heaviest communicators priced at the diameter.
+  std::vector<Time> weights;
+  weights.reserve(packet.tasks.size());
+  for (const PacketTask& t : packet.tasks) {
+    weights.push_back(t.total_input_weight);
+  }
+  std::sort(weights.begin(), weights.end(), std::greater<>());
+  const int diameter = std::max(topology.diameter(), 1);
+  double worst = 0.0;
+  for (int i = 0; i < k; ++i) {
+    worst += to_us(
+        comm.analytic_cost(weights[static_cast<std::size_t>(i)], diameter));
+  }
+  delta_fc_ = std::max(worst, 1.0);
+}
+
+double PacketCostModel::task_comm_cost(int task_index, int proc_slot) const {
+  require(task_index >= 0 && task_index < packet_.num_tasks(),
+          "PacketCostModel::task_comm_cost: bad task index");
+  require(proc_slot >= 0 && proc_slot < packet_.num_procs(),
+          "PacketCostModel::task_comm_cost: bad processor slot");
+  const PacketTask& task = packet_.tasks[static_cast<std::size_t>(task_index)];
+  const ProcId proc = packet_.procs[static_cast<std::size_t>(proc_slot)];
+  Time cost = 0;
+  for (const PacketTask::Input& input : task.inputs) {
+    cost += comm_.analytic_cost(input.weight,
+                                topology_.distance(input.src, proc));
+  }
+  return to_us(cost);
+}
+
+double PacketCostModel::task_level_us(int task_index) const {
+  require(task_index >= 0 && task_index < packet_.num_tasks(),
+          "PacketCostModel::task_level_us: bad task index");
+  return to_us(packet_.tasks[static_cast<std::size_t>(task_index)].level);
+}
+
+CostBreakdown PacketCostModel::evaluate(const Mapping& mapping) const {
+  CostBreakdown cost;
+  for (int i = 0; i < packet_.num_tasks(); ++i) {
+    const int slot = mapping.proc_slot_of(i);
+    if (slot < 0) continue;
+    cost.load -= task_level_us(i);            // eq. 3
+    cost.comm += task_comm_cost(i, slot);     // eq. 5
+  }
+  cost.total = wc_ * cost.comm / delta_fc_ + wb_ * cost.load / delta_fb_;
+  return cost;
+}
+
+double PacketCostModel::move_delta(const Mapping& mapping,
+                                   const Move& move) const {
+  double d_load = 0.0;
+  double d_comm = 0.0;
+  switch (move.kind) {
+    case MoveKind::Move:
+      d_comm = task_comm_cost(move.task_a, move.to_proc) -
+               task_comm_cost(move.task_a, move.from_proc);
+      break;
+    case MoveKind::Swap:
+      d_comm = task_comm_cost(move.task_a, move.to_proc) +
+               task_comm_cost(move.task_b, move.from_proc) -
+               task_comm_cost(move.task_a, move.from_proc) -
+               task_comm_cost(move.task_b, move.to_proc);
+      break;
+    case MoveKind::Replace:
+      // task_a enters the selection, task_b leaves it.
+      d_load = task_level_us(move.task_b) - task_level_us(move.task_a);
+      d_comm = task_comm_cost(move.task_a, move.to_proc) -
+               task_comm_cost(move.task_b, move.to_proc);
+      break;
+  }
+  (void)mapping;  // the move carries all slot information it needs
+  return wc_ * d_comm / delta_fc_ + wb_ * d_load / delta_fb_;
+}
+
+}  // namespace dagsched::sa

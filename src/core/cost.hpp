@@ -1,0 +1,70 @@
+#pragma once
+
+// The annealing cost function (paper §4.2).
+//
+// For a packet mapping m:
+//   load term  (eq. 3):  F_b = - sum_i n_i s(i)       [selected task levels]
+//   comm term  (eq. 4/5): F_c = sum over selected tasks of the analytic
+//                          cost c_ij of every input message
+//   total      (eq. 6):  F = w_c F_c / dF_c + w_b F_b / dF_b
+// with ranges
+//   dF_b = (Max - Min) / N_idle, Max/Min the cumulative level sums of the
+//          K highest / lowest-level candidates (K = min(N, N_idle));
+//   dF_c = the K largest input weights priced at the topology diameter
+//          ("placing the tasks with the highest communication at the
+//          largest distance").
+// Both ranges are guarded to at least one microsecond-equivalent so the
+// normalization is well defined for degenerate packets.
+
+#include "core/mapping.hpp"
+#include "core/packet.hpp"
+#include "topology/comm_model.hpp"
+#include "topology/topology.hpp"
+
+namespace dagsched::sa {
+
+/// Raw (unnormalized) cost components of a mapping, in microseconds.
+struct CostBreakdown {
+  double load = 0.0;   ///< F_b (negative: better selections are lower)
+  double comm = 0.0;   ///< F_c (non-negative)
+  double total = 0.0;  ///< eq. 6 normalized weighted sum
+};
+
+class PacketCostModel {
+ public:
+  /// wb + wc should be 1 (checked); the packet/topology/comm references
+  /// must outlive the model.
+  PacketCostModel(const AnnealingPacket& packet, const Topology& topology,
+                  const CommModel& comm, double wb, double wc);
+
+  /// Full evaluation of a mapping (used by tests and trajectory capture;
+  /// the annealer uses move_delta for the inner loop).
+  CostBreakdown evaluate(const Mapping& mapping) const;
+
+  /// Exact total-cost difference of applying `move` to `mapping`
+  /// (eq. 6 units), computed incrementally in O(inputs of touched tasks).
+  double move_delta(const Mapping& mapping, const Move& move) const;
+
+  /// eq. 4 comm cost (us) of placing packet task `task_index` on the
+  /// processor in slot `proc_slot`.
+  double task_comm_cost(int task_index, int proc_slot) const;
+
+  /// Level of packet task `task_index` in microseconds.
+  double task_level_us(int task_index) const;
+
+  double delta_fb() const { return delta_fb_; }
+  double delta_fc() const { return delta_fc_; }
+  double wb() const { return wb_; }
+  double wc() const { return wc_; }
+
+ private:
+  const AnnealingPacket& packet_;
+  const Topology& topology_;
+  const CommModel& comm_;
+  double wb_;
+  double wc_;
+  double delta_fb_ = 1.0;
+  double delta_fc_ = 1.0;
+};
+
+}  // namespace dagsched::sa

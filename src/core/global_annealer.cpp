@@ -1,0 +1,107 @@
+#include "core/global_annealer.hpp"
+
+#include "core/boltzmann.hpp"
+#include "sched/hlf.hpp"
+#include "sched/pinned.hpp"
+#include "sim/engine.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace dagsched::sa {
+
+namespace {
+
+/// Simulated makespan of a complete mapping (the exact cost oracle).
+Time replay_makespan(const TaskGraph& graph, const Topology& topology,
+                     const CommModel& comm,
+                     const std::vector<ProcId>& mapping) {
+  sched::PinnedScheduler policy(mapping);
+  sim::SimOptions options;
+  options.record_trace = false;
+  return sim::simulate(graph, topology, comm, policy, options).makespan;
+}
+
+}  // namespace
+
+GlobalAnnealResult anneal_global(const TaskGraph& graph,
+                                 const Topology& topology,
+                                 const CommModel& comm,
+                                 const GlobalAnnealOptions& options) {
+  graph.validate();
+  options.cooling.validate();
+  require(options.patience >= 1, "anneal_global: bad patience");
+
+  Rng rng(options.seed);
+  GlobalAnnealResult result;
+
+  // Initial mapping: HLF placement (good start) or uniform random.
+  std::vector<ProcId> current(static_cast<std::size_t>(graph.num_tasks()));
+  if (options.seed_with_hlf) {
+    sched::HlfScheduler hlf;
+    sim::SimOptions sim_options;
+    sim_options.record_trace = false;
+    current = sim::simulate(graph, topology, comm, hlf, sim_options)
+                  .placement;
+  } else {
+    for (ProcId& p : current) {
+      p = static_cast<ProcId>(
+          rng.uniform_index(static_cast<std::size_t>(topology.num_procs())));
+    }
+  }
+
+  Time current_makespan = replay_makespan(graph, topology, comm, current);
+  result.simulations = 1;
+  result.initial_makespan = current_makespan;
+  result.mapping = current;
+  result.makespan = current_makespan;
+
+  if (topology.num_procs() == 1) {
+    result.history.push_back(result.makespan);
+    return result;  // nothing to move
+  }
+
+  const int moves_per_temp =
+      options.moves_per_temperature > 0
+          ? options.moves_per_temperature
+          : std::max(8, graph.num_tasks());
+
+  int stale_steps = 0;
+  for (int step = 0; step < options.cooling.max_steps; ++step) {
+    const double temp = options.cooling.temperature(step);
+    const Time best_before = result.makespan;
+
+    for (int i = 0; i < moves_per_temp; ++i) {
+      // Move: reassign a random task to a random different processor.
+      const auto task = rng.uniform_index(current.size());
+      const ProcId old_proc = current[task];
+      ProcId new_proc = old_proc;
+      while (new_proc == old_proc) {
+        new_proc = static_cast<ProcId>(rng.uniform_index(
+            static_cast<std::size_t>(topology.num_procs())));
+      }
+      current[task] = new_proc;
+      const Time makespan = replay_makespan(graph, topology, comm, current);
+      ++result.simulations;
+      const double delta = to_us(makespan - current_makespan);
+      if (rng.uniform01() < boltzmann_acceptance(delta, temp)) {
+        current_makespan = makespan;
+        if (makespan < result.makespan) {
+          result.makespan = makespan;
+          result.mapping = current;
+        }
+      } else {
+        current[task] = old_proc;
+      }
+    }
+
+    result.history.push_back(result.makespan);
+    if (result.makespan >= best_before) {
+      if (++stale_steps >= options.patience) break;
+    } else {
+      stale_steps = 0;
+    }
+  }
+  return result;
+}
+
+}  // namespace dagsched::sa

@@ -1,0 +1,58 @@
+#pragma once
+
+// Global (whole-schedule) simulated annealing — the natural extension of
+// the paper's staged scheme, provided as an ablation.
+//
+// Instead of annealing one packet of ready tasks at a time with the eq. 6
+// *estimate*, the global annealer optimizes a complete static mapping
+// m : T -> P, using the discrete-event simulator itself (via a pinned
+// replay) as the exact cost oracle: the objective is the simulated
+// makespan, precedence constraints and all.  This is far more expensive —
+// every proposed move costs a full simulation — but removes both of the
+// staged scheme's blind spots (per-packet myopia and the analytic-estimate
+// gap).  bench_global quantifies the trade on the paper's programs.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cooling.hpp"
+#include "graph/taskgraph.hpp"
+#include "topology/comm_model.hpp"
+#include "topology/topology.hpp"
+#include "util/time.hpp"
+
+namespace dagsched::sa {
+
+struct GlobalAnnealOptions {
+  /// Temperature acts on makespan differences in microseconds; a cool
+  /// start (a few us) works best because the HLF seed is already decent.
+  CoolingSchedule cooling{CoolingKind::Geometric, /*t0=*/4.0,
+                          /*alpha=*/0.85, /*t_min=*/1e-3,
+                          /*max_steps=*/60};
+  /// Proposed reassignments per temperature step; 0 selects
+  /// max(8, num_tasks).
+  int moves_per_temperature = 0;
+  /// Stop when the best makespan did not improve for this many steps.
+  int patience = 20;
+  std::uint64_t seed = 1;
+  /// Start from the HLF placement instead of a random one.
+  bool seed_with_hlf = true;
+};
+
+struct GlobalAnnealResult {
+  std::vector<ProcId> mapping;   ///< best complete placement found
+  Time makespan = 0;             ///< simulated makespan of `mapping`
+  Time initial_makespan = 0;
+  int simulations = 0;           ///< cost-oracle invocations
+  std::vector<Time> history;     ///< best-so-far after each temperature step
+};
+
+/// Anneals a complete task-to-processor mapping against the simulated
+/// makespan.  Deterministic for a given seed.  The temperature acts on the
+/// makespan difference measured in microseconds.
+GlobalAnnealResult anneal_global(const TaskGraph& graph,
+                                 const Topology& topology,
+                                 const CommModel& comm,
+                                 const GlobalAnnealOptions& options = {});
+
+}  // namespace dagsched::sa

@@ -1,0 +1,149 @@
+#include "core/mapping.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/require.hpp"
+
+namespace dagsched::sa {
+
+Mapping Mapping::initial(const AnnealingPacket& packet, InitKind kind,
+                         Rng& rng) {
+  require(packet.num_tasks() > 0 && packet.num_procs() > 0,
+          "Mapping::initial: empty packet");
+  Mapping m;
+  m.task_to_proc_.assign(static_cast<std::size_t>(packet.num_tasks()), -1);
+  m.proc_to_task_.assign(static_cast<std::size_t>(packet.num_procs()), -1);
+  const int k = packet.num_selected();
+
+  std::vector<int> task_order(static_cast<std::size_t>(packet.num_tasks()));
+  std::iota(task_order.begin(), task_order.end(), 0);
+  std::vector<int> proc_order(static_cast<std::size_t>(packet.num_procs()));
+  std::iota(proc_order.begin(), proc_order.end(), 0);
+
+  switch (kind) {
+    case InitKind::HighestLevel:
+      // Highest level first (ties: lowest task id); processors in id order.
+      std::stable_sort(task_order.begin(), task_order.end(),
+                       [&packet](int a, int b) {
+                         return packet.tasks[static_cast<std::size_t>(a)]
+                                    .level >
+                                packet.tasks[static_cast<std::size_t>(b)]
+                                    .level;
+                       });
+      break;
+    case InitKind::Random:
+      rng.shuffle(task_order);
+      rng.shuffle(proc_order);
+      break;
+  }
+  for (int i = 0; i < k; ++i) {
+    const int task = task_order[static_cast<std::size_t>(i)];
+    const int proc = proc_order[static_cast<std::size_t>(i)];
+    m.task_to_proc_[static_cast<std::size_t>(task)] = proc;
+    m.proc_to_task_[static_cast<std::size_t>(proc)] = task;
+  }
+  return m;
+}
+
+int Mapping::proc_slot_of(int task_index) const {
+  require(task_index >= 0 && task_index < num_tasks(),
+          "Mapping::proc_slot_of: bad task index");
+  return task_to_proc_[static_cast<std::size_t>(task_index)];
+}
+
+int Mapping::task_at(int proc_slot) const {
+  require(proc_slot >= 0 && proc_slot < num_procs(),
+          "Mapping::task_at: bad processor slot");
+  return proc_to_task_[static_cast<std::size_t>(proc_slot)];
+}
+
+int Mapping::assigned_count() const {
+  int count = 0;
+  for (int slot : task_to_proc_) {
+    if (slot >= 0) ++count;
+  }
+  return count;
+}
+
+bool Mapping::propose(const AnnealingPacket& packet, Rng& rng,
+                      Move& move) const {
+  // No admissible move: one task, one processor.
+  if (packet.num_tasks() == 1 && packet.num_procs() == 1) return false;
+
+  // Arbitrarily select a task t_i and a processor p_j != m_i (paper §5(a)).
+  // Rejection-loop until the pair is admissible; bounded because an
+  // admissible pair exists whenever the early-out above did not fire.
+  for (int attempt = 0; attempt < 256; ++attempt) {
+    const int task = static_cast<int>(
+        rng.uniform_index(static_cast<std::size_t>(packet.num_tasks())));
+    const int proc = static_cast<int>(
+        rng.uniform_index(static_cast<std::size_t>(packet.num_procs())));
+    const int current = task_to_proc_[static_cast<std::size_t>(task)];
+    if (current == proc) continue;
+    const int occupant = proc_to_task_[static_cast<std::size_t>(proc)];
+
+    if (occupant < 0) {
+      // Unoccupied processors only exist when every task is assigned
+      // (K = N < N_idle), so `task` is assigned: a plain move.
+      ensure(current >= 0, "Mapping::propose: unassigned task with free "
+                           "processors");
+      move = Move{MoveKind::Move, task, -1, current, proc};
+      return true;
+    }
+    if (current >= 0) {
+      move = Move{MoveKind::Swap, task, occupant, current, proc};
+      return true;
+    }
+    move = Move{MoveKind::Replace, task, occupant, -1, proc};
+    return true;
+  }
+  ensure(false, "Mapping::propose: rejection loop failed to terminate");
+  return false;
+}
+
+void Mapping::apply(const Move& move) {
+  switch (move.kind) {
+    case MoveKind::Move:
+      task_to_proc_[static_cast<std::size_t>(move.task_a)] = move.to_proc;
+      proc_to_task_[static_cast<std::size_t>(move.from_proc)] = -1;
+      proc_to_task_[static_cast<std::size_t>(move.to_proc)] = move.task_a;
+      break;
+    case MoveKind::Swap:
+      task_to_proc_[static_cast<std::size_t>(move.task_a)] = move.to_proc;
+      task_to_proc_[static_cast<std::size_t>(move.task_b)] = move.from_proc;
+      proc_to_task_[static_cast<std::size_t>(move.to_proc)] = move.task_a;
+      proc_to_task_[static_cast<std::size_t>(move.from_proc)] = move.task_b;
+      break;
+    case MoveKind::Replace:
+      task_to_proc_[static_cast<std::size_t>(move.task_b)] = -1;
+      task_to_proc_[static_cast<std::size_t>(move.task_a)] = move.to_proc;
+      proc_to_task_[static_cast<std::size_t>(move.to_proc)] = move.task_a;
+      break;
+  }
+}
+
+void Mapping::revert(const Move& move) {
+  switch (move.kind) {
+    case MoveKind::Move:
+      task_to_proc_[static_cast<std::size_t>(move.task_a)] = move.from_proc;
+      proc_to_task_[static_cast<std::size_t>(move.to_proc)] = -1;
+      proc_to_task_[static_cast<std::size_t>(move.from_proc)] = move.task_a;
+      break;
+    case MoveKind::Swap:
+      // Not apply(move): the move records the *original* slots, so the
+      // inverse restores task_a to from_proc and task_b to to_proc.
+      task_to_proc_[static_cast<std::size_t>(move.task_a)] = move.from_proc;
+      task_to_proc_[static_cast<std::size_t>(move.task_b)] = move.to_proc;
+      proc_to_task_[static_cast<std::size_t>(move.from_proc)] = move.task_a;
+      proc_to_task_[static_cast<std::size_t>(move.to_proc)] = move.task_b;
+      break;
+    case MoveKind::Replace:
+      task_to_proc_[static_cast<std::size_t>(move.task_a)] = -1;
+      task_to_proc_[static_cast<std::size_t>(move.task_b)] = move.to_proc;
+      proc_to_task_[static_cast<std::size_t>(move.to_proc)] = move.task_b;
+      break;
+  }
+}
+
+}  // namespace dagsched::sa

@@ -1,0 +1,77 @@
+#pragma once
+
+// The mapping state the annealer perturbs, plus the §5 mapping scheme.
+//
+// A mapping assigns exactly K = min(N, N_idle) packet tasks to distinct
+// packet processors.  The move set follows the paper:
+//   (a) select a task t_i and a processor p_j != m_i;
+//       - p_j unoccupied: move t_i there (vacating its processor)  [Move]
+//       - p_j busy executing t_j of the packet: exchange           [Swap]
+//   (b) with more tasks than processors some tasks are unassigned; an
+//       unassigned t_i selecting an occupied p_j evicts t_j        [Replace]
+// Replace is the natural completion of §5's scheme (required to reach
+// every admissible selection) and is called out in DESIGN.md.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/packet.hpp"
+#include "util/rng.hpp"
+
+namespace dagsched::sa {
+
+/// How the annealer seeds the mapping of a fresh packet.
+enum class InitKind {
+  HighestLevel,  ///< highest-level tasks onto processors in id order
+  Random,        ///< random K-subset onto random processors
+};
+
+enum class MoveKind { Move, Swap, Replace };
+
+/// A reversible perturbation of a Mapping (indices are packet-local).
+struct Move {
+  MoveKind kind = MoveKind::Move;
+  int task_a = -1;  ///< the selected task (assigned for Move/Swap)
+  int task_b = -1;  ///< Swap/Replace: the task occupying the target proc
+  int from_proc = -1;  ///< Move/Swap: task_a's processor slot
+  int to_proc = -1;    ///< target processor slot
+};
+
+class Mapping {
+ public:
+  /// Builds the initial mapping for a packet.
+  static Mapping initial(const AnnealingPacket& packet, InitKind kind,
+                         Rng& rng);
+
+  int num_tasks() const { return static_cast<int>(task_to_proc_.size()); }
+  int num_procs() const { return static_cast<int>(proc_to_task_.size()); }
+
+  /// Packet-local processor slot of a task; -1 when unassigned.
+  int proc_slot_of(int task_index) const;
+
+  /// Packet-local task index on a processor slot; -1 when unoccupied.
+  int task_at(int proc_slot) const;
+
+  bool is_assigned(int task_index) const {
+    return proc_slot_of(task_index) >= 0;
+  }
+
+  int assigned_count() const;
+
+  /// Draws a random §5 move; requires at least one admissible move (i.e.
+  /// num_procs >= 2 or unassigned tasks exist).  Returns false when the
+  /// packet admits no move at all (single task on single processor).
+  bool propose(const AnnealingPacket& packet, Rng& rng, Move& move) const;
+
+  void apply(const Move& move);
+
+  /// Undoes a move previously applied (apply twice is the identity for
+  /// Swap but not for Move/Replace, hence an explicit revert).
+  void revert(const Move& move);
+
+ private:
+  std::vector<int> task_to_proc_;  ///< task index -> proc slot or -1
+  std::vector<int> proc_to_task_;  ///< proc slot -> task index or -1
+};
+
+}  // namespace dagsched::sa

@@ -1,0 +1,31 @@
+#include "core/packet.hpp"
+
+#include "util/require.hpp"
+
+namespace dagsched::sa {
+
+AnnealingPacket AnnealingPacket::from_context(const sim::EpochContext& ctx) {
+  AnnealingPacket packet;
+  packet.procs.assign(ctx.idle_procs().begin(), ctx.idle_procs().end());
+  packet.tasks.reserve(ctx.ready_tasks().size());
+  const bool with_comm = ctx.comm().enabled;
+  for (const TaskId task : ctx.ready_tasks()) {
+    PacketTask entry;
+    entry.task = task;
+    entry.level = ctx.levels()[static_cast<std::size_t>(task)];
+    if (with_comm) {
+      for (const EdgeRef& pred : ctx.graph().predecessors(task)) {
+        const ProcId src =
+            ctx.placement()[static_cast<std::size_t>(pred.task)];
+        ensure(src != kInvalidProc,
+               "AnnealingPacket: ready task with unplaced predecessor");
+        entry.inputs.push_back(PacketTask::Input{src, pred.weight});
+        entry.total_input_weight += pred.weight;
+      }
+    }
+    packet.tasks.push_back(std::move(entry));
+  }
+  return packet;
+}
+
+}  // namespace dagsched::sa

@@ -1,0 +1,46 @@
+#pragma once
+
+// Annealing packets (paper §4.1): at each assignment epoch the ready tasks
+// and the idle processors form a packet; the annealer maps packet tasks
+// onto packet processors.  Exactly K = min(N, N_idle) tasks are selected.
+
+#include <vector>
+
+#include "graph/taskgraph.hpp"
+#include "sim/scheduler_api.hpp"
+#include "topology/topology.hpp"
+#include "util/time.hpp"
+
+namespace dagsched::sa {
+
+/// One candidate task of a packet, with everything the cost function needs.
+struct PacketTask {
+  TaskId task = kInvalidTask;
+  Time level = 0;  ///< priority n_i (paper §4.2a)
+
+  /// One already-placed predecessor's message.
+  struct Input {
+    ProcId src = kInvalidProc;
+    Time weight = 0;
+  };
+  std::vector<Input> inputs;
+  Time total_input_weight = 0;
+};
+
+struct AnnealingPacket {
+  std::vector<PacketTask> tasks;  ///< the N candidates, ascending task id
+  std::vector<ProcId> procs;      ///< the N_idle processors, ascending id
+
+  int num_tasks() const { return static_cast<int>(tasks.size()); }
+  int num_procs() const { return static_cast<int>(procs.size()); }
+
+  /// Number of assignments every admissible mapping makes.
+  int num_selected() const { return std::min(num_tasks(), num_procs()); }
+
+  /// Builds the packet of the current epoch.  When communication is
+  /// disabled the inputs lists stay empty (the comm term is identically
+  /// zero).
+  static AnnealingPacket from_context(const sim::EpochContext& ctx);
+};
+
+}  // namespace dagsched::sa

@@ -1,0 +1,49 @@
+#include "core/sa_scheduler.hpp"
+
+#include "core/cost.hpp"
+#include "core/packet.hpp"
+
+namespace dagsched::sa {
+
+SaScheduler::SaScheduler(SaSchedulerOptions options)
+    : options_(std::move(options)), rng_(options_.seed) {
+  options_.anneal.validate();
+}
+
+void SaScheduler::on_run_start(const TaskGraph&, const Topology&,
+                               const CommModel&) {
+  rng_ = Rng(options_.seed);  // identical runs are bit-identical
+  stats_ = SaRunStats{};
+  trajectories_.clear();
+}
+
+void SaScheduler::on_epoch(sim::EpochContext& ctx) {
+  const AnnealingPacket packet = AnnealingPacket::from_context(ctx);
+  stats_.packets += 1;
+  stats_.total_candidates += packet.num_tasks();
+  stats_.total_idle_procs += packet.num_procs();
+
+  PacketTrajectory* trajectory = nullptr;
+  if (options_.record_trajectories) {
+    trajectories_.push_back(PacketTrajectory{
+        ctx.epoch_index(), ctx.now(), packet.num_tasks(),
+        packet.num_procs(), {}});
+    trajectory = &trajectories_.back();
+  }
+
+  const PacketCostModel cost(packet, ctx.topology(), ctx.comm(),
+                             options_.anneal.wb, options_.anneal.wc);
+  const AnnealResult annealed =
+      anneal_packet(packet, cost, options_.anneal, rng_, trajectory);
+  stats_.total_iterations += annealed.iterations;
+  if (annealed.converged_early) stats_.packets_converged_early += 1;
+
+  for (int i = 0; i < packet.num_tasks(); ++i) {
+    const int slot = annealed.mapping.proc_slot_of(i);
+    if (slot < 0) continue;
+    ctx.assign(packet.tasks[static_cast<std::size_t>(i)].task,
+               packet.procs[static_cast<std::size_t>(slot)]);
+  }
+}
+
+}  // namespace dagsched::sa

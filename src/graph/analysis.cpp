@@ -1,0 +1,177 @@
+#include "graph/analysis.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/require.hpp"
+
+namespace dagsched {
+
+std::vector<TaskId> topological_order(const TaskGraph& graph) {
+  const int n = graph.num_tasks();
+  std::vector<int> in_deg(static_cast<std::size_t>(n));
+  // Min-heap over ids makes the order deterministic and independent of edge
+  // insertion order.
+  std::priority_queue<TaskId, std::vector<TaskId>, std::greater<>> ready;
+  for (TaskId t = 0; t < n; ++t) {
+    in_deg[static_cast<std::size_t>(t)] = graph.in_degree(t);
+    if (in_deg[static_cast<std::size_t>(t)] == 0) ready.push(t);
+  }
+  std::vector<TaskId> order;
+  order.reserve(static_cast<std::size_t>(n));
+  while (!ready.empty()) {
+    const TaskId t = ready.top();
+    ready.pop();
+    order.push_back(t);
+    for (const EdgeRef& succ : graph.successors(t)) {
+      if (--in_deg[static_cast<std::size_t>(succ.task)] == 0) {
+        ready.push(succ.task);
+      }
+    }
+  }
+  require(static_cast<int>(order.size()) == n,
+          "topological_order: graph has a cycle");
+  return order;
+}
+
+namespace {
+
+/// Shared backward sweep: level(t) = duration(t) + max over successors of
+/// (edge_cost + level(succ)), with edge_cost = weight when `with_comm`.
+std::vector<Time> levels_impl(const TaskGraph& graph, bool with_comm) {
+  const auto order = topological_order(graph);
+  std::vector<Time> level(static_cast<std::size_t>(graph.num_tasks()), 0);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const TaskId t = *it;
+    Time best_tail = 0;
+    for (const EdgeRef& succ : graph.successors(t)) {
+      const Time via = (with_comm ? succ.weight : 0) +
+                       level[static_cast<std::size_t>(succ.task)];
+      best_tail = std::max(best_tail, via);
+    }
+    level[static_cast<std::size_t>(t)] = graph.duration(t) + best_tail;
+  }
+  return level;
+}
+
+}  // namespace
+
+std::vector<Time> task_levels(const TaskGraph& graph) {
+  return levels_impl(graph, /*with_comm=*/false);
+}
+
+std::vector<Time> task_levels_with_comm(const TaskGraph& graph) {
+  return levels_impl(graph, /*with_comm=*/true);
+}
+
+std::vector<Time> top_levels(const TaskGraph& graph) {
+  const auto order = topological_order(graph);
+  std::vector<Time> top(static_cast<std::size_t>(graph.num_tasks()), 0);
+  for (const TaskId t : order) {
+    for (const EdgeRef& succ : graph.successors(t)) {
+      auto& slot = top[static_cast<std::size_t>(succ.task)];
+      slot = std::max(slot, top[static_cast<std::size_t>(t)] +
+                                graph.duration(t));
+    }
+  }
+  return top;
+}
+
+CriticalPath critical_path(const TaskGraph& graph) {
+  const auto level = task_levels(graph);
+  CriticalPath cp;
+  if (graph.num_tasks() == 0) return cp;
+
+  // Start at the root with the greatest level (ties: smallest id) and walk
+  // forward, at each step following the successor whose level realizes the
+  // remaining path length.
+  TaskId current = kInvalidTask;
+  for (const TaskId root : graph.roots()) {
+    if (current == kInvalidTask ||
+        level[static_cast<std::size_t>(root)] >
+            level[static_cast<std::size_t>(current)]) {
+      current = root;
+    }
+  }
+  ensure(current != kInvalidTask, "critical_path: no roots in a DAG");
+  cp.length = level[static_cast<std::size_t>(current)];
+  while (current != kInvalidTask) {
+    cp.tasks.push_back(current);
+    const Time remaining = level[static_cast<std::size_t>(current)] -
+                           graph.duration(current);
+    TaskId next = kInvalidTask;
+    for (const EdgeRef& succ : graph.successors(current)) {
+      if (level[static_cast<std::size_t>(succ.task)] == remaining &&
+          (next == kInvalidTask || succ.task < next)) {
+        next = succ.task;
+      }
+    }
+    current = next;
+  }
+  return cp;
+}
+
+int graph_depth(const TaskGraph& graph) {
+  const auto order = topological_order(graph);
+  std::vector<int> depth(static_cast<std::size_t>(graph.num_tasks()), 1);
+  int deepest = graph.num_tasks() == 0 ? 0 : 1;
+  for (const TaskId t : order) {
+    for (const EdgeRef& succ : graph.successors(t)) {
+      auto& slot = depth[static_cast<std::size_t>(succ.task)];
+      slot = std::max(slot, depth[static_cast<std::size_t>(t)] + 1);
+      deepest = std::max(deepest, slot);
+    }
+  }
+  return deepest;
+}
+
+GraphStats compute_stats(const TaskGraph& graph) {
+  GraphStats s;
+  s.tasks = graph.num_tasks();
+  s.edges = graph.num_edges();
+  s.roots = static_cast<int>(graph.roots().size());
+  s.leaves = static_cast<int>(graph.leaves().size());
+  s.depth = graph_depth(graph);
+  s.total_work = graph.total_work();
+  s.total_comm = graph.total_comm();
+  s.critical_path_length = critical_path(graph).length;
+  if (s.tasks > 0) {
+    s.avg_duration_us = to_us(s.total_work) / s.tasks;
+    s.avg_comm_us = to_us(s.total_comm) / s.tasks;
+  }
+  if (s.edges > 0) {
+    s.avg_edge_comm_us = to_us(s.total_comm) / s.edges;
+  }
+  if (s.avg_duration_us > 0.0) {
+    s.cc_ratio_pct = 100.0 * s.avg_comm_us / s.avg_duration_us;
+  }
+  if (s.critical_path_length > 0) {
+    s.max_speedup = static_cast<double>(s.total_work) /
+                    static_cast<double>(s.critical_path_length);
+  }
+  return s;
+}
+
+std::vector<double> parallelism_profile(const TaskGraph& graph, int bins) {
+  require(bins > 0, "parallelism_profile: bins must be positive");
+  const auto start = top_levels(graph);
+  const Time horizon = critical_path(graph).length;
+  std::vector<double> profile(static_cast<std::size_t>(bins), 0.0);
+  if (horizon <= 0) return profile;
+  const double bin_width = static_cast<double>(horizon) / bins;
+  for (TaskId t = 0; t < graph.num_tasks(); ++t) {
+    const double t0 = static_cast<double>(start[static_cast<std::size_t>(t)]);
+    const double t1 = t0 + static_cast<double>(graph.duration(t));
+    for (int b = 0; b < bins; ++b) {
+      const double b0 = b * bin_width;
+      const double b1 = b0 + bin_width;
+      const double overlap = std::max(0.0, std::min(t1, b1) - std::max(t0, b0));
+      if (bin_width > 0.0) {
+        profile[static_cast<std::size_t>(b)] += overlap / bin_width;
+      }
+    }
+  }
+  return profile;
+}
+
+}  // namespace dagsched

@@ -1,0 +1,74 @@
+#pragma once
+
+// Taskgraph analysis: topological order, task levels (the paper's priority,
+// §4.2a), critical path, and aggregate statistics matching Table 1's columns.
+
+#include <vector>
+
+#include "graph/taskgraph.hpp"
+
+namespace dagsched {
+
+/// Deterministic topological order: among the tasks whose predecessors are
+/// all ordered, the one with the smallest id comes first.  Throws when the
+/// graph is cyclic.
+std::vector<TaskId> topological_order(const TaskGraph& graph);
+
+/// Task levels n_i (paper §4.2a): the accumulated execution time of every
+/// task on the longest path connecting t_i with a leaf, *including* r_i
+/// itself.  Communication weights are excluded: the level is the minimal
+/// remaining execution time on an unbounded zero-communication machine.
+std::vector<Time> task_levels(const TaskGraph& graph);
+
+/// Variant of task_levels that adds edge weights along the path; an
+/// extension used by the comm-aware HLF ablation (not part of the paper's
+/// definition).
+std::vector<Time> task_levels_with_comm(const TaskGraph& graph);
+
+/// Longest execution time on any path from a root up to (and excluding)
+/// t_i — the earliest possible start on an unbounded machine without
+/// communication.
+std::vector<Time> top_levels(const TaskGraph& graph);
+
+/// The critical path: the chain realizing the maximal accumulated execution
+/// time from a root to a leaf.
+struct CriticalPath {
+  Time length = 0;               ///< sum of durations along the chain
+  std::vector<TaskId> tasks;     ///< root-to-leaf order
+};
+CriticalPath critical_path(const TaskGraph& graph);
+
+/// Number of tasks on the longest chain (unit-length depth).
+int graph_depth(const TaskGraph& graph);
+
+/// Aggregate program characteristics in the units used by the paper's
+/// Table 1 (microseconds, percent).
+///
+/// Interpretation note: across all four Table 1 rows the printed C/C ratio
+/// equals (average communication) / (average duration) only when "Average
+/// Commun." is read as total communication *per task* (e.g. FFT:
+/// 73 x 6.41 / (73 x 72.74) = 8.8% exactly).  avg_comm_us therefore divides
+/// by the task count; the per-edge mean is reported separately.
+struct GraphStats {
+  int tasks = 0;
+  int edges = 0;
+  int roots = 0;
+  int leaves = 0;
+  int depth = 0;
+  Time total_work = 0;
+  Time total_comm = 0;
+  Time critical_path_length = 0;
+  double avg_duration_us = 0.0;   ///< "Average Duration" = T_1 / tasks
+  double avg_comm_us = 0.0;       ///< "Average Commun." = total comm / tasks
+  double avg_edge_comm_us = 0.0;  ///< mean edge weight (not a Table 1 column)
+  double cc_ratio_pct = 0.0;      ///< "C/C Ratio" = avg comm / avg duration
+  double max_speedup = 0.0;       ///< "Max. Speedup" = T_1 / critical path
+};
+GraphStats compute_stats(const TaskGraph& graph);
+
+/// Parallelism profile: for `bins` equal slices of the unbounded-machine
+/// (ASAP, zero-communication) schedule, the number of tasks executing in
+/// that slice.  Useful to eyeball the width/depth shape of a workload.
+std::vector<double> parallelism_profile(const TaskGraph& graph, int bins);
+
+}  // namespace dagsched

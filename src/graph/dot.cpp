@@ -1,0 +1,68 @@
+#include "graph/dot.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "graph/analysis.hpp"
+#include "util/string_util.hpp"
+
+namespace dagsched {
+
+namespace {
+
+std::string dot_escape(const std::string& text) {
+  std::string out;
+  for (char ch : text) {
+    if (ch == '"' || ch == '\\') out += '\\';
+    out += ch;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_dot(const TaskGraph& graph, const DotOptions& options) {
+  std::ostringstream out;
+  out << "digraph \"" << dot_escape(graph.name()) << "\" {\n";
+  out << "  rankdir=TB;\n  node [shape=box, fontsize=10];\n";
+
+  for (TaskId t = 0; t < graph.num_tasks(); ++t) {
+    out << "  n" << t << " [label=\"" << dot_escape(graph.task_name(t));
+    if (options.show_durations) {
+      out << "\\n" << format_time(graph.duration(t));
+    }
+    out << "\"];\n";
+  }
+
+  if (options.rank_by_depth && graph.num_tasks() > 0) {
+    // depth(t) = number of tasks on the longest chain ending at t.
+    std::vector<int> depth(static_cast<std::size_t>(graph.num_tasks()), 1);
+    for (const TaskId t : topological_order(graph)) {
+      for (const EdgeRef& succ : graph.successors(t)) {
+        auto& slot = depth[static_cast<std::size_t>(succ.task)];
+        slot = std::max(slot, depth[static_cast<std::size_t>(t)] + 1);
+      }
+    }
+    std::map<int, std::vector<TaskId>> by_depth;
+    for (TaskId t = 0; t < graph.num_tasks(); ++t) {
+      by_depth[depth[static_cast<std::size_t>(t)]].push_back(t);
+    }
+    for (const auto& [d, tasks] : by_depth) {
+      out << "  { rank=same;";
+      for (const TaskId t : tasks) out << " n" << t << ";";
+      out << " }\n";
+    }
+  }
+
+  for (const Edge& e : graph.edges()) {
+    out << "  n" << e.from << " -> n" << e.to;
+    if (options.show_weights) {
+      out << " [label=\"" << format_time(e.weight) << "\"]";
+    }
+    out << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace dagsched

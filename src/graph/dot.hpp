@@ -1,0 +1,20 @@
+#pragma once
+
+// Graphviz DOT export, for eyeballing workload structure.
+
+#include <string>
+
+#include "graph/taskgraph.hpp"
+
+namespace dagsched {
+
+struct DotOptions {
+  bool show_durations = true;   ///< append "\n9.12us" to node labels
+  bool show_weights = true;     ///< label edges with their message time
+  bool rank_by_depth = false;   ///< group tasks of equal depth on one rank
+};
+
+/// Renders `graph` as a DOT digraph.
+std::string to_dot(const TaskGraph& graph, const DotOptions& options = {});
+
+}  // namespace dagsched

@@ -1,0 +1,221 @@
+#include "graph/generators.hpp"
+
+#include <string>
+#include <vector>
+
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace dagsched::gen {
+
+namespace {
+
+Time random_time(Rng& rng, Time lo, Time hi) {
+  require(lo >= 0 && hi >= lo, "generator: bad time range");
+  return static_cast<Time>(rng.uniform_int(lo, hi));
+}
+
+}  // namespace
+
+TaskGraph layered_dag(const LayeredDagOptions& options) {
+  require(options.layers >= 1, "layered_dag: need at least one layer");
+  require(options.min_width >= 1 && options.max_width >= options.min_width,
+          "layered_dag: bad width range");
+  require(options.edge_probability >= 0.0 && options.edge_probability <= 1.0,
+          "layered_dag: bad edge probability");
+  Rng rng(options.seed);
+  TaskGraph graph("layered_dag");
+
+  std::vector<std::vector<TaskId>> layer_tasks(
+      static_cast<std::size_t>(options.layers));
+  for (int layer = 0; layer < options.layers; ++layer) {
+    const int width = static_cast<int>(
+        rng.uniform_int(options.min_width, options.max_width));
+    for (int i = 0; i < width; ++i) {
+      const TaskId t = graph.add_task(
+          "L" + std::to_string(layer) + "." + std::to_string(i),
+          random_time(rng, options.min_duration, options.max_duration));
+      layer_tasks[static_cast<std::size_t>(layer)].push_back(t);
+    }
+  }
+
+  for (int layer = 1; layer < options.layers; ++layer) {
+    const auto& current = layer_tasks[static_cast<std::size_t>(layer)];
+    const auto& previous = layer_tasks[static_cast<std::size_t>(layer - 1)];
+    for (const TaskId t : current) {
+      // Guaranteed predecessor keeps the depth equal to `layers`.
+      const TaskId anchor = previous[rng.uniform_index(previous.size())];
+      graph.add_edge(anchor, t,
+                     random_time(rng, options.min_weight, options.max_weight));
+      // Extra edges, possibly from deeper in the past.
+      for (int src_layer = 0; src_layer < layer; ++src_layer) {
+        const bool adjacent = src_layer == layer - 1;
+        if (!adjacent && !rng.bernoulli(options.skip_probability)) continue;
+        for (const TaskId src :
+             layer_tasks[static_cast<std::size_t>(src_layer)]) {
+          if (src == anchor || graph.has_edge(src, t)) continue;
+          if (rng.bernoulli(options.edge_probability)) {
+            graph.add_edge(
+                src, t,
+                random_time(rng, options.min_weight, options.max_weight));
+          }
+        }
+      }
+    }
+  }
+  return graph;
+}
+
+TaskGraph gnp_dag(const GnpDagOptions& options) {
+  require(options.num_tasks >= 1, "gnp_dag: need at least one task");
+  require(options.edge_probability >= 0.0 && options.edge_probability <= 1.0,
+          "gnp_dag: bad edge probability");
+  Rng rng(options.seed);
+  TaskGraph graph("gnp_dag");
+  for (int i = 0; i < options.num_tasks; ++i) {
+    graph.add_task("t" + std::to_string(i),
+                   random_time(rng, options.min_duration,
+                               options.max_duration));
+  }
+  for (TaskId i = 0; i < options.num_tasks; ++i) {
+    for (TaskId j = i + 1; j < options.num_tasks; ++j) {
+      if (rng.bernoulli(options.edge_probability)) {
+        graph.add_edge(i, j, random_time(rng, options.min_weight,
+                                         options.max_weight));
+      }
+    }
+  }
+  return graph;
+}
+
+TaskGraph fork_join(int stages, int width, Time fork_duration,
+                    Time work_duration, Time join_duration, Time weight) {
+  require(stages >= 1 && width >= 1, "fork_join: bad shape");
+  TaskGraph graph("fork_join");
+  TaskId previous_join = kInvalidTask;
+  for (int s = 0; s < stages; ++s) {
+    const TaskId fork = graph.add_task("fork" + std::to_string(s),
+                                       fork_duration);
+    if (previous_join != kInvalidTask) {
+      graph.add_edge(previous_join, fork, weight);
+    }
+    const TaskId join = graph.add_task("join" + std::to_string(s),
+                                       join_duration);
+    for (int w = 0; w < width; ++w) {
+      const TaskId work = graph.add_task(
+          "work" + std::to_string(s) + "." + std::to_string(w),
+          work_duration);
+      graph.add_edge(fork, work, weight);
+      graph.add_edge(work, join, weight);
+    }
+    previous_join = join;
+  }
+  return graph;
+}
+
+TaskGraph out_tree(int depth, int fanout, Time duration, Time weight) {
+  require(depth >= 1 && fanout >= 1, "out_tree: bad shape");
+  TaskGraph graph("out_tree");
+  std::vector<TaskId> frontier{graph.add_task("n0", duration)};
+  int counter = 1;
+  for (int level = 1; level < depth; ++level) {
+    std::vector<TaskId> next;
+    for (const TaskId parent : frontier) {
+      for (int c = 0; c < fanout; ++c) {
+        const TaskId child =
+            graph.add_task("n" + std::to_string(counter++), duration);
+        graph.add_edge(parent, child, weight);
+        next.push_back(child);
+      }
+    }
+    frontier = std::move(next);
+  }
+  return graph;
+}
+
+TaskGraph in_tree(int depth, int fanout, Time duration, Time weight) {
+  require(depth >= 1 && fanout >= 1, "in_tree: bad shape");
+  // Build the mirror of the out-tree: start from the widest layer of leaves
+  // and reduce toward the sink.
+  TaskGraph graph("in_tree");
+  int leaf_count = 1;
+  for (int level = 1; level < depth; ++level) leaf_count *= fanout;
+  int counter = 0;
+  std::vector<TaskId> frontier;
+  frontier.reserve(static_cast<std::size_t>(leaf_count));
+  for (int i = 0; i < leaf_count; ++i) {
+    frontier.push_back(graph.add_task("n" + std::to_string(counter++),
+                                      duration));
+  }
+  while (frontier.size() > 1) {
+    std::vector<TaskId> next;
+    for (std::size_t i = 0; i < frontier.size(); i += fanout) {
+      const TaskId parent =
+          graph.add_task("n" + std::to_string(counter++), duration);
+      const std::size_t end =
+          std::min(frontier.size(), i + static_cast<std::size_t>(fanout));
+      for (std::size_t j = i; j < end; ++j) {
+        graph.add_edge(frontier[j], parent, weight);
+      }
+      next.push_back(parent);
+    }
+    frontier = std::move(next);
+  }
+  return graph;
+}
+
+TaskGraph chain(int length, Time duration, Time weight) {
+  require(length >= 1, "chain: bad length");
+  TaskGraph graph("chain");
+  TaskId previous = graph.add_task("c0", duration);
+  for (int i = 1; i < length; ++i) {
+    const TaskId current = graph.add_task("c" + std::to_string(i), duration);
+    graph.add_edge(previous, current, weight);
+    previous = current;
+  }
+  return graph;
+}
+
+TaskGraph diamond(int width, Time source_duration, Time middle_duration,
+                  Time sink_duration, Time weight) {
+  require(width >= 1, "diamond: bad width");
+  TaskGraph graph("diamond");
+  const TaskId source = graph.add_task("source", source_duration);
+  const TaskId sink = graph.add_task("sink", sink_duration);
+  for (int i = 0; i < width; ++i) {
+    const TaskId mid = graph.add_task("mid" + std::to_string(i),
+                                      middle_duration);
+    graph.add_edge(source, mid, weight);
+    graph.add_edge(mid, sink, weight);
+  }
+  return graph;
+}
+
+TaskGraph independent(int count, Time duration) {
+  require(count >= 1, "independent: bad count");
+  TaskGraph graph("independent");
+  for (int i = 0; i < count; ++i) {
+    graph.add_task("t" + std::to_string(i), duration);
+  }
+  return graph;
+}
+
+TaskGraph graham_anomaly(bool reduced, Time unit) {
+  require(unit > 0, "graham_anomaly: unit must be positive");
+  TaskGraph graph(reduced ? "graham_anomaly_reduced" : "graham_anomaly");
+  const std::int64_t original[9] = {3, 2, 2, 2, 4, 4, 4, 4, 9};
+  std::vector<TaskId> tasks;
+  tasks.reserve(9);
+  for (int i = 0; i < 9; ++i) {
+    const std::int64_t units = original[i] - (reduced ? 1 : 0);
+    tasks.push_back(graph.add_task("T" + std::to_string(i + 1),
+                                   unit * units));
+  }
+  graph.add_edge(tasks[0], tasks[8], 0);  // T1 <* T9
+  for (int i = 4; i < 8; ++i) {
+    graph.add_edge(tasks[3], tasks[static_cast<std::size_t>(i)], 0);
+  }
+  return graph;
+}
+
+}  // namespace dagsched::gen

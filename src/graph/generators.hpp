@@ -1,0 +1,84 @@
+#pragma once
+
+// Synthetic taskgraph generators.
+//
+// The paper cites Adam/Chandy/Dickinson's statistical comparison over 900
+// random taskgraphs; `layered_dag` and `gnp_dag` provide equivalent random
+// families for the SA-vs-HLF sweep in bench_random_graphs.  The structured
+// families (fork_join, trees, diamond, chain) are primarily test and example
+// fodder with analytically known critical paths.  `graham_anomaly` is the
+// classic 9-task / 3-processor instance of Graham's multiprocessing timing
+// anomalies referenced in §6b.
+
+#include <cstdint>
+
+#include "graph/taskgraph.hpp"
+
+namespace dagsched::gen {
+
+/// Layered random DAG: `layers` layers of random width; every edge goes from
+/// some earlier layer to a later one, and every task in layer > 0 has at
+/// least one predecessor in the previous layer (so depth equals `layers`).
+struct LayeredDagOptions {
+  int layers = 8;
+  int min_width = 2;
+  int max_width = 8;
+  /// Probability of an extra edge between consecutive-layer task pairs
+  /// beyond the guaranteed predecessor.
+  double edge_probability = 0.25;
+  /// Probability that an extra edge may skip layers instead of connecting
+  /// adjacent layers.
+  double skip_probability = 0.1;
+  Time min_duration = us(std::int64_t{5});
+  Time max_duration = us(std::int64_t{50});
+  Time min_weight = 0;
+  Time max_weight = us(std::int64_t{16});
+  std::uint64_t seed = 1;
+};
+TaskGraph layered_dag(const LayeredDagOptions& options);
+
+/// Erdős–Rényi-style DAG: edge (i, j) for i < j with the given probability.
+/// Task order is the topological order by construction.
+struct GnpDagOptions {
+  int num_tasks = 40;
+  double edge_probability = 0.1;
+  Time min_duration = us(std::int64_t{5});
+  Time max_duration = us(std::int64_t{50});
+  Time min_weight = 0;
+  Time max_weight = us(std::int64_t{16});
+  std::uint64_t seed = 1;
+};
+TaskGraph gnp_dag(const GnpDagOptions& options);
+
+/// `stages` sequential fork-join diamonds of `width` parallel tasks each:
+/// fork -> {work x width} -> join -> fork -> ...
+TaskGraph fork_join(int stages, int width, Time fork_duration,
+                    Time work_duration, Time join_duration, Time weight);
+
+/// Out-tree (root fans out) with `depth` levels and branching `fanout`.
+TaskGraph out_tree(int depth, int fanout, Time duration, Time weight);
+
+/// In-tree (leaves reduce toward a single sink), mirror of out_tree.
+TaskGraph in_tree(int depth, int fanout, Time duration, Time weight);
+
+/// Simple chain of `length` tasks.
+TaskGraph chain(int length, Time duration, Time weight);
+
+/// source -> {width parallel tasks} -> sink.
+TaskGraph diamond(int width, Time source_duration, Time middle_duration,
+                  Time sink_duration, Time weight);
+
+/// `count` independent tasks (no edges).
+TaskGraph independent(int count, Time duration);
+
+/// Graham's classic anomaly instance (Graham 1969): nine tasks for three
+/// processors with list L = (T1..T9), durations (3,2,2,2,4,4,4,4,9) time
+/// units and precedences T1 <* T9 and T4 <* {T5,T6,T7,T8}.  With the
+/// original durations the list schedule is optimal (makespan 12 units); with
+/// every duration *reduced* by one unit the same list yields makespan 13 —
+/// executing faster finishes later.  `unit` scales one paper time unit;
+/// `reduced` selects the shortened variant.  All communication weights are
+/// zero (the anomaly is a pure-scheduling phenomenon).
+TaskGraph graham_anomaly(bool reduced, Time unit = us(std::int64_t{1}));
+
+}  // namespace dagsched::gen

@@ -1,0 +1,146 @@
+#include "graph/serialize.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/string_util.hpp"
+
+namespace dagsched {
+
+namespace {
+
+[[noreturn]] void parse_fail(int line_no, const std::string& message) {
+  throw std::runtime_error("taskgraph parse error at line " +
+                           std::to_string(line_no) + ": " + message);
+}
+
+/// Reads the next non-empty, non-comment line; returns false at EOF.
+bool next_content_line(std::istream& in, std::string& line, int& line_no) {
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view trimmed = trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    line = std::string(trimmed);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string to_text(const TaskGraph& graph) {
+  std::ostringstream out;
+  std::string name = graph.name().empty() ? "unnamed" : graph.name();
+  for (char& ch : name) {
+    if (std::isspace(static_cast<unsigned char>(ch))) ch = '_';
+  }
+  out << "taskgraph " << name << "\n";
+  out << "tasks " << graph.num_tasks() << "\n";
+  for (TaskId t = 0; t < graph.num_tasks(); ++t) {
+    out << t << " " << graph.duration(t) << " " << graph.task_name(t) << "\n";
+  }
+  out << "edges " << graph.num_edges() << "\n";
+  for (const Edge& e : graph.edges()) {
+    out << e.from << " " << e.to << " " << e.weight << "\n";
+  }
+  return out.str();
+}
+
+TaskGraph from_text(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+
+  if (!next_content_line(in, line, line_no)) {
+    parse_fail(line_no, "empty document");
+  }
+  std::istringstream header(line);
+  std::string keyword, graph_name;
+  header >> keyword >> graph_name;
+  if (keyword != "taskgraph" || graph_name.empty()) {
+    parse_fail(line_no, "expected 'taskgraph <name>'");
+  }
+  TaskGraph graph(graph_name);
+
+  if (!next_content_line(in, line, line_no)) {
+    parse_fail(line_no, "expected 'tasks <N>'");
+  }
+  std::istringstream tasks_header(line);
+  long task_count = -1;
+  tasks_header >> keyword >> task_count;
+  if (keyword != "tasks" || task_count < 0) {
+    parse_fail(line_no, "expected 'tasks <N>'");
+  }
+
+  for (long i = 0; i < task_count; ++i) {
+    if (!next_content_line(in, line, line_no)) {
+      parse_fail(line_no, "unexpected end of task list");
+    }
+    std::istringstream row(line);
+    long id = -1;
+    long long duration = -1;
+    std::string task_name;
+    row >> id >> duration;
+    std::getline(row, task_name);
+    task_name = std::string(trim(task_name));
+    if (id != i) parse_fail(line_no, "task ids must be dense and in order");
+    if (duration < 0) parse_fail(line_no, "negative or missing duration");
+    if (task_name.empty()) task_name = "t" + std::to_string(id);
+    graph.add_task(task_name, static_cast<Time>(duration));
+  }
+
+  if (!next_content_line(in, line, line_no)) {
+    parse_fail(line_no, "expected 'edges <M>'");
+  }
+  std::istringstream edges_header(line);
+  long edge_count = -1;
+  edges_header >> keyword >> edge_count;
+  if (keyword != "edges" || edge_count < 0) {
+    parse_fail(line_no, "expected 'edges <M>'");
+  }
+
+  for (long i = 0; i < edge_count; ++i) {
+    if (!next_content_line(in, line, line_no)) {
+      parse_fail(line_no, "unexpected end of edge list");
+    }
+    std::istringstream row(line);
+    long from = -1, to = -1;
+    long long weight = -1;
+    row >> from >> to >> weight;
+    if (row.fail() || weight < 0) {
+      parse_fail(line_no, "expected '<from> <to> <weight_ns>'");
+    }
+    try {
+      graph.add_edge(static_cast<TaskId>(from), static_cast<TaskId>(to),
+                     static_cast<Time>(weight));
+    } catch (const std::invalid_argument& err) {
+      parse_fail(line_no, err.what());
+    }
+  }
+
+  if (next_content_line(in, line, line_no)) {
+    parse_fail(line_no, "trailing content after edge list");
+  }
+  if (!graph.is_acyclic()) {
+    parse_fail(line_no, "edge relation has a cycle");
+  }
+  return graph;
+}
+
+bool write_text_file(const TaskGraph& graph, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << to_text(graph);
+  return static_cast<bool>(out);
+}
+
+TaskGraph read_text_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open taskgraph file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return from_text(buffer.str());
+}
+
+}  // namespace dagsched

@@ -1,0 +1,33 @@
+#pragma once
+
+// Plain-text serialization of taskgraphs.
+//
+// Format (line-oriented, '#' starts a comment):
+//
+//   taskgraph <name-with-no-spaces>
+//   tasks <N>
+//   <id> <duration_ns> <name>          (N lines, ids must be 0..N-1 in order)
+//   edges <M>
+//   <from> <to> <weight_ns>            (M lines)
+//
+// The format round-trips exactly (integer times).
+
+#include <string>
+
+#include "graph/taskgraph.hpp"
+
+namespace dagsched {
+
+/// Serializes `graph` to the text format above.
+std::string to_text(const TaskGraph& graph);
+
+/// Parses the text format; throws std::runtime_error with a line number on
+/// malformed input.
+TaskGraph from_text(const std::string& text);
+
+/// File convenience wrappers.  Reading throws std::runtime_error when the
+/// file cannot be opened; writing returns false on failure.
+bool write_text_file(const TaskGraph& graph, const std::string& path);
+TaskGraph read_text_file(const std::string& path);
+
+}  // namespace dagsched

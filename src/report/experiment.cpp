@@ -1,0 +1,73 @@
+#include "report/experiment.hpp"
+
+#include "topology/builders.hpp"
+#include "util/require.hpp"
+#include "workloads/registry.hpp"
+
+namespace dagsched::report {
+
+std::string program_key(const std::string& graph_name) {
+  if (graph_name == "newton_euler") return "NE";
+  if (graph_name == "gauss_jordan") return "GJ";
+  if (graph_name == "matmul") return "MM";
+  if (graph_name == "fft") return "FFT";
+  return graph_name;
+}
+
+ComparisonRow compare_sa_hlf(const std::string& program_name,
+                             const TaskGraph& graph, const Topology& topology,
+                             const CommModel& comm,
+                             const CompareOptions& options) {
+  require(options.sa_seeds >= 1, "compare_sa_hlf: need at least one SA seed");
+  ComparisonRow row;
+  row.program = program_name;
+  row.topology = topology.name();
+  row.with_comm = comm.enabled;
+
+  const Time total_work = graph.total_work();
+  sim::SimOptions sim_options;
+  sim_options.record_trace = false;  // speed: the sweep needs numbers only
+
+  sched::HlfScheduler hlf(options.hlf_placement);
+  const sim::SimResult hlf_result =
+      sim::simulate(graph, topology, comm, hlf, sim_options);
+  row.hlf_makespan = hlf_result.makespan;
+  row.hlf_speedup = hlf_result.speedup(total_work);
+
+  row.sa_makespan = kTimeInfinity;
+  for (int i = 0; i < options.sa_seeds; ++i) {
+    sa::SaSchedulerOptions sa_options;
+    sa_options.anneal = options.anneal;
+    sa_options.seed = options.first_seed + static_cast<std::uint64_t>(i);
+    sa::SaScheduler scheduler(sa_options);
+    const sim::SimResult result =
+        sim::simulate(graph, topology, comm, scheduler, sim_options);
+    if (result.makespan < row.sa_makespan) {
+      row.sa_makespan = result.makespan;
+      row.sa_speedup = result.speedup(total_work);
+      row.sa_best_seed = sa_options.seed;
+      row.sa_stats = scheduler.stats();
+    }
+  }
+  return row;
+}
+
+std::vector<ComparisonRow> table2_sweep(const CompareOptions& options) {
+  std::vector<ComparisonRow> rows;
+  const std::vector<Topology> topologies = {
+      topo::hypercube(3), topo::bus(8), topo::ring(9)};
+  for (const workloads::Workload& workload : workloads::paper_programs()) {
+    const std::string key = program_key(workload.graph.name());
+    for (const bool with_comm : {false, true}) {
+      const CommModel comm = with_comm ? CommModel::paper_default()
+                                       : CommModel::disabled();
+      for (const Topology& topology : topologies) {
+        rows.push_back(compare_sa_hlf(key, workload.graph, topology, comm,
+                                      options));
+      }
+    }
+  }
+  return rows;
+}
+
+}  // namespace dagsched::report

@@ -1,0 +1,63 @@
+#pragma once
+
+// The SA-vs-HLF comparison harness behind Table 2 and the ablation benches.
+//
+// SA is a stochastic algorithm; following common practice (the paper reports
+// single tuned results) each comparison runs SA for `sa_seeds` seeds and
+// reports the best schedule, while HLF is deterministic.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/sa_scheduler.hpp"
+#include "sched/hlf.hpp"
+#include "sim/engine.hpp"
+#include "workloads/workload.hpp"
+
+namespace dagsched::report {
+
+struct CompareOptions {
+  int sa_seeds = 3;                   ///< SA restarts; best result wins
+  std::uint64_t first_seed = 1;
+  sa::AnnealOptions anneal;           ///< annealer configuration
+  sched::HlfPlacement hlf_placement = sched::HlfPlacement::FirstIdle;
+};
+
+/// The outcome of one (program, topology, comm) comparison.
+struct ComparisonRow {
+  std::string program;
+  std::string topology;
+  bool with_comm = false;
+
+  double sa_speedup = 0.0;
+  double hlf_speedup = 0.0;
+  Time sa_makespan = 0;
+  Time hlf_makespan = 0;
+  std::uint64_t sa_best_seed = 0;
+  sa::SaRunStats sa_stats;  ///< of the best seed's run
+
+  double gain_pct() const {
+    return hlf_speedup == 0.0
+               ? 0.0
+               : 100.0 * (sa_speedup - hlf_speedup) / hlf_speedup;
+  }
+};
+
+/// Runs HLF once and SA `sa_seeds` times on (graph, topology, comm) and
+/// returns the comparison.  `program_name` and the topology name label the
+/// row.
+ComparisonRow compare_sa_hlf(const std::string& program_name,
+                             const TaskGraph& graph, const Topology& topology,
+                             const CommModel& comm,
+                             const CompareOptions& options = {});
+
+/// The full Table 2 sweep: the paper's four programs x
+/// {hypercube8, bus8, ring9} x {without, with} communication, in the
+/// paper's row order.
+std::vector<ComparisonRow> table2_sweep(const CompareOptions& options = {});
+
+/// Short program key ("NE", "GJ", "MM", "FFT") from a workload graph name.
+std::string program_key(const std::string& graph_name);
+
+}  // namespace dagsched::report

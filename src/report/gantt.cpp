@@ -1,0 +1,117 @@
+#include "report/gantt.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "util/require.hpp"
+#include "util/string_util.hpp"
+
+namespace dagsched::report {
+
+namespace {
+
+/// Cycling task glyphs: 0-9, a-z, A-Z.
+char task_glyph(TaskId task) {
+  static const char kGlyphs[] =
+      "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+  return kGlyphs[static_cast<std::size_t>(task) % 62];
+}
+
+}  // namespace
+
+std::string render_gantt(const TaskGraph& graph, const Topology& topology,
+                         const sim::Trace& trace,
+                         const GanttOptions& options) {
+  require(options.width >= 10, "render_gantt: width too small");
+
+  Time end = options.window_end;
+  if (end <= 0) {
+    for (const sim::TaskSegment& seg : trace.task_segments) {
+      end = std::max(end, seg.end);
+    }
+    for (const sim::CommSegment& seg : trace.comm_segments) {
+      end = std::max(end, seg.end);
+    }
+  }
+  const Time begin = options.window_start;
+  require(end > begin, "render_gantt: empty time window");
+  const double scale = static_cast<double>(options.width) /
+                       static_cast<double>(end - begin);
+
+  auto column = [&](Time t) {
+    const double pos = static_cast<double>(t - begin) * scale;
+    return std::clamp(static_cast<int>(pos), 0, options.width - 1);
+  };
+  auto paint = [&](std::string& line, Time t0, Time t1, char glyph) {
+    if (t1 <= begin || t0 >= end) return;
+    const int c0 = column(std::max(t0, begin));
+    // Half-open interval: the end column is exclusive unless it would make
+    // the block invisible.
+    int c1 = column(std::max(std::min(t1, end) - 1, begin));
+    c1 = std::max(c1, c0);
+    for (int c = c0; c <= c1; ++c) {
+      line[static_cast<std::size_t>(c)] = glyph;
+    }
+  };
+
+  std::ostringstream out;
+  const std::string margin(7, ' ');
+  for (ProcId p = 0; p < topology.num_procs(); ++p) {
+    std::string send_row(static_cast<std::size_t>(options.width), ' ');
+    std::string task_row(static_cast<std::size_t>(options.width), '.');
+    std::string recv_row(static_cast<std::size_t>(options.width), ' ');
+
+    for (const sim::TaskSegment& seg : trace.task_segments) {
+      if (seg.proc != p) continue;
+      paint(task_row, seg.start, seg.end, task_glyph(seg.task));
+    }
+    if (options.show_comm_rows) {
+      for (const sim::CommSegment& seg : trace.comm_segments) {
+        if (seg.proc != p) continue;
+        switch (seg.kind) {
+          case sim::CommKind::Send:
+            paint(send_row, seg.start, seg.end, 'S');
+            break;
+          case sim::CommKind::Route:
+            paint(send_row, seg.start, seg.end, 'r');
+            break;
+          case sim::CommKind::Receive:
+            paint(recv_row, seg.start, seg.end, 'R');
+            break;
+        }
+      }
+      out << margin << send_row << "\n";
+    }
+    out << pad_right("P" + std::to_string(p), 6) << " " << task_row << "\n";
+    if (options.show_comm_rows) {
+      out << margin << recv_row << "\n";
+    }
+  }
+
+  // Time axis.
+  std::string axis(static_cast<std::size_t>(options.width), '-');
+  out << margin << axis << "\n";
+  out << margin << pad_right(format_time(begin), options.width - 10)
+      << pad_left(format_time(end), 10) << "\n";
+
+  if (options.show_legend) {
+    out << "legend: digits/letters = task execution (glyph cycles task "
+           "ids), S = send, R = receive, r = route, . = idle\n";
+    out << "tasks: ";
+    int shown = 0;
+    for (const sim::TaskRecord& rec : trace.tasks) {
+      if (rec.proc == kInvalidProc) continue;
+      if (shown >= 12) {
+        out << "...";
+        break;
+      }
+      out << task_glyph(rec.task) << "=" << graph.task_name(rec.task) << " ";
+      ++shown;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace dagsched::report

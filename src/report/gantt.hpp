@@ -1,0 +1,34 @@
+#pragma once
+
+// ASCII Gantt rendering of a simulated trace — the textual analogue of the
+// paper's Figure 2.  Each processor occupies three lines:
+//
+//   P0 ^ S S       r             <- send (S) and route (r) handling
+//      | 000111122  33333        <- task execution (digits/letters cycle
+//      v      R   R              <- receive handling (R)        task ids)
+//
+// so the half-height send/receive blocks above/below the base line and the
+// quarter-height routing blocks of the paper's figure all have a place.
+
+#include <string>
+
+#include "graph/taskgraph.hpp"
+#include "sim/trace.hpp"
+#include "topology/topology.hpp"
+
+namespace dagsched::report {
+
+struct GanttOptions {
+  int width = 100;          ///< character columns for the time axis
+  Time window_start = 0;    ///< left edge of the rendered window
+  Time window_end = 0;      ///< right edge; 0 means the trace end
+  bool show_comm_rows = true;
+  bool show_legend = true;
+};
+
+/// Renders the trace as a multi-line string.
+std::string render_gantt(const TaskGraph& graph, const Topology& topology,
+                         const sim::Trace& trace,
+                         const GanttOptions& options = {});
+
+}  // namespace dagsched::report

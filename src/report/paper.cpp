@@ -1,0 +1,52 @@
+#include "report/paper.hpp"
+
+namespace dagsched::report {
+
+const std::vector<PaperSpeedup>& paper_table2() {
+  // Transcribed from Table 2 of the paper.  "Bus" rows use 8 processors,
+  // "Ring" rows 9 (the paper's "(9p)" annotation).
+  static const std::vector<PaperSpeedup> kTable = {
+      {"NE", "hypercube8p", false, 7.20, 6.90},
+      {"NE", "bus8p", false, 7.20, 6.90},
+      {"NE", "ring9p", false, 8.00, 8.00},
+      {"NE", "hypercube8p", true, 5.60, 4.90},
+      {"NE", "bus8p", true, 6.20, 5.20},
+      {"NE", "ring9p", true, 5.50, 3.60},
+
+      {"GJ", "hypercube8p", false, 6.67, 6.67},
+      {"GJ", "bus8p", false, 6.76, 6.67},
+      {"GJ", "ring9p", false, 8.25, 8.25},
+      {"GJ", "hypercube8p", true, 4.80, 4.64},
+      {"GJ", "bus8p", true, 4.93, 4.74},
+      {"GJ", "ring9p", true, 5.02, 4.77},
+
+      {"MM", "hypercube8p", false, 7.75, 7.75},
+      {"MM", "bus8p", false, 7.75, 7.75},
+      {"MM", "ring9p", false, 8.38, 8.38},
+      {"MM", "hypercube8p", true, 6.11, 5.19},
+      {"MM", "bus8p", true, 6.34, 5.71},
+      {"MM", "ring9p", true, 6.04, 4.96},
+
+      {"FFT", "hypercube8p", false, 7.38, 7.38},
+      {"FFT", "bus8p", false, 7.48, 7.38},
+      {"FFT", "ring9p", false, 8.43, 8.43},
+      {"FFT", "hypercube8p", true, 6.23, 4.93},
+      {"FFT", "bus8p", true, 6.27, 5.58},
+      {"FFT", "ring9p", true, 5.97, 5.10},
+  };
+  return kTable;
+}
+
+std::optional<PaperSpeedup> paper_speedup(const std::string& program,
+                                          const std::string& topology,
+                                          bool with_comm) {
+  for (const PaperSpeedup& cell : paper_table2()) {
+    if (cell.program == program && cell.topology == topology &&
+        cell.with_comm == with_comm) {
+      return cell;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace dagsched::report

@@ -1,0 +1,32 @@
+#pragma once
+
+// The published reference numbers (Tables 1 and 2 of the paper), kept in
+// one place so every bench prints paper-vs-measured from the same source.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dagsched::report {
+
+/// One Table 2 cell: published speedups of SA and HLF for a program on an
+/// architecture, with or without communication.
+struct PaperSpeedup {
+  std::string program;   ///< "NE", "GJ", "MM", "FFT"
+  std::string topology;  ///< "hypercube8p", "bus8p", "ring9p"
+  bool with_comm = false;
+  double sa = 0.0;
+  double hlf = 0.0;
+
+  double gain_pct() const { return 100.0 * (sa - hlf) / hlf; }
+};
+
+/// All 24 published Table 2 cells.
+const std::vector<PaperSpeedup>& paper_table2();
+
+/// Looks up one cell; empty when the combination is not in the paper.
+std::optional<PaperSpeedup> paper_speedup(const std::string& program,
+                                          const std::string& topology,
+                                          bool with_comm);
+
+}  // namespace dagsched::report

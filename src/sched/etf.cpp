@@ -1,0 +1,46 @@
+#include "sched/etf.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace dagsched::sched {
+
+void EtfScheduler::on_epoch(sim::EpochContext& ctx) {
+  std::vector<TaskId> tasks(ctx.ready_tasks().begin(),
+                            ctx.ready_tasks().end());
+  std::vector<ProcId> procs(ctx.idle_procs().begin(),
+                            ctx.idle_procs().end());
+
+  while (!tasks.empty() && !procs.empty()) {
+    std::size_t best_task = 0;
+    std::size_t best_proc = 0;
+    Time best_ready = kTimeInfinity;
+    Time best_level = -1;
+    for (std::size_t ti = 0; ti < tasks.size(); ++ti) {
+      const Time level =
+          ctx.levels()[static_cast<std::size_t>(tasks[ti])];
+      for (std::size_t pi = 0; pi < procs.size(); ++pi) {
+        const Time ready = incoming_comm_cost(ctx, tasks[ti], procs[pi]);
+        const bool better =
+            ready < best_ready ||
+            (ready == best_ready &&
+             (level > best_level ||
+              (level == best_level &&
+               (tasks[ti] < tasks[best_task] ||
+                (tasks[ti] == tasks[best_task] &&
+                 procs[pi] < procs[best_proc])))));
+        if (better) {
+          best_task = ti;
+          best_proc = pi;
+          best_ready = ready;
+          best_level = level;
+        }
+      }
+    }
+    ctx.assign(tasks[best_task], procs[best_proc]);
+    tasks.erase(tasks.begin() + static_cast<std::ptrdiff_t>(best_task));
+    procs.erase(procs.begin() + static_cast<std::ptrdiff_t>(best_proc));
+  }
+}
+
+}  // namespace dagsched::sched

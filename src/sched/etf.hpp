@@ -1,0 +1,22 @@
+#pragma once
+
+// ETF-style baseline: Earliest (estimated) Start Time First, communication
+// aware.  At each epoch the scheduler repeatedly picks the (ready task,
+// idle processor) pair whose estimated start time — the epoch instant plus
+// the eq. 4 analytic cost of moving the task's inputs to that processor —
+// is smallest, breaking ties toward the higher task level and then the
+// lower ids.  A classic greedy contemporary of the paper's HLF baseline,
+// provided as an additional comparison point: it shares SA's cost signal
+// but not its ability to escape greedy decisions.
+
+#include "sched/policy.hpp"
+
+namespace dagsched::sched {
+
+class EtfScheduler : public sim::SchedulingPolicy {
+ public:
+  void on_epoch(sim::EpochContext& ctx) override;
+  std::string name() const override { return "ETF"; }
+};
+
+}  // namespace dagsched::sched

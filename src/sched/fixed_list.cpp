@@ -1,0 +1,38 @@
+#include "sched/fixed_list.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace dagsched::sched {
+
+FixedListScheduler::FixedListScheduler(std::vector<TaskId> priority_list)
+    : list_(std::move(priority_list)) {}
+
+void FixedListScheduler::on_run_start(const TaskGraph& graph, const Topology&,
+                                      const CommModel&) {
+  require(static_cast<int>(list_.size()) == graph.num_tasks(),
+          "FixedListScheduler: list size differs from the task count");
+  rank_.assign(list_.size(), -1);
+  for (std::size_t pos = 0; pos < list_.size(); ++pos) {
+    const TaskId t = list_[pos];
+    require(graph.is_valid_task(t), "FixedListScheduler: bad task in list");
+    require(rank_[static_cast<std::size_t>(t)] == -1,
+            "FixedListScheduler: duplicate task in list");
+    rank_[static_cast<std::size_t>(t)] = static_cast<int>(pos);
+  }
+}
+
+void FixedListScheduler::on_epoch(sim::EpochContext& ctx) {
+  std::vector<TaskId> order(ctx.ready_tasks().begin(),
+                            ctx.ready_tasks().end());
+  std::sort(order.begin(), order.end(), [this](TaskId a, TaskId b) {
+    return rank_[static_cast<std::size_t>(a)] <
+           rank_[static_cast<std::size_t>(b)];
+  });
+  const std::span<const ProcId> idle = ctx.idle_procs();
+  const std::size_t count = std::min(order.size(), idle.size());
+  for (std::size_t i = 0; i < count; ++i) ctx.assign(order[i], idle[i]);
+}
+
+}  // namespace dagsched::sched

@@ -1,0 +1,34 @@
+#pragma once
+
+// Classic Graham list scheduling with an externally supplied priority list:
+// at every epoch the ready task appearing earliest in the list is assigned
+// to the lowest-numbered idle processor, and so on while both exist.
+//
+// This is the scheduler of Graham's anomaly study [Graham 1969] — see
+// gen::graham_anomaly() — where *shortening* every task can lengthen the
+// schedule produced from the same list.
+
+#include <vector>
+
+#include "sim/scheduler_api.hpp"
+
+namespace dagsched::sched {
+
+class FixedListScheduler : public sim::SchedulingPolicy {
+ public:
+  /// `priority_list` must be a permutation of all task ids of the graph the
+  /// scheduler is run on (checked at run start).
+  explicit FixedListScheduler(std::vector<TaskId> priority_list);
+
+  void on_epoch(sim::EpochContext& ctx) override;
+  std::string name() const override { return "fixed-list"; }
+
+ private:
+  std::vector<TaskId> list_;
+  std::vector<int> rank_;  ///< rank_[task] = position in the list
+
+  void on_run_start(const TaskGraph& graph, const Topology&,
+                    const CommModel&) override;
+};
+
+}  // namespace dagsched::sched

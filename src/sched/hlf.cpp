@@ -1,0 +1,63 @@
+#include "sched/hlf.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace dagsched::sched {
+
+HlfScheduler::HlfScheduler(HlfPlacement placement, std::uint64_t seed)
+    : placement_(placement), seed_(seed), draw_state_(seed) {}
+
+void HlfScheduler::on_run_start(const TaskGraph&, const Topology&,
+                                const CommModel&) {
+  draw_state_ = seed_;  // identical runs draw identical placements
+}
+
+void HlfScheduler::on_epoch(sim::EpochContext& ctx) {
+  const std::vector<TaskId> order = ready_by_level(ctx);
+  std::vector<ProcId> free(ctx.idle_procs().begin(), ctx.idle_procs().end());
+  Rng rng(draw_state_);
+
+  const std::size_t count = std::min(order.size(), free.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    const TaskId task = order[i];
+    std::size_t pick = 0;
+    switch (placement_) {
+      case HlfPlacement::FirstIdle:
+        pick = 0;
+        break;
+      case HlfPlacement::Random:
+        pick = rng.uniform_index(free.size());
+        break;
+      case HlfPlacement::MinComm: {
+        Time best = incoming_comm_cost(ctx, task, free[0]);
+        for (std::size_t j = 1; j < free.size(); ++j) {
+          const Time cost = incoming_comm_cost(ctx, task, free[j]);
+          if (cost < best) {
+            best = cost;
+            pick = j;
+          }
+        }
+        break;
+      }
+    }
+    ctx.assign(task, free[pick]);
+    free.erase(free.begin() + static_cast<std::ptrdiff_t>(pick));
+  }
+  draw_state_ = rng.next_u64();  // advance the stream across epochs
+}
+
+std::string HlfScheduler::name() const {
+  switch (placement_) {
+    case HlfPlacement::FirstIdle:
+      return "HLF";
+    case HlfPlacement::Random:
+      return "HLF-random";
+    case HlfPlacement::MinComm:
+      return "HLF-mincomm";
+  }
+  return "HLF";
+}
+
+}  // namespace dagsched::sched

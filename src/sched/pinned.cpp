@@ -1,0 +1,52 @@
+#include "sched/pinned.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace dagsched::sched {
+
+PinnedScheduler::PinnedScheduler(std::vector<ProcId> mapping)
+    : mapping_(std::move(mapping)) {}
+
+void PinnedScheduler::on_run_start(const TaskGraph& graph,
+                                   const Topology& topology,
+                                   const CommModel&) {
+  require(static_cast<int>(mapping_.size()) == graph.num_tasks(),
+          "PinnedScheduler: mapping size differs from the task count");
+  for (const ProcId p : mapping_) {
+    require(topology.is_valid_proc(p),
+            "PinnedScheduler: mapping names a missing processor");
+  }
+}
+
+void PinnedScheduler::on_epoch(sim::EpochContext& ctx) {
+  // When several ready tasks are pinned to the same processor, dispatch
+  // the highest-level one first (ties: lowest id) — the same priority the
+  // list schedulers use, so replaying a placement does not lose schedule
+  // quality to arbitrary intra-processor ordering.
+  std::vector<TaskId> order(ctx.ready_tasks().begin(),
+                            ctx.ready_tasks().end());
+  const std::vector<Time>& levels = ctx.levels();
+  std::stable_sort(order.begin(), order.end(),
+                   [&levels](TaskId a, TaskId b) {
+                     const Time la = levels[static_cast<std::size_t>(a)];
+                     const Time lb = levels[static_cast<std::size_t>(b)];
+                     if (la != lb) return la > lb;
+                     return a < b;
+                   });
+  std::vector<ProcId> used;
+  for (const TaskId task : order) {
+    const ProcId target = mapping_[static_cast<std::size_t>(task)];
+    const bool idle = std::binary_search(ctx.idle_procs().begin(),
+                                         ctx.idle_procs().end(), target);
+    const bool taken =
+        std::find(used.begin(), used.end(), target) != used.end();
+    if (idle && !taken) {
+      ctx.assign(task, target);
+      used.push_back(target);
+    }
+  }
+}
+
+}  // namespace dagsched::sched

@@ -1,0 +1,31 @@
+#pragma once
+
+// Static-mapping scheduler: every task has a fixed target processor and is
+// assigned there as soon as both the task is ready and the processor idle.
+//
+// Useful to (a) replay an externally computed mapping through the
+// simulator, and (b) construct exactly-known schedules in tests.
+
+#include <vector>
+
+#include "sim/scheduler_api.hpp"
+
+namespace dagsched::sched {
+
+class PinnedScheduler : public sim::SchedulingPolicy {
+ public:
+  /// `mapping[t]` is the processor task t must run on; must cover every
+  /// task of the graph (checked at run start).
+  explicit PinnedScheduler(std::vector<ProcId> mapping);
+
+  void on_epoch(sim::EpochContext& ctx) override;
+  std::string name() const override { return "pinned"; }
+
+ private:
+  std::vector<ProcId> mapping_;
+
+  void on_run_start(const TaskGraph& graph, const Topology& topology,
+                    const CommModel&) override;
+};
+
+}  // namespace dagsched::sched

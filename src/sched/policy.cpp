@@ -1,0 +1,34 @@
+#include "sched/policy.hpp"
+
+#include <algorithm>
+
+namespace dagsched::sched {
+
+Time incoming_comm_cost(const sim::EpochContext& ctx, TaskId task,
+                        ProcId proc) {
+  const CommModel& comm = ctx.comm();
+  if (!comm.enabled) return 0;
+  Time cost = 0;
+  for (const EdgeRef& pred : ctx.graph().predecessors(task)) {
+    const ProcId src = ctx.placement()[static_cast<std::size_t>(pred.task)];
+    cost += comm.analytic_cost(pred.weight,
+                               ctx.topology().distance(src, proc));
+  }
+  return cost;
+}
+
+std::vector<TaskId> ready_by_level(const sim::EpochContext& ctx) {
+  std::vector<TaskId> order(ctx.ready_tasks().begin(),
+                            ctx.ready_tasks().end());
+  const std::vector<Time>& levels = ctx.levels();
+  std::stable_sort(order.begin(), order.end(),
+                   [&levels](TaskId a, TaskId b) {
+                     const Time la = levels[static_cast<std::size_t>(a)];
+                     const Time lb = levels[static_cast<std::size_t>(b)];
+                     if (la != lb) return la > lb;
+                     return a < b;
+                   });
+  return order;
+}
+
+}  // namespace dagsched::sched

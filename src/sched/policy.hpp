@@ -1,0 +1,21 @@
+#pragma once
+
+// Shared helpers for concrete scheduling policies.
+
+#include <vector>
+
+#include "sim/scheduler_api.hpp"
+
+namespace dagsched::sched {
+
+/// Analytic communication cost (eq. 4) of running `task` on `proc`: the sum
+/// over the task's predecessors of the cost of moving their messages from
+/// the predecessor's processor.  Zero when communication is disabled.
+Time incoming_comm_cost(const sim::EpochContext& ctx, TaskId task,
+                        ProcId proc);
+
+/// Ready tasks sorted by decreasing level n_i (ties: ascending id) — the
+/// Highest-Level-First candidate order.
+std::vector<TaskId> ready_by_level(const sim::EpochContext& ctx);
+
+}  // namespace dagsched::sched

@@ -1,0 +1,28 @@
+#pragma once
+
+// Uniformly random scheduler: random ready tasks onto random idle
+// processors.  A sanity baseline — every serious policy should beat it —
+// and a stress generator for the simulator's property tests.
+
+#include <cstdint>
+
+#include "sim/scheduler_api.hpp"
+
+namespace dagsched::sched {
+
+class RandomScheduler : public sim::SchedulingPolicy {
+ public:
+  explicit RandomScheduler(std::uint64_t seed = 1);
+
+  void on_epoch(sim::EpochContext& ctx) override;
+  std::string name() const override { return "random"; }
+
+ private:
+  std::uint64_t seed_;
+  std::uint64_t draw_state_;
+
+  void on_run_start(const TaskGraph&, const Topology&,
+                    const CommModel&) override;
+};
+
+}  // namespace dagsched::sched

@@ -1,0 +1,563 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "graph/analysis.hpp"
+#include "sim/machine.hpp"
+#include "util/require.hpp"
+
+namespace dagsched::sim {
+
+double SimResult::speedup(Time total_work) const {
+  require(total_work >= 0, "SimResult::speedup: negative total work");
+  if (makespan <= 0) return 0.0;
+  return static_cast<double>(total_work) / static_cast<double>(makespan);
+}
+
+double SimResult::utilization() const {
+  if (makespan <= 0 || proc_busy.empty()) return 0.0;
+  Time busy = 0;
+  for (Time t : proc_busy) busy += t;
+  return static_cast<double>(busy) /
+         (static_cast<double>(makespan) *
+          static_cast<double>(proc_busy.size()));
+}
+
+namespace {
+
+enum class EventType { TaskDone, CommDone, TransferDone };
+
+struct Event {
+  Time time = 0;
+  std::uint64_t seq = 0;  ///< FIFO tie-break for equal times
+  EventType type = EventType::TaskDone;
+  ProcId proc = kInvalidProc;    // TaskDone, CommDone
+  std::uint64_t gen = 0;         // TaskDone staleness guard
+  int message = -1;              // TransferDone
+};
+
+struct EventLater {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+/// In-flight interprocessor message.
+struct MessageState {
+  int id = -1;
+  TaskId producer = kInvalidTask;
+  TaskId consumer = kInvalidTask;
+  ProcId src = kInvalidProc;
+  ProcId dst = kInvalidProc;
+  Time weight = 0;
+  std::vector<ProcId> path;   ///< src .. dst inclusive
+  std::size_t hop = 0;        ///< index into path of the node holding it
+  Time launched = 0;
+  Time transfer_start = 0;    ///< start of the transfer currently in flight
+};
+
+/// Single-run state machine.  ExecutionEngine::run() builds one of these per
+/// call so the engine itself stays reusable.
+class Run {
+ public:
+  Run(const TaskGraph& graph, const Topology& topology, const CommModel& comm,
+      SchedulingPolicy& policy, const SimOptions& options)
+      : graph_(graph),
+        topology_(topology),
+        comm_(comm),
+        policy_(policy),
+        options_(options),
+        machine_(topology),
+        placement_(static_cast<std::size_t>(graph.num_tasks()), kInvalidProc),
+        unfinished_preds_(static_cast<std::size_t>(graph.num_tasks()), 0),
+        task_started_(static_cast<std::size_t>(graph.num_tasks()), false),
+        sigma_state_(static_cast<std::size_t>(graph.num_tasks()),
+                     SigmaState::NotPaid),
+        pending_after_sigma_(static_cast<std::size_t>(graph.num_tasks())),
+        task_records_(static_cast<std::size_t>(graph.num_tasks())),
+        levels_(task_levels(graph)),
+        proc_busy_(static_cast<std::size_t>(topology.num_procs()), 0) {}
+
+  SimResult execute();
+
+ private:
+  // --- event plumbing ------------------------------------------------------
+  void push_event(Event event) {
+    event.seq = next_seq_++;
+    events_.push(event);
+  }
+
+  // --- processor-side comm handling ---------------------------------------
+  void record_task_span(ProcId p, TaskId task, Time start, Time end,
+                        bool completes);
+  void enqueue_comm(ProcId p, CommJob job);
+  void dispatch_cpu(ProcId p);
+  void on_comm_done(ProcId p);
+
+  // --- task execution ------------------------------------------------------
+  void try_start_reserved(ProcId p);
+  void schedule_task_done(ProcId p);
+  void on_task_done(ProcId p, std::uint64_t gen);
+
+  // --- message transport ---------------------------------------------------
+  void launch_message(TaskId producer, TaskId consumer, Time weight,
+                      ProcId src, ProcId dst);
+  void request_transfer(int message);
+  void begin_transfer(int message);
+  void on_transfer_done(int message);
+  void deliver(int message);
+
+  // --- scheduling ----------------------------------------------------------
+  void run_epoch();
+  void apply_assignment(TaskId task, ProcId p, int epoch_index);
+
+  const TaskGraph& graph_;
+  const Topology& topology_;
+  const CommModel& comm_;
+  SchedulingPolicy& policy_;
+  const SimOptions& options_;
+
+  enum class SigmaState { NotPaid, Paying, Paid };
+
+  MachineState machine_;
+  std::vector<ProcId> placement_;
+  std::vector<int> unfinished_preds_;
+  std::vector<bool> task_started_;
+  std::vector<SigmaState> sigma_state_;
+  std::vector<std::vector<int>> pending_after_sigma_;
+  std::vector<TaskRecord> task_records_;
+  std::vector<Time> levels_;
+  std::vector<Time> proc_busy_;
+  std::vector<TaskId> ready_pool_;  ///< ready & unassigned, kept sorted
+  std::vector<MessageState> messages_;
+  std::vector<Time> comm_start_;  ///< per-proc start of the active comm job
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  std::uint64_t next_seq_ = 0;
+  Time now_ = 0;
+  int finished_count_ = 0;
+  int epoch_count_ = 0;
+  bool epoch_trigger_ = true;
+  Time makespan_ = 0;
+  Time total_comm_time_ = 0;
+
+  Trace trace_;
+};
+
+void Run::record_task_span(ProcId p, TaskId task, Time start, Time end,
+                           bool completes) {
+  // `started` marks the first instant the task actually made progress (a
+  // zero-length span that was immediately preempted does not count, but the
+  // completing span of a zero-duration task does).
+  if (end > start || completes) {
+    if (!task_started_[static_cast<std::size_t>(task)]) {
+      task_started_[static_cast<std::size_t>(task)] = true;
+      task_records_[static_cast<std::size_t>(task)].started = start;
+    }
+  }
+  if (options_.record_trace && (end > start || completes)) {
+    trace_.task_segments.push_back(TaskSegment{p, task, start, end,
+                                               completes});
+  }
+}
+
+void Run::enqueue_comm(ProcId p, CommJob job) {
+  ProcessorState& proc = machine_.proc(p);
+  // Incoming message handling preempts an executing task (paper §2).
+  if (proc.task_executing) {
+    record_task_span(p, proc.running_task, proc.segment_start, now_,
+                     /*completes=*/false);
+    proc.task_remaining -= now_ - proc.segment_start;
+    proc_busy_[static_cast<std::size_t>(p)] += now_ - proc.segment_start;
+    ensure(proc.task_remaining >= 0, "negative remaining work on preempt");
+    proc.task_executing = false;
+    ++proc.task_event_gen;  // invalidate the scheduled completion
+  }
+  proc.comm_queue.push_back(job);
+  dispatch_cpu(p);
+}
+
+void Run::dispatch_cpu(ProcId p) {
+  ProcessorState& proc = machine_.proc(p);
+  if (!proc.cpu_free()) return;
+  if (!proc.comm_queue.empty()) {
+    proc.active_comm = proc.comm_queue.front();
+    proc.comm_queue.pop_front();
+    comm_start_[static_cast<std::size_t>(p)] = now_;
+    push_event(Event{now_ + proc.active_comm->duration, 0, EventType::CommDone,
+                     p, 0, proc.active_comm->message});
+    return;
+  }
+  if (proc.running_task != kInvalidTask) {
+    // Resume the suspended task.
+    proc.task_executing = true;
+    proc.segment_start = now_;
+    schedule_task_done(p);
+    return;
+  }
+  try_start_reserved(p);
+}
+
+void Run::on_comm_done(ProcId p) {
+  ProcessorState& proc = machine_.proc(p);
+  ensure(proc.active_comm.has_value(), "CommDone without an active job");
+  const CommJob job = *proc.active_comm;
+  const Time start = comm_start_[static_cast<std::size_t>(p)];
+  if (options_.record_trace) {
+    trace_.comm_segments.push_back(
+        CommSegment{p, job.kind, job.message, start, now_});
+  }
+  proc_busy_[static_cast<std::size_t>(p)] += now_ - start;
+  total_comm_time_ += now_ - start;
+  proc.active_comm.reset();
+
+  switch (job.kind) {
+    case CommKind::Send: {
+      request_transfer(job.message);
+      if (comm_.send_cpu == SendCpu::PerTaskOutput) {
+        const TaskId producer =
+            messages_[static_cast<std::size_t>(job.message)].producer;
+        sigma_state_[static_cast<std::size_t>(producer)] = SigmaState::Paid;
+        for (const int pending :
+             pending_after_sigma_[static_cast<std::size_t>(producer)]) {
+          request_transfer(pending);
+        }
+        pending_after_sigma_[static_cast<std::size_t>(producer)].clear();
+      }
+      break;
+    }
+    case CommKind::Route:
+      request_transfer(job.message);
+      break;
+    case CommKind::Receive:
+      deliver(job.message);
+      break;
+  }
+  dispatch_cpu(p);
+}
+
+void Run::try_start_reserved(ProcId p) {
+  ProcessorState& proc = machine_.proc(p);
+  if (proc.reserved_task == kInvalidTask || proc.pending_inputs > 0) return;
+  if (!proc.cpu_free() || proc.running_task != kInvalidTask) return;
+  const TaskId task = proc.reserved_task;
+  proc.reserved_task = kInvalidTask;
+  proc.running_task = task;
+  proc.task_remaining = graph_.duration(task);
+  proc.task_executing = true;
+  proc.segment_start = now_;
+  schedule_task_done(p);
+}
+
+void Run::schedule_task_done(ProcId p) {
+  ProcessorState& proc = machine_.proc(p);
+  push_event(Event{now_ + proc.task_remaining, 0, EventType::TaskDone, p,
+                   proc.task_event_gen, -1});
+}
+
+void Run::on_task_done(ProcId p, std::uint64_t gen) {
+  ProcessorState& proc = machine_.proc(p);
+  if (!proc.task_executing || gen != proc.task_event_gen) return;  // stale
+  const TaskId task = proc.running_task;
+  ensure(task != kInvalidTask, "TaskDone on an idle processor");
+  record_task_span(p, task, proc.segment_start, now_, /*completes=*/true);
+  proc_busy_[static_cast<std::size_t>(p)] += now_ - proc.segment_start;
+  proc.task_executing = false;
+  proc.running_task = kInvalidTask;
+  proc.task_remaining = 0;
+
+  task_records_[static_cast<std::size_t>(task)].finished = now_;
+  makespan_ = std::max(makespan_, now_);
+  ++finished_count_;
+
+  for (const EdgeRef& succ : graph_.successors(task)) {
+    auto& pending = unfinished_preds_[static_cast<std::size_t>(succ.task)];
+    ensure(pending > 0, "predecessor count underflow");
+    if (--pending == 0) {
+      ready_pool_.insert(std::upper_bound(ready_pool_.begin(),
+                                          ready_pool_.end(), succ.task),
+                         succ.task);
+    }
+  }
+  epoch_trigger_ = true;  // this processor just became idle
+}
+
+void Run::launch_message(TaskId producer, TaskId consumer, Time weight,
+                         ProcId src, ProcId dst) {
+  const int id = static_cast<int>(messages_.size());
+  MessageState msg;
+  msg.id = id;
+  msg.producer = producer;
+  msg.consumer = consumer;
+  msg.src = src;
+  msg.dst = dst;
+  msg.weight = weight;
+  msg.path = topology_.route(src, dst);
+  msg.launched = now_;
+  messages_.push_back(std::move(msg));
+  machine_.proc(dst).pending_inputs += 1;
+
+  // Sender-side CPU cost per CommModel::send_cpu (see comm_model.hpp).
+  switch (comm_.send_cpu) {
+    case SendCpu::PerMessage:
+      enqueue_comm(src, CommJob{CommKind::Send, id, comm_.sigma});
+      break;
+    case SendCpu::PerTaskOutput: {
+      auto& state = sigma_state_[static_cast<std::size_t>(producer)];
+      if (state == SigmaState::NotPaid) {
+        state = SigmaState::Paying;
+        enqueue_comm(src, CommJob{CommKind::Send, id, comm_.sigma});
+      } else if (state == SigmaState::Paying) {
+        // The producer's output is still being prepared; this message
+        // enters the network when the send job completes.
+        pending_after_sigma_[static_cast<std::size_t>(producer)].push_back(
+            id);
+      } else {
+        request_transfer(id);  // output already primed: hardware replays
+      }
+      break;
+    }
+    case SendCpu::Offloaded:
+      request_transfer(id);
+      break;
+  }
+}
+
+void Run::request_transfer(int message) {
+  MessageState& msg = messages_[static_cast<std::size_t>(message)];
+  ensure(msg.hop + 1 < msg.path.size(), "transfer past the destination");
+  const ProcId from = msg.path[msg.hop];
+  const ProcId to = msg.path[msg.hop + 1];
+  const ChannelId channel_id = topology_.channel(from, to);
+  ensure(channel_id != kInvalidChannel, "route uses a missing link");
+  ChannelState& channel = machine_.channel(channel_id);
+  if (channel.busy) {
+    channel.queue.push_back(PendingTransfer{message, from, to});
+    return;
+  }
+  channel.busy = true;
+  begin_transfer(message);
+}
+
+void Run::begin_transfer(int message) {
+  MessageState& msg = messages_[static_cast<std::size_t>(message)];
+  msg.transfer_start = now_;
+  push_event(Event{now_ + msg.weight, 0, EventType::TransferDone,
+                   kInvalidProc, 0, message});
+}
+
+void Run::on_transfer_done(int message) {
+  MessageState& msg = messages_[static_cast<std::size_t>(message)];
+  const ProcId from = msg.path[msg.hop];
+  const ProcId to = msg.path[msg.hop + 1];
+  const ChannelId channel_id = topology_.channel(from, to);
+  if (options_.record_trace) {
+    trace_.transfers.push_back(TransferSegment{
+        channel_id, message, from, to, msg.transfer_start, now_});
+  }
+  ChannelState& channel = machine_.channel(channel_id);
+  ensure(channel.busy, "TransferDone on an idle channel");
+  channel.busy = false;
+  if (!channel.queue.empty()) {
+    const PendingTransfer next = channel.queue.front();
+    channel.queue.pop_front();
+    channel.busy = true;
+    begin_transfer(next.message);
+  }
+
+  msg.hop += 1;
+  const ProcId here = msg.path[msg.hop];
+  const bool at_destination = here == msg.dst;
+  enqueue_comm(here, CommJob{at_destination ? CommKind::Receive
+                                            : CommKind::Route,
+                             message, comm_.tau});
+}
+
+void Run::deliver(int message) {
+  MessageState& msg = messages_[static_cast<std::size_t>(message)];
+  ProcessorState& proc = machine_.proc(msg.dst);
+  ensure(proc.reserved_task == msg.consumer,
+         "message delivered to a processor not reserving its consumer");
+  ensure(proc.pending_inputs > 0, "pending input underflow");
+  proc.pending_inputs -= 1;
+  if (options_.record_trace) {
+    trace_.messages.push_back(MessageRecord{
+        msg.id, msg.producer, msg.consumer, msg.src, msg.dst, msg.weight,
+        static_cast<int>(msg.path.size()) - 1, msg.launched, now_});
+  }
+  // The CPU is free at this instant (the receive job just ended); the
+  // dispatch in on_comm_done starts the task if this was the last input.
+}
+
+void Run::run_epoch() {
+  const std::vector<ProcId> idle = machine_.idle_procs();
+  if (idle.empty() || ready_pool_.empty()) return;
+
+  const int index = epoch_count_++;
+  EpochContext ctx(now_, index, graph_, topology_, comm_, ready_pool_, idle,
+                   placement_, levels_);
+  policy_.on_epoch(ctx);
+
+  trace_.epochs.push_back(EpochRecord{index, now_,
+                                      static_cast<int>(ready_pool_.size()),
+                                      static_cast<int>(idle.size()),
+                                      static_cast<int>(
+                                          ctx.assignments().size())});
+  for (const Assignment& a : ctx.assignments()) {
+    apply_assignment(a.task, a.proc, index);
+  }
+}
+
+void Run::apply_assignment(TaskId task, ProcId p, int epoch_index) {
+  const auto pool_it =
+      std::lower_bound(ready_pool_.begin(), ready_pool_.end(), task);
+  ensure(pool_it != ready_pool_.end() && *pool_it == task,
+         "assignment of a task that is not ready");
+  ready_pool_.erase(pool_it);
+
+  ProcessorState& proc = machine_.proc(p);
+  ensure(proc.idle_for_scheduling(), "assignment to a non-idle processor");
+  placement_[static_cast<std::size_t>(task)] = p;
+  proc.reserved_task = task;
+  proc.pending_inputs = 0;
+
+  TaskRecord& record = task_records_[static_cast<std::size_t>(task)];
+  record.task = task;
+  record.proc = p;
+  record.epoch = epoch_index;
+  record.assigned = now_;
+
+  // Launch the input messages; producers already executed, so their
+  // placement is known.  Local inputs are free (eq. 4, delta term).
+  for (const EdgeRef& pred : graph_.predecessors(task)) {
+    const ProcId src = placement_[static_cast<std::size_t>(pred.task)];
+    ensure(src != kInvalidProc, "ready task with an unplaced predecessor");
+    if (!comm_.enabled || src == p) continue;
+    launch_message(pred.task, task, pred.weight, src, p);
+  }
+  try_start_reserved(p);
+}
+
+SimResult Run::execute() {
+  graph_.validate();
+  policy_.on_run_start(graph_, topology_, comm_);
+
+  for (TaskId t = 0; t < graph_.num_tasks(); ++t) {
+    unfinished_preds_[static_cast<std::size_t>(t)] = graph_.in_degree(t);
+    if (unfinished_preds_[static_cast<std::size_t>(t)] == 0) {
+      ready_pool_.push_back(t);
+    }
+  }
+  comm_start_.assign(static_cast<std::size_t>(topology_.num_procs()), 0);
+
+  std::uint64_t processed = 0;
+  while (true) {
+    if (epoch_trigger_) {
+      epoch_trigger_ = false;
+      run_epoch();
+    }
+    if (finished_count_ == graph_.num_tasks()) break;
+    if (events_.empty()) {
+      throw SimulationError(
+          "simulation stalled: " + std::to_string(finished_count_) + "/" +
+          std::to_string(graph_.num_tasks()) +
+          " tasks finished, no pending events (policy assigned nothing?)");
+    }
+    // Drain the complete batch of events sharing the next timestamp before
+    // scheduling again: simultaneous completions must all be visible to the
+    // epoch (processing them one by one would let a premature packet see a
+    // partial ready set — and, among other things, would dodge the Graham
+    // anomaly by accident).
+    const Time batch_time = events_.top().time;
+    ensure(batch_time >= now_, "time went backwards");
+    now_ = batch_time;
+    while (!events_.empty() && events_.top().time == batch_time) {
+      if (++processed > options_.max_events) {
+        throw SimulationError("event budget exceeded");
+      }
+      const Event event = events_.top();
+      events_.pop();
+      switch (event.type) {
+        case EventType::TaskDone:
+          on_task_done(event.proc, event.gen);
+          break;
+        case EventType::CommDone:
+          on_comm_done(event.proc);
+          break;
+        case EventType::TransferDone:
+          on_transfer_done(event.message);
+          break;
+      }
+    }
+  }
+
+  SimResult result;
+  result.makespan = makespan_;
+  result.placement = placement_;
+  result.num_epochs = epoch_count_;
+  result.num_messages = static_cast<int>(messages_.size());
+  result.total_task_time = graph_.total_work();
+  result.total_comm_time = total_comm_time_;
+  result.proc_busy = proc_busy_;
+  trace_.tasks = task_records_;
+  result.trace = std::move(trace_);
+  return result;
+}
+
+}  // namespace
+
+EpochContext::EpochContext(Time now, int epoch_index, const TaskGraph& graph,
+                           const Topology& topology, const CommModel& comm,
+                           std::span<const TaskId> ready_tasks,
+                           std::span<const ProcId> idle_procs,
+                           const std::vector<ProcId>& placement,
+                           const std::vector<Time>& levels)
+    : now_(now),
+      epoch_index_(epoch_index),
+      graph_(graph),
+      topology_(topology),
+      comm_(comm),
+      ready_tasks_(ready_tasks),
+      idle_procs_(idle_procs),
+      placement_(placement),
+      levels_(levels) {}
+
+void EpochContext::assign(TaskId task, ProcId proc) {
+  const bool task_ready =
+      std::binary_search(ready_tasks_.begin(), ready_tasks_.end(), task);
+  require(task_ready, "EpochContext::assign: task is not in the ready set");
+  const bool proc_idle =
+      std::binary_search(idle_procs_.begin(), idle_procs_.end(), proc);
+  require(proc_idle, "EpochContext::assign: processor is not idle");
+  for (const Assignment& a : assignments_) {
+    require(a.task != task, "EpochContext::assign: task assigned twice");
+    require(a.proc != proc, "EpochContext::assign: processor used twice");
+  }
+  assignments_.push_back(Assignment{task, proc});
+}
+
+ExecutionEngine::ExecutionEngine(const TaskGraph& graph,
+                                 const Topology& topology,
+                                 const CommModel& comm,
+                                 SchedulingPolicy& policy, SimOptions options)
+    : graph_(graph),
+      topology_(topology),
+      comm_(comm),
+      policy_(policy),
+      options_(options) {}
+
+SimResult ExecutionEngine::run() {
+  Run run(graph_, topology_, comm_, policy_, options_);
+  return run.execute();
+}
+
+SimResult simulate(const TaskGraph& graph, const Topology& topology,
+                   const CommModel& comm, SchedulingPolicy& policy,
+                   SimOptions options) {
+  ExecutionEngine engine(graph, topology, comm, policy, options);
+  return engine.run();
+}
+
+}  // namespace dagsched::sim

@@ -1,0 +1,97 @@
+#pragma once
+
+// Discrete-event execution engine (paper §6b: "a simulation program was
+// developed which accurately records the execution and interprocessor
+// communication").
+//
+// Machine model (paper §2):
+//  * each processor executes one task at a time;
+//  * links are bidirectional, carry one message at a time (per channel) and
+//    use deterministic shortest-path store-and-forward routing;
+//  * sending a message costs sigma on the source CPU, every routing hop and
+//    the final receive cost tau on the respective CPU, and *incoming
+//    messages preempt an active processor* — handling suspends the running
+//    task and extends its completion;
+//  * a message's wire time (the taskgraph edge weight w) occupies each
+//    traversed channel in turn.
+//
+// Scheduling model (paper §4.1): the engine forms an epoch at time zero and
+// whenever a processor returns to the idle pool while unassigned ready
+// tasks exist; the policy assigns tasks to idle processors.  An assigned
+// task reserves its processor, its input messages are launched immediately
+// (producers already know the destination), and it starts executing once
+// every input has been received and the CPU is free.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/taskgraph.hpp"
+#include "sim/scheduler_api.hpp"
+#include "sim/trace.hpp"
+#include "topology/comm_model.hpp"
+#include "topology/topology.hpp"
+
+namespace dagsched::sim {
+
+struct SimOptions {
+  /// Record the full trace (segments, transfers, messages).  Task records,
+  /// epoch records and aggregate statistics are always kept.
+  bool record_trace = true;
+
+  /// Hard event-count ceiling; exceeding it raises SimulationError (guards
+  /// against pathological policies).
+  std::uint64_t max_events = 50'000'000;
+};
+
+/// Raised when the simulation cannot make progress (a policy stops
+/// assigning) or exceeds its event budget.
+class SimulationError : public std::runtime_error {
+ public:
+  explicit SimulationError(const std::string& message)
+      : std::runtime_error(message) {}
+};
+
+struct SimResult {
+  Time makespan = 0;                 ///< last task completion time
+  std::vector<ProcId> placement;     ///< final mapping m(t)
+  Trace trace;                       ///< see SimOptions::record_trace
+  int num_epochs = 0;
+  int num_messages = 0;              ///< interprocessor messages simulated
+  Time total_task_time = 0;          ///< CPU time spent executing tasks
+  Time total_comm_time = 0;          ///< CPU time spent handling messages
+  std::vector<Time> proc_busy;       ///< per-processor busy time
+
+  /// Speedup S_p = T_1 / T_p for the given sequential time.
+  double speedup(Time total_work) const;
+
+  /// Mean processor utilization: busy time / (N_p * makespan).
+  double utilization() const;
+};
+
+class ExecutionEngine {
+ public:
+  /// All references must outlive run().  The graph must be a non-empty DAG.
+  ExecutionEngine(const TaskGraph& graph, const Topology& topology,
+                  const CommModel& comm, SchedulingPolicy& policy,
+                  SimOptions options = {});
+
+  /// Simulates the complete execution and returns the result.  Each call
+  /// runs from scratch (the policy's on_run_start is invoked every time).
+  SimResult run();
+
+ private:
+  const TaskGraph& graph_;
+  const Topology& topology_;
+  const CommModel& comm_;
+  SchedulingPolicy& policy_;
+  SimOptions options_;
+};
+
+/// Convenience wrapper: build an engine and run it.
+SimResult simulate(const TaskGraph& graph, const Topology& topology,
+                   const CommModel& comm, SchedulingPolicy& policy,
+                   SimOptions options = {});
+
+}  // namespace dagsched::sim

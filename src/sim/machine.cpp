@@ -1,0 +1,37 @@
+#include "sim/machine.hpp"
+
+#include "util/require.hpp"
+
+namespace dagsched::sim {
+
+MachineState::MachineState(const Topology& topology)
+    : procs_(static_cast<std::size_t>(topology.num_procs())),
+      channels_(static_cast<std::size_t>(topology.num_channels())) {}
+
+ProcessorState& MachineState::proc(ProcId p) {
+  require(p >= 0 && p < num_procs(), "MachineState::proc: bad processor");
+  return procs_[static_cast<std::size_t>(p)];
+}
+
+const ProcessorState& MachineState::proc(ProcId p) const {
+  require(p >= 0 && p < num_procs(), "MachineState::proc: bad processor");
+  return procs_[static_cast<std::size_t>(p)];
+}
+
+ChannelState& MachineState::channel(ChannelId c) {
+  require(c >= 0 && c < static_cast<ChannelId>(channels_.size()),
+          "MachineState::channel: bad channel");
+  return channels_[static_cast<std::size_t>(c)];
+}
+
+std::vector<ProcId> MachineState::idle_procs() const {
+  std::vector<ProcId> idle;
+  for (ProcId p = 0; p < num_procs(); ++p) {
+    if (procs_[static_cast<std::size_t>(p)].idle_for_scheduling()) {
+      idle.push_back(p);
+    }
+  }
+  return idle;
+}
+
+}  // namespace dagsched::sim

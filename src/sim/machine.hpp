@@ -1,0 +1,87 @@
+#pragma once
+
+// Mutable machine state used by the execution engine: per-processor CPU
+// occupancy (task execution, preemptible by message handling) and
+// per-channel occupancy (one message at a time, FIFO).
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "graph/taskgraph.hpp"
+#include "sim/trace.hpp"
+#include "topology/topology.hpp"
+#include "util/time.hpp"
+
+namespace dagsched::sim {
+
+/// One unit of CPU-side message handling work.
+struct CommJob {
+  CommKind kind = CommKind::Send;
+  int message = -1;
+  Time duration = 0;
+};
+
+/// A message waiting for a busy channel.
+struct PendingTransfer {
+  int message = -1;
+  ProcId from = kInvalidProc;
+  ProcId to = kInvalidProc;
+};
+
+/// CPU state of one processor.
+///
+/// Invariants: at most one of {comm job active, task segment executing} at
+/// any instant; a reserved task (assigned but not yet started) blocks the
+/// processor from the idle pool but leaves the CPU free for comm handling.
+struct ProcessorState {
+  // Task being executed (or suspended by comm handling).
+  TaskId running_task = kInvalidTask;
+  bool task_executing = false;   ///< a segment is in progress right now
+  Time task_remaining = 0;       ///< work left (valid when suspended too)
+  Time segment_start = 0;        ///< start of the current segment
+  std::uint64_t task_event_gen = 0;  ///< stale-completion-event guard
+
+  // Task assigned but not yet started (waiting for inputs / CPU).
+  TaskId reserved_task = kInvalidTask;
+  int pending_inputs = 0;        ///< messages still to arrive for reserved
+
+  // Message handling.
+  std::optional<CommJob> active_comm;
+  std::deque<CommJob> comm_queue;
+
+  /// Free for the scheduler's idle pool: neither running nor reserved.
+  bool idle_for_scheduling() const {
+    return running_task == kInvalidTask && reserved_task == kInvalidTask;
+  }
+
+  /// CPU currently unoccupied (comm handling may still be queued).
+  bool cpu_free() const { return !active_comm.has_value() && !task_executing; }
+};
+
+/// Occupancy state of one channel.
+struct ChannelState {
+  bool busy = false;
+  std::deque<PendingTransfer> queue;
+};
+
+/// The machine: processor and channel state for one run.
+class MachineState {
+ public:
+  MachineState(const Topology& topology);
+
+  ProcessorState& proc(ProcId p);
+  const ProcessorState& proc(ProcId p) const;
+  ChannelState& channel(ChannelId c);
+
+  int num_procs() const { return static_cast<int>(procs_.size()); }
+
+  /// Idle processors in ascending id order.
+  std::vector<ProcId> idle_procs() const;
+
+ private:
+  std::vector<ProcessorState> procs_;
+  std::vector<ChannelState> channels_;
+};
+
+}  // namespace dagsched::sim

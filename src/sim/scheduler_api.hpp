@@ -1,0 +1,100 @@
+#pragma once
+
+// The online scheduling interface between the execution engine and a
+// scheduling policy (paper §4.1).
+//
+// The engine invokes the policy at every *assignment epoch*: time zero, and
+// every instant at which at least one processor returns to the idle pool
+// while unassigned ready tasks exist.  The policy sees the ready tasks (all
+// predecessors completed), the idle processors, and the placement of every
+// previously assigned task, and declares assignments — at most one task per
+// idle processor.  Tasks it leaves unassigned are offered again at the next
+// epoch (the paper: "unassigned tasks are moved to the following annealing
+// packet").
+
+#include <span>
+#include <vector>
+
+#include "graph/taskgraph.hpp"
+#include "topology/comm_model.hpp"
+#include "topology/topology.hpp"
+
+namespace dagsched::sim {
+
+/// One (task -> processor) decision made during an epoch.
+struct Assignment {
+  TaskId task = kInvalidTask;
+  ProcId proc = kInvalidProc;
+};
+
+/// Everything a policy may inspect at one epoch, plus the assignment sink.
+/// Built by the engine; policies must not retain references past the
+/// on_epoch call.
+class EpochContext {
+ public:
+  EpochContext(Time now, int epoch_index, const TaskGraph& graph,
+               const Topology& topology, const CommModel& comm,
+               std::span<const TaskId> ready_tasks,
+               std::span<const ProcId> idle_procs,
+               const std::vector<ProcId>& placement,
+               const std::vector<Time>& levels);
+
+  Time now() const { return now_; }
+  int epoch_index() const { return epoch_index_; }
+  const TaskGraph& graph() const { return graph_; }
+  const Topology& topology() const { return topology_; }
+  const CommModel& comm() const { return comm_; }
+
+  /// Ready, unassigned tasks in ascending id order.
+  std::span<const TaskId> ready_tasks() const { return ready_tasks_; }
+
+  /// Idle processors in ascending id order.
+  std::span<const ProcId> idle_procs() const { return idle_procs_; }
+
+  /// placement()[t] is the processor of every finished or assigned task t,
+  /// kInvalidProc for tasks not yet placed.  Predecessors of every ready
+  /// task are always placed.
+  const std::vector<ProcId>& placement() const { return placement_; }
+
+  /// Task levels n_i (see graph/analysis.hpp), precomputed once per run.
+  const std::vector<Time>& levels() const { return levels_; }
+
+  /// Declares an assignment.  Each task and each processor may be used at
+  /// most once per epoch; the task must be in ready_tasks() and the
+  /// processor in idle_procs().
+  void assign(TaskId task, ProcId proc);
+
+  /// Assignments made so far in this epoch, in declaration order.
+  const std::vector<Assignment>& assignments() const { return assignments_; }
+
+ private:
+  Time now_;
+  int epoch_index_;
+  const TaskGraph& graph_;
+  const Topology& topology_;
+  const CommModel& comm_;
+  std::span<const TaskId> ready_tasks_;
+  std::span<const ProcId> idle_procs_;
+  const std::vector<ProcId>& placement_;
+  const std::vector<Time>& levels_;
+  std::vector<Assignment> assignments_;
+};
+
+/// Abstract online scheduling policy.  Implementations: HLF and friends in
+/// src/sched, the simulated-annealing scheduler in src/core.
+class SchedulingPolicy {
+ public:
+  virtual ~SchedulingPolicy() = default;
+
+  /// Called once per run before the first epoch; optional.
+  virtual void on_run_start(const TaskGraph&, const Topology&,
+                            const CommModel&) {}
+
+  /// Called at every assignment epoch; declare assignments via ctx.assign().
+  virtual void on_epoch(EpochContext& ctx) = 0;
+
+  /// Display name for reports.
+  virtual std::string name() const = 0;
+};
+
+}  // namespace dagsched::sim

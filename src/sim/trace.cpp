@@ -1,0 +1,51 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace dagsched::sim {
+
+std::string to_string(CommKind kind) {
+  switch (kind) {
+    case CommKind::Send:
+      return "send";
+    case CommKind::Receive:
+      return "receive";
+    case CommKind::Route:
+      return "route";
+  }
+  return "unknown";
+}
+
+const TaskRecord& Trace::task_record(TaskId task) const {
+  for (const TaskRecord& record : tasks) {
+    if (record.task == task) return record;
+  }
+  throw std::invalid_argument("Trace::task_record: task never ran");
+}
+
+Time Trace::proc_busy_time(ProcId proc) const {
+  Time busy = 0;
+  for (const TaskSegment& seg : task_segments) {
+    if (seg.proc == proc) busy += seg.end - seg.start;
+  }
+  for (const CommSegment& seg : comm_segments) {
+    if (seg.proc == proc) busy += seg.end - seg.start;
+  }
+  return busy;
+}
+
+std::vector<TaskSegment> Trace::segments_of_proc(ProcId proc) const {
+  std::vector<TaskSegment> result;
+  for (const TaskSegment& seg : task_segments) {
+    if (seg.proc == proc) result.push_back(seg);
+  }
+  std::sort(result.begin(), result.end(),
+            [](const TaskSegment& a, const TaskSegment& b) {
+              return a.start < b.start;
+            });
+  return result;
+}
+
+}  // namespace dagsched::sim

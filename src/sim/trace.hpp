@@ -1,0 +1,107 @@
+#pragma once
+
+// Execution trace of one simulated run.
+//
+// The simulator records everything needed to (a) draw the paper's Fig. 2
+// Gantt chart — task blocks, send/receive half-blocks, routing
+// quarter-blocks — and (b) machine-check the schedule invariants (see
+// sim/validate.hpp).  Task execution may be split into several segments
+// because incoming messages preempt an active processor.
+
+#include <string>
+#include <vector>
+
+#include "graph/taskgraph.hpp"
+#include "topology/topology.hpp"
+#include "util/time.hpp"
+
+namespace dagsched::sim {
+
+/// CPU-side message handling kinds (paper §4.2b: sigma for send, tau for
+/// receive and route).
+enum class CommKind { Send, Receive, Route };
+
+/// Human-readable name of a CommKind.
+std::string to_string(CommKind kind);
+
+/// A contiguous span of task execution on one processor.  `completes` is
+/// true for the final segment of the task.
+struct TaskSegment {
+  ProcId proc = kInvalidProc;
+  TaskId task = kInvalidTask;
+  Time start = 0;
+  Time end = 0;
+  bool completes = false;
+};
+
+/// A span of message handling on one processor's CPU.
+struct CommSegment {
+  ProcId proc = kInvalidProc;
+  CommKind kind = CommKind::Send;
+  int message = -1;
+  Time start = 0;
+  Time end = 0;
+};
+
+/// A message occupying one channel for one hop.
+struct TransferSegment {
+  ChannelId channel = kInvalidChannel;
+  int message = -1;
+  ProcId from = kInvalidProc;
+  ProcId to = kInvalidProc;
+  Time start = 0;
+  Time end = 0;
+};
+
+/// Lifetime summary of one interprocessor message.
+struct MessageRecord {
+  int id = -1;
+  TaskId producer = kInvalidTask;
+  TaskId consumer = kInvalidTask;
+  ProcId src = kInvalidProc;
+  ProcId dst = kInvalidProc;
+  Time weight = 0;      ///< wire time per hop
+  int hops = 0;         ///< path length in links
+  Time launched = 0;    ///< when the consumer's assignment created it
+  Time delivered = 0;   ///< when the destination finished receiving it
+};
+
+/// Lifetime summary of one task.
+struct TaskRecord {
+  TaskId task = kInvalidTask;
+  ProcId proc = kInvalidProc;
+  int epoch = -1;      ///< index of the assignment epoch
+  Time assigned = 0;   ///< epoch time
+  Time started = 0;    ///< first execution segment begins
+  Time finished = 0;   ///< final segment ends
+};
+
+/// One scheduling epoch (annealing-packet instant).
+struct EpochRecord {
+  int index = -1;
+  Time when = 0;
+  int ready_tasks = 0;   ///< candidates offered to the policy
+  int idle_procs = 0;    ///< idle processors offered to the policy
+  int assigned = 0;      ///< assignments the policy made
+};
+
+class Trace {
+ public:
+  std::vector<TaskSegment> task_segments;
+  std::vector<CommSegment> comm_segments;
+  std::vector<TransferSegment> transfers;
+  std::vector<MessageRecord> messages;
+  std::vector<TaskRecord> tasks;
+  std::vector<EpochRecord> epochs;
+
+  /// The task record for `task`; throws when the task never ran.
+  const TaskRecord& task_record(TaskId task) const;
+
+  /// Total busy time (task execution + comm handling) of a processor.
+  Time proc_busy_time(ProcId proc) const;
+
+  /// All task segments of one processor, in start order.
+  std::vector<TaskSegment> segments_of_proc(ProcId proc) const;
+};
+
+}  // namespace dagsched::sim

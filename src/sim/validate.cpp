@@ -1,0 +1,184 @@
+#include "sim/validate.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace dagsched::sim {
+
+namespace {
+
+struct Span {
+  Time start;
+  Time end;
+  std::string what;
+};
+
+/// Appends a violation for every pair of overlapping spans (half-open
+/// interval semantics: touching endpoints are fine).
+void check_disjoint(std::vector<Span>& spans, const std::string& resource,
+                    std::vector<std::string>& violations) {
+  std::sort(spans.begin(), spans.end(), [](const Span& a, const Span& b) {
+    if (a.start != b.start) return a.start < b.start;
+    return a.end < b.end;
+  });
+  for (std::size_t i = 1; i < spans.size(); ++i) {
+    if (spans[i].start < spans[i - 1].end) {
+      std::ostringstream msg;
+      msg << resource << ": overlap between [" << spans[i - 1].what
+          << "] and [" << spans[i].what << "]";
+      violations.push_back(msg.str());
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> validate_run(const TaskGraph& graph,
+                                      const Topology& topology,
+                                      const CommModel& comm,
+                                      const SimResult& result) {
+  std::vector<std::string> violations;
+  auto fail = [&violations](const std::string& message) {
+    violations.push_back(message);
+  };
+  const Trace& trace = result.trace;
+
+  // --- per-task record sanity ---------------------------------------------
+  if (static_cast<int>(trace.tasks.size()) != graph.num_tasks()) {
+    fail("task record count mismatch");
+    return violations;
+  }
+  Time latest_finish = 0;
+  for (TaskId t = 0; t < graph.num_tasks(); ++t) {
+    const TaskRecord& rec = trace.tasks[static_cast<std::size_t>(t)];
+    if (rec.task != t || rec.proc == kInvalidProc) {
+      fail("task " + graph.task_name(t) + ": never assigned");
+      continue;
+    }
+    if (rec.proc != result.placement[static_cast<std::size_t>(t)]) {
+      fail("task " + graph.task_name(t) + ": placement/record mismatch");
+    }
+    if (rec.assigned > rec.started || rec.started > rec.finished) {
+      fail("task " + graph.task_name(t) + ": assigned/started/finished not "
+           "monotone");
+    }
+    latest_finish = std::max(latest_finish, rec.finished);
+  }
+  if (latest_finish != result.makespan) {
+    fail("makespan does not equal the latest task completion");
+  }
+
+  // --- task segments: exactly one completion, tiling, duration ------------
+  std::map<TaskId, std::vector<TaskSegment>> by_task;
+  for (const TaskSegment& seg : trace.task_segments) {
+    if (seg.end < seg.start) fail("task segment with negative length");
+    by_task[seg.task].push_back(seg);
+  }
+  for (TaskId t = 0; t < graph.num_tasks(); ++t) {
+    auto it = by_task.find(t);
+    if (it == by_task.end()) {
+      fail("task " + graph.task_name(t) + ": no execution segments");
+      continue;
+    }
+    auto& segs = it->second;
+    std::sort(segs.begin(), segs.end(),
+              [](const TaskSegment& a, const TaskSegment& b) {
+                return a.start < b.start;
+              });
+    const TaskRecord& rec = trace.tasks[static_cast<std::size_t>(t)];
+    Time executed = 0;
+    int completions = 0;
+    for (const TaskSegment& seg : segs) {
+      executed += seg.end - seg.start;
+      if (seg.completes) ++completions;
+      if (seg.proc != rec.proc) {
+        fail("task " + graph.task_name(t) + ": segment on the wrong "
+             "processor");
+      }
+    }
+    if (completions != 1) {
+      fail("task " + graph.task_name(t) + ": expected exactly one completing "
+           "segment");
+    }
+    if (executed != graph.duration(t)) {
+      fail("task " + graph.task_name(t) + ": executed time differs from the "
+           "task duration");
+    }
+    if (segs.front().start != rec.started || segs.back().end != rec.finished) {
+      fail("task " + graph.task_name(t) + ": segment envelope does not match "
+           "the task record");
+    }
+    if (!segs.back().completes) {
+      fail("task " + graph.task_name(t) + ": last segment does not complete");
+    }
+  }
+
+  // --- precedence + message gating ----------------------------------------
+  std::map<std::pair<TaskId, TaskId>, const MessageRecord*> message_of_edge;
+  for (const MessageRecord& msg : trace.messages) {
+    message_of_edge[{msg.producer, msg.consumer}] = &msg;
+  }
+  for (const Edge& e : graph.edges()) {
+    const TaskRecord& u = trace.tasks[static_cast<std::size_t>(e.from)];
+    const TaskRecord& v = trace.tasks[static_cast<std::size_t>(e.to)];
+    if (v.assigned < u.finished) {
+      fail("edge " + graph.task_name(e.from) + "->" + graph.task_name(e.to) +
+           ": consumer assigned before producer finished");
+    }
+    if (v.started < u.finished) {
+      fail("edge " + graph.task_name(e.from) + "->" + graph.task_name(e.to) +
+           ": consumer started before producer finished");
+    }
+    if (comm.enabled && u.proc != v.proc) {
+      auto it = message_of_edge.find({e.from, e.to});
+      if (it == message_of_edge.end()) {
+        fail("edge " + graph.task_name(e.from) + "->" +
+             graph.task_name(e.to) + ": remote edge without a message");
+      } else if (v.started < it->second->delivered) {
+        fail("edge " + graph.task_name(e.from) + "->" +
+             graph.task_name(e.to) + ": consumer started before delivery");
+      }
+    }
+  }
+
+  // --- processor exclusivity (task + comm segments) ------------------------
+  for (ProcId p = 0; p < topology.num_procs(); ++p) {
+    std::vector<Span> spans;
+    for (const TaskSegment& seg : trace.task_segments) {
+      if (seg.proc != p || seg.start == seg.end) continue;
+      spans.push_back(Span{seg.start, seg.end,
+                           "task " + graph.task_name(seg.task)});
+    }
+    for (const CommSegment& seg : trace.comm_segments) {
+      if (seg.proc != p || seg.start == seg.end) continue;
+      spans.push_back(Span{seg.start, seg.end,
+                           to_string(seg.kind) + " msg" +
+                               std::to_string(seg.message)});
+    }
+    check_disjoint(spans, "processor " + std::to_string(p), violations);
+  }
+
+  // --- channel exclusivity + link existence --------------------------------
+  std::map<ChannelId, std::vector<Span>> channel_spans;
+  for (const TransferSegment& seg : trace.transfers) {
+    if (!topology.has_link(seg.from, seg.to)) {
+      fail("transfer over a missing link " + std::to_string(seg.from) + "-" +
+           std::to_string(seg.to));
+      continue;
+    }
+    if (topology.channel(seg.from, seg.to) != seg.channel) {
+      fail("transfer recorded on the wrong channel");
+    }
+    if (seg.start == seg.end) continue;
+    channel_spans[seg.channel].push_back(
+        Span{seg.start, seg.end, "msg" + std::to_string(seg.message)});
+  }
+  for (auto& [channel, spans] : channel_spans) {
+    check_disjoint(spans, "channel " + std::to_string(channel), violations);
+  }
+
+  return violations;
+}
+
+}  // namespace dagsched::sim

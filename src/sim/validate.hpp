@@ -1,0 +1,34 @@
+#pragma once
+
+// Machine-checking of simulated schedules.  The property-test suites run
+// every schedule produced by every policy through these validators; an
+// empty violation list is the correctness criterion.
+
+#include <string>
+#include <vector>
+
+#include "graph/taskgraph.hpp"
+#include "sim/engine.hpp"
+#include "topology/topology.hpp"
+
+namespace dagsched::sim {
+
+/// Checks every schedule invariant against the recorded trace (requires
+/// SimOptions::record_trace):
+///  * every task has exactly one completing segment, and its segments tile
+///    [started, finished] without overlap and sum to the task's duration;
+///  * a task starts at/after its assignment epoch, and only after all its
+///    predecessors finished (same processor) / all its input messages were
+///    delivered (remote predecessors, when communication is enabled);
+///  * no processor executes two things at once (task segments and comm
+///    segments are pairwise disjoint per processor);
+///  * no channel carries two messages at once;
+///  * every recorded transfer uses an existing link of the topology;
+///  * the makespan equals the latest task completion.
+/// Returns human-readable violation descriptions (empty means valid).
+std::vector<std::string> validate_run(const TaskGraph& graph,
+                                      const Topology& topology,
+                                      const CommModel& comm,
+                                      const SimResult& result);
+
+}  // namespace dagsched::sim

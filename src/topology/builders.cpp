@@ -1,0 +1,170 @@
+#include "topology/builders.hpp"
+
+#include <utility>
+
+#include "util/require.hpp"
+#include "util/string_util.hpp"
+
+namespace dagsched::topo {
+
+namespace {
+
+using LinkList = std::vector<std::pair<int, int>>;
+
+}  // namespace
+
+Topology hypercube(int dimension) {
+  require(dimension >= 0 && dimension <= 20, "hypercube: bad dimension");
+  const int n = 1 << dimension;
+  LinkList links;
+  for (int p = 0; p < n; ++p) {
+    for (int bit = 0; bit < dimension; ++bit) {
+      const int q = p ^ (1 << bit);
+      if (p < q) links.emplace_back(p, q);
+    }
+  }
+  return Topology::from_links(n, links,
+                              "hypercube" + std::to_string(n) + "p");
+}
+
+Topology ring(int num_procs) {
+  require(num_procs >= 1, "ring: bad size");
+  LinkList links;
+  if (num_procs == 2) {
+    links.emplace_back(0, 1);
+  } else if (num_procs >= 3) {
+    for (int p = 0; p < num_procs; ++p) {
+      links.emplace_back(p, (p + 1) % num_procs);
+    }
+  }
+  return Topology::from_links(num_procs, links,
+                              "ring" + std::to_string(num_procs) + "p");
+}
+
+Topology bus(int num_procs) {
+  require(num_procs >= 1, "bus: bad size");
+  LinkList links;
+  for (int a = 0; a < num_procs; ++a) {
+    for (int b = a + 1; b < num_procs; ++b) links.emplace_back(a, b);
+  }
+  return Topology::from_links(num_procs, links,
+                              "bus" + std::to_string(num_procs) + "p");
+}
+
+Topology shared_bus(int num_procs) {
+  return Topology::shared_medium(
+      num_procs, "sharedbus" + std::to_string(num_procs) + "p");
+}
+
+Topology star(int num_procs) {
+  require(num_procs >= 1, "star: bad size");
+  LinkList links;
+  for (int p = 1; p < num_procs; ++p) links.emplace_back(0, p);
+  return Topology::from_links(num_procs, links,
+                              "star" + std::to_string(num_procs) + "p");
+}
+
+Topology mesh(int rows, int cols) {
+  require(rows >= 1 && cols >= 1, "mesh: bad shape");
+  const auto id = [cols](int r, int c) { return r * cols + c; };
+  LinkList links;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) links.emplace_back(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) links.emplace_back(id(r, c), id(r + 1, c));
+    }
+  }
+  return Topology::from_links(rows * cols, links,
+                              "mesh" + std::to_string(rows) + "x" +
+                                  std::to_string(cols));
+}
+
+Topology torus(int rows, int cols) {
+  require(rows >= 1 && cols >= 1, "torus: bad shape");
+  const auto id = [cols](int r, int c) { return r * cols + c; };
+  LinkList links;
+  auto add_unique = [&links](int a, int b) {
+    if (a == b) return;
+    for (const auto& [x, y] : links) {
+      if ((x == a && y == b) || (x == b && y == a)) return;
+    }
+    links.emplace_back(a, b);
+  };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      add_unique(id(r, c), id(r, (c + 1) % cols));
+      add_unique(id(r, c), id((r + 1) % rows, c));
+    }
+  }
+  return Topology::from_links(rows * cols, links,
+                              "torus" + std::to_string(rows) + "x" +
+                                  std::to_string(cols));
+}
+
+Topology complete(int num_procs) {
+  require(num_procs >= 1, "complete: bad size");
+  LinkList links;
+  for (int a = 0; a < num_procs; ++a) {
+    for (int b = a + 1; b < num_procs; ++b) links.emplace_back(a, b);
+  }
+  return Topology::from_links(num_procs, links,
+                              "complete" + std::to_string(num_procs) + "p");
+}
+
+Topology line(int num_procs) {
+  require(num_procs >= 1, "line: bad size");
+  LinkList links;
+  for (int p = 0; p + 1 < num_procs; ++p) links.emplace_back(p, p + 1);
+  return Topology::from_links(num_procs, links,
+                              "line" + std::to_string(num_procs) + "p");
+}
+
+Topology binary_tree(int levels) {
+  require(levels >= 1 && levels <= 20, "binary_tree: bad level count");
+  const int n = (1 << levels) - 1;
+  LinkList links;
+  for (int p = 1; p < n; ++p) links.emplace_back((p - 1) / 2, p);
+  return Topology::from_links(n, links,
+                              "btree" + std::to_string(levels) + "l");
+}
+
+Topology by_name(const std::string& spec) {
+  // Fixed names used throughout the benchmarks.
+  if (spec == "hypercube8") return hypercube(3);
+  if (spec == "bus8") return bus(8);
+  if (spec == "ring9") return ring(9);
+
+  const auto colon = spec.find(':');
+  require(colon != std::string::npos && colon > 0 && colon + 1 < spec.size(),
+          "topo::by_name: unknown topology spec '" + spec + "'");
+  const std::string kind = spec.substr(0, colon);
+  const std::string params = spec.substr(colon + 1);
+  const auto parse_int = [&spec](const std::string& text) {
+    try {
+      return std::stoi(text);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("topo::by_name: bad parameter in '" + spec +
+                                  "'");
+    }
+  };
+  if (kind == "mesh" || kind == "torus") {
+    const auto x = params.find('x');
+    require(x != std::string::npos, "topo::by_name: expected RxC in " + spec);
+    const int rows = parse_int(params.substr(0, x));
+    const int cols = parse_int(params.substr(x + 1));
+    return kind == "mesh" ? mesh(rows, cols) : torus(rows, cols);
+  }
+  const int n = parse_int(params);
+  if (kind == "hypercube") return hypercube(n);
+  if (kind == "ring") return ring(n);
+  if (kind == "bus") return bus(n);
+  if (kind == "sharedbus") return shared_bus(n);
+  if (kind == "star") return star(n);
+  if (kind == "complete") return complete(n);
+  if (kind == "line") return line(n);
+  if (kind == "btree") return binary_tree(n);
+  throw std::invalid_argument("topo::by_name: unknown topology kind '" + kind +
+                              "'");
+}
+
+}  // namespace dagsched::topo

@@ -1,0 +1,62 @@
+#pragma once
+
+// Standard interconnect builders.  The three used in the paper's evaluation
+// are hypercube(3) (8 processors), bus(8) and ring(9); the rest are provided
+// for ablations, examples and tests.
+
+#include <string>
+#include <vector>
+
+#include "topology/topology.hpp"
+
+namespace dagsched::topo {
+
+/// d-dimensional binary hypercube with 2^d processors; processors are linked
+/// when their ids differ in exactly one bit.
+Topology hypercube(int dimension);
+
+/// Cycle of n >= 3 processors (n == 2 degenerates to a single link, n == 1
+/// to a lone processor).
+Topology ring(int num_procs);
+
+/// The paper's "Bus (star)" architecture: every processor pair at distance
+/// 1 with independent pairwise channels — i.e. star wiring into a central
+/// hub that switches messages in parallel (a crossbar).  Table 2 pins this
+/// reading down: the bus column consistently beats the hypercube when
+/// communication matters, which is impossible for a single shared medium
+/// (that variant is provided as shared_bus() for the ablation bench) and is
+/// exactly what distance-1 connectivity without routing hops gives.
+Topology bus(int num_procs);
+
+/// The literal shared-medium bus: every pair at distance 1 but a single
+/// channel carries all traffic, one message at a time.
+Topology shared_bus(int num_procs);
+
+/// Hub-and-spokes: processor 0 is the hub, all others link only to it.
+/// Leaf-to-leaf distance is 2 and all such traffic is routed through (and
+/// therefore preempts) the hub.  Provided as the alternative literal
+/// reading of "star"; the Table 2 reproduction uses bus().
+Topology star(int num_procs);
+
+/// rows x cols 2-D mesh (no wraparound).
+Topology mesh(int rows, int cols);
+
+/// rows x cols 2-D torus (wraparound links; dimensions of size <= 2 fall
+/// back to single links to avoid duplicates).
+Topology torus(int rows, int cols);
+
+/// Fully connected network: every pair has a private link.
+Topology complete(int num_procs);
+
+/// Linear array of n processors.
+Topology line(int num_procs);
+
+/// Complete binary tree with `levels` levels (2^levels - 1 processors).
+Topology binary_tree(int levels);
+
+/// Looks a builder up by name: "hypercube8", "bus8", "ring9", or
+/// "<kind>:<param>[x<param2>]" e.g. "mesh:3x3", "ring:5", "hypercube:4".
+/// Throws std::invalid_argument for unknown specs.
+Topology by_name(const std::string& spec);
+
+}  // namespace dagsched::topo

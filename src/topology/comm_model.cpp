@@ -1,0 +1,58 @@
+#include "topology/comm_model.hpp"
+
+#include "util/require.hpp"
+
+namespace dagsched {
+
+Time message_time(std::int64_t bits, std::int64_t bandwidth_bits_per_sec) {
+  require(bits >= 0, "message_time: negative size");
+  require(bandwidth_bits_per_sec > 0, "message_time: bad bandwidth");
+  // bits / (bits/s) in seconds -> nanoseconds; compute in integer domain:
+  // t_ns = bits * 1e9 / BW.  For the magnitudes used here (<= millions of
+  // bits, BW >= 1e6) the product fits comfortably in 64 bits... except for
+  // pathological inputs, so use long double as a safe intermediate and
+  // round.
+  const long double seconds =
+      static_cast<long double>(bits) /
+      static_cast<long double>(bandwidth_bits_per_sec);
+  return static_cast<Time>(seconds * 1e9L + 0.5L);
+}
+
+Time variable_time(std::int64_t count) {
+  require(count >= 0, "variable_time: negative count");
+  return message_time(count * kPaperBitsPerVariable,
+                      kPaperBandwidthBitsPerSec);
+}
+
+CommModel CommModel::paper_default() {
+  return from_overheads(kPaperContextSwitch, kPaperOutputSetup,
+                        kPaperHeaderControl);
+}
+
+CommModel CommModel::disabled() {
+  CommModel model;
+  model.enabled = false;
+  model.sigma = 0;
+  model.tau = 0;
+  return model;
+}
+
+CommModel CommModel::from_overheads(Time context_switch, Time output_setup,
+                                    Time header_control) {
+  require(context_switch >= 0 && output_setup >= 0 && header_control >= 0,
+          "CommModel::from_overheads: negative overhead");
+  CommModel model;
+  model.enabled = true;
+  model.sigma = 2 * context_switch + output_setup;
+  model.tau = 2 * context_switch + header_control + output_setup;
+  return model;
+}
+
+Time CommModel::analytic_cost(Time w, int distance) const {
+  require(w >= 0, "CommModel::analytic_cost: negative wire time");
+  require(distance >= 0, "CommModel::analytic_cost: negative distance");
+  if (!enabled || distance == 0) return 0;
+  return w * distance + static_cast<Time>(distance - 1) * tau + sigma;
+}
+
+}  // namespace dagsched

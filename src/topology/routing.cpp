@@ -1,0 +1,78 @@
+#include "topology/routing.hpp"
+
+#include <deque>
+
+#include "util/require.hpp"
+
+namespace dagsched::routing {
+
+std::vector<int> all_pairs_distances(int num_procs,
+                                     const std::vector<ChannelId>& adjacency) {
+  require(num_procs > 0, "all_pairs_distances: no processors");
+  require(adjacency.size() ==
+              static_cast<std::size_t>(num_procs) *
+                  static_cast<std::size_t>(num_procs),
+          "all_pairs_distances: adjacency size mismatch");
+  const auto n = static_cast<std::size_t>(num_procs);
+  std::vector<int> dist(n * n, -1);
+  for (ProcId src = 0; src < num_procs; ++src) {
+    // Plain BFS; neighbor scan in ascending id keeps everything
+    // deterministic.
+    std::deque<ProcId> queue{src};
+    dist[static_cast<std::size_t>(src) * n + static_cast<std::size_t>(src)] =
+        0;
+    while (!queue.empty()) {
+      const ProcId u = queue.front();
+      queue.pop_front();
+      const int du =
+          dist[static_cast<std::size_t>(src) * n + static_cast<std::size_t>(u)];
+      for (ProcId v = 0; v < num_procs; ++v) {
+        const bool linked =
+            adjacency[static_cast<std::size_t>(u) * n +
+                      static_cast<std::size_t>(v)] != kInvalidChannel;
+        auto& dv = dist[static_cast<std::size_t>(src) * n +
+                        static_cast<std::size_t>(v)];
+        if (linked && dv < 0) {
+          dv = du + 1;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<ProcId> next_hop_matrix(int num_procs,
+                                    const std::vector<ChannelId>& adjacency,
+                                    const std::vector<int>& distances) {
+  const auto n = static_cast<std::size_t>(num_procs);
+  require(distances.size() == n * n, "next_hop_matrix: distance size mismatch");
+  std::vector<ProcId> next(n * n, kInvalidProc);
+  for (ProcId a = 0; a < num_procs; ++a) {
+    for (ProcId b = 0; b < num_procs; ++b) {
+      const std::size_t ab =
+          static_cast<std::size_t>(a) * n + static_cast<std::size_t>(b);
+      if (a == b) {
+        next[ab] = b;
+        continue;
+      }
+      if (distances[ab] < 0) continue;  // unreachable
+      for (ProcId w = 0; w < num_procs; ++w) {
+        const bool linked =
+            adjacency[static_cast<std::size_t>(a) * n +
+                      static_cast<std::size_t>(w)] != kInvalidChannel;
+        if (linked &&
+            distances[static_cast<std::size_t>(w) * n +
+                      static_cast<std::size_t>(b)] == distances[ab] - 1) {
+          next[ab] = w;  // lowest id wins: first hit in ascending scan
+          break;
+        }
+      }
+      ensure(next[ab] != kInvalidProc,
+             "next_hop_matrix: reachable pair without next hop");
+    }
+  }
+  return next;
+}
+
+}  // namespace dagsched::routing

@@ -1,0 +1,24 @@
+#pragma once
+
+// Shortest-path machinery shared by Topology.  Exposed separately so tests
+// can exercise the BFS layer directly on raw adjacency data.
+
+#include <vector>
+
+#include "topology/topology.hpp"
+
+namespace dagsched::routing {
+
+/// adjacency[a*n + b] != kInvalidChannel denotes a link.  Returns the n x n
+/// hop-count matrix; unreachable pairs get -1.
+std::vector<int> all_pairs_distances(int num_procs,
+                                     const std::vector<ChannelId>& adjacency);
+
+/// Deterministic next-hop matrix: next[a*n + b] is the lowest-id neighbor of
+/// `a` that lies on a shortest path to `b` (b itself when a == b,
+/// kInvalidProc when unreachable).
+std::vector<ProcId> next_hop_matrix(int num_procs,
+                                    const std::vector<ChannelId>& adjacency,
+                                    const std::vector<int>& distances);
+
+}  // namespace dagsched::routing

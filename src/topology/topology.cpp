@@ -1,0 +1,111 @@
+#include "topology/topology.hpp"
+
+#include <algorithm>
+
+#include "topology/routing.hpp"
+#include "util/require.hpp"
+
+namespace dagsched {
+
+Topology Topology::from_links(int num_procs,
+                              const std::vector<std::pair<int, int>>& links,
+                              std::string name) {
+  require(num_procs > 0, "Topology::from_links: no processors");
+  Topology topo;
+  topo.name_ = std::move(name);
+  topo.num_procs_ = num_procs;
+  topo.channel_matrix_.assign(static_cast<std::size_t>(num_procs) *
+                                  static_cast<std::size_t>(num_procs),
+                              kInvalidChannel);
+  ChannelId next_channel = 0;
+  for (const auto& [a, b] : links) {
+    require(a >= 0 && a < num_procs && b >= 0 && b < num_procs,
+            "Topology::from_links: link endpoint out of range");
+    require(a != b, "Topology::from_links: self link");
+    require(topo.channel_matrix_[topo.index(a, b)] == kInvalidChannel,
+            "Topology::from_links: duplicate link");
+    topo.channel_matrix_[topo.index(a, b)] = next_channel;
+    topo.channel_matrix_[topo.index(b, a)] = next_channel;
+    ++next_channel;
+  }
+  topo.num_links_ = static_cast<int>(links.size());
+  topo.num_channels_ = next_channel;
+  topo.finalize();
+  return topo;
+}
+
+Topology Topology::shared_medium(int num_procs, std::string name) {
+  require(num_procs > 0, "Topology::shared_medium: no processors");
+  Topology topo;
+  topo.name_ = std::move(name);
+  topo.num_procs_ = num_procs;
+  topo.channel_matrix_.assign(static_cast<std::size_t>(num_procs) *
+                                  static_cast<std::size_t>(num_procs),
+                              kInvalidChannel);
+  int pair_count = 0;
+  for (ProcId a = 0; a < num_procs; ++a) {
+    for (ProcId b = 0; b < num_procs; ++b) {
+      if (a != b) topo.channel_matrix_[topo.index(a, b)] = 0;
+    }
+    pair_count += num_procs - 1;
+  }
+  topo.num_links_ = pair_count / 2;
+  topo.num_channels_ = num_procs > 1 ? 1 : 0;
+  topo.finalize();
+  return topo;
+}
+
+void Topology::finalize() {
+  distance_matrix_ = routing::all_pairs_distances(num_procs_, channel_matrix_);
+  for (int d : distance_matrix_) {
+    require(d >= 0, "Topology: network is not connected");
+  }
+  next_hop_matrix_ =
+      routing::next_hop_matrix(num_procs_, channel_matrix_, distance_matrix_);
+  diameter_ = *std::max_element(distance_matrix_.begin(),
+                                distance_matrix_.end());
+}
+
+bool Topology::has_link(ProcId a, ProcId b) const {
+  return channel(a, b) != kInvalidChannel;
+}
+
+ChannelId Topology::channel(ProcId a, ProcId b) const {
+  require(is_valid_proc(a) && is_valid_proc(b), "Topology::channel: bad proc");
+  if (a == b) return kInvalidChannel;
+  return channel_matrix_[index(a, b)];
+}
+
+int Topology::distance(ProcId a, ProcId b) const {
+  require(is_valid_proc(a) && is_valid_proc(b), "Topology::distance: bad proc");
+  return distance_matrix_[index(a, b)];
+}
+
+int Topology::degree(ProcId p) const {
+  require(is_valid_proc(p), "Topology::degree: bad proc");
+  int count = 0;
+  for (ProcId q = 0; q < num_procs_; ++q) {
+    if (q != p && channel_matrix_[index(p, q)] != kInvalidChannel) ++count;
+  }
+  return count;
+}
+
+ProcId Topology::next_hop(ProcId from, ProcId dest) const {
+  require(is_valid_proc(from) && is_valid_proc(dest),
+          "Topology::next_hop: bad proc");
+  return next_hop_matrix_[index(from, dest)];
+}
+
+std::vector<ProcId> Topology::route(ProcId from, ProcId dest) const {
+  require(is_valid_proc(from) && is_valid_proc(dest),
+          "Topology::route: bad proc");
+  std::vector<ProcId> path{from};
+  ProcId current = from;
+  while (current != dest) {
+    current = next_hop(current, dest);
+    path.push_back(current);
+  }
+  return path;
+}
+
+}  // namespace dagsched

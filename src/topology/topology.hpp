@@ -1,0 +1,96 @@
+#pragma once
+
+// Host configuration HC = {P, L} (paper §2).
+//
+// N_p processors are joined by bidirectional point-to-point links; the link
+// matrix L is symmetric.  Each *physical channel* can carry one message at a
+// time.  For true point-to-point networks every link is its own channel; for
+// a bus, all processor pairs share one channel (the paper's "Bus (star)"
+// architecture is modelled as a shared medium: every pair is at distance 1
+// but the single channel serializes all traffic).
+//
+// Distances d(i,j) are hop counts of shortest paths; routing is
+// deterministic shortest-path (among equal-length next hops, the lowest
+// processor id wins), so simulations are exactly reproducible.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dagsched {
+
+/// Index of a processor within its Topology.
+using ProcId = std::int32_t;
+
+/// Sentinel meaning "no processor".
+inline constexpr ProcId kInvalidProc = -1;
+
+/// Index of a physical channel (contention domain).
+using ChannelId = std::int32_t;
+
+/// Sentinel meaning "no channel" (pair not directly linked).
+inline constexpr ChannelId kInvalidChannel = -1;
+
+class Topology {
+ public:
+  /// Builds a point-to-point network from an explicit link list.  Each link
+  /// {a, b} becomes its own contention channel.  Duplicate or self links are
+  /// rejected; the network must be connected.
+  static Topology from_links(int num_procs,
+                             const std::vector<std::pair<int, int>>& links,
+                             std::string name);
+
+  /// Builds a shared-medium network: all pairs at distance 1, one channel.
+  static Topology shared_medium(int num_procs, std::string name);
+
+  int num_procs() const { return num_procs_; }
+  int num_links() const { return num_links_; }
+  int num_channels() const { return num_channels_; }
+  const std::string& name() const { return name_; }
+
+  bool is_valid_proc(ProcId p) const { return p >= 0 && p < num_procs_; }
+
+  /// True when a and b are directly linked (a != b).
+  bool has_link(ProcId a, ProcId b) const;
+
+  /// The contention channel of link (a, b); kInvalidChannel when not linked.
+  ChannelId channel(ProcId a, ProcId b) const;
+
+  /// Hop count of the shortest path between a and b (0 when a == b).
+  int distance(ProcId a, ProcId b) const;
+
+  /// Maximal distance over all processor pairs.
+  int diameter() const { return diameter_; }
+
+  /// Number of direct neighbors of p.
+  int degree(ProcId p) const;
+
+  /// First hop of the deterministic shortest path from `from` toward
+  /// `dest`; `dest` itself when from == dest.
+  ProcId next_hop(ProcId from, ProcId dest) const;
+
+  /// Full deterministic route from `from` to `dest`, both inclusive.
+  std::vector<ProcId> route(ProcId from, ProcId dest) const;
+
+ private:
+  Topology() = default;
+  void finalize();  // computes distances, next hops, diameter; checks
+                    // connectivity
+
+  std::size_t index(ProcId a, ProcId b) const {
+    return static_cast<std::size_t>(a) * static_cast<std::size_t>(num_procs_) +
+           static_cast<std::size_t>(b);
+  }
+
+  std::string name_;
+  int num_procs_ = 0;
+  int num_links_ = 0;
+  int num_channels_ = 0;
+  int diameter_ = 0;
+  std::vector<ChannelId> channel_matrix_;  // np x np, kInvalidChannel = none
+  std::vector<int> distance_matrix_;       // np x np
+  std::vector<ProcId> next_hop_matrix_;    // np x np
+};
+
+}  // namespace dagsched

@@ -1,0 +1,61 @@
+#include "util/csv.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace dagsched {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quoting =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quoting) return field;
+  std::string escaped = "\"";
+  for (char ch : field) {
+    if (ch == '"') escaped += '"';
+    escaped += ch;
+  }
+  escaped += '"';
+  return escaped;
+}
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  require(!header_.empty(), "CsvWriter: need at least one column");
+}
+
+void CsvWriter::add_row(std::vector<std::string> cells) {
+  require(cells.size() == header_.size(), "CsvWriter: wrong column count");
+  rows_.push_back(std::move(cells));
+}
+
+std::string CsvWriter::render() const {
+  std::ostringstream out;
+  auto emit = [&out](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i > 0) out << ',';
+      out << csv_escape(cells[i]);
+    }
+    out << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+bool CsvWriter::write_file(const std::string& path) const {
+  std::error_code ec;
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::filesystem::create_directories(p.parent_path(), ec);
+    if (ec) return false;
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << render();
+  return static_cast<bool>(out);
+}
+
+}  // namespace dagsched

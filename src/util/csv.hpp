@@ -1,0 +1,38 @@
+#pragma once
+
+// Minimal RFC-4180 CSV emission.  Every benchmark harness mirrors its table
+// output to a CSV file so figures can be re-plotted outside the binary.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dagsched {
+
+/// Escapes one CSV field (quotes it when it contains separator, quote, or
+/// newline characters).
+std::string csv_escape(const std::string& field);
+
+/// Accumulates rows and writes them as CSV text.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Renders the full document, header first, "\n" line endings.
+  std::string render() const;
+
+  /// Writes the document to `path`, creating parent directories as needed.
+  /// Returns false (without throwing) when the filesystem refuses — the
+  /// benchmark harnesses treat CSV output as best-effort.
+  bool write_file(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dagsched

@@ -1,0 +1,26 @@
+#pragma once
+
+// Lightweight precondition checking.
+//
+// Library entry points validate their inputs with `require`; violations throw
+// `std::invalid_argument` so misuse is diagnosed at the API boundary instead
+// of corrupting simulator state.  Internal consistency conditions use
+// `ensure`, which throws `std::logic_error` — if one of those fires it is a
+// bug in this library, not in the caller.
+
+#include <stdexcept>
+#include <string>
+
+namespace dagsched {
+
+/// Validates a caller-supplied precondition.
+inline void require(bool condition, const std::string& message) {
+  if (!condition) throw std::invalid_argument(message);
+}
+
+/// Validates an internal invariant of the library itself.
+inline void ensure(bool condition, const std::string& message) {
+  if (!condition) throw std::logic_error("dagsched internal error: " + message);
+}
+
+}  // namespace dagsched

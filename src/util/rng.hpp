@@ -1,0 +1,79 @@
+#pragma once
+
+// Deterministic pseudo-random number generation.
+//
+// The library implements its own xoshiro256** generator instead of relying on
+// <random> engines + distributions because the standard distributions are not
+// bit-reproducible across standard-library implementations.  Every stochastic
+// component (annealer, random placements, graph generators) takes an explicit
+// seed, and identical seeds produce identical schedules on every platform.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace dagsched {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm),
+/// seeded through splitmix64 so that small / similar seeds still give
+/// well-mixed state.
+class Rng {
+ public:
+  /// Constructs a generator from a 64-bit seed.  Two generators built from
+  /// the same seed produce identical streams.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Next raw 64-bit output.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in the closed interval [lo, hi].
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform index in [0, size).  `size` must be positive.
+  std::size_t uniform_index(std::size_t size);
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double uniform01();
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Standard normal variate (Box–Muller; deterministic pair caching).
+  double normal();
+
+  /// Normal variate with given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Uniformly chosen element of a non-empty span.
+  template <typename T>
+  const T& pick(std::span<const T> values) {
+    require(!values.empty(), "Rng::pick: empty span");
+    return values[uniform_index(values.size())];
+  }
+
+  /// Fisher–Yates shuffle, deterministic for a given stream position.
+  template <typename T>
+  void shuffle(std::vector<T>& values) {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      std::size_t j = uniform_index(i);
+      std::swap(values[i - 1], values[j]);
+    }
+  }
+
+  /// Derives an independent child generator; useful for giving each
+  /// subsystem (annealer, workload generator, ...) its own stream while
+  /// keeping a single top-level experiment seed.
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace dagsched

@@ -1,0 +1,58 @@
+#pragma once
+
+// Small descriptive-statistics toolkit used by the experiment harnesses
+// (mean speedups over seeds, packet-size statistics, parallelism profiles).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dagsched {
+
+/// Streaming mean/variance accumulator (Welford's algorithm); numerically
+/// stable for long benchmark series.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); zero for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Summary of a finished sample set.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+
+/// Computes a full summary of `values` (empty input gives an all-zero
+/// summary).
+Summary summarize(std::span<const double> values);
+
+/// Arithmetic mean; zero for an empty span.
+double mean(std::span<const double> values);
+
+/// Linear-interpolation quantile, q in [0,1].  Values need not be sorted.
+double quantile(std::span<const double> values, double q);
+
+/// Relative difference |a-b| / max(|a|,|b|,eps); convenient for
+/// paper-vs-measured comparisons.
+double relative_difference(double a, double b);
+
+}  // namespace dagsched

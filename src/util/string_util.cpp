@@ -1,0 +1,70 @@
+#include "util/string_util.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+#include "util/require.hpp"
+#include "util/time.hpp"
+
+namespace dagsched {
+
+std::string format_fixed(double value, int decimals) {
+  require(decimals >= 0 && decimals <= 12, "format_fixed: bad decimals");
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
+  return buffer;
+}
+
+std::string format_percent(double fraction_times_100, int decimals) {
+  return format_fixed(fraction_times_100, decimals) + "%";
+}
+
+std::vector<std::string> split(std::string_view text, char separator) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == separator) {
+      fields.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return fields;
+}
+
+std::string_view trim(std::string_view text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+std::string pad_left(std::string_view text, std::size_t width) {
+  if (text.size() >= width) return std::string(text);
+  return std::string(width - text.size(), ' ') + std::string(text);
+}
+
+std::string pad_right(std::string_view text, std::size_t width) {
+  if (text.size() >= width) return std::string(text);
+  return std::string(text) + std::string(width - text.size(), ' ');
+}
+
+std::string format_time(Time t) {
+  if (t == kTimeInfinity) return "inf";
+  const double abs_us = to_us(t < 0 ? -t : t);
+  if (abs_us >= 1000.0) return format_fixed(to_ms(t), 3) + "ms";
+  if (abs_us >= 1.0 || t == 0) return format_fixed(to_us(t), 2) + "us";
+  return std::to_string(t) + "ns";
+}
+
+}  // namespace dagsched

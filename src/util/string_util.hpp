@@ -1,0 +1,31 @@
+#pragma once
+
+// String helpers shared by the table/CSV writers and the serializers.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dagsched {
+
+/// Formats a double with `decimals` fixed digits (locale-independent).
+std::string format_fixed(double value, int decimals);
+
+/// Formats a percentage with `decimals` digits and a trailing '%'.
+std::string format_percent(double fraction_times_100, int decimals = 1);
+
+/// Splits on a single character; keeps empty fields.
+std::vector<std::string> split(std::string_view text, char separator);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+/// True when `text` begins with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Left/right padding to a minimum width (no truncation).
+std::string pad_left(std::string_view text, std::size_t width);
+std::string pad_right(std::string_view text, std::size_t width);
+
+/// Renders format_time output; lives here to keep time.hpp header-light.
+}  // namespace dagsched

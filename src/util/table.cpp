@@ -1,0 +1,75 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "util/require.hpp"
+#include "util/string_util.hpp"
+
+namespace dagsched {
+
+TableWriter::TableWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  require(!headers_.empty(), "TableWriter: need at least one column");
+  alignment_.assign(headers_.size(), Align::Right);
+  alignment_.front() = Align::Left;
+}
+
+void TableWriter::set_alignment(std::vector<Align> alignment) {
+  require(alignment.size() == headers_.size(),
+          "TableWriter::set_alignment: wrong column count");
+  alignment_ = std::move(alignment);
+}
+
+void TableWriter::add_row(std::vector<std::string> cells) {
+  require(cells.size() == headers_.size(),
+          "TableWriter::add_row: wrong column count");
+  rows_.push_back(Row{false, std::move(cells)});
+}
+
+void TableWriter::add_rule() { rows_.push_back(Row{true, {}}); }
+
+std::string TableWriter::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const Row& row : rows_) {
+    if (row.is_rule) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  auto render_rule = [&] {
+    std::string line = "+";
+    for (std::size_t w : widths) line += std::string(w + 2, '-') + "+";
+    return line + "\n";
+  };
+  auto render_cells = [&](const std::vector<std::string>& cells,
+                          bool header) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const bool right = !header && alignment_[c] == Align::Right;
+      const std::string padded = right ? pad_left(cells[c], widths[c])
+                                       : pad_right(cells[c], widths[c]);
+      line += " " + padded + " |";
+    }
+    return line + "\n";
+  };
+
+  std::ostringstream out;
+  out << render_rule() << render_cells(headers_, true) << render_rule();
+  for (const Row& row : rows_) {
+    out << (row.is_rule ? render_rule() : render_cells(row.cells, false));
+  }
+  out << render_rule();
+  return out.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const TableWriter& table) {
+  return os << table.render();
+}
+
+}  // namespace dagsched

@@ -1,0 +1,56 @@
+#pragma once
+
+// Plain-text table rendering for the benchmark harnesses.  Every experiment
+// binary prints its result as an aligned ASCII table so "paper row" and
+// "measured row" can be compared at a glance.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dagsched {
+
+/// Column alignment within a rendered table.
+enum class Align { Left, Right };
+
+/// An aligned, pipe-separated text table.
+///
+/// Usage:
+///   TableWriter t({"program", "tasks", "speedup"});
+///   t.add_row({"NE", "95", "7.86"});
+///   std::cout << t.render();
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> headers);
+
+  /// Sets per-column alignment; default is Left for the first column and
+  /// Right for the rest (headers left-aligned regardless).
+  void set_alignment(std::vector<Align> alignment);
+
+  /// Appends a data row; must have exactly as many cells as there are
+  /// headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator rule at this position.
+  void add_rule();
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Renders the table, including a header rule, as a multi-line string.
+  std::string render() const;
+
+  /// Convenience: renders into a stream.
+  friend std::ostream& operator<<(std::ostream& os, const TableWriter& table);
+
+ private:
+  struct Row {
+    bool is_rule = false;
+    std::vector<std::string> cells;
+  };
+
+  std::vector<std::string> headers_;
+  std::vector<Align> alignment_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace dagsched

@@ -1,0 +1,71 @@
+#include "workloads/gauss_jordan.hpp"
+
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace dagsched::workloads {
+
+namespace {
+
+// Exact Table 1 targets for n = 10 (nanoseconds).
+//   tasks       = 1 + 10 + 100                    = 111
+//   total work  = 8370 + 10 x 9000 + 100 x 93111  = 9,409,470 = 111 x 84.77us
+//   critical path = 8370 + 10 x (9000 + 93111)    = 1,029,480
+//     -> max speedup 9409470 / 1029480 = 9.14
+//   total comm  = 111 x 6.85us                    = 760,350
+constexpr Time kDistribute = 8370;
+constexpr Time kNormalize = 9000;
+constexpr Time kUpdate = 93111;
+
+}  // namespace
+
+Workload gauss_jordan(const GaussJordanOptions& options) {
+  require(options.n >= 2, "gauss_jordan: system size must be >= 2");
+  require(!options.tune_to_paper || options.n == 10,
+          "gauss_jordan: tune_to_paper requires n == 10");
+  const int n = options.n;
+
+  TaskGraph graph("gauss_jordan");
+  const TaskId dist = graph.add_task("dist", kDistribute);
+
+  // Row 0 is the right-hand-side column; rows 1..n are the matrix rows.
+  // last_writer[r] = task that produced the current value of row r.
+  std::vector<TaskId> last_writer(static_cast<std::size_t>(n) + 1, dist);
+
+  TaskId prev_norm = kInvalidTask;
+  for (int k = 1; k <= n; ++k) {
+    const TaskId norm = graph.add_task("norm" + std::to_string(k),
+                                       kNormalize);
+    graph.add_edge(last_writer[static_cast<std::size_t>(k)], norm,
+                   kVariableCommTime);
+    last_writer[static_cast<std::size_t>(k)] = norm;
+
+    for (int r = 0; r <= n; ++r) {
+      if (r == k) continue;
+      const TaskId upd = graph.add_task(
+          "upd" + std::to_string(k) + "." + std::to_string(r), kUpdate);
+      // The normalized pivot row is broadcast to every update (two
+      // variables' worth of row segment before retargeting).
+      graph.add_edge(norm, upd, 2 * kVariableCommTime);
+      // The row's previous value.
+      graph.add_edge(last_writer[static_cast<std::size_t>(r)], upd,
+                     kVariableCommTime);
+      last_writer[static_cast<std::size_t>(r)] = upd;
+    }
+    prev_norm = norm;
+  }
+  ensure(prev_norm != kInvalidTask, "gauss_jordan: no iterations built");
+
+  Workload w{std::move(graph),
+             Table1Row{"Gauss-Jordan", 111, 84.77, 6.85, 8.1, 9.14}};
+  if (options.tune_to_paper) {
+    ensure(w.graph.num_tasks() == 111, "gauss_jordan: expected 111 tasks");
+    ensure(w.graph.total_work() == Time{9409470},
+           "gauss_jordan: unexpected total work");
+    retarget_total_comm(w.graph, 111 * 6850);
+  }
+  return w;
+}
+
+}  // namespace dagsched::workloads

@@ -1,0 +1,52 @@
+#include "workloads/matmul.hpp"
+
+#include "util/require.hpp"
+
+namespace dagsched::workloads {
+
+namespace {
+
+// Exact Table 1 targets for n = 10 (nanoseconds).
+//   tasks       = 1 + 10 + 100                      = 111
+//   total work  = 3930 + 10 x 15563 + 100 x 80500   = 8,209,560
+//                                                   = 111 x 73.96us
+//   critical path = 3930 + 15563 + 80500            = 99,993
+//     -> max speedup 8209560 / 99993 = 82.10
+//   total comm  = 111 x 7.21us                      = 800,310
+constexpr Time kLoad = 3930;
+constexpr Time kRowcast = 15563;
+constexpr Time kDot = 80500;
+
+}  // namespace
+
+Workload matmul(const MatmulOptions& options) {
+  require(options.n >= 1, "matmul: matrix dimension must be >= 1");
+  require(!options.tune_to_paper || options.n == 10,
+          "matmul: tune_to_paper requires n == 10");
+  const int n = options.n;
+
+  TaskGraph graph("matmul");
+  const TaskId load = graph.add_task("load", kLoad);
+  for (int i = 0; i < n; ++i) {
+    const TaskId rowcast =
+        graph.add_task("row" + std::to_string(i), kRowcast);
+    graph.add_edge(load, rowcast, 2 * kVariableCommTime);
+    for (int j = 0; j < n; ++j) {
+      const TaskId dot = graph.add_task(
+          "dot" + std::to_string(i) + "." + std::to_string(j), kDot);
+      graph.add_edge(rowcast, dot, 2 * kVariableCommTime);
+    }
+  }
+
+  Workload w{std::move(graph),
+             Table1Row{"Matrix Multiply", 111, 73.96, 7.21, 9.7, 82.10}};
+  if (options.tune_to_paper) {
+    ensure(w.graph.num_tasks() == 111, "matmul: expected 111 tasks");
+    ensure(w.graph.total_work() == Time{8209560},
+           "matmul: unexpected total work");
+    retarget_total_comm(w.graph, 111 * 7210);
+  }
+  return w;
+}
+
+}  // namespace dagsched::workloads

@@ -1,0 +1,113 @@
+#include "workloads/newton_euler.hpp"
+
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace dagsched::workloads {
+
+namespace {
+
+// Exact Table 1 targets for the default shape (all nanoseconds).
+//   tasks       = 1 + 4 + 6x8 + 6x7                     = 95
+//   total work  = 110229 + 78 x 8479 + 94809            = 866,400
+//                                                       = 95 x 9.12us
+//   critical path: the 13-carrier chain 8481 + 12 x 8479 = 110,229
+//     (every full quantity chain ties it: 8481 + 12 x 8479)
+//     -> max speedup 866400 / 110229 = 7.86
+//   total comm  = 95 x 3.96us                           = 376,200
+//     over 94 edges -> almost exactly one 40-bit variable per message
+constexpr Time kRootCarrier = 8481;
+constexpr Time kChainTask = 8479;
+constexpr Time kInitTask = 23702;  // gravity / inertia / trajectory setup
+// Zero-sum jitter along each chain (cyclically shifted per chain) so chain
+// sums — and therefore the critical path — stay exact while durations look
+// like real scalar kernels.
+constexpr Time kJitter[6] = {700, -700, 350, -350, 525, -525};
+
+}  // namespace
+
+Workload newton_euler(const NewtonEulerOptions& options) {
+  require(options.joints >= 1, "newton_euler: need at least one joint");
+  require(options.forward_per_joint >= 1 && options.backward_per_joint >= 1,
+          "newton_euler: need at least the carrier chain per sweep");
+  require(options.backward_per_joint <= options.forward_per_joint,
+          "newton_euler: backward chains attach to forward chains");
+  require(options.init_tasks >= 0, "newton_euler: negative init task count");
+
+  const bool default_shape = options.joints == 6 &&
+                             options.forward_per_joint == 8 &&
+                             options.backward_per_joint == 7 &&
+                             options.init_tasks == 4;
+  require(!options.tune_to_paper || default_shape,
+          "newton_euler: tune_to_paper requires the default shape");
+
+  TaskGraph graph("newton_euler");
+  const int J = options.joints;
+  const int F = options.forward_per_joint;
+  const int B = options.backward_per_joint;
+
+  // Chain k = 0 is the carrier (the angular-velocity recursion); chains
+  // k >= 1 carry the other per-joint quantities (acceleration, Coriolis
+  // terms, link forces, torques, ...), each depending on the same quantity
+  // of the previous joint.  This chain structure is what lets a
+  // communication-aware scheduler keep each quantity resident on one
+  // processor — the effect the paper's Table 2 exploits.
+  auto chain_duration = [](int joint, int chain) {
+    if (chain == 0) return kChainTask;
+    return kChainTask + kJitter[static_cast<std::size_t>(
+                            (joint + chain) % 6)];
+  };
+
+  const TaskId root = graph.add_task("init.carry", kRootCarrier);
+  for (int m = 0; m < options.init_tasks; ++m) {
+    // The last init task absorbs the integer residue of the work budget.
+    const bool last = m + 1 == options.init_tasks;
+    const TaskId t = graph.add_task("init." + std::to_string(m + 1),
+                                    kInitTask + (last ? 1 : 0));
+    graph.add_edge(root, t, kVariableCommTime);
+  }
+
+  // Forward sweep: F chains of J joints.
+  std::vector<std::vector<TaskId>> fwd(
+      static_cast<std::size_t>(F));  // fwd[k][j]
+  for (int k = 0; k < F; ++k) {
+    TaskId prev = root;
+    for (int j = 0; j < J; ++j) {
+      const TaskId t = graph.add_task(
+          "f" + std::to_string(j + 1) + "." + std::to_string(k),
+          chain_duration(j, k));
+      graph.add_edge(prev, t, kVariableCommTime);
+      fwd[static_cast<std::size_t>(k)].push_back(t);
+      prev = t;
+    }
+  }
+
+  // Backward sweep: B chains of J joints, tip-coupled to the matching
+  // forward chain (force/torque recursion starts from the terminal link's
+  // state).
+  for (int k = 0; k < B; ++k) {
+    TaskId prev = fwd[static_cast<std::size_t>(k)].back();
+    for (int j = J - 1; j >= 0; --j) {
+      const TaskId t = graph.add_task(
+          "b" + std::to_string(j + 1) + "." + std::to_string(k),
+          chain_duration(j, k));
+      graph.add_edge(prev, t, kVariableCommTime);
+      prev = t;
+    }
+  }
+
+  Workload w{std::move(graph),
+             Table1Row{"Newton-Euler", 95, 9.12, 3.96, 43.0, 7.86}};
+
+  if (options.tune_to_paper) {
+    ensure(w.graph.num_tasks() == 95, "newton_euler: expected 95 tasks");
+    ensure(w.graph.num_edges() == 94, "newton_euler: expected 94 edges");
+    ensure(w.graph.total_work() == Time{866400},
+           "newton_euler: unexpected total work");
+    retarget_total_comm(w.graph, 95 * 3960);
+  }
+  return w;
+}
+
+}  // namespace dagsched::workloads

@@ -1,0 +1,29 @@
+#include "workloads/registry.hpp"
+
+#include "util/require.hpp"
+#include "workloads/fft.hpp"
+#include "workloads/gauss_jordan.hpp"
+#include "workloads/matmul.hpp"
+#include "workloads/newton_euler.hpp"
+
+namespace dagsched::workloads {
+
+std::vector<Workload> paper_programs() {
+  std::vector<Workload> programs;
+  programs.push_back(newton_euler());
+  programs.push_back(gauss_jordan());
+  programs.push_back(fft());
+  programs.push_back(matmul());
+  return programs;
+}
+
+Workload by_name(const std::string& name) {
+  if (name == "NE" || name == "newton_euler") return newton_euler();
+  if (name == "GJ" || name == "gauss_jordan") return gauss_jordan();
+  if (name == "FFT" || name == "fft") return fft();
+  if (name == "MM" || name == "matmul") return matmul();
+  throw std::invalid_argument("workloads::by_name: unknown program '" + name +
+                              "'");
+}
+
+}  // namespace dagsched::workloads

@@ -1,0 +1,20 @@
+#pragma once
+
+// Convenience access to the paper's four benchmark programs.
+
+#include <vector>
+
+#include "workloads/workload.hpp"
+
+namespace dagsched::workloads {
+
+/// The four programs in the paper's Table 1/2 order:
+/// Newton-Euler, Gauss-Jordan, FFT, Matrix Multiply.
+std::vector<Workload> paper_programs();
+
+/// Looks a program up by short name: "NE", "GJ", "FFT", "MM" (also accepts
+/// the full taskgraph names).  Throws std::invalid_argument for unknown
+/// names.
+Workload by_name(const std::string& name);
+
+}  // namespace dagsched::workloads

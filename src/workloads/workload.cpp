@@ -1,0 +1,49 @@
+#include "workloads/workload.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/require.hpp"
+
+namespace dagsched::workloads {
+
+void retarget_total_comm(TaskGraph& graph, Time target_total) {
+  require(target_total >= 0, "retarget_total_comm: negative target");
+  require(graph.num_edges() > 0, "retarget_total_comm: graph has no edges");
+
+  auto total = [&graph] {
+    Time sum = 0;
+    for (const Edge& e : graph.edges()) sum += e.weight;
+    return sum;
+  };
+
+  // Proportional passes: every edge moves by at most a quarter of its weight
+  // (at least 1 ns so zero-ish weights can still grow) until the residue is
+  // small, then the first edges absorb the exact remainder.
+  for (int pass = 0; pass < 1000; ++pass) {
+    const Time diff = target_total - total();
+    if (diff == 0) return;
+    Time remaining = diff;
+    for (const Edge& e : graph.edges()) {
+      if (remaining == 0) break;
+      Time step = std::max<Time>(e.weight / 4, 1);
+      if (remaining > 0) {
+        step = std::min(step, remaining);
+        graph.set_edge_weight(e.from, e.to, e.weight + step);
+        remaining -= step;
+      } else {
+        step = std::min({step, -remaining, e.weight});
+        if (step == 0) continue;
+        graph.set_edge_weight(e.from, e.to, e.weight - step);
+        remaining += step;
+      }
+    }
+    // When shrinking, a full pass that could not move anything means the
+    // target is unreachable (all weights already zero).
+    if (remaining == diff && diff < 0) break;
+  }
+  ensure(total() == target_total,
+         "retarget_total_comm: could not reach the target total");
+}
+
+}  // namespace dagsched::workloads

@@ -1,0 +1,51 @@
+#pragma once
+
+// Benchmark-program taskgraphs (paper §6, Table 1).
+//
+// The paper publishes only aggregate characteristics of its four programs —
+// task count, mean duration, mean communication (per task; see
+// graph/analysis.hpp), C/C ratio and maximum speedup — not the graphs
+// themselves.  Each generator here builds a DAG whose *shape* follows the
+// algorithm's actual data dependences and whose durations/weights are chosen
+// with exact integer arithmetic so the generated graph reproduces the
+// published row of Table 1 (verified by bench_table1 and the workloads test
+// suite).  Maximum speedup pins the critical-path length, which in turn pins
+// the depth/width decomposition.
+
+#include <string>
+
+#include "graph/taskgraph.hpp"
+
+namespace dagsched::workloads {
+
+/// The published Table 1 row for a program (microseconds / percent).
+struct Table1Row {
+  std::string program;
+  int tasks = 0;
+  double avg_duration_us = 0.0;
+  double avg_comm_us = 0.0;
+  double cc_ratio_pct = 0.0;
+  double max_speedup = 0.0;
+};
+
+/// A generated program plus its published reference characteristics.
+struct Workload {
+  TaskGraph graph;
+  Table1Row paper;
+};
+
+/// Wire time of one 40-bit program variable on the paper's 10 Mb/s links
+/// (the natural quantum of the workloads' message weights).  Kept as a plain
+/// constant here so the workloads library does not depend on the topology
+/// library; equals dagsched::variable_time(1).
+inline constexpr Time kVariableCommTime = 4000;
+
+/// Distributes `target_total - current total` over the edge weights by
+/// repeated proportional passes (each pass changes every weight by at most
+/// 25%), finishing with an exact residue on the first edges.  Weights stay
+/// non-negative; durations, levels and the critical path are unaffected.
+/// Used by the workload tuners to hit the published total communication
+/// exactly.
+void retarget_total_comm(TaskGraph& graph, Time target_total);
+
+}  // namespace dagsched::workloads

@@ -1,0 +1,172 @@
+// Graph analysis: topological order, levels, critical path, statistics.
+
+#include <gtest/gtest.h>
+
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+
+namespace dagsched {
+namespace {
+
+/// a(10) -> b(20) -> d(40); a -> c(30) -> d; critical path a,c,d = 80us.
+TaskGraph make_diamond() {
+  TaskGraph g("diamond4");
+  const TaskId a = g.add_task("a", us(std::int64_t{10}));
+  const TaskId b = g.add_task("b", us(std::int64_t{20}));
+  const TaskId c = g.add_task("c", us(std::int64_t{30}));
+  const TaskId d = g.add_task("d", us(std::int64_t{40}));
+  g.add_edge(a, b, us(std::int64_t{5}));
+  g.add_edge(a, c, us(std::int64_t{6}));
+  g.add_edge(b, d, us(std::int64_t{7}));
+  g.add_edge(c, d, us(std::int64_t{8}));
+  return g;
+}
+
+TEST(TopologicalOrder, RespectsEdgesAndIsDeterministic) {
+  const TaskGraph g = make_diamond();
+  const auto order = topological_order(g);
+  ASSERT_EQ(order.size(), 4u);
+  std::vector<int> position(4);
+  for (int i = 0; i < 4; ++i) {
+    position[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] =
+        i;
+  }
+  for (const Edge& e : g.edges()) {
+    EXPECT_LT(position[static_cast<std::size_t>(e.from)],
+              position[static_cast<std::size_t>(e.to)]);
+  }
+  // Smallest-id-first among ready tasks: a, b, c, d here.
+  EXPECT_EQ(order, (std::vector<TaskId>{0, 1, 2, 3}));
+}
+
+TEST(TopologicalOrder, ThrowsOnCycle) {
+  TaskGraph g;
+  const TaskId a = g.add_task("a", 1);
+  const TaskId b = g.add_task("b", 1);
+  g.add_edge(a, b, 0);
+  g.add_edge(b, a, 0);
+  EXPECT_THROW(topological_order(g), std::invalid_argument);
+}
+
+TEST(TaskLevels, MatchesHandComputation) {
+  const TaskGraph g = make_diamond();
+  const auto levels = task_levels(g);
+  // level(d) = 40; level(b) = 20+40 = 60; level(c) = 30+40 = 70;
+  // level(a) = 10 + max(60, 70) = 80.
+  EXPECT_EQ(levels[3], us(std::int64_t{40}));
+  EXPECT_EQ(levels[1], us(std::int64_t{60}));
+  EXPECT_EQ(levels[2], us(std::int64_t{70}));
+  EXPECT_EQ(levels[0], us(std::int64_t{80}));
+}
+
+TEST(TaskLevels, ExcludeCommunication) {
+  const TaskGraph g = make_diamond();
+  const auto plain = task_levels(g);
+  const auto with_comm = task_levels_with_comm(g);
+  // With comm: level(c) = 30 + 8 + 40 = 78; level(a) = 10+6+78 = 94.
+  EXPECT_EQ(with_comm[2], us(std::int64_t{78}));
+  EXPECT_EQ(with_comm[0], us(std::int64_t{94}));
+  for (TaskId t = 0; t < g.num_tasks(); ++t) {
+    EXPECT_GE(with_comm[static_cast<std::size_t>(t)],
+              plain[static_cast<std::size_t>(t)]);
+  }
+}
+
+TEST(TaskLevels, LeafLevelEqualsOwnDuration) {
+  const TaskGraph g = make_diamond();
+  const auto levels = task_levels(g);
+  for (const TaskId leaf : g.leaves()) {
+    EXPECT_EQ(levels[static_cast<std::size_t>(leaf)], g.duration(leaf));
+  }
+}
+
+TEST(TopLevels, MatchesHandComputation) {
+  const TaskGraph g = make_diamond();
+  const auto top = top_levels(g);
+  EXPECT_EQ(top[0], 0);
+  EXPECT_EQ(top[1], us(std::int64_t{10}));
+  EXPECT_EQ(top[2], us(std::int64_t{10}));
+  EXPECT_EQ(top[3], us(std::int64_t{40}));  // via c: 10 + 30
+}
+
+TEST(CriticalPath, FindsLongestChain) {
+  const TaskGraph g = make_diamond();
+  const CriticalPath cp = critical_path(g);
+  EXPECT_EQ(cp.length, us(std::int64_t{80}));
+  EXPECT_EQ(cp.tasks, (std::vector<TaskId>{0, 2, 3}));
+}
+
+TEST(CriticalPath, PathDurationsSumToLength) {
+  const TaskGraph g = gen::layered_dag({});
+  const CriticalPath cp = critical_path(g);
+  Time sum = 0;
+  for (const TaskId t : cp.tasks) sum += g.duration(t);
+  EXPECT_EQ(sum, cp.length);
+  // Consecutive path tasks are connected.
+  for (std::size_t i = 0; i + 1 < cp.tasks.size(); ++i) {
+    EXPECT_TRUE(g.has_edge(cp.tasks[i], cp.tasks[i + 1]));
+  }
+}
+
+TEST(CriticalPath, SingleTask) {
+  TaskGraph g;
+  g.add_task("only", us(std::int64_t{7}));
+  const CriticalPath cp = critical_path(g);
+  EXPECT_EQ(cp.length, us(std::int64_t{7}));
+  EXPECT_EQ(cp.tasks.size(), 1u);
+}
+
+TEST(GraphDepth, CountsTasksOnLongestChain) {
+  EXPECT_EQ(graph_depth(make_diamond()), 3);
+  EXPECT_EQ(graph_depth(gen::chain(10, 5, 0)), 10);
+  EXPECT_EQ(graph_depth(gen::independent(5, 5)), 1);
+}
+
+TEST(GraphStats, DiamondNumbers) {
+  const GraphStats s = compute_stats(make_diamond());
+  EXPECT_EQ(s.tasks, 4);
+  EXPECT_EQ(s.edges, 4);
+  EXPECT_EQ(s.roots, 1);
+  EXPECT_EQ(s.leaves, 1);
+  EXPECT_EQ(s.depth, 3);
+  EXPECT_EQ(s.total_work, us(std::int64_t{100}));
+  EXPECT_EQ(s.total_comm, us(std::int64_t{26}));
+  EXPECT_DOUBLE_EQ(s.avg_duration_us, 25.0);
+  EXPECT_DOUBLE_EQ(s.avg_comm_us, 6.5);   // total comm / tasks
+  EXPECT_DOUBLE_EQ(s.avg_edge_comm_us, 6.5);
+  EXPECT_DOUBLE_EQ(s.cc_ratio_pct, 26.0);
+  EXPECT_DOUBLE_EQ(s.max_speedup, 1.25);
+}
+
+TEST(GraphStats, MaxSpeedupIsWorkOverCriticalPath) {
+  const TaskGraph g = gen::diamond(8, us(std::int64_t{10}),
+                                   us(std::int64_t{10}),
+                                   us(std::int64_t{10}), 0);
+  const GraphStats s = compute_stats(g);
+  // 10 tasks x 10us work, CP = 3 tasks = 30us.
+  EXPECT_DOUBLE_EQ(s.max_speedup, 100.0 / 30.0);
+}
+
+TEST(ParallelismProfile, ChainIsFlatOne) {
+  const TaskGraph g = gen::chain(5, us(std::int64_t{10}), 0);
+  const auto profile = parallelism_profile(g, 10);
+  for (const double p : profile) EXPECT_NEAR(p, 1.0, 1e-9);
+}
+
+TEST(ParallelismProfile, DiamondShowsMiddleWidth) {
+  const TaskGraph g = gen::diamond(6, us(std::int64_t{10}),
+                                   us(std::int64_t{10}),
+                                   us(std::int64_t{10}), 0);
+  const auto profile = parallelism_profile(g, 3);
+  EXPECT_NEAR(profile[0], 1.0, 1e-9);
+  EXPECT_NEAR(profile[1], 6.0, 1e-9);
+  EXPECT_NEAR(profile[2], 1.0, 1e-9);
+}
+
+TEST(ParallelismProfile, RejectsBadBinCount) {
+  EXPECT_THROW(parallelism_profile(make_diamond(), 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dagsched

@@ -1,0 +1,141 @@
+// Boltzmann acceptance (eq. 1/2) and cooling schedules.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/boltzmann.hpp"
+#include "core/cooling.hpp"
+
+namespace dagsched::sa {
+namespace {
+
+TEST(Boltzmann, HalfAtInfiniteTemperature) {
+  // B(F, inf) = 0.5 for any finite cost difference (eq. 2, first limit).
+  for (const double delta : {-1000.0, -1.0, 0.0, 1.0, 1000.0}) {
+    EXPECT_NEAR(boltzmann_acceptance(delta, 1e30), 0.5, 1e-6) << delta;
+  }
+}
+
+TEST(Boltzmann, StepFunctionAtZeroTemperature) {
+  // B(F, 0): accept iff F < 0 (eq. 2, second limit).
+  EXPECT_DOUBLE_EQ(boltzmann_acceptance(-0.001, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(boltzmann_acceptance(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(boltzmann_acceptance(0.001, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(boltzmann_acceptance(-5.0, -1.0), 1.0);  // temp<0 = limit
+}
+
+TEST(Boltzmann, ExactSigmoidValues) {
+  // B(dF, T) = 1 / (1 + exp(dF / T)).
+  EXPECT_DOUBLE_EQ(boltzmann_acceptance(0.0, 1.0), 0.5);
+  EXPECT_NEAR(boltzmann_acceptance(1.0, 1.0), 1.0 / (1.0 + std::exp(1.0)),
+              1e-12);
+  EXPECT_NEAR(boltzmann_acceptance(-2.0, 4.0),
+              1.0 / (1.0 + std::exp(-0.5)), 1e-12);
+}
+
+TEST(Boltzmann, MonotoneInDelta) {
+  double previous = 1.0;
+  for (double delta = -5.0; delta <= 5.0; delta += 0.25) {
+    const double p = boltzmann_acceptance(delta, 0.7);
+    EXPECT_LE(p, previous);
+    previous = p;
+  }
+}
+
+TEST(Boltzmann, ImprovingMovesMoreLikelyAtLowerTemperature) {
+  const double hot = boltzmann_acceptance(-1.0, 10.0);
+  const double cold = boltzmann_acceptance(-1.0, 0.1);
+  EXPECT_GT(cold, hot);
+  const double worsen_hot = boltzmann_acceptance(1.0, 10.0);
+  const double worsen_cold = boltzmann_acceptance(1.0, 0.1);
+  EXPECT_LT(worsen_cold, worsen_hot);
+}
+
+TEST(Boltzmann, OverflowSafe) {
+  EXPECT_DOUBLE_EQ(boltzmann_acceptance(1e308, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(boltzmann_acceptance(-1e308, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(boltzmann_acceptance(1.0, 1e-308), 0.0);
+}
+
+TEST(Cooling, GeometricDecay) {
+  CoolingSchedule s;
+  s.kind = CoolingKind::Geometric;
+  s.t0 = 2.0;
+  s.alpha = 0.5;
+  s.t_min = 1e-6;
+  EXPECT_DOUBLE_EQ(s.temperature(0), 2.0);
+  EXPECT_DOUBLE_EQ(s.temperature(1), 1.0);
+  EXPECT_DOUBLE_EQ(s.temperature(3), 0.25);
+}
+
+TEST(Cooling, LinearReachesFloor) {
+  CoolingSchedule s;
+  s.kind = CoolingKind::Linear;
+  s.t0 = 1.0;
+  s.max_steps = 10;
+  s.t_min = 0.01;
+  EXPECT_DOUBLE_EQ(s.temperature(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.temperature(5), 0.5);
+  EXPECT_DOUBLE_EQ(s.temperature(10), 0.01);  // clamped at the floor
+}
+
+TEST(Cooling, LogarithmicStartsAtT0) {
+  CoolingSchedule s;
+  s.kind = CoolingKind::Logarithmic;
+  s.t0 = 3.0;
+  EXPECT_NEAR(s.temperature(0), 3.0, 1e-9);  // ln(e) = 1
+  EXPECT_LT(s.temperature(10), 3.0);
+}
+
+TEST(Cooling, ConstantStaysPut) {
+  CoolingSchedule s;
+  s.kind = CoolingKind::Constant;
+  s.t0 = 0.7;
+  EXPECT_DOUBLE_EQ(s.temperature(0), 0.7);
+  EXPECT_DOUBLE_EQ(s.temperature(100), 0.7);
+}
+
+TEST(Cooling, AllSchedulesAreNonIncreasingAndFloored) {
+  for (const CoolingKind kind :
+       {CoolingKind::Geometric, CoolingKind::Linear,
+        CoolingKind::Logarithmic, CoolingKind::Constant}) {
+    CoolingSchedule s;
+    s.kind = kind;
+    s.t0 = 4.0;
+    s.t_min = 0.05;
+    s.max_steps = 50;
+    double previous = s.temperature(0);
+    for (int step = 1; step < 60; ++step) {
+      const double t = s.temperature(step);
+      EXPECT_LE(t, previous + 1e-12) << to_string(kind) << " step " << step;
+      EXPECT_GE(t, s.t_min);
+      previous = t;
+    }
+  }
+}
+
+TEST(Cooling, Validation) {
+  CoolingSchedule s;
+  s.t0 = 0.0;
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+  s = CoolingSchedule{};
+  s.alpha = 1.0;
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+  s = CoolingSchedule{};
+  s.max_steps = 0;
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+  s = CoolingSchedule{};
+  EXPECT_NO_THROW(s.validate());
+  EXPECT_THROW(s.temperature(-1), std::invalid_argument);
+}
+
+TEST(Cooling, Names) {
+  EXPECT_EQ(to_string(CoolingKind::Geometric), "geometric");
+  EXPECT_EQ(to_string(CoolingKind::Linear), "linear");
+  EXPECT_EQ(to_string(CoolingKind::Logarithmic), "logarithmic");
+  EXPECT_EQ(to_string(CoolingKind::Constant), "constant");
+}
+
+}  // namespace
+}  // namespace dagsched::sa

@@ -1,0 +1,24 @@
+// Smoke test: the umbrella library links and the full pipeline runs.
+
+#include <gtest/gtest.h>
+
+#include "core/sa_scheduler.hpp"
+#include "sim/engine.hpp"
+#include "topology/builders.hpp"
+#include "workloads/registry.hpp"
+
+namespace dagsched {
+namespace {
+
+TEST(Bootstrap, FullPipelineRuns) {
+  const workloads::Workload w = workloads::by_name("NE");
+  const Topology topo = topo::hypercube(3);
+  sa::SaScheduler scheduler;
+  const sim::SimResult result =
+      sim::simulate(w.graph, topo, CommModel::paper_default(), scheduler);
+  EXPECT_GT(result.makespan, 0);
+  EXPECT_EQ(static_cast<int>(result.placement.size()), w.graph.num_tasks());
+}
+
+}  // namespace
+}  // namespace dagsched

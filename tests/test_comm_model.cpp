@@ -1,0 +1,90 @@
+// Communication model: the paper's constants, eq. 4, and message timing.
+
+#include <gtest/gtest.h>
+
+#include "topology/comm_model.hpp"
+
+namespace dagsched {
+namespace {
+
+TEST(CommModel, PaperConstants) {
+  const CommModel m = CommModel::paper_default();
+  EXPECT_TRUE(m.enabled);
+  // sigma = 2S + O = 2*2 + 3 = 7us; tau = 2S + H + O = 9us.
+  EXPECT_EQ(m.sigma, us(std::int64_t{7}));
+  EXPECT_EQ(m.tau, us(std::int64_t{9}));
+}
+
+TEST(CommModel, FromOverheads) {
+  const CommModel m = CommModel::from_overheads(us(std::int64_t{1}),
+                                                us(std::int64_t{2}),
+                                                us(std::int64_t{3}));
+  EXPECT_EQ(m.sigma, us(std::int64_t{4}));  // 2*1 + 2
+  EXPECT_EQ(m.tau, us(std::int64_t{7}));    // 2*1 + 3 + 2
+  EXPECT_THROW(CommModel::from_overheads(-1, 0, 0), std::invalid_argument);
+}
+
+TEST(CommModel, DisabledIsFree) {
+  const CommModel m = CommModel::disabled();
+  EXPECT_FALSE(m.enabled);
+  EXPECT_EQ(m.analytic_cost(us(std::int64_t{100}), 5), 0);
+}
+
+TEST(MessageTime, PaperVariableIs4us) {
+  // 40 bits on a 10 Mb/s link = 4us.
+  EXPECT_EQ(variable_time(1), us(std::int64_t{4}));
+  EXPECT_EQ(variable_time(3), us(std::int64_t{12}));
+  EXPECT_EQ(variable_time(0), 0);
+  EXPECT_EQ(message_time(kPaperBitsPerVariable, kPaperBandwidthBitsPerSec),
+            us(std::int64_t{4}));
+}
+
+TEST(MessageTime, Validation) {
+  EXPECT_THROW(message_time(-1, 1000), std::invalid_argument);
+  EXPECT_THROW(message_time(10, 0), std::invalid_argument);
+  EXPECT_THROW(variable_time(-1), std::invalid_argument);
+}
+
+TEST(AnalyticCost, Equation4Cases) {
+  const CommModel m = CommModel::paper_default();
+  const Time w = us(std::int64_t{4});
+  // Same processor (delta = 1, d = 0): zero.
+  EXPECT_EQ(m.analytic_cost(w, 0), 0);
+  // Neighbors (d = 1): w + sigma.
+  EXPECT_EQ(m.analytic_cost(w, 1), us(std::int64_t{11}));
+  // Distance 2: 2w + tau + sigma.
+  EXPECT_EQ(m.analytic_cost(w, 2), us(std::int64_t{24}));
+  // Distance 3: 3w + 2tau + sigma.
+  EXPECT_EQ(m.analytic_cost(w, 3), us(std::int64_t{37}));
+}
+
+TEST(AnalyticCost, ZeroWeightStillPaysOverheads) {
+  const CommModel m = CommModel::paper_default();
+  EXPECT_EQ(m.analytic_cost(0, 1), m.sigma);
+  EXPECT_EQ(m.analytic_cost(0, 3), 2 * m.tau + m.sigma);
+}
+
+TEST(AnalyticCost, MonotoneInDistanceAndWeight) {
+  const CommModel m = CommModel::paper_default();
+  Time previous = 0;
+  for (int d = 1; d <= 6; ++d) {
+    const Time cost = m.analytic_cost(us(std::int64_t{4}), d);
+    EXPECT_GT(cost, previous);
+    previous = cost;
+  }
+  EXPECT_LT(m.analytic_cost(us(std::int64_t{2}), 2),
+            m.analytic_cost(us(std::int64_t{8}), 2));
+}
+
+TEST(AnalyticCost, Validation) {
+  const CommModel m = CommModel::paper_default();
+  EXPECT_THROW(m.analytic_cost(-1, 1), std::invalid_argument);
+  EXPECT_THROW(m.analytic_cost(1, -1), std::invalid_argument);
+}
+
+TEST(CommModel, DefaultSendCpuIsPerTaskOutput) {
+  EXPECT_EQ(CommModel::paper_default().send_cpu, SendCpu::PerTaskOutput);
+}
+
+}  // namespace
+}  // namespace dagsched

@@ -1,0 +1,162 @@
+// The two extension schedulers: ETF (earliest-start greedy) and the global
+// whole-schedule annealer.
+
+#include <gtest/gtest.h>
+
+#include "core/global_annealer.hpp"
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+#include "sched/etf.hpp"
+#include "sched/hlf.hpp"
+#include "sched/pinned.hpp"
+#include "sim/engine.hpp"
+#include "sim/validate.hpp"
+#include "topology/builders.hpp"
+#include "workloads/registry.hpp"
+
+namespace dagsched {
+namespace {
+
+TEST(Etf, KeepsConsumersLocalWhenFree) {
+  TaskGraph g;
+  const TaskId a = g.add_task("a", us(std::int64_t{10}));
+  const TaskId b = g.add_task("b", us(std::int64_t{10}));
+  g.add_edge(a, b, us(std::int64_t{8}));
+  sched::EtfScheduler etf;
+  const sim::SimResult result =
+      sim::simulate(g, topo::ring(4), CommModel::paper_default(), etf);
+  EXPECT_EQ(result.placement[static_cast<std::size_t>(a)],
+            result.placement[static_cast<std::size_t>(b)]);
+  EXPECT_EQ(result.num_messages, 0);
+}
+
+TEST(Etf, FallsBackToLevelsWithoutComm) {
+  // With zero comm cost everywhere, ties break toward higher levels: ETF
+  // behaves like HLF on selection.
+  const workloads::Workload w = workloads::by_name("GJ");
+  sched::EtfScheduler etf;
+  sched::HlfScheduler hlf;
+  const Time etf_makespan = sim::simulate(w.graph, topo::hypercube(3),
+                                          CommModel::disabled(), etf)
+                                .makespan;
+  const Time hlf_makespan = sim::simulate(w.graph, topo::hypercube(3),
+                                          CommModel::disabled(), hlf)
+                                .makespan;
+  EXPECT_EQ(etf_makespan, hlf_makespan);
+}
+
+TEST(Etf, ValidSchedulesOnPaperGrid) {
+  for (const char* name : {"NE", "FFT"}) {
+    const workloads::Workload w = workloads::by_name(name);
+    for (const Topology& machine : {topo::hypercube(3), topo::ring(9)}) {
+      sched::EtfScheduler etf;
+      const CommModel comm = CommModel::paper_default();
+      const sim::SimResult result =
+          sim::simulate(w.graph, machine, comm, etf);
+      const auto violations =
+          sim::validate_run(w.graph, machine, comm, result);
+      EXPECT_TRUE(violations.empty())
+          << name << "/" << machine.name() << ": " << violations.front();
+    }
+  }
+}
+
+TEST(Etf, BeatsPlainHlfOnChainWorkloads) {
+  const workloads::Workload w = workloads::by_name("NE");
+  const CommModel comm = CommModel::paper_default();
+  sched::EtfScheduler etf;
+  sched::HlfScheduler hlf;
+  const Time etf_makespan =
+      sim::simulate(w.graph, topo::ring(9), comm, etf).makespan;
+  const Time hlf_makespan =
+      sim::simulate(w.graph, topo::ring(9), comm, hlf).makespan;
+  EXPECT_LT(etf_makespan, hlf_makespan);
+}
+
+TEST(GlobalAnnealer, ImprovesOrMatchesItsHlfSeed) {
+  const workloads::Workload w = workloads::by_name("FFT");
+  const Topology machine = topo::hypercube(3);
+  const CommModel comm = CommModel::paper_default();
+  sa::GlobalAnnealOptions options;
+  options.cooling.max_steps = 12;  // keep the test quick
+  const sa::GlobalAnnealResult result =
+      sa::anneal_global(w.graph, machine, comm, options);
+  EXPECT_LE(result.makespan, result.initial_makespan);
+  EXPECT_GT(result.simulations, 1);
+  // The returned mapping replays to exactly the reported makespan.
+  sched::PinnedScheduler replay(result.mapping);
+  const sim::SimResult replayed =
+      sim::simulate(w.graph, machine, comm, replay);
+  EXPECT_EQ(replayed.makespan, result.makespan);
+  const auto violations =
+      sim::validate_run(w.graph, machine, comm, replayed);
+  EXPECT_TRUE(violations.empty());
+}
+
+TEST(GlobalAnnealer, HistoryIsMonotoneNonIncreasing) {
+  const TaskGraph g = gen::diamond(12, us(std::int64_t{5}),
+                                   us(std::int64_t{20}),
+                                   us(std::int64_t{5}),
+                                   us(std::int64_t{8}));
+  sa::GlobalAnnealOptions options;
+  options.cooling.max_steps = 10;
+  const sa::GlobalAnnealResult result =
+      sa::anneal_global(g, topo::ring(4), CommModel::paper_default(),
+                        options);
+  for (std::size_t i = 1; i < result.history.size(); ++i) {
+    EXPECT_LE(result.history[i], result.history[i - 1]);
+  }
+}
+
+TEST(GlobalAnnealer, RandomSeedStartWorks) {
+  const TaskGraph g = gen::chain(6, us(std::int64_t{10}),
+                                 us(std::int64_t{4}));
+  sa::GlobalAnnealOptions options;
+  options.seed_with_hlf = false;
+  options.cooling.max_steps = 15;
+  const sa::GlobalAnnealResult result =
+      sa::anneal_global(g, topo::line(3), CommModel::paper_default(),
+                        options);
+  // A chain's optimum is one processor, zero messages: 60us.  The global
+  // annealer must find it from a random start on this tiny instance.
+  EXPECT_EQ(result.makespan, us(std::int64_t{60}));
+}
+
+TEST(GlobalAnnealer, SingleProcessorShortCircuits) {
+  const TaskGraph g = gen::chain(3, us(std::int64_t{10}), 0);
+  const sa::GlobalAnnealResult result = sa::anneal_global(
+      g, topo::line(1), CommModel::paper_default(), {});
+  EXPECT_EQ(result.makespan, us(std::int64_t{30}));
+  EXPECT_EQ(result.simulations, 1);
+}
+
+TEST(GlobalAnnealer, DeterministicPerSeed) {
+  const TaskGraph g = gen::diamond(8, us(std::int64_t{5}),
+                                   us(std::int64_t{15}),
+                                   us(std::int64_t{5}),
+                                   us(std::int64_t{4}));
+  sa::GlobalAnnealOptions options;
+  options.cooling.max_steps = 8;
+  options.seed = 77;
+  const auto a =
+      sa::anneal_global(g, topo::ring(4), CommModel::paper_default(),
+                        options);
+  const auto b =
+      sa::anneal_global(g, topo::ring(4), CommModel::paper_default(),
+                        options);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.mapping, b.mapping);
+  EXPECT_EQ(a.simulations, b.simulations);
+}
+
+TEST(GlobalAnnealer, NeverBelowCriticalPathBound) {
+  const workloads::Workload w = workloads::by_name("MM");
+  sa::GlobalAnnealOptions options;
+  options.cooling.max_steps = 6;
+  const auto result = sa::anneal_global(
+      w.graph, topo::bus(8), CommModel::paper_default(), options);
+  EXPECT_GE(result.makespan, critical_path(w.graph).length);
+}
+
+}  // namespace
+}  // namespace dagsched

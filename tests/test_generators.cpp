@@ -1,0 +1,176 @@
+// Random and structured taskgraph generators: validity, shape, and
+// determinism, swept over seeds with TEST_P.
+
+#include <gtest/gtest.h>
+
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+#include "graph/serialize.hpp"
+
+namespace dagsched {
+namespace {
+
+class LayeredDagSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LayeredDagSeeds, ProducesValidDagWithExpectedDepth) {
+  gen::LayeredDagOptions options;
+  options.layers = 7;
+  options.min_width = 2;
+  options.max_width = 6;
+  options.seed = GetParam();
+  const TaskGraph g = gen::layered_dag(options);
+  ASSERT_NO_THROW(g.validate());
+  EXPECT_TRUE(g.is_acyclic());
+  EXPECT_EQ(graph_depth(g), options.layers);
+  EXPECT_GE(g.num_tasks(), options.layers * options.min_width);
+  EXPECT_LE(g.num_tasks(), options.layers * options.max_width);
+  for (TaskId t = 0; t < g.num_tasks(); ++t) {
+    EXPECT_GE(g.duration(t), options.min_duration);
+    EXPECT_LE(g.duration(t), options.max_duration);
+  }
+  for (const Edge& e : g.edges()) {
+    EXPECT_GE(e.weight, options.min_weight);
+    EXPECT_LE(e.weight, options.max_weight);
+  }
+}
+
+TEST_P(LayeredDagSeeds, IsDeterministicPerSeed) {
+  gen::LayeredDagOptions options;
+  options.seed = GetParam();
+  const TaskGraph a = gen::layered_dag(options);
+  const TaskGraph b = gen::layered_dag(options);
+  EXPECT_EQ(to_text(a), to_text(b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LayeredDagSeeds,
+                         ::testing::Values(1, 2, 3, 17, 99, 12345, 777777));
+
+class GnpDagSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GnpDagSeeds, ProducesValidDag) {
+  gen::GnpDagOptions options;
+  options.num_tasks = 60;
+  options.edge_probability = 0.12;
+  options.seed = GetParam();
+  const TaskGraph g = gen::gnp_dag(options);
+  ASSERT_NO_THROW(g.validate());
+  EXPECT_EQ(g.num_tasks(), 60);
+  // All edges point forward in id order by construction.
+  for (const Edge& e : g.edges()) EXPECT_LT(e.from, e.to);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GnpDagSeeds,
+                         ::testing::Values(1, 5, 23, 4242));
+
+TEST(GnpDag, EdgeProbabilityExtremes) {
+  gen::GnpDagOptions options;
+  options.num_tasks = 20;
+  options.edge_probability = 0.0;
+  EXPECT_EQ(gen::gnp_dag(options).num_edges(), 0);
+  options.edge_probability = 1.0;
+  EXPECT_EQ(gen::gnp_dag(options).num_edges(), 20 * 19 / 2);
+}
+
+TEST(ForkJoin, ShapeAndCriticalPath) {
+  const TaskGraph g = gen::fork_join(3, 4, us(std::int64_t{5}),
+                                     us(std::int64_t{20}),
+                                     us(std::int64_t{10}), 0);
+  // Per stage: fork + join + 4 work = 6 tasks.
+  EXPECT_EQ(g.num_tasks(), 18);
+  ASSERT_NO_THROW(g.validate());
+  // CP per stage: 5 + 20 + 10 = 35; three stages chained = 105us.
+  EXPECT_EQ(critical_path(g).length, us(std::int64_t{105}));
+  EXPECT_EQ(graph_depth(g), 9);
+}
+
+TEST(Trees, OutTreeShape) {
+  const TaskGraph g = gen::out_tree(4, 2, us(std::int64_t{10}), 0);
+  EXPECT_EQ(g.num_tasks(), 15);  // 1+2+4+8
+  EXPECT_EQ(g.roots().size(), 1u);
+  EXPECT_EQ(g.leaves().size(), 8u);
+  EXPECT_EQ(graph_depth(g), 4);
+  ASSERT_NO_THROW(g.validate());
+}
+
+TEST(Trees, InTreeShape) {
+  const TaskGraph g = gen::in_tree(4, 2, us(std::int64_t{10}), 0);
+  EXPECT_EQ(g.num_tasks(), 15);
+  EXPECT_EQ(g.roots().size(), 8u);
+  EXPECT_EQ(g.leaves().size(), 1u);
+  EXPECT_EQ(graph_depth(g), 4);
+  ASSERT_NO_THROW(g.validate());
+}
+
+TEST(Trees, UnaryDegenerate) {
+  const TaskGraph g = gen::out_tree(3, 1, us(std::int64_t{1}), 0);
+  EXPECT_EQ(g.num_tasks(), 3);
+  EXPECT_EQ(graph_depth(g), 3);
+}
+
+TEST(Chain, ShapeAndStats) {
+  const TaskGraph g = gen::chain(7, us(std::int64_t{3}), us(std::int64_t{1}));
+  EXPECT_EQ(g.num_tasks(), 7);
+  EXPECT_EQ(g.num_edges(), 6);
+  EXPECT_EQ(critical_path(g).length, us(std::int64_t{21}));
+  EXPECT_DOUBLE_EQ(compute_stats(g).max_speedup, 1.0);
+}
+
+TEST(Diamond, Shape) {
+  const TaskGraph g = gen::diamond(5, 1, 2, 3, 0);
+  EXPECT_EQ(g.num_tasks(), 7);
+  EXPECT_EQ(g.num_edges(), 10);
+  EXPECT_EQ(g.roots().size(), 1u);
+  EXPECT_EQ(g.leaves().size(), 1u);
+}
+
+TEST(Independent, NoEdges) {
+  const TaskGraph g = gen::independent(9, us(std::int64_t{4}));
+  EXPECT_EQ(g.num_tasks(), 9);
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_EQ(graph_depth(g), 1);
+}
+
+TEST(Generators, RejectBadShapes) {
+  EXPECT_THROW(gen::chain(0, 1, 0), std::invalid_argument);
+  EXPECT_THROW(gen::out_tree(0, 2, 1, 0), std::invalid_argument);
+  EXPECT_THROW(gen::in_tree(2, 0, 1, 0), std::invalid_argument);
+  EXPECT_THROW(gen::fork_join(0, 3, 1, 1, 1, 0), std::invalid_argument);
+  EXPECT_THROW(gen::diamond(0, 1, 1, 1, 0), std::invalid_argument);
+  EXPECT_THROW(gen::independent(0, 1), std::invalid_argument);
+  gen::LayeredDagOptions bad_width;
+  bad_width.min_width = 3;
+  bad_width.max_width = 2;
+  EXPECT_THROW(gen::layered_dag(bad_width), std::invalid_argument);
+  gen::GnpDagOptions bad_p;
+  bad_p.edge_probability = 1.5;
+  EXPECT_THROW(gen::gnp_dag(bad_p), std::invalid_argument);
+}
+
+TEST(GrahamAnomaly, OriginalInstanceNumbers) {
+  const TaskGraph g = gen::graham_anomaly(false);
+  EXPECT_EQ(g.num_tasks(), 9);
+  EXPECT_EQ(g.num_edges(), 5);
+  // Durations 3,2,2,2,4,4,4,4,9 units.
+  EXPECT_EQ(g.duration(0), us(std::int64_t{3}));
+  EXPECT_EQ(g.duration(8), us(std::int64_t{9}));
+  EXPECT_EQ(g.total_work(), us(std::int64_t{34}));
+  // Critical path T1 -> T9 = 12 units.
+  EXPECT_EQ(critical_path(g).length, us(std::int64_t{12}));
+  EXPECT_TRUE(g.has_edge(0, 8));
+  for (TaskId t = 4; t <= 7; ++t) EXPECT_TRUE(g.has_edge(3, t));
+}
+
+TEST(GrahamAnomaly, ReducedInstanceNumbers) {
+  const TaskGraph g = gen::graham_anomaly(true);
+  EXPECT_EQ(g.total_work(), us(std::int64_t{25}));
+  EXPECT_EQ(critical_path(g).length, us(std::int64_t{10}));
+}
+
+TEST(GrahamAnomaly, UnitScaling) {
+  const TaskGraph g = gen::graham_anomaly(false, us(std::int64_t{10}));
+  EXPECT_EQ(g.duration(0), us(std::int64_t{30}));
+  EXPECT_THROW(gen::graham_anomaly(false, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dagsched

@@ -1,0 +1,220 @@
+// Concrete list policies: HLF ordering and placements, fixed-list
+// scheduling (including the Graham anomaly), pinned and random schedulers.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+#include "sched/fixed_list.hpp"
+#include "sched/hlf.hpp"
+#include "sched/pinned.hpp"
+#include "sched/random_policy.hpp"
+#include "sim/engine.hpp"
+#include "topology/builders.hpp"
+
+namespace dagsched {
+namespace {
+
+TEST(Hlf, AssignsHighestLevelsFirst) {
+  // Three ready tasks with distinct levels, two processors: the two
+  // highest-level tasks are taken first.
+  TaskGraph g;
+  const TaskId short_task = g.add_task("short", us(std::int64_t{5}));
+  const TaskId long_task = g.add_task("long", us(std::int64_t{50}));
+  const TaskId mid_task = g.add_task("mid", us(std::int64_t{20}));
+  (void)short_task;
+  sched::HlfScheduler hlf;
+  const sim::SimResult result =
+      sim::simulate(g, topo::line(2), CommModel::disabled(), hlf);
+  // long and mid start at 0; short waits.
+  EXPECT_EQ(result.trace.task_record(long_task).started, 0);
+  EXPECT_EQ(result.trace.task_record(mid_task).started, 0);
+  EXPECT_EQ(result.trace.task_record(short_task).started,
+            us(std::int64_t{20}));
+}
+
+TEST(Hlf, FirstIdlePlacementIsLowestProc) {
+  TaskGraph g;
+  const TaskId t = g.add_task("t", us(std::int64_t{5}));
+  sched::HlfScheduler hlf;
+  const sim::SimResult result =
+      sim::simulate(g, topo::line(4), CommModel::disabled(), hlf);
+  EXPECT_EQ(result.placement[static_cast<std::size_t>(t)], 0);
+}
+
+TEST(Hlf, UnitTasksOnTwoProcsPackPerfectly) {
+  // 6 unit tasks, no deps: HLF fills both processors every epoch.
+  const TaskGraph g = gen::independent(6, us(std::int64_t{10}));
+  sched::HlfScheduler hlf;
+  const sim::SimResult result =
+      sim::simulate(g, topo::line(2), CommModel::disabled(), hlf);
+  EXPECT_EQ(result.makespan, us(std::int64_t{30}));
+}
+
+TEST(Hlf, MinCommPlacementPrefersProducerProcessor) {
+  // a on some processor; consumer b should land on the same one under
+  // MinComm (cost 0 locally vs sigma+w remotely).
+  TaskGraph g;
+  const TaskId a = g.add_task("a", us(std::int64_t{10}));
+  const TaskId b = g.add_task("b", us(std::int64_t{10}));
+  g.add_edge(a, b, us(std::int64_t{4}));
+  sched::HlfScheduler hlf(sched::HlfPlacement::MinComm);
+  const sim::SimResult result =
+      sim::simulate(g, topo::line(3), CommModel::paper_default(), hlf);
+  EXPECT_EQ(result.placement[static_cast<std::size_t>(a)],
+            result.placement[static_cast<std::size_t>(b)]);
+  EXPECT_EQ(result.num_messages, 0);
+}
+
+TEST(Hlf, RandomPlacementIsSeededDeterministic) {
+  const TaskGraph g = gen::independent(10, us(std::int64_t{10}));
+  sched::HlfScheduler a(sched::HlfPlacement::Random, 99);
+  sched::HlfScheduler b(sched::HlfPlacement::Random, 99);
+  const auto ra = sim::simulate(g, topo::complete(4),
+                                CommModel::disabled(), a);
+  const auto rb = sim::simulate(g, topo::complete(4),
+                                CommModel::disabled(), b);
+  EXPECT_EQ(ra.placement, rb.placement);
+}
+
+TEST(Hlf, Names) {
+  EXPECT_EQ(sched::HlfScheduler().name(), "HLF");
+  EXPECT_EQ(sched::HlfScheduler(sched::HlfPlacement::Random).name(),
+            "HLF-random");
+  EXPECT_EQ(sched::HlfScheduler(sched::HlfPlacement::MinComm).name(),
+            "HLF-mincomm");
+}
+
+TEST(FixedList, FollowsTheListAmongReadyTasks) {
+  // Two independent tasks; the list prefers the second.
+  TaskGraph g;
+  const TaskId a = g.add_task("a", us(std::int64_t{10}));
+  const TaskId b = g.add_task("b", us(std::int64_t{10}));
+  sched::FixedListScheduler policy({b, a});
+  const sim::SimResult result =
+      sim::simulate(g, topo::line(1), CommModel::disabled(), policy);
+  EXPECT_EQ(result.trace.task_record(b).started, 0);
+  EXPECT_EQ(result.trace.task_record(a).started, us(std::int64_t{10}));
+}
+
+TEST(FixedList, GrahamOriginalMakespan12) {
+  const TaskGraph g = gen::graham_anomaly(false);
+  std::vector<TaskId> list(9);
+  std::iota(list.begin(), list.end(), 0);
+  sched::FixedListScheduler policy(list);
+  const sim::SimResult result =
+      sim::simulate(g, topo::complete(3), CommModel::disabled(), policy);
+  EXPECT_EQ(result.makespan, us(std::int64_t{12}));
+}
+
+TEST(FixedList, GrahamReducedAnomalyMakespan13) {
+  const TaskGraph g = gen::graham_anomaly(true);
+  std::vector<TaskId> list(9);
+  std::iota(list.begin(), list.end(), 0);
+  sched::FixedListScheduler policy(list);
+  const sim::SimResult result =
+      sim::simulate(g, topo::complete(3), CommModel::disabled(), policy);
+  // The famous anomaly: every task got faster, the schedule got longer.
+  EXPECT_EQ(result.makespan, us(std::int64_t{13}));
+}
+
+TEST(FixedList, ValidatesTheList) {
+  TaskGraph g;
+  g.add_task("a", 1);
+  g.add_task("b", 1);
+  const Topology machine = topo::line(1);
+  {
+    sched::FixedListScheduler policy({0});  // too short
+    EXPECT_THROW(sim::simulate(g, machine, CommModel::disabled(), policy),
+                 std::invalid_argument);
+  }
+  {
+    sched::FixedListScheduler policy({0, 0});  // duplicate
+    EXPECT_THROW(sim::simulate(g, machine, CommModel::disabled(), policy),
+                 std::invalid_argument);
+  }
+  {
+    sched::FixedListScheduler policy({0, 7});  // bad id
+    EXPECT_THROW(sim::simulate(g, machine, CommModel::disabled(), policy),
+                 std::invalid_argument);
+  }
+}
+
+TEST(Pinned, PlacesEveryTaskWhereTold) {
+  const TaskGraph g = gen::independent(6, us(std::int64_t{10}));
+  const std::vector<ProcId> mapping = {2, 0, 1, 2, 0, 1};
+  sched::PinnedScheduler policy(mapping);
+  const sim::SimResult result =
+      sim::simulate(g, topo::complete(3), CommModel::disabled(), policy);
+  EXPECT_EQ(result.placement, mapping);
+  EXPECT_EQ(result.makespan, us(std::int64_t{20}));
+}
+
+TEST(Pinned, ValidatesMapping) {
+  TaskGraph g;
+  g.add_task("a", 1);
+  sched::PinnedScheduler short_map(std::vector<ProcId>{});
+  EXPECT_THROW(
+      sim::simulate(g, topo::line(1), CommModel::disabled(), short_map),
+      std::invalid_argument);
+  sched::PinnedScheduler bad_proc({5});
+  EXPECT_THROW(
+      sim::simulate(g, topo::line(1), CommModel::disabled(), bad_proc),
+      std::invalid_argument);
+}
+
+TEST(Random, SeededDeterminismAndReset) {
+  const TaskGraph g = gen::independent(12, us(std::int64_t{10}));
+  sched::RandomScheduler policy(123);
+  const auto a = sim::simulate(g, topo::complete(4),
+                               CommModel::disabled(), policy);
+  const auto b = sim::simulate(g, topo::complete(4),
+                               CommModel::disabled(), policy);
+  EXPECT_EQ(a.placement, b.placement);
+
+  sched::RandomScheduler other(124);
+  const auto c = sim::simulate(g, topo::complete(4),
+                               CommModel::disabled(), other);
+  EXPECT_NE(a.placement, c.placement);  // overwhelmingly likely
+}
+
+TEST(EpochContext, RejectsIllegalAssignments) {
+  class AbusivePolicy : public sim::SchedulingPolicy {
+   public:
+    explicit AbusivePolicy(int mode) : mode_(mode) {}
+    void on_epoch(sim::EpochContext& ctx) override {
+      const TaskId task = ctx.ready_tasks().front();
+      const ProcId proc = ctx.idle_procs().front();
+      switch (mode_) {
+        case 0:
+          ctx.assign(task, 999);  // not a processor
+          break;
+        case 1:
+          ctx.assign(999, proc);  // not a ready task
+          break;
+        case 2:
+          ctx.assign(task, proc);
+          ctx.assign(task, proc);  // double assignment
+          break;
+      }
+    }
+    std::string name() const override { return "abusive"; }
+
+   private:
+    int mode_;
+  };
+
+  const TaskGraph g = gen::independent(3, us(std::int64_t{1}));
+  for (int mode = 0; mode < 3; ++mode) {
+    AbusivePolicy policy(mode);
+    EXPECT_THROW(
+        sim::simulate(g, topo::line(2), CommModel::disabled(), policy),
+        std::invalid_argument)
+        << "mode " << mode;
+  }
+}
+
+}  // namespace
+}  // namespace dagsched

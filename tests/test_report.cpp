@@ -1,0 +1,164 @@
+// Report layer: Gantt rendering, the comparison harness, paper tables.
+
+#include <gtest/gtest.h>
+
+#include "report/experiment.hpp"
+#include "report/gantt.hpp"
+#include "report/paper.hpp"
+#include "sched/pinned.hpp"
+#include "sim/engine.hpp"
+#include "topology/builders.hpp"
+#include "workloads/registry.hpp"
+
+namespace dagsched {
+namespace {
+
+TEST(Gantt, RendersTaskBlocksAndCommMarkers) {
+  TaskGraph g;
+  const TaskId a = g.add_task("a", us(std::int64_t{10}));
+  const TaskId b = g.add_task("b", us(std::int64_t{10}));
+  g.add_edge(a, b, us(std::int64_t{4}));
+  sched::PinnedScheduler policy({0, 1});
+  const sim::SimResult result =
+      sim::simulate(g, topo::line(2), CommModel::paper_default(), policy);
+  const std::string gantt =
+      report::render_gantt(g, topo::line(2), result.trace);
+  EXPECT_NE(gantt.find("P0"), std::string::npos);
+  EXPECT_NE(gantt.find("P1"), std::string::npos);
+  EXPECT_NE(gantt.find('S'), std::string::npos);  // send on P0
+  EXPECT_NE(gantt.find('R'), std::string::npos);  // receive on P1
+  EXPECT_NE(gantt.find('0'), std::string::npos);  // task glyphs
+  EXPECT_NE(gantt.find('1'), std::string::npos);
+  EXPECT_NE(gantt.find("legend"), std::string::npos);
+}
+
+TEST(Gantt, RouteMarkerOnIntermediateProcessor) {
+  TaskGraph g;
+  const TaskId a = g.add_task("a", us(std::int64_t{10}));
+  const TaskId b = g.add_task("b", us(std::int64_t{10}));
+  g.add_edge(a, b, us(std::int64_t{4}));
+  sched::PinnedScheduler policy({0, 2});
+  const sim::SimResult result =
+      sim::simulate(g, topo::line(3), CommModel::paper_default(), policy);
+  const std::string gantt =
+      report::render_gantt(g, topo::line(3), result.trace);
+  EXPECT_NE(gantt.find('r'), std::string::npos);  // routing on P1
+}
+
+TEST(Gantt, WindowAndOptionsControls) {
+  TaskGraph g;
+  g.add_task("a", us(std::int64_t{100}));
+  sched::PinnedScheduler policy({0});
+  const sim::SimResult result =
+      sim::simulate(g, topo::line(1), CommModel::disabled(), policy);
+  report::GanttOptions options;
+  options.width = 40;
+  options.show_comm_rows = false;
+  options.show_legend = false;
+  options.window_end = us(std::int64_t{50});
+  const std::string gantt =
+      report::render_gantt(g, topo::line(1), result.trace, options);
+  EXPECT_EQ(gantt.find('S'), std::string::npos);
+  EXPECT_EQ(gantt.find("legend"), std::string::npos);
+  // One task row plus axis rows only.
+  EXPECT_NE(gantt.find("P0"), std::string::npos);
+}
+
+TEST(Gantt, RejectsDegenerateWindows) {
+  TaskGraph g;
+  g.add_task("a", us(std::int64_t{10}));
+  sched::PinnedScheduler policy({0});
+  const sim::SimResult result =
+      sim::simulate(g, topo::line(1), CommModel::disabled(), policy);
+  report::GanttOptions bad_width;
+  bad_width.width = 2;
+  EXPECT_THROW(
+      report::render_gantt(g, topo::line(1), result.trace, bad_width),
+      std::invalid_argument);
+  report::GanttOptions empty_window;
+  empty_window.window_start = us(std::int64_t{5});
+  empty_window.window_end = us(std::int64_t{5});
+  EXPECT_THROW(
+      report::render_gantt(g, topo::line(1), result.trace, empty_window),
+      std::invalid_argument);
+}
+
+TEST(PaperTables, TwentyFourCellsAndLookup) {
+  EXPECT_EQ(report::paper_table2().size(), 24u);
+  const auto cell = report::paper_speedup("NE", "ring9p", true);
+  ASSERT_TRUE(cell.has_value());
+  EXPECT_DOUBLE_EQ(cell->sa, 5.50);
+  EXPECT_DOUBLE_EQ(cell->hlf, 3.60);
+  EXPECT_NEAR(cell->gain_pct(), 52.8, 0.1);
+  EXPECT_FALSE(report::paper_speedup("NE", "mesh3x3", true).has_value());
+}
+
+TEST(PaperTables, GainsArePositiveWithComm) {
+  for (const report::PaperSpeedup& cell : report::paper_table2()) {
+    if (cell.with_comm) {
+      EXPECT_GT(cell.sa, cell.hlf)
+          << cell.program << " " << cell.topology;
+    }
+  }
+}
+
+TEST(Experiment, ProgramKeys) {
+  EXPECT_EQ(report::program_key("newton_euler"), "NE");
+  EXPECT_EQ(report::program_key("gauss_jordan"), "GJ");
+  EXPECT_EQ(report::program_key("matmul"), "MM");
+  EXPECT_EQ(report::program_key("fft"), "FFT");
+  EXPECT_EQ(report::program_key("other"), "other");
+}
+
+TEST(Experiment, CompareRunsBothPolicies) {
+  const workloads::Workload w = workloads::by_name("FFT");
+  report::CompareOptions options;
+  options.sa_seeds = 2;
+  const report::ComparisonRow row = report::compare_sa_hlf(
+      "FFT", w.graph, topo::hypercube(3), CommModel::paper_default(),
+      options);
+  EXPECT_EQ(row.program, "FFT");
+  EXPECT_EQ(row.topology, "hypercube8p");
+  EXPECT_TRUE(row.with_comm);
+  EXPECT_GT(row.sa_speedup, 0.0);
+  EXPECT_GT(row.hlf_speedup, 0.0);
+  EXPECT_GT(row.sa_makespan, 0);
+  EXPECT_GE(row.sa_best_seed, 1u);
+  EXPECT_LE(row.sa_best_seed, 2u);
+  EXPECT_GT(row.sa_stats.packets, 0);
+}
+
+TEST(Experiment, BestOfSeedsIsMonotoneInSeedCount) {
+  const workloads::Workload w = workloads::by_name("MM");
+  report::CompareOptions one;
+  one.sa_seeds = 1;
+  report::CompareOptions three;
+  three.sa_seeds = 3;
+  const auto row1 = report::compare_sa_hlf(
+      "MM", w.graph, topo::ring(9), CommModel::paper_default(), one);
+  const auto row3 = report::compare_sa_hlf(
+      "MM", w.graph, topo::ring(9), CommModel::paper_default(), three);
+  EXPECT_LE(row3.sa_makespan, row1.sa_makespan);
+  EXPECT_EQ(row1.hlf_makespan, row3.hlf_makespan);  // HLF deterministic
+}
+
+TEST(Experiment, GainPercentage) {
+  report::ComparisonRow row;
+  row.sa_speedup = 6.0;
+  row.hlf_speedup = 5.0;
+  EXPECT_NEAR(row.gain_pct(), 20.0, 1e-12);
+  row.hlf_speedup = 0.0;
+  EXPECT_DOUBLE_EQ(row.gain_pct(), 0.0);
+}
+
+TEST(Experiment, RejectsBadOptions) {
+  const workloads::Workload w = workloads::by_name("FFT");
+  report::CompareOptions options;
+  options.sa_seeds = 0;
+  EXPECT_THROW(report::compare_sa_hlf("FFT", w.graph, topo::bus(8),
+                                      CommModel::disabled(), options),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dagsched

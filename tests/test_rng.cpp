@@ -1,0 +1,189 @@
+// Determinism and distribution sanity of the xoshiro256** generator.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace dagsched {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDifferentStreams) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ZeroSeedIsUsable) {
+  Rng rng(0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(rng.next_u64());
+  EXPECT_GT(seen.size(), 95u);
+}
+
+TEST(Rng, UniformIntStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(-5, 17);
+    ASSERT_GE(v, -5);
+    ASSERT_LE(v, 17);
+  }
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(3, 3), 3);
+}
+
+TEST(Rng, UniformIntRejectsInvertedRange) {
+  Rng rng(7);
+  EXPECT_THROW(rng.uniform_int(2, 1), std::invalid_argument);
+}
+
+TEST(Rng, UniformIntCoversAllValues) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform_int(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, UniformIntIsRoughlyUniform) {
+  Rng rng(13);
+  std::vector<int> counts(10, 0);
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    counts[static_cast<std::size_t>(rng.uniform_int(0, 9))]++;
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / 10, kDraws / 100);  // within 10% relative
+  }
+}
+
+TEST(Rng, Uniform01StaysInUnitInterval) {
+  Rng rng(17);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformIndexBounds) {
+  Rng rng(19);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_LT(rng.uniform_index(7), 7u);
+  }
+  EXPECT_THROW(rng.uniform_index(0), std::invalid_argument);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(23);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(29);
+  int hits = 0;
+  const int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(31);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / kDraws, 1.0, 0.05);
+}
+
+TEST(Rng, NormalWithParameters) {
+  Rng rng(37);
+  double sum = 0.0;
+  const int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / kDraws, 10.0, 0.1);
+  EXPECT_THROW(rng.normal(0.0, -1.0), std::invalid_argument);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(41);
+  std::vector<int> values(100);
+  for (int i = 0; i < 100; ++i) values[static_cast<std::size_t>(i)] = i;
+  rng.shuffle(values);
+  std::vector<int> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(sorted[static_cast<std::size_t>(i)], i);
+  }
+  // And actually shuffles.
+  int displaced = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (values[static_cast<std::size_t>(i)] != i) ++displaced;
+  }
+  EXPECT_GT(displaced, 50);
+}
+
+TEST(Rng, PickReturnsElementsFromSpan) {
+  Rng rng(43);
+  const std::vector<int> values = {2, 4, 8};
+  for (int i = 0; i < 100; ++i) {
+    const int v = rng.pick(std::span<const int>(values));
+    EXPECT_TRUE(v == 2 || v == 4 || v == 8);
+  }
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(47);
+  Rng child = parent.split();
+  // The child stream differs from the parent's continuation.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.next_u64() == child.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  Rng a(51);
+  Rng b(51);
+  Rng child_a = a.split();
+  Rng child_b = b.split();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(child_a.next_u64(), child_b.next_u64());
+  }
+}
+
+}  // namespace
+}  // namespace dagsched

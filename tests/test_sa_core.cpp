@@ -1,0 +1,330 @@
+// SA core: packets, mappings and the §5 move scheme, the eq. 3-6 cost
+// model with incremental deltas, and the annealing loop.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/annealer.hpp"
+#include "core/cost.hpp"
+#include "core/mapping.hpp"
+#include "core/packet.hpp"
+#include "topology/builders.hpp"
+
+namespace dagsched::sa {
+namespace {
+
+/// A synthetic packet: `n` tasks with levels 10, 20, ... us and one input
+/// of weight 4us each (task i's input sits on processor i mod np).
+AnnealingPacket make_packet(int n, int np) {
+  AnnealingPacket packet;
+  for (ProcId p = 0; p < np; ++p) packet.procs.push_back(p);
+  for (int i = 0; i < n; ++i) {
+    PacketTask task;
+    task.task = i;
+    task.level = us(static_cast<std::int64_t>(10 * (i + 1)));
+    task.inputs.push_back(PacketTask::Input{
+        static_cast<ProcId>(i % np), us(std::int64_t{4})});
+    task.total_input_weight = us(std::int64_t{4});
+    packet.tasks.push_back(std::move(task));
+  }
+  return packet;
+}
+
+TEST(Packet, SelectionCount) {
+  EXPECT_EQ(make_packet(5, 3).num_selected(), 3);
+  EXPECT_EQ(make_packet(2, 6).num_selected(), 2);
+  EXPECT_EQ(make_packet(4, 4).num_selected(), 4);
+}
+
+TEST(Mapping, HighestLevelInitSelectsTopLevels) {
+  const AnnealingPacket packet = make_packet(5, 2);
+  Rng rng(1);
+  const Mapping m = Mapping::initial(packet, InitKind::HighestLevel, rng);
+  EXPECT_EQ(m.assigned_count(), 2);
+  // Tasks 4 (50us) and 3 (40us) must be the selected ones.
+  EXPECT_TRUE(m.is_assigned(4));
+  EXPECT_TRUE(m.is_assigned(3));
+  EXPECT_FALSE(m.is_assigned(0));
+  // Slot bookkeeping is consistent.
+  for (int p = 0; p < 2; ++p) {
+    const int task = m.task_at(p);
+    ASSERT_GE(task, 0);
+    EXPECT_EQ(m.proc_slot_of(task), p);
+  }
+}
+
+TEST(Mapping, RandomInitIsValidAndSeeded) {
+  const AnnealingPacket packet = make_packet(6, 4);
+  Rng rng_a(9);
+  Rng rng_b(9);
+  const Mapping a = Mapping::initial(packet, InitKind::Random, rng_a);
+  const Mapping b = Mapping::initial(packet, InitKind::Random, rng_b);
+  EXPECT_EQ(a.assigned_count(), 4);
+  for (int t = 0; t < 6; ++t) {
+    EXPECT_EQ(a.proc_slot_of(t), b.proc_slot_of(t));
+  }
+}
+
+TEST(Mapping, MoveKindsPreserveInvariants) {
+  const AnnealingPacket packet = make_packet(6, 4);  // 2 unassigned
+  Rng rng(3);
+  Mapping m = Mapping::initial(packet, InitKind::Random, rng);
+  std::set<MoveKind> seen;
+  for (int i = 0; i < 2000; ++i) {
+    Move move;
+    ASSERT_TRUE(m.propose(packet, rng, move));
+    seen.insert(move.kind);
+    const Mapping before = m;
+    m.apply(move);
+    EXPECT_EQ(m.assigned_count(), 4);
+    // proc/task tables stay mutually consistent
+    for (int p = 0; p < packet.num_procs(); ++p) {
+      const int task = m.task_at(p);
+      if (task >= 0) ASSERT_EQ(m.proc_slot_of(task), p);
+    }
+    m.revert(move);
+    for (int t = 0; t < packet.num_tasks(); ++t) {
+      ASSERT_EQ(m.proc_slot_of(t), before.proc_slot_of(t));
+    }
+    m.apply(move);  // walk on
+  }
+  // With N > N_idle both Swap and Replace must occur (no free processor,
+  // so plain Move cannot).
+  EXPECT_TRUE(seen.contains(MoveKind::Swap));
+  EXPECT_TRUE(seen.contains(MoveKind::Replace));
+  EXPECT_FALSE(seen.contains(MoveKind::Move));
+}
+
+TEST(Mapping, MoveKindWhenProcessorsOutnumberTasks) {
+  const AnnealingPacket packet = make_packet(2, 5);
+  Rng rng(3);
+  Mapping m = Mapping::initial(packet, InitKind::HighestLevel, rng);
+  std::set<MoveKind> seen;
+  for (int i = 0; i < 500; ++i) {
+    Move move;
+    ASSERT_TRUE(m.propose(packet, rng, move));
+    seen.insert(move.kind);
+    m.apply(move);
+    ASSERT_EQ(m.assigned_count(), 2);
+  }
+  // All tasks are always assigned: Replace impossible.
+  EXPECT_TRUE(seen.contains(MoveKind::Move));
+  EXPECT_FALSE(seen.contains(MoveKind::Replace));
+}
+
+TEST(Mapping, NoMoveForSingleTaskSingleProc) {
+  const AnnealingPacket packet = make_packet(1, 1);
+  Rng rng(3);
+  Mapping m = Mapping::initial(packet, InitKind::HighestLevel, rng);
+  Move move;
+  EXPECT_FALSE(m.propose(packet, rng, move));
+}
+
+TEST(Cost, LoadTermIsMinusSelectedLevels) {
+  const AnnealingPacket packet = make_packet(5, 2);
+  const Topology topology = topo::complete(2);
+  const PacketCostModel cost(packet, topology, CommModel::paper_default(),
+                             0.5, 0.5);
+  Rng rng(1);
+  const Mapping m = Mapping::initial(packet, InitKind::HighestLevel, rng);
+  const CostBreakdown c = cost.evaluate(m);
+  // Selected: levels 50 and 40 -> F_b = -90.
+  EXPECT_DOUBLE_EQ(c.load, -90.0);
+}
+
+TEST(Cost, CommTermUsesEquation4) {
+  AnnealingPacket packet;
+  packet.procs = {0, 1, 2};
+  PacketTask task;
+  task.task = 0;
+  task.level = us(std::int64_t{10});
+  task.inputs.push_back(PacketTask::Input{0, us(std::int64_t{4})});
+  task.total_input_weight = us(std::int64_t{4});
+  packet.tasks.push_back(task);
+  const Topology topology = topo::line(3);
+  const CommModel comm = CommModel::paper_default();
+  const PacketCostModel cost(packet, topology, comm, 0.5, 0.5);
+  // Input lives on P0: local = 0; P1 (d=1) = w + sigma = 11;
+  // P2 (d=2) = 2w + tau + sigma = 24.
+  EXPECT_DOUBLE_EQ(cost.task_comm_cost(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(cost.task_comm_cost(0, 1), 11.0);
+  EXPECT_DOUBLE_EQ(cost.task_comm_cost(0, 2), 24.0);
+}
+
+TEST(Cost, NormalizationRanges) {
+  const AnnealingPacket packet = make_packet(5, 2);
+  const Topology topology = topo::complete(2);
+  const PacketCostModel cost(packet, topology, CommModel::paper_default(),
+                             0.5, 0.5);
+  // dF_b = (Max - Min) / N_idle = ((50+40) - (10+20)) / 2 = 30.
+  EXPECT_DOUBLE_EQ(cost.delta_fb(), 30.0);
+  // dF_c: 2 heaviest communicators at the diameter (1):
+  // 2 x (4 + sigma) = 22.
+  EXPECT_DOUBLE_EQ(cost.delta_fc(), 22.0);
+}
+
+TEST(Cost, DegenerateRangesAreGuarded) {
+  // All levels equal and no inputs: both ranges collapse and are guarded
+  // to 1 so the normalized cost stays finite.
+  AnnealingPacket packet;
+  packet.procs = {0, 1};
+  for (int i = 0; i < 3; ++i) {
+    PacketTask task;
+    task.task = i;
+    task.level = us(std::int64_t{10});
+    packet.tasks.push_back(task);
+  }
+  const Topology topology = topo::complete(2);
+  const PacketCostModel cost(packet, topology, CommModel::disabled(), 0.5,
+                             0.5);
+  EXPECT_DOUBLE_EQ(cost.delta_fb(), 1.0);
+  EXPECT_DOUBLE_EQ(cost.delta_fc(), 1.0);
+  Rng rng(1);
+  const Mapping m = Mapping::initial(packet, InitKind::HighestLevel, rng);
+  EXPECT_TRUE(std::isfinite(cost.evaluate(m).total));
+}
+
+TEST(Cost, WeightsMustSumToOne) {
+  const AnnealingPacket packet = make_packet(3, 2);
+  const Topology topology = topo::complete(2);
+  EXPECT_THROW(PacketCostModel(packet, topology,
+                               CommModel::paper_default(), 0.5, 0.6),
+               std::invalid_argument);
+  EXPECT_THROW(PacketCostModel(packet, topology,
+                               CommModel::paper_default(), -0.5, 1.5),
+               std::invalid_argument);
+  EXPECT_NO_THROW(PacketCostModel(packet, topology,
+                                  CommModel::paper_default(), 0.0, 1.0));
+}
+
+class MoveDeltaSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MoveDeltaSeeds, IncrementalDeltaMatchesFullEvaluation) {
+  const AnnealingPacket packet = make_packet(7, 4);
+  const Topology topology = topo::ring(4);
+  const PacketCostModel cost(packet, topology, CommModel::paper_default(),
+                             0.4, 0.6);
+  Rng rng(GetParam());
+  Mapping m = Mapping::initial(packet, InitKind::Random, rng);
+  for (int i = 0; i < 500; ++i) {
+    Move move;
+    ASSERT_TRUE(m.propose(packet, rng, move));
+    const double before = cost.evaluate(m).total;
+    const double delta = cost.move_delta(m, move);
+    m.apply(move);
+    const double after = cost.evaluate(m).total;
+    ASSERT_NEAR(after - before, delta, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MoveDeltaSeeds,
+                         ::testing::Values(1, 2, 3, 4, 5, 99));
+
+TEST(Annealer, NeverWorsensFromInitialBest) {
+  const AnnealingPacket packet = make_packet(8, 3);
+  const Topology topology = topo::ring(3);
+  const PacketCostModel cost(packet, topology, CommModel::paper_default(),
+                             0.5, 0.5);
+  AnnealOptions options;
+  Rng rng(11);
+  const AnnealResult result = anneal_packet(packet, cost, options, rng);
+  EXPECT_LE(result.best_cost.total, result.initial_cost.total + 1e-12);
+  EXPECT_GT(result.iterations, 0);
+  // Returned mapping's cost equals the reported best.
+  EXPECT_NEAR(cost.evaluate(result.mapping).total, result.best_cost.total,
+              1e-9);
+}
+
+TEST(Annealer, FindsTheObviousOptimum) {
+  // One task, one input on P0, processors P0..P2 idle: the optimum is
+  // placing the task on P0 with zero comm cost... but a single task on
+  // multiple processors: with levels constant, pure comm optimization.
+  AnnealingPacket packet;
+  packet.procs = {0, 1, 2};
+  PacketTask task;
+  task.task = 0;
+  task.level = us(std::int64_t{10});
+  task.inputs.push_back(PacketTask::Input{0, us(std::int64_t{8})});
+  task.total_input_weight = us(std::int64_t{8});
+  packet.tasks.push_back(task);
+  const Topology topology = topo::line(3);
+  const PacketCostModel cost(packet, topology, CommModel::paper_default(),
+                             0.5, 0.5);
+  AnnealOptions options;
+  Rng rng(5);
+  const AnnealResult result = anneal_packet(packet, cost, options, rng);
+  EXPECT_EQ(result.mapping.proc_slot_of(0), 0);
+  EXPECT_DOUBLE_EQ(result.best_cost.comm, 0.0);
+}
+
+TEST(Annealer, SelectsHighestLevelsWhenCommIsFree) {
+  const AnnealingPacket packet = make_packet(6, 2);
+  const Topology topology = topo::complete(2);
+  const PacketCostModel cost(packet, topology, CommModel::disabled(), 0.5,
+                             0.5);
+  AnnealOptions options;
+  options.init = InitKind::Random;
+  Rng rng(17);
+  const AnnealResult result = anneal_packet(packet, cost, options, rng);
+  // Best selection: tasks 5 (60us) and 4 (50us) -> F_b = -110.
+  EXPECT_DOUBLE_EQ(result.best_cost.load, -110.0);
+}
+
+TEST(Annealer, ConvergenceStopRule) {
+  // A single-task single-proc packet stops immediately; a trivial packet
+  // with no improving moves converges within the window.
+  const AnnealingPacket packet = make_packet(3, 3);
+  const Topology topology = topo::complete(3);
+  const PacketCostModel cost(packet, topology, CommModel::disabled(), 0.5,
+                             0.5);
+  AnnealOptions options;
+  options.cooling.max_steps = 500;
+  options.convergence_window = 5;
+  Rng rng(23);
+  const AnnealResult result = anneal_packet(packet, cost, options, rng);
+  // All tasks assigned regardless of mapping and comm disabled: the cost
+  // is constant, so the run must stop far before 500 steps.
+  EXPECT_TRUE(result.converged_early);
+  EXPECT_LT(result.temperature_steps, 50);
+}
+
+TEST(Annealer, TrajectoryRecordsEveryProposal) {
+  const AnnealingPacket packet = make_packet(5, 2);
+  const Topology topology = topo::complete(2);
+  const PacketCostModel cost(packet, topology, CommModel::paper_default(),
+                             0.5, 0.5);
+  AnnealOptions options;
+  options.cooling.max_steps = 10;
+  options.moves_per_temperature = 7;
+  options.convergence_window = 100;  // don't stop early
+  Rng rng(29);
+  PacketTrajectory trajectory;
+  const AnnealResult result =
+      anneal_packet(packet, cost, options, rng, &trajectory);
+  EXPECT_EQ(static_cast<int>(trajectory.points.size()), result.iterations);
+  EXPECT_EQ(result.iterations, 70);
+  // Temperatures along the trajectory are non-increasing.
+  for (std::size_t i = 1; i < trajectory.points.size(); ++i) {
+    EXPECT_LE(trajectory.points[i].temperature,
+              trajectory.points[i - 1].temperature + 1e-12);
+  }
+}
+
+TEST(Annealer, OptionsValidation) {
+  AnnealOptions options;
+  options.wb = 0.7;
+  options.wc = 0.7;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  options = AnnealOptions{};
+  options.convergence_window = 0;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  options = AnnealOptions{};
+  options.moves_per_temperature = -1;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  options = AnnealOptions{};
+  EXPECT_NO_THROW(options.validate());
+}
+
+}  // namespace
+}  // namespace dagsched::sa

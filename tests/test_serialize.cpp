@@ -1,0 +1,158 @@
+// Text serialization: round-trips, format details, and parse errors; DOT
+// export sanity.
+
+#include <gtest/gtest.h>
+
+#include "graph/dot.hpp"
+#include "graph/generators.hpp"
+#include "graph/serialize.hpp"
+
+namespace dagsched {
+namespace {
+
+TEST(Serialize, RoundTripsSmallGraph) {
+  TaskGraph g("demo");
+  const TaskId a = g.add_task("alpha", 1234);
+  const TaskId b = g.add_task("beta", 5678);
+  g.add_edge(a, b, 42);
+  const TaskGraph parsed = from_text(to_text(g));
+  EXPECT_EQ(parsed.name(), "demo");
+  EXPECT_EQ(parsed.num_tasks(), 2);
+  EXPECT_EQ(parsed.task_name(0), "alpha");
+  EXPECT_EQ(parsed.duration(1), 5678);
+  EXPECT_EQ(parsed.edge_weight(0, 1), 42);
+}
+
+class SerializeSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SerializeSeeds, RoundTripsRandomGraphsExactly) {
+  gen::LayeredDagOptions options;
+  options.seed = GetParam();
+  const TaskGraph g = gen::layered_dag(options);
+  const std::string text = to_text(g);
+  const TaskGraph parsed = from_text(text);
+  EXPECT_EQ(to_text(parsed), text);  // fixpoint
+  EXPECT_EQ(parsed.num_tasks(), g.num_tasks());
+  EXPECT_EQ(parsed.num_edges(), g.num_edges());
+  for (TaskId t = 0; t < g.num_tasks(); ++t) {
+    EXPECT_EQ(parsed.duration(t), g.duration(t));
+    EXPECT_EQ(parsed.task_name(t), g.task_name(t));
+  }
+  for (const Edge& e : g.edges()) {
+    EXPECT_EQ(parsed.edge_weight(e.from, e.to), e.weight);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerializeSeeds,
+                         ::testing::Values(1, 7, 100, 9999));
+
+TEST(Serialize, CommentsAndBlankLinesIgnored) {
+  const std::string text =
+      "# a comment\n"
+      "taskgraph demo\n"
+      "\n"
+      "tasks 2\n"
+      "0 100 first\n"
+      "# interleaved comment\n"
+      "1 200 second\n"
+      "edges 1\n"
+      "0 1 7\n";
+  const TaskGraph g = from_text(text);
+  EXPECT_EQ(g.num_tasks(), 2);
+  EXPECT_EQ(g.edge_weight(0, 1), 7);
+}
+
+TEST(Serialize, NameWithSpacesIsSanitized) {
+  TaskGraph g("my graph name");
+  g.add_task("t", 1);
+  const TaskGraph parsed = from_text(to_text(g));
+  EXPECT_EQ(parsed.name(), "my_graph_name");
+}
+
+TEST(Serialize, TaskNamesMayContainSpaces) {
+  TaskGraph g("x");
+  g.add_task("compute row 7", 10);
+  const TaskGraph parsed = from_text(to_text(g));
+  EXPECT_EQ(parsed.task_name(0), "compute row 7");
+}
+
+TEST(SerializeErrors, ReportLineNumbers) {
+  try {
+    from_text("taskgraph x\ntasks 1\n5 10 wrong-id\nedges 0\n");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& err) {
+    EXPECT_NE(std::string(err.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(SerializeErrors, RejectMalformedDocuments) {
+  EXPECT_THROW(from_text(""), std::runtime_error);
+  EXPECT_THROW(from_text("nonsense"), std::runtime_error);
+  EXPECT_THROW(from_text("taskgraph x\n"), std::runtime_error);
+  EXPECT_THROW(from_text("taskgraph x\ntasks -1\n"), std::runtime_error);
+  EXPECT_THROW(from_text("taskgraph x\ntasks 1\n0 10 t\n"),
+               std::runtime_error);  // missing edges header
+  EXPECT_THROW(from_text("taskgraph x\ntasks 1\n0 10 t\nedges 1\n"),
+               std::runtime_error);  // missing edge line
+  EXPECT_THROW(from_text("taskgraph x\ntasks 1\n0 10 t\nedges 1\n0 0 1\n"),
+               std::runtime_error);  // self loop
+  EXPECT_THROW(from_text("taskgraph x\ntasks 1\n0 10 t\nedges 0\nextra\n"),
+               std::runtime_error);  // trailing garbage
+  EXPECT_THROW(from_text("taskgraph x\ntasks 2\n0 10 a\n1 -5 b\nedges 0\n"),
+               std::runtime_error);  // negative duration
+}
+
+TEST(SerializeFiles, WriteAndReadBack) {
+  const TaskGraph g = gen::chain(4, 100, 5);
+  const std::string path = ::testing::TempDir() + "/dagsched_graph.tg";
+  ASSERT_TRUE(write_text_file(g, path));
+  const TaskGraph parsed = read_text_file(path);
+  EXPECT_EQ(to_text(parsed), to_text(g));
+  EXPECT_THROW(read_text_file("/nonexistent/nowhere.tg"),
+               std::runtime_error);
+}
+
+TEST(Dot, ContainsNodesEdgesAndLabels) {
+  TaskGraph g("dotty");
+  const TaskId a = g.add_task("start", us(std::int64_t{9}));
+  const TaskId b = g.add_task("end", us(std::int64_t{3}));
+  g.add_edge(a, b, us(std::int64_t{4}));
+  const std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("digraph \"dotty\""), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(dot.find("start"), std::string::npos);
+  EXPECT_NE(dot.find("9.00us"), std::string::npos);
+  EXPECT_NE(dot.find("4.00us"), std::string::npos);
+}
+
+TEST(Dot, OptionsControlDecoration) {
+  TaskGraph g("plain");
+  const TaskId a = g.add_task("a", us(std::int64_t{1}));
+  const TaskId b = g.add_task("b", us(std::int64_t{2}));
+  g.add_edge(a, b, us(std::int64_t{3}));
+  DotOptions options;
+  options.show_durations = false;
+  options.show_weights = false;
+  const std::string dot = to_dot(g, options);
+  EXPECT_EQ(dot.find("1.00us"), std::string::npos);
+  EXPECT_EQ(dot.find("label=\"3.00us\""), std::string::npos);
+}
+
+TEST(Dot, RankByDepthEmitsRankGroups) {
+  const TaskGraph g = gen::chain(3, 1, 0);
+  DotOptions options;
+  options.rank_by_depth = true;
+  const std::string dot = to_dot(g, options);
+  EXPECT_NE(dot.find("rank=same"), std::string::npos);
+}
+
+TEST(Dot, EscapesQuotesInNames) {
+  TaskGraph g("quo\"ted");
+  g.add_task("na\"me", 1);
+  const std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("quo\\\"ted"), std::string::npos);
+  EXPECT_NE(dot.find("na\\\"me"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dagsched

@@ -1,0 +1,298 @@
+// Execution engine: hand-computed timings for every communication
+// mechanism — send/receive overheads, store-and-forward routing, link
+// contention, and preemption of running tasks by incoming messages.
+//
+// All scenarios pin tasks to processors (PinnedScheduler) so the expected
+// makespans can be derived on paper.  Paper constants: sigma = 7us,
+// tau = 9us, one 40-bit variable = 4us of wire time per hop.
+
+#include <gtest/gtest.h>
+
+#include "sched/pinned.hpp"
+#include "sim/engine.hpp"
+#include "sim/validate.hpp"
+#include "topology/builders.hpp"
+
+namespace dagsched {
+namespace {
+
+sim::SimResult run_pinned(const TaskGraph& graph, const Topology& topology,
+                          const CommModel& comm,
+                          std::vector<ProcId> mapping) {
+  sched::PinnedScheduler policy(std::move(mapping));
+  sim::SimResult result = sim::simulate(graph, topology, comm, policy);
+  const auto violations = sim::validate_run(graph, topology, comm, result);
+  EXPECT_TRUE(violations.empty()) << violations.front();
+  return result;
+}
+
+TEST(Engine, SingleTask) {
+  TaskGraph g;
+  g.add_task("t", us(std::int64_t{25}));
+  const auto result =
+      run_pinned(g, topo::line(1), CommModel::paper_default(), {0});
+  EXPECT_EQ(result.makespan, us(std::int64_t{25}));
+  EXPECT_EQ(result.num_messages, 0);
+  EXPECT_EQ(result.num_epochs, 1);
+}
+
+TEST(Engine, ChainOnSameProcessorHasNoCommCost) {
+  TaskGraph g;
+  const TaskId a = g.add_task("a", us(std::int64_t{10}));
+  const TaskId b = g.add_task("b", us(std::int64_t{10}));
+  g.add_edge(a, b, us(std::int64_t{4}));
+  const auto result =
+      run_pinned(g, topo::line(2), CommModel::paper_default(), {0, 0});
+  EXPECT_EQ(result.makespan, us(std::int64_t{20}));
+  EXPECT_EQ(result.num_messages, 0);
+}
+
+TEST(Engine, NeighborMessagePaysSigmaWireTau) {
+  TaskGraph g;
+  const TaskId a = g.add_task("a", us(std::int64_t{10}));
+  const TaskId b = g.add_task("b", us(std::int64_t{10}));
+  g.add_edge(a, b, us(std::int64_t{4}));
+  // a on P0, b on P1: 10 + sigma(7) + wire(4) + tau(9) + 10 = 40us.
+  const auto result =
+      run_pinned(g, topo::line(2), CommModel::paper_default(), {0, 1});
+  EXPECT_EQ(result.makespan, us(std::int64_t{40}));
+  EXPECT_EQ(result.num_messages, 1);
+  ASSERT_EQ(result.trace.messages.size(), 1u);
+  const sim::MessageRecord& msg = result.trace.messages.front();
+  EXPECT_EQ(msg.launched, us(std::int64_t{10}));
+  EXPECT_EQ(msg.delivered, us(std::int64_t{30}));
+  EXPECT_EQ(msg.hops, 1);
+}
+
+TEST(Engine, OffloadedSendSkipsSigma) {
+  TaskGraph g;
+  const TaskId a = g.add_task("a", us(std::int64_t{10}));
+  const TaskId b = g.add_task("b", us(std::int64_t{10}));
+  g.add_edge(a, b, us(std::int64_t{4}));
+  CommModel comm = CommModel::paper_default();
+  comm.send_cpu = SendCpu::Offloaded;
+  // 10 + wire(4) + tau(9) + 10 = 33us.
+  const auto result = run_pinned(g, topo::line(2), comm, {0, 1});
+  EXPECT_EQ(result.makespan, us(std::int64_t{33}));
+}
+
+TEST(Engine, DisabledCommIsFree) {
+  TaskGraph g;
+  const TaskId a = g.add_task("a", us(std::int64_t{10}));
+  const TaskId b = g.add_task("b", us(std::int64_t{10}));
+  g.add_edge(a, b, us(std::int64_t{400}));
+  const auto result =
+      run_pinned(g, topo::line(2), CommModel::disabled(), {0, 1});
+  EXPECT_EQ(result.makespan, us(std::int64_t{20}));
+  EXPECT_EQ(result.num_messages, 0);
+}
+
+TEST(Engine, TwoHopRoutePaysIntermediateTau) {
+  TaskGraph g;
+  const TaskId a = g.add_task("a", us(std::int64_t{10}));
+  const TaskId b = g.add_task("b", us(std::int64_t{10}));
+  g.add_edge(a, b, us(std::int64_t{4}));
+  // P0 -> P2 on a line: 10 + sigma(7) + wire(4) + route-tau(9) + wire(4)
+  // + recv-tau(9) + 10 = 53us (store-and-forward).
+  const auto result =
+      run_pinned(g, topo::line(3), CommModel::paper_default(), {0, 2});
+  EXPECT_EQ(result.makespan, us(std::int64_t{53}));
+  ASSERT_EQ(result.trace.transfers.size(), 2u);
+  EXPECT_EQ(result.trace.transfers[0].to, 1);
+  EXPECT_EQ(result.trace.transfers[1].from, 1);
+}
+
+TEST(Engine, RoutingPreemptsIntermediateTask) {
+  // P1 executes a long independent task while routing a's message; the
+  // routing tau extends that task by 9us.
+  TaskGraph g;
+  const TaskId a = g.add_task("a", us(std::int64_t{10}));
+  const TaskId b = g.add_task("b", us(std::int64_t{10}));
+  const TaskId filler = g.add_task("filler", us(std::int64_t{100}));
+  g.add_edge(a, b, us(std::int64_t{4}));
+  const auto result = run_pinned(g, topo::line(3),
+                                 CommModel::paper_default(), {0, 2, 1});
+  // filler starts at 0 on P1; a's message reaches P1 at 10+7+4 = 21 and
+  // preempts it for tau = 9us -> filler ends at 109.
+  const sim::TaskRecord& filler_rec = result.trace.task_record(filler);
+  EXPECT_EQ(filler_rec.finished, us(std::int64_t{109}));
+  // The filler must have been split into two segments.
+  int filler_segments = 0;
+  for (const sim::TaskSegment& seg : result.trace.task_segments) {
+    if (seg.task == filler) ++filler_segments;
+  }
+  EXPECT_EQ(filler_segments, 2);
+  // b: starts after 21 + 9 (route) + 4 (wire) + 9 (recv) = 43, ends 53.
+  EXPECT_EQ(result.trace.task_record(b).finished, us(std::int64_t{53}));
+}
+
+TEST(Engine, SharedChannelSerializesTransfers) {
+  // One producer, two remote consumers on a shared bus: the second
+  // transfer waits for the first.
+  TaskGraph g;
+  const TaskId a = g.add_task("a", us(std::int64_t{10}));
+  const TaskId c = g.add_task("c", us(std::int64_t{10}));
+  const TaskId d = g.add_task("d", us(std::int64_t{10}));
+  g.add_edge(a, c, us(std::int64_t{4}));
+  g.add_edge(a, d, us(std::int64_t{4}));
+  const auto result = run_pinned(g, topo::shared_bus(3),
+                                 CommModel::paper_default(), {0, 1, 2});
+  // sigma once (PerTaskOutput): 10-17.  Transfers serialized on the single
+  // channel: c's 17-21, d's 21-25.  Receives in parallel: c 21-30 (runs
+  // 30-40), d 25-34 (runs 34-44).
+  EXPECT_EQ(result.trace.task_record(c).started, us(std::int64_t{30}));
+  EXPECT_EQ(result.trace.task_record(d).started, us(std::int64_t{34}));
+  EXPECT_EQ(result.makespan, us(std::int64_t{44}));
+}
+
+TEST(Engine, CrossbarBusTransfersInParallel) {
+  TaskGraph g;
+  const TaskId a = g.add_task("a", us(std::int64_t{10}));
+  const TaskId c = g.add_task("c", us(std::int64_t{10}));
+  const TaskId d = g.add_task("d", us(std::int64_t{10}));
+  g.add_edge(a, c, us(std::int64_t{4}));
+  g.add_edge(a, d, us(std::int64_t{4}));
+  const auto result =
+      run_pinned(g, topo::bus(3), CommModel::paper_default(), {0, 1, 2});
+  // Distinct channels: both transfers 17-21, both receives 21-30, both
+  // tasks 30-40.
+  EXPECT_EQ(result.trace.task_record(c).started, us(std::int64_t{30}));
+  EXPECT_EQ(result.trace.task_record(d).started, us(std::int64_t{30}));
+  EXPECT_EQ(result.makespan, us(std::int64_t{40}));
+}
+
+TEST(Engine, PerMessageSigmaSerializesOnTheSender) {
+  TaskGraph g;
+  const TaskId a = g.add_task("a", us(std::int64_t{10}));
+  const TaskId c = g.add_task("c", us(std::int64_t{10}));
+  const TaskId d = g.add_task("d", us(std::int64_t{10}));
+  g.add_edge(a, c, us(std::int64_t{4}));
+  g.add_edge(a, d, us(std::int64_t{4}));
+  CommModel comm = CommModel::paper_default();
+  comm.send_cpu = SendCpu::PerMessage;
+  const auto result = run_pinned(g, topo::bus(3), comm, {0, 1, 2});
+  // Two sigma jobs on P0: 10-17 and 17-24.  c: 17+4+9 = 30 start;
+  // d: 24+4+9 = 37 start, ends 47.
+  EXPECT_EQ(result.trace.task_record(c).started, us(std::int64_t{30}));
+  EXPECT_EQ(result.trace.task_record(d).started, us(std::int64_t{37}));
+  EXPECT_EQ(result.makespan, us(std::int64_t{47}));
+}
+
+TEST(Engine, ReceiverPreemptionExtendsRunningTask) {
+  // P1 starts a long task, then receives a message for its next task.
+  TaskGraph g;
+  const TaskId a = g.add_task("a", us(std::int64_t{10}));
+  const TaskId big = g.add_task("big", us(std::int64_t{50}));
+  const TaskId b = g.add_task("b", us(std::int64_t{10}));
+  g.add_edge(a, b, us(std::int64_t{4}));
+  // big and b on P1; a on P0.  big is ready at 0 and runs on P1; b becomes
+  // ready at 10 but P1 is busy (reserved tasks only go to idle
+  // processors), so b is assigned at big's completion.
+  const auto result =
+      run_pinned(g, topo::line(2), CommModel::paper_default(), {0, 1, 1});
+  // big: 0-50 on P1 (a's message only exists once b is assigned, i.e. at
+  // t=50; no preemption of big).  Message: sigma 50-57, wire 57-61,
+  // recv 61-70, b 70-80.
+  EXPECT_EQ(result.trace.task_record(big).finished, us(std::int64_t{50}));
+  EXPECT_EQ(result.trace.task_record(b).started, us(std::int64_t{70}));
+  EXPECT_EQ(result.makespan, us(std::int64_t{80}));
+}
+
+TEST(Engine, ZeroWeightMessageStillPaysOverheads) {
+  TaskGraph g;
+  const TaskId a = g.add_task("a", us(std::int64_t{10}));
+  const TaskId b = g.add_task("b", us(std::int64_t{10}));
+  g.add_edge(a, b, 0);
+  const auto result =
+      run_pinned(g, topo::line(2), CommModel::paper_default(), {0, 1});
+  // 10 + 7 + 0 + 9 + 10 = 36us.
+  EXPECT_EQ(result.makespan, us(std::int64_t{36}));
+}
+
+TEST(Engine, ZeroDurationTasksComplete) {
+  TaskGraph g;
+  const TaskId a = g.add_task("a", 0);
+  const TaskId b = g.add_task("b", 0);
+  g.add_edge(a, b, 0);
+  const auto result =
+      run_pinned(g, topo::line(1), CommModel::disabled(), {0, 0});
+  EXPECT_EQ(result.makespan, 0);
+  EXPECT_EQ(result.trace.task_record(b).finished, 0);
+}
+
+TEST(Engine, ParallelIndependentTasks) {
+  TaskGraph g;
+  for (int i = 0; i < 4; ++i) {
+    g.add_task("t" + std::to_string(i), us(std::int64_t{10}));
+  }
+  const auto result = run_pinned(g, topo::complete(4),
+                                 CommModel::paper_default(), {0, 1, 2, 3});
+  EXPECT_EQ(result.makespan, us(std::int64_t{10}));
+  EXPECT_DOUBLE_EQ(result.speedup(g.total_work()), 4.0);
+  EXPECT_DOUBLE_EQ(result.utilization(), 1.0);
+}
+
+TEST(Engine, StallsWithDiagnosticWhenPolicyAssignsNothing) {
+  class NullPolicy : public sim::SchedulingPolicy {
+   public:
+    void on_epoch(sim::EpochContext&) override {}
+    std::string name() const override { return "null"; }
+  };
+  TaskGraph g;
+  g.add_task("t", 10);
+  NullPolicy policy;
+  EXPECT_THROW(
+      sim::simulate(g, topo::line(1), CommModel::disabled(), policy),
+      sim::SimulationError);
+}
+
+TEST(Engine, EventBudgetGuard) {
+  TaskGraph g;
+  const TaskId a = g.add_task("a", us(std::int64_t{10}));
+  const TaskId b = g.add_task("b", us(std::int64_t{10}));
+  g.add_edge(a, b, us(std::int64_t{4}));
+  sched::PinnedScheduler policy({0, 1});
+  sim::SimOptions options;
+  options.max_events = 2;
+  // Engine arguments are borrowed: keep them alive across run().
+  const Topology machine = topo::line(2);
+  const CommModel comm = CommModel::paper_default();
+  sim::ExecutionEngine engine(g, machine, comm, policy, options);
+  EXPECT_THROW(engine.run(), sim::SimulationError);
+}
+
+TEST(Engine, TraceOffStillProducesResults) {
+  TaskGraph g;
+  const TaskId a = g.add_task("a", us(std::int64_t{10}));
+  const TaskId b = g.add_task("b", us(std::int64_t{10}));
+  g.add_edge(a, b, us(std::int64_t{4}));
+  sched::PinnedScheduler policy({0, 1});
+  sim::SimOptions options;
+  options.record_trace = false;
+  const Topology machine = topo::line(2);
+  const CommModel comm = CommModel::paper_default();
+  sim::ExecutionEngine engine(g, machine, comm, policy, options);
+  const auto result = engine.run();
+  EXPECT_EQ(result.makespan, us(std::int64_t{40}));
+  EXPECT_TRUE(result.trace.task_segments.empty());
+  EXPECT_FALSE(result.trace.tasks.empty());  // records always kept
+}
+
+TEST(Engine, EpochsOnlyAtIdleInstants) {
+  // Three independent tasks, one processor: epochs at 0, 10, 20.
+  TaskGraph g;
+  for (int i = 0; i < 3; ++i) {
+    g.add_task("t" + std::to_string(i), us(std::int64_t{10}));
+  }
+  const auto result =
+      run_pinned(g, topo::line(1), CommModel::disabled(), {0, 0, 0});
+  ASSERT_EQ(result.trace.epochs.size(), 3u);
+  EXPECT_EQ(result.trace.epochs[0].when, 0);
+  EXPECT_EQ(result.trace.epochs[1].when, us(std::int64_t{10}));
+  EXPECT_EQ(result.trace.epochs[2].when, us(std::int64_t{20}));
+  EXPECT_EQ(result.trace.epochs[0].ready_tasks, 3);
+  EXPECT_EQ(result.trace.epochs[1].ready_tasks, 2);
+}
+
+}  // namespace
+}  // namespace dagsched

@@ -1,0 +1,199 @@
+// Property tests: every schedule produced by every policy on every
+// workload/topology/comm combination passes the full validator, respects
+// lower bounds, and is deterministic.  This is the main TEST_P sweep.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "core/sa_scheduler.hpp"
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+#include "sched/fixed_list.hpp"
+#include "sched/hlf.hpp"
+#include "sched/random_policy.hpp"
+#include "sim/engine.hpp"
+#include "sim/validate.hpp"
+#include "topology/builders.hpp"
+#include "workloads/registry.hpp"
+
+namespace dagsched {
+namespace {
+
+std::unique_ptr<sim::SchedulingPolicy> make_policy(const std::string& kind) {
+  if (kind == "hlf") return std::make_unique<sched::HlfScheduler>();
+  if (kind == "hlf-random") {
+    return std::make_unique<sched::HlfScheduler>(sched::HlfPlacement::Random,
+                                                 5);
+  }
+  if (kind == "hlf-mincomm") {
+    return std::make_unique<sched::HlfScheduler>(
+        sched::HlfPlacement::MinComm);
+  }
+  if (kind == "random") return std::make_unique<sched::RandomScheduler>(5);
+  if (kind == "sa") {
+    sa::SaSchedulerOptions options;
+    options.seed = 5;
+    return std::make_unique<sa::SaScheduler>(options);
+  }
+  throw std::invalid_argument("unknown policy kind " + kind);
+}
+
+TaskGraph make_graph(const std::string& kind) {
+  if (kind == "NE" || kind == "GJ" || kind == "FFT" || kind == "MM") {
+    return workloads::by_name(kind).graph;
+  }
+  if (kind == "layered") {
+    gen::LayeredDagOptions options;
+    options.seed = 321;
+    return gen::layered_dag(options);
+  }
+  if (kind == "chain") return gen::chain(12, us(std::int64_t{10}),
+                                         us(std::int64_t{4}));
+  if (kind == "wide") return gen::diamond(24, us(std::int64_t{5}),
+                                          us(std::int64_t{20}),
+                                          us(std::int64_t{5}),
+                                          us(std::int64_t{4}));
+  throw std::invalid_argument("unknown graph kind " + kind);
+}
+
+using Combo = std::tuple<std::string, std::string, std::string, bool>;
+
+class ScheduleValidity : public ::testing::TestWithParam<Combo> {};
+
+TEST_P(ScheduleValidity, ProducesAValidSchedule) {
+  const auto& [graph_kind, topo_spec, policy_kind, with_comm] = GetParam();
+  const TaskGraph graph = make_graph(graph_kind);
+  const Topology topology = topo::by_name(topo_spec);
+  const CommModel comm =
+      with_comm ? CommModel::paper_default() : CommModel::disabled();
+  const auto policy = make_policy(policy_kind);
+
+  const sim::SimResult result = sim::simulate(graph, topology, comm, *policy);
+  const auto violations = sim::validate_run(graph, topology, comm, result);
+  EXPECT_TRUE(violations.empty())
+      << violations.size() << " violations, first: " << violations.front();
+
+  // Lower bounds: critical path and total-work/processors.
+  const Time cp = critical_path(graph).length;
+  EXPECT_GE(result.makespan, cp);
+  const Time work_bound =
+      (graph.total_work() + topology.num_procs() - 1) / topology.num_procs();
+  EXPECT_GE(result.makespan, work_bound);
+
+  // Without communication the makespan cannot exceed the serial time (list
+  // schedulers never idle all processors while work is ready); with
+  // communication allow the overhead factor.
+  if (!with_comm) {
+    EXPECT_LE(result.makespan, graph.total_work());
+  }
+
+  // Every task placed on a real processor.
+  for (TaskId t = 0; t < graph.num_tasks(); ++t) {
+    EXPECT_TRUE(topology.is_valid_proc(
+        result.placement[static_cast<std::size_t>(t)]));
+  }
+}
+
+TEST_P(ScheduleValidity, IsDeterministic) {
+  const auto& [graph_kind, topo_spec, policy_kind, with_comm] = GetParam();
+  const TaskGraph graph = make_graph(graph_kind);
+  const Topology topology = topo::by_name(topo_spec);
+  const CommModel comm =
+      with_comm ? CommModel::paper_default() : CommModel::disabled();
+
+  const auto policy_a = make_policy(policy_kind);
+  const auto policy_b = make_policy(policy_kind);
+  const sim::SimResult a = sim::simulate(graph, topology, comm, *policy_a);
+  const sim::SimResult b = sim::simulate(graph, topology, comm, *policy_b);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.placement, b.placement);
+  EXPECT_EQ(a.num_messages, b.num_messages);
+
+  // Re-running the *same* policy object must also reproduce (on_run_start
+  // resets internal state).
+  const sim::SimResult c = sim::simulate(graph, topology, comm, *policy_a);
+  EXPECT_EQ(a.makespan, c.makespan);
+  EXPECT_EQ(a.placement, c.placement);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ScheduleValidity,
+    ::testing::Combine(
+        ::testing::Values("NE", "GJ", "FFT", "MM", "layered", "chain",
+                          "wide"),
+        ::testing::Values("hypercube8", "bus8", "ring9", "mesh:3x3",
+                          "star:5"),
+        ::testing::Values("hlf", "hlf-random", "hlf-mincomm", "random",
+                          "sa"),
+        ::testing::Bool()),
+    [](const ::testing::TestParamInfo<Combo>& info) {
+      std::string name = std::get<0>(info.param) + "_" +
+                         std::get<1>(info.param) + "_" +
+                         std::get<2>(info.param) +
+                         (std::get<3>(info.param) ? "_comm" : "_nocomm");
+      for (char& ch : name) {
+        if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+      }
+      return name;
+    });
+
+// Shared-medium bus sweep kept separate (it is slow for comm-heavy
+// random policies on big graphs).
+class SharedBusValidity
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SharedBusValidity, ValidOnSharedMedium) {
+  const TaskGraph graph = make_graph("NE");
+  const Topology topology = topo::shared_bus(8);
+  const CommModel comm = CommModel::paper_default();
+  const auto policy = make_policy(GetParam());
+  const sim::SimResult result = sim::simulate(graph, topology, comm, *policy);
+  const auto violations = sim::validate_run(graph, topology, comm, result);
+  EXPECT_TRUE(violations.empty())
+      << violations.size() << " violations, first: " << violations.front();
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, SharedBusValidity,
+                         ::testing::Values("hlf", "sa", "random"));
+
+// Random-graph fuzzing across seeds: random scheduler on random graphs
+// through the full validator.
+class RandomFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomFuzz, RandomPolicyOnRandomGraphIsValid) {
+  gen::LayeredDagOptions options;
+  options.layers = 6;
+  options.min_width = 1;
+  options.max_width = 9;
+  options.edge_probability = 0.4;
+  options.skip_probability = 0.3;
+  options.seed = GetParam();
+  const TaskGraph graph = gen::layered_dag(options);
+  const Topology topology = topo::mesh(2, 3);
+  const CommModel comm = CommModel::paper_default();
+  sched::RandomScheduler policy(GetParam() * 31 + 7);
+  const sim::SimResult result = sim::simulate(graph, topology, comm, policy);
+  const auto violations = sim::validate_run(graph, topology, comm, result);
+  EXPECT_TRUE(violations.empty())
+      << violations.size() << " violations, first: " << violations.front();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomFuzz,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+TEST(SimResultMetrics, SpeedupAndUtilization) {
+  const TaskGraph graph = gen::independent(8, us(std::int64_t{10}));
+  const Topology topology = topo::complete(8);
+  sched::HlfScheduler policy;
+  const sim::SimResult result =
+      sim::simulate(graph, topology, CommModel::disabled(), policy);
+  EXPECT_DOUBLE_EQ(result.speedup(graph.total_work()), 8.0);
+  EXPECT_DOUBLE_EQ(result.utilization(), 1.0);
+  EXPECT_EQ(result.total_task_time, graph.total_work());
+  EXPECT_EQ(result.total_comm_time, 0);
+}
+
+}  // namespace
+}  // namespace dagsched

@@ -1,0 +1,151 @@
+// TaskGraph structure: construction, adjacency, validation, mutation.
+
+#include <gtest/gtest.h>
+
+#include "graph/taskgraph.hpp"
+
+namespace dagsched {
+namespace {
+
+TaskGraph make_triangle() {
+  TaskGraph g("triangle");
+  const TaskId a = g.add_task("a", us(std::int64_t{10}));
+  const TaskId b = g.add_task("b", us(std::int64_t{20}));
+  const TaskId c = g.add_task("c", us(std::int64_t{30}));
+  g.add_edge(a, b, us(std::int64_t{1}));
+  g.add_edge(a, c, us(std::int64_t{2}));
+  g.add_edge(b, c, us(std::int64_t{3}));
+  return g;
+}
+
+TEST(TaskGraph, DenseIdsInInsertionOrder) {
+  TaskGraph g;
+  EXPECT_EQ(g.add_task("t0", 1), 0);
+  EXPECT_EQ(g.add_task("t1", 2), 1);
+  EXPECT_EQ(g.add_task("t2", 3), 2);
+  EXPECT_EQ(g.num_tasks(), 3);
+  EXPECT_EQ(g.task_name(1), "t1");
+  EXPECT_EQ(g.duration(2), 3);
+}
+
+TEST(TaskGraph, AdjacencyViews) {
+  const TaskGraph g = make_triangle();
+  ASSERT_EQ(g.successors(0).size(), 2u);
+  EXPECT_EQ(g.successors(0)[0].task, 1);
+  EXPECT_EQ(g.successors(0)[1].task, 2);
+  ASSERT_EQ(g.predecessors(2).size(), 2u);
+  EXPECT_EQ(g.predecessors(2)[0].task, 0);
+  EXPECT_EQ(g.predecessors(2)[0].weight, us(std::int64_t{2}));
+  EXPECT_EQ(g.in_degree(0), 0);
+  EXPECT_EQ(g.out_degree(0), 2);
+  EXPECT_EQ(g.in_degree(2), 2);
+}
+
+TEST(TaskGraph, EdgeQueries) {
+  const TaskGraph g = make_triangle();
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));  // directed
+  EXPECT_FALSE(g.has_edge(2, 0));
+  EXPECT_EQ(g.edge_weight(1, 2), us(std::int64_t{3}));
+  EXPECT_THROW(g.edge_weight(2, 1), std::invalid_argument);
+  EXPECT_EQ(g.num_edges(), 3);
+}
+
+TEST(TaskGraph, Totals) {
+  const TaskGraph g = make_triangle();
+  EXPECT_EQ(g.total_work(), us(std::int64_t{60}));
+  EXPECT_EQ(g.total_comm(), us(std::int64_t{6}));
+}
+
+TEST(TaskGraph, RootsAndLeaves) {
+  const TaskGraph g = make_triangle();
+  EXPECT_EQ(g.roots(), std::vector<TaskId>{0});
+  EXPECT_EQ(g.leaves(), std::vector<TaskId>{2});
+}
+
+TEST(TaskGraph, RejectsBadEdges) {
+  TaskGraph g;
+  const TaskId a = g.add_task("a", 1);
+  const TaskId b = g.add_task("b", 1);
+  EXPECT_THROW(g.add_edge(a, a, 0), std::invalid_argument);       // self loop
+  EXPECT_THROW(g.add_edge(a, 99, 0), std::invalid_argument);     // bad id
+  EXPECT_THROW(g.add_edge(-1, b, 0), std::invalid_argument);     // bad id
+  EXPECT_THROW(g.add_edge(a, b, -1), std::invalid_argument);     // negative
+  g.add_edge(a, b, 0);
+  EXPECT_THROW(g.add_edge(a, b, 5), std::invalid_argument);      // duplicate
+}
+
+TEST(TaskGraph, RejectsNegativeDuration) {
+  TaskGraph g;
+  EXPECT_THROW(g.add_task("bad", -1), std::invalid_argument);
+}
+
+TEST(TaskGraph, MutationUpdatesAllViews) {
+  TaskGraph g = make_triangle();
+  g.set_duration(1, us(std::int64_t{99}));
+  EXPECT_EQ(g.duration(1), us(std::int64_t{99}));
+
+  g.set_edge_weight(0, 1, us(std::int64_t{42}));
+  EXPECT_EQ(g.edge_weight(0, 1), us(std::int64_t{42}));
+  EXPECT_EQ(g.successors(0)[0].weight, us(std::int64_t{42}));
+  EXPECT_EQ(g.predecessors(1)[0].weight, us(std::int64_t{42}));
+  bool found = false;
+  for (const Edge& e : g.edges()) {
+    if (e.from == 0 && e.to == 1) {
+      EXPECT_EQ(e.weight, us(std::int64_t{42}));
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_THROW(g.set_edge_weight(2, 0, 1), std::invalid_argument);
+  EXPECT_THROW(g.set_duration(99, 1), std::invalid_argument);
+}
+
+TEST(TaskGraph, AcyclicityDetection) {
+  TaskGraph g;
+  const TaskId a = g.add_task("a", 1);
+  const TaskId b = g.add_task("b", 1);
+  const TaskId c = g.add_task("c", 1);
+  g.add_edge(a, b, 0);
+  g.add_edge(b, c, 0);
+  EXPECT_TRUE(g.is_acyclic());
+  g.add_edge(c, a, 0);  // closes the cycle
+  EXPECT_FALSE(g.is_acyclic());
+  EXPECT_THROW(g.validate(), std::invalid_argument);
+}
+
+TEST(TaskGraph, ValidateRejectsEmpty) {
+  TaskGraph g;
+  EXPECT_THROW(g.validate(), std::invalid_argument);
+}
+
+TEST(TaskGraph, SingleTaskIsValid) {
+  TaskGraph g;
+  g.add_task("only", 5);
+  EXPECT_NO_THROW(g.validate());
+  EXPECT_TRUE(g.is_acyclic());
+  EXPECT_EQ(g.roots().size(), 1u);
+  EXPECT_EQ(g.leaves().size(), 1u);
+}
+
+TEST(TaskGraph, ZeroWeightAndZeroDurationAllowed) {
+  TaskGraph g;
+  const TaskId a = g.add_task("a", 0);
+  const TaskId b = g.add_task("b", 0);
+  g.add_edge(a, b, 0);
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(TaskGraph, LargeGraphStaysConsistent) {
+  TaskGraph g("chainy");
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) g.add_task("t" + std::to_string(i), 10);
+  for (int i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1, 1);
+  EXPECT_EQ(g.num_tasks(), n);
+  EXPECT_EQ(g.num_edges(), n - 1);
+  EXPECT_TRUE(g.is_acyclic());
+  EXPECT_EQ(g.total_work(), Time{10} * n);
+}
+
+}  // namespace
+}  // namespace dagsched

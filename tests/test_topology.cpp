@@ -1,0 +1,210 @@
+// Topology builders, distances, routing, and channels; parameterized over
+// hypercube dimensions and ring sizes against closed-form distances.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "topology/builders.hpp"
+#include "topology/topology.hpp"
+
+namespace dagsched {
+namespace {
+
+class HypercubeDims : public ::testing::TestWithParam<int> {};
+
+TEST_P(HypercubeDims, DistancesAreHammingDistances) {
+  const int dim = GetParam();
+  const Topology t = topo::hypercube(dim);
+  EXPECT_EQ(t.num_procs(), 1 << dim);
+  EXPECT_EQ(t.num_links(), dim * (1 << dim) / 2);
+  EXPECT_EQ(t.diameter(), dim);
+  for (ProcId a = 0; a < t.num_procs(); ++a) {
+    for (ProcId b = 0; b < t.num_procs(); ++b) {
+      const int hamming = std::popcount(static_cast<unsigned>(a ^ b));
+      ASSERT_EQ(t.distance(a, b), hamming)
+          << "between " << a << " and " << b;
+    }
+  }
+}
+
+TEST_P(HypercubeDims, RoutesAreShortestAndValid) {
+  const Topology t = topo::hypercube(GetParam());
+  for (ProcId a = 0; a < t.num_procs(); ++a) {
+    for (ProcId b = 0; b < t.num_procs(); ++b) {
+      const auto path = t.route(a, b);
+      ASSERT_EQ(static_cast<int>(path.size()), t.distance(a, b) + 1);
+      EXPECT_EQ(path.front(), a);
+      EXPECT_EQ(path.back(), b);
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        ASSERT_TRUE(t.has_link(path[i], path[i + 1]));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, HypercubeDims, ::testing::Values(0, 1, 2, 3,
+                                                                4));
+
+class RingSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(RingSizes, DistancesAreCircular) {
+  const int n = GetParam();
+  const Topology t = topo::ring(n);
+  EXPECT_EQ(t.num_procs(), n);
+  EXPECT_EQ(t.diameter(), n / 2);
+  for (ProcId a = 0; a < n; ++a) {
+    for (ProcId b = 0; b < n; ++b) {
+      const int direct = std::abs(a - b);
+      const int expected = std::min(direct, n - direct);
+      ASSERT_EQ(t.distance(a, b), expected);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RingSizes, ::testing::Values(3, 4, 5, 8, 9,
+                                                             16));
+
+TEST(Ring, DegenerateSizes) {
+  EXPECT_EQ(topo::ring(1).num_procs(), 1);
+  const Topology two = topo::ring(2);
+  EXPECT_EQ(two.num_links(), 1);
+  EXPECT_EQ(two.distance(0, 1), 1);
+}
+
+TEST(Bus, IsDistanceOneCrossbar) {
+  const Topology t = topo::bus(8);
+  EXPECT_EQ(t.num_procs(), 8);
+  EXPECT_EQ(t.diameter(), 1);
+  EXPECT_EQ(t.num_channels(), 28);  // one per pair
+  for (ProcId a = 0; a < 8; ++a) {
+    for (ProcId b = 0; b < 8; ++b) {
+      EXPECT_EQ(t.distance(a, b), a == b ? 0 : 1);
+    }
+  }
+}
+
+TEST(SharedBus, SingleChannelDistanceOne) {
+  const Topology t = topo::shared_bus(8);
+  EXPECT_EQ(t.diameter(), 1);
+  EXPECT_EQ(t.num_channels(), 1);
+  EXPECT_EQ(t.channel(0, 5), t.channel(3, 7));  // same contention domain
+}
+
+TEST(Star, LeafTrafficRoutesThroughHub) {
+  const Topology t = topo::star(6);
+  EXPECT_EQ(t.diameter(), 2);
+  EXPECT_EQ(t.degree(0), 5);
+  EXPECT_EQ(t.degree(3), 1);
+  const auto path = t.route(2, 4);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path[1], 0);  // via the hub
+}
+
+TEST(Mesh, ManhattanDistances) {
+  const Topology t = topo::mesh(3, 4);
+  EXPECT_EQ(t.num_procs(), 12);
+  EXPECT_EQ(t.diameter(), 5);  // (3-1)+(4-1)
+  const auto id = [](int r, int c) { return r * 4 + c; };
+  EXPECT_EQ(t.distance(id(0, 0), id(2, 3)), 5);
+  EXPECT_EQ(t.distance(id(1, 1), id(1, 2)), 1);
+  EXPECT_EQ(t.distance(id(0, 2), id(2, 2)), 2);
+}
+
+TEST(Torus, WraparoundShortensDistances) {
+  const Topology t = topo::torus(4, 4);
+  const auto id = [](int r, int c) { return r * 4 + c; };
+  EXPECT_EQ(t.distance(id(0, 0), id(0, 3)), 1);  // wraps
+  EXPECT_EQ(t.distance(id(0, 0), id(3, 3)), 2);
+  EXPECT_EQ(t.diameter(), 4);
+}
+
+TEST(Torus, SmallDimensionsAvoidDuplicateLinks) {
+  EXPECT_NO_THROW(topo::torus(2, 2));
+  EXPECT_NO_THROW(topo::torus(1, 4));
+  const Topology t = topo::torus(2, 3);
+  EXPECT_GT(t.num_links(), 0);
+}
+
+TEST(Complete, AllPairsAdjacent) {
+  const Topology t = topo::complete(5);
+  EXPECT_EQ(t.num_links(), 10);
+  EXPECT_EQ(t.diameter(), 1);
+}
+
+TEST(Line, EndToEndDistance) {
+  const Topology t = topo::line(6);
+  EXPECT_EQ(t.diameter(), 5);
+  EXPECT_EQ(t.distance(0, 5), 5);
+  const auto path = t.route(0, 3);
+  EXPECT_EQ(path, (std::vector<ProcId>{0, 1, 2, 3}));
+}
+
+TEST(BinaryTree, ShapeAndDistances) {
+  const Topology t = topo::binary_tree(3);
+  EXPECT_EQ(t.num_procs(), 7);
+  EXPECT_EQ(t.distance(3, 4), 2);  // siblings via parent 1
+  EXPECT_EQ(t.distance(3, 6), 4);  // across the root
+  EXPECT_EQ(t.diameter(), 4);
+}
+
+TEST(Topology, FromLinksValidation) {
+  EXPECT_THROW(Topology::from_links(0, {}, "x"), std::invalid_argument);
+  EXPECT_THROW(Topology::from_links(2, {{0, 0}}, "x"),
+               std::invalid_argument);  // self link
+  EXPECT_THROW(Topology::from_links(2, {{0, 2}}, "x"),
+               std::invalid_argument);  // out of range
+  EXPECT_THROW(Topology::from_links(2, {{0, 1}, {1, 0}}, "x"),
+               std::invalid_argument);  // duplicate
+  EXPECT_THROW(Topology::from_links(3, {{0, 1}}, "x"),
+               std::invalid_argument);  // disconnected
+}
+
+TEST(Topology, ChannelsIdentifyLinks) {
+  const Topology t = topo::ring(4);
+  EXPECT_EQ(t.num_channels(), 4);
+  EXPECT_EQ(t.channel(0, 1), t.channel(1, 0));  // symmetric
+  EXPECT_NE(t.channel(0, 1), t.channel(1, 2));
+  EXPECT_EQ(t.channel(0, 2), kInvalidChannel);  // not adjacent
+  EXPECT_EQ(t.channel(1, 1), kInvalidChannel);
+}
+
+TEST(Topology, NextHopIsDeterministicLowestId) {
+  // In hypercube(3), 0 -> 7 has shortest next hops {1, 2, 4}; the
+  // deterministic rule picks 1.
+  const Topology t = topo::hypercube(3);
+  EXPECT_EQ(t.next_hop(0, 7), 1);
+  EXPECT_EQ(t.next_hop(0, 0), 0);
+}
+
+TEST(Topology, DistanceProperties) {
+  for (const Topology& t : {topo::hypercube(3), topo::ring(9),
+                            topo::mesh(3, 3), topo::star(7)}) {
+    for (ProcId a = 0; a < t.num_procs(); ++a) {
+      ASSERT_EQ(t.distance(a, a), 0);
+      for (ProcId b = 0; b < t.num_procs(); ++b) {
+        ASSERT_EQ(t.distance(a, b), t.distance(b, a));  // symmetry
+        ASSERT_LE(t.distance(a, b), t.diameter());
+        if (a != b) ASSERT_GE(t.distance(a, b), 1);
+      }
+    }
+  }
+}
+
+TEST(ByName, ResolvesFixedAndParameterizedSpecs) {
+  EXPECT_EQ(topo::by_name("hypercube8").num_procs(), 8);
+  EXPECT_EQ(topo::by_name("bus8").num_procs(), 8);
+  EXPECT_EQ(topo::by_name("ring9").num_procs(), 9);
+  EXPECT_EQ(topo::by_name("ring:5").num_procs(), 5);
+  EXPECT_EQ(topo::by_name("hypercube:4").num_procs(), 16);
+  EXPECT_EQ(topo::by_name("mesh:3x3").num_procs(), 9);
+  EXPECT_EQ(topo::by_name("torus:2x4").num_procs(), 8);
+  EXPECT_EQ(topo::by_name("sharedbus:4").num_channels(), 1);
+  EXPECT_EQ(topo::by_name("btree:3").num_procs(), 7);
+  EXPECT_THROW(topo::by_name("nope"), std::invalid_argument);
+  EXPECT_THROW(topo::by_name("mesh:9"), std::invalid_argument);
+  EXPECT_THROW(topo::by_name("ring:x"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dagsched

@@ -1,0 +1,97 @@
+// Unit coverage for the trace query helpers and the raw machine state.
+
+#include <gtest/gtest.h>
+
+#include "sched/pinned.hpp"
+#include "sim/engine.hpp"
+#include "sim/machine.hpp"
+#include "sim/trace.hpp"
+#include "topology/builders.hpp"
+
+namespace dagsched {
+namespace {
+
+TEST(Trace, CommKindNames) {
+  EXPECT_EQ(sim::to_string(sim::CommKind::Send), "send");
+  EXPECT_EQ(sim::to_string(sim::CommKind::Receive), "receive");
+  EXPECT_EQ(sim::to_string(sim::CommKind::Route), "route");
+}
+
+TEST(Trace, TaskRecordLookup) {
+  TaskGraph g;
+  const TaskId a = g.add_task("a", us(std::int64_t{10}));
+  const TaskId b = g.add_task("b", us(std::int64_t{20}));
+  (void)b;
+  sched::PinnedScheduler policy({0, 1});
+  const Topology machine = topo::line(2);
+  const sim::SimResult result =
+      sim::simulate(g, machine, CommModel::disabled(), policy);
+  EXPECT_EQ(result.trace.task_record(a).proc, 0);
+  EXPECT_EQ(result.trace.task_record(a).finished, us(std::int64_t{10}));
+  sim::Trace empty;
+  EXPECT_THROW(empty.task_record(0), std::invalid_argument);
+}
+
+TEST(Trace, ProcBusyTimeSumsTaskAndCommHandling) {
+  TaskGraph g;
+  const TaskId a = g.add_task("a", us(std::int64_t{10}));
+  const TaskId b = g.add_task("b", us(std::int64_t{10}));
+  g.add_edge(a, b, us(std::int64_t{4}));
+  sched::PinnedScheduler policy({0, 1});
+  const Topology machine = topo::line(2);
+  const sim::SimResult result =
+      sim::simulate(g, machine, CommModel::paper_default(), policy);
+  // P0: task 10 + sigma 7 = 17us; P1: receive 9 + task 10 = 19us.
+  EXPECT_EQ(result.trace.proc_busy_time(0), us(std::int64_t{17}));
+  EXPECT_EQ(result.trace.proc_busy_time(1), us(std::int64_t{19}));
+  EXPECT_EQ(result.proc_busy[0], us(std::int64_t{17}));
+  EXPECT_EQ(result.proc_busy[1], us(std::int64_t{19}));
+}
+
+TEST(Trace, SegmentsOfProcAreSorted) {
+  TaskGraph g;
+  for (int i = 0; i < 5; ++i) {
+    g.add_task("t" + std::to_string(i), us(std::int64_t{10}));
+  }
+  sched::PinnedScheduler policy({0, 0, 0, 0, 0});
+  const Topology machine = topo::line(1);
+  const sim::SimResult result =
+      sim::simulate(g, machine, CommModel::disabled(), policy);
+  const auto segments = result.trace.segments_of_proc(0);
+  ASSERT_EQ(segments.size(), 5u);
+  for (std::size_t i = 1; i < segments.size(); ++i) {
+    EXPECT_GE(segments[i].start, segments[i - 1].end);
+  }
+  EXPECT_TRUE(result.trace.segments_of_proc(0).size() == 5);
+}
+
+TEST(MachineState, IdleTracking) {
+  const Topology machine = topo::line(3);
+  sim::MachineState state(machine);
+  EXPECT_EQ(state.num_procs(), 3);
+  EXPECT_EQ(state.idle_procs(), (std::vector<ProcId>{0, 1, 2}));
+  state.proc(1).reserved_task = 5;
+  EXPECT_EQ(state.idle_procs(), (std::vector<ProcId>{0, 2}));
+  state.proc(0).running_task = 7;
+  EXPECT_EQ(state.idle_procs(), (std::vector<ProcId>{2}));
+  EXPECT_THROW(state.proc(9), std::invalid_argument);
+  EXPECT_THROW(state.channel(99), std::invalid_argument);
+}
+
+TEST(MachineState, CpuFreeSemantics) {
+  sim::ProcessorState proc;
+  EXPECT_TRUE(proc.cpu_free());
+  EXPECT_TRUE(proc.idle_for_scheduling());
+  proc.active_comm = sim::CommJob{sim::CommKind::Route, 0,
+                                  us(std::int64_t{9})};
+  EXPECT_FALSE(proc.cpu_free());
+  EXPECT_TRUE(proc.idle_for_scheduling());  // routing != occupied
+  proc.active_comm.reset();
+  proc.running_task = 3;
+  proc.task_executing = true;
+  EXPECT_FALSE(proc.cpu_free());
+  EXPECT_FALSE(proc.idle_for_scheduling());
+}
+
+}  // namespace
+}  // namespace dagsched

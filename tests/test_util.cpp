@@ -1,0 +1,216 @@
+// Time conversions, statistics, string helpers, table and CSV writers.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+#include "util/time.hpp"
+
+namespace dagsched {
+namespace {
+
+// --- time -------------------------------------------------------------------
+
+TEST(TimeUnits, MicrosecondConversions) {
+  EXPECT_EQ(us(std::int64_t{9}), 9000);
+  EXPECT_EQ(us(9.12), 9120);
+  EXPECT_EQ(us(0.001), 1);
+  EXPECT_EQ(ms(std::int64_t{2}), 2000000);
+  EXPECT_DOUBLE_EQ(to_us(9120), 9.12);
+  EXPECT_DOUBLE_EQ(to_ms(1500000), 1.5);
+}
+
+TEST(TimeUnits, RoundTripPaperValues) {
+  // Every value printed in the paper is an exact multiple of 1ns.
+  for (const double v : {9.12, 84.77, 72.74, 73.96, 3.96, 6.85, 6.41, 7.21}) {
+    EXPECT_DOUBLE_EQ(to_us(us(v)), v);
+  }
+}
+
+TEST(TimeUnits, FormatTime) {
+  EXPECT_EQ(format_time(us(std::int64_t{4})), "4.00us");
+  EXPECT_EQ(format_time(us(9.12)), "9.12us");
+  EXPECT_EQ(format_time(500), "500ns");
+  EXPECT_EQ(format_time(ms(std::int64_t{2})), "2.000ms");
+  EXPECT_EQ(format_time(kTimeInfinity), "inf");
+  EXPECT_EQ(format_time(0), "0.00us");
+}
+
+// --- stats ------------------------------------------------------------------
+
+TEST(Stats, RunningStatsBasics) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  s.add(2.0);
+  s.add(4.0);
+  s.add(6.0);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 6.0);
+}
+
+TEST(Stats, SingleSampleHasZeroVariance) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(Stats, SummarizeAndQuantiles) {
+  const std::vector<double> values = {5.0, 1.0, 3.0, 2.0, 4.0};
+  const Summary s = summarize(values);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 0.25), 2.0);
+}
+
+TEST(Stats, EmptyInputsAreSafe) {
+  const std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(mean(empty), 0.0);
+  EXPECT_EQ(summarize(empty).count, 0u);
+  EXPECT_DOUBLE_EQ(quantile(empty, 0.5), 0.0);
+}
+
+TEST(Stats, QuantileRejectsBadQ) {
+  const std::vector<double> values = {1.0};
+  EXPECT_THROW(quantile(values, -0.1), std::invalid_argument);
+  EXPECT_THROW(quantile(values, 1.1), std::invalid_argument);
+}
+
+TEST(Stats, RelativeDifference) {
+  EXPECT_DOUBLE_EQ(relative_difference(10.0, 10.0), 0.0);
+  EXPECT_NEAR(relative_difference(9.0, 10.0), 0.1, 1e-12);
+  EXPECT_NEAR(relative_difference(0.0, 0.0), 0.0, 1e-12);
+}
+
+// --- string helpers ---------------------------------------------------------
+
+TEST(StringUtil, FormatFixed) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(2.0, 0), "2");
+  EXPECT_EQ(format_percent(43.02), "43.0%");
+}
+
+TEST(StringUtil, SplitKeepsEmptyFields) {
+  const auto fields = split("a,,b,", ',');
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[2], "b");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(StringUtil, Trim) {
+  EXPECT_EQ(trim("  hello \t"), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \n "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(StringUtil, Padding) {
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_left("abcdef", 4), "abcdef");  // no truncation
+}
+
+TEST(StringUtil, StartsWith) {
+  EXPECT_TRUE(starts_with("taskgraph x", "taskgraph"));
+  EXPECT_FALSE(starts_with("task", "taskgraph"));
+}
+
+// --- table writer -----------------------------------------------------------
+
+TEST(TableWriter, RendersAlignedColumns) {
+  TableWriter t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string rendered = t.render();
+  // Default alignment: first column left, the rest right.
+  EXPECT_NE(rendered.find("| alpha |     1 |"), std::string::npos);
+  EXPECT_NE(rendered.find("| b     |    22 |"), std::string::npos);
+  EXPECT_NE(rendered.find("+-------+"), std::string::npos);
+  // Explicit alignment override flips the first column.
+  t.set_alignment({Align::Right, Align::Left});
+  const std::string flipped = t.render();
+  EXPECT_NE(flipped.find("|     b | 22    |"), std::string::npos);
+}
+
+TEST(TableWriter, RejectsWrongColumnCount) {
+  TableWriter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(t.set_alignment({Align::Left}), std::invalid_argument);
+}
+
+TEST(TableWriter, RuleRows) {
+  TableWriter t({"x"});
+  t.add_row({"1"});
+  t.add_rule();
+  t.add_row({"2"});
+  const std::string rendered = t.render();
+  // header rule + inner rule + trailing rule + top = 4 dashes lines.
+  int rules = 0;
+  std::istringstream stream(rendered);
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (!line.empty() && line[0] == '+') ++rules;
+  }
+  EXPECT_EQ(rules, 4);
+}
+
+TEST(TableWriter, StreamsViaOperator) {
+  TableWriter t({"c"});
+  t.add_row({"v"});
+  std::ostringstream out;
+  out << t;
+  EXPECT_EQ(out.str(), t.render());
+}
+
+// --- csv --------------------------------------------------------------------
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, RendersHeaderAndRows) {
+  CsvWriter csv({"a", "b"});
+  csv.add_row({"1", "x,y"});
+  EXPECT_EQ(csv.render(), "a,b\n1,\"x,y\"\n");
+  EXPECT_EQ(csv.num_rows(), 1u);
+}
+
+TEST(Csv, RejectsWrongColumnCount) {
+  CsvWriter csv({"a", "b"});
+  EXPECT_THROW(csv.add_row({"1"}), std::invalid_argument);
+}
+
+TEST(Csv, WritesFile) {
+  CsvWriter csv({"k", "v"});
+  csv.add_row({"x", "1"});
+  const std::string path = ::testing::TempDir() + "/dagsched_csv_test.csv";
+  ASSERT_TRUE(csv.write_file(path));
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), "k,v\nx,1\n");
+}
+
+}  // namespace
+}  // namespace dagsched

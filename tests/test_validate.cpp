@@ -1,0 +1,182 @@
+// Negative tests for the schedule validator: corrupt a known-good trace in
+// every dimension the validator checks and assert the corruption is
+// caught.  (The positive direction — valid runs produce no violations — is
+// covered by the property sweeps.)
+
+#include <gtest/gtest.h>
+
+#include "sched/pinned.hpp"
+#include "sim/engine.hpp"
+#include "sim/validate.hpp"
+#include "topology/builders.hpp"
+
+namespace dagsched {
+namespace {
+
+struct Fixture {
+  TaskGraph graph;
+  Topology topology = topo::line(2);
+  CommModel comm = CommModel::paper_default();
+  sim::SimResult result;
+
+  Fixture() {
+    const TaskId a = graph.add_task("a", us(std::int64_t{10}));
+    const TaskId b = graph.add_task("b", us(std::int64_t{10}));
+    graph.add_edge(a, b, us(std::int64_t{4}));
+    sched::PinnedScheduler policy({0, 1});
+    result = sim::simulate(graph, topology, comm, policy);
+  }
+
+  std::vector<std::string> validate() const {
+    return sim::validate_run(graph, topology, comm, result);
+  }
+};
+
+TEST(Validate, CleanRunHasNoViolations) {
+  Fixture f;
+  EXPECT_TRUE(f.validate().empty());
+}
+
+TEST(Validate, DetectsMakespanMismatch) {
+  Fixture f;
+  f.result.makespan += 1;
+  EXPECT_FALSE(f.validate().empty());
+}
+
+TEST(Validate, DetectsPlacementRecordMismatch) {
+  Fixture f;
+  f.result.placement[0] = 1;  // record says P0
+  EXPECT_FALSE(f.validate().empty());
+}
+
+TEST(Validate, DetectsMissingSegments) {
+  Fixture f;
+  f.result.trace.task_segments.clear();
+  EXPECT_FALSE(f.validate().empty());
+}
+
+TEST(Validate, DetectsWrongExecutedDuration) {
+  Fixture f;
+  for (sim::TaskSegment& seg : f.result.trace.task_segments) {
+    if (seg.task == 0) seg.end += 5;  // executed more than the duration
+  }
+  EXPECT_FALSE(f.validate().empty());
+}
+
+TEST(Validate, DetectsDoubleCompletion) {
+  Fixture f;
+  // Duplicate the completing segment of task 0 (also breaks tiling).
+  for (const sim::TaskSegment seg : f.result.trace.task_segments) {
+    if (seg.task == 0 && seg.completes) {
+      f.result.trace.task_segments.push_back(seg);
+      break;
+    }
+  }
+  EXPECT_FALSE(f.validate().empty());
+}
+
+TEST(Validate, DetectsProcessorOverlap) {
+  Fixture f;
+  // Clone a's segment onto the same processor at the same time as a comm
+  // segment... simpler: shift b's segment to overlap the receive handling
+  // on P1 (receive 21-30, b runs 30-40 -> move b to 25).
+  for (sim::TaskSegment& seg : f.result.trace.task_segments) {
+    if (seg.task == 1) {
+      seg.start -= us(std::int64_t{5});
+      seg.end -= us(std::int64_t{5});
+    }
+  }
+  // Keep the record envelope consistent so only the overlap fires.
+  f.result.trace.tasks[1].started -= us(std::int64_t{5});
+  f.result.trace.tasks[1].finished -= us(std::int64_t{5});
+  const auto violations = f.validate();
+  bool found_overlap = false;
+  for (const std::string& v : violations) {
+    if (v.find("overlap") != std::string::npos) found_overlap = true;
+  }
+  EXPECT_TRUE(found_overlap);
+}
+
+TEST(Validate, DetectsPrecedenceViolation) {
+  Fixture f;
+  // Pretend b started before a finished.
+  f.result.trace.tasks[1].assigned = 0;
+  f.result.trace.tasks[1].started = 0;
+  EXPECT_FALSE(f.validate().empty());
+}
+
+TEST(Validate, DetectsMissingMessageForRemoteEdge) {
+  Fixture f;
+  f.result.trace.messages.clear();
+  bool found = false;
+  for (const std::string& v : f.validate()) {
+    if (v.find("without a message") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Validate, DetectsStartBeforeDelivery) {
+  Fixture f;
+  for (sim::MessageRecord& msg : f.result.trace.messages) {
+    msg.delivered += us(std::int64_t{100});
+  }
+  bool found = false;
+  for (const std::string& v : f.validate()) {
+    if (v.find("before delivery") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Validate, DetectsChannelOverlap) {
+  Fixture f;
+  // Duplicate the single transfer: same channel, same interval.
+  ASSERT_FALSE(f.result.trace.transfers.empty());
+  f.result.trace.transfers.push_back(f.result.trace.transfers.front());
+  bool found = false;
+  for (const std::string& v : f.validate()) {
+    if (v.find("channel") != std::string::npos &&
+        v.find("overlap") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Validate, DetectsTransferOverMissingLink) {
+  Fixture f;
+  ASSERT_FALSE(f.result.trace.transfers.empty());
+  // Rewrite the transfer to claim a hop between non-adjacent processors.
+  // line(2) has only P0-P1; use an out-of-pattern pair by extending the
+  // machine view: validate against a 3-node line where 0-2 is not a link.
+  Fixture g;
+  g.topology = topo::line(3);
+  sched::PinnedScheduler policy({0, 1});
+  g.result = sim::simulate(g.graph, g.topology, g.comm, policy);
+  ASSERT_FALSE(g.result.trace.transfers.empty());
+  g.result.trace.transfers.front().from = 0;
+  g.result.trace.transfers.front().to = 2;
+  bool found = false;
+  for (const std::string& v :
+       sim::validate_run(g.graph, g.topology, g.comm, g.result)) {
+    if (v.find("missing link") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Validate, DetectsSegmentOnWrongProcessor) {
+  Fixture f;
+  for (sim::TaskSegment& seg : f.result.trace.task_segments) {
+    if (seg.task == 0) seg.proc = 1;
+  }
+  EXPECT_FALSE(f.validate().empty());
+}
+
+TEST(Validate, DetectsNonMonotoneRecord) {
+  Fixture f;
+  f.result.trace.tasks[0].assigned =
+      f.result.trace.tasks[0].finished + 1;
+  EXPECT_FALSE(f.validate().empty());
+}
+
+}  // namespace
+}  // namespace dagsched
