@@ -42,6 +42,9 @@ int main() {
 
     sa::GlobalAnnealOptions global_options;
     global_options.seed = 1;
+    // One chain: the printed table must be identical on every machine
+    // (num_chains = 0 would resolve to the host's core count).
+    global_options.num_chains = 1;
     const sa::GlobalAnnealResult global =
         sa::anneal_global(w.graph, machine, comm, global_options);
     const double global_speedup =

@@ -6,6 +6,7 @@
 
 #include "core/annealer.hpp"
 #include "core/cost.hpp"
+#include "core/global_annealer.hpp"
 #include "core/packet.hpp"
 #include "core/sa_scheduler.hpp"
 #include "graph/analysis.hpp"
@@ -83,6 +84,25 @@ void BM_PacketCostEvaluate(benchmark::State& state) {
 }
 BENCHMARK(BM_PacketCostEvaluate)->Arg(8)->Arg(32)->Arg(128);
 
+void BM_MoveDelta(benchmark::State& state) {
+  // The O(1) fast path in isolation: propose + price a move, never accept.
+  const Topology topology = topo::hypercube(3);
+  const CommModel comm = CommModel::paper_default();
+  const sa::AnnealingPacket packet =
+      synthetic_packet(static_cast<int>(state.range(0)), topology);
+  const sa::PacketCostModel cost(packet, topology, comm, 0.5, 0.5);
+  Rng rng(3);
+  const sa::Mapping mapping =
+      sa::Mapping::initial(packet, sa::InitKind::Random, rng);
+  sa::Move move;
+  for (auto _ : state) {
+    mapping.propose(packet, rng, move);
+    benchmark::DoNotOptimize(cost.move_delta(mapping, move));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MoveDelta)->Arg(8)->Arg(32)->Arg(128);
+
 void BM_AnnealPacket(benchmark::State& state) {
   const Topology topology = topo::hypercube(3);
   const CommModel comm = CommModel::paper_default();
@@ -131,5 +151,24 @@ void BM_SimulateSa(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * w.graph.num_tasks());
 }
 BENCHMARK(BM_SimulateSa);
+
+void BM_AnnealGlobal(benchmark::State& state) {
+  // Whole-schedule annealing; range(0) is the chain count (0 = auto).
+  const workloads::Workload w = workloads::by_name("NE");
+  const Topology topology = topo::hypercube(3);
+  const CommModel comm = CommModel::paper_default();
+  sa::GlobalAnnealOptions options;
+  options.cooling.max_steps = 10;
+  options.num_chains = static_cast<int>(state.range(0));
+  std::int64_t simulations = 0;
+  for (auto _ : state) {
+    const sa::GlobalAnnealResult result =
+        sa::anneal_global(w.graph, topology, comm, options);
+    simulations += result.simulations;
+    benchmark::DoNotOptimize(result.makespan);
+  }
+  state.SetItemsProcessed(simulations);  // cost-oracle replays per second
+}
+BENCHMARK(BM_AnnealGlobal)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 }  // namespace

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Runs the google-benchmark microbenchmark suite and writes BENCH_perf.json
+# at the repo root — the machine-readable perf trajectory consumed by
+# PERFORMANCE.md and compared across PRs.
+#
+# Usage: bench/run_bench.sh [extra bench_perf args...]
+#   e.g. bench/run_bench.sh --benchmark_filter='BM_AnnealPacket'
+#
+# The build directory defaults to ./build (the tier-1 layout); override
+# with BUILD_DIR=path bench/run_bench.sh.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${BUILD_DIR:-${repo_root}/build}"
+bench_bin="${build_dir}/bench_perf"
+
+if [[ ! -x "${bench_bin}" ]]; then
+  echo "bench_perf not found at ${bench_bin}; building..." >&2
+  cmake -B "${build_dir}" -S "${repo_root}"
+  cmake --build "${build_dir}" --target bench_perf -j
+fi
+
+out="${repo_root}/BENCH_perf.json"
+"${bench_bin}" \
+  --benchmark_format=json \
+  --benchmark_out="${out}" \
+  --benchmark_out_format=json \
+  "$@"
+echo "wrote ${out}"

@@ -1,5 +1,6 @@
 #include "core/annealer.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "core/boltzmann.hpp"
@@ -35,6 +36,19 @@ AnnealResult anneal_packet(const AnnealingPacket& packet,
           ? options.moves_per_temperature
           : std::max(6, 2 * packet.num_tasks());
 
+  if (trajectory != nullptr) {
+    // One point per proposed move; reserving the horizon up front keeps
+    // the recording path free of reallocation.  Capped: the convergence
+    // stop rule usually ends long schedules after a fraction of
+    // max_steps, so a full-horizon reserve could vastly overshoot.
+    constexpr std::size_t kMaxReservePoints = std::size_t{1} << 16;
+    trajectory->points.reserve(
+        trajectory->points.size() +
+        std::min(kMaxReservePoints,
+                 static_cast<std::size_t>(moves_per_temp) *
+                     static_cast<std::size_t>(options.cooling.max_steps)));
+  }
+
   int constant_steps = 0;
   double previous_step_cost = current_cost.total;
 
@@ -49,38 +63,18 @@ AnnealResult anneal_packet(const AnnealingPacket& packet,
         return result;
       }
       ++result.iterations;
-      const double delta = cost.move_delta(current, move);
+      const MoveDelta delta = cost.move_parts(move);
       const bool accept =
-          rng.uniform01() < boltzmann_acceptance(delta, temp);
+          rng.uniform01() < boltzmann_acceptance(delta.d_total, temp);
       if (accept) {
         current.apply(move);
-        // Incremental bookkeeping of the raw components; the normalized
-        // total is re-derived from them (eq. 6) to avoid drift against
-        // evaluate().
-        switch (move.kind) {
-          case MoveKind::Move:
-            current_cost.comm += cost.task_comm_cost(move.task_a,
-                                                     move.to_proc) -
-                                 cost.task_comm_cost(move.task_a,
-                                                     move.from_proc);
-            break;
-          case MoveKind::Swap:
-            current_cost.comm +=
-                cost.task_comm_cost(move.task_a, move.to_proc) +
-                cost.task_comm_cost(move.task_b, move.from_proc) -
-                cost.task_comm_cost(move.task_a, move.from_proc) -
-                cost.task_comm_cost(move.task_b, move.to_proc);
-            break;
-          case MoveKind::Replace:
-            current_cost.load += cost.task_level_us(move.task_b) -
-                                 cost.task_level_us(move.task_a);
-            current_cost.comm +=
-                cost.task_comm_cost(move.task_a, move.to_proc) -
-                cost.task_comm_cost(move.task_b, move.to_proc);
-            break;
-        }
-        current_cost.total = cost.wc() * current_cost.comm / cost.delta_fc() +
-                             cost.wb() * current_cost.load / cost.delta_fb();
+        // Pure bookkeeping: move_parts already produced the raw load/comm
+        // differences, so the accept path adds them and re-derives the
+        // normalized total (eq. 6) to avoid drift against evaluate().
+        current_cost.load += delta.d_load;
+        current_cost.comm += delta.d_comm;
+        current_cost.total =
+            cost.total_of(current_cost.load, current_cost.comm);
         if (current_cost.total < result.best_cost.total) {
           result.best_cost = current_cost;
           result.mapping = current;

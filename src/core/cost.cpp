@@ -11,12 +11,24 @@ namespace dagsched::sa {
 PacketCostModel::PacketCostModel(const AnnealingPacket& packet,
                                  const Topology& topology,
                                  const CommModel& comm, double wb, double wc)
-    : packet_(packet), topology_(topology), comm_(comm), wb_(wb), wc_(wc) {
+    : num_tasks_(packet.num_tasks()),
+      num_procs_(packet.num_procs()),
+      wb_(wb),
+      wc_(wc) {
   require(packet.num_tasks() > 0 && packet.num_procs() > 0,
           "PacketCostModel: empty packet");
   require(wb >= 0.0 && wc >= 0.0, "PacketCostModel: negative weight");
   require(std::fabs(wb + wc - 1.0) < 1e-9,
           "PacketCostModel: wb + wc must equal 1");
+  for (const ProcId p : packet.procs) {
+    require(topology.is_valid_proc(p), "PacketCostModel: bad packet proc");
+  }
+  for (const PacketTask& t : packet.tasks) {
+    for (const PacketTask::Input& input : t.inputs) {
+      require(topology.is_valid_proc(input.src),
+              "PacketCostModel: bad input source proc");
+    }
+  }
 
   const int k = packet.num_selected();
 
@@ -50,65 +62,67 @@ PacketCostModel::PacketCostModel(const AnnealingPacket& packet,
         comm.analytic_cost(weights[static_cast<std::size_t>(i)], diameter));
   }
   delta_fc_ = std::max(worst, 1.0);
-}
 
-double PacketCostModel::task_comm_cost(int task_index, int proc_slot) const {
-  require(task_index >= 0 && task_index < packet_.num_tasks(),
-          "PacketCostModel::task_comm_cost: bad task index");
-  require(proc_slot >= 0 && proc_slot < packet_.num_procs(),
-          "PacketCostModel::task_comm_cost: bad processor slot");
-  const PacketTask& task = packet_.tasks[static_cast<std::size_t>(task_index)];
-  const ProcId proc = packet_.procs[static_cast<std::size_t>(proc_slot)];
-  Time cost = 0;
-  for (const PacketTask::Input& input : task.inputs) {
-    cost += comm_.analytic_cost(input.weight,
-                                topology_.distance(input.src, proc));
+  load_scale_ = wb_ / delta_fb_;
+  comm_scale_ = wc_ / delta_fc_;
+
+  // Flatten everything the inner loop reads into dense tables: per-task
+  // levels and the eq. 4 input-message sum of every (task, proc slot) pair.
+  level_us_.resize(static_cast<std::size_t>(num_tasks_));
+  comm_table_.resize(static_cast<std::size_t>(num_tasks_) *
+                     static_cast<std::size_t>(num_procs_));
+  for (int i = 0; i < num_tasks_; ++i) {
+    const PacketTask& task = packet.tasks[static_cast<std::size_t>(i)];
+    level_us_[static_cast<std::size_t>(i)] = to_us(task.level);
+    double* row = comm_table_.data() +
+                  static_cast<std::size_t>(i) *
+                      static_cast<std::size_t>(num_procs_);
+    for (int s = 0; s < num_procs_; ++s) {
+      const ProcId proc = packet.procs[static_cast<std::size_t>(s)];
+      Time cost = 0;
+      for (const PacketTask::Input& input : task.inputs) {
+        cost += comm.analytic_cost(
+            input.weight, topology.distance_unchecked(input.src, proc));
+      }
+      row[s] = to_us(cost);
+    }
   }
-  return to_us(cost);
-}
-
-double PacketCostModel::task_level_us(int task_index) const {
-  require(task_index >= 0 && task_index < packet_.num_tasks(),
-          "PacketCostModel::task_level_us: bad task index");
-  return to_us(packet_.tasks[static_cast<std::size_t>(task_index)].level);
 }
 
 CostBreakdown PacketCostModel::evaluate(const Mapping& mapping) const {
   CostBreakdown cost;
-  for (int i = 0; i < packet_.num_tasks(); ++i) {
+  for (int i = 0; i < num_tasks_; ++i) {
     const int slot = mapping.proc_slot_of(i);
     if (slot < 0) continue;
     cost.load -= task_level_us(i);            // eq. 3
     cost.comm += task_comm_cost(i, slot);     // eq. 5
   }
-  cost.total = wc_ * cost.comm / delta_fc_ + wb_ * cost.load / delta_fb_;
+  cost.total = total_of(cost.load, cost.comm);
   return cost;
 }
 
-double PacketCostModel::move_delta(const Mapping& mapping,
-                                   const Move& move) const {
-  double d_load = 0.0;
-  double d_comm = 0.0;
+MoveDelta PacketCostModel::move_parts(const Move& move) const {
+  MoveDelta delta;
   switch (move.kind) {
     case MoveKind::Move:
-      d_comm = task_comm_cost(move.task_a, move.to_proc) -
-               task_comm_cost(move.task_a, move.from_proc);
+      delta.d_comm = task_comm_cost(move.task_a, move.to_proc) -
+                     task_comm_cost(move.task_a, move.from_proc);
       break;
     case MoveKind::Swap:
-      d_comm = task_comm_cost(move.task_a, move.to_proc) +
-               task_comm_cost(move.task_b, move.from_proc) -
-               task_comm_cost(move.task_a, move.from_proc) -
-               task_comm_cost(move.task_b, move.to_proc);
+      delta.d_comm = task_comm_cost(move.task_a, move.to_proc) +
+                     task_comm_cost(move.task_b, move.from_proc) -
+                     task_comm_cost(move.task_a, move.from_proc) -
+                     task_comm_cost(move.task_b, move.to_proc);
       break;
     case MoveKind::Replace:
       // task_a enters the selection, task_b leaves it.
-      d_load = task_level_us(move.task_b) - task_level_us(move.task_a);
-      d_comm = task_comm_cost(move.task_a, move.to_proc) -
-               task_comm_cost(move.task_b, move.to_proc);
+      delta.d_load = task_level_us(move.task_b) - task_level_us(move.task_a);
+      delta.d_comm = task_comm_cost(move.task_a, move.to_proc) -
+                     task_comm_cost(move.task_b, move.to_proc);
       break;
   }
-  (void)mapping;  // the move carries all slot information it needs
-  return wc_ * d_comm / delta_fc_ + wb_ * d_load / delta_fb_;
+  delta.d_total = total_of(delta.d_load, delta.d_comm);
+  return delta;
 }
 
 }  // namespace dagsched::sa

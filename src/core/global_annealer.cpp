@@ -1,5 +1,8 @@
 #include "core/global_annealer.hpp"
 
+#include <algorithm>
+#include <thread>
+
 #include "core/boltzmann.hpp"
 #include "sched/hlf.hpp"
 #include "sched/pinned.hpp"
@@ -11,59 +14,75 @@ namespace dagsched::sa {
 
 namespace {
 
-/// Simulated makespan of a complete mapping (the exact cost oracle).
-Time replay_makespan(const TaskGraph& graph, const Topology& topology,
-                     const CommModel& comm,
-                     const std::vector<ProcId>& mapping) {
-  sched::PinnedScheduler policy(mapping);
-  sim::SimOptions options;
-  options.record_trace = false;
-  return sim::simulate(graph, topology, comm, policy, options).makespan;
-}
+/// Per-chain cost oracle: one pinned scheduler whose mapping buffer and
+/// epoch scratch space are allocated once and reused for every replay,
+/// instead of constructing a fresh policy (and its vectors) per proposed
+/// move.
+class ReplayWorkspace {
+ public:
+  ReplayWorkspace(const TaskGraph& graph, const Topology& topology,
+                  const CommModel& comm)
+      : graph_(graph),
+        topology_(topology),
+        comm_(comm),
+        policy_(std::vector<ProcId>(
+            static_cast<std::size_t>(graph.num_tasks()), 0)) {
+    options_.record_trace = false;
+  }
 
-}  // namespace
+  /// Simulated makespan of a complete mapping (the exact cost oracle).
+  Time makespan(const std::vector<ProcId>& mapping) {
+    policy_.set_mapping(mapping);
+    return sim::simulate(graph_, topology_, comm_, policy_, options_)
+        .makespan;
+  }
 
-GlobalAnnealResult anneal_global(const TaskGraph& graph,
-                                 const Topology& topology,
-                                 const CommModel& comm,
-                                 const GlobalAnnealOptions& options) {
-  graph.validate();
-  options.cooling.validate();
-  require(options.patience >= 1, "anneal_global: bad patience");
+ private:
+  const TaskGraph& graph_;
+  const Topology& topology_;
+  const CommModel& comm_;
+  sched::PinnedScheduler policy_;
+  sim::SimOptions options_;
+};
 
-  Rng rng(options.seed);
+/// One independent annealing chain.  Chain 0 consumes Rng(options.seed)
+/// exactly as the historical single-chain annealer did; other chains use
+/// decorrelated streams of the same seed.  `hlf_placement` is the shared
+/// deterministic seed mapping (ignored when seed_with_hlf is false).
+GlobalAnnealResult anneal_chain(const TaskGraph& graph,
+                                const Topology& topology,
+                                const CommModel& comm,
+                                const GlobalAnnealOptions& options,
+                                int chain_index,
+                                const std::vector<ProcId>& hlf_placement) {
+  Rng rng = Rng::stream(options.seed,
+                        static_cast<std::uint64_t>(chain_index));
+  ReplayWorkspace oracle(graph, topology, comm);
   GlobalAnnealResult result;
 
   // Initial mapping: HLF placement (good start) or uniform random.
-  std::vector<ProcId> current(static_cast<std::size_t>(graph.num_tasks()));
+  std::vector<ProcId> current;
   if (options.seed_with_hlf) {
-    sched::HlfScheduler hlf;
-    sim::SimOptions sim_options;
-    sim_options.record_trace = false;
-    current = sim::simulate(graph, topology, comm, hlf, sim_options)
-                  .placement;
+    current = hlf_placement;
   } else {
+    current.resize(static_cast<std::size_t>(graph.num_tasks()));
     for (ProcId& p : current) {
       p = static_cast<ProcId>(
           rng.uniform_index(static_cast<std::size_t>(topology.num_procs())));
     }
   }
 
-  Time current_makespan = replay_makespan(graph, topology, comm, current);
+  Time current_makespan = oracle.makespan(current);
   result.simulations = 1;
   result.initial_makespan = current_makespan;
   result.mapping = current;
   result.makespan = current_makespan;
 
-  if (topology.num_procs() == 1) {
-    result.history.push_back(result.makespan);
-    return result;  // nothing to move
-  }
-
   const int moves_per_temp =
       options.moves_per_temperature > 0
           ? options.moves_per_temperature
           : std::max(8, graph.num_tasks());
+  result.history.reserve(static_cast<std::size_t>(options.cooling.max_steps));
 
   int stale_steps = 0;
   for (int step = 0; step < options.cooling.max_steps; ++step) {
@@ -80,7 +99,7 @@ GlobalAnnealResult anneal_global(const TaskGraph& graph,
             static_cast<std::size_t>(topology.num_procs())));
       }
       current[task] = new_proc;
-      const Time makespan = replay_makespan(graph, topology, comm, current);
+      const Time makespan = oracle.makespan(current);
       ++result.simulations;
       const double delta = to_us(makespan - current_makespan);
       if (rng.uniform01() < boltzmann_acceptance(delta, temp)) {
@@ -101,6 +120,97 @@ GlobalAnnealResult anneal_global(const TaskGraph& graph,
       stale_steps = 0;
     }
   }
+  return result;
+}
+
+int resolve_num_chains(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return static_cast<int>(std::clamp(hw, 1u, 8u));
+}
+
+}  // namespace
+
+GlobalAnnealResult anneal_global(const TaskGraph& graph,
+                                 const Topology& topology,
+                                 const CommModel& comm,
+                                 const GlobalAnnealOptions& options) {
+  graph.validate();
+  options.cooling.validate();
+  require(options.patience >= 1, "anneal_global: bad patience");
+  require(options.num_chains >= 0, "anneal_global: negative num_chains");
+
+  if (topology.num_procs() == 1) {
+    // Nothing to move; replay the only possible placement once.
+    GlobalAnnealResult result;
+    result.mapping.assign(static_cast<std::size_t>(graph.num_tasks()), 0);
+    ReplayWorkspace oracle(graph, topology, comm);
+    result.makespan = oracle.makespan(result.mapping);
+    result.initial_makespan = result.makespan;
+    result.simulations = 1;
+    result.history.push_back(result.makespan);
+    result.chain_makespans.push_back(result.makespan);
+    return result;
+  }
+
+  // The HLF seed placement is deterministic — compute it once and share it
+  // across chains instead of re-simulating HLF per chain.
+  std::vector<ProcId> hlf_placement;
+  if (options.seed_with_hlf) {
+    sched::HlfScheduler hlf;
+    sim::SimOptions sim_options;
+    sim_options.record_trace = false;
+    hlf_placement =
+        sim::simulate(graph, topology, comm, hlf, sim_options).placement;
+  }
+
+  const int num_chains = resolve_num_chains(options.num_chains);
+
+  std::vector<GlobalAnnealResult> chains(
+      static_cast<std::size_t>(num_chains));
+  if (num_chains == 1) {
+    chains[0] = anneal_chain(graph, topology, comm, options, 0,
+                             hlf_placement);
+  } else {
+    // Chains 1..N-1 on worker threads, chain 0 on the calling thread.
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(num_chains - 1));
+    for (int c = 1; c < num_chains; ++c) {
+      workers.emplace_back([&, c] {
+        chains[static_cast<std::size_t>(c)] =
+            anneal_chain(graph, topology, comm, options, c, hlf_placement);
+      });
+    }
+    try {
+      chains[0] = anneal_chain(graph, topology, comm, options, 0,
+                               hlf_placement);
+    } catch (...) {
+      // Destroying a joinable std::thread terminates the process; drain
+      // the workers before letting the exception propagate.
+      for (std::thread& worker : workers) worker.join();
+      throw;
+    }
+    for (std::thread& worker : workers) worker.join();
+  }
+
+  // Best chain wins; ties break toward the lowest chain index so the
+  // result is independent of thread scheduling.
+  std::size_t best = 0;
+  int total_simulations = 0;
+  std::vector<Time> chain_makespans;
+  chain_makespans.reserve(chains.size());
+  for (std::size_t c = 0; c < chains.size(); ++c) {
+    total_simulations += chains[c].simulations;
+    chain_makespans.push_back(chains[c].makespan);
+    if (chains[c].makespan < chains[best].makespan) best = c;
+  }
+  const Time chain0_initial = chains[0].initial_makespan;
+
+  GlobalAnnealResult result = std::move(chains[best]);
+  result.initial_makespan = chain0_initial;
+  result.simulations = total_simulations;
+  result.chains = num_chains;
+  result.chain_makespans = std::move(chain_makespans);
   return result;
 }
 

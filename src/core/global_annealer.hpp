@@ -11,6 +11,14 @@
 // every proposed move costs a full simulation — but removes both of the
 // staged scheme's blind spots (per-packet myopia and the analytic-estimate
 // gap).  bench_global quantifies the trade on the paper's programs.
+//
+// The annealer runs `num_chains` independent chains, each with its own
+// deterministic Rng stream (Rng::stream(seed, chain)) and its own
+// preallocated replay workspace, on std::threads; the best chain's mapping
+// wins (ties break toward the lowest chain index, so results stay
+// deterministic).  Chain 0's random stream is bit-identical to the
+// historical single-chain annealer, so `num_chains = 1` reproduces the
+// pre-multi-chain results exactly.
 
 #include <cstdint>
 #include <vector>
@@ -37,19 +45,28 @@ struct GlobalAnnealOptions {
   std::uint64_t seed = 1;
   /// Start from the HLF placement instead of a random one.
   bool seed_with_hlf = true;
+  /// Independent annealing chains run on std::threads; 0 selects
+  /// hardware_concurrency capped at 8.  Chain 0 is bit-compatible with the
+  /// historical single-chain annealer for the same seed.
+  int num_chains = 0;
 };
 
 struct GlobalAnnealResult {
   std::vector<ProcId> mapping;   ///< best complete placement found
   Time makespan = 0;             ///< simulated makespan of `mapping`
-  Time initial_makespan = 0;
-  int simulations = 0;           ///< cost-oracle invocations
-  std::vector<Time> history;     ///< best-so-far after each temperature step
+  Time initial_makespan = 0;     ///< chain 0's starting makespan
+  int simulations = 0;           ///< cost-oracle invocations, all chains
+  std::vector<Time> history;     ///< winning chain: best-so-far per step
+  int chains = 1;                ///< chains actually run
+  std::vector<Time> chain_makespans;  ///< best makespan of each chain
 };
 
 /// Anneals a complete task-to-processor mapping against the simulated
-/// makespan.  Deterministic for a given seed.  The temperature acts on the
-/// makespan difference measured in microseconds.
+/// makespan.  Deterministic for a given seed and chain count — chains have
+/// fixed seeds and ties break toward the lowest chain index; note that
+/// num_chains = 0 resolves to the machine's hardware concurrency, so
+/// cross-machine reproducibility requires an explicit chain count.  The
+/// temperature acts on the makespan difference measured in microseconds.
 GlobalAnnealResult anneal_global(const TaskGraph& graph,
                                  const Topology& topology,
                                  const CommModel& comm,

@@ -25,26 +25,25 @@ void PinnedScheduler::on_epoch(sim::EpochContext& ctx) {
   // the highest-level one first (ties: lowest id) — the same priority the
   // list schedulers use, so replaying a placement does not lose schedule
   // quality to arbitrary intra-processor ordering.
-  std::vector<TaskId> order(ctx.ready_tasks().begin(),
-                            ctx.ready_tasks().end());
+  order_.assign(ctx.ready_tasks().begin(), ctx.ready_tasks().end());
   const std::vector<Time>& levels = ctx.levels();
-  std::stable_sort(order.begin(), order.end(),
+  std::stable_sort(order_.begin(), order_.end(),
                    [&levels](TaskId a, TaskId b) {
                      const Time la = levels[static_cast<std::size_t>(a)];
                      const Time lb = levels[static_cast<std::size_t>(b)];
                      if (la != lb) return la > lb;
                      return a < b;
                    });
-  std::vector<ProcId> used;
-  for (const TaskId task : order) {
+  used_.clear();
+  for (const TaskId task : order_) {
     const ProcId target = mapping_[static_cast<std::size_t>(task)];
     const bool idle = std::binary_search(ctx.idle_procs().begin(),
                                          ctx.idle_procs().end(), target);
     const bool taken =
-        std::find(used.begin(), used.end(), target) != used.end();
+        std::find(used_.begin(), used_.end(), target) != used_.end();
     if (idle && !taken) {
       ctx.assign(task, target);
-      used.push_back(target);
+      used_.push_back(target);
     }
   }
 }

@@ -21,8 +21,20 @@ class PinnedScheduler : public sim::SchedulingPolicy {
   void on_epoch(sim::EpochContext& ctx) override;
   std::string name() const override { return "pinned"; }
 
+  /// Replaces the pinned mapping in place (no reallocation when the task
+  /// count is unchanged), so a replay loop can reuse one scheduler — and
+  /// its epoch scratch buffers — across many mappings instead of
+  /// constructing a fresh policy per simulation.
+  void set_mapping(const std::vector<ProcId>& mapping) {
+    mapping_.assign(mapping.begin(), mapping.end());
+  }
+
+  const std::vector<ProcId>& mapping() const { return mapping_; }
+
  private:
   std::vector<ProcId> mapping_;
+  std::vector<TaskId> order_;   ///< per-epoch scratch, reused across runs
+  std::vector<ProcId> used_;    ///< per-epoch scratch, reused across runs
 
   void on_run_start(const TaskGraph& graph, const Topology& topology,
                     const CommModel&) override;

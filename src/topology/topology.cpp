@@ -72,13 +72,12 @@ bool Topology::has_link(ProcId a, ProcId b) const {
 
 ChannelId Topology::channel(ProcId a, ProcId b) const {
   require(is_valid_proc(a) && is_valid_proc(b), "Topology::channel: bad proc");
-  if (a == b) return kInvalidChannel;
-  return channel_matrix_[index(a, b)];
+  return channel_unchecked(a, b);
 }
 
 int Topology::distance(ProcId a, ProcId b) const {
   require(is_valid_proc(a) && is_valid_proc(b), "Topology::distance: bad proc");
-  return distance_matrix_[index(a, b)];
+  return distance_unchecked(a, b);
 }
 
 int Topology::degree(ProcId p) const {

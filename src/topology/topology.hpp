@@ -13,6 +13,7 @@
 // deterministic shortest-path (among equal-length next hops, the lowest
 // processor id wins), so simulations are exactly reproducible.
 
+#include <cassert>
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -59,6 +60,21 @@ class Topology {
 
   /// Hop count of the shortest path between a and b (0 when a == b).
   int distance(ProcId a, ProcId b) const;
+
+  /// `distance` without the validity check — for hot paths that have
+  /// already validated their processor ids (debug builds still assert).
+  int distance_unchecked(ProcId a, ProcId b) const {
+    assert(is_valid_proc(a) && is_valid_proc(b));
+    return distance_matrix_[index(a, b)];
+  }
+
+  /// `channel` without the validity check (a == b yields kInvalidChannel
+  /// as in the checked version; debug builds still assert the ids).
+  ChannelId channel_unchecked(ProcId a, ProcId b) const {
+    assert(is_valid_proc(a) && is_valid_proc(b));
+    if (a == b) return kInvalidChannel;
+    return channel_matrix_[index(a, b)];
+  }
 
   /// Maximal distance over all processor pairs.
   int diameter() const { return diameter_; }

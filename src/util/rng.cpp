@@ -99,4 +99,13 @@ double Rng::normal(double mean, double stddev) {
 
 Rng Rng::split() { return Rng(next_u64()); }
 
+Rng Rng::stream(std::uint64_t seed, std::uint64_t stream_index) {
+  if (stream_index == 0) return Rng(seed);
+  // Remix the stream index through splitmix64 (keyed by the seed) so that
+  // adjacent streams share no structure; stream 0 bypasses the remix to
+  // stay bit-compatible with Rng(seed).
+  std::uint64_t state = seed ^ (stream_index * 0xbf58476d1ce4e5b9ull);
+  return Rng(splitmix64(state));
+}
+
 }  // namespace dagsched

@@ -70,6 +70,13 @@ class Rng {
   /// keeping a single top-level experiment seed.
   Rng split();
 
+  /// Deterministic per-stream generator family: stream 0 is bit-identical
+  /// to Rng(seed) (so single-stream callers keep their historical
+  /// sequences), and every other stream index is decorrelated from it by a
+  /// splitmix64 remix.  Used to give each annealing chain its own stream
+  /// from one experiment seed without sharing mutable state.
+  static Rng stream(std::uint64_t seed, std::uint64_t stream_index);
+
  private:
   std::uint64_t s_[4];
   bool has_cached_normal_ = false;

@@ -29,6 +29,39 @@ TEST(Rng, DifferentSeedsDifferentStreams) {
   EXPECT_LT(equal, 3);
 }
 
+TEST(Rng, StreamZeroMatchesPlainSeed) {
+  // Chain 0 of the multi-chain annealers must keep the historical
+  // single-chain sequences.
+  Rng plain(42);
+  Rng stream0 = Rng::stream(42, 0);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(plain.next_u64(), stream0.next_u64());
+  }
+}
+
+TEST(Rng, StreamsAreDecorrelated) {
+  Rng a = Rng::stream(42, 1);
+  Rng b = Rng::stream(42, 2);
+  Rng c = Rng::stream(43, 1);
+  int ab_equal = 0;
+  int ac_equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t va = a.next_u64();
+    if (va == b.next_u64()) ++ab_equal;
+    if (va == c.next_u64()) ++ac_equal;
+  }
+  EXPECT_LT(ab_equal, 3);
+  EXPECT_LT(ac_equal, 3);
+}
+
+TEST(Rng, StreamsAreDeterministic) {
+  Rng a = Rng::stream(7, 5);
+  Rng b = Rng::stream(7, 5);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
 TEST(Rng, ZeroSeedIsUsable) {
   Rng rng(0);
   std::set<std::uint64_t> seen;
