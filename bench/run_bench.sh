@@ -22,9 +22,25 @@ if [[ ! -x "${bench_bin}" ]]; then
 fi
 
 out="${repo_root}/BENCH_perf.json"
+
+# Preserve the previous artifact so the fresh run can be diffed against it.
+previous=""
+if [[ -f "${out}" ]]; then
+  previous="$(mktemp)"
+  trap 'rm -f "${previous}"' EXIT
+  cp "${out}" "${previous}"
+fi
+
 "${bench_bin}" \
   --benchmark_format=json \
   --benchmark_out="${out}" \
   --benchmark_out_format=json \
   "$@"
 echo "wrote ${out}"
+
+# Print the regression table (advisory: >10% moves/s drops are flagged but
+# do not fail the run — see tools/bench_diff.py --strict).
+if [[ -n "${previous}" ]] && command -v python3 > /dev/null; then
+  echo
+  python3 "${repo_root}/tools/bench_diff.py" "${previous}" "${out}" || true
+fi

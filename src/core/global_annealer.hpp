@@ -31,23 +31,42 @@
 
 namespace dagsched::sa {
 
+/// Configuration of the whole-schedule annealer.
 struct GlobalAnnealOptions {
-  /// Temperature acts on makespan differences in microseconds; a cool
-  /// start (a few us) works best because the HLF seed is already decent.
+  /// Annealing schedule.  The temperature acts on makespan differences in
+  /// *microseconds* (a move that worsens the makespan by d us survives
+  /// with probability exp(-d / Temp)); a cool start (a few us) works best
+  /// because the HLF seed is already decent.  max_steps bounds the number
+  /// of temperature steps per chain.
   CoolingSchedule cooling{CoolingKind::Geometric, /*t0=*/4.0,
                           /*alpha=*/0.85, /*t_min=*/1e-3,
                           /*max_steps=*/60};
-  /// Proposed reassignments per temperature step; 0 selects
-  /// max(8, num_tasks).
+
+  /// Proposed reassignments (single-task moves) per temperature step;
+  /// 0 selects max(8, num_tasks).  Every proposal costs one full pinned
+  /// replay, so the total simulation budget per chain is roughly
+  /// max_steps * moves_per_temperature.
   int moves_per_temperature = 0;
-  /// Stop when the best makespan did not improve for this many steps.
+
+  /// Early stop: a chain ends when its best makespan did not improve for
+  /// this many consecutive temperature steps.
   int patience = 20;
+
+  /// Top-level seed.  Chain c draws from Rng::stream(seed, c), so the
+  /// whole run is deterministic for a fixed (seed, num_chains).
   std::uint64_t seed = 1;
+
   /// Start from the HLF placement instead of a random one.
   bool seed_with_hlf = true;
+
   /// Independent annealing chains run on std::threads; 0 selects
-  /// hardware_concurrency capped at 8.  Chain 0 is bit-compatible with the
-  /// historical single-chain annealer for the same seed.
+  /// hardware_concurrency capped at 8 — convenient interactively, but
+  /// results then depend on the host, so reproducible workloads (sweeps,
+  /// tests) must pin an explicit positive count.  Chain semantics:
+  /// chains share nothing but the start mapping; chain 0 is
+  /// bit-compatible with the historical single-chain annealer for the
+  /// same seed (golden-tested), extra chains explore independently, and
+  /// the best chain wins with ties broken toward the lowest index.
   int num_chains = 0;
 };
 
@@ -67,6 +86,15 @@ struct GlobalAnnealResult {
 /// num_chains = 0 resolves to the machine's hardware concurrency, so
 /// cross-machine reproducibility requires an explicit chain count.  The
 /// temperature acts on the makespan difference measured in microseconds.
+///
+/// @param graph     the taskgraph to place; must be a non-empty DAG.
+/// @param topology  the target machine; outlives the call.
+/// @param comm      communication model used by the replay cost oracle.
+/// @param options   schedule, budget and chain parameters (see above).
+/// @return the best mapping over all chains together with its *exact*
+///         simulated makespan — replaying result.mapping through
+///         sched::PinnedScheduler reproduces result.makespan, a property
+///         the sweep runner and tests rely on.
 GlobalAnnealResult anneal_global(const TaskGraph& graph,
                                  const Topology& topology,
                                  const CommModel& comm,

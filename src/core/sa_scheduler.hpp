@@ -15,8 +15,17 @@
 
 namespace dagsched::sa {
 
+/// Configuration of the staged SA scheduler.
 struct SaSchedulerOptions {
+  /// Per-packet annealing parameters (cost weights wb/wc, cooling
+  /// schedule, moves per temperature step, convergence window); see
+  /// core/annealer.hpp for each knob's semantics and defaults.
   AnnealOptions anneal;
+
+  /// Seed of the scheduler's private Rng.  One generator drives every
+  /// packet of the run in epoch order, so a run is deterministic for a
+  /// given (seed, graph, topology, comm) and two seeds give independent
+  /// restarts (the report harness exploits this for best-of-N).
   std::uint64_t seed = 1;
 
   /// Record the full per-move cost trajectory of every packet (Figure 1);
@@ -44,13 +53,32 @@ struct SaRunStats {
   }
 };
 
+/// The paper's scheduler as a sim::SchedulingPolicy: at each epoch it
+/// builds the annealing packet from the context's ready tasks and idle
+/// processors, anneals the packet mapping, and declares the selected
+/// assignments.
+///
+/// A SaScheduler is reusable across runs: on_run_start reseeds the Rng
+/// and clears the statistics, so repeated simulations with the same
+/// options are identical.  It is not safe to share one instance between
+/// concurrently running engines (the sweep runner constructs one per
+/// instance).
 class SaScheduler : public sim::SchedulingPolicy {
  public:
+  /// @param options  annealing parameters + seed; validated at run start
+  ///                 (AnnealOptions::validate).
   explicit SaScheduler(SaSchedulerOptions options = {});
 
+  /// Resets the Rng to `options.seed`, validates the options and clears
+  /// stats/trajectories; invoked by the engine before the first epoch.
   void on_run_start(const TaskGraph&, const Topology&,
                     const CommModel&) override;
+
+  /// Forms and anneals one packet, then assigns the winning
+  /// (task, processor) pairs via ctx.assign(); tasks mapped to no idle
+  /// processor stay unassigned and reappear in the next epoch's packet.
   void on_epoch(sim::EpochContext& ctx) override;
+
   std::string name() const override { return "SA"; }
 
   /// Statistics of the most recent run.

@@ -1,6 +1,28 @@
 #pragma once
 
-// Shared helpers for concrete scheduling policies.
+// Shared helpers for concrete scheduling policies, plus the contract
+// every policy implementation must honour.
+//
+// Policy interface contract (the interface itself is
+// sim::SchedulingPolicy in sim/scheduler_api.hpp):
+//
+//  * The engine calls on_run_start once per run, then on_epoch at time
+//    zero and whenever a processor returns to the idle pool while
+//    unassigned ready tasks exist.  A policy must not retain references
+//    into the EpochContext past the on_epoch call.
+//  * Within one epoch a policy may assign each ready task and each idle
+//    processor at most once (ctx.assign checks this); tasks it leaves
+//    unassigned are offered again at the next epoch.  A policy that can
+//    stall forever (assigning nothing while tasks remain) makes the
+//    engine raise SimulationError.
+//  * Policies must be deterministic functions of (graph, topology, comm,
+//    epoch contexts, their own seed): all randomness must come from an
+//    explicitly seeded dagsched::Rng (or a derived stream), never from
+//    global state — the report and sweep layers depend on replayable
+//    runs.
+//  * A policy instance is reusable across runs (on_run_start must fully
+//    reset it) but is never shared between concurrently running engines;
+//    batch drivers construct one policy per concurrent simulation.
 
 #include <vector>
 
@@ -11,11 +33,22 @@ namespace dagsched::sched {
 /// Analytic communication cost (eq. 4) of running `task` on `proc`: the sum
 /// over the task's predecessors of the cost of moving their messages from
 /// the predecessor's processor.  Zero when communication is disabled.
+///
+/// @param ctx   the current epoch (placement of all finished/assigned
+///              tasks; predecessors of ready tasks are always placed).
+/// @param task  a ready task of the epoch.
+/// @param proc  the candidate processor for `task`.
+/// @return the estimated incoming-communication time, in the integer
+///         nanosecond time base (an *estimate*: the simulator additionally
+///         models contention and preemption).
 Time incoming_comm_cost(const sim::EpochContext& ctx, TaskId task,
                         ProcId proc);
 
 /// Ready tasks sorted by decreasing level n_i (ties: ascending id) — the
 /// Highest-Level-First candidate order.
+///
+/// @param ctx  the current epoch; levels come from ctx.levels().
+/// @return the epoch's ready tasks, highest level first.
 std::vector<TaskId> ready_by_level(const sim::EpochContext& ctx);
 
 }  // namespace dagsched::sched

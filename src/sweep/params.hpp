@@ -1,0 +1,25 @@
+#pragma once
+
+// Per-family parameter definitions: the knobs each graph-generator family
+// exposes to sweep specs, their default ranges, and whether they are
+// integer-valued.  The table order is the order instances draw their
+// parameters in (runner.cpp), making it part of the sweep determinism
+// contract: append, never reorder.
+
+#include <span>
+
+#include "sweep/spec.hpp"
+
+namespace dagsched::sweep {
+
+/// One family parameter: name, default range, and value domain.
+struct ParamDef {
+  const char* name;
+  ParamRange range;  ///< default when the spec does not override it
+  bool integer;      ///< drawn with uniform_int (else uniform_real)
+};
+
+/// The parameter table of `kind`, in draw order.
+std::span<const ParamDef> family_param_defs(FamilyKind kind);
+
+}  // namespace dagsched::sweep

@@ -1,0 +1,324 @@
+#include "sweep/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "core/global_annealer.hpp"
+#include "core/sa_scheduler.hpp"
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+#include "sched/etf.hpp"
+#include "sched/fixed_list.hpp"
+#include "sched/hlf.hpp"
+#include "sched/random_policy.hpp"
+#include "sim/engine.hpp"
+#include "sweep/params.hpp"
+#include "topology/builders.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace dagsched::sweep {
+
+namespace {
+
+/// One (f, i) cell's deterministic draws: family parameters (table order),
+/// then the generator seed, then one seed per policy.
+struct InstanceDraw {
+  std::vector<double> params;  ///< parallel to family_param_defs(kind)
+  std::uint64_t graph_seed = 0;
+  std::vector<std::uint64_t> policy_seeds;  ///< parallel to spec.policies
+
+  double param(FamilyKind kind, const std::string& name) const {
+    const auto defs = family_param_defs(kind);
+    for (std::size_t p = 0; p < defs.size(); ++p) {
+      if (name == defs[p].name) return params[p];
+    }
+    throw std::invalid_argument("unknown family parameter '" + name + "'");
+  }
+  int param_int(FamilyKind kind, const std::string& name) const {
+    return static_cast<int>(param(kind, name));
+  }
+  Time param_us(FamilyKind kind, const std::string& name) const {
+    return us(static_cast<std::int64_t>(param(kind, name)));
+  }
+};
+
+InstanceDraw draw_instance(const SweepSpec& spec, int family_index,
+                           int repetition) {
+  const FamilySpec& family = spec.families[family_index];
+  Rng rng = Rng::stream(
+      spec.seed, (static_cast<std::uint64_t>(family_index) << 32) |
+                     static_cast<std::uint32_t>(repetition));
+  InstanceDraw draw;
+  for (const ParamDef& def : family_param_defs(family.kind)) {
+    const ParamRange range = family.param(def.name);
+    if (def.integer) {
+      draw.params.push_back(static_cast<double>(rng.uniform_int(
+          static_cast<std::int64_t>(range.lo),
+          static_cast<std::int64_t>(range.hi))));
+    } else {
+      draw.params.push_back(range.is_single()
+                                ? range.lo
+                                : rng.uniform_real(range.lo, range.hi));
+    }
+  }
+  draw.graph_seed = rng.next_u64();
+  draw.policy_seeds.reserve(spec.policies.size());
+  for (std::size_t p = 0; p < spec.policies.size(); ++p) {
+    draw.policy_seeds.push_back(rng.next_u64());
+  }
+  return draw;
+}
+
+TaskGraph build_graph(FamilyKind kind, const InstanceDraw& draw) {
+  switch (kind) {
+    case FamilyKind::Layered: {
+      gen::LayeredDagOptions options;
+      options.layers = draw.param_int(kind, "layers");
+      options.min_width = draw.param_int(kind, "min_width");
+      options.max_width = draw.param_int(kind, "max_width");
+      if (options.min_width > options.max_width) {
+        std::swap(options.min_width, options.max_width);
+      }
+      options.edge_probability = draw.param(kind, "edge_probability");
+      options.skip_probability = draw.param(kind, "skip_probability");
+      options.min_duration = draw.param_us(kind, "min_duration_us");
+      options.max_duration = draw.param_us(kind, "max_duration_us");
+      if (options.min_duration > options.max_duration) {
+        std::swap(options.min_duration, options.max_duration);
+      }
+      options.min_weight = draw.param_us(kind, "min_weight_us");
+      options.max_weight = draw.param_us(kind, "max_weight_us");
+      if (options.min_weight > options.max_weight) {
+        std::swap(options.min_weight, options.max_weight);
+      }
+      options.seed = draw.graph_seed;
+      return gen::layered_dag(options);
+    }
+    case FamilyKind::Gnp: {
+      gen::GnpDagOptions options;
+      options.num_tasks = draw.param_int(kind, "tasks");
+      options.edge_probability = draw.param(kind, "edge_probability");
+      options.min_duration = draw.param_us(kind, "min_duration_us");
+      options.max_duration = draw.param_us(kind, "max_duration_us");
+      if (options.min_duration > options.max_duration) {
+        std::swap(options.min_duration, options.max_duration);
+      }
+      options.min_weight = draw.param_us(kind, "min_weight_us");
+      options.max_weight = draw.param_us(kind, "max_weight_us");
+      if (options.min_weight > options.max_weight) {
+        std::swap(options.min_weight, options.max_weight);
+      }
+      options.seed = draw.graph_seed;
+      return gen::gnp_dag(options);
+    }
+    case FamilyKind::ForkJoin:
+      return gen::fork_join(draw.param_int(kind, "stages"),
+                            draw.param_int(kind, "width"),
+                            draw.param_us(kind, "fork_duration_us"),
+                            draw.param_us(kind, "work_duration_us"),
+                            draw.param_us(kind, "join_duration_us"),
+                            draw.param_us(kind, "weight_us"));
+    case FamilyKind::OutTree:
+      return gen::out_tree(draw.param_int(kind, "depth"),
+                           draw.param_int(kind, "fanout"),
+                           draw.param_us(kind, "duration_us"),
+                           draw.param_us(kind, "weight_us"));
+    case FamilyKind::InTree:
+      return gen::in_tree(draw.param_int(kind, "depth"),
+                          draw.param_int(kind, "fanout"),
+                          draw.param_us(kind, "duration_us"),
+                          draw.param_us(kind, "weight_us"));
+    case FamilyKind::Diamond:
+      return gen::diamond(draw.param_int(kind, "width"),
+                          draw.param_us(kind, "source_duration_us"),
+                          draw.param_us(kind, "middle_duration_us"),
+                          draw.param_us(kind, "sink_duration_us"),
+                          draw.param_us(kind, "weight_us"));
+    case FamilyKind::Chain:
+      return gen::chain(draw.param_int(kind, "length"),
+                        draw.param_us(kind, "duration_us"),
+                        draw.param_us(kind, "weight_us"));
+  }
+  throw std::invalid_argument("unknown family kind");
+}
+
+/// Priority list for the fixed-list policy: the HLF order (descending
+/// level n_i, ties ascending id) over *all* tasks.
+std::vector<TaskId> hlf_priority_list(const TaskGraph& graph) {
+  const std::vector<Time> levels = task_levels(graph);
+  std::vector<TaskId> list(static_cast<std::size_t>(graph.num_tasks()));
+  for (std::size_t t = 0; t < list.size(); ++t) {
+    list[t] = static_cast<TaskId>(t);
+  }
+  std::stable_sort(list.begin(), list.end(), [&](TaskId a, TaskId b) {
+    if (levels[a] != levels[b]) return levels[a] > levels[b];
+    return a < b;
+  });
+  return list;
+}
+
+Time run_policy(PolicyKind kind, const SweepSpec& spec,
+                const TaskGraph& graph, const Topology& topology,
+                const CommModel& comm, std::uint64_t policy_seed) {
+  sim::SimOptions sim_options;
+  sim_options.record_trace = false;
+
+  switch (kind) {
+    case PolicyKind::Sa: {
+      sa::SaSchedulerOptions options;
+      options.anneal = spec.sa_options;
+      options.seed = policy_seed;
+      sa::SaScheduler policy(options);
+      return sim::simulate(graph, topology, comm, policy, sim_options)
+          .makespan;
+    }
+    case PolicyKind::Gsa: {
+      sa::GlobalAnnealOptions options = spec.gsa_options;
+      options.seed = policy_seed;
+      // anneal_global's result *is* the pinned-replay makespan of the best
+      // mapping; no second simulation needed.
+      return sa::anneal_global(graph, topology, comm, options).makespan;
+    }
+    case PolicyKind::Hlf: {
+      sched::HlfScheduler policy(sched::HlfPlacement::FirstIdle);
+      return sim::simulate(graph, topology, comm, policy, sim_options)
+          .makespan;
+    }
+    case PolicyKind::HlfMinComm: {
+      sched::HlfScheduler policy(sched::HlfPlacement::MinComm);
+      return sim::simulate(graph, topology, comm, policy, sim_options)
+          .makespan;
+    }
+    case PolicyKind::Etf: {
+      sched::EtfScheduler policy;
+      return sim::simulate(graph, topology, comm, policy, sim_options)
+          .makespan;
+    }
+    case PolicyKind::FixedHlf: {
+      sched::FixedListScheduler policy(hlf_priority_list(graph));
+      return sim::simulate(graph, topology, comm, policy, sim_options)
+          .makespan;
+    }
+    case PolicyKind::Random: {
+      sched::RandomScheduler policy(policy_seed);
+      return sim::simulate(graph, topology, comm, policy, sim_options)
+          .makespan;
+    }
+  }
+  throw std::invalid_argument("unknown policy kind");
+}
+
+struct InstanceKey {
+  int family_index;
+  int repetition;
+  int topology_index;
+};
+
+}  // namespace
+
+Time InstanceResult::best() const {
+  require(!makespans.empty(), "InstanceResult::best: no makespans");
+  return *std::min_element(makespans.begin(), makespans.end());
+}
+
+TaskGraph build_instance_graph(const SweepSpec& spec, int family_index,
+                               int repetition,
+                               std::uint64_t* graph_seed_out) {
+  require(family_index >= 0 &&
+              family_index < static_cast<int>(spec.families.size()),
+          "build_instance_graph: family index out of range");
+  const InstanceDraw draw = draw_instance(spec, family_index, repetition);
+  if (graph_seed_out != nullptr) *graph_seed_out = draw.graph_seed;
+  return build_graph(spec.families[family_index].kind, draw);
+}
+
+SweepResult run_sweep(const SweepSpec& spec) {
+  spec.validate();
+
+  std::vector<InstanceKey> keys;
+  keys.reserve(static_cast<std::size_t>(spec.num_instances()));
+  for (std::size_t f = 0; f < spec.families.size(); ++f) {
+    for (int i = 0; i < spec.families[f].count; ++i) {
+      for (std::size_t t = 0; t < spec.topologies.size(); ++t) {
+        keys.push_back({static_cast<int>(f), i, static_cast<int>(t)});
+      }
+    }
+  }
+
+  SweepResult result;
+  result.spec = spec;
+  result.instances.resize(keys.size());
+
+  const CommModel comm =
+      spec.comm_enabled ? CommModel::paper_default() : CommModel::disabled();
+
+  int threads = spec.threads;
+  if (threads == 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  threads = std::min<int>(threads, static_cast<int>(keys.size()));
+  threads = std::max(threads, 1);
+  result.threads_used = threads;
+
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  auto worker = [&]() {
+    try {
+      for (;;) {
+        const std::size_t index = next.fetch_add(1);
+        if (index >= keys.size()) return;
+        {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (first_error) return;  // another worker already failed
+        }
+        const InstanceKey key = keys[index];
+        const FamilySpec& family = spec.families[key.family_index];
+        const InstanceDraw draw =
+            draw_instance(spec, key.family_index, key.repetition);
+        const TaskGraph graph = build_graph(family.kind, draw);
+        const Topology topology =
+            topo::by_name(spec.topologies[key.topology_index]);
+
+        InstanceResult& row = result.instances[index];
+        row.index = static_cast<int>(index);
+        row.family = to_string(family.kind);
+        row.family_index = key.family_index;
+        row.repetition = key.repetition;
+        row.topology = spec.topologies[key.topology_index];
+        row.graph_seed = draw.graph_seed;
+        row.tasks = graph.num_tasks();
+        row.edges = graph.num_edges();
+        row.makespans.resize(spec.policies.size());
+        for (std::size_t p = 0; p < spec.policies.size(); ++p) {
+          row.makespans[p] = run_policy(spec.policies[p], spec, graph,
+                                        topology, comm,
+                                        draw.policy_seeds[p]);
+        }
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
+
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int i = 0; i < threads; ++i) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return result;
+}
+
+}  // namespace dagsched::sweep

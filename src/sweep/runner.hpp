@@ -1,0 +1,69 @@
+#pragma once
+
+// The sweep executor: enumerates the spec's cartesian product of
+// (family instance x topology), fans the instances out across a worker
+// pool, and runs every policy of the spec on every instance through the
+// discrete-event simulator.
+//
+// Determinism contract (locked by tests/test_sweep.cpp):
+//  * Instance (family f, repetition i) derives everything it needs from
+//    Rng::stream(spec.seed, (f << 32) | i): first the family parameters in
+//    family_param_defs() table order, then the generator seed, then one
+//    seed per policy in spec order.  Nothing is drawn from a shared
+//    generator, so results are independent of scheduling order.
+//  * The same (f, i) graph is reused across all topologies of the spec,
+//    which makes cross-topology comparisons paired.
+//  * Workers write results into a preallocated slot per instance; the
+//    result vector is in enumeration order regardless of thread count.
+//  Consequently the per-instance makespans (integer nanoseconds) are
+//  bit-reproducible everywhere, and the summary artifact is
+//  byte-identical for a fixed seed across runs and thread counts.  (The
+//  summary's floating-point aggregates go through libm log/exp, so
+//  byte-identity across *platforms* holds only as far as the host libm
+//  rounds identically.)
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/taskgraph.hpp"
+#include "sweep/spec.hpp"
+#include "util/time.hpp"
+
+namespace dagsched::sweep {
+
+/// The outcome of one (graph instance, topology) cell: one simulated
+/// makespan per policy of the spec.
+struct InstanceResult {
+  int index = 0;                 ///< global enumeration ordinal
+  std::string family;            ///< family kind name
+  int family_index = 0;          ///< index into spec.families
+  int repetition = 0;            ///< instance number within the family
+  std::string topology;          ///< the spec's topology string
+  std::uint64_t graph_seed = 0;  ///< derived generator seed
+  int tasks = 0;
+  int edges = 0;
+  std::vector<Time> makespans;   ///< parallel to spec.policies
+
+  /// Best (smallest) makespan any policy achieved on this instance.
+  Time best() const;
+};
+
+struct SweepResult {
+  SweepSpec spec;                        ///< the spec the sweep ran
+  std::vector<InstanceResult> instances; ///< enumeration order
+  int threads_used = 1;
+};
+
+/// Builds the graph of instance (family_index, repetition) exactly as the
+/// sweep would; exposed for tests.  `graph_seed_out`, when non-null,
+/// receives the derived generator seed.
+TaskGraph build_instance_graph(const SweepSpec& spec, int family_index,
+                               int repetition,
+                               std::uint64_t* graph_seed_out = nullptr);
+
+/// Runs the full sweep.  Throws std::invalid_argument for an invalid spec
+/// and propagates the first worker exception (e.g. SimulationError).
+SweepResult run_sweep(const SweepSpec& spec);
+
+}  // namespace dagsched::sweep

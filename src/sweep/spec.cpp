@@ -1,0 +1,421 @@
+#include "sweep/spec.hpp"
+
+#include <fstream>
+#include <span>
+#include <sstream>
+#include <stdexcept>
+
+#include "sweep/params.hpp"
+#include "topology/builders.hpp"
+#include "util/string_util.hpp"
+
+namespace dagsched::sweep {
+
+namespace {
+
+// The parameter tables double as documentation of each family's knobs.
+// Order matters: instances draw their parameters in exactly this order
+// (see runner.cpp), so the tables are part of the determinism contract —
+// append new parameters at the end, never reorder.
+constexpr ParamDef kLayeredParams[] = {
+    {"layers", {5, 8}, true},
+    {"min_width", {2, 2}, true},
+    {"max_width", {6, 6}, true},
+    {"edge_probability", {0.25, 0.25}, false},
+    {"skip_probability", {0.1, 0.1}, false},
+    {"min_duration_us", {5, 5}, true},
+    {"max_duration_us", {50, 50}, true},
+    {"min_weight_us", {0, 0}, true},
+    {"max_weight_us", {16, 16}, true},
+};
+constexpr ParamDef kGnpParams[] = {
+    {"tasks", {40, 40}, true},
+    {"edge_probability", {0.1, 0.1}, false},
+    {"min_duration_us", {5, 5}, true},
+    {"max_duration_us", {50, 50}, true},
+    {"min_weight_us", {0, 0}, true},
+    {"max_weight_us", {16, 16}, true},
+};
+constexpr ParamDef kForkJoinParams[] = {
+    {"stages", {4, 4}, true},
+    {"width", {6, 6}, true},
+    {"fork_duration_us", {5, 5}, true},
+    {"work_duration_us", {20, 20}, true},
+    {"join_duration_us", {5, 5}, true},
+    {"weight_us", {4, 4}, true},
+};
+constexpr ParamDef kOutTreeParams[] = {
+    {"depth", {4, 4}, true},
+    {"fanout", {3, 3}, true},
+    {"duration_us", {15, 15}, true},
+    {"weight_us", {4, 4}, true},
+};
+constexpr ParamDef kInTreeParams[] = {
+    {"depth", {4, 4}, true},
+    {"fanout", {3, 3}, true},
+    {"duration_us", {15, 15}, true},
+    {"weight_us", {4, 4}, true},
+};
+constexpr ParamDef kDiamondParams[] = {
+    {"width", {8, 8}, true},
+    {"source_duration_us", {5, 5}, true},
+    {"middle_duration_us", {15, 15}, true},
+    {"sink_duration_us", {5, 5}, true},
+    {"weight_us", {4, 4}, true},
+};
+constexpr ParamDef kChainParams[] = {
+    {"length", {10, 10}, true},
+    {"duration_us", {15, 15}, true},
+    {"weight_us", {4, 4}, true},
+};
+
+[[noreturn]] void fail(int line_number, const std::string& message) {
+  throw std::invalid_argument("sweep spec line " +
+                              std::to_string(line_number) + ": " + message);
+}
+
+std::vector<std::string> tokenize(std::string_view line) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    std::size_t start = i;
+    while (i < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    if (i > start) tokens.emplace_back(line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+double parse_number(const std::string& text, int line_number) {
+  try {
+    std::size_t used = 0;
+    double value = std::stod(text, &used);
+    if (used != text.size()) fail(line_number, "bad number '" + text + "'");
+    return value;
+  } catch (const std::invalid_argument&) {
+    fail(line_number, "bad number '" + text + "'");
+  } catch (const std::out_of_range&) {
+    fail(line_number, "number out of range '" + text + "'");
+  }
+}
+
+std::int64_t parse_integer(const std::string& text, int line_number) {
+  double value = parse_number(text, line_number);
+  if (value < -9.0e18 || value > 9.0e18) {
+    fail(line_number, "integer out of range '" + text + "'");
+  }
+  auto integer = static_cast<std::int64_t>(value);
+  if (static_cast<double>(integer) != value) {
+    fail(line_number, "expected an integer, got '" + text + "'");
+  }
+  return integer;
+}
+
+std::uint64_t parse_u64(const std::string& text, int line_number) {
+  try {
+    std::size_t used = 0;
+    std::uint64_t value = std::stoull(text, &used);
+    if (used != text.size() || text[0] == '-') {
+      fail(line_number, "bad unsigned integer '" + text + "'");
+    }
+    return value;
+  } catch (const std::invalid_argument&) {
+    fail(line_number, "bad unsigned integer '" + text + "'");
+  } catch (const std::out_of_range&) {
+    fail(line_number, "unsigned integer out of range '" + text + "'");
+  }
+}
+
+ParamRange parse_range(const std::string& text, int line_number) {
+  const auto colon = text.find(':');
+  ParamRange range;
+  if (colon == std::string::npos) {
+    range.lo = range.hi = parse_number(text, line_number);
+  } else {
+    range.lo = parse_number(text.substr(0, colon), line_number);
+    range.hi = parse_number(text.substr(colon + 1), line_number);
+  }
+  if (range.lo > range.hi) {
+    fail(line_number, "range '" + text + "' has lo > hi");
+  }
+  return range;
+}
+
+const ParamDef* find_param(FamilyKind kind, const std::string& name) {
+  for (const ParamDef& def : family_param_defs(kind)) {
+    if (name == def.name) return &def;
+  }
+  return nullptr;
+}
+
+FamilySpec parse_family(const std::vector<std::string>& tokens,
+                        int line_number) {
+  FamilySpec family;
+  try {
+    family.kind = family_kind_from_string(tokens[1]);
+  } catch (const std::invalid_argument& error) {
+    fail(line_number, error.what());
+  }
+  for (std::size_t i = 2; i < tokens.size(); ++i) {
+    const auto eq = tokens[i].find('=');
+    if (eq == std::string::npos) {
+      fail(line_number, "expected key=value, got '" + tokens[i] + "'");
+    }
+    const std::string key = tokens[i].substr(0, eq);
+    const std::string value = tokens[i].substr(eq + 1);
+    if (key == "count") {
+      family.count = static_cast<int>(parse_integer(value, line_number));
+      continue;
+    }
+    const ParamDef* def = find_param(family.kind, key);
+    if (def == nullptr) {
+      fail(line_number, "family " + to_string(family.kind) +
+                            " has no parameter '" + key + "'");
+    }
+    ParamRange range = parse_range(value, line_number);
+    if (def->integer &&
+        (range.lo != static_cast<std::int64_t>(range.lo) ||
+         range.hi != static_cast<std::int64_t>(range.hi))) {
+      fail(line_number, "parameter '" + key + "' takes integers");
+    }
+    for (const FamilyParam& existing : family.params) {
+      if (existing.name == key) {
+        fail(line_number, "duplicate parameter '" + key + "'");
+      }
+    }
+    family.params.push_back({key, range});
+  }
+  return family;
+}
+
+}  // namespace
+
+std::span<const ParamDef> family_param_defs(FamilyKind kind) {
+  switch (kind) {
+    case FamilyKind::Layered:
+      return kLayeredParams;
+    case FamilyKind::Gnp:
+      return kGnpParams;
+    case FamilyKind::ForkJoin:
+      return kForkJoinParams;
+    case FamilyKind::OutTree:
+      return kOutTreeParams;
+    case FamilyKind::InTree:
+      return kInTreeParams;
+    case FamilyKind::Diamond:
+      return kDiamondParams;
+    case FamilyKind::Chain:
+      return kChainParams;
+  }
+  throw std::invalid_argument("unknown family kind");
+}
+
+std::string to_string(FamilyKind kind) {
+  switch (kind) {
+    case FamilyKind::Layered:
+      return "layered";
+    case FamilyKind::Gnp:
+      return "gnp";
+    case FamilyKind::ForkJoin:
+      return "fork_join";
+    case FamilyKind::OutTree:
+      return "out_tree";
+    case FamilyKind::InTree:
+      return "in_tree";
+    case FamilyKind::Diamond:
+      return "diamond";
+    case FamilyKind::Chain:
+      return "chain";
+  }
+  return "?";
+}
+
+FamilyKind family_kind_from_string(const std::string& name) {
+  if (name == "layered") return FamilyKind::Layered;
+  if (name == "gnp") return FamilyKind::Gnp;
+  if (name == "fork_join") return FamilyKind::ForkJoin;
+  if (name == "out_tree") return FamilyKind::OutTree;
+  if (name == "in_tree") return FamilyKind::InTree;
+  if (name == "diamond") return FamilyKind::Diamond;
+  if (name == "chain") return FamilyKind::Chain;
+  throw std::invalid_argument("unknown graph family '" + name + "'");
+}
+
+std::string to_string(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::Sa:
+      return "sa";
+    case PolicyKind::Gsa:
+      return "gsa";
+    case PolicyKind::Hlf:
+      return "hlf";
+    case PolicyKind::HlfMinComm:
+      return "hlf-mincomm";
+    case PolicyKind::Etf:
+      return "etf";
+    case PolicyKind::FixedHlf:
+      return "list-hlf";
+    case PolicyKind::Random:
+      return "random";
+  }
+  return "?";
+}
+
+PolicyKind policy_kind_from_string(const std::string& name) {
+  if (name == "sa") return PolicyKind::Sa;
+  if (name == "gsa") return PolicyKind::Gsa;
+  if (name == "hlf") return PolicyKind::Hlf;
+  if (name == "hlf-mincomm") return PolicyKind::HlfMinComm;
+  if (name == "etf") return PolicyKind::Etf;
+  if (name == "list-hlf") return PolicyKind::FixedHlf;
+  if (name == "random") return PolicyKind::Random;
+  throw std::invalid_argument("unknown policy '" + name + "'");
+}
+
+ParamRange FamilySpec::param(const std::string& name) const {
+  for (const FamilyParam& override_param : params) {
+    if (override_param.name == name) return override_param.range;
+  }
+  const ParamDef* def = find_param(kind, name);
+  if (def == nullptr) {
+    throw std::invalid_argument("family " + to_string(kind) +
+                                " has no parameter '" + name + "'");
+  }
+  return def->range;
+}
+
+int SweepSpec::num_instances() const {
+  int per_topology = 0;
+  for (const FamilySpec& family : families) per_topology += family.count;
+  return per_topology * static_cast<int>(topologies.size());
+}
+
+void SweepSpec::validate() const {
+  if (families.empty()) {
+    throw std::invalid_argument("sweep spec: no graph families");
+  }
+  if (topologies.empty()) {
+    throw std::invalid_argument("sweep spec: no topologies");
+  }
+  if (policies.empty()) {
+    throw std::invalid_argument("sweep spec: no policies");
+  }
+  if (threads < 0) {
+    throw std::invalid_argument("sweep spec: negative thread count");
+  }
+  for (const FamilySpec& family : families) {
+    if (family.count <= 0) {
+      throw std::invalid_argument("sweep spec: family " +
+                                  to_string(family.kind) +
+                                  " has nonpositive count");
+    }
+  }
+  for (std::size_t i = 0; i < policies.size(); ++i) {
+    for (std::size_t j = i + 1; j < policies.size(); ++j) {
+      if (policies[i] == policies[j]) {
+        throw std::invalid_argument("sweep spec: duplicate policy " +
+                                    to_string(policies[i]));
+      }
+    }
+  }
+  // Resolve every topology now so a typo fails before any work is done.
+  for (const std::string& spec : topologies) {
+    topo::by_name(spec);
+  }
+  sa_options.validate();
+  gsa_options.cooling.validate();
+  if (gsa_options.num_chains <= 0) {
+    throw std::invalid_argument(
+        "sweep spec: gsa_chains must be explicit and positive (auto chain "
+        "counts would make results depend on the host)");
+  }
+}
+
+SweepSpec parse_spec(const std::string& text) {
+  SweepSpec spec;
+  // The sweep's gsa defaults diverge from GlobalAnnealOptions': chains are
+  // pinned (host-independent results) and the schedule is shortened so a
+  // thousand-instance sweep stays tractable.
+  spec.gsa_options.num_chains = 2;
+  spec.gsa_options.cooling.max_steps = 24;
+
+  std::istringstream stream(text);
+  std::string raw_line;
+  int line_number = 0;
+  while (std::getline(stream, raw_line)) {
+    ++line_number;
+    const auto hash = raw_line.find('#');
+    if (hash != std::string::npos) raw_line.erase(hash);
+    const std::vector<std::string> tokens = tokenize(raw_line);
+    if (tokens.empty()) continue;
+    const std::string& key = tokens[0];
+
+    if (key == "family") {
+      if (tokens.size() < 2) fail(line_number, "family needs a kind");
+      spec.families.push_back(parse_family(tokens, line_number));
+      continue;
+    }
+    if (tokens.size() != 2) {
+      fail(line_number, "expected '" + key + " <value>'");
+    }
+    const std::string& value = tokens[1];
+    if (key == "seed") {
+      spec.seed = parse_u64(value, line_number);
+    } else if (key == "threads") {
+      spec.threads = static_cast<int>(parse_integer(value, line_number));
+    } else if (key == "comm") {
+      if (value == "paper") {
+        spec.comm_enabled = true;
+      } else if (value == "off") {
+        spec.comm_enabled = false;
+      } else {
+        fail(line_number, "comm must be 'paper' or 'off'");
+      }
+    } else if (key == "topology") {
+      spec.topologies.push_back(value);
+    } else if (key == "policy") {
+      try {
+        spec.policies.push_back(policy_kind_from_string(value));
+      } catch (const std::invalid_argument& error) {
+        fail(line_number, error.what());
+      }
+    } else if (key == "sa_max_steps") {
+      spec.sa_options.cooling.max_steps =
+          static_cast<int>(parse_integer(value, line_number));
+    } else if (key == "sa_moves") {
+      spec.sa_options.moves_per_temperature =
+          static_cast<int>(parse_integer(value, line_number));
+    } else if (key == "gsa_chains") {
+      spec.gsa_options.num_chains =
+          static_cast<int>(parse_integer(value, line_number));
+    } else if (key == "gsa_max_steps") {
+      spec.gsa_options.cooling.max_steps =
+          static_cast<int>(parse_integer(value, line_number));
+    } else if (key == "gsa_moves") {
+      spec.gsa_options.moves_per_temperature =
+          static_cast<int>(parse_integer(value, line_number));
+    } else {
+      fail(line_number, "unknown key '" + key + "'");
+    }
+  }
+  spec.validate();
+  return spec;
+}
+
+SweepSpec load_spec_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    throw std::runtime_error("cannot open sweep spec '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return parse_spec(buffer.str());
+}
+
+}  // namespace dagsched::sweep

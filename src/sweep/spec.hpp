@@ -1,0 +1,137 @@
+#pragma once
+
+// Sweep specification: the declarative description of a PISA-style batch
+// comparison (Coleman & Krishnamachari, arXiv:2403.07120) — a cartesian
+// product of graph-generator families x interconnect topologies x
+// scheduling policies, evaluated over many randomly drawn instances per
+// family.  One top-level seed makes the entire sweep reproducible: every
+// instance derives its parameters, its graph and its per-policy seeds from
+// deterministic Rng streams of the sweep seed (see runner.hpp for the
+// derivation contract).
+//
+// Specs are written in a line-oriented text format ('#' starts a comment):
+//
+//   seed 42
+//   comm paper                       # paper | off
+//   threads 0                        # 0 = hardware concurrency
+//   gsa_chains 2                     # chains for the "gsa" policy
+//   gsa_max_steps 24                 # temperature steps for "gsa"
+//   topology hypercube8
+//   topology ring9
+//   policy sa
+//   policy hlf
+//   policy etf
+//   family layered count=40 layers=5:8 edge_probability=0.2:0.35
+//   family gnp count=40 tasks=30:60
+//   family fork_join count=40 stages=3:6 width=4:8
+//
+// A family parameter is either a single value (`tasks=40`) or an inclusive
+// range (`tasks=30:60`) sampled uniformly per instance — ranges are what
+// makes the suite adversarial rather than a single hand-picked instance.
+// Unknown keys are rejected so typos cannot silently configure nothing.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/annealer.hpp"
+#include "core/global_annealer.hpp"
+
+namespace dagsched::sweep {
+
+/// Graph-generator families available to sweeps (see graph/generators.hpp).
+enum class FamilyKind {
+  Layered,
+  Gnp,
+  ForkJoin,
+  OutTree,
+  InTree,
+  Diamond,
+  Chain,
+};
+
+std::string to_string(FamilyKind kind);
+FamilyKind family_kind_from_string(const std::string& name);
+
+/// Scheduling policies a sweep can compare.
+enum class PolicyKind {
+  Sa,          ///< the paper's staged packet annealer (core/sa_scheduler)
+  Gsa,         ///< whole-schedule annealer + pinned replay (anneal_global)
+  Hlf,         ///< HLF, FirstIdle placement (the paper's baseline)
+  HlfMinComm,  ///< HLF with communication-aware placement (ablation)
+  Etf,         ///< earliest-start-time-first greedy
+  FixedHlf,    ///< Graham fixed-list scheduling with the HLF level order
+  Random,      ///< uniformly random sanity baseline
+};
+
+std::string to_string(PolicyKind kind);
+PolicyKind policy_kind_from_string(const std::string& name);
+
+/// One `param=lo[:hi]` value; lo == hi for single values.  Integer-valued
+/// parameters are drawn with uniform_int over [lo, hi], real-valued ones
+/// with uniform_real.
+struct ParamRange {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  bool is_single() const { return lo == hi; }
+};
+
+/// One parameter of a family spec, in declaration order.
+struct FamilyParam {
+  std::string name;
+  ParamRange range;
+};
+
+/// One generator family plus the number of instances drawn from it.
+struct FamilySpec {
+  FamilyKind kind = FamilyKind::Layered;
+  int count = 8;
+  /// Parameter overrides in declaration order; parameters not listed use
+  /// the family defaults (the k*Params tables behind
+  /// family_param_defs() in params.hpp / spec.cpp).
+  std::vector<FamilyParam> params;
+
+  /// The effective range of `name`: the override when present, otherwise
+  /// the family default.  Throws for parameters the family does not have.
+  ParamRange param(const std::string& name) const;
+};
+
+/// The complete declarative sweep description.
+struct SweepSpec {
+  std::uint64_t seed = 1;
+  /// Worker threads; 0 selects hardware_concurrency.  Never affects
+  /// results, only wall-clock (the determinism contract).
+  int threads = 0;
+  /// true = CommModel::paper_default(), false = CommModel::disabled().
+  bool comm_enabled = true;
+
+  std::vector<std::string> topologies;  ///< topo::by_name specs
+  std::vector<PolicyKind> policies;
+  std::vector<FamilySpec> families;
+
+  /// Options for the staged SA policy ("sa"); seed is set per instance.
+  sa::AnnealOptions sa_options;
+  /// Options for the global annealer policy ("gsa"); seed set per
+  /// instance.  num_chains defaults to 2 (explicit, never 0, so results
+  /// do not depend on the host's core count) and max_steps to 24 to keep
+  /// thousand-instance sweeps tractable.
+  sa::GlobalAnnealOptions gsa_options;
+
+  /// Instances per full sweep: sum(family count) * |topologies|.
+  int num_instances() const;
+
+  /// Throws std::invalid_argument when the spec cannot run (no families,
+  /// no topologies, no policies, nonpositive counts, bad ranges).
+  void validate() const;
+};
+
+/// Parses the text format above.  Throws std::invalid_argument with a line
+/// number on malformed input.
+SweepSpec parse_spec(const std::string& text);
+
+/// Reads and parses a spec file; throws std::runtime_error when the file
+/// cannot be opened.
+SweepSpec load_spec_file(const std::string& path);
+
+}  // namespace dagsched::sweep

@@ -1,0 +1,188 @@
+#include "sweep/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/csv.hpp"
+#include "util/json.hpp"
+#include "util/require.hpp"
+#include "util/stats.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+namespace dagsched::sweep {
+
+std::vector<PolicySummary> summarize(const SweepResult& result) {
+  const std::size_t num_policies = result.spec.policies.size();
+  require(!result.instances.empty(), "summarize: empty sweep");
+
+  std::vector<std::vector<double>> ratios(num_policies);
+  std::vector<double> makespan_sums(num_policies, 0.0);
+  std::vector<int> wins(num_policies, 0);
+  for (const InstanceResult& row : result.instances) {
+    require(row.makespans.size() == num_policies,
+            "summarize: instance/policy shape mismatch");
+    const Time best = row.best();
+    require(best > 0, "summarize: nonpositive best makespan");
+    for (std::size_t p = 0; p < num_policies; ++p) {
+      const double ratio = static_cast<double>(row.makespans[p]) /
+                           static_cast<double>(best);
+      ratios[p].push_back(ratio);
+      makespan_sums[p] += to_us(row.makespans[p]);
+      if (row.makespans[p] == best) ++wins[p];
+    }
+  }
+
+  const double instances = static_cast<double>(result.instances.size());
+  std::vector<PolicySummary> summaries(num_policies);
+  for (std::size_t p = 0; p < num_policies; ++p) {
+    PolicySummary& s = summaries[p];
+    s.policy = to_string(result.spec.policies[p]);
+    s.wins = wins[p];
+    s.win_rate = wins[p] / instances;
+    double log_sum = 0.0;
+    for (double ratio : ratios[p]) log_sum += std::log(ratio);
+    s.geomean_ratio = std::exp(log_sum / instances);
+    s.mean_ratio = mean(ratios[p]);
+    s.p50_ratio = quantile(ratios[p], 0.5);
+    s.p90_ratio = quantile(ratios[p], 0.9);
+    s.max_ratio = *std::max_element(ratios[p].begin(), ratios[p].end());
+    s.mean_makespan_us = makespan_sums[p] / instances;
+  }
+
+  std::sort(summaries.begin(), summaries.end(),
+            [](const PolicySummary& a, const PolicySummary& b) {
+              if (a.geomean_ratio != b.geomean_ratio) {
+                return a.geomean_ratio < b.geomean_ratio;
+              }
+              if (a.win_rate != b.win_rate) return a.win_rate > b.win_rate;
+              return a.policy < b.policy;
+            });
+  return summaries;
+}
+
+std::string summary_json(const SweepResult& result,
+                         const std::vector<PolicySummary>& ranking) {
+  const SweepSpec& spec = result.spec;
+  JsonWriter w(/*double_decimals=*/6);
+  w.begin_object();
+
+  w.key("spec");
+  w.begin_object();
+  w.key("seed");
+  w.value(spec.seed);
+  w.key("comm");
+  w.value(spec.comm_enabled ? "paper" : "off");
+  w.key("topologies");
+  w.begin_array();
+  for (const std::string& t : spec.topologies) w.value(t);
+  w.end_array();
+  w.key("policies");
+  w.begin_array();
+  for (PolicyKind p : spec.policies) w.value(to_string(p));
+  w.end_array();
+  w.key("families");
+  w.begin_array();
+  for (const FamilySpec& family : spec.families) {
+    w.begin_object();
+    w.key("kind");
+    w.value(to_string(family.kind));
+    w.key("count");
+    w.value(family.count);
+    if (!family.params.empty()) {
+      w.key("params");
+      w.begin_object();
+      for (const FamilyParam& param : family.params) {
+        w.key(param.name);
+        if (param.range.is_single()) {
+          w.value(param.range.lo);
+        } else {
+          w.begin_array();
+          w.value(param.range.lo);
+          w.value(param.range.hi);
+          w.end_array();
+        }
+      }
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();  // spec
+
+  w.key("instances");
+  w.value(static_cast<std::int64_t>(result.instances.size()));
+
+  w.key("ranking");
+  w.begin_array();
+  for (const PolicySummary& s : ranking) {
+    w.begin_object();
+    w.key("policy");
+    w.value(s.policy);
+    w.key("wins");
+    w.value(s.wins);
+    w.key("win_rate");
+    w.value(s.win_rate);
+    w.key("geomean_ratio");
+    w.value(s.geomean_ratio);
+    w.key("mean_ratio");
+    w.value(s.mean_ratio);
+    w.key("p50_ratio");
+    w.value(s.p50_ratio);
+    w.key("p90_ratio");
+    w.value(s.p90_ratio);
+    w.key("max_ratio");
+    w.value(s.max_ratio);
+    w.key("mean_makespan_us");
+    w.value(s.mean_makespan_us);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.end_object();
+  return w.str();
+}
+
+std::string per_instance_csv(const SweepResult& result) {
+  CsvWriter csv({"instance", "family", "repetition", "topology", "tasks",
+                 "edges", "graph_seed", "policy", "makespan_us", "ratio"});
+  for (const InstanceResult& row : result.instances) {
+    const Time best = row.best();
+    for (std::size_t p = 0; p < result.spec.policies.size(); ++p) {
+      const double ratio = static_cast<double>(row.makespans[p]) /
+                           static_cast<double>(best);
+      csv.add_row({std::to_string(row.index), row.family,
+                   std::to_string(row.repetition), row.topology,
+                   std::to_string(row.tasks), std::to_string(row.edges),
+                   std::to_string(row.graph_seed),
+                   to_string(result.spec.policies[p]),
+                   format_fixed(to_us(row.makespans[p]), 3),
+                   format_fixed(ratio, 6)});
+    }
+  }
+  return csv.render();
+}
+
+std::string render_summary_table(const SweepResult& result,
+                                 const std::vector<PolicySummary>& ranking) {
+  TableWriter table({"rank", "policy", "win rate", "geomean", "mean", "p50",
+                     "p90", "max", "mean makespan"});
+  int rank = 1;
+  for (const PolicySummary& s : ranking) {
+    table.add_row({std::to_string(rank++), s.policy,
+                   format_percent(100.0 * s.win_rate, 1),
+                   format_fixed(s.geomean_ratio, 4),
+                   format_fixed(s.mean_ratio, 4),
+                   format_fixed(s.p50_ratio, 4),
+                   format_fixed(s.p90_ratio, 4),
+                   format_fixed(s.max_ratio, 4),
+                   format_fixed(s.mean_makespan_us, 1) + "us"});
+  }
+  std::string out = "Sweep: " +
+                    std::to_string(result.instances.size()) +
+                    " instances, ratios vs. per-instance best\n";
+  out += table.render();
+  return out;
+}
+
+}  // namespace dagsched::sweep

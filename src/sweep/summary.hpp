@@ -1,0 +1,58 @@
+#pragma once
+
+// Sweep aggregation: per-policy ranked summary statistics over all
+// instances of a sweep, and the JSON / CSV / table renderings.
+//
+// The figure of merit is the *makespan ratio* of a policy on an instance:
+// its makespan divided by the best makespan any policy of the sweep
+// achieved on that instance (>= 1, with 1 meaning the policy was the best
+// known).  Ratios are comparable across instances of very different sizes,
+// which plain makespans are not.  Policies are ranked by the geometric
+// mean of their ratios (the standard aggregate for ratio data), ties
+// broken by win rate and then name.
+//
+// summary_json() is the deterministic artifact: for a fixed seed it is
+// byte-identical across runs and thread counts (doubles are emitted with
+// fixed decimals, wall-clock and thread counts are deliberately
+// excluded).  Cross-platform byte-identity is not guaranteed for the
+// floating-point aggregates (geomean/quantiles use libm log/exp, which
+// may differ by ULPs between C libraries); the underlying integer
+// makespans are bit-reproducible everywhere.
+
+#include <string>
+#include <vector>
+
+#include "sweep/runner.hpp"
+
+namespace dagsched::sweep {
+
+/// Aggregate outcome of one policy over every instance of the sweep.
+struct PolicySummary {
+  std::string policy;
+  int wins = 0;             ///< instances where the policy matched the best
+  double win_rate = 0.0;    ///< wins / instances
+  double geomean_ratio = 0.0;  ///< geometric mean makespan ratio (>= 1)
+  double mean_ratio = 0.0;
+  double p50_ratio = 0.0;
+  double p90_ratio = 0.0;
+  double max_ratio = 0.0;
+  double mean_makespan_us = 0.0;
+};
+
+/// Computes the per-policy summaries, ranked best (rank 0) to worst.
+std::vector<PolicySummary> summarize(const SweepResult& result);
+
+/// Renders the deterministic summary artifact: spec echo (seed, comm,
+/// topologies, policies, families), instance count, and the ranking.
+std::string summary_json(const SweepResult& result,
+                         const std::vector<PolicySummary>& ranking);
+
+/// One CSV row per (instance, policy) with makespan and ratio — the raw
+/// material for external plotting.
+std::string per_instance_csv(const SweepResult& result);
+
+/// Aligned ASCII ranking table for terminal output.
+std::string render_summary_table(const SweepResult& result,
+                                 const std::vector<PolicySummary>& ranking);
+
+}  // namespace dagsched::sweep

@@ -1,0 +1,150 @@
+#include "util/json.hpp"
+
+#include <cstdio>
+
+#include "util/require.hpp"
+#include "util/string_util.hpp"
+
+namespace dagsched {
+
+JsonWriter::JsonWriter(int double_decimals)
+    : double_decimals_(double_decimals) {
+  require(double_decimals >= 0 && double_decimals <= 12,
+          "JsonWriter: decimals out of range");
+}
+
+std::string JsonWriter::escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (unsigned char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::newline_indent() {
+  out_ += '\n';
+  out_.append(2 * stack_.size(), ' ');
+}
+
+void JsonWriter::before_value() {
+  if (stack_.empty()) return;  // the document root
+  Frame& top = stack_.back();
+  if (top.scope == Scope::Object) {
+    require(pending_key_, "JsonWriter: object value without a key");
+    pending_key_ = false;
+    return;  // key() already handled the comma and indentation
+  }
+  if (top.has_items) out_ += ',';
+  top.has_items = true;
+  newline_indent();
+}
+
+void JsonWriter::key(const std::string& name) {
+  require(!stack_.empty() && stack_.back().scope == Scope::Object,
+          "JsonWriter: key outside an object");
+  require(!pending_key_, "JsonWriter: two keys in a row");
+  Frame& top = stack_.back();
+  if (top.has_items) out_ += ',';
+  top.has_items = true;
+  newline_indent();
+  out_ += '"';
+  out_ += escape(name);
+  out_ += "\": ";
+  pending_key_ = true;
+}
+
+void JsonWriter::begin_object() {
+  before_value();
+  out_ += '{';
+  stack_.push_back({Scope::Object, false});
+}
+
+void JsonWriter::end_object() {
+  require(!stack_.empty() && stack_.back().scope == Scope::Object,
+          "JsonWriter: end_object without begin_object");
+  require(!pending_key_, "JsonWriter: dangling key at end_object");
+  bool had_items = stack_.back().has_items;
+  stack_.pop_back();
+  if (had_items) newline_indent();
+  out_ += '}';
+  if (stack_.empty()) out_ += '\n';
+}
+
+void JsonWriter::begin_array() {
+  before_value();
+  out_ += '[';
+  stack_.push_back({Scope::Array, false});
+}
+
+void JsonWriter::end_array() {
+  require(!stack_.empty() && stack_.back().scope == Scope::Array,
+          "JsonWriter: end_array without begin_array");
+  bool had_items = stack_.back().has_items;
+  stack_.pop_back();
+  if (had_items) newline_indent();
+  out_ += ']';
+  if (stack_.empty()) out_ += '\n';
+}
+
+void JsonWriter::value(const std::string& text) {
+  before_value();
+  out_ += '"';
+  out_ += escape(text);
+  out_ += '"';
+}
+
+void JsonWriter::value(const char* text) { value(std::string(text)); }
+
+void JsonWriter::value(std::int64_t number) {
+  before_value();
+  out_ += std::to_string(number);
+}
+
+void JsonWriter::value(std::uint64_t number) {
+  before_value();
+  out_ += std::to_string(number);
+}
+
+void JsonWriter::value(int number) { value(static_cast<std::int64_t>(number)); }
+
+void JsonWriter::value(double number) {
+  before_value();
+  out_ += format_fixed(number, double_decimals_);
+}
+
+void JsonWriter::value(bool flag) {
+  before_value();
+  out_ += flag ? "true" : "false";
+}
+
+void JsonWriter::null() {
+  before_value();
+  out_ += "null";
+}
+
+}  // namespace dagsched

@@ -1,0 +1,74 @@
+#pragma once
+
+// Minimal deterministic JSON emission.
+//
+// The sweep runner's summary artifact must be byte-identical for a fixed
+// seed across runs, thread counts and platforms, so the writer avoids every
+// nondeterminism source: keys are emitted in caller order (no map
+// iteration), doubles are printed with a fixed number of locale-independent
+// decimals (format_fixed), and integer Time values stay integers.  Output
+// is pretty-printed with two-space indentation and "\n" line endings.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dagsched {
+
+/// Streaming JSON writer with explicit structure calls.
+///
+/// Usage:
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("instances"); w.value(std::int64_t{204});
+///   w.key("ratio"); w.value(1.25);             // 6 fixed decimals
+///   w.key("policies"); w.begin_array();
+///   ...
+///   w.end_array();
+///   w.end_object();
+///   std::string text = w.str();
+class JsonWriter {
+ public:
+  /// `double_decimals` controls the fixed-decimal rendering of doubles.
+  explicit JsonWriter(int double_decimals = 6);
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Emits an object key; the next value call provides its value.
+  void key(const std::string& name);
+
+  void value(const std::string& text);
+  void value(const char* text);
+  void value(std::int64_t number);
+  void value(std::uint64_t number);
+  void value(int number);
+  void value(double number);
+  void value(bool flag);
+  void null();
+
+  /// Rendered document so far; call after the outermost end_object/array.
+  const std::string& str() const { return out_; }
+
+  /// JSON string escaping (quotes, backslashes, control characters).
+  static std::string escape(const std::string& text);
+
+ private:
+  enum class Scope { Object, Array };
+  struct Frame {
+    Scope scope;
+    bool has_items = false;
+  };
+
+  void before_value();
+  void newline_indent();
+
+  int double_decimals_;
+  std::string out_;
+  std::vector<Frame> stack_;
+  bool pending_key_ = false;
+};
+
+}  // namespace dagsched

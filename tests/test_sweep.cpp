@@ -1,0 +1,241 @@
+// Sweep subsystem: spec parsing, instance derivation, aggregation
+// invariants, and the determinism contract — the same seed + spec must
+// yield a byte-identical summary JSON across runs and across worker
+// thread counts.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/taskgraph.hpp"
+#include "sweep/runner.hpp"
+#include "sweep/spec.hpp"
+#include "sweep/summary.hpp"
+#include "util/json.hpp"
+
+namespace dagsched {
+namespace {
+
+const char* kSmallSpec = R"(
+# comment line
+seed 99
+comm paper
+topology ring:4
+topology line:3
+policy sa
+policy hlf
+policy random
+sa_max_steps 12
+family gnp count=3 tasks=10:16 edge_probability=0.15
+family diamond count=2 width=4:8
+)";
+
+sweep::SweepSpec small_spec() { return sweep::parse_spec(kSmallSpec); }
+
+TEST(SweepSpec, ParsesEveryField) {
+  const sweep::SweepSpec spec = small_spec();
+  EXPECT_EQ(spec.seed, 99u);
+  EXPECT_TRUE(spec.comm_enabled);
+  ASSERT_EQ(spec.topologies.size(), 2u);
+  EXPECT_EQ(spec.topologies[0], "ring:4");
+  ASSERT_EQ(spec.policies.size(), 3u);
+  EXPECT_EQ(spec.policies[0], sweep::PolicyKind::Sa);
+  EXPECT_EQ(spec.sa_options.cooling.max_steps, 12);
+  ASSERT_EQ(spec.families.size(), 2u);
+  EXPECT_EQ(spec.families[0].kind, sweep::FamilyKind::Gnp);
+  EXPECT_EQ(spec.families[0].count, 3);
+  // (3 + 2) instances x 2 topologies.
+  EXPECT_EQ(spec.num_instances(), 10);
+}
+
+TEST(SweepSpec, RangeAndSingleParams) {
+  const sweep::SweepSpec spec = small_spec();
+  const sweep::ParamRange tasks = spec.families[0].param("tasks");
+  EXPECT_EQ(tasks.lo, 10.0);
+  EXPECT_EQ(tasks.hi, 16.0);
+  const sweep::ParamRange probability =
+      spec.families[0].param("edge_probability");
+  EXPECT_TRUE(probability.is_single());
+  // Parameters not overridden fall back to the family default.
+  const sweep::ParamRange width = spec.families[1].param("source_duration_us");
+  EXPECT_TRUE(width.is_single());
+}
+
+TEST(SweepSpec, RejectsMalformedInput) {
+  EXPECT_THROW(sweep::parse_spec("bogus_key 1\nfamily gnp count=1\n"
+                                 "topology ring:3\npolicy hlf\n"),
+               std::invalid_argument);
+  EXPECT_THROW(sweep::parse_spec("family gnp count=1 no_such_param=3\n"
+                                 "topology ring:3\npolicy hlf\n"),
+               std::invalid_argument);
+  EXPECT_THROW(sweep::parse_spec("family gnp count=1 tasks=9:4\n"
+                                 "topology ring:3\npolicy hlf\n"),
+               std::invalid_argument);  // lo > hi
+  EXPECT_THROW(sweep::parse_spec("family gnp count=1\npolicy hlf\n"),
+               std::invalid_argument);  // no topology
+  EXPECT_THROW(sweep::parse_spec("family gnp count=1\n"
+                                 "topology no_such_topo\npolicy hlf\n"),
+               std::invalid_argument);  // unresolvable topology
+  EXPECT_THROW(sweep::parse_spec("family gnp count=1\ntopology ring:3\n"
+                                 "policy hlf\npolicy hlf\n"),
+               std::invalid_argument);  // duplicate policy
+}
+
+TEST(SweepRunner, InstanceGraphsAreDeterministicAndDiverse) {
+  const sweep::SweepSpec spec = small_spec();
+  std::uint64_t seed_a = 0;
+  std::uint64_t seed_b = 0;
+  const TaskGraph a = sweep::build_instance_graph(spec, 0, 0, &seed_a);
+  const TaskGraph b = sweep::build_instance_graph(spec, 0, 0, &seed_b);
+  EXPECT_EQ(seed_a, seed_b);
+  EXPECT_EQ(a.num_tasks(), b.num_tasks());
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_GE(a.num_tasks(), 10);
+  EXPECT_LE(a.num_tasks(), 16);
+  // Different repetitions must be decorrelated.
+  std::uint64_t seed_c = 0;
+  sweep::build_instance_graph(spec, 0, 1, &seed_c);
+  EXPECT_NE(seed_a, seed_c);
+}
+
+TEST(SweepRunner, ResultShapeAndEnumerationOrder) {
+  sweep::SweepSpec spec = small_spec();
+  spec.threads = 1;
+  const sweep::SweepResult result = sweep::run_sweep(spec);
+  ASSERT_EQ(result.instances.size(), 10u);
+  for (std::size_t i = 0; i < result.instances.size(); ++i) {
+    const sweep::InstanceResult& row = result.instances[i];
+    EXPECT_EQ(row.index, static_cast<int>(i));
+    ASSERT_EQ(row.makespans.size(), spec.policies.size());
+    for (Time makespan : row.makespans) EXPECT_GT(makespan, 0);
+    EXPECT_GT(row.tasks, 0);
+  }
+  // Enumeration order: families in spec order, topologies innermost.
+  EXPECT_EQ(result.instances[0].family, "gnp");
+  EXPECT_EQ(result.instances[0].topology, "ring:4");
+  EXPECT_EQ(result.instances[1].topology, "line:3");
+  EXPECT_EQ(result.instances[6].family, "diamond");
+  // The same (family, repetition) graph is reused across topologies.
+  EXPECT_EQ(result.instances[0].graph_seed, result.instances[1].graph_seed);
+  EXPECT_EQ(result.instances[0].tasks, result.instances[1].tasks);
+}
+
+TEST(SweepSummary, AggregationInvariants) {
+  sweep::SweepSpec spec = small_spec();
+  spec.threads = 2;
+  const sweep::SweepResult result = sweep::run_sweep(spec);
+  const std::vector<sweep::PolicySummary> ranking =
+      sweep::summarize(result);
+  ASSERT_EQ(ranking.size(), spec.policies.size());
+
+  int total_wins = 0;
+  for (const sweep::PolicySummary& s : ranking) {
+    EXPECT_GE(s.geomean_ratio, 1.0);
+    EXPECT_GE(s.mean_ratio, s.geomean_ratio - 1e-9);  // AM-GM
+    EXPECT_GE(s.p90_ratio, s.p50_ratio);
+    EXPECT_GE(s.max_ratio, s.p90_ratio);
+    EXPECT_GE(s.win_rate, 0.0);
+    EXPECT_LE(s.win_rate, 1.0);
+    total_wins += s.wins;
+  }
+  // Every instance has at least one winner (ties may add more).
+  EXPECT_GE(total_wins, static_cast<int>(result.instances.size()));
+  // Ranking is sorted by geomean ratio.
+  for (std::size_t i = 1; i < ranking.size(); ++i) {
+    EXPECT_LE(ranking[i - 1].geomean_ratio, ranking[i].geomean_ratio);
+  }
+}
+
+TEST(SweepSummary, JsonIsByteIdenticalAcrossRunsAndThreadCounts) {
+  sweep::SweepSpec spec = small_spec();
+
+  spec.threads = 1;
+  const sweep::SweepResult single = sweep::run_sweep(spec);
+  const std::string single_json =
+      sweep::summary_json(single, sweep::summarize(single));
+
+  spec.threads = 3;
+  const sweep::SweepResult threaded = sweep::run_sweep(spec);
+  const std::string threaded_json =
+      sweep::summary_json(threaded, sweep::summarize(threaded));
+
+  const sweep::SweepResult repeat = sweep::run_sweep(spec);
+  const std::string repeat_json =
+      sweep::summary_json(repeat, sweep::summarize(repeat));
+
+  EXPECT_EQ(single_json, threaded_json);
+  EXPECT_EQ(threaded_json, repeat_json);
+
+  // The per-instance raw makespans agree as well, not just the summary.
+  ASSERT_EQ(single.instances.size(), threaded.instances.size());
+  for (std::size_t i = 0; i < single.instances.size(); ++i) {
+    EXPECT_EQ(single.instances[i].makespans,
+              threaded.instances[i].makespans);
+  }
+}
+
+TEST(SweepSummary, CsvHasOneRowPerInstancePolicyPair) {
+  sweep::SweepSpec spec = small_spec();
+  spec.threads = 1;
+  const sweep::SweepResult result = sweep::run_sweep(spec);
+  const std::string csv = sweep::per_instance_csv(result);
+  const std::size_t lines =
+      static_cast<std::size_t>(std::count(csv.begin(), csv.end(), '\n'));
+  EXPECT_EQ(lines,
+            1 + result.instances.size() * spec.policies.size());
+}
+
+TEST(SweepRunner, GsaPolicyRunsAndIsCompetitive) {
+  // A tiny gsa-only vs hlf sweep: the whole-schedule annealer starts from
+  // the HLF placement, so it can never lose to plain first-idle HLF by
+  // much; mainly this locks the gsa plumbing (explicit chain count, seed
+  // wiring) into the test suite.
+  sweep::SweepSpec spec = sweep::parse_spec(R"(
+seed 7
+topology ring:4
+policy gsa
+policy hlf
+gsa_chains 1
+gsa_max_steps 6
+family diamond count=2 width=4:6
+)");
+  spec.threads = 2;
+  const sweep::SweepResult result = sweep::run_sweep(spec);
+  const sweep::SweepResult again = sweep::run_sweep(spec);
+  ASSERT_EQ(result.instances.size(), 2u);
+  for (std::size_t i = 0; i < result.instances.size(); ++i) {
+    EXPECT_EQ(result.instances[i].makespans, again.instances[i].makespans);
+  }
+}
+
+TEST(JsonWriter, RendersDeterministicStructure) {
+  JsonWriter w(3);
+  w.begin_object();
+  w.key("name");
+  w.value("a\"b");
+  w.key("ratio");
+  w.value(1.5);
+  w.key("list");
+  w.begin_array();
+  w.value(std::int64_t{1});
+  w.value(true);
+  w.end_array();
+  w.key("empty");
+  w.begin_object();
+  w.end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\n"
+            "  \"name\": \"a\\\"b\",\n"
+            "  \"ratio\": 1.500,\n"
+            "  \"list\": [\n"
+            "    1,\n"
+            "    true\n"
+            "  ],\n"
+            "  \"empty\": {}\n"
+            "}\n");
+}
+
+}  // namespace
+}  // namespace dagsched

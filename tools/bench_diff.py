@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Diff two google-benchmark JSON artifacts and print a regression table.
+
+Compares BENCH_perf.json runs benchmark-by-benchmark (aggregate medians
+preferred, plain entries otherwise).  Throughput benchmarks compare
+items_per_second (higher is better); time-only benchmarks compare
+real_time (lower is better).  Moves/s drops beyond the threshold are
+flagged REGRESSED; the exit status stays 0 unless --strict is given —
+perf tracking is advisory for now (see ROADMAP.md).
+
+Usage:
+  tools/bench_diff.py BASELINE.json FRESH.json [--threshold 0.10] [--strict]
+  tools/bench_diff.py --git-baseline HEAD FRESH.json   # baseline from git
+
+The --git-baseline form reads BENCH_perf.json from the given git revision,
+so `tools/bench_diff.py --git-baseline HEAD BENCH_perf.json` compares a
+fresh run against the committed numbers.
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+
+
+def load_benchmarks(text, source):
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as error:
+        sys.exit(f"bench_diff: {source} is not valid JSON: {error}")
+    entries = {}
+    for bench in doc.get("benchmarks", []):
+        name = bench.get("name", "")
+        run_type = bench.get("run_type", "iteration")
+        # Prefer the median aggregate when repetitions were run; fall back
+        # to the plain iteration entry.
+        if run_type == "aggregate":
+            if bench.get("aggregate_name") != "median":
+                continue
+            key = bench.get("run_name", name)
+        else:
+            key = name
+            if key in entries:
+                continue  # keep the first iteration entry
+        entries[key] = bench
+    return entries
+
+
+def metric(bench):
+    """Returns (value, higher_is_better, unit)."""
+    if "items_per_second" in bench:
+        return bench["items_per_second"], True, "items/s"
+    return bench.get("real_time", 0.0), False, bench.get("time_unit", "ns")
+
+
+def fmt(value):
+    if value >= 1e6:
+        return f"{value / 1e6:.2f}M"
+    if value >= 1e3:
+        return f"{value / 1e3:.2f}k"
+    return f"{value:.2f}"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", nargs="?", help="baseline JSON file")
+    parser.add_argument("fresh", help="fresh JSON file")
+    parser.add_argument("--git-baseline", metavar="REV",
+                        help="read the baseline BENCH_perf.json from git")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="relative drop that counts as a regression")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit nonzero when regressions are found")
+    args = parser.parse_args()
+
+    if args.git_baseline:
+        try:
+            text = subprocess.run(
+                ["git", "show", f"{args.git_baseline}:BENCH_perf.json"],
+                capture_output=True, text=True, check=True).stdout
+        except subprocess.CalledProcessError as error:
+            sys.exit(f"bench_diff: git show failed: {error.stderr.strip()}")
+        baseline = load_benchmarks(text, f"git:{args.git_baseline}")
+    elif args.baseline:
+        with open(args.baseline, encoding="utf-8") as f:
+            baseline = load_benchmarks(f.read(), args.baseline)
+    else:
+        parser.error("need a baseline file or --git-baseline")
+
+    with open(args.fresh, encoding="utf-8") as f:
+        fresh = load_benchmarks(f.read(), args.fresh)
+
+    rows = []
+    regressions = []
+    for name in sorted(set(baseline) | set(fresh)):
+        if name not in baseline:
+            rows.append((name, "-", fmt(metric(fresh[name])[0]), "NEW", ""))
+            continue
+        if name not in fresh:
+            rows.append((name, fmt(metric(baseline[name])[0]), "-",
+                         "REMOVED", ""))
+            continue
+        base_value, higher_better, unit = metric(baseline[name])
+        fresh_value, _, _ = metric(fresh[name])
+        if base_value <= 0:
+            continue
+        change = (fresh_value - base_value) / base_value
+        if not higher_better:
+            change = -change  # normalize: positive change = improvement
+        status = ""
+        if change < -args.threshold:
+            status = "REGRESSED"
+            regressions.append(name)
+        elif change > args.threshold:
+            status = "improved"
+        rows.append((name, fmt(base_value), fmt(fresh_value),
+                     f"{change * 100:+.1f}%", status))
+
+    widths = [max(len(str(row[col])) for row in rows + [
+        ("benchmark", "baseline", "fresh", "change", "")])
+        for col in range(5)]
+    header = ("benchmark", "baseline", "fresh", "change", "")
+    for row in [header] + rows:
+        print("  ".join(str(cell).ljust(width)
+                        for cell, width in zip(row, widths)).rstrip())
+
+    if regressions:
+        print(f"\n{len(regressions)} benchmark(s) regressed more than "
+              f"{args.threshold * 100:.0f}%: " + ", ".join(regressions))
+        if args.strict:
+            return 1
+    else:
+        print(f"\nno regressions beyond {args.threshold * 100:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. piped into head
+        sys.exit(0)

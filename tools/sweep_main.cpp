@@ -1,0 +1,163 @@
+// The `sweep` CLI: runs a PISA-style batch comparison described by a spec
+// file (see src/sweep/spec.hpp for the format) and prints the ranked
+// policy table.  --out writes the deterministic summary JSON, --csv the
+// per-(instance, policy) rows.
+//
+//   sweep tools/sweep_example.spec --out sweep_summary.json
+//   sweep tools/sweep_small.spec --threads 1 --out a.json
+//
+// Exit status: 0 on success, 1 on bad usage / spec errors / IO failure.
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sweep/runner.hpp"
+#include "sweep/spec.hpp"
+#include "sweep/summary.hpp"
+
+namespace {
+
+void usage(std::ostream& os) {
+  os << "usage: sweep <spec-file> [options]\n"
+        "  --out FILE      write the summary JSON artifact\n"
+        "  --csv FILE      write per-(instance, policy) CSV rows\n"
+        "  --threads N     override the spec's worker count (0 = hardware)\n"
+        "  --seed S        override the spec's seed\n"
+        "  --quiet         suppress the progress note on stderr\n";
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) return false;
+  file << content;
+  return static_cast<bool>(file);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string spec_path;
+  std::string out_path;
+  std::string csv_path;
+  bool quiet = false;
+  bool override_threads = false;
+  bool override_seed = false;
+  int threads = 0;
+  std::uint64_t seed = 0;
+
+  std::vector<std::string> args(argv + 1, argv + argc);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto next_value = [&](const char* flag) -> std::string {
+      if (i + 1 >= args.size()) {
+        std::cerr << "sweep: " << flag << " needs a value\n";
+        std::exit(1);
+      }
+      return args[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return 0;
+    } else if (arg == "--out") {
+      out_path = next_value("--out");
+    } else if (arg == "--csv") {
+      csv_path = next_value("--csv");
+    } else if (arg == "--threads") {
+      const std::string value = next_value("--threads");
+      try {
+        std::size_t used = 0;
+        threads = std::stoi(value, &used);
+        if (used != value.size()) throw std::invalid_argument(value);
+      } catch (const std::exception&) {
+        std::cerr << "sweep: --threads needs an integer, got '" << value
+                  << "'\n";
+        return 1;
+      }
+      override_threads = true;
+    } else if (arg == "--seed") {
+      const std::string value = next_value("--seed");
+      try {
+        std::size_t used = 0;
+        seed = std::stoull(value, &used);
+        if (used != value.size()) throw std::invalid_argument(value);
+      } catch (const std::exception&) {
+        std::cerr << "sweep: --seed needs an unsigned integer, got '"
+                  << value << "'\n";
+        return 1;
+      }
+      override_seed = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "sweep: unknown option '" << arg << "'\n";
+      usage(std::cerr);
+      return 1;
+    } else if (spec_path.empty()) {
+      spec_path = arg;
+    } else {
+      std::cerr << "sweep: multiple spec files given\n";
+      return 1;
+    }
+  }
+  if (spec_path.empty()) {
+    usage(std::cerr);
+    return 1;
+  }
+
+  try {
+    dagsched::sweep::SweepSpec spec =
+        dagsched::sweep::load_spec_file(spec_path);
+    if (override_threads) spec.threads = threads;
+    if (override_seed) spec.seed = seed;
+    spec.validate();
+
+    if (!quiet) {
+      std::cerr << "sweep: " << spec.num_instances() << " instances ("
+                << spec.families.size() << " families x "
+                << spec.topologies.size() << " topologies), "
+                << spec.policies.size() << " policies, seed " << spec.seed
+                << "\n";
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    const dagsched::sweep::SweepResult result =
+        dagsched::sweep::run_sweep(spec);
+    const auto ranking = dagsched::sweep::summarize(result);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+
+    std::cout << dagsched::sweep::render_summary_table(result, ranking);
+    if (!quiet) {
+      std::cerr << "sweep: finished in " << seconds << " s on "
+                << result.threads_used << " thread(s)\n";
+    }
+
+    if (!out_path.empty()) {
+      const std::string json =
+          dagsched::sweep::summary_json(result, ranking);
+      if (!write_file(out_path, json)) {
+        std::cerr << "sweep: cannot write '" << out_path << "'\n";
+        return 1;
+      }
+      if (!quiet) std::cerr << "sweep: wrote " << out_path << "\n";
+    }
+    if (!csv_path.empty()) {
+      const std::string csv = dagsched::sweep::per_instance_csv(result);
+      if (!write_file(csv_path, csv)) {
+        std::cerr << "sweep: cannot write '" << csv_path << "'\n";
+        return 1;
+      }
+      if (!quiet) std::cerr << "sweep: wrote " << csv_path << "\n";
+    }
+  } catch (const std::exception& error) {
+    std::cerr << "sweep: " << error.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Smoke-tests the sweep runner's determinism contract: the same spec and
+# seed must produce a byte-identical summary JSON at 1 worker thread, at 4
+# worker threads, and across repeated runs.  Wired into CTest as
+# `sweep_smoke` (see CMakeLists.txt).
+#
+# Usage: tools/sweep_small.sh <sweep-binary> <spec-file>
+#   Defaults: build/sweep and tools/sweep_small.spec relative to the repo.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+sweep_bin="${1:-${repo_root}/build/sweep}"
+spec="${2:-${repo_root}/tools/sweep_small.spec}"
+
+if [[ ! -x "${sweep_bin}" ]]; then
+  echo "sweep_small.sh: sweep binary not found at ${sweep_bin}" >&2
+  exit 1
+fi
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "${workdir}"' EXIT
+
+"${sweep_bin}" "${spec}" --threads 1 --quiet --out "${workdir}/t1.json" \
+  > "${workdir}/t1.table"
+"${sweep_bin}" "${spec}" --threads 4 --quiet --out "${workdir}/t4.json" \
+  > "${workdir}/t4.table"
+"${sweep_bin}" "${spec}" --threads 4 --quiet --out "${workdir}/t4b.json" \
+  > /dev/null
+
+if ! cmp -s "${workdir}/t1.json" "${workdir}/t4.json"; then
+  echo "FAIL: summary JSON differs between 1 and 4 worker threads" >&2
+  diff "${workdir}/t1.json" "${workdir}/t4.json" >&2 || true
+  exit 1
+fi
+if ! cmp -s "${workdir}/t4.json" "${workdir}/t4b.json"; then
+  echo "FAIL: summary JSON differs between repeated runs" >&2
+  exit 1
+fi
+if ! cmp -s "${workdir}/t1.table" "${workdir}/t4.table"; then
+  echo "FAIL: ranking table differs between 1 and 4 worker threads" >&2
+  exit 1
+fi
+if ! grep -q '"policy": "sa"' "${workdir}/t1.json"; then
+  echo "FAIL: summary JSON has no SA ranking entry" >&2
+  exit 1
+fi
+if ! grep -q '"instances": 24' "${workdir}/t1.json"; then
+  echo "FAIL: summary JSON does not report the expected 24 instances" >&2
+  exit 1
+fi
+
+echo "OK: sweep summary deterministic across threads and runs"
