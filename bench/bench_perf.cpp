@@ -7,6 +7,7 @@
 #include "core/annealer.hpp"
 #include "core/cost.hpp"
 #include "core/global_annealer.hpp"
+#include "core/incremental_cost.hpp"
 #include "core/packet.hpp"
 #include "core/sa_scheduler.hpp"
 #include "graph/analysis.hpp"
@@ -151,6 +152,44 @@ void BM_SimulateSa(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * w.graph.num_tasks());
 }
 BENCHMARK(BM_SimulateSa);
+
+void BM_GlobalOracle(benchmark::State& state, sa::CostOracleKind kind) {
+  // Proposed-moves/s through the global annealer's cost-oracle seam:
+  // one complete single-chain anneal_global trajectory (HLF seed,
+  // default cooling and patience) on a random DAG of range(0) tasks over
+  // 8 processors, per iteration.  The full/incremental runs share the
+  // seed, so they price the exact same move stream (and the equivalence
+  // contract makes every makespan — and thus the trajectory — identical);
+  // items_per_second compares the oracles head to head.
+  gen::GnpDagOptions options;
+  options.num_tasks = static_cast<int>(state.range(0));
+  options.edge_probability = 6.0 / static_cast<double>(options.num_tasks);
+  options.seed = 42;
+  const TaskGraph graph = gen::gnp_dag(options);
+  const Topology topology = topo::hypercube(3);
+  const CommModel comm = CommModel::paper_default();
+
+  sa::GlobalAnnealOptions anneal;
+  anneal.num_chains = 1;
+  anneal.seed = 7;
+  anneal.oracle = kind;
+
+  std::int64_t proposals = 0;
+  for (auto _ : state) {
+    const sa::GlobalAnnealResult result =
+        sa::anneal_global(graph, topology, comm, anneal);
+    proposals += result.simulations;
+    benchmark::DoNotOptimize(result.makespan);
+  }
+  state.SetItemsProcessed(proposals);  // proposed moves per second
+}
+BENCHMARK_CAPTURE(BM_GlobalOracle, full, sa::CostOracleKind::kFullReplay)
+    ->Arg(128)
+    ->UseRealTime();
+BENCHMARK_CAPTURE(BM_GlobalOracle, incremental,
+                  sa::CostOracleKind::kIncremental)
+    ->Arg(128)
+    ->UseRealTime();
 
 void BM_AnnealGlobal(benchmark::State& state) {
   // Whole-schedule annealing; range(0) is the chain count (0 = auto).

@@ -1,11 +1,12 @@
 #include "core/global_annealer.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <thread>
 
 #include "core/boltzmann.hpp"
+#include "core/incremental_cost.hpp"
 #include "sched/hlf.hpp"
-#include "sched/pinned.hpp"
 #include "sim/engine.hpp"
 #include "util/require.hpp"
 #include "util/rng.hpp"
@@ -14,41 +15,16 @@ namespace dagsched::sa {
 
 namespace {
 
-/// Per-chain cost oracle: one pinned scheduler whose mapping buffer and
-/// epoch scratch space are allocated once and reused for every replay,
-/// instead of constructing a fresh policy (and its vectors) per proposed
-/// move.
-class ReplayWorkspace {
- public:
-  ReplayWorkspace(const TaskGraph& graph, const Topology& topology,
-                  const CommModel& comm)
-      : graph_(graph),
-        topology_(topology),
-        comm_(comm),
-        policy_(std::vector<ProcId>(
-            static_cast<std::size_t>(graph.num_tasks()), 0)) {
-    options_.record_trace = false;
-  }
-
-  /// Simulated makespan of a complete mapping (the exact cost oracle).
-  Time makespan(const std::vector<ProcId>& mapping) {
-    policy_.set_mapping(mapping);
-    return sim::simulate(graph_, topology_, comm_, policy_, options_)
-        .makespan;
-  }
-
- private:
-  const TaskGraph& graph_;
-  const Topology& topology_;
-  const CommModel& comm_;
-  sched::PinnedScheduler policy_;
-  sim::SimOptions options_;
-};
-
 /// One independent annealing chain.  Chain 0 consumes Rng(options.seed)
 /// exactly as the historical single-chain annealer did; other chains use
 /// decorrelated streams of the same seed.  `hlf_placement` is the shared
 /// deterministic seed mapping (ignored when seed_with_hlf is false).
+///
+/// Each chain owns its cost oracle (options.oracle), the PR 3 seam that
+/// replaced the PR 1 ReplayWorkspace: both oracle kinds return makespans
+/// bit-identical to a full pinned replay, and the Rng consumption below
+/// is oracle-independent, so chain 0 stays bit-compatible with the seed
+/// implementation under either oracle.
 GlobalAnnealResult anneal_chain(const TaskGraph& graph,
                                 const Topology& topology,
                                 const CommModel& comm,
@@ -57,7 +33,9 @@ GlobalAnnealResult anneal_chain(const TaskGraph& graph,
                                 const std::vector<ProcId>& hlf_placement) {
   Rng rng = Rng::stream(options.seed,
                         static_cast<std::uint64_t>(chain_index));
-  ReplayWorkspace oracle(graph, topology, comm);
+  const std::unique_ptr<CostOracle> oracle =
+      make_cost_oracle(options.oracle, graph, topology, comm);
+  const auto chain_start = std::chrono::steady_clock::now();
   GlobalAnnealResult result;
 
   // Initial mapping: HLF placement (good start) or uniform random.
@@ -72,7 +50,7 @@ GlobalAnnealResult anneal_chain(const TaskGraph& graph,
     }
   }
 
-  Time current_makespan = oracle.makespan(current);
+  Time current_makespan = oracle->reset(current);
   result.simulations = 1;
   result.initial_makespan = current_makespan;
   result.mapping = current;
@@ -86,6 +64,14 @@ GlobalAnnealResult anneal_chain(const TaskGraph& graph,
 
   int stale_steps = 0;
   for (int step = 0; step < options.cooling.max_steps; ++step) {
+    if (options.wall_budget_seconds > 0) {
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - chain_start;
+      if (elapsed.count() > options.wall_budget_seconds) {
+        result.timed_out = true;
+        break;
+      }
+    }
     const double temp = options.cooling.temperature(step);
     const Time best_before = result.makespan;
 
@@ -99,10 +85,12 @@ GlobalAnnealResult anneal_chain(const TaskGraph& graph,
             static_cast<std::size_t>(topology.num_procs())));
       }
       current[task] = new_proc;
-      const Time makespan = oracle.makespan(current);
+      const Time makespan =
+          oracle->propose(current, static_cast<TaskId>(task));
       ++result.simulations;
       const double delta = to_us(makespan - current_makespan);
       if (rng.uniform01() < boltzmann_acceptance(delta, temp)) {
+        oracle->accept();
         current_makespan = makespan;
         if (makespan < result.makespan) {
           result.makespan = makespan;
@@ -120,6 +108,7 @@ GlobalAnnealResult anneal_chain(const TaskGraph& graph,
       stale_steps = 0;
     }
   }
+  result.oracle_stats = oracle->stats();
   return result;
 }
 
@@ -144,12 +133,14 @@ GlobalAnnealResult anneal_global(const TaskGraph& graph,
     // Nothing to move; replay the only possible placement once.
     GlobalAnnealResult result;
     result.mapping.assign(static_cast<std::size_t>(graph.num_tasks()), 0);
-    ReplayWorkspace oracle(graph, topology, comm);
-    result.makespan = oracle.makespan(result.mapping);
+    const std::unique_ptr<CostOracle> oracle =
+        make_cost_oracle(options.oracle, graph, topology, comm);
+    result.makespan = oracle->reset(result.mapping);
     result.initial_makespan = result.makespan;
     result.simulations = 1;
     result.history.push_back(result.makespan);
     result.chain_makespans.push_back(result.makespan);
+    result.oracle_stats = oracle->stats();
     return result;
   }
 
@@ -197,10 +188,14 @@ GlobalAnnealResult anneal_global(const TaskGraph& graph,
   // result is independent of thread scheduling.
   std::size_t best = 0;
   int total_simulations = 0;
+  bool timed_out = false;
+  CostOracleStats oracle_stats;
   std::vector<Time> chain_makespans;
   chain_makespans.reserve(chains.size());
   for (std::size_t c = 0; c < chains.size(); ++c) {
     total_simulations += chains[c].simulations;
+    timed_out = timed_out || chains[c].timed_out;
+    oracle_stats += chains[c].oracle_stats;
     chain_makespans.push_back(chains[c].makespan);
     if (chains[c].makespan < chains[best].makespan) best = c;
   }
@@ -211,6 +206,8 @@ GlobalAnnealResult anneal_global(const TaskGraph& graph,
   result.simulations = total_simulations;
   result.chains = num_chains;
   result.chain_makespans = std::move(chain_makespans);
+  result.oracle_stats = oracle_stats;
+  result.timed_out = timed_out;
   return result;
 }
 

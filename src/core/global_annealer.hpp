@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/cooling.hpp"
+#include "core/incremental_cost.hpp"
 #include "graph/taskgraph.hpp"
 #include "topology/comm_model.hpp"
 #include "topology/topology.hpp"
@@ -68,6 +69,21 @@ struct GlobalAnnealOptions {
   /// same seed (golden-tested), extra chains explore independently, and
   /// the best chain wins with ties broken toward the lowest index.
   int num_chains = 0;
+
+  /// Makespan oracle pricing the proposed moves.  Both oracles return
+  /// bit-identical makespans (locked by tests/test_incremental_cost.cpp),
+  /// so this knob never changes results — only how much of the event
+  /// timeline is re-simulated per proposal.  Each chain owns its own
+  /// oracle instance, preserving the multi-chain determinism contract.
+  CostOracleKind oracle = CostOracleKind::kIncremental;
+
+  /// Per-chain wall-clock budget in seconds; 0 disables the budget.  A
+  /// chain checks the budget between temperature steps and stops early
+  /// (keeping its best-so-far mapping) once it is exceeded, setting
+  /// GlobalAnnealResult::timed_out.  NOTE: a nonzero budget trades the
+  /// determinism guarantee for bounded latency — results then depend on
+  /// host speed.  Used by the sweep runner's per-instance budgets.
+  double wall_budget_seconds = 0.0;
 };
 
 struct GlobalAnnealResult {
@@ -78,6 +94,10 @@ struct GlobalAnnealResult {
   std::vector<Time> history;     ///< winning chain: best-so-far per step
   int chains = 1;                ///< chains actually run
   std::vector<Time> chain_makespans;  ///< best makespan of each chain
+  /// How the oracles priced the proposals, summed over all chains.
+  CostOracleStats oracle_stats;
+  /// True when any chain stopped early on its wall-clock budget.
+  bool timed_out = false;
 };
 
 /// Anneals a complete task-to-processor mapping against the simulated

@@ -18,6 +18,7 @@ void PinnedScheduler::on_run_start(const TaskGraph& graph,
     require(topology.is_valid_proc(p),
             "PinnedScheduler: mapping names a missing processor");
   }
+  ranks_stale_ = true;  // levels arrive with the first epoch
 }
 
 void PinnedScheduler::on_epoch(sim::EpochContext& ctx) {
@@ -25,15 +26,38 @@ void PinnedScheduler::on_epoch(sim::EpochContext& ctx) {
   // the highest-level one first (ties: lowest id) — the same priority the
   // list schedulers use, so replaying a placement does not lose schedule
   // quality to arbitrary intra-processor ordering.
-  order_.assign(ctx.ready_tasks().begin(), ctx.ready_tasks().end());
   const std::vector<Time>& levels = ctx.levels();
-  std::stable_sort(order_.begin(), order_.end(),
-                   [&levels](TaskId a, TaskId b) {
-                     const Time la = levels[static_cast<std::size_t>(a)];
-                     const Time lb = levels[static_cast<std::size_t>(b)];
-                     if (la != lb) return la > lb;
-                     return a < b;
-                   });
+  if (ranks_stale_ && levels == ranked_levels_) {
+    ranks_stale_ = false;  // same graph as the previous run: ranks hold
+  }
+  if (ranks_stale_) {
+    // At most one argsort per graph; the per-epoch sorts below then
+    // compare single integer ranks.  Ranks are unique, so sorting by
+    // them reproduces the (level desc, id asc) order exactly.
+    rank_scratch_.resize(levels.size());
+    for (std::size_t t = 0; t < levels.size(); ++t) {
+      rank_scratch_[t] = static_cast<TaskId>(t);
+    }
+    std::sort(rank_scratch_.begin(), rank_scratch_.end(),
+              [&levels](TaskId a, TaskId b) {
+                const Time la = levels[static_cast<std::size_t>(a)];
+                const Time lb = levels[static_cast<std::size_t>(b)];
+                if (la != lb) return la > lb;
+                return a < b;
+              });
+    rank_.resize(levels.size());
+    for (std::size_t i = 0; i < rank_scratch_.size(); ++i) {
+      rank_[static_cast<std::size_t>(rank_scratch_[i])] =
+          static_cast<int>(i);
+    }
+    ranked_levels_ = levels;
+    ranks_stale_ = false;
+  }
+  order_.assign(ctx.ready_tasks().begin(), ctx.ready_tasks().end());
+  std::sort(order_.begin(), order_.end(), [this](TaskId a, TaskId b) {
+    return rank_[static_cast<std::size_t>(a)] <
+           rank_[static_cast<std::size_t>(b)];
+  });
   used_.clear();
   for (const TaskId task : order_) {
     const ProcId target = mapping_[static_cast<std::size_t>(task)];

@@ -5,6 +5,13 @@
 //
 // Useful to (a) replay an externally computed mapping through the
 // simulator, and (b) construct exactly-known schedules in tests.
+//
+// Contract the incremental cost oracle (core/incremental_cost.hpp) relies
+// on: the policy is *stateless across epochs* — each decision is a pure
+// function of (ready set, idle set, mapping, levels) — so a run resumed
+// from a mid-run checkpoint replays the remaining epochs bit-identically.
+// Anything that carries decision state from one epoch into the next
+// breaks checkpoint resume.
 
 #include <vector>
 
@@ -35,6 +42,17 @@ class PinnedScheduler : public sim::SchedulingPolicy {
   std::vector<ProcId> mapping_;
   std::vector<TaskId> order_;   ///< per-epoch scratch, reused across runs
   std::vector<ProcId> used_;    ///< per-epoch scratch, reused across runs
+  /// rank_[t] is task t's position in the global dispatch order (level
+  /// descending, ties toward the lower id), derived from the first
+  /// epoch's levels.  Sorting the ready set by this single integer key
+  /// replaces the two-key comparator sort the replay loops hammered.
+  /// Replay loops re-run one policy against one graph thousands of
+  /// times, so the argsort is skipped entirely while the levels match
+  /// the cached copy (an O(n) equality check per run).
+  std::vector<int> rank_;
+  std::vector<TaskId> rank_scratch_;
+  std::vector<Time> ranked_levels_;  ///< levels rank_ was built from
+  bool ranks_stale_ = true;
 
   void on_run_start(const TaskGraph& graph, const Topology& topology,
                     const CommModel&) override;

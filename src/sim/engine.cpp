@@ -1,7 +1,6 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
-#include <queue>
 
 #include "graph/analysis.hpp"
 #include "sim/machine.hpp"
@@ -24,7 +23,7 @@ double SimResult::utilization() const {
           static_cast<double>(proc_busy.size()));
 }
 
-namespace {
+namespace detail {
 
 enum class EventType { TaskDone, CommDone, TransferDone };
 
@@ -44,7 +43,9 @@ struct EventLater {
   }
 };
 
-/// In-flight interprocessor message.
+/// In-flight interprocessor message.  The route itself lives in the
+/// engine's per-(src, dst) route cache — keeping this struct flat makes
+/// launching a message and copying a checkpoint allocation-free.
 struct MessageState {
   int id = -1;
   TaskId producer = kInvalidTask;
@@ -52,41 +53,159 @@ struct MessageState {
   ProcId src = kInvalidProc;
   ProcId dst = kInvalidProc;
   Time weight = 0;
-  std::vector<ProcId> path;   ///< src .. dst inclusive
-  std::size_t hop = 0;        ///< index into path of the node holding it
+  std::size_t hop = 0;        ///< index into the route of the holding node
   Time launched = 0;
   Time transfer_start = 0;    ///< start of the transfer currently in flight
 };
 
-/// Single-run state machine.  ExecutionEngine::run() builds one of these per
-/// call so the engine itself stays reusable.
+/// Lazy cache of Topology::route results, one per (src, dst) pair.  The
+/// routes are a pure function of the topology, so the cache is shared by
+/// every run (and every checkpoint) of one engine.
+class RouteTable {
+ public:
+  explicit RouteTable(const Topology& topology)
+      : topology_(topology),
+        routes_(static_cast<std::size_t>(topology.num_procs()) *
+                static_cast<std::size_t>(topology.num_procs())) {}
+
+  const std::vector<ProcId>& route(ProcId from, ProcId dest) {
+    std::vector<ProcId>& cached =
+        routes_[static_cast<std::size_t>(from) *
+                    static_cast<std::size_t>(topology_.num_procs()) +
+                static_cast<std::size_t>(dest)];
+    if (cached.empty()) cached = topology_.route(from, dest);
+    return cached;
+  }
+
+ private:
+  const Topology& topology_;
+  std::vector<std::vector<ProcId>> routes_;
+};
+
+enum class SigmaState { NotPaid, Paying, Paid };
+
+/// The complete mutable state of one run.  Everything the event loop
+/// reads or writes lives here — copying a RunState at an epoch boundary
+/// and resuming the loop on the copy reproduces the remainder of the run
+/// bit-for-bit (all containers are value types; time, sequence numbers
+/// and the event queue are included).  Immutable per-run inputs (graph,
+/// topology, comm model, task levels) stay outside.
+struct RunState {
+  MachineState machine;
+  std::vector<ProcId> placement;
+  std::vector<int> unfinished_preds;
+  std::vector<bool> task_started;
+  std::vector<SigmaState> sigma_state;
+  std::vector<std::vector<int>> pending_after_sigma;
+  std::vector<TaskRecord> task_records;
+  std::vector<Time> proc_busy;
+  std::vector<TaskId> ready_pool;  ///< ready & unassigned, kept sorted
+  std::vector<MessageState> messages;
+  std::vector<Time> comm_start;  ///< per-proc start of the active comm job
+  std::vector<ProcId> idle_scratch;  ///< per-epoch idle list, reused
+
+  /// Pending events as a binary max-heap under EventLater (std::push_heap
+  /// / pop_heap on a plain vector instead of std::priority_queue, so
+  /// repeated runs reuse the buffer).  EventLater is a total order (seq
+  /// breaks every tie), so the pop sequence — and with it the simulation
+  /// — is independent of the heap's internal layout.
+  std::vector<Event> events;
+  std::uint64_t next_seq = 0;
+  Time now = 0;
+  int finished_count = 0;
+  int epoch_count = 0;
+  bool epoch_trigger = true;
+  Time makespan = 0;
+  Time total_comm_time = 0;
+
+  Trace trace;
+
+  explicit RunState(const Topology& topology) : machine(topology) {}
+};
+
+/// (Re)initializes `s` to the time-zero state of a fresh run, reusing
+/// existing buffer capacity wherever the containers allow it — replay
+/// loops run thousands of simulations per second through one state.
+void init_state(RunState& s, const TaskGraph& graph,
+                const Topology& topology) {
+  const auto n = static_cast<std::size_t>(graph.num_tasks());
+  const auto p = static_cast<std::size_t>(topology.num_procs());
+  if (s.machine.num_procs() == topology.num_procs()) {
+    s.machine.reset();
+  } else {
+    s.machine = MachineState(topology);
+  }
+  s.placement.assign(n, kInvalidProc);
+  s.unfinished_preds.assign(n, 0);
+  s.task_started.assign(n, false);
+  s.sigma_state.assign(n, SigmaState::NotPaid);
+  s.pending_after_sigma.resize(n);
+  for (std::vector<int>& pending : s.pending_after_sigma) pending.clear();
+  s.task_records.assign(n, TaskRecord{});
+  s.proc_busy.assign(p, 0);
+  s.ready_pool.clear();
+  s.messages.clear();
+  s.comm_start.assign(p, 0);
+  s.events.clear();
+  s.next_seq = 0;
+  s.now = 0;
+  s.finished_count = 0;
+  s.epoch_count = 0;
+  s.epoch_trigger = true;
+  s.makespan = 0;
+  s.total_comm_time = 0;
+  s.trace.task_segments.clear();
+  s.trace.comm_segments.clear();
+  s.trace.transfers.clear();
+  s.trace.messages.clear();
+  s.trace.tasks.clear();
+  s.trace.epochs.clear();
+
+  for (TaskId t = 0; t < graph.num_tasks(); ++t) {
+    s.unfinished_preds[static_cast<std::size_t>(t)] = graph.in_degree(t);
+    if (s.unfinished_preds[static_cast<std::size_t>(t)] == 0) {
+      s.ready_pool.push_back(t);
+    }
+  }
+}
+
+}  // namespace detail
+
+namespace {
+
+using detail::Event;
+using detail::EventType;
+using detail::MessageState;
+using detail::RunState;
+using detail::SigmaState;
+
+/// The event loop, operating on an externally owned RunState.  The
+/// immutable inputs (graph, topology, comm, levels) are per-run
+/// constants; everything mutable is in `s_`, so the same loop serves
+/// fresh runs and checkpoint resumes alike.
 class Run {
  public:
   Run(const TaskGraph& graph, const Topology& topology, const CommModel& comm,
-      SchedulingPolicy& policy, const SimOptions& options)
+      SchedulingPolicy& policy, const SimOptions& options,
+      const std::vector<Time>& levels, detail::RouteTable& routes,
+      RunState& state)
       : graph_(graph),
         topology_(topology),
         comm_(comm),
         policy_(policy),
         options_(options),
-        machine_(topology),
-        placement_(static_cast<std::size_t>(graph.num_tasks()), kInvalidProc),
-        unfinished_preds_(static_cast<std::size_t>(graph.num_tasks()), 0),
-        task_started_(static_cast<std::size_t>(graph.num_tasks()), false),
-        sigma_state_(static_cast<std::size_t>(graph.num_tasks()),
-                     SigmaState::NotPaid),
-        pending_after_sigma_(static_cast<std::size_t>(graph.num_tasks())),
-        task_records_(static_cast<std::size_t>(graph.num_tasks())),
-        levels_(task_levels(graph)),
-        proc_busy_(static_cast<std::size_t>(topology.num_procs()), 0) {}
+        levels_(levels),
+        routes_(routes),
+        s_(state) {}
 
-  SimResult execute();
+  SimResult execute(EpochObserver* observer);
 
  private:
   // --- event plumbing ------------------------------------------------------
   void push_event(Event event) {
-    event.seq = next_seq_++;
-    events_.push(event);
+    event.seq = s_.next_seq++;
+    s_.events.push_back(event);
+    std::push_heap(s_.events.begin(), s_.events.end(), detail::EventLater{});
   }
 
   // --- processor-side comm handling ---------------------------------------
@@ -110,7 +229,7 @@ class Run {
   void deliver(int message);
 
   // --- scheduling ----------------------------------------------------------
-  void run_epoch();
+  void run_epoch(EpochObserver* observer);
   void apply_assignment(TaskId task, ProcId p, int epoch_index);
 
   const TaskGraph& graph_;
@@ -118,32 +237,9 @@ class Run {
   const CommModel& comm_;
   SchedulingPolicy& policy_;
   const SimOptions& options_;
-
-  enum class SigmaState { NotPaid, Paying, Paid };
-
-  MachineState machine_;
-  std::vector<ProcId> placement_;
-  std::vector<int> unfinished_preds_;
-  std::vector<bool> task_started_;
-  std::vector<SigmaState> sigma_state_;
-  std::vector<std::vector<int>> pending_after_sigma_;
-  std::vector<TaskRecord> task_records_;
-  std::vector<Time> levels_;
-  std::vector<Time> proc_busy_;
-  std::vector<TaskId> ready_pool_;  ///< ready & unassigned, kept sorted
-  std::vector<MessageState> messages_;
-  std::vector<Time> comm_start_;  ///< per-proc start of the active comm job
-
-  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
-  std::uint64_t next_seq_ = 0;
-  Time now_ = 0;
-  int finished_count_ = 0;
-  int epoch_count_ = 0;
-  bool epoch_trigger_ = true;
-  Time makespan_ = 0;
-  Time total_comm_time_ = 0;
-
-  Trace trace_;
+  const std::vector<Time>& levels_;
+  detail::RouteTable& routes_;
+  RunState& s_;
 };
 
 void Run::record_task_span(ProcId p, TaskId task, Time start, Time end,
@@ -152,25 +248,25 @@ void Run::record_task_span(ProcId p, TaskId task, Time start, Time end,
   // zero-length span that was immediately preempted does not count, but the
   // completing span of a zero-duration task does).
   if (end > start || completes) {
-    if (!task_started_[static_cast<std::size_t>(task)]) {
-      task_started_[static_cast<std::size_t>(task)] = true;
-      task_records_[static_cast<std::size_t>(task)].started = start;
+    if (!s_.task_started[static_cast<std::size_t>(task)]) {
+      s_.task_started[static_cast<std::size_t>(task)] = true;
+      s_.task_records[static_cast<std::size_t>(task)].started = start;
     }
   }
   if (options_.record_trace && (end > start || completes)) {
-    trace_.task_segments.push_back(TaskSegment{p, task, start, end,
-                                               completes});
+    s_.trace.task_segments.push_back(TaskSegment{p, task, start, end,
+                                                 completes});
   }
 }
 
 void Run::enqueue_comm(ProcId p, CommJob job) {
-  ProcessorState& proc = machine_.proc(p);
+  ProcessorState& proc = s_.machine.proc(p);
   // Incoming message handling preempts an executing task (paper §2).
   if (proc.task_executing) {
-    record_task_span(p, proc.running_task, proc.segment_start, now_,
+    record_task_span(p, proc.running_task, proc.segment_start, s_.now,
                      /*completes=*/false);
-    proc.task_remaining -= now_ - proc.segment_start;
-    proc_busy_[static_cast<std::size_t>(p)] += now_ - proc.segment_start;
+    proc.task_remaining -= s_.now - proc.segment_start;
+    s_.proc_busy[static_cast<std::size_t>(p)] += s_.now - proc.segment_start;
     ensure(proc.task_remaining >= 0, "negative remaining work on preempt");
     proc.task_executing = false;
     ++proc.task_event_gen;  // invalidate the scheduled completion
@@ -180,20 +276,20 @@ void Run::enqueue_comm(ProcId p, CommJob job) {
 }
 
 void Run::dispatch_cpu(ProcId p) {
-  ProcessorState& proc = machine_.proc(p);
+  ProcessorState& proc = s_.machine.proc(p);
   if (!proc.cpu_free()) return;
   if (!proc.comm_queue.empty()) {
     proc.active_comm = proc.comm_queue.front();
     proc.comm_queue.pop_front();
-    comm_start_[static_cast<std::size_t>(p)] = now_;
-    push_event(Event{now_ + proc.active_comm->duration, 0, EventType::CommDone,
-                     p, 0, proc.active_comm->message});
+    s_.comm_start[static_cast<std::size_t>(p)] = s_.now;
+    push_event(Event{s_.now + proc.active_comm->duration, 0,
+                     EventType::CommDone, p, 0, proc.active_comm->message});
     return;
   }
   if (proc.running_task != kInvalidTask) {
     // Resume the suspended task.
     proc.task_executing = true;
-    proc.segment_start = now_;
+    proc.segment_start = s_.now;
     schedule_task_done(p);
     return;
   }
@@ -201,16 +297,16 @@ void Run::dispatch_cpu(ProcId p) {
 }
 
 void Run::on_comm_done(ProcId p) {
-  ProcessorState& proc = machine_.proc(p);
+  ProcessorState& proc = s_.machine.proc(p);
   ensure(proc.active_comm.has_value(), "CommDone without an active job");
   const CommJob job = *proc.active_comm;
-  const Time start = comm_start_[static_cast<std::size_t>(p)];
+  const Time start = s_.comm_start[static_cast<std::size_t>(p)];
   if (options_.record_trace) {
-    trace_.comm_segments.push_back(
-        CommSegment{p, job.kind, job.message, start, now_});
+    s_.trace.comm_segments.push_back(
+        CommSegment{p, job.kind, job.message, start, s_.now});
   }
-  proc_busy_[static_cast<std::size_t>(p)] += now_ - start;
-  total_comm_time_ += now_ - start;
+  s_.proc_busy[static_cast<std::size_t>(p)] += s_.now - start;
+  s_.total_comm_time += s_.now - start;
   proc.active_comm.reset();
 
   switch (job.kind) {
@@ -218,13 +314,13 @@ void Run::on_comm_done(ProcId p) {
       request_transfer(job.message);
       if (comm_.send_cpu == SendCpu::PerTaskOutput) {
         const TaskId producer =
-            messages_[static_cast<std::size_t>(job.message)].producer;
-        sigma_state_[static_cast<std::size_t>(producer)] = SigmaState::Paid;
+            s_.messages[static_cast<std::size_t>(job.message)].producer;
+        s_.sigma_state[static_cast<std::size_t>(producer)] = SigmaState::Paid;
         for (const int pending :
-             pending_after_sigma_[static_cast<std::size_t>(producer)]) {
+             s_.pending_after_sigma[static_cast<std::size_t>(producer)]) {
           request_transfer(pending);
         }
-        pending_after_sigma_[static_cast<std::size_t>(producer)].clear();
+        s_.pending_after_sigma[static_cast<std::size_t>(producer)].clear();
       }
       break;
     }
@@ -239,7 +335,7 @@ void Run::on_comm_done(ProcId p) {
 }
 
 void Run::try_start_reserved(ProcId p) {
-  ProcessorState& proc = machine_.proc(p);
+  ProcessorState& proc = s_.machine.proc(p);
   if (proc.reserved_task == kInvalidTask || proc.pending_inputs > 0) return;
   if (!proc.cpu_free() || proc.running_task != kInvalidTask) return;
   const TaskId task = proc.reserved_task;
@@ -247,46 +343,46 @@ void Run::try_start_reserved(ProcId p) {
   proc.running_task = task;
   proc.task_remaining = graph_.duration(task);
   proc.task_executing = true;
-  proc.segment_start = now_;
+  proc.segment_start = s_.now;
   schedule_task_done(p);
 }
 
 void Run::schedule_task_done(ProcId p) {
-  ProcessorState& proc = machine_.proc(p);
-  push_event(Event{now_ + proc.task_remaining, 0, EventType::TaskDone, p,
+  ProcessorState& proc = s_.machine.proc(p);
+  push_event(Event{s_.now + proc.task_remaining, 0, EventType::TaskDone, p,
                    proc.task_event_gen, -1});
 }
 
 void Run::on_task_done(ProcId p, std::uint64_t gen) {
-  ProcessorState& proc = machine_.proc(p);
+  ProcessorState& proc = s_.machine.proc(p);
   if (!proc.task_executing || gen != proc.task_event_gen) return;  // stale
   const TaskId task = proc.running_task;
   ensure(task != kInvalidTask, "TaskDone on an idle processor");
-  record_task_span(p, task, proc.segment_start, now_, /*completes=*/true);
-  proc_busy_[static_cast<std::size_t>(p)] += now_ - proc.segment_start;
+  record_task_span(p, task, proc.segment_start, s_.now, /*completes=*/true);
+  s_.proc_busy[static_cast<std::size_t>(p)] += s_.now - proc.segment_start;
   proc.task_executing = false;
   proc.running_task = kInvalidTask;
   proc.task_remaining = 0;
 
-  task_records_[static_cast<std::size_t>(task)].finished = now_;
-  makespan_ = std::max(makespan_, now_);
-  ++finished_count_;
+  s_.task_records[static_cast<std::size_t>(task)].finished = s_.now;
+  s_.makespan = std::max(s_.makespan, s_.now);
+  ++s_.finished_count;
 
   for (const EdgeRef& succ : graph_.successors(task)) {
-    auto& pending = unfinished_preds_[static_cast<std::size_t>(succ.task)];
+    auto& pending = s_.unfinished_preds[static_cast<std::size_t>(succ.task)];
     ensure(pending > 0, "predecessor count underflow");
     if (--pending == 0) {
-      ready_pool_.insert(std::upper_bound(ready_pool_.begin(),
-                                          ready_pool_.end(), succ.task),
-                         succ.task);
+      s_.ready_pool.insert(std::upper_bound(s_.ready_pool.begin(),
+                                            s_.ready_pool.end(), succ.task),
+                           succ.task);
     }
   }
-  epoch_trigger_ = true;  // this processor just became idle
+  s_.epoch_trigger = true;  // this processor just became idle
 }
 
 void Run::launch_message(TaskId producer, TaskId consumer, Time weight,
                          ProcId src, ProcId dst) {
-  const int id = static_cast<int>(messages_.size());
+  const int id = static_cast<int>(s_.messages.size());
   MessageState msg;
   msg.id = id;
   msg.producer = producer;
@@ -294,10 +390,9 @@ void Run::launch_message(TaskId producer, TaskId consumer, Time weight,
   msg.src = src;
   msg.dst = dst;
   msg.weight = weight;
-  msg.path = topology_.route(src, dst);
-  msg.launched = now_;
-  messages_.push_back(std::move(msg));
-  machine_.proc(dst).pending_inputs += 1;
+  msg.launched = s_.now;
+  s_.messages.push_back(msg);
+  s_.machine.proc(dst).pending_inputs += 1;
 
   // Sender-side CPU cost per CommModel::send_cpu (see comm_model.hpp).
   switch (comm_.send_cpu) {
@@ -305,14 +400,14 @@ void Run::launch_message(TaskId producer, TaskId consumer, Time weight,
       enqueue_comm(src, CommJob{CommKind::Send, id, comm_.sigma});
       break;
     case SendCpu::PerTaskOutput: {
-      auto& state = sigma_state_[static_cast<std::size_t>(producer)];
+      auto& state = s_.sigma_state[static_cast<std::size_t>(producer)];
       if (state == SigmaState::NotPaid) {
         state = SigmaState::Paying;
         enqueue_comm(src, CommJob{CommKind::Send, id, comm_.sigma});
       } else if (state == SigmaState::Paying) {
         // The producer's output is still being prepared; this message
         // enters the network when the send job completes.
-        pending_after_sigma_[static_cast<std::size_t>(producer)].push_back(
+        s_.pending_after_sigma[static_cast<std::size_t>(producer)].push_back(
             id);
       } else {
         request_transfer(id);  // output already primed: hardware replays
@@ -326,13 +421,14 @@ void Run::launch_message(TaskId producer, TaskId consumer, Time weight,
 }
 
 void Run::request_transfer(int message) {
-  MessageState& msg = messages_[static_cast<std::size_t>(message)];
-  ensure(msg.hop + 1 < msg.path.size(), "transfer past the destination");
-  const ProcId from = msg.path[msg.hop];
-  const ProcId to = msg.path[msg.hop + 1];
+  MessageState& msg = s_.messages[static_cast<std::size_t>(message)];
+  const std::vector<ProcId>& path = routes_.route(msg.src, msg.dst);
+  ensure(msg.hop + 1 < path.size(), "transfer past the destination");
+  const ProcId from = path[msg.hop];
+  const ProcId to = path[msg.hop + 1];
   const ChannelId channel_id = topology_.channel(from, to);
   ensure(channel_id != kInvalidChannel, "route uses a missing link");
-  ChannelState& channel = machine_.channel(channel_id);
+  ChannelState& channel = s_.machine.channel(channel_id);
   if (channel.busy) {
     channel.queue.push_back(PendingTransfer{message, from, to});
     return;
@@ -342,22 +438,23 @@ void Run::request_transfer(int message) {
 }
 
 void Run::begin_transfer(int message) {
-  MessageState& msg = messages_[static_cast<std::size_t>(message)];
-  msg.transfer_start = now_;
-  push_event(Event{now_ + msg.weight, 0, EventType::TransferDone,
+  MessageState& msg = s_.messages[static_cast<std::size_t>(message)];
+  msg.transfer_start = s_.now;
+  push_event(Event{s_.now + msg.weight, 0, EventType::TransferDone,
                    kInvalidProc, 0, message});
 }
 
 void Run::on_transfer_done(int message) {
-  MessageState& msg = messages_[static_cast<std::size_t>(message)];
-  const ProcId from = msg.path[msg.hop];
-  const ProcId to = msg.path[msg.hop + 1];
+  MessageState& msg = s_.messages[static_cast<std::size_t>(message)];
+  const std::vector<ProcId>& path = routes_.route(msg.src, msg.dst);
+  const ProcId from = path[msg.hop];
+  const ProcId to = path[msg.hop + 1];
   const ChannelId channel_id = topology_.channel(from, to);
   if (options_.record_trace) {
-    trace_.transfers.push_back(TransferSegment{
-        channel_id, message, from, to, msg.transfer_start, now_});
+    s_.trace.transfers.push_back(TransferSegment{
+        channel_id, message, from, to, msg.transfer_start, s_.now});
   }
-  ChannelState& channel = machine_.channel(channel_id);
+  ChannelState& channel = s_.machine.channel(channel_id);
   ensure(channel.busy, "TransferDone on an idle channel");
   channel.busy = false;
   if (!channel.queue.empty()) {
@@ -368,7 +465,7 @@ void Run::on_transfer_done(int message) {
   }
 
   msg.hop += 1;
-  const ProcId here = msg.path[msg.hop];
+  const ProcId here = path[msg.hop];
   const bool at_destination = here == msg.dst;
   enqueue_comm(here, CommJob{at_destination ? CommKind::Receive
                                             : CommKind::Route,
@@ -376,35 +473,48 @@ void Run::on_transfer_done(int message) {
 }
 
 void Run::deliver(int message) {
-  MessageState& msg = messages_[static_cast<std::size_t>(message)];
-  ProcessorState& proc = machine_.proc(msg.dst);
+  MessageState& msg = s_.messages[static_cast<std::size_t>(message)];
+  ProcessorState& proc = s_.machine.proc(msg.dst);
   ensure(proc.reserved_task == msg.consumer,
          "message delivered to a processor not reserving its consumer");
   ensure(proc.pending_inputs > 0, "pending input underflow");
   proc.pending_inputs -= 1;
   if (options_.record_trace) {
-    trace_.messages.push_back(MessageRecord{
+    s_.trace.messages.push_back(MessageRecord{
         msg.id, msg.producer, msg.consumer, msg.src, msg.dst, msg.weight,
-        static_cast<int>(msg.path.size()) - 1, msg.launched, now_});
+        topology_.distance_unchecked(msg.src, msg.dst), msg.launched,
+        s_.now});
   }
   // The CPU is free at this instant (the receive job just ended); the
   // dispatch in on_comm_done starts the task if this was the last input.
 }
 
-void Run::run_epoch() {
-  const std::vector<ProcId> idle = machine_.idle_procs();
-  if (idle.empty() || ready_pool_.empty()) return;
+void Run::run_epoch(EpochObserver* observer) {
+  s_.machine.idle_procs(s_.idle_scratch);
+  const std::vector<ProcId>& idle = s_.idle_scratch;
+  if (idle.empty() || s_.ready_pool.empty()) return;
 
-  const int index = epoch_count_++;
-  EpochContext ctx(now_, index, graph_, topology_, comm_, ready_pool_, idle,
-                   placement_, levels_);
+  if (observer != nullptr) {
+    // Pre-decision snapshot point: the state is entirely determined by
+    // the events so far; the policy has not seen this epoch yet.
+    const EpochView view(s_, idle);
+    observer->on_epoch(view);
+  }
+
+  const int index = s_.epoch_count++;
+  EpochContext ctx(s_.now, index, graph_, topology_, comm_, s_.ready_pool,
+                   idle, s_.placement, levels_);
   policy_.on_epoch(ctx);
+  if (observer != nullptr) {
+    observer->on_epoch_decided(index, ctx.assignments());
+  }
 
-  trace_.epochs.push_back(EpochRecord{index, now_,
-                                      static_cast<int>(ready_pool_.size()),
-                                      static_cast<int>(idle.size()),
-                                      static_cast<int>(
-                                          ctx.assignments().size())});
+  s_.trace.epochs.push_back(EpochRecord{index, s_.now,
+                                        static_cast<int>(
+                                            s_.ready_pool.size()),
+                                        static_cast<int>(idle.size()),
+                                        static_cast<int>(
+                                            ctx.assignments().size())});
   for (const Assignment& a : ctx.assignments()) {
     apply_assignment(a.task, a.proc, index);
   }
@@ -412,27 +522,27 @@ void Run::run_epoch() {
 
 void Run::apply_assignment(TaskId task, ProcId p, int epoch_index) {
   const auto pool_it =
-      std::lower_bound(ready_pool_.begin(), ready_pool_.end(), task);
-  ensure(pool_it != ready_pool_.end() && *pool_it == task,
+      std::lower_bound(s_.ready_pool.begin(), s_.ready_pool.end(), task);
+  ensure(pool_it != s_.ready_pool.end() && *pool_it == task,
          "assignment of a task that is not ready");
-  ready_pool_.erase(pool_it);
+  s_.ready_pool.erase(pool_it);
 
-  ProcessorState& proc = machine_.proc(p);
+  ProcessorState& proc = s_.machine.proc(p);
   ensure(proc.idle_for_scheduling(), "assignment to a non-idle processor");
-  placement_[static_cast<std::size_t>(task)] = p;
+  s_.placement[static_cast<std::size_t>(task)] = p;
   proc.reserved_task = task;
   proc.pending_inputs = 0;
 
-  TaskRecord& record = task_records_[static_cast<std::size_t>(task)];
+  TaskRecord& record = s_.task_records[static_cast<std::size_t>(task)];
   record.task = task;
   record.proc = p;
   record.epoch = epoch_index;
-  record.assigned = now_;
+  record.assigned = s_.now;
 
   // Launch the input messages; producers already executed, so their
   // placement is known.  Local inputs are free (eq. 4, delta term).
   for (const EdgeRef& pred : graph_.predecessors(task)) {
-    const ProcId src = placement_[static_cast<std::size_t>(pred.task)];
+    const ProcId src = s_.placement[static_cast<std::size_t>(pred.task)];
     ensure(src != kInvalidProc, "ready task with an unplaced predecessor");
     if (!comm_.enabled || src == p) continue;
     launch_message(pred.task, task, pred.weight, src, p);
@@ -440,28 +550,17 @@ void Run::apply_assignment(TaskId task, ProcId p, int epoch_index) {
   try_start_reserved(p);
 }
 
-SimResult Run::execute() {
-  graph_.validate();
-  policy_.on_run_start(graph_, topology_, comm_);
-
-  for (TaskId t = 0; t < graph_.num_tasks(); ++t) {
-    unfinished_preds_[static_cast<std::size_t>(t)] = graph_.in_degree(t);
-    if (unfinished_preds_[static_cast<std::size_t>(t)] == 0) {
-      ready_pool_.push_back(t);
-    }
-  }
-  comm_start_.assign(static_cast<std::size_t>(topology_.num_procs()), 0);
-
+SimResult Run::execute(EpochObserver* observer) {
   std::uint64_t processed = 0;
   while (true) {
-    if (epoch_trigger_) {
-      epoch_trigger_ = false;
-      run_epoch();
+    if (s_.epoch_trigger) {
+      s_.epoch_trigger = false;
+      run_epoch(observer);
     }
-    if (finished_count_ == graph_.num_tasks()) break;
-    if (events_.empty()) {
+    if (s_.finished_count == graph_.num_tasks()) break;
+    if (s_.events.empty()) {
       throw SimulationError(
-          "simulation stalled: " + std::to_string(finished_count_) + "/" +
+          "simulation stalled: " + std::to_string(s_.finished_count) + "/" +
           std::to_string(graph_.num_tasks()) +
           " tasks finished, no pending events (policy assigned nothing?)");
     }
@@ -470,15 +569,17 @@ SimResult Run::execute() {
     // epoch (processing them one by one would let a premature packet see a
     // partial ready set — and, among other things, would dodge the Graham
     // anomaly by accident).
-    const Time batch_time = events_.top().time;
-    ensure(batch_time >= now_, "time went backwards");
-    now_ = batch_time;
-    while (!events_.empty() && events_.top().time == batch_time) {
+    const Time batch_time = s_.events.front().time;
+    ensure(batch_time >= s_.now, "time went backwards");
+    s_.now = batch_time;
+    while (!s_.events.empty() && s_.events.front().time == batch_time) {
       if (++processed > options_.max_events) {
         throw SimulationError("event budget exceeded");
       }
-      const Event event = events_.top();
-      events_.pop();
+      const Event event = s_.events.front();
+      std::pop_heap(s_.events.begin(), s_.events.end(),
+                    detail::EventLater{});
+      s_.events.pop_back();
       switch (event.type) {
         case EventType::TaskDone:
           on_task_done(event.proc, event.gen);
@@ -494,19 +595,31 @@ SimResult Run::execute() {
   }
 
   SimResult result;
-  result.makespan = makespan_;
-  result.placement = placement_;
-  result.num_epochs = epoch_count_;
-  result.num_messages = static_cast<int>(messages_.size());
+  result.makespan = s_.makespan;
+  result.placement = s_.placement;
+  result.num_epochs = s_.epoch_count;
+  result.num_messages = static_cast<int>(s_.messages.size());
   result.total_task_time = graph_.total_work();
-  result.total_comm_time = total_comm_time_;
-  result.proc_busy = proc_busy_;
-  trace_.tasks = task_records_;
-  result.trace = std::move(trace_);
+  result.total_comm_time = s_.total_comm_time;
+  result.proc_busy = s_.proc_busy;
+  s_.trace.tasks = s_.task_records;
+  result.trace = std::move(s_.trace);
   return result;
 }
 
 }  // namespace
+
+int EpochView::epoch_index() const { return state_.epoch_count; }
+Time EpochView::now() const { return state_.now; }
+std::span<const TaskId> EpochView::ready_tasks() const {
+  return state_.ready_pool;
+}
+int EpochView::finished_tasks() const { return state_.finished_count; }
+
+SimCheckpoint EpochView::checkpoint() const {
+  return SimCheckpoint(state_.epoch_count, state_.now, state_.finished_count,
+                       std::make_shared<detail::RunState>(state_));
+}
 
 EpochContext::EpochContext(Time now, int epoch_index, const TaskGraph& graph,
                            const Topology& topology, const CommModel& comm,
@@ -546,11 +659,60 @@ ExecutionEngine::ExecutionEngine(const TaskGraph& graph,
       topology_(topology),
       comm_(comm),
       policy_(policy),
-      options_(options) {}
+      options_(options),
+      levels_(task_levels(graph)),
+      routes_(std::make_unique<detail::RouteTable>(topology)) {}
+
+ExecutionEngine::~ExecutionEngine() = default;
 
 SimResult ExecutionEngine::run() {
-  Run run(graph_, topology_, comm_, policy_, options_);
-  return run.execute();
+  graph_.validate();
+  policy_.on_run_start(graph_, topology_, comm_);
+  detail::RunState state(topology_);
+  detail::init_state(state, graph_, topology_);
+  Run run(graph_, topology_, comm_, policy_, options_, levels_, *routes_,
+          state);
+  return run.execute(nullptr);
+}
+
+ResumableEngine::ResumableEngine(const TaskGraph& graph,
+                                 const Topology& topology,
+                                 const CommModel& comm,
+                                 SchedulingPolicy& policy, SimOptions options)
+    : graph_(graph),
+      topology_(topology),
+      comm_(comm),
+      policy_(policy),
+      options_(options),
+      levels_(task_levels(graph)),
+      routes_(std::make_unique<detail::RouteTable>(topology)),
+      scratch_(std::make_unique<detail::RunState>(topology)) {
+  graph_.validate();
+}
+
+ResumableEngine::~ResumableEngine() = default;
+
+SimResult ResumableEngine::run(EpochObserver* observer) {
+  policy_.on_run_start(graph_, topology_, comm_);
+  detail::init_state(*scratch_, graph_, topology_);
+  Run run(graph_, topology_, comm_, policy_, options_, levels_, *routes_,
+          *scratch_);
+  return run.execute(observer);
+}
+
+SimResult ResumableEngine::resume(const SimCheckpoint& from,
+                                  EpochObserver* observer) {
+  require(from.valid(), "ResumableEngine::resume: invalid checkpoint");
+  policy_.on_run_start(graph_, topology_, comm_);
+  // Buffer-reusing copy; the checkpoint itself stays immutable.  The
+  // snapshot was taken inside run_epoch with the trigger already
+  // consumed, so re-arm it: the first thing the resumed loop does is
+  // re-run the checkpoint's epoch against the (possibly changed) policy.
+  *scratch_ = *from.state_;
+  scratch_->epoch_trigger = true;
+  Run run(graph_, topology_, comm_, policy_, options_, levels_, *routes_,
+          *scratch_);
+  return run.execute(observer);
 }
 
 SimResult simulate(const TaskGraph& graph, const Topology& topology,

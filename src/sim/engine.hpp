@@ -23,6 +23,8 @@
 // every input has been received and the CPU is free.
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -34,6 +36,15 @@
 #include "topology/topology.hpp"
 
 namespace dagsched::sim {
+
+namespace detail {
+// Complete mid-run simulator state (event queue, machine occupancy,
+// in-flight messages, ready pool, trace).  Defined in engine.cpp; outside
+// the engine it is only handled through the opaque SimCheckpoint.
+struct RunState;
+// Per-engine cache of Topology::route results (engine.cpp).
+class RouteTable;
+}  // namespace detail
 
 struct SimOptions {
   /// Record the full trace (segments, transfers, messages).  Task records,
@@ -77,6 +88,8 @@ class ExecutionEngine {
                   const CommModel& comm, SchedulingPolicy& policy,
                   SimOptions options = {});
 
+  ~ExecutionEngine();
+
   /// Simulates the complete execution and returns the result.  Each call
   /// runs from scratch (the policy's on_run_start is invoked every time).
   SimResult run();
@@ -87,6 +100,125 @@ class ExecutionEngine {
   const CommModel& comm_;
   SchedulingPolicy& policy_;
   SimOptions options_;
+  std::vector<Time> levels_;  ///< task levels, computed once per engine
+  std::unique_ptr<detail::RouteTable> routes_;
+};
+
+/// A deep copy of the simulator's state, taken at an assignment-epoch
+/// boundary *before* the policy of that epoch ran.  Resuming from it and
+/// re-running the remaining events reproduces the original run
+/// bit-for-bit — unless the policy decides differently this time (which
+/// is exactly what the incremental cost oracle exploits: everything
+/// before the first diverging epoch is shared).
+///
+/// Checkpoints are immutable and cheap to copy (shared ownership of the
+/// underlying state).  They are only meaningful for the (graph, topology,
+/// comm, options) tuple they were recorded under.
+class SimCheckpoint {
+ public:
+  SimCheckpoint() = default;
+
+  /// Index of the epoch about to run when the snapshot was taken.
+  int epoch_index() const { return epoch_index_; }
+  /// Simulation clock at the snapshot.
+  Time time() const { return time_; }
+  /// Tasks already finished at the snapshot.
+  int finished_tasks() const { return finished_tasks_; }
+  bool valid() const { return state_ != nullptr; }
+
+ private:
+  friend class EpochView;
+  friend class ResumableEngine;
+  SimCheckpoint(int epoch_index, Time time, int finished_tasks,
+                std::shared_ptr<const detail::RunState> state)
+      : epoch_index_(epoch_index),
+        time_(time),
+        finished_tasks_(finished_tasks),
+        state_(std::move(state)) {}
+
+  int epoch_index_ = -1;
+  Time time_ = 0;
+  int finished_tasks_ = 0;
+  std::shared_ptr<const detail::RunState> state_;
+};
+
+/// Read-only view of the simulator handed to an EpochObserver at each
+/// assignment epoch, *before* the policy runs.  Valid only inside the
+/// on_epoch call; call checkpoint() to keep a deep copy.
+class EpochView {
+ public:
+  int epoch_index() const;
+  Time now() const;
+  /// Ready, unassigned tasks in ascending id order.
+  std::span<const TaskId> ready_tasks() const;
+  /// Idle processors in ascending id order.
+  std::span<const ProcId> idle_procs() const { return idle_procs_; }
+  int finished_tasks() const;
+  /// Deep-copies the current simulator state into a resumable checkpoint.
+  SimCheckpoint checkpoint() const;
+
+  /// Engine-internal: views are only constructed by the event loop.
+  EpochView(const detail::RunState& state, std::span<const ProcId> idle)
+      : state_(state), idle_procs_(idle) {}
+
+ private:
+  const detail::RunState& state_;
+  std::span<const ProcId> idle_procs_;
+};
+
+/// Callbacks invoked at every assignment epoch of a ResumableEngine run.
+/// on_epoch fires before the scheduling policy is consulted (the
+/// snapshot point); on_epoch_decided fires right after, with the
+/// assignments the policy declared.  The incremental cost oracle uses
+/// them to record checkpoints, per-task first-ready/assignment epochs
+/// and the per-epoch decision records behind its divergence walk.
+class EpochObserver {
+ public:
+  virtual ~EpochObserver() = default;
+  virtual void on_epoch(const EpochView& epoch) = 0;
+  virtual void on_epoch_decided(int /*epoch_index*/,
+                                std::span<const Assignment> /*assignments*/) {
+  }
+};
+
+/// An execution engine that can snapshot its state at epoch boundaries
+/// and resume a run from such a snapshot, skipping the shared prefix.
+/// Unlike ExecutionEngine, the run state (vectors, event queue) is owned
+/// by the engine and reused across calls, so replay loops do not pay a
+/// fresh allocation storm per simulation.
+///
+/// resume(cp) is bit-identical to run() *iff* every policy decision up to
+/// cp's epoch is unchanged; the caller is responsible for only resuming
+/// from checkpoints whose prefix is unaffected (see
+/// core/incremental_cost.hpp for the damage-frontier argument).  The
+/// policy must be stateless across epochs (on_run_start is re-invoked on
+/// every resume, but epochs before the checkpoint are not re-played
+/// against the policy).
+class ResumableEngine {
+ public:
+  ResumableEngine(const TaskGraph& graph, const Topology& topology,
+                  const CommModel& comm, SchedulingPolicy& policy,
+                  SimOptions options = {});
+  ~ResumableEngine();
+
+  /// Full run from time zero, like ExecutionEngine::run().
+  SimResult run(EpochObserver* observer = nullptr);
+
+  /// Re-runs from `from` to completion.  The observer (when given) sees
+  /// every epoch from the checkpoint's epoch onward, including the
+  /// checkpoint's own epoch, which is re-executed.
+  SimResult resume(const SimCheckpoint& from,
+                   EpochObserver* observer = nullptr);
+
+ private:
+  const TaskGraph& graph_;
+  const Topology& topology_;
+  const CommModel& comm_;
+  SchedulingPolicy& policy_;
+  SimOptions options_;
+  std::vector<Time> levels_;  ///< task levels, computed once per engine
+  std::unique_ptr<detail::RouteTable> routes_;
+  std::unique_ptr<detail::RunState> scratch_;  ///< reused across runs
 };
 
 /// Convenience wrapper: build an engine and run it.

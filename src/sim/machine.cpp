@@ -8,30 +8,37 @@ MachineState::MachineState(const Topology& topology)
     : procs_(static_cast<std::size_t>(topology.num_procs())),
       channels_(static_cast<std::size_t>(topology.num_channels())) {}
 
-ProcessorState& MachineState::proc(ProcId p) {
-  require(p >= 0 && p < num_procs(), "MachineState::proc: bad processor");
-  return procs_[static_cast<std::size_t>(p)];
-}
-
-const ProcessorState& MachineState::proc(ProcId p) const {
-  require(p >= 0 && p < num_procs(), "MachineState::proc: bad processor");
-  return procs_[static_cast<std::size_t>(p)];
-}
-
-ChannelState& MachineState::channel(ChannelId c) {
-  require(c >= 0 && c < static_cast<ChannelId>(channels_.size()),
-          "MachineState::channel: bad channel");
-  return channels_[static_cast<std::size_t>(c)];
+void MachineState::reset() {
+  for (ProcessorState& proc : procs_) {
+    proc.running_task = kInvalidTask;
+    proc.task_executing = false;
+    proc.task_remaining = 0;
+    proc.segment_start = 0;
+    proc.task_event_gen = 0;
+    proc.reserved_task = kInvalidTask;
+    proc.pending_inputs = 0;
+    proc.active_comm.reset();
+    proc.comm_queue.clear();
+  }
+  for (ChannelState& channel : channels_) {
+    channel.busy = false;
+    channel.queue.clear();
+  }
 }
 
 std::vector<ProcId> MachineState::idle_procs() const {
   std::vector<ProcId> idle;
+  idle_procs(idle);
+  return idle;
+}
+
+void MachineState::idle_procs(std::vector<ProcId>& out) const {
+  out.clear();
   for (ProcId p = 0; p < num_procs(); ++p) {
     if (procs_[static_cast<std::size_t>(p)].idle_for_scheduling()) {
-      idle.push_back(p);
+      out.push_back(p);
     }
   }
-  return idle;
 }
 
 }  // namespace dagsched::sim

@@ -4,6 +4,7 @@
 // occupancy (task execution, preemptible by message handling) and
 // per-channel occupancy (one message at a time, FIFO).
 
+#include <cassert>
 #include <deque>
 #include <optional>
 #include <vector>
@@ -65,19 +66,38 @@ struct ChannelState {
   std::deque<PendingTransfer> queue;
 };
 
-/// The machine: processor and channel state for one run.
+/// The machine: processor and channel state for one run.  Accessors are
+/// engine hot paths: bounds checks are debug asserts (kept active in the
+/// default build via DAGSCHED_KEEP_ASSERTS), not require throws — the
+/// engine validates processor ids at its API boundary.
 class MachineState {
  public:
   MachineState(const Topology& topology);
 
-  ProcessorState& proc(ProcId p);
-  const ProcessorState& proc(ProcId p) const;
-  ChannelState& channel(ChannelId c);
+  ProcessorState& proc(ProcId p) {
+    assert(p >= 0 && p < num_procs());
+    return procs_[static_cast<std::size_t>(p)];
+  }
+  const ProcessorState& proc(ProcId p) const {
+    assert(p >= 0 && p < num_procs());
+    return procs_[static_cast<std::size_t>(p)];
+  }
+  ChannelState& channel(ChannelId c) {
+    assert(c >= 0 && c < static_cast<ChannelId>(channels_.size()));
+    return channels_[static_cast<std::size_t>(c)];
+  }
 
   int num_procs() const { return static_cast<int>(procs_.size()); }
 
+  /// Resets every processor and channel to the time-zero state in place,
+  /// keeping the container allocations (queue chunks) for reuse.
+  void reset();
+
   /// Idle processors in ascending id order.
   std::vector<ProcId> idle_procs() const;
+
+  /// Allocation-free variant: fills `out` (cleared first).
+  void idle_procs(std::vector<ProcId>& out) const;
 
  private:
   std::vector<ProcessorState> procs_;

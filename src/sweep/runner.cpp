@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -162,11 +163,26 @@ std::vector<TaskId> hlf_priority_list(const TaskGraph& graph) {
   return list;
 }
 
+/// Runs one policy on one instance.  `timed_out` is set when the spec's
+/// per-instance wall-clock budget was exceeded: gsa reports its
+/// cooperative cutoff, every other policy is measured after the fact
+/// (they have no mid-run cutoff hook).
 Time run_policy(PolicyKind kind, const SweepSpec& spec,
                 const TaskGraph& graph, const Topology& topology,
-                const CommModel& comm, std::uint64_t policy_seed) {
+                const CommModel& comm, std::uint64_t policy_seed,
+                bool* timed_out) {
   sim::SimOptions sim_options;
   sim_options.record_trace = false;
+  *timed_out = false;
+  const auto start = std::chrono::steady_clock::now();
+  const auto finish_and_mark = [&](Time makespan) {
+    if (spec.time_budget_ms > 0) {
+      const std::chrono::duration<double, std::milli> elapsed =
+          std::chrono::steady_clock::now() - start;
+      if (elapsed.count() > spec.time_budget_ms) *timed_out = true;
+    }
+    return makespan;
+  };
 
   switch (kind) {
     case PolicyKind::Sa: {
@@ -174,40 +190,52 @@ Time run_policy(PolicyKind kind, const SweepSpec& spec,
       options.anneal = spec.sa_options;
       options.seed = policy_seed;
       sa::SaScheduler policy(options);
-      return sim::simulate(graph, topology, comm, policy, sim_options)
-          .makespan;
+      return finish_and_mark(
+          sim::simulate(graph, topology, comm, policy, sim_options)
+              .makespan);
     }
     case PolicyKind::Gsa: {
       sa::GlobalAnnealOptions options = spec.gsa_options;
       options.seed = policy_seed;
+      if (spec.time_budget_ms > 0) {
+        options.wall_budget_seconds = spec.time_budget_ms / 1000.0;
+      }
       // anneal_global's result *is* the pinned-replay makespan of the best
       // mapping; no second simulation needed.
-      return sa::anneal_global(graph, topology, comm, options).makespan;
+      const sa::GlobalAnnealResult result =
+          sa::anneal_global(graph, topology, comm, options);
+      if (result.timed_out) *timed_out = true;
+      return finish_and_mark(result.makespan);
     }
     case PolicyKind::Hlf: {
       sched::HlfScheduler policy(sched::HlfPlacement::FirstIdle);
-      return sim::simulate(graph, topology, comm, policy, sim_options)
-          .makespan;
+      return finish_and_mark(
+          sim::simulate(graph, topology, comm, policy, sim_options)
+              .makespan);
     }
     case PolicyKind::HlfMinComm: {
       sched::HlfScheduler policy(sched::HlfPlacement::MinComm);
-      return sim::simulate(graph, topology, comm, policy, sim_options)
-          .makespan;
+      return finish_and_mark(
+          sim::simulate(graph, topology, comm, policy, sim_options)
+              .makespan);
     }
     case PolicyKind::Etf: {
       sched::EtfScheduler policy;
-      return sim::simulate(graph, topology, comm, policy, sim_options)
-          .makespan;
+      return finish_and_mark(
+          sim::simulate(graph, topology, comm, policy, sim_options)
+              .makespan);
     }
     case PolicyKind::FixedHlf: {
       sched::FixedListScheduler policy(hlf_priority_list(graph));
-      return sim::simulate(graph, topology, comm, policy, sim_options)
-          .makespan;
+      return finish_and_mark(
+          sim::simulate(graph, topology, comm, policy, sim_options)
+              .makespan);
     }
     case PolicyKind::Random: {
       sched::RandomScheduler policy(policy_seed);
-      return sim::simulate(graph, topology, comm, policy, sim_options)
-          .makespan;
+      return finish_and_mark(
+          sim::simulate(graph, topology, comm, policy, sim_options)
+              .makespan);
     }
   }
   throw std::invalid_argument("unknown policy kind");
@@ -297,10 +325,13 @@ SweepResult run_sweep(const SweepSpec& spec) {
         row.tasks = graph.num_tasks();
         row.edges = graph.num_edges();
         row.makespans.resize(spec.policies.size());
+        row.timed_out.assign(spec.policies.size(), 0);
         for (std::size_t p = 0; p < spec.policies.size(); ++p) {
+          bool timed_out = false;
           row.makespans[p] = run_policy(spec.policies[p], spec, graph,
                                         topology, comm,
-                                        draw.policy_seeds[p]);
+                                        draw.policy_seeds[p], &timed_out);
+          row.timed_out[p] = timed_out ? 1 : 0;
         }
       }
     } catch (...) {

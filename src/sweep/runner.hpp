@@ -44,6 +44,12 @@ struct InstanceResult {
   int tasks = 0;
   int edges = 0;
   std::vector<Time> makespans;   ///< parallel to spec.policies
+  /// Parallel to spec.policies: 1 when the policy exceeded the spec's
+  /// per-instance wall-clock budget.  For gsa the makespan is then the
+  /// best found by the cooperative cutoff; every other policy has no
+  /// cutoff hook — it ran to completion (converged makespan) and merely
+  /// took longer than the budget.  All zero when no budget is set.
+  std::vector<char> timed_out;
 
   /// Best (smallest) makespan any policy achieved on this instance.
   Time best() const;

@@ -309,6 +309,9 @@ void SweepSpec::validate() const {
   if (threads < 0) {
     throw std::invalid_argument("sweep spec: negative thread count");
   }
+  if (time_budget_ms < 0) {
+    throw std::invalid_argument("sweep spec: negative time_budget_ms");
+  }
   for (const FamilySpec& family : families) {
     if (family.count <= 0) {
       throw std::invalid_argument("sweep spec: family " +
@@ -400,6 +403,17 @@ SweepSpec parse_spec(const std::string& text) {
     } else if (key == "gsa_moves") {
       spec.gsa_options.moves_per_temperature =
           static_cast<int>(parse_integer(value, line_number));
+    } else if (key == "gsa_oracle") {
+      try {
+        spec.gsa_options.oracle = sa::cost_oracle_kind_from_string(value);
+      } catch (const std::invalid_argument& error) {
+        fail(line_number, error.what());
+      }
+    } else if (key == "time_budget_ms") {
+      spec.time_budget_ms = parse_number(value, line_number);
+      if (spec.time_budget_ms < 0) {
+        fail(line_number, "time_budget_ms must be >= 0");
+      }
     } else {
       fail(line_number, "unknown key '" + key + "'");
     }

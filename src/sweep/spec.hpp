@@ -16,6 +16,8 @@
 //   threads 0                        # 0 = hardware concurrency
 //   gsa_chains 2                     # chains for the "gsa" policy
 //   gsa_max_steps 24                 # temperature steps for "gsa"
+//   gsa_oracle incremental           # incremental | full (cost oracle)
+//   time_budget_ms 0                 # per-(instance, policy) wall budget
 //   topology hypercube8
 //   topology ring9
 //   policy sa
@@ -109,6 +111,16 @@ struct SweepSpec {
   std::vector<std::string> topologies;  ///< topo::by_name specs
   std::vector<PolicyKind> policies;
   std::vector<FamilySpec> families;
+
+  /// Per-(instance, policy) wall-clock budget in milliseconds; 0 = none.
+  /// The gsa policy stops cooperatively between temperature steps and
+  /// keeps its best-so-far mapping; other policies are only marked after
+  /// the fact.  Budget-hit cells carry a "timed_out" marker through the
+  /// summary JSON / CSV.  NOTE: a nonzero budget makes results depend on
+  /// host speed — it trades the byte-determinism contract for bounded
+  /// latency, which is what makes big adversarial gsa sweeps safe to run
+  /// unattended.
+  double time_budget_ms = 0.0;
 
   /// Options for the staged SA policy ("sa"); seed is set per instance.
   sa::AnnealOptions sa_options;

@@ -16,9 +16,13 @@ std::vector<PolicySummary> summarize(const SweepResult& result) {
   const std::size_t num_policies = result.spec.policies.size();
   require(!result.instances.empty(), "summarize: empty sweep");
 
+  struct Tally {
+    double makespan_sum_us = 0.0;
+    int wins = 0;
+    int timeouts = 0;
+  };
   std::vector<std::vector<double>> ratios(num_policies);
-  std::vector<double> makespan_sums(num_policies, 0.0);
-  std::vector<int> wins(num_policies, 0);
+  std::vector<Tally> tallies(num_policies);
   for (const InstanceResult& row : result.instances) {
     require(row.makespans.size() == num_policies,
             "summarize: instance/policy shape mismatch");
@@ -28,8 +32,11 @@ std::vector<PolicySummary> summarize(const SweepResult& result) {
       const double ratio = static_cast<double>(row.makespans[p]) /
                            static_cast<double>(best);
       ratios[p].push_back(ratio);
-      makespan_sums[p] += to_us(row.makespans[p]);
-      if (row.makespans[p] == best) ++wins[p];
+      tallies[p].makespan_sum_us += to_us(row.makespans[p]);
+      if (row.makespans[p] == best) ++tallies[p].wins;
+      if (p < row.timed_out.size() && row.timed_out[p] != 0) {
+        ++tallies[p].timeouts;
+      }
     }
   }
 
@@ -38,8 +45,8 @@ std::vector<PolicySummary> summarize(const SweepResult& result) {
   for (std::size_t p = 0; p < num_policies; ++p) {
     PolicySummary& s = summaries[p];
     s.policy = to_string(result.spec.policies[p]);
-    s.wins = wins[p];
-    s.win_rate = wins[p] / instances;
+    s.wins = tallies[p].wins;
+    s.win_rate = tallies[p].wins / instances;
     double log_sum = 0.0;
     for (double ratio : ratios[p]) log_sum += std::log(ratio);
     s.geomean_ratio = std::exp(log_sum / instances);
@@ -47,7 +54,8 @@ std::vector<PolicySummary> summarize(const SweepResult& result) {
     s.p50_ratio = quantile(ratios[p], 0.5);
     s.p90_ratio = quantile(ratios[p], 0.9);
     s.max_ratio = *std::max_element(ratios[p].begin(), ratios[p].end());
-    s.mean_makespan_us = makespan_sums[p] / instances;
+    s.mean_makespan_us = tallies[p].makespan_sum_us / instances;
+    s.timed_out = tallies[p].timeouts;
   }
 
   std::sort(summaries.begin(), summaries.end(),
@@ -73,6 +81,10 @@ std::string summary_json(const SweepResult& result,
   w.value(spec.seed);
   w.key("comm");
   w.value(spec.comm_enabled ? "paper" : "off");
+  w.key("gsa_oracle");
+  w.value(sa::to_string(spec.gsa_options.oracle));
+  w.key("time_budget_ms");
+  w.value(spec.time_budget_ms);
   w.key("topologies");
   w.begin_array();
   for (const std::string& t : spec.topologies) w.value(t);
@@ -135,6 +147,8 @@ std::string summary_json(const SweepResult& result,
     w.value(s.max_ratio);
     w.key("mean_makespan_us");
     w.value(s.mean_makespan_us);
+    w.key("timed_out");
+    w.value(s.timed_out);
     w.end_object();
   }
   w.end_array();
@@ -145,19 +159,22 @@ std::string summary_json(const SweepResult& result,
 
 std::string per_instance_csv(const SweepResult& result) {
   CsvWriter csv({"instance", "family", "repetition", "topology", "tasks",
-                 "edges", "graph_seed", "policy", "makespan_us", "ratio"});
+                 "edges", "graph_seed", "policy", "makespan_us", "ratio",
+                 "timed_out"});
   for (const InstanceResult& row : result.instances) {
     const Time best = row.best();
     for (std::size_t p = 0; p < result.spec.policies.size(); ++p) {
       const double ratio = static_cast<double>(row.makespans[p]) /
                            static_cast<double>(best);
+      const bool timed_out =
+          p < row.timed_out.size() && row.timed_out[p] != 0;
       csv.add_row({std::to_string(row.index), row.family,
                    std::to_string(row.repetition), row.topology,
                    std::to_string(row.tasks), std::to_string(row.edges),
                    std::to_string(row.graph_seed),
                    to_string(result.spec.policies[p]),
                    format_fixed(to_us(row.makespans[p]), 3),
-                   format_fixed(ratio, 6)});
+                   format_fixed(ratio, 6), timed_out ? "1" : "0"});
     }
   }
   return csv.render();
@@ -166,7 +183,7 @@ std::string per_instance_csv(const SweepResult& result) {
 std::string render_summary_table(const SweepResult& result,
                                  const std::vector<PolicySummary>& ranking) {
   TableWriter table({"rank", "policy", "win rate", "geomean", "mean", "p50",
-                     "p90", "max", "mean makespan"});
+                     "p90", "max", "mean makespan", "timeouts"});
   int rank = 1;
   for (const PolicySummary& s : ranking) {
     table.add_row({std::to_string(rank++), s.policy,
@@ -176,7 +193,8 @@ std::string render_summary_table(const SweepResult& result,
                    format_fixed(s.p50_ratio, 4),
                    format_fixed(s.p90_ratio, 4),
                    format_fixed(s.max_ratio, 4),
-                   format_fixed(s.mean_makespan_us, 1) + "us"});
+                   format_fixed(s.mean_makespan_us, 1) + "us",
+                   std::to_string(s.timed_out)});
   }
   std::string out = "Sweep: " +
                     std::to_string(result.instances.size()) +

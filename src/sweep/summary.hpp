@@ -37,6 +37,9 @@ struct PolicySummary {
   double p90_ratio = 0.0;
   double max_ratio = 0.0;
   double mean_makespan_us = 0.0;
+  /// Instances where the policy hit the spec's wall-clock budget (its
+  /// makespans are best-at-cutoff, not converged); 0 without a budget.
+  int timed_out = 0;
 };
 
 /// Computes the per-policy summaries, ranked best (rank 0) to worst.

@@ -209,6 +209,98 @@ family diamond count=2 width=4:6
   }
 }
 
+TEST(SweepSpec, ParsesOracleAndTimeBudgetKnobs) {
+  const sweep::SweepSpec spec = sweep::parse_spec(R"(
+seed 1
+topology ring:3
+policy gsa
+gsa_chains 1
+gsa_oracle full
+time_budget_ms 250.5
+family chain count=1 length=4
+)");
+  EXPECT_EQ(spec.gsa_options.oracle, sa::CostOracleKind::kFullReplay);
+  EXPECT_DOUBLE_EQ(spec.time_budget_ms, 250.5);
+  // The default oracle is the incremental one.
+  EXPECT_EQ(small_spec().gsa_options.oracle,
+            sa::CostOracleKind::kIncremental);
+}
+
+TEST(SweepSpec, RejectsBadOracleAndBudget) {
+  EXPECT_THROW(sweep::parse_spec("gsa_oracle warp\n"),
+               std::invalid_argument);
+  EXPECT_THROW(sweep::parse_spec("time_budget_ms -5\n"),
+               std::invalid_argument);
+}
+
+TEST(SweepRunner, OracleChoiceNeverChangesResults) {
+  sweep::SweepSpec spec = sweep::parse_spec(R"(
+seed 31
+topology ring:4
+policy gsa
+policy hlf
+gsa_chains 1
+gsa_max_steps 6
+family gnp count=2 tasks=12:18
+)");
+  spec.threads = 1;
+  spec.gsa_options.oracle = sa::CostOracleKind::kFullReplay;
+  const sweep::SweepResult full = sweep::run_sweep(spec);
+  spec.gsa_options.oracle = sa::CostOracleKind::kIncremental;
+  const sweep::SweepResult incremental = sweep::run_sweep(spec);
+  ASSERT_EQ(full.instances.size(), incremental.instances.size());
+  for (std::size_t i = 0; i < full.instances.size(); ++i) {
+    EXPECT_EQ(full.instances[i].makespans,
+              incremental.instances[i].makespans);
+  }
+}
+
+TEST(SweepRunner, TimeBudgetMarksTimedOutCells) {
+  sweep::SweepSpec spec = sweep::parse_spec(R"(
+seed 7
+topology ring:4
+policy gsa
+policy hlf
+gsa_chains 1
+family diamond count=1 width=6
+)");
+  spec.threads = 1;
+  spec.time_budget_ms = 1e-6;  // exceeded before the first gsa step
+  const sweep::SweepResult result = sweep::run_sweep(spec);
+  ASSERT_EQ(result.instances.size(), 1u);
+  const sweep::InstanceResult& row = result.instances[0];
+  ASSERT_EQ(row.timed_out.size(), 2u);
+  EXPECT_EQ(row.timed_out[0], 1);  // gsa stopped on its budget
+
+  const auto ranking = sweep::summarize(result);
+  int total_timeouts = 0;
+  for (const auto& s : ranking) total_timeouts += s.timed_out;
+  EXPECT_GE(total_timeouts, 1);
+  const std::string json = sweep::summary_json(result, ranking);
+  EXPECT_NE(json.find("\"timed_out\""), std::string::npos);
+  EXPECT_NE(json.find("\"time_budget_ms\""), std::string::npos);
+  const std::string csv = sweep::per_instance_csv(result);
+  EXPECT_NE(csv.find("timed_out"), std::string::npos);
+}
+
+TEST(SweepRunner, NoBudgetMeansNoTimeouts) {
+  sweep::SweepSpec spec = sweep::parse_spec(R"(
+seed 7
+topology ring:4
+policy hlf
+policy random
+family chain count=2 length=6
+)");
+  spec.threads = 1;
+  const sweep::SweepResult result = sweep::run_sweep(spec);
+  for (const sweep::InstanceResult& row : result.instances) {
+    for (const char flag : row.timed_out) EXPECT_EQ(flag, 0);
+  }
+  for (const auto& s : sweep::summarize(result)) {
+    EXPECT_EQ(s.timed_out, 0);
+  }
+}
+
 TEST(JsonWriter, RendersDeterministicStructure) {
   JsonWriter w(3);
   w.begin_object();

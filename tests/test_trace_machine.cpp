@@ -74,8 +74,13 @@ TEST(MachineState, IdleTracking) {
   EXPECT_EQ(state.idle_procs(), (std::vector<ProcId>{0, 2}));
   state.proc(0).running_task = 7;
   EXPECT_EQ(state.idle_procs(), (std::vector<ProcId>{2}));
-  EXPECT_THROW(state.proc(9), std::invalid_argument);
-  EXPECT_THROW(state.channel(99), std::invalid_argument);
+  // Accessor bounds are debug asserts now (engine hot path, PR 3); the
+  // allocation-free idle_procs overload must agree with the allocating one.
+  std::vector<ProcId> idle_buffer{99, 98};
+  state.idle_procs(idle_buffer);
+  EXPECT_EQ(idle_buffer, state.idle_procs());
+  state.reset();
+  EXPECT_EQ(state.idle_procs(), (std::vector<ProcId>{0, 1, 2}));
 }
 
 TEST(MachineState, CpuFreeSemantics) {

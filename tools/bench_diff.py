@@ -6,7 +6,7 @@ preferred, plain entries otherwise).  Throughput benchmarks compare
 items_per_second (higher is better); time-only benchmarks compare
 real_time (lower is better).  Moves/s drops beyond the threshold are
 flagged REGRESSED; the exit status stays 0 unless --strict is given —
-perf tracking is advisory for now (see ROADMAP.md).
+without it, perf tracking is advisory (see ROADMAP.md).
 
 Usage:
   tools/bench_diff.py BASELINE.json FRESH.json [--threshold 0.10] [--strict]
@@ -15,10 +15,18 @@ Usage:
 The --git-baseline form reads BENCH_perf.json from the given git revision,
 so `tools/bench_diff.py --git-baseline HEAD BENCH_perf.json` compares a
 fresh run against the committed numbers.
+
+--strict-filter REGEX narrows which regressions are *fatal* under
+--strict: benchmarks whose name matches the regex fail the run, the rest
+stay advisory (still printed).  CI uses this to gate on the cheap,
+low-noise benchmarks (the BM_AnnealPacket family and other
+items-per-second microbenchmarks) while the wall-clock-noisy end-to-end
+benches remain informational.
 """
 
 import argparse
 import json
+import re
 import subprocess
 import sys
 
@@ -71,7 +79,19 @@ def main():
                         help="relative drop that counts as a regression")
     parser.add_argument("--strict", action="store_true",
                         help="exit nonzero when regressions are found")
+    parser.add_argument("--strict-filter", metavar="REGEX", default=None,
+                        help="with --strict, only regressions matching this"
+                             " regex are fatal; the rest stay advisory")
     args = parser.parse_args()
+
+    strict_pattern = None
+    if args.strict_filter is not None:
+        if not args.strict:  # a gate that cannot fire is a misconfiguration
+            parser.error("--strict-filter requires --strict")
+        try:  # fail fast: a typo'd gate must not pass silently on green runs
+            strict_pattern = re.compile(args.strict_filter)
+        except re.error as error:
+            parser.error(f"--strict-filter is not a valid regex: {error}")
 
     if args.git_baseline:
         try:
@@ -128,7 +148,16 @@ def main():
         print(f"\n{len(regressions)} benchmark(s) regressed more than "
               f"{args.threshold * 100:.0f}%: " + ", ".join(regressions))
         if args.strict:
-            return 1
+            if strict_pattern is None:
+                return 1
+            fatal = [name for name in regressions
+                     if strict_pattern.search(name)]
+            if fatal:
+                print(f"strict gate ({args.strict_filter}) failed: "
+                      + ", ".join(fatal))
+                return 1
+            print(f"strict gate ({args.strict_filter}): no gated benchmark "
+                  "regressed; remaining regressions are advisory")
     else:
         print(f"\nno regressions beyond {args.threshold * 100:.0f}%")
     return 0

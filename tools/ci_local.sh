@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# Local dry run of .github/workflows/ci.yml — the same jobs, adapted to
+# whatever toolchain the host actually has (compilers that are missing
+# are skipped with a notice, never silently).
+#
+# Usage:
+#   tools/ci_local.sh            # all jobs: build-test matrix, sanitize,
+#                                # sweep-smoke, bench-check
+#   tools/ci_local.sh --quick    # one Release build-test + sanitize +
+#                                # sweep-smoke (skips Debug, clang, bench)
+#
+# Build trees live under ci-build/ (git-ignored); pass CI_BUILD_ROOT to
+# relocate them.  Exits nonzero on the first failing job.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_root="${CI_BUILD_ROOT:-${repo_root}/ci-build}"
+jobs="$(nproc 2>/dev/null || echo 2)"
+quick=0
+[[ "${1:-}" == "--quick" ]] && quick=1
+
+note() { printf '\n=== %s ===\n' "$*"; }
+skip() { printf '\n=== SKIP: %s ===\n' "$*"; }
+
+launcher_args=()
+if command -v ccache > /dev/null; then
+  launcher_args=(-DCMAKE_C_COMPILER_LAUNCHER=ccache
+                 -DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+
+# --- job: build-test (compiler x build-type matrix) ------------------------
+build_test() {
+  local cc="$1" cxx="$2" build_type="$3"
+  local dir="${build_root}/${cc}-${build_type}"
+  note "build-test: ${cxx} ${build_type}"
+  cmake -B "${dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE="${build_type}" \
+    -DCMAKE_C_COMPILER="${cc}" -DCMAKE_CXX_COMPILER="${cxx}" \
+    "${launcher_args[@]}"
+  cmake --build "${dir}" -j"${jobs}"
+  (cd "${dir}" && ctest --output-on-failure -j"${jobs}" -E sweep_smoke)
+}
+
+compilers=()
+command -v g++ > /dev/null && compilers+=("gcc:g++")
+command -v clang++ > /dev/null && compilers+=("clang:clang++")
+if [[ ${#compilers[@]} -eq 0 ]]; then
+  echo "ci_local.sh: no C++ compiler found" >&2
+  exit 1
+fi
+command -v clang++ > /dev/null || skip "clang jobs (clang++ not installed)"
+
+for entry in "${compilers[@]}"; do
+  cc="${entry%%:*}"
+  cxx="${entry##*:}"
+  build_test "${cc}" "${cxx}" Release
+  if [[ ${quick} -eq 0 ]]; then
+    build_test "${cc}" "${cxx}" Debug
+  else
+    break  # --quick: first available compiler, Release only
+  fi
+done
+
+# --- job: sanitize ---------------------------------------------------------
+note "sanitize: ASan + UBSan, full ctest suite"
+sanitize_dir="${build_root}/sanitize"
+cmake -B "${sanitize_dir}" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDAGSCHED_SANITIZE=ON \
+  "${launcher_args[@]}"
+cmake --build "${sanitize_dir}" -j"${jobs}"
+(cd "${sanitize_dir}" &&
+ ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
+ ctest --output-on-failure -j"${jobs}")
+
+# --- job: sweep-smoke ------------------------------------------------------
+note "sweep-smoke: determinism contract"
+smoke_dir="${build_root}/${compilers[0]%%:*}-Release"
+cmake --build "${smoke_dir}" --target sweep -j"${jobs}"
+"${repo_root}/tools/sweep_small.sh" "${smoke_dir}/sweep" \
+  "${repo_root}/tools/sweep_small.spec"
+
+# --- job: bench-check ------------------------------------------------------
+if [[ ${quick} -eq 1 ]]; then
+  skip "bench-check (--quick)"
+elif [[ -f "${smoke_dir}/bench_perf" || -x "${smoke_dir}/bench_perf" ]] ||
+     cmake --build "${smoke_dir}" --target bench_perf -j"${jobs}" \
+       2> /dev/null; then
+  note "bench-check: strict gate on the low-noise microbenchmarks"
+  out="$(mktemp)"
+  trap 'rm -f "${out}"' EXIT
+  "${smoke_dir}/bench_perf" --benchmark_format=json \
+    --benchmark_out="${out}" --benchmark_out_format=json \
+    --benchmark_repetitions=3
+  python3 "${repo_root}/tools/bench_diff.py" --git-baseline HEAD "${out}" \
+    --strict \
+    --strict-filter 'BM_AnnealPacket|BM_MoveDelta|BM_PacketCostEvaluate|BM_TaskLevels' \
+    --threshold 0.30
+else
+  skip "bench-check (google-benchmark not available)"
+fi
+
+note "ci_local.sh: all jobs green"

@@ -27,6 +27,10 @@ void usage(std::ostream& os) {
         "  --csv FILE      write per-(instance, policy) CSV rows\n"
         "  --threads N     override the spec's worker count (0 = hardware)\n"
         "  --seed S        override the spec's seed\n"
+        "  --time-budget-ms MS\n"
+        "                  override the per-(instance, policy) wall-clock\n"
+        "                  budget (0 disables; timed-out cells are marked\n"
+        "                  in the summary, at the cost of determinism)\n"
         "  --quiet         suppress the progress note on stderr\n";
 }
 
@@ -46,8 +50,10 @@ int main(int argc, char** argv) {
   bool quiet = false;
   bool override_threads = false;
   bool override_seed = false;
+  bool override_budget = false;
   int threads = 0;
   std::uint64_t seed = 0;
+  double time_budget_ms = 0.0;
 
   std::vector<std::string> args(argv + 1, argv + argc);
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -90,6 +96,20 @@ int main(int argc, char** argv) {
         return 1;
       }
       override_seed = true;
+    } else if (arg == "--time-budget-ms") {
+      const std::string value = next_value("--time-budget-ms");
+      try {
+        std::size_t used = 0;
+        time_budget_ms = std::stod(value, &used);
+        if (used != value.size() || time_budget_ms < 0) {
+          throw std::invalid_argument(value);
+        }
+      } catch (const std::exception&) {
+        std::cerr << "sweep: --time-budget-ms needs a nonnegative number, "
+                     "got '" << value << "'\n";
+        return 1;
+      }
+      override_budget = true;
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -113,6 +133,7 @@ int main(int argc, char** argv) {
         dagsched::sweep::load_spec_file(spec_path);
     if (override_threads) spec.threads = threads;
     if (override_seed) spec.seed = seed;
+    if (override_budget) spec.time_budget_ms = time_budget_ms;
     spec.validate();
 
     if (!quiet) {
