@@ -4,14 +4,15 @@
 //   $ ./quickstart
 //
 // Walks through the three core objects — TaskGraph, Topology, CommModel —
-// and runs both the SA scheduler and the HLF baseline on a little
-// map/reduce-shaped program.
+// and runs the SA scheduler against the HLF and HEFT baselines on a
+// little map/reduce-shaped program.
 
 #include <cstdio>
 
 #include "core/sa_scheduler.hpp"
 #include "graph/analysis.hpp"
 #include "graph/taskgraph.hpp"
+#include "sched/heft.hpp"
 #include "sched/hlf.hpp"
 #include "sim/engine.hpp"
 #include "topology/builders.hpp"
@@ -51,16 +52,27 @@ int main() {
   sched::HlfScheduler hlf;
   const sim::SimResult hlf_result = sim::simulate(graph, machine, comm, hlf);
 
+  // HEFT computes an offline rank-u plan (insertion-based EFT placement)
+  // and replays it; the strongest in-tree list-scheduling baseline.
+  sched::HeftScheduler heft;
+  const sim::SimResult heft_result =
+      sim::simulate(graph, machine, comm, heft);
+
   sa::SaSchedulerOptions options;
   options.seed = 2024;
   sa::SaScheduler annealer(options);
   const sim::SimResult sa_result =
       sim::simulate(graph, machine, comm, annealer);
 
-  std::printf("HLF: makespan %.1fus, speedup %.2f\n",
+  std::printf("HLF:  makespan %.1fus, speedup %.2f\n",
               to_us(hlf_result.makespan),
               hlf_result.speedup(graph.total_work()));
-  std::printf("SA:  makespan %.1fus, speedup %.2f "
+  std::printf("HEFT: makespan %.1fus, speedup %.2f "
+              "(offline plan estimated %.1fus)\n",
+              to_us(heft_result.makespan),
+              heft_result.speedup(graph.total_work()),
+              to_us(heft.plan().makespan));
+  std::printf("SA:   makespan %.1fus, speedup %.2f "
               "(%d packets, %ld annealing moves)\n",
               to_us(sa_result.makespan),
               sa_result.speedup(graph.total_work()),

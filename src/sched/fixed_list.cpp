@@ -2,9 +2,25 @@
 
 #include <algorithm>
 
+#include "graph/analysis.hpp"
 #include "util/require.hpp"
 
 namespace dagsched::sched {
+
+std::vector<TaskId> hlf_priority_list(const TaskGraph& graph) {
+  const std::vector<Time> levels = task_levels(graph);
+  std::vector<TaskId> list(static_cast<std::size_t>(graph.num_tasks()));
+  for (std::size_t t = 0; t < list.size(); ++t) {
+    list[t] = static_cast<TaskId>(t);
+  }
+  std::stable_sort(list.begin(), list.end(), [&](TaskId a, TaskId b) {
+    const Time la = levels[static_cast<std::size_t>(a)];
+    const Time lb = levels[static_cast<std::size_t>(b)];
+    if (la != lb) return la > lb;
+    return a < b;
+  });
+  return list;
+}
 
 FixedListScheduler::FixedListScheduler(std::vector<TaskId> priority_list)
     : list_(std::move(priority_list)) {}

@@ -14,6 +14,14 @@
 
 namespace dagsched::sched {
 
+/// The HLF priority list over *all* tasks of the graph: level n_i
+/// descending, ties toward the lower id.  Feeding this list into
+/// FixedListScheduler gives classic Graham list scheduling with the HLF
+/// order — the sweep's "list-hlf" policy.  One shared definition (the
+/// sweep runner used to carry a private copy) so tests, examples and the
+/// runner agree on the order.
+std::vector<TaskId> hlf_priority_list(const TaskGraph& graph);
+
 class FixedListScheduler : public sim::SchedulingPolicy {
  public:
   /// `priority_list` must be a permutation of all task ids of the graph the

@@ -1,0 +1,294 @@
+#include "sched/heft.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "graph/analysis.hpp"
+#include "util/require.hpp"
+
+namespace dagsched::sched {
+
+namespace {
+
+/// Mean eq. 4 cost of a message with wire time `w`, averaged over all
+/// ordered processor pairs (p, q), p != q.  analytic_cost is affine in the
+/// distance for d >= 1 — c(d) = w*d + (d-1)*tau + sigma — so the mean over
+/// pairs is the same expression at the mean pairwise distance.
+class MeanCommCost {
+ public:
+  MeanCommCost(const Topology& topology, const CommModel& comm) {
+    if (!comm.enabled || topology.num_procs() < 2) return;
+    const int n = topology.num_procs();
+    std::int64_t distance_sum = 0;
+    for (ProcId a = 0; a < n; ++a) {
+      for (ProcId b = 0; b < n; ++b) {
+        if (a != b) distance_sum += topology.distance(a, b);
+      }
+    }
+    const double pairs = static_cast<double>(n) * (n - 1);
+    mean_distance_ = static_cast<double>(distance_sum) / pairs;
+    tau_ = static_cast<double>(comm.tau);
+    sigma_ = static_cast<double>(comm.sigma);
+    enabled_ = true;
+  }
+
+  double operator()(Time w) const {
+    if (!enabled_) return 0.0;
+    return static_cast<double>(w) * mean_distance_ +
+           (mean_distance_ - 1.0) * tau_ + sigma_;
+  }
+
+ private:
+  bool enabled_ = false;
+  double mean_distance_ = 0.0;
+  double tau_ = 0.0;
+  double sigma_ = 0.0;
+};
+
+/// Busy intervals of one processor, kept sorted by start time.  Implements
+/// the insertion-based placement: a task may occupy any gap long enough to
+/// hold it, not only the time after the last scheduled task.
+struct ProcTimeline {
+  std::vector<ListScheduleEntry> busy;  ///< proc field unused; sorted by start
+
+  /// Earliest start >= `est` of a free interval of length `duration`.
+  Time earliest_slot(Time est, Time duration) const {
+    Time gap_start = 0;
+    for (const ListScheduleEntry& slot : busy) {
+      const Time candidate = std::max(est, gap_start);
+      if (candidate + duration <= slot.start) return candidate;
+      gap_start = std::max(gap_start, slot.finish);
+    }
+    return std::max(est, gap_start);
+  }
+
+  void occupy(Time start, Time finish) {
+    ListScheduleEntry entry;
+    entry.start = start;
+    entry.finish = finish;
+    const auto pos = std::lower_bound(
+        busy.begin(), busy.end(), entry,
+        [](const ListScheduleEntry& a, const ListScheduleEntry& b) {
+          return a.start < b.start;
+        });
+    busy.insert(pos, entry);
+  }
+};
+
+/// Earliest (analytic) start of `task` on `proc` given the already-placed
+/// predecessors: every input must arrive, local inputs are free.
+Time earliest_start(const TaskGraph& graph, const Topology& topology,
+                    const CommModel& comm,
+                    const std::vector<ListScheduleEntry>& placed, TaskId task,
+                    ProcId proc) {
+  Time est = 0;
+  for (const EdgeRef& pred : graph.predecessors(task)) {
+    const ListScheduleEntry& entry =
+        placed[static_cast<std::size_t>(pred.task)];
+    const Time arrival =
+        entry.finish +
+        comm.analytic_cost(pred.weight,
+                           topology.distance(entry.proc, proc));
+    est = std::max(est, arrival);
+  }
+  return est;
+}
+
+}  // namespace
+
+std::vector<double> upward_ranks(const TaskGraph& graph,
+                                 const Topology& topology,
+                                 const CommModel& comm) {
+  graph.validate();
+  const MeanCommCost mean_cost(topology, comm);
+  const std::vector<TaskId> order = topological_order(graph);
+  std::vector<double> rank(static_cast<std::size_t>(graph.num_tasks()), 0.0);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const TaskId t = *it;
+    double best_succ = 0.0;
+    for (const EdgeRef& succ : graph.successors(t)) {
+      best_succ = std::max(
+          best_succ,
+          mean_cost(succ.weight) + rank[static_cast<std::size_t>(succ.task)]);
+    }
+    rank[static_cast<std::size_t>(t)] =
+        static_cast<double>(graph.duration(t)) + best_succ;
+  }
+  return rank;
+}
+
+std::vector<std::vector<Time>> optimistic_cost_table(const TaskGraph& graph,
+                                                     const Topology& topology,
+                                                     const CommModel& comm) {
+  graph.validate();
+  const int num_procs = topology.num_procs();
+  const std::vector<TaskId> order = topological_order(graph);
+  std::vector<std::vector<Time>> oct(
+      static_cast<std::size_t>(graph.num_tasks()),
+      std::vector<Time>(static_cast<std::size_t>(num_procs), 0));
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const TaskId t = *it;
+    std::vector<Time>& row = oct[static_cast<std::size_t>(t)];
+    for (ProcId p = 0; p < num_procs; ++p) {
+      Time worst_succ = 0;
+      for (const EdgeRef& succ : graph.successors(t)) {
+        const std::vector<Time>& succ_row =
+            oct[static_cast<std::size_t>(succ.task)];
+        Time best = kTimeInfinity;
+        for (ProcId q = 0; q < num_procs; ++q) {
+          const Time cost =
+              succ_row[static_cast<std::size_t>(q)] +
+              graph.duration(succ.task) +
+              comm.analytic_cost(succ.weight, topology.distance(p, q));
+          best = std::min(best, cost);
+        }
+        worst_succ = std::max(worst_succ, best);
+      }
+      row[static_cast<std::size_t>(p)] = worst_succ;
+    }
+  }
+  return oct;
+}
+
+ListSchedule heft_schedule(const TaskGraph& graph, const Topology& topology,
+                           const CommModel& comm, HeftVariant variant) {
+  // The graph is validated exactly once, by whichever rank computation
+  // runs first below (both are public entry points of their own).
+  const int num_tasks = graph.num_tasks();
+  const int num_procs = topology.num_procs();
+
+  ListSchedule schedule;
+  schedule.rank.assign(static_cast<std::size_t>(num_tasks), 0.0);
+  schedule.tasks.assign(static_cast<std::size_t>(num_tasks), {});
+  schedule.priority.reserve(static_cast<std::size_t>(num_tasks));
+
+  std::vector<std::vector<Time>> oct;
+  if (variant == HeftVariant::Peft) {
+    oct = optimistic_cost_table(graph, topology, comm);
+    for (TaskId t = 0; t < num_tasks; ++t) {
+      const std::vector<Time>& row = oct[static_cast<std::size_t>(t)];
+      double sum = 0.0;
+      for (Time value : row) sum += static_cast<double>(value);
+      schedule.rank[static_cast<std::size_t>(t)] =
+          sum / static_cast<double>(num_procs);
+    }
+  } else {
+    schedule.rank = upward_ranks(graph, topology, comm);
+  }
+
+  // Place tasks one by one, always the highest-rank *ready* task next
+  // (ties toward the lower id).  For HEFT with positive durations this is
+  // exactly the descending-rank_u order; going through a ready pool
+  // additionally guarantees predecessors are placed first even when equal
+  // ranks (zero durations, zero comm) would make a plain sort ambiguous.
+  std::vector<int> remaining_preds(static_cast<std::size_t>(num_tasks), 0);
+  std::vector<char> ready(static_cast<std::size_t>(num_tasks), 0);
+  for (TaskId t = 0; t < num_tasks; ++t) {
+    remaining_preds[static_cast<std::size_t>(t)] = graph.in_degree(t);
+    if (graph.in_degree(t) == 0) ready[static_cast<std::size_t>(t)] = 1;
+  }
+
+  std::vector<ProcTimeline> timelines(static_cast<std::size_t>(num_procs));
+  for (int placed_count = 0; placed_count < num_tasks; ++placed_count) {
+    TaskId task = kInvalidTask;
+    for (TaskId t = 0; t < num_tasks; ++t) {
+      if (!ready[static_cast<std::size_t>(t)]) continue;
+      if (task == kInvalidTask ||
+          schedule.rank[static_cast<std::size_t>(t)] >
+              schedule.rank[static_cast<std::size_t>(task)]) {
+        task = t;
+      }
+    }
+    require(task != kInvalidTask, "heft_schedule: no ready task (cycle?)");
+    ready[static_cast<std::size_t>(task)] = 0;
+
+    ProcId best_proc = kInvalidProc;
+    Time best_start = 0;
+    Time best_finish = kTimeInfinity;
+    double best_key = std::numeric_limits<double>::infinity();
+    for (ProcId p = 0; p < num_procs; ++p) {
+      const Time est = earliest_start(graph, topology, comm, schedule.tasks,
+                                      task, p);
+      const Time start =
+          timelines[static_cast<std::size_t>(p)].earliest_slot(
+              est, graph.duration(task));
+      const Time finish = start + graph.duration(task);
+      const double key =
+          variant == HeftVariant::Peft
+              ? static_cast<double>(finish) +
+                    static_cast<double>(
+                        oct[static_cast<std::size_t>(task)]
+                           [static_cast<std::size_t>(p)])
+              : static_cast<double>(finish);
+      // Ties: smaller finish (relevant for PEFT keys), then lower proc id.
+      if (key < best_key ||
+          (key == best_key && finish < best_finish)) {
+        best_proc = p;
+        best_start = start;
+        best_finish = finish;
+        best_key = key;
+      }
+    }
+
+    ListScheduleEntry& entry = schedule.tasks[static_cast<std::size_t>(task)];
+    entry.proc = best_proc;
+    entry.start = best_start;
+    entry.finish = best_finish;
+    timelines[static_cast<std::size_t>(best_proc)].occupy(best_start,
+                                                          best_finish);
+    schedule.priority.push_back(task);
+    schedule.makespan = std::max(schedule.makespan, best_finish);
+
+    for (const EdgeRef& succ : graph.successors(task)) {
+      if (--remaining_preds[static_cast<std::size_t>(succ.task)] == 0) {
+        ready[static_cast<std::size_t>(succ.task)] = 1;
+      }
+    }
+  }
+  return schedule;
+}
+
+HeftScheduler::HeftScheduler(HeftVariant variant) : variant_(variant) {}
+
+void HeftScheduler::on_run_start(const TaskGraph& graph,
+                                 const Topology& topology,
+                                 const CommModel& comm) {
+  plan_ = heft_schedule(graph, topology, comm, variant_);
+  priority_pos_.assign(static_cast<std::size_t>(graph.num_tasks()), 0);
+  for (std::size_t pos = 0; pos < plan_.priority.size(); ++pos) {
+    priority_pos_[static_cast<std::size_t>(plan_.priority[pos])] =
+        static_cast<int>(pos);
+  }
+  proc_used_.assign(static_cast<std::size_t>(topology.num_procs()), 0);
+  proc_idle_.assign(proc_used_.size(), 0);
+}
+
+void HeftScheduler::on_epoch(sim::EpochContext& ctx) {
+  // Dispatch ready tasks in plan priority order; each goes to its planned
+  // processor as soon as that processor is idle.  Tasks whose processor is
+  // busy (or already taken this epoch) simply wait for a later epoch.
+  order_.assign(ctx.ready_tasks().begin(), ctx.ready_tasks().end());
+  std::sort(order_.begin(), order_.end(), [this](TaskId a, TaskId b) {
+    return priority_pos_[static_cast<std::size_t>(a)] <
+           priority_pos_[static_cast<std::size_t>(b)];
+  });
+  std::fill(proc_used_.begin(), proc_used_.end(), 0);
+  std::fill(proc_idle_.begin(), proc_idle_.end(), 0);
+  for (ProcId p : ctx.idle_procs()) {
+    proc_idle_[static_cast<std::size_t>(p)] = 1;
+  }
+  for (TaskId task : order_) {
+    const ProcId proc = plan_.tasks[static_cast<std::size_t>(task)].proc;
+    const auto slot = static_cast<std::size_t>(proc);
+    if (proc_idle_[slot] && !proc_used_[slot]) {
+      ctx.assign(task, proc);
+      proc_used_[slot] = 1;
+    }
+  }
+}
+
+std::string HeftScheduler::name() const {
+  return variant_ == HeftVariant::Peft ? "PEFT" : "HEFT";
+}
+
+}  // namespace dagsched::sched

@@ -22,4 +22,12 @@ struct ParamDef {
 /// The parameter table of `kind`, in draw order.
 std::span<const ParamDef> family_param_defs(FamilyKind kind);
 
+/// The numeric comm-model ablation knobs (comm_sigma_us, comm_tau_us) as a
+/// ParamDef table — same shape as the family tables so the summary echo
+/// and docs render them uniformly.  Also in draw order: an instance draws
+/// sigma, then tau, then its SendCpu mode (a choice set, not a numeric
+/// range; see CommAblation::send_cpu), *after* its policy seeds — appended
+/// last so specs predating the ablation keep their exact instances.
+std::span<const ParamDef> comm_param_defs();
+
 }  // namespace dagsched::sweep

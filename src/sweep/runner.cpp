@@ -14,6 +14,7 @@
 #include "graph/generators.hpp"
 #include "sched/etf.hpp"
 #include "sched/fixed_list.hpp"
+#include "sched/heft.hpp"
 #include "sched/hlf.hpp"
 #include "sched/random_policy.hpp"
 #include "sim/engine.hpp"
@@ -27,11 +28,27 @@ namespace dagsched::sweep {
 namespace {
 
 /// One (f, i) cell's deterministic draws: family parameters (table order),
-/// then the generator seed, then one seed per policy.
+/// then the generator seed, then one seed per policy, then the comm-model
+/// ablation parameters (comm_param_defs order, then the SendCpu mode).
+/// The comm draws come *last* so that specs written before the ablation
+/// existed still derive the exact same graphs and policy seeds.
 struct InstanceDraw {
   std::vector<double> params;  ///< parallel to family_param_defs(kind)
   std::uint64_t graph_seed = 0;
   std::vector<std::uint64_t> policy_seeds;  ///< parallel to spec.policies
+  std::int64_t sigma_us = 0;
+  std::int64_t tau_us = 0;
+  SendCpu send_cpu = SendCpu::PerTaskOutput;
+
+  /// The instance's effective communication model.
+  CommModel comm_model(bool enabled) const {
+    if (!enabled) return CommModel::disabled();
+    CommModel comm = CommModel::paper_default();
+    comm.sigma = us(sigma_us);
+    comm.tau = us(tau_us);
+    comm.send_cpu = send_cpu;
+    return comm;
+  }
 
   double param(FamilyKind kind, const std::string& name) const {
     const auto defs = family_param_defs(kind);
@@ -72,6 +89,16 @@ InstanceDraw draw_instance(const SweepSpec& spec, int family_index,
   for (std::size_t p = 0; p < spec.policies.size(); ++p) {
     draw.policy_seeds.push_back(rng.next_u64());
   }
+  // Comm-model ablation draws, always consumed (even when pinned or comm
+  // is disabled) so the stream layout does not depend on the knobs.
+  draw.sigma_us = rng.uniform_int(
+      static_cast<std::int64_t>(spec.comm.sigma_us.lo),
+      static_cast<std::int64_t>(spec.comm.sigma_us.hi));
+  draw.tau_us = rng.uniform_int(
+      static_cast<std::int64_t>(spec.comm.tau_us.lo),
+      static_cast<std::int64_t>(spec.comm.tau_us.hi));
+  draw.send_cpu =
+      spec.comm.send_cpu[rng.uniform_index(spec.comm.send_cpu.size())];
   return draw;
 }
 
@@ -148,21 +175,6 @@ TaskGraph build_graph(FamilyKind kind, const InstanceDraw& draw) {
   throw std::invalid_argument("unknown family kind");
 }
 
-/// Priority list for the fixed-list policy: the HLF order (descending
-/// level n_i, ties ascending id) over *all* tasks.
-std::vector<TaskId> hlf_priority_list(const TaskGraph& graph) {
-  const std::vector<Time> levels = task_levels(graph);
-  std::vector<TaskId> list(static_cast<std::size_t>(graph.num_tasks()));
-  for (std::size_t t = 0; t < list.size(); ++t) {
-    list[t] = static_cast<TaskId>(t);
-  }
-  std::stable_sort(list.begin(), list.end(), [&](TaskId a, TaskId b) {
-    if (levels[a] != levels[b]) return levels[a] > levels[b];
-    return a < b;
-  });
-  return list;
-}
-
 /// Runs one policy on one instance.  `timed_out` is set when the spec's
 /// per-instance wall-clock budget was exceeded: gsa reports its
 /// cooperative cutoff, every other policy is measured after the fact
@@ -226,7 +238,19 @@ Time run_policy(PolicyKind kind, const SweepSpec& spec,
               .makespan);
     }
     case PolicyKind::FixedHlf: {
-      sched::FixedListScheduler policy(hlf_priority_list(graph));
+      sched::FixedListScheduler policy(sched::hlf_priority_list(graph));
+      return finish_and_mark(
+          sim::simulate(graph, topology, comm, policy, sim_options)
+              .makespan);
+    }
+    case PolicyKind::Heft: {
+      sched::HeftScheduler policy(sched::HeftVariant::Heft);
+      return finish_and_mark(
+          sim::simulate(graph, topology, comm, policy, sim_options)
+              .makespan);
+    }
+    case PolicyKind::Peft: {
+      sched::HeftScheduler policy(sched::HeftVariant::Peft);
       return finish_and_mark(
           sim::simulate(graph, topology, comm, policy, sim_options)
               .makespan);
@@ -282,9 +306,6 @@ SweepResult run_sweep(const SweepSpec& spec) {
   result.spec = spec;
   result.instances.resize(keys.size());
 
-  const CommModel comm =
-      spec.comm_enabled ? CommModel::paper_default() : CommModel::disabled();
-
   int threads = spec.threads;
   if (threads == 0) {
     threads = static_cast<int>(std::thread::hardware_concurrency());
@@ -314,6 +335,7 @@ SweepResult run_sweep(const SweepSpec& spec) {
         const TaskGraph graph = build_graph(family.kind, draw);
         const Topology topology =
             topo::by_name(spec.topologies[key.topology_index]);
+        const CommModel comm = draw.comm_model(spec.comm_enabled);
 
         InstanceResult& row = result.instances[index];
         row.index = static_cast<int>(index);
@@ -324,6 +346,10 @@ SweepResult run_sweep(const SweepSpec& spec) {
         row.graph_seed = draw.graph_seed;
         row.tasks = graph.num_tasks();
         row.edges = graph.num_edges();
+        row.sigma_us = spec.comm_enabled ? draw.sigma_us : 0;
+        row.tau_us = spec.comm_enabled ? draw.tau_us : 0;
+        row.send_cpu =
+            spec.comm_enabled ? dagsched::to_string(draw.send_cpu) : "off";
         row.makespans.resize(spec.policies.size());
         row.timed_out.assign(spec.policies.size(), 0);
         for (std::size_t p = 0; p < spec.policies.size(); ++p) {

@@ -9,10 +9,13 @@
 //  * Instance (family f, repetition i) derives everything it needs from
 //    Rng::stream(spec.seed, (f << 32) | i): first the family parameters in
 //    family_param_defs() table order, then the generator seed, then one
-//    seed per policy in spec order.  Nothing is drawn from a shared
-//    generator, so results are independent of scheduling order.
-//  * The same (f, i) graph is reused across all topologies of the spec,
-//    which makes cross-topology comparisons paired.
+//    seed per policy in spec order, then the comm-model ablation draws
+//    (comm_param_defs order, then the SendCpu mode — appended last, and
+//    always consumed, so older specs keep their exact instances).
+//    Nothing is drawn from a shared generator, so results are independent
+//    of scheduling order.
+//  * The same (f, i) graph and comm draw are reused across all topologies
+//    of the spec, which makes cross-topology comparisons paired.
 //  * Workers write results into a preallocated slot per instance; the
 //    result vector is in enumeration order regardless of thread count.
 //  Consequently the per-instance makespans (integer nanoseconds) are
@@ -43,6 +46,11 @@ struct InstanceResult {
   std::uint64_t graph_seed = 0;  ///< derived generator seed
   int tasks = 0;
   int edges = 0;
+  /// The instance's drawn communication model (the ablation draws); zeros
+  /// and "off" when the spec disables communication.
+  std::int64_t sigma_us = 0;
+  std::int64_t tau_us = 0;
+  std::string send_cpu = "off";
   std::vector<Time> makespans;   ///< parallel to spec.policies
   /// Parallel to spec.policies: 1 when the policy exceeded the spec's
   /// per-instance wall-clock budget.  For gsa the makespan is then the

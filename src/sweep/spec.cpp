@@ -68,6 +68,11 @@ constexpr ParamDef kChainParams[] = {
     {"duration_us", {15, 15}, true},
     {"weight_us", {4, 4}, true},
 };
+// Defaults mirror CommModel::paper_default() (sigma 7us, tau 9us).
+constexpr ParamDef kCommParams[] = {
+    {"comm_sigma_us", {7, 7}, true},
+    {"comm_tau_us", {9, 9}, true},
+};
 
 [[noreturn]] void fail(int line_number, const std::string& message) {
   throw std::invalid_argument("sweep spec line " +
@@ -216,6 +221,8 @@ std::span<const ParamDef> family_param_defs(FamilyKind kind) {
   throw std::invalid_argument("unknown family kind");
 }
 
+std::span<const ParamDef> comm_param_defs() { return kCommParams; }
+
 std::string to_string(FamilyKind kind) {
   switch (kind) {
     case FamilyKind::Layered:
@@ -261,6 +268,10 @@ std::string to_string(PolicyKind kind) {
       return "etf";
     case PolicyKind::FixedHlf:
       return "list-hlf";
+    case PolicyKind::Heft:
+      return "heft";
+    case PolicyKind::Peft:
+      return "peft";
     case PolicyKind::Random:
       return "random";
   }
@@ -274,8 +285,20 @@ PolicyKind policy_kind_from_string(const std::string& name) {
   if (name == "hlf-mincomm") return PolicyKind::HlfMinComm;
   if (name == "etf") return PolicyKind::Etf;
   if (name == "list-hlf") return PolicyKind::FixedHlf;
+  if (name == "heft") return PolicyKind::Heft;
+  if (name == "peft") return PolicyKind::Peft;
   if (name == "random") return PolicyKind::Random;
   throw std::invalid_argument("unknown policy '" + name + "'");
+}
+
+bool CommAblation::is_paper_default() const {
+  // Compare against the default-constructed knobs so the member
+  // initializers in spec.hpp stay the single source of the defaults.
+  const CommAblation defaults;
+  return sigma_us.lo == defaults.sigma_us.lo &&
+         sigma_us.hi == defaults.sigma_us.hi &&
+         tau_us.lo == defaults.tau_us.lo &&
+         tau_us.hi == defaults.tau_us.hi && send_cpu == defaults.send_cpu;
 }
 
 ParamRange FamilySpec::param(const std::string& name) const {
@@ -311,6 +334,26 @@ void SweepSpec::validate() const {
   }
   if (time_budget_ms < 0) {
     throw std::invalid_argument("sweep spec: negative time_budget_ms");
+  }
+  if (comm.sigma_us.lo < 0 || comm.tau_us.lo < 0) {
+    throw std::invalid_argument("sweep spec: negative comm overhead");
+  }
+  if (comm.send_cpu.empty()) {
+    throw std::invalid_argument("sweep spec: empty comm_send_cpu set");
+  }
+  for (std::size_t i = 0; i < comm.send_cpu.size(); ++i) {
+    for (std::size_t j = i + 1; j < comm.send_cpu.size(); ++j) {
+      if (comm.send_cpu[i] == comm.send_cpu[j]) {
+        throw std::invalid_argument(
+            "sweep spec: duplicate comm_send_cpu mode " +
+            dagsched::to_string(comm.send_cpu[i]));
+      }
+    }
+  }
+  if (!comm_enabled && !comm.is_paper_default()) {
+    throw std::invalid_argument(
+        "sweep spec: comm_sigma_us/comm_tau_us/comm_send_cpu have no "
+        "effect with 'comm off'");
   }
   for (const FamilySpec& family : families) {
     if (family.count <= 0) {
@@ -379,6 +422,24 @@ SweepSpec parse_spec(const std::string& text) {
         spec.comm_enabled = false;
       } else {
         fail(line_number, "comm must be 'paper' or 'off'");
+      }
+    } else if (key == "comm_sigma_us" || key == "comm_tau_us") {
+      const ParamRange range = parse_range(value, line_number);
+      if (range.lo < 0) fail(line_number, key + " must be >= 0");
+      if (range.lo != static_cast<std::int64_t>(range.lo) ||
+          range.hi != static_cast<std::int64_t>(range.hi)) {
+        fail(line_number, key + " takes integer microseconds");
+      }
+      (key == "comm_sigma_us" ? spec.comm.sigma_us : spec.comm.tau_us) =
+          range;
+    } else if (key == "comm_send_cpu") {
+      spec.comm.send_cpu.clear();
+      for (const std::string& mode : split(value, ',')) {
+        try {
+          spec.comm.send_cpu.push_back(send_cpu_from_string(mode));
+        } catch (const std::invalid_argument& error) {
+          fail(line_number, error.what());
+        }
       }
     } else if (key == "topology") {
       spec.topologies.push_back(value);

@@ -13,6 +13,9 @@
 //
 //   seed 42
 //   comm paper                       # paper | off
+//   comm_sigma_us 4:12               # send overhead range (integer us)
+//   comm_tau_us 6:12                 # receive/route overhead range
+//   comm_send_cpu per_task_output,offloaded   # SendCpu choice set
 //   threads 0                        # 0 = hardware concurrency
 //   gsa_chains 2                     # chains for the "gsa" policy
 //   gsa_max_steps 24                 # temperature steps for "gsa"
@@ -22,7 +25,7 @@
 //   topology ring9
 //   policy sa
 //   policy hlf
-//   policy etf
+//   policy heft
 //   family layered count=40 layers=5:8 edge_probability=0.2:0.35
 //   family gnp count=40 tasks=30:60
 //   family fork_join count=40 stages=3:6 width=4:8
@@ -30,6 +33,9 @@
 // A family parameter is either a single value (`tasks=40`) or an inclusive
 // range (`tasks=30:60`) sampled uniformly per instance — ranges are what
 // makes the suite adversarial rather than a single hand-picked instance.
+// The comm_* knobs extend the same idea to the communication model: each
+// instance draws its own sigma/tau/SendCpu, so one sweep covers a slice of
+// the hardware space instead of a single machine (see CommAblation below).
 // Unknown keys are rejected so typos cannot silently configure nothing.
 
 #include <cstdint>
@@ -38,6 +44,7 @@
 
 #include "core/annealer.hpp"
 #include "core/global_annealer.hpp"
+#include "topology/comm_model.hpp"
 
 namespace dagsched::sweep {
 
@@ -63,6 +70,8 @@ enum class PolicyKind {
   HlfMinComm,  ///< HLF with communication-aware placement (ablation)
   Etf,         ///< earliest-start-time-first greedy
   FixedHlf,    ///< Graham fixed-list scheduling with the HLF level order
+  Heft,        ///< HEFT rank-u + insertion-based EFT plan (sched/heft.hpp)
+  Peft,        ///< PEFT optimistic-cost-table variant (sched/heft.hpp)
   Random,      ///< uniformly random sanity baseline
 };
 
@@ -99,6 +108,22 @@ struct FamilySpec {
   ParamRange param(const std::string& name) const;
 };
 
+/// Spec-driven communication-model ablation (cf. Beránek et al.,
+/// arXiv:2204.07211: scheduler rankings flip with the comm-cost regime).
+/// Each instance draws its own sigma/tau (integer microseconds, inclusive
+/// ranges) and one SendCpu accounting mode from the choice set, turning a
+/// sweep into a hardware-space ablation.  The defaults pin the paper's
+/// hardware (sigma 7us, tau 9us, per_task_output), so specs that do not
+/// mention these knobs behave exactly as before.
+struct CommAblation {
+  ParamRange sigma_us{7.0, 7.0};
+  ParamRange tau_us{9.0, 9.0};
+  std::vector<SendCpu> send_cpu{SendCpu::PerTaskOutput};
+
+  /// True when every knob is pinned to the paper default.
+  bool is_paper_default() const;
+};
+
 /// The complete declarative sweep description.
 struct SweepSpec {
   std::uint64_t seed = 1;
@@ -107,6 +132,10 @@ struct SweepSpec {
   int threads = 0;
   /// true = CommModel::paper_default(), false = CommModel::disabled().
   bool comm_enabled = true;
+  /// Per-instance comm-parameter draws; ignored when comm is disabled
+  /// (validate() rejects non-default knobs with comm off so an ablation
+  /// cannot silently configure nothing).
+  CommAblation comm;
 
   std::vector<std::string> topologies;  ///< topo::by_name specs
   std::vector<PolicyKind> policies;

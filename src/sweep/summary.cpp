@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sweep/params.hpp"
 #include "util/csv.hpp"
 #include "util/json.hpp"
 #include "util/require.hpp"
@@ -66,6 +67,38 @@ std::vector<PolicySummary> summarize(const SweepResult& result) {
               if (a.win_rate != b.win_rate) return a.win_rate > b.win_rate;
               return a.policy < b.policy;
             });
+
+  // Paired significance vs. the top-ranked policy: the same instances
+  // under every policy are matched pairs, so the ranking table can say
+  // whether each gap to the leader is meaningful (sweep-level statistical
+  // tests; cf. the PISA critique of single-instance comparisons).
+  std::size_t best_index = 0;
+  for (std::size_t p = 0; p < num_policies; ++p) {
+    if (to_string(result.spec.policies[p]) == summaries[0].policy) {
+      best_index = p;
+    }
+  }
+  std::vector<double> log_diffs;
+  log_diffs.reserve(result.instances.size());
+  for (PolicySummary& s : summaries) {
+    std::size_t policy_index = 0;
+    for (std::size_t p = 0; p < num_policies; ++p) {
+      if (to_string(result.spec.policies[p]) == s.policy) policy_index = p;
+    }
+    if (policy_index == best_index) continue;  // leader row keeps defaults
+    log_diffs.clear();
+    for (const InstanceResult& row : result.instances) {
+      const Time mine = row.makespans[policy_index];
+      const Time best = row.makespans[best_index];
+      if (mine < best) ++s.better_than_best;
+      if (mine > best) ++s.worse_than_best;
+      // log difference == log makespan ratio; scale-free across instances.
+      log_diffs.push_back(std::log(static_cast<double>(mine)) -
+                          std::log(static_cast<double>(best)));
+    }
+    s.sign_p = sign_test(s.better_than_best, s.worse_than_best).p_value;
+    s.wilcoxon_p = wilcoxon_signed_rank(log_diffs).p_value;
+  }
   return summaries;
 }
 
@@ -81,6 +114,33 @@ std::string summary_json(const SweepResult& result,
   w.value(spec.seed);
   w.key("comm");
   w.value(spec.comm_enabled ? "paper" : "off");
+  const auto emit_range = [&w](const ParamRange& range) {
+    if (range.is_single()) {
+      w.value(range.lo);
+    } else {
+      w.begin_array();
+      w.value(range.lo);
+      w.value(range.hi);
+      w.end_array();
+    }
+  };
+  // Key names come from the comm ParamDef table (params.hpp), the same
+  // names the spec parser accepts.
+  const auto comm_defs = comm_param_defs();
+  const ParamRange* comm_ranges[] = {&spec.comm.sigma_us,
+                                     &spec.comm.tau_us};
+  require(comm_defs.size() == std::size(comm_ranges),
+          "summary_json: comm ParamDef table out of sync");
+  for (std::size_t i = 0; i < comm_defs.size(); ++i) {
+    w.key(comm_defs[i].name);
+    emit_range(*comm_ranges[i]);
+  }
+  w.key("comm_send_cpu");
+  w.begin_array();
+  for (SendCpu mode : spec.comm.send_cpu) {
+    w.value(dagsched::to_string(mode));
+  }
+  w.end_array();
   w.key("gsa_oracle");
   w.value(sa::to_string(spec.gsa_options.oracle));
   w.key("time_budget_ms");
@@ -149,6 +209,17 @@ std::string summary_json(const SweepResult& result,
     w.value(s.mean_makespan_us);
     w.key("timed_out");
     w.value(s.timed_out);
+    w.key("vs_best");
+    w.begin_object();
+    w.key("better");
+    w.value(s.better_than_best);
+    w.key("worse");
+    w.value(s.worse_than_best);
+    w.key("sign_p");
+    w.value(s.sign_p);
+    w.key("wilcoxon_p");
+    w.value(s.wilcoxon_p);
+    w.end_object();
     w.end_object();
   }
   w.end_array();
@@ -159,8 +230,8 @@ std::string summary_json(const SweepResult& result,
 
 std::string per_instance_csv(const SweepResult& result) {
   CsvWriter csv({"instance", "family", "repetition", "topology", "tasks",
-                 "edges", "graph_seed", "policy", "makespan_us", "ratio",
-                 "timed_out"});
+                 "edges", "graph_seed", "sigma_us", "tau_us", "send_cpu",
+                 "policy", "makespan_us", "ratio", "timed_out"});
   for (const InstanceResult& row : result.instances) {
     const Time best = row.best();
     for (std::size_t p = 0; p < result.spec.policies.size(); ++p) {
@@ -172,7 +243,8 @@ std::string per_instance_csv(const SweepResult& result) {
                    std::to_string(row.repetition), row.topology,
                    std::to_string(row.tasks), std::to_string(row.edges),
                    std::to_string(row.graph_seed),
-                   to_string(result.spec.policies[p]),
+                   std::to_string(row.sigma_us), std::to_string(row.tau_us),
+                   row.send_cpu, to_string(result.spec.policies[p]),
                    format_fixed(to_us(row.makespans[p]), 3),
                    format_fixed(ratio, 6), timed_out ? "1" : "0"});
     }
@@ -183,9 +255,11 @@ std::string per_instance_csv(const SweepResult& result) {
 std::string render_summary_table(const SweepResult& result,
                                  const std::vector<PolicySummary>& ranking) {
   TableWriter table({"rank", "policy", "win rate", "geomean", "mean", "p50",
-                     "p90", "max", "mean makespan", "timeouts"});
+                     "p90", "max", "mean makespan", "timeouts", "vs best",
+                     "p(sign)", "p(wilcoxon)"});
   int rank = 1;
   for (const PolicySummary& s : ranking) {
+    const bool is_best = rank == 1;
     table.add_row({std::to_string(rank++), s.policy,
                    format_percent(100.0 * s.win_rate, 1),
                    format_fixed(s.geomean_ratio, 4),
@@ -194,11 +268,18 @@ std::string render_summary_table(const SweepResult& result,
                    format_fixed(s.p90_ratio, 4),
                    format_fixed(s.max_ratio, 4),
                    format_fixed(s.mean_makespan_us, 1) + "us",
-                   std::to_string(s.timed_out)});
+                   std::to_string(s.timed_out),
+                   is_best ? "-"
+                           : std::to_string(s.better_than_best) + "/" +
+                                 std::to_string(s.worse_than_best),
+                   is_best ? "-" : format_fixed(s.sign_p, 4),
+                   is_best ? "-" : format_fixed(s.wilcoxon_p, 4)});
   }
   std::string out = "Sweep: " +
                     std::to_string(result.instances.size()) +
-                    " instances, ratios vs. per-instance best\n";
+                    " instances, ratios vs. per-instance best; vs best = "
+                    "wins/losses against the top-ranked policy (paired "
+                    "sign / Wilcoxon signed-rank p-values)\n";
   out += table.render();
   return out;
 }

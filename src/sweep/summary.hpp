@@ -40,6 +40,18 @@ struct PolicySummary {
   /// Instances where the policy hit the spec's wall-clock budget (its
   /// makespans are best-at-cutoff, not converged); 0 without a budget.
   int timed_out = 0;
+
+  /// Paired comparison against the *top-ranked* policy of the same sweep
+  /// (all 1.0 / 0 for the top-ranked row itself): per-instance makespans
+  /// are matched pairs, so a sign test over win/loss counts and a
+  /// Wilcoxon signed-rank test over log-makespan differences say whether
+  /// the gap in the ranking is statistically meaningful or noise.  Small
+  /// p: the policy genuinely differs from the leader; large p: the
+  /// ranking gap could be an artifact of this instance draw.
+  int better_than_best = 0;  ///< instances strictly faster than the leader
+  int worse_than_best = 0;   ///< instances strictly slower than the leader
+  double sign_p = 1.0;       ///< two-sided paired sign-test p-value
+  double wilcoxon_p = 1.0;   ///< two-sided Wilcoxon signed-rank p-value
 };
 
 /// Computes the per-policy summaries, ranked best (rank 0) to worst.

@@ -1,8 +1,31 @@
 #include "topology/comm_model.hpp"
 
+#include <stdexcept>
+
 #include "util/require.hpp"
 
 namespace dagsched {
+
+std::string to_string(SendCpu mode) {
+  switch (mode) {
+    case SendCpu::PerMessage:
+      return "per_message";
+    case SendCpu::PerTaskOutput:
+      return "per_task_output";
+    case SendCpu::Offloaded:
+      return "offloaded";
+  }
+  return "?";
+}
+
+SendCpu send_cpu_from_string(const std::string& name) {
+  if (name == "per_message") return SendCpu::PerMessage;
+  if (name == "per_task_output") return SendCpu::PerTaskOutput;
+  if (name == "offloaded") return SendCpu::Offloaded;
+  throw std::invalid_argument("unknown send_cpu mode '" + name +
+                              "' (per_message | per_task_output | "
+                              "offloaded)");
+}
 
 Time message_time(std::int64_t bits, std::int64_t bandwidth_bits_per_sec) {
   require(bits >= 0, "message_time: negative size");

@@ -20,6 +20,7 @@
 // annealer optimizes, the simulator is the ground truth it is evaluated on.
 
 #include <cstdint>
+#include <string>
 
 #include "util/time.hpp"
 
@@ -56,6 +57,10 @@ enum class SendCpu {
   PerTaskOutput,  ///< sigma once per producing task (default)
   Offloaded,      ///< sends never occupy the producer CPU
 };
+
+/// Spec/CLI names: "per_message", "per_task_output", "offloaded".
+std::string to_string(SendCpu mode);
+SendCpu send_cpu_from_string(const std::string& name);
 
 struct CommModel {
   /// When false all communication is free and instantaneous (the paper's

@@ -72,4 +72,97 @@ double relative_difference(double a, double b) {
   return std::fabs(a - b) / scale;
 }
 
+namespace {
+
+/// Two-sided normal tail probability 2 * P(Z >= |z|).
+double two_sided_normal_p(double z) {
+  return std::erfc(std::fabs(z) / std::sqrt(2.0));
+}
+
+}  // namespace
+
+SignTest sign_test(int positives, int negatives) {
+  require(positives >= 0 && negatives >= 0, "sign_test: negative count");
+  SignTest test;
+  test.positives = positives;
+  test.negatives = negatives;
+  test.n = positives + negatives;
+  if (test.n == 0) return test;
+
+  const int k = std::min(positives, negatives);
+  if (test.n <= 1000) {
+    // Exact: p = 2 * P(X <= k), X ~ Bin(n, 1/2).  term starts at
+    // 0.5^n (>= 0.5^1000 ~ 9e-302, no underflow) and walks the binomial
+    // recurrence.
+    double term = std::ldexp(1.0, -test.n);  // 0.5^n exactly
+    double tail = term;
+    for (int i = 1; i <= k; ++i) {
+      term *= static_cast<double>(test.n - i + 1) / static_cast<double>(i);
+      tail += term;
+    }
+    test.p_value = std::min(1.0, 2.0 * tail);
+  } else {
+    // Normal approximation with continuity correction.
+    const double n = static_cast<double>(test.n);
+    const double z =
+        (static_cast<double>(k) + 0.5 - 0.5 * n) / (0.5 * std::sqrt(n));
+    test.p_value = std::min(1.0, two_sided_normal_p(z));
+  }
+  return test;
+}
+
+WilcoxonTest wilcoxon_signed_rank(std::span<const double> diffs) {
+  WilcoxonTest test;
+  std::vector<double> magnitudes;
+  std::vector<bool> positive;
+  magnitudes.reserve(diffs.size());
+  positive.reserve(diffs.size());
+  for (double d : diffs) {
+    if (d == 0.0) continue;  // standard zero-drop treatment
+    magnitudes.push_back(std::fabs(d));
+    positive.push_back(d > 0.0);
+  }
+  test.n = static_cast<int>(magnitudes.size());
+  if (test.n == 0) return test;
+
+  // Rank |d| ascending with mid-ranks for ties.
+  std::vector<std::size_t> order(magnitudes.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&magnitudes](std::size_t a, std::size_t b) {
+              return magnitudes[a] < magnitudes[b];
+            });
+  std::vector<double> rank(magnitudes.size(), 0.0);
+  double tie_correction = 0.0;  // sum of t^3 - t over tie groups
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j + 1 < order.size() &&
+           magnitudes[order[j + 1]] == magnitudes[order[i]]) {
+      ++j;
+    }
+    const double mid_rank = 0.5 * static_cast<double>(i + j) + 1.0;
+    for (std::size_t m = i; m <= j; ++m) rank[order[m]] = mid_rank;
+    const double ties = static_cast<double>(j - i + 1);
+    tie_correction += ties * ties * ties - ties;
+    i = j + 1;
+  }
+
+  for (std::size_t m = 0; m < rank.size(); ++m) {
+    (positive[m] ? test.w_plus : test.w_minus) += rank[m];
+  }
+
+  const double n = static_cast<double>(test.n);
+  const double mean_w = n * (n + 1.0) / 4.0;
+  const double variance =
+      n * (n + 1.0) * (2.0 * n + 1.0) / 24.0 - tie_correction / 48.0;
+  if (variance <= 0.0) return test;  // all-tied degenerate sample
+  const double centred = test.w_plus - mean_w;
+  const double continuity =
+      centred > 0.0 ? -0.5 : (centred < 0.0 ? 0.5 : 0.0);
+  test.z = (centred + continuity) / std::sqrt(variance);
+  test.p_value = std::min(1.0, two_sided_normal_p(test.z));
+  return test;
+}
+
 }  // namespace dagsched

@@ -55,4 +55,34 @@ double quantile(std::span<const double> values, double q);
 /// paper-vs-measured comparisons.
 double relative_difference(double a, double b);
 
+// -- paired significance tests (the sweep summary's "is this ranking
+// -- meaningful?" layer; see sweep/summary.hpp) ---------------------------
+
+/// Two-sided paired sign test over `positives` wins vs `negatives` losses
+/// (ties are dropped by the caller).  Exact binomial tail for n <= 1000,
+/// normal approximation with continuity correction beyond.  p_value is 1
+/// for an empty sample.
+struct SignTest {
+  int n = 0;          ///< positives + negatives (ties excluded)
+  int positives = 0;
+  int negatives = 0;
+  double p_value = 1.0;
+};
+SignTest sign_test(int positives, int negatives);
+
+/// Two-sided Wilcoxon signed-rank test over paired differences.  Zeros
+/// are dropped, tied |d| get mid-ranks, and the p-value uses the normal
+/// approximation with tie-corrected variance and continuity correction
+/// (the standard large-sample treatment; exact small-n tables are not
+/// implemented, so p-values for n < 10 are approximate).  p_value is 1
+/// when no nonzero differences remain or the variance degenerates.
+struct WilcoxonTest {
+  int n = 0;            ///< nonzero differences
+  double w_plus = 0.0;  ///< rank sum of the positive differences
+  double w_minus = 0.0; ///< rank sum of the negative differences
+  double z = 0.0;       ///< normal deviate of w_plus
+  double p_value = 1.0;
+};
+WilcoxonTest wilcoxon_signed_rank(std::span<const double> diffs);
+
 }  // namespace dagsched

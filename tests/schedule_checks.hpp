@@ -1,0 +1,48 @@
+#pragma once
+
+// Shared schedule-validity checking for the policy test suites.
+//
+// Every policy's correctness criterion is the same: the simulated run must
+// pass sim::validate_run (precedence + message delivery, no processor or
+// channel overlap, exact makespan).  This header is the one definition the
+// suites share — test_policies, test_heft, test_cross_policy,
+// test_etf_global, test_sa_scheduler and test_integration all assert
+// through it, so a new invariant added to the validator (or to this
+// wrapper) immediately covers every policy.
+//
+// Requires the run to be recorded with SimOptions::record_trace (the
+// default).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/validate.hpp"
+
+namespace dagsched {
+
+/// gtest-friendly wrapper around sim::validate_run: success when the run
+/// satisfies every schedule invariant, otherwise a failure message with
+/// the violation count and the first few violations.
+inline ::testing::AssertionResult schedule_is_valid(
+    const TaskGraph& graph, const Topology& topology, const CommModel& comm,
+    const sim::SimResult& result) {
+  const std::vector<std::string> violations =
+      sim::validate_run(graph, topology, comm, result);
+  if (violations.empty()) return ::testing::AssertionSuccess();
+  ::testing::AssertionResult failure = ::testing::AssertionFailure();
+  failure << violations.size() << " schedule violation(s):";
+  const std::size_t shown = std::min<std::size_t>(violations.size(), 3);
+  for (std::size_t i = 0; i < shown; ++i) {
+    failure << "\n  " << violations[i];
+  }
+  if (violations.size() > shown) {
+    failure << "\n  ... (" << violations.size() - shown << " more)";
+  }
+  return failure;
+}
+
+}  // namespace dagsched

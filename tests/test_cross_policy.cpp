@@ -1,0 +1,152 @@
+// Cross-policy schedule-validity invariant: every policy a sweep can
+// compare — sa, gsa, hlf, hlf-mincomm, etf, list-hlf, heft, peft,
+// random — must produce schedules that pass the shared validator
+// (schedule_checks.hpp) on randomized instances spanning graph families,
+// topologies and communication parameters.  This is the sweep's
+// correctness floor: the ranking table is meaningless if any policy can
+// emit an invalid schedule.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/global_annealer.hpp"
+#include "core/sa_scheduler.hpp"
+#include "graph/generators.hpp"
+#include "schedule_checks.hpp"
+#include "sched/etf.hpp"
+#include "sched/fixed_list.hpp"
+#include "sched/heft.hpp"
+#include "sched/hlf.hpp"
+#include "sched/pinned.hpp"
+#include "sched/random_policy.hpp"
+#include "sim/engine.hpp"
+#include "sweep/spec.hpp"
+#include "topology/builders.hpp"
+#include "util/rng.hpp"
+
+namespace dagsched {
+namespace {
+
+/// Every policy the sweep knows, in spec order.
+const sweep::PolicyKind kAllPolicies[] = {
+    sweep::PolicyKind::Sa,        sweep::PolicyKind::Gsa,
+    sweep::PolicyKind::Hlf,       sweep::PolicyKind::HlfMinComm,
+    sweep::PolicyKind::Etf,       sweep::PolicyKind::FixedHlf,
+    sweep::PolicyKind::Heft,      sweep::PolicyKind::Peft,
+    sweep::PolicyKind::Random,
+};
+
+/// Runs `kind` on one instance with trace recording, mirroring the sweep
+/// runner's policy construction (kept small: gsa uses a short schedule).
+sim::SimResult run_policy_with_trace(sweep::PolicyKind kind,
+                                     const TaskGraph& graph,
+                                     const Topology& topology,
+                                     const CommModel& comm,
+                                     std::uint64_t seed) {
+  switch (kind) {
+    case sweep::PolicyKind::Sa: {
+      sa::SaSchedulerOptions options;
+      options.anneal.cooling.max_steps = 12;
+      options.seed = seed;
+      sa::SaScheduler policy(options);
+      return sim::simulate(graph, topology, comm, policy);
+    }
+    case sweep::PolicyKind::Gsa: {
+      sa::GlobalAnnealOptions options;
+      options.cooling.max_steps = 6;
+      options.num_chains = 1;
+      options.seed = seed;
+      const sa::GlobalAnnealResult annealed =
+          sa::anneal_global(graph, topology, comm, options);
+      sched::PinnedScheduler replay(annealed.mapping);
+      sim::SimResult result = sim::simulate(graph, topology, comm, replay);
+      EXPECT_EQ(result.makespan, annealed.makespan)
+          << "gsa replay drifted from the annealer's reported makespan";
+      return result;
+    }
+    case sweep::PolicyKind::Hlf: {
+      sched::HlfScheduler policy(sched::HlfPlacement::FirstIdle);
+      return sim::simulate(graph, topology, comm, policy);
+    }
+    case sweep::PolicyKind::HlfMinComm: {
+      sched::HlfScheduler policy(sched::HlfPlacement::MinComm);
+      return sim::simulate(graph, topology, comm, policy);
+    }
+    case sweep::PolicyKind::Etf: {
+      sched::EtfScheduler policy;
+      return sim::simulate(graph, topology, comm, policy);
+    }
+    case sweep::PolicyKind::FixedHlf: {
+      sched::FixedListScheduler policy(sched::hlf_priority_list(graph));
+      return sim::simulate(graph, topology, comm, policy);
+    }
+    case sweep::PolicyKind::Heft: {
+      sched::HeftScheduler policy(sched::HeftVariant::Heft);
+      return sim::simulate(graph, topology, comm, policy);
+    }
+    case sweep::PolicyKind::Peft: {
+      sched::HeftScheduler policy(sched::HeftVariant::Peft);
+      return sim::simulate(graph, topology, comm, policy);
+    }
+    case sweep::PolicyKind::Random: {
+      sched::RandomScheduler policy(seed);
+      return sim::simulate(graph, topology, comm, policy);
+    }
+  }
+  throw std::invalid_argument("unknown policy kind");
+}
+
+TaskGraph random_graph(Rng& rng, int round) {
+  if (round % 2 == 0) {
+    gen::GnpDagOptions options;
+    options.num_tasks = 10 + static_cast<int>(rng.uniform_index(20));
+    options.edge_probability = 0.08 + 0.2 * rng.uniform01();
+    options.seed = rng.next_u64();
+    return gen::gnp_dag(options);
+  }
+  gen::LayeredDagOptions options;
+  options.layers = 3 + static_cast<int>(rng.uniform_index(3));
+  options.seed = rng.next_u64();
+  return gen::layered_dag(options);
+}
+
+CommModel random_comm(Rng& rng, int round) {
+  if (round % 5 == 4) return CommModel::disabled();
+  CommModel comm = CommModel::paper_default();
+  comm.sigma = us(rng.uniform_int(0, 12));
+  comm.tau = us(rng.uniform_int(0, 12));
+  comm.send_cpu = (round % 3 == 0)   ? SendCpu::PerMessage
+                  : (round % 3 == 1) ? SendCpu::PerTaskOutput
+                                     : SendCpu::Offloaded;
+  return comm;
+}
+
+TEST(CrossPolicy, EveryPolicyPassesTheSharedValidator) {
+  Rng rng(0xC0FFEE);
+  const Topology machines[] = {topo::hypercube(3), topo::ring(5),
+                               topo::mesh(2, 3), topo::shared_bus(4)};
+  for (int round = 0; round < 6; ++round) {
+    const TaskGraph graph = random_graph(rng, round);
+    const Topology& machine = machines[round % 4];
+    const CommModel comm = random_comm(rng, round);
+    for (const sweep::PolicyKind kind : kAllPolicies) {
+      const std::uint64_t seed = rng.next_u64();
+      const sim::SimResult result =
+          run_policy_with_trace(kind, graph, machine, comm, seed);
+      EXPECT_GT(result.makespan, 0);
+      EXPECT_TRUE(schedule_is_valid(graph, machine, comm, result))
+          << sweep::to_string(kind) << " on " << machine.name()
+          << " (round " << round << ", " << graph.num_tasks() << " tasks)";
+    }
+  }
+}
+
+TEST(CrossPolicy, PolicyNameRoundTrip) {
+  for (const sweep::PolicyKind kind : kAllPolicies) {
+    EXPECT_EQ(sweep::policy_kind_from_string(sweep::to_string(kind)), kind);
+  }
+}
+
+}  // namespace
+}  // namespace dagsched

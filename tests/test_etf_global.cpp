@@ -10,7 +10,7 @@
 #include "sched/hlf.hpp"
 #include "sched/pinned.hpp"
 #include "sim/engine.hpp"
-#include "sim/validate.hpp"
+#include "schedule_checks.hpp"
 #include "topology/builders.hpp"
 #include "workloads/registry.hpp"
 
@@ -53,10 +53,8 @@ TEST(Etf, ValidSchedulesOnPaperGrid) {
       const CommModel comm = CommModel::paper_default();
       const sim::SimResult result =
           sim::simulate(w.graph, machine, comm, etf);
-      const auto violations =
-          sim::validate_run(w.graph, machine, comm, result);
-      EXPECT_TRUE(violations.empty())
-          << name << "/" << machine.name() << ": " << violations.front();
+      EXPECT_TRUE(schedule_is_valid(w.graph, machine, comm, result))
+          << name << "/" << machine.name();
     }
   }
 }
@@ -88,9 +86,7 @@ TEST(GlobalAnnealer, ImprovesOrMatchesItsHlfSeed) {
   const sim::SimResult replayed =
       sim::simulate(w.graph, machine, comm, replay);
   EXPECT_EQ(replayed.makespan, result.makespan);
-  const auto violations =
-      sim::validate_run(w.graph, machine, comm, replayed);
-  EXPECT_TRUE(violations.empty());
+  EXPECT_TRUE(schedule_is_valid(w.graph, machine, comm, replayed));
 }
 
 TEST(GlobalAnnealer, HistoryIsMonotoneNonIncreasing) {

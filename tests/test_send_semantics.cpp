@@ -6,7 +6,7 @@
 
 #include "sched/pinned.hpp"
 #include "sim/engine.hpp"
-#include "sim/validate.hpp"
+#include "schedule_checks.hpp"
 #include "topology/builders.hpp"
 
 namespace dagsched {
@@ -16,8 +16,7 @@ sim::SimResult run(const TaskGraph& graph, const Topology& topology,
                    const CommModel& comm, std::vector<ProcId> mapping) {
   sched::PinnedScheduler policy(std::move(mapping));
   sim::SimResult result = sim::simulate(graph, topology, comm, policy);
-  const auto violations = sim::validate_run(graph, topology, comm, result);
-  EXPECT_TRUE(violations.empty()) << violations.front();
+  EXPECT_TRUE(schedule_is_valid(graph, topology, comm, result));
   return result;
 }
 

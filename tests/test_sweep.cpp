@@ -9,6 +9,7 @@
 #include <stdexcept>
 
 #include "graph/taskgraph.hpp"
+#include "sweep/params.hpp"
 #include "sweep/runner.hpp"
 #include "sweep/spec.hpp"
 #include "sweep/summary.hpp"
@@ -299,6 +300,153 @@ family chain count=2 length=6
   for (const auto& s : sweep::summarize(result)) {
     EXPECT_EQ(s.timed_out, 0);
   }
+}
+
+const char* kAblationSpec = R"(
+seed 314
+comm paper
+comm_sigma_us 3:11
+comm_tau_us 5:13
+comm_send_cpu per_task_output,per_message,offloaded
+topology ring:4
+topology line:3
+policy hlf
+policy heft
+policy peft
+policy random
+family gnp count=3 tasks=10:16 edge_probability=0.15
+family diamond count=2 width=4:8
+)";
+
+TEST(SweepSpec, ParsesCommAblationKnobs) {
+  const sweep::SweepSpec spec = sweep::parse_spec(kAblationSpec);
+  EXPECT_EQ(spec.comm.sigma_us.lo, 3.0);
+  EXPECT_EQ(spec.comm.sigma_us.hi, 11.0);
+  EXPECT_EQ(spec.comm.tau_us.lo, 5.0);
+  EXPECT_EQ(spec.comm.tau_us.hi, 13.0);
+  ASSERT_EQ(spec.comm.send_cpu.size(), 3u);
+  EXPECT_EQ(spec.comm.send_cpu[0], SendCpu::PerTaskOutput);
+  EXPECT_EQ(spec.comm.send_cpu[1], SendCpu::PerMessage);
+  EXPECT_EQ(spec.comm.send_cpu[2], SendCpu::Offloaded);
+  EXPECT_FALSE(spec.comm.is_paper_default());
+  // Specs that do not mention the knobs pin the paper hardware.
+  EXPECT_TRUE(small_spec().comm.is_paper_default());
+  // The ParamDef table's defaults agree with CommAblation's.
+  const auto defs = sweep::comm_param_defs();
+  ASSERT_EQ(defs.size(), 2u);
+  EXPECT_EQ(defs[0].range.lo, sweep::CommAblation{}.sigma_us.lo);
+  EXPECT_EQ(defs[1].range.lo, sweep::CommAblation{}.tau_us.lo);
+}
+
+TEST(SweepSpec, ParsesHeftAndPeftPolicies) {
+  const sweep::SweepSpec spec = sweep::parse_spec(kAblationSpec);
+  ASSERT_EQ(spec.policies.size(), 4u);
+  EXPECT_EQ(spec.policies[1], sweep::PolicyKind::Heft);
+  EXPECT_EQ(spec.policies[2], sweep::PolicyKind::Peft);
+  EXPECT_EQ(sweep::to_string(sweep::PolicyKind::Heft), "heft");
+  EXPECT_EQ(sweep::to_string(sweep::PolicyKind::Peft), "peft");
+}
+
+TEST(SweepSpec, RejectsBadCommAblationInput) {
+  EXPECT_THROW(sweep::parse_spec("comm_sigma_us 9:4\n"),
+               std::invalid_argument);  // lo > hi
+  EXPECT_THROW(sweep::parse_spec("comm_sigma_us -2\n"),
+               std::invalid_argument);  // negative
+  EXPECT_THROW(sweep::parse_spec("comm_tau_us 4.5:6\n"),
+               std::invalid_argument);  // fractional us
+  EXPECT_THROW(sweep::parse_spec("comm_send_cpu warp\n"),
+               std::invalid_argument);  // unknown mode
+  EXPECT_THROW(
+      sweep::parse_spec("comm_send_cpu per_message,per_message\n"),
+      std::invalid_argument);  // duplicate mode
+  // Ablation knobs with communication disabled cannot silently no-op.
+  EXPECT_THROW(sweep::parse_spec("comm off\ncomm_sigma_us 3:11\n"
+                                 "topology ring:3\npolicy hlf\n"
+                                 "family chain count=1\n"),
+               std::invalid_argument);
+}
+
+TEST(SweepRunner, CommAblationDrawsAreDeterministicAndInRange) {
+  sweep::SweepSpec spec = sweep::parse_spec(kAblationSpec);
+  spec.threads = 1;
+  const sweep::SweepResult result = sweep::run_sweep(spec);
+  bool any_non_default_mode = false;
+  for (const sweep::InstanceResult& row : result.instances) {
+    EXPECT_GE(row.sigma_us, 3);
+    EXPECT_LE(row.sigma_us, 11);
+    EXPECT_GE(row.tau_us, 5);
+    EXPECT_LE(row.tau_us, 13);
+    EXPECT_TRUE(row.send_cpu == "per_task_output" ||
+                row.send_cpu == "per_message" || row.send_cpu == "offloaded")
+        << row.send_cpu;
+    if (row.send_cpu != "per_task_output") any_non_default_mode = true;
+  }
+  // With 10 instances and three modes the draw essentially surely leaves
+  // the default at least once for this fixed seed.
+  EXPECT_TRUE(any_non_default_mode);
+  // The same (family, repetition) comm draw is shared across topologies
+  // (paired cross-topology comparisons).
+  EXPECT_EQ(result.instances[0].sigma_us, result.instances[1].sigma_us);
+  EXPECT_EQ(result.instances[0].tau_us, result.instances[1].tau_us);
+  EXPECT_EQ(result.instances[0].send_cpu, result.instances[1].send_cpu);
+}
+
+TEST(SweepRunner, AblationSummaryIsByteIdenticalAcrossRunsAndThreads) {
+  sweep::SweepSpec spec = sweep::parse_spec(kAblationSpec);
+
+  spec.threads = 1;
+  const sweep::SweepResult single = sweep::run_sweep(spec);
+  const std::string single_json =
+      sweep::summary_json(single, sweep::summarize(single));
+
+  spec.threads = 3;
+  const sweep::SweepResult threaded = sweep::run_sweep(spec);
+  const std::string threaded_json =
+      sweep::summary_json(threaded, sweep::summarize(threaded));
+
+  const sweep::SweepResult repeat = sweep::run_sweep(spec);
+  const std::string repeat_json =
+      sweep::summary_json(repeat, sweep::summarize(repeat));
+
+  EXPECT_EQ(single_json, threaded_json);
+  EXPECT_EQ(threaded_json, repeat_json);
+  // The artifact echoes the ablation and carries the significance layer.
+  EXPECT_NE(single_json.find("\"comm_sigma_us\""), std::string::npos);
+  EXPECT_NE(single_json.find("\"comm_send_cpu\""), std::string::npos);
+  EXPECT_NE(single_json.find("\"vs_best\""), std::string::npos);
+  EXPECT_NE(single_json.find("\"wilcoxon_p\""), std::string::npos);
+  // And the CSV exposes the per-instance draws.
+  const std::string csv = sweep::per_instance_csv(single);
+  EXPECT_NE(csv.find("sigma_us"), std::string::npos);
+  EXPECT_NE(csv.find("send_cpu"), std::string::npos);
+}
+
+TEST(SweepSummary, SignificanceColumnsAreConsistent) {
+  sweep::SweepSpec spec = sweep::parse_spec(kAblationSpec);
+  spec.threads = 2;
+  const sweep::SweepResult result = sweep::run_sweep(spec);
+  const std::vector<sweep::PolicySummary> ranking =
+      sweep::summarize(result);
+  ASSERT_EQ(ranking.size(), 4u);
+  // The leader carries the neutral defaults.
+  EXPECT_EQ(ranking[0].better_than_best, 0);
+  EXPECT_EQ(ranking[0].worse_than_best, 0);
+  EXPECT_DOUBLE_EQ(ranking[0].sign_p, 1.0);
+  EXPECT_DOUBLE_EQ(ranking[0].wilcoxon_p, 1.0);
+  const int instances = static_cast<int>(result.instances.size());
+  for (std::size_t i = 1; i < ranking.size(); ++i) {
+    const sweep::PolicySummary& s = ranking[i];
+    EXPECT_GE(s.better_than_best, 0);
+    EXPECT_GE(s.worse_than_best, 0);
+    EXPECT_LE(s.better_than_best + s.worse_than_best, instances);
+    EXPECT_GT(s.sign_p, 0.0);
+    EXPECT_LE(s.sign_p, 1.0);
+    EXPECT_GT(s.wilcoxon_p, 0.0);
+    EXPECT_LE(s.wilcoxon_p, 1.0);
+  }
+  // The sanity baseline loses to the leader decisively.
+  const sweep::PolicySummary& worst = ranking.back();
+  EXPECT_GT(worst.worse_than_best, worst.better_than_best);
 }
 
 TEST(JsonWriter, RendersDeterministicStructure) {

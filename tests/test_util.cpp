@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "util/csv.hpp"
 #include "util/stats.hpp"
@@ -199,6 +201,93 @@ TEST(Csv, RendersHeaderAndRows) {
 TEST(Csv, RejectsWrongColumnCount) {
   CsvWriter csv({"a", "b"});
   EXPECT_THROW(csv.add_row({"1"}), std::invalid_argument);
+}
+
+TEST(Stats, SignTestHandComputedCases) {
+  // Empty sample: no evidence.
+  EXPECT_DOUBLE_EQ(sign_test(0, 0).p_value, 1.0);
+  EXPECT_EQ(sign_test(0, 0).n, 0);
+
+  // 5 wins, 0 losses: p = 2 * (1/2)^5 = 0.0625 exactly.
+  const SignTest five = sign_test(5, 0);
+  EXPECT_EQ(five.n, 5);
+  EXPECT_DOUBLE_EQ(five.p_value, 0.0625);
+  // Symmetric in the direction.
+  EXPECT_DOUBLE_EQ(sign_test(0, 5).p_value, 0.0625);
+
+  // 4 vs 1: p = 2 * (C(5,0) + C(5,1)) / 2^5 = 2 * 6/32 = 0.375.
+  EXPECT_DOUBLE_EQ(sign_test(4, 1).p_value, 0.375);
+
+  // Dead even: the two-sided tail overshoots 1 and must be capped.
+  EXPECT_DOUBLE_EQ(sign_test(3, 3).p_value, 1.0);
+
+  // 8 vs 2: p = 2 * (1 + 10 + 45) / 1024 = 0.109375.
+  EXPECT_DOUBLE_EQ(sign_test(8, 2).p_value, 0.109375);
+
+  // Monotone: more lopsided counts at the same n give smaller p.
+  EXPECT_LT(sign_test(9, 1).p_value, sign_test(8, 2).p_value);
+  EXPECT_LT(sign_test(10, 0).p_value, sign_test(9, 1).p_value);
+
+  // Large-sample branch (n > 1000 switches to the normal approximation):
+  // still sane, monotone and in (0, 1].
+  const double even = sign_test(1001, 1001).p_value;
+  const double skew = sign_test(1200, 802).p_value;
+  EXPECT_GT(even, 0.9);
+  EXPECT_LE(even, 1.0);
+  EXPECT_LT(skew, 0.001);
+  EXPECT_GT(skew, 0.0);
+}
+
+TEST(Stats, WilcoxonHandComputedCases) {
+  // Empty / all-zero samples: no evidence.
+  EXPECT_DOUBLE_EQ(wilcoxon_signed_rank({}).p_value, 1.0);
+  const std::vector<double> zeros = {0.0, 0.0};
+  EXPECT_DOUBLE_EQ(wilcoxon_signed_rank(zeros).p_value, 1.0);
+  EXPECT_EQ(wilcoxon_signed_rank(zeros).n, 0);
+
+  // Distinct magnitudes {1, -2, 3, 4, 5}: ranks are 1..5 by magnitude,
+  // W+ = 1 + 3 + 4 + 5 = 13, W- = 2.
+  const std::vector<double> diffs = {1.0, -2.0, 3.0, 4.0, 5.0};
+  const WilcoxonTest test = wilcoxon_signed_rank(diffs);
+  EXPECT_EQ(test.n, 5);
+  EXPECT_DOUBLE_EQ(test.w_plus, 13.0);
+  EXPECT_DOUBLE_EQ(test.w_minus, 2.0);
+  // mu = 7.5, var = 13.75; z = (13 - 7.5 - 0.5) / sqrt(13.75).
+  const double expected_z = 5.0 / std::sqrt(13.75);
+  EXPECT_NEAR(test.z, expected_z, 1e-12);
+  EXPECT_NEAR(test.p_value, std::erfc(expected_z / std::sqrt(2.0)), 1e-12);
+
+  // Ties get mid-ranks: {1, 1, -1, 2} -> |d| ranks (2, 2, 2, 4);
+  // W+ = 2 + 2 + 4 = 8, W- = 2, tie correction (t=3): 27 - 3 = 24.
+  const std::vector<double> tied = {1.0, 1.0, -1.0, 2.0};
+  const WilcoxonTest tied_test = wilcoxon_signed_rank(tied);
+  EXPECT_EQ(tied_test.n, 4);
+  EXPECT_DOUBLE_EQ(tied_test.w_plus, 8.0);
+  EXPECT_DOUBLE_EQ(tied_test.w_minus, 2.0);
+  // mu = 5, var = 7.5 - 24/48 = 7.0; z = (8 - 5 - 0.5) / sqrt(7).
+  EXPECT_NEAR(tied_test.z, 2.5 / std::sqrt(7.0), 1e-12);
+
+  // Zeros are dropped before ranking: {0, 3, -1} behaves like {3, -1}.
+  const std::vector<double> with_zero = {0.0, 3.0, -1.0};
+  const std::vector<double> without_zero = {3.0, -1.0};
+  EXPECT_DOUBLE_EQ(wilcoxon_signed_rank(with_zero).p_value,
+                   wilcoxon_signed_rank(without_zero).p_value);
+  EXPECT_EQ(wilcoxon_signed_rank(with_zero).n, 2);
+
+  // Direction symmetry: flipping every sign swaps W+ and W- but keeps p.
+  std::vector<double> flipped = diffs;
+  for (double& d : flipped) d = -d;
+  const WilcoxonTest mirror = wilcoxon_signed_rank(flipped);
+  EXPECT_DOUBLE_EQ(mirror.w_plus, test.w_minus);
+  EXPECT_DOUBLE_EQ(mirror.w_minus, test.w_plus);
+  EXPECT_NEAR(mirror.p_value, test.p_value, 1e-12);
+
+  // A strongly one-sided sample is significant, a balanced one is not.
+  const std::vector<double> one_sided = {1.0, 2.0, 3.0, 4.0, 5.0,
+                                         6.0, 7.0, 8.0, 9.0, 10.0};
+  EXPECT_LT(wilcoxon_signed_rank(one_sided).p_value, 0.01);
+  const std::vector<double> balanced = {1.0, -1.5, 2.0, -2.5, 3.0, -3.5};
+  EXPECT_GT(wilcoxon_signed_rank(balanced).p_value, 0.5);
 }
 
 TEST(Csv, WritesFile) {

@@ -5,9 +5,10 @@
 #
 # Usage:
 #   tools/ci_local.sh            # all jobs: build-test matrix, sanitize,
-#                                # sweep-smoke, bench-check
+#                                # sweep-smoke, coverage, bench-check
 #   tools/ci_local.sh --quick    # one Release build-test + sanitize +
-#                                # sweep-smoke (skips Debug, clang, bench)
+#                                # sweep-smoke (skips Debug, clang,
+#                                # coverage, bench)
 #
 # Build trees live under ci-build/ (git-ignored); pass CI_BUILD_ROOT to
 # relocate them.  Exits nonzero on the first failing job.
@@ -79,6 +80,32 @@ smoke_dir="${build_root}/${compilers[0]%%:*}-Release"
 cmake --build "${smoke_dir}" --target sweep -j"${jobs}"
 "${repo_root}/tools/sweep_small.sh" "${smoke_dir}/sweep" \
   "${repo_root}/tools/sweep_small.spec"
+
+# --- job: coverage ---------------------------------------------------------
+if [[ ${quick} -eq 1 ]]; then
+  skip "coverage (--quick)"
+elif command -v gcovr > /dev/null && command -v g++ > /dev/null; then
+  note "coverage: gcc --coverage + gcovr gate on src/sched/"
+  # The floor lives in ci.yml; read it from there so the two gates can
+  # never drift apart.
+  coverage_floor="$(sed -n 's/.*--fail-under-line \([0-9][0-9]*\).*/\1/p' \
+    "${repo_root}/.github/workflows/ci.yml" | head -1)"
+  : "${coverage_floor:=95}"
+  coverage_dir="${build_root}/coverage"
+  cmake -B "${coverage_dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_C_COMPILER=gcc -DCMAKE_CXX_COMPILER=g++ \
+    -DCMAKE_CXX_FLAGS=--coverage -DCMAKE_EXE_LINKER_FLAGS=--coverage \
+    -DDAGSCHED_BUILD_BENCHES=OFF -DDAGSCHED_BUILD_EXAMPLES=OFF \
+    -DDAGSCHED_BUILD_TOOLS=OFF "${launcher_args[@]}"
+  cmake --build "${coverage_dir}" -j"${jobs}"
+  (cd "${coverage_dir}" && ctest -j"${jobs}" > /dev/null)
+  gcovr --root "${repo_root}" --object-directory "${coverage_dir}" \
+    --filter 'src/sched/' --print-summary \
+    --fail-under-line "${coverage_floor}"
+else
+  skip "coverage (gcovr not installed)"
+fi
 
 # --- job: bench-check ------------------------------------------------------
 if [[ ${quick} -eq 1 ]]; then
