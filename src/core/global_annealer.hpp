@@ -70,12 +70,18 @@ struct GlobalAnnealOptions {
   /// the best chain wins with ties broken toward the lowest index.
   int num_chains = 0;
 
-  /// Makespan oracle pricing the proposed moves.  Both oracles return
-  /// bit-identical makespans (locked by tests/test_incremental_cost.cpp),
-  /// so this knob never changes results — only how much of the event
-  /// timeline is re-simulated per proposal.  Each chain owns its own
-  /// oracle instance, preserving the multi-chain determinism contract.
-  CostOracleKind oracle = CostOracleKind::kIncremental;
+  /// Makespan oracle pricing the proposed moves.  Both concrete oracles
+  /// return bit-identical makespans (locked by
+  /// tests/test_incremental_cost.cpp), so this knob never changes results
+  /// — only how much of the event timeline is re-simulated per proposal.
+  /// The default kAuto consults the scheduler registry
+  /// (resolve_cost_oracle_kind): the incremental oracle is selected iff
+  /// the replay policy's `pure_decision` capability flag holds, i.e. its
+  /// epoch decision is a pure function of (ready, idle, mapping, levels)
+  /// — the precondition for sound checkpoint resume.  Each chain owns its
+  /// own oracle instance, preserving the multi-chain determinism
+  /// contract.
+  CostOracleKind oracle = CostOracleKind::kAuto;
 
   /// Per-chain wall-clock budget in seconds; 0 disables the budget.  A
   /// chain checks the budget between temperature steps and stops early

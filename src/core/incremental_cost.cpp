@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "graph/analysis.hpp"
+#include "sched/registry.hpp"
 #include "sim/engine.hpp"
 #include "util/require.hpp"
 
@@ -22,6 +23,8 @@ std::string to_string(CostOracleKind kind) {
       return "full";
     case CostOracleKind::kIncremental:
       return "incremental";
+    case CostOracleKind::kAuto:
+      return "auto";
   }
   return "?";
 }
@@ -29,8 +32,17 @@ std::string to_string(CostOracleKind kind) {
 CostOracleKind cost_oracle_kind_from_string(const std::string& name) {
   if (name == "full") return CostOracleKind::kFullReplay;
   if (name == "incremental") return CostOracleKind::kIncremental;
+  if (name == "auto") return CostOracleKind::kAuto;
   throw std::invalid_argument("unknown cost oracle '" + name +
-                              "' (expected 'full' or 'incremental')");
+                              "' (expected 'auto', 'full' or 'incremental')");
+}
+
+CostOracleKind resolve_cost_oracle_kind(CostOracleKind kind) {
+  if (kind != CostOracleKind::kAuto) return kind;
+  const sched::PolicyDescriptor& replay =
+      sched::PolicyRegistry::instance().descriptor("pinned");
+  return replay.caps.pure_decision ? CostOracleKind::kIncremental
+                                   : CostOracleKind::kFullReplay;
 }
 
 CostOracleStats& CostOracleStats::operator+=(const CostOracleStats& other) {
@@ -456,11 +468,13 @@ std::unique_ptr<CostOracle> make_cost_oracle(CostOracleKind kind,
                                              const TaskGraph& graph,
                                              const Topology& topology,
                                              const CommModel& comm) {
-  switch (kind) {
+  switch (resolve_cost_oracle_kind(kind)) {
     case CostOracleKind::kFullReplay:
       return std::make_unique<FullReplayOracle>(graph, topology, comm);
     case CostOracleKind::kIncremental:
       return std::make_unique<IncrementalReplay>(graph, topology, comm);
+    case CostOracleKind::kAuto:
+      break;  // resolve_cost_oracle_kind never returns kAuto
   }
   throw std::invalid_argument("make_cost_oracle: unknown kind");
 }

@@ -51,10 +51,21 @@ namespace dagsched::sa {
 enum class CostOracleKind {
   kFullReplay,    ///< one full pinned replay per proposal (reference)
   kIncremental,   ///< damaged-suffix resume with full-replay fallback
+  kAuto,          ///< resolve by the replay policy's capability traits
 };
 
 std::string to_string(CostOracleKind kind);
 CostOracleKind cost_oracle_kind_from_string(const std::string& name);
+
+/// Resolves kAuto to a concrete oracle via the scheduler registry: the
+/// annealer prices moves by replaying mappings through the "pinned"
+/// policy, and checkpoint-resume pricing is sound only when that policy's
+/// epoch decision is a pure function of (ready, idle, mapping, levels) —
+/// the `pure_decision` capability flag (sched/registry.hpp).  When the
+/// flag holds the incremental oracle is chosen, otherwise the full
+/// replay.  Concrete kinds pass through unchanged, so an explicit choice
+/// always wins.
+CostOracleKind resolve_cost_oracle_kind(CostOracleKind kind);
 
 /// Counters describing how an oracle priced its proposals.  All counters
 /// are cumulative since construction; aggregate across chains with +=.

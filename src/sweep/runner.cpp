@@ -8,15 +8,9 @@
 #include <thread>
 #include <utility>
 
-#include "core/global_annealer.hpp"
-#include "core/sa_scheduler.hpp"
 #include "graph/analysis.hpp"
 #include "graph/generators.hpp"
-#include "sched/etf.hpp"
-#include "sched/fixed_list.hpp"
-#include "sched/heft.hpp"
-#include "sched/hlf.hpp"
-#include "sched/random_policy.hpp"
+#include "sched/registry.hpp"
 #include "sim/engine.hpp"
 #include "sweep/params.hpp"
 #include "topology/builders.hpp"
@@ -175,94 +169,37 @@ TaskGraph build_graph(FamilyKind kind, const InstanceDraw& draw) {
   throw std::invalid_argument("unknown family kind");
 }
 
-/// Runs one policy on one instance.  `timed_out` is set when the spec's
-/// per-instance wall-clock budget was exceeded: gsa reports its
-/// cooperative cutoff, every other policy is measured after the fact
-/// (they have no mid-run cutoff hook).
-Time run_policy(PolicyKind kind, const SweepSpec& spec,
-                const TaskGraph& graph, const Topology& topology,
-                const CommModel& comm, std::uint64_t policy_seed,
-                bool* timed_out) {
-  sim::SimOptions sim_options;
-  sim_options.record_trace = false;
+/// Runs one registry-constructed policy on one instance.  `timed_out` is
+/// set when the spec's per-instance wall-clock budget was exceeded:
+/// policies with a cooperative cutoff (gsa) report it themselves through
+/// PolicyRunOutcome, every other policy is measured after the fact (they
+/// have no mid-run cutoff hook).  `config` is the policy's effective
+/// sweep config (effective_policy_config) with only the seed left to
+/// assign, so the registry lookup and legacy-knob merge happen once per
+/// sweep, not once per cell.
+Time run_policy(const PolicySpec& policy, sched::PolicyConfig config,
+                const SweepSpec& spec, const TaskGraph& graph,
+                const Topology& topology, const CommModel& comm,
+                std::uint64_t policy_seed, bool* timed_out) {
   *timed_out = false;
   const auto start = std::chrono::steady_clock::now();
-  const auto finish_and_mark = [&](Time makespan) {
-    if (spec.time_budget_ms > 0) {
-      const std::chrono::duration<double, std::milli> elapsed =
-          std::chrono::steady_clock::now() - start;
-      if (elapsed.count() > spec.time_budget_ms) *timed_out = true;
-    }
-    return makespan;
-  };
 
-  switch (kind) {
-    case PolicyKind::Sa: {
-      sa::SaSchedulerOptions options;
-      options.anneal = spec.sa_options;
-      options.seed = policy_seed;
-      sa::SaScheduler policy(options);
-      return finish_and_mark(
-          sim::simulate(graph, topology, comm, policy, sim_options)
-              .makespan);
-    }
-    case PolicyKind::Gsa: {
-      sa::GlobalAnnealOptions options = spec.gsa_options;
-      options.seed = policy_seed;
-      if (spec.time_budget_ms > 0) {
-        options.wall_budget_seconds = spec.time_budget_ms / 1000.0;
-      }
-      // anneal_global's result *is* the pinned-replay makespan of the best
-      // mapping; no second simulation needed.
-      const sa::GlobalAnnealResult result =
-          sa::anneal_global(graph, topology, comm, options);
-      if (result.timed_out) *timed_out = true;
-      return finish_and_mark(result.makespan);
-    }
-    case PolicyKind::Hlf: {
-      sched::HlfScheduler policy(sched::HlfPlacement::FirstIdle);
-      return finish_and_mark(
-          sim::simulate(graph, topology, comm, policy, sim_options)
-              .makespan);
-    }
-    case PolicyKind::HlfMinComm: {
-      sched::HlfScheduler policy(sched::HlfPlacement::MinComm);
-      return finish_and_mark(
-          sim::simulate(graph, topology, comm, policy, sim_options)
-              .makespan);
-    }
-    case PolicyKind::Etf: {
-      sched::EtfScheduler policy;
-      return finish_and_mark(
-          sim::simulate(graph, topology, comm, policy, sim_options)
-              .makespan);
-    }
-    case PolicyKind::FixedHlf: {
-      sched::FixedListScheduler policy(sched::hlf_priority_list(graph));
-      return finish_and_mark(
-          sim::simulate(graph, topology, comm, policy, sim_options)
-              .makespan);
-    }
-    case PolicyKind::Heft: {
-      sched::HeftScheduler policy(sched::HeftVariant::Heft);
-      return finish_and_mark(
-          sim::simulate(graph, topology, comm, policy, sim_options)
-              .makespan);
-    }
-    case PolicyKind::Peft: {
-      sched::HeftScheduler policy(sched::HeftVariant::Peft);
-      return finish_and_mark(
-          sim::simulate(graph, topology, comm, policy, sim_options)
-              .makespan);
-    }
-    case PolicyKind::Random: {
-      sched::RandomScheduler policy(policy_seed);
-      return finish_and_mark(
-          sim::simulate(graph, topology, comm, policy, sim_options)
-              .makespan);
-    }
+  config.seed = policy_seed;
+  const std::unique_ptr<sched::ScheduledPolicy> runnable =
+      sched::PolicyRegistry::instance().make(policy.name, config);
+  sched::PolicyRunOptions run_options;
+  run_options.sim.record_trace = false;
+  run_options.time_budget_ms = spec.time_budget_ms;
+  const sched::PolicyRunOutcome outcome =
+      runnable->run(graph, topology, comm, run_options);
+
+  if (outcome.timed_out) *timed_out = true;
+  if (spec.time_budget_ms > 0) {
+    const std::chrono::duration<double, std::milli> elapsed =
+        std::chrono::steady_clock::now() - start;
+    if (elapsed.count() > spec.time_budget_ms) *timed_out = true;
   }
-  throw std::invalid_argument("unknown policy kind");
+  return outcome.result.makespan;
 }
 
 struct InstanceKey {
@@ -305,6 +242,14 @@ SweepResult run_sweep(const SweepSpec& spec) {
   SweepResult result;
   result.spec = spec;
   result.instances.resize(keys.size());
+
+  // Registry lookup + legacy-knob merge once per policy; workers copy the
+  // prepared config per cell and only assign the per-instance seed.
+  std::vector<sched::PolicyConfig> policy_configs;
+  policy_configs.reserve(spec.policies.size());
+  for (const PolicySpec& policy : spec.policies) {
+    policy_configs.push_back(effective_policy_config(spec, policy));
+  }
 
   int threads = spec.threads;
   if (threads == 0) {
@@ -354,9 +299,9 @@ SweepResult run_sweep(const SweepSpec& spec) {
         row.timed_out.assign(spec.policies.size(), 0);
         for (std::size_t p = 0; p < spec.policies.size(); ++p) {
           bool timed_out = false;
-          row.makespans[p] = run_policy(spec.policies[p], spec, graph,
-                                        topology, comm,
-                                        draw.policy_seeds[p], &timed_out);
+          row.makespans[p] =
+              run_policy(spec.policies[p], policy_configs[p], spec, graph,
+                         topology, comm, draw.policy_seeds[p], &timed_out);
           row.timed_out[p] = timed_out ? 1 : 0;
         }
       }

@@ -199,6 +199,48 @@ FamilySpec parse_family(const std::vector<std::string>& tokens,
   return family;
 }
 
+/// Parses one policy token: `name` or `name(key=value,...)` (no spaces
+/// inside the parentheses — the spec format tokenizes on whitespace).
+/// Name and keys are validated against the scheduler registry so a typo
+/// fails here, with the line number, not mid-sweep.
+PolicySpec parse_policy(const std::string& token, int line_number) {
+  PolicySpec policy;
+  const auto open = token.find('(');
+  if (open == std::string::npos) {
+    policy.name = token;
+  } else {
+    if (token.empty() || token.back() != ')') {
+      fail(line_number, "policy '" + token + "' has unbalanced parentheses");
+    }
+    policy.name = token.substr(0, open);
+    const std::string inner = token.substr(open + 1, token.size() - open - 2);
+    if (!inner.empty()) {
+      for (const std::string& item : split(inner, ',')) {
+        const auto eq = item.find('=');
+        if (eq == std::string::npos || eq == 0) {
+          fail(line_number, "policy override '" + item +
+                                "' must be key=value (no spaces)");
+        }
+        policy.args.emplace_back(item.substr(0, eq), item.substr(eq + 1));
+      }
+    }
+  }
+  try {
+    sched::PolicyConfig config =
+        sched::PolicyRegistry::instance().make_config(policy.name);
+    for (const auto& [key, value] : policy.args) config.set(key, value);
+    // Run the factory too so semantic errors (chains=0, oracle=warp)
+    // also carry the line number; defaults are always factory-valid, so
+    // a failure here can only come from this line's overrides.  (The
+    // spec-level legacy knobs are not merged yet — they may appear on
+    // any later line — so validate() re-resolves the effective config.)
+    sched::PolicyRegistry::instance().make(policy.name, config);
+  } catch (const std::invalid_argument& error) {
+    fail(line_number, error.what());
+  }
+  return policy;
+}
+
 }  // namespace
 
 std::span<const ParamDef> family_param_defs(FamilyKind kind) {
@@ -254,41 +296,37 @@ FamilyKind family_kind_from_string(const std::string& name) {
   throw std::invalid_argument("unknown graph family '" + name + "'");
 }
 
-std::string to_string(PolicyKind kind) {
-  switch (kind) {
-    case PolicyKind::Sa:
-      return "sa";
-    case PolicyKind::Gsa:
-      return "gsa";
-    case PolicyKind::Hlf:
-      return "hlf";
-    case PolicyKind::HlfMinComm:
-      return "hlf-mincomm";
-    case PolicyKind::Etf:
-      return "etf";
-    case PolicyKind::FixedHlf:
-      return "list-hlf";
-    case PolicyKind::Heft:
-      return "heft";
-    case PolicyKind::Peft:
-      return "peft";
-    case PolicyKind::Random:
-      return "random";
+std::string PolicySpec::canonical() const {
+  if (args.empty()) return name;
+  std::string out = name + "(";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ",";
+    out += args[i].first + "=" + args[i].second;
   }
-  return "?";
+  out += ")";
+  return out;
 }
 
-PolicyKind policy_kind_from_string(const std::string& name) {
-  if (name == "sa") return PolicyKind::Sa;
-  if (name == "gsa") return PolicyKind::Gsa;
-  if (name == "hlf") return PolicyKind::Hlf;
-  if (name == "hlf-mincomm") return PolicyKind::HlfMinComm;
-  if (name == "etf") return PolicyKind::Etf;
-  if (name == "list-hlf") return PolicyKind::FixedHlf;
-  if (name == "heft") return PolicyKind::Heft;
-  if (name == "peft") return PolicyKind::Peft;
-  if (name == "random") return PolicyKind::Random;
-  throw std::invalid_argument("unknown policy '" + name + "'");
+sched::PolicyConfig effective_policy_config(const SweepSpec& spec,
+                                            const PolicySpec& policy) {
+  sched::PolicyConfig config =
+      sched::PolicyRegistry::instance().make_config(policy.name);
+  // Spec-level legacy knobs first (they are always present, defaulted by
+  // parse_spec), then the per-policy parenthesized overrides.
+  if (policy.name == "sa") {
+    config.set_int("max_steps", spec.sa_options.cooling.max_steps);
+    config.set_int("moves", spec.sa_options.moves_per_temperature);
+    config.set_real("wb", spec.sa_options.wb);
+  } else if (policy.name == "gsa") {
+    config.set_int("chains", spec.gsa_options.num_chains);
+    config.set_int("max_steps", spec.gsa_options.cooling.max_steps);
+    config.set_int("moves", spec.gsa_options.moves_per_temperature);
+    config.set_string("oracle", sa::to_string(spec.gsa_options.oracle));
+  }
+  for (const auto& [key, value] : policy.args) {
+    config.set(key, value);
+  }
+  return config;
 }
 
 bool CommAblation::is_paper_default() const {
@@ -362,13 +400,22 @@ void SweepSpec::validate() const {
                                   " has nonpositive count");
     }
   }
+  // Identical policy lines would make the ranking ambiguous; the same
+  // base policy with different hyperparameters is a legitimate ablation.
   for (std::size_t i = 0; i < policies.size(); ++i) {
     for (std::size_t j = i + 1; j < policies.size(); ++j) {
-      if (policies[i] == policies[j]) {
+      if (policies[i].canonical() == policies[j].canonical()) {
         throw std::invalid_argument("sweep spec: duplicate policy " +
-                                    to_string(policies[i]));
+                                    policies[i].canonical());
       }
     }
+  }
+  // Resolve every policy through the registry — name, config keys and
+  // factory-level semantic checks — so a typo fails before any work is
+  // done, exactly like the topology resolution below.
+  for (const PolicySpec& policy : policies) {
+    sched::PolicyRegistry::instance().make(
+        policy.name, effective_policy_config(*this, policy));
   }
   // Resolve every topology now so a typo fails before any work is done.
   for (const std::string& spec : topologies) {
@@ -408,6 +455,11 @@ SweepSpec parse_spec(const std::string& text) {
       continue;
     }
     if (tokens.size() != 2) {
+      if (key == "policy" && tokens.size() > 2) {
+        fail(line_number,
+             "policy must be one token: name(key=value,...) with no "
+             "spaces inside the parentheses");
+      }
       fail(line_number, "expected '" + key + " <value>'");
     }
     const std::string& value = tokens[1];
@@ -444,11 +496,7 @@ SweepSpec parse_spec(const std::string& text) {
     } else if (key == "topology") {
       spec.topologies.push_back(value);
     } else if (key == "policy") {
-      try {
-        spec.policies.push_back(policy_kind_from_string(value));
-      } catch (const std::invalid_argument& error) {
-        fail(line_number, error.what());
-      }
+      spec.policies.push_back(parse_policy(value, line_number));
     } else if (key == "sa_max_steps") {
       spec.sa_options.cooling.max_steps =
           static_cast<int>(parse_integer(value, line_number));

@@ -19,13 +19,15 @@
 //   threads 0                        # 0 = hardware concurrency
 //   gsa_chains 2                     # chains for the "gsa" policy
 //   gsa_max_steps 24                 # temperature steps for "gsa"
-//   gsa_oracle incremental           # incremental | full (cost oracle)
+//   gsa_oracle auto                  # auto | incremental | full
 //   time_budget_ms 0                 # per-(instance, policy) wall budget
 //   topology hypercube8
 //   topology ring9
 //   policy sa
 //   policy hlf
 //   policy heft
+//   policy gsa(chains=8,max_steps=32)     # per-policy hyperparameters
+//   policy heft(ranking=peft)
 //   family layered count=40 layers=5:8 edge_probability=0.2:0.35
 //   family gnp count=40 tasks=30:60
 //   family fork_join count=40 stages=3:6 width=4:8
@@ -37,13 +39,27 @@
 // instance draws its own sigma/tau/SendCpu, so one sweep covers a slice of
 // the hardware space instead of a single machine (see CommAblation below).
 // Unknown keys are rejected so typos cannot silently configure nothing.
+//
+// Policies are resolved by name through the scheduler registry
+// (sched/registry.hpp); a policy line may carry construction-time
+// hyperparameter overrides as `name(key=value,...)` — no spaces inside
+// the parentheses — validated against the policy's declared config keys
+// (`sweep --list-policies` prints them).  The same base policy may appear
+// several times with different hyperparameters, which makes policy
+// configuration an ablation axis of its own (e.g. `gsa(chains=2)` vs
+// `gsa(chains=8)`).  The legacy spec-level knobs (sa_max_steps, sa_moves,
+// gsa_chains, gsa_max_steps, gsa_moves, gsa_oracle) remain supported as
+// defaults applied to every instance of that policy; parenthesized
+// overrides win over them.
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/annealer.hpp"
 #include "core/global_annealer.hpp"
+#include "sched/registry.hpp"
 #include "topology/comm_model.hpp"
 
 namespace dagsched::sweep {
@@ -62,21 +78,18 @@ enum class FamilyKind {
 std::string to_string(FamilyKind kind);
 FamilyKind family_kind_from_string(const std::string& name);
 
-/// Scheduling policies a sweep can compare.
-enum class PolicyKind {
-  Sa,          ///< the paper's staged packet annealer (core/sa_scheduler)
-  Gsa,         ///< whole-schedule annealer + pinned replay (anneal_global)
-  Hlf,         ///< HLF, FirstIdle placement (the paper's baseline)
-  HlfMinComm,  ///< HLF with communication-aware placement (ablation)
-  Etf,         ///< earliest-start-time-first greedy
-  FixedHlf,    ///< Graham fixed-list scheduling with the HLF level order
-  Heft,        ///< HEFT rank-u + insertion-based EFT plan (sched/heft.hpp)
-  Peft,        ///< PEFT optimistic-cost-table variant (sched/heft.hpp)
-  Random,      ///< uniformly random sanity baseline
-};
+/// One policy line of a spec: a scheduler-registry name plus the
+/// parenthesized construction-time overrides, in declaration order.  The
+/// canonical string doubles as the policy's identity within the sweep
+/// (duplicate detection, summary/CSV column label, JSON echo).
+struct PolicySpec {
+  std::string name;  ///< sched::PolicyRegistry name, e.g. "gsa"
+  std::vector<std::pair<std::string, std::string>> args;  ///< key, value
 
-std::string to_string(PolicyKind kind);
-PolicyKind policy_kind_from_string(const std::string& name);
+  /// "gsa(chains=2,max_steps=32)", or the bare name when no overrides —
+  /// old-style specs keep their historical labels byte for byte.
+  std::string canonical() const;
+};
 
 /// One `param=lo[:hi]` value; lo == hi for single values.  Integer-valued
 /// parameters are drawn with uniform_int over [lo, hi], real-valued ones
@@ -138,7 +151,7 @@ struct SweepSpec {
   CommAblation comm;
 
   std::vector<std::string> topologies;  ///< topo::by_name specs
-  std::vector<PolicyKind> policies;
+  std::vector<PolicySpec> policies;     ///< registry names + overrides
   std::vector<FamilySpec> families;
 
   /// Per-(instance, policy) wall-clock budget in milliseconds; 0 = none.
@@ -151,12 +164,17 @@ struct SweepSpec {
   /// unattended.
   double time_budget_ms = 0.0;
 
-  /// Options for the staged SA policy ("sa"); seed is set per instance.
+  /// Legacy spec-level options for the "sa" policy; seed is set per
+  /// instance.  Only the fields with registry config keys are forwarded
+  /// into policy construction (max_steps -> cooling.max_steps, moves ->
+  /// moves_per_temperature, wb), via effective_policy_config();
+  /// parenthesized per-policy overrides win over these.
   sa::AnnealOptions sa_options;
-  /// Options for the global annealer policy ("gsa"); seed set per
+  /// Legacy spec-level options for the "gsa" policy; seed set per
   /// instance.  num_chains defaults to 2 (explicit, never 0, so results
   /// do not depend on the host's core count) and max_steps to 24 to keep
-  /// thousand-instance sweeps tractable.
+  /// thousand-instance sweeps tractable.  Forwarded fields: num_chains,
+  /// cooling.max_steps, moves_per_temperature, oracle.
   sa::GlobalAnnealOptions gsa_options;
 
   /// Instances per full sweep: sum(family count) * |topologies|.
@@ -166,6 +184,15 @@ struct SweepSpec {
   /// no topologies, no policies, nonpositive counts, bad ranges).
   void validate() const;
 };
+
+/// The effective construction-time config of `policy` under `spec`: the
+/// registry defaults, overwritten by the spec-level legacy knobs for that
+/// policy name (see sa_options / gsa_options above), overwritten by the
+/// policy's own parenthesized overrides.  The seed is left at its
+/// default; the runner assigns one per (instance, policy).  Throws
+/// std::invalid_argument for unknown policy names or config keys.
+sched::PolicyConfig effective_policy_config(const SweepSpec& spec,
+                                            const PolicySpec& policy);
 
 /// Parses the text format above.  Throws std::invalid_argument with a line
 /// number on malformed input.

@@ -45,7 +45,7 @@ std::vector<PolicySummary> summarize(const SweepResult& result) {
   std::vector<PolicySummary> summaries(num_policies);
   for (std::size_t p = 0; p < num_policies; ++p) {
     PolicySummary& s = summaries[p];
-    s.policy = to_string(result.spec.policies[p]);
+    s.policy = result.spec.policies[p].canonical();
     s.wins = tallies[p].wins;
     s.win_rate = tallies[p].wins / instances;
     double log_sum = 0.0;
@@ -74,7 +74,7 @@ std::vector<PolicySummary> summarize(const SweepResult& result) {
   // tests; cf. the PISA critique of single-instance comparisons).
   std::size_t best_index = 0;
   for (std::size_t p = 0; p < num_policies; ++p) {
-    if (to_string(result.spec.policies[p]) == summaries[0].policy) {
+    if (result.spec.policies[p].canonical() == summaries[0].policy) {
       best_index = p;
     }
   }
@@ -83,7 +83,7 @@ std::vector<PolicySummary> summarize(const SweepResult& result) {
   for (PolicySummary& s : summaries) {
     std::size_t policy_index = 0;
     for (std::size_t p = 0; p < num_policies; ++p) {
-      if (to_string(result.spec.policies[p]) == s.policy) policy_index = p;
+      if (result.spec.policies[p].canonical() == s.policy) policy_index = p;
     }
     if (policy_index == best_index) continue;  // leader row keeps defaults
     log_diffs.clear();
@@ -98,6 +98,20 @@ std::vector<PolicySummary> summarize(const SweepResult& result) {
     }
     s.sign_p = sign_test(s.better_than_best, s.worse_than_best).p_value;
     s.wilcoxon_p = wilcoxon_signed_rank(log_diffs).p_value;
+  }
+
+  // Every non-leader row tests against the same leader — a family of
+  // m - 1 simultaneous comparisons, so control the family-wise error with
+  // a Holm-Bonferroni pass over the Wilcoxon p-values.  The leader keeps
+  // its neutral 1.0.
+  std::vector<double> family;
+  family.reserve(summaries.size());
+  for (std::size_t i = 1; i < summaries.size(); ++i) {
+    family.push_back(summaries[i].wilcoxon_p);
+  }
+  const std::vector<double> adjusted = holm_bonferroni(family);
+  for (std::size_t i = 1; i < summaries.size(); ++i) {
+    summaries[i].wilcoxon_p_holm = adjusted[i - 1];
   }
   return summaries;
 }
@@ -141,8 +155,12 @@ std::string summary_json(const SweepResult& result,
     w.value(dagsched::to_string(mode));
   }
   w.end_array();
+  // Echo the *resolved* oracle kind: the default kAuto resolves through
+  // the registry's capability traits, and emitting the resolution keeps
+  // old-spec artifacts byte-identical ("incremental") across the change.
   w.key("gsa_oracle");
-  w.value(sa::to_string(spec.gsa_options.oracle));
+  w.value(sa::to_string(
+      sa::resolve_cost_oracle_kind(spec.gsa_options.oracle)));
   w.key("time_budget_ms");
   w.value(spec.time_budget_ms);
   w.key("topologies");
@@ -151,7 +169,7 @@ std::string summary_json(const SweepResult& result,
   w.end_array();
   w.key("policies");
   w.begin_array();
-  for (PolicyKind p : spec.policies) w.value(to_string(p));
+  for (const PolicySpec& p : spec.policies) w.value(p.canonical());
   w.end_array();
   w.key("families");
   w.begin_array();
@@ -219,6 +237,8 @@ std::string summary_json(const SweepResult& result,
     w.value(s.sign_p);
     w.key("wilcoxon_p");
     w.value(s.wilcoxon_p);
+    w.key("wilcoxon_p_holm");
+    w.value(s.wilcoxon_p_holm);
     w.end_object();
     w.end_object();
   }
@@ -244,7 +264,7 @@ std::string per_instance_csv(const SweepResult& result) {
                    std::to_string(row.tasks), std::to_string(row.edges),
                    std::to_string(row.graph_seed),
                    std::to_string(row.sigma_us), std::to_string(row.tau_us),
-                   row.send_cpu, to_string(result.spec.policies[p]),
+                   row.send_cpu, result.spec.policies[p].canonical(),
                    format_fixed(to_us(row.makespans[p]), 3),
                    format_fixed(ratio, 6), timed_out ? "1" : "0"});
     }
@@ -256,7 +276,7 @@ std::string render_summary_table(const SweepResult& result,
                                  const std::vector<PolicySummary>& ranking) {
   TableWriter table({"rank", "policy", "win rate", "geomean", "mean", "p50",
                      "p90", "max", "mean makespan", "timeouts", "vs best",
-                     "p(sign)", "p(wilcoxon)"});
+                     "p(sign)", "p(wilcoxon)", "p(holm)"});
   int rank = 1;
   for (const PolicySummary& s : ranking) {
     const bool is_best = rank == 1;
@@ -273,13 +293,16 @@ std::string render_summary_table(const SweepResult& result,
                            : std::to_string(s.better_than_best) + "/" +
                                  std::to_string(s.worse_than_best),
                    is_best ? "-" : format_fixed(s.sign_p, 4),
-                   is_best ? "-" : format_fixed(s.wilcoxon_p, 4)});
+                   is_best ? "-" : format_fixed(s.wilcoxon_p, 4),
+                   is_best ? "-" : format_fixed(s.wilcoxon_p_holm, 4)});
   }
   std::string out = "Sweep: " +
                     std::to_string(result.instances.size()) +
                     " instances, ratios vs. per-instance best; vs best = "
                     "wins/losses against the top-ranked policy (paired "
-                    "sign / Wilcoxon signed-rank p-values)\n";
+                    "sign / Wilcoxon signed-rank p-values; p(holm) = "
+                    "Holm-Bonferroni-adjusted Wilcoxon p over the vs-best "
+                    "family)\n";
   out += table.render();
   return out;
 }

@@ -52,6 +52,12 @@ struct PolicySummary {
   int worse_than_best = 0;   ///< instances strictly slower than the leader
   double sign_p = 1.0;       ///< two-sided paired sign-test p-value
   double wilcoxon_p = 1.0;   ///< two-sided Wilcoxon signed-rank p-value
+  /// Holm-Bonferroni-adjusted wilcoxon_p over the vs-best family (every
+  /// non-leader row tests against the same leader, so the m - 1 p-values
+  /// form one family of simultaneous comparisons; the adjustment keeps
+  /// the family-wise error rate honest for wide policy sets).  1.0 for
+  /// the leader.
+  double wilcoxon_p_holm = 1.0;
 };
 
 /// Computes the per-policy summaries, ranked best (rank 0) to worst.

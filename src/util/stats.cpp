@@ -156,13 +156,74 @@ WilcoxonTest wilcoxon_signed_rank(std::span<const double> diffs) {
   const double mean_w = n * (n + 1.0) / 4.0;
   const double variance =
       n * (n + 1.0) * (2.0 * n + 1.0) / 24.0 - tie_correction / 48.0;
+  if (variance > 0.0) {
+    const double centred = test.w_plus - mean_w;
+    const double continuity =
+        centred > 0.0 ? -0.5 : (centred < 0.0 ? 0.5 : 0.0);
+    test.z = (centred + continuity) / std::sqrt(variance);
+  }
+
+  if (test.n <= kWilcoxonExactMax) {
+    // Exact permutation distribution of W+ over all 2^n sign assignments
+    // of the observed (mid-)ranks.  Mid-ranks are half-integers, so the
+    // doubled ranks are exact integers and a subset-sum DP over them
+    // counts assignments per achievable doubled W+.  Counts stay <= 2^25,
+    // far inside double's exact-integer range.
+    std::vector<std::int64_t> doubled(rank.size());
+    std::int64_t total = 0;
+    for (std::size_t m = 0; m < rank.size(); ++m) {
+      doubled[m] = static_cast<std::int64_t>(std::llround(2.0 * rank[m]));
+      total += doubled[m];
+    }
+    std::vector<double> count(static_cast<std::size_t>(total) + 1, 0.0);
+    count[0] = 1.0;
+    std::int64_t reached = 0;
+    for (const std::int64_t r : doubled) {
+      for (std::int64_t s = reached; s >= 0; --s) {
+        if (count[static_cast<std::size_t>(s)] > 0.0) {
+          count[static_cast<std::size_t>(s + r)] +=
+              count[static_cast<std::size_t>(s)];
+        }
+      }
+      reached += r;
+    }
+    const auto observed =
+        static_cast<std::int64_t>(std::llround(2.0 * test.w_plus));
+    double below = 0.0;
+    double above = 0.0;
+    for (std::int64_t s = 0; s <= total; ++s) {
+      if (s <= observed) below += count[static_cast<std::size_t>(s)];
+      if (s >= observed) above += count[static_cast<std::size_t>(s)];
+    }
+    const double assignments = std::ldexp(1.0, test.n);  // 2^n exactly
+    test.p_value =
+        std::min(1.0, 2.0 * std::min(below, above) / assignments);
+    test.exact = true;
+    return test;
+  }
+
   if (variance <= 0.0) return test;  // all-tied degenerate sample
-  const double centred = test.w_plus - mean_w;
-  const double continuity =
-      centred > 0.0 ? -0.5 : (centred < 0.0 ? 0.5 : 0.0);
-  test.z = (centred + continuity) / std::sqrt(variance);
   test.p_value = std::min(1.0, two_sided_normal_p(test.z));
   return test;
+}
+
+std::vector<double> holm_bonferroni(std::span<const double> p_values) {
+  const std::size_t m = p_values.size();
+  std::vector<std::size_t> order(m);
+  for (std::size_t i = 0; i < m; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [p_values](std::size_t a, std::size_t b) {
+              return p_values[a] < p_values[b];
+            });
+  std::vector<double> adjusted(m, 1.0);
+  double running_max = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    const double scaled =
+        std::min(1.0, static_cast<double>(m - i) * p_values[order[i]]);
+    running_max = std::max(running_max, scaled);
+    adjusted[order[i]] = running_max;
+  }
+  return adjusted;
 }
 
 }  // namespace dagsched

@@ -70,19 +70,37 @@ struct SignTest {
 };
 SignTest sign_test(int positives, int negatives);
 
+/// Largest n for which wilcoxon_signed_rank computes the exact
+/// permutation distribution of W+ instead of the normal approximation.
+inline constexpr int kWilcoxonExactMax = 25;
+
 /// Two-sided Wilcoxon signed-rank test over paired differences.  Zeros
-/// are dropped, tied |d| get mid-ranks, and the p-value uses the normal
-/// approximation with tie-corrected variance and continuity correction
-/// (the standard large-sample treatment; exact small-n tables are not
-/// implemented, so p-values for n < 10 are approximate).  p_value is 1
-/// when no nonzero differences remain or the variance degenerates.
+/// are dropped and tied |d| get mid-ranks.  For n <= kWilcoxonExactMax
+/// the p-value is exact: the full permutation distribution of W+ over all
+/// 2^n sign assignments of the (mid-)ranks is enumerated by dynamic
+/// programming over doubled ranks (mid-ranks are half-integers), and
+/// p = min(1, 2 * min(P(W+ <= w), P(W+ >= w))) — the doubled one-sided
+/// exact tail, which respects ties because the observed mid-ranks define
+/// the distribution.  Above the cutoff the standard large-sample normal
+/// approximation with tie-corrected variance and continuity correction is
+/// used.  The z deviate is reported in both regimes (when the variance is
+/// nondegenerate).  p_value is 1 when no nonzero differences remain.
 struct WilcoxonTest {
   int n = 0;            ///< nonzero differences
   double w_plus = 0.0;  ///< rank sum of the positive differences
   double w_minus = 0.0; ///< rank sum of the negative differences
   double z = 0.0;       ///< normal deviate of w_plus
   double p_value = 1.0;
+  bool exact = false;   ///< exact permutation tail vs normal approximation
 };
 WilcoxonTest wilcoxon_signed_rank(std::span<const double> diffs);
+
+/// Holm–Bonferroni step-down adjustment of a family of p-values
+/// (family-wise error control, uniformly more powerful than plain
+/// Bonferroni).  Returns the adjusted p-values in the input's order:
+/// sort ascending, multiply the i-th smallest by (m - i), enforce
+/// monotonicity with a running maximum, cap at 1.  An empty input gives
+/// an empty result.
+std::vector<double> holm_bonferroni(std::span<const double> p_values);
 
 }  // namespace dagsched

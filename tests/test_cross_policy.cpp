@@ -1,100 +1,42 @@
-// Cross-policy schedule-validity invariant: every policy a sweep can
-// compare — sa, gsa, hlf, hlf-mincomm, etf, list-hlf, heft, peft,
-// random — must produce schedules that pass the shared validator
-// (schedule_checks.hpp) on randomized instances spanning graph families,
-// topologies and communication parameters.  This is the sweep's
+// Cross-policy schedule-validity invariant: every policy the scheduler
+// registry can construct must produce schedules that pass the shared
+// validator (schedule_checks.hpp) on randomized instances spanning graph
+// families, topologies and communication parameters.  This is the sweep's
 // correctness floor: the ranking table is meaningless if any policy can
-// emit an invalid schedule.
+// emit an invalid schedule.  The suite enumerates
+// sched::PolicyRegistry::instance() — a newly registered policy is
+// covered automatically, with no parallel list to maintain.
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
 #include <vector>
 
-#include "core/global_annealer.hpp"
-#include "core/sa_scheduler.hpp"
 #include "graph/generators.hpp"
 #include "schedule_checks.hpp"
-#include "sched/etf.hpp"
-#include "sched/fixed_list.hpp"
-#include "sched/heft.hpp"
-#include "sched/hlf.hpp"
-#include "sched/pinned.hpp"
-#include "sched/random_policy.hpp"
+#include "sched/registry.hpp"
 #include "sim/engine.hpp"
-#include "sweep/spec.hpp"
 #include "topology/builders.hpp"
 #include "util/rng.hpp"
 
 namespace dagsched {
 namespace {
 
-/// Every policy the sweep knows, in spec order.
-const sweep::PolicyKind kAllPolicies[] = {
-    sweep::PolicyKind::Sa,        sweep::PolicyKind::Gsa,
-    sweep::PolicyKind::Hlf,       sweep::PolicyKind::HlfMinComm,
-    sweep::PolicyKind::Etf,       sweep::PolicyKind::FixedHlf,
-    sweep::PolicyKind::Heft,      sweep::PolicyKind::Peft,
-    sweep::PolicyKind::Random,
-};
-
-/// Runs `kind` on one instance with trace recording, mirroring the sweep
-/// runner's policy construction (kept small: gsa uses a short schedule).
-sim::SimResult run_policy_with_trace(sweep::PolicyKind kind,
-                                     const TaskGraph& graph,
-                                     const Topology& topology,
-                                     const CommModel& comm,
-                                     std::uint64_t seed) {
-  switch (kind) {
-    case sweep::PolicyKind::Sa: {
-      sa::SaSchedulerOptions options;
-      options.anneal.cooling.max_steps = 12;
-      options.seed = seed;
-      sa::SaScheduler policy(options);
-      return sim::simulate(graph, topology, comm, policy);
-    }
-    case sweep::PolicyKind::Gsa: {
-      sa::GlobalAnnealOptions options;
-      options.cooling.max_steps = 6;
-      options.num_chains = 1;
-      options.seed = seed;
-      const sa::GlobalAnnealResult annealed =
-          sa::anneal_global(graph, topology, comm, options);
-      sched::PinnedScheduler replay(annealed.mapping);
-      sim::SimResult result = sim::simulate(graph, topology, comm, replay);
-      EXPECT_EQ(result.makespan, annealed.makespan)
-          << "gsa replay drifted from the annealer's reported makespan";
-      return result;
-    }
-    case sweep::PolicyKind::Hlf: {
-      sched::HlfScheduler policy(sched::HlfPlacement::FirstIdle);
-      return sim::simulate(graph, topology, comm, policy);
-    }
-    case sweep::PolicyKind::HlfMinComm: {
-      sched::HlfScheduler policy(sched::HlfPlacement::MinComm);
-      return sim::simulate(graph, topology, comm, policy);
-    }
-    case sweep::PolicyKind::Etf: {
-      sched::EtfScheduler policy;
-      return sim::simulate(graph, topology, comm, policy);
-    }
-    case sweep::PolicyKind::FixedHlf: {
-      sched::FixedListScheduler policy(sched::hlf_priority_list(graph));
-      return sim::simulate(graph, topology, comm, policy);
-    }
-    case sweep::PolicyKind::Heft: {
-      sched::HeftScheduler policy(sched::HeftVariant::Heft);
-      return sim::simulate(graph, topology, comm, policy);
-    }
-    case sweep::PolicyKind::Peft: {
-      sched::HeftScheduler policy(sched::HeftVariant::Peft);
-      return sim::simulate(graph, topology, comm, policy);
-    }
-    case sweep::PolicyKind::Random: {
-      sched::RandomScheduler policy(seed);
-      return sim::simulate(graph, topology, comm, policy);
-    }
+/// A construction config sized for tests: annealers get short schedules
+/// and a single chain so six rounds over nine policies stay fast.  Keys
+/// are adjusted only where the descriptor declares them, so the shaping
+/// works for any future policy too.
+sched::PolicyConfig test_config(const std::string& name,
+                                std::uint64_t seed) {
+  const auto& registry = sched::PolicyRegistry::instance();
+  sched::PolicyConfig config = registry.make_config(name);
+  config.seed = seed;
+  if (config.has_key("chains")) config.set_int("chains", 1);
+  if (config.has_key("max_steps")) {
+    config.set_int("max_steps", name == "gsa" ? 6 : 12);
   }
-  throw std::invalid_argument("unknown policy kind");
+  return config;
 }
 
 TaskGraph random_graph(Rng& rng, int round) {
@@ -122,7 +64,11 @@ CommModel random_comm(Rng& rng, int round) {
   return comm;
 }
 
-TEST(CrossPolicy, EveryPolicyPassesTheSharedValidator) {
+TEST(CrossPolicy, EveryRegisteredPolicyPassesTheSharedValidator) {
+  const auto& registry = sched::PolicyRegistry::instance();
+  const std::vector<std::string> names = registry.names();
+  ASSERT_GE(names.size(), 9u) << "builtin policies went missing";
+
   Rng rng(0xC0FFEE);
   const Topology machines[] = {topo::hypercube(3), topo::ring(5),
                                topo::mesh(2, 3), topo::shared_bus(4)};
@@ -130,21 +76,69 @@ TEST(CrossPolicy, EveryPolicyPassesTheSharedValidator) {
     const TaskGraph graph = random_graph(rng, round);
     const Topology& machine = machines[round % 4];
     const CommModel comm = random_comm(rng, round);
-    for (const sweep::PolicyKind kind : kAllPolicies) {
+    for (const std::string& name : names) {
       const std::uint64_t seed = rng.next_u64();
-      const sim::SimResult result =
-          run_policy_with_trace(kind, graph, machine, comm, seed);
-      EXPECT_GT(result.makespan, 0);
-      EXPECT_TRUE(schedule_is_valid(graph, machine, comm, result))
-          << sweep::to_string(kind) << " on " << machine.name()
-          << " (round " << round << ", " << graph.num_tasks() << " tasks)";
+      const std::unique_ptr<sched::ScheduledPolicy> policy =
+          registry.make(name, test_config(name, seed));
+      sched::PolicyRunOptions options;
+      options.sim.record_trace = true;  // the validator needs the trace
+      const sched::PolicyRunOutcome outcome =
+          policy->run(graph, machine, comm, options);
+      EXPECT_GT(outcome.result.makespan, 0);
+      EXPECT_FALSE(outcome.timed_out);
+      EXPECT_TRUE(schedule_is_valid(graph, machine, comm, outcome.result))
+          << name << " on " << machine.name() << " (round " << round
+          << ", " << graph.num_tasks() << " tasks)";
     }
   }
 }
 
-TEST(CrossPolicy, PolicyNameRoundTrip) {
-  for (const sweep::PolicyKind kind : kAllPolicies) {
-    EXPECT_EQ(sweep::policy_kind_from_string(sweep::to_string(kind)), kind);
+TEST(CrossPolicy, RegistryNamesAreUniqueAndSelfConsistent) {
+  const auto& registry = sched::PolicyRegistry::instance();
+  const std::vector<std::string> names = registry.names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    EXPECT_EQ(registry.descriptor(names[i]).name, names[i]);
+    for (std::size_t j = i + 1; j < names.size(); ++j) {
+      EXPECT_NE(names[i], names[j]);
+    }
+  }
+}
+
+TEST(CrossPolicy, DeterministicPoliciesIgnoreTheSeed) {
+  // The `deterministic` capability is a promise: two different seeds must
+  // produce the same schedule.  Check it on one nontrivial instance so a
+  // policy that secretly consumes randomness cannot keep the flag.
+  const auto& registry = sched::PolicyRegistry::instance();
+  Rng rng(0xFEED);
+  const TaskGraph graph = random_graph(rng, 0);
+  const Topology machine = topo::hypercube(3);
+  const CommModel comm = CommModel::paper_default();
+  for (const std::string& name : registry.names()) {
+    if (!registry.descriptor(name).caps.deterministic) continue;
+    const auto a =
+        registry.make(name, test_config(name, 11))->run(graph, machine, comm);
+    const auto b =
+        registry.make(name, test_config(name, 77))->run(graph, machine, comm);
+    EXPECT_EQ(a.result.makespan, b.result.makespan) << name;
+    EXPECT_EQ(a.result.placement, b.result.placement) << name;
+  }
+}
+
+TEST(CrossPolicy, SeededPoliciesAreReproducible) {
+  // Every policy — rng-consuming or not — must replay bit-identically for
+  // the same seed (the sweep determinism contract).
+  const auto& registry = sched::PolicyRegistry::instance();
+  Rng rng(0xBEEF);
+  const TaskGraph graph = random_graph(rng, 1);
+  const Topology machine = topo::ring(5);
+  const CommModel comm = CommModel::paper_default();
+  for (const std::string& name : registry.names()) {
+    const auto a =
+        registry.make(name, test_config(name, 42))->run(graph, machine, comm);
+    const auto b =
+        registry.make(name, test_config(name, 42))->run(graph, machine, comm);
+    EXPECT_EQ(a.result.makespan, b.result.makespan) << name;
+    EXPECT_EQ(a.result.placement, b.result.placement) << name;
   }
 }
 

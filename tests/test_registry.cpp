@@ -1,0 +1,260 @@
+// The scheduler registry (sched/registry.hpp): registration rules,
+// actionable error messages, capability-flag round-trips, typed config
+// behavior, and the capability-driven oracle resolution the global
+// annealer relies on.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/annealer.hpp"
+#include "core/global_annealer.hpp"
+#include "core/incremental_cost.hpp"
+#include "graph/generators.hpp"
+#include "sched/registry.hpp"
+#include "topology/builders.hpp"
+
+namespace dagsched {
+namespace {
+
+using sched::ConfigValueKind;
+using sched::PolicyConfig;
+using sched::PolicyDescriptor;
+using sched::PolicyRegistry;
+
+/// The message of the invalid_argument `fn` throws; fails the test when
+/// nothing is thrown.
+template <typename Fn>
+std::string thrown_message(Fn&& fn) {
+  try {
+    fn();
+  } catch (const std::invalid_argument& error) {
+    return error.what();
+  }
+  ADD_FAILURE() << "expected std::invalid_argument";
+  return {};
+}
+
+PolicyDescriptor dummy_descriptor(std::string name) {
+  PolicyDescriptor d;
+  d.name = std::move(name);
+  d.doc = "test policy";
+  d.factory = [](const PolicyConfig&) {
+    return std::unique_ptr<sched::ScheduledPolicy>();
+  };
+  return d;
+}
+
+TEST(PolicyRegistry, DuplicateNameRegistrationRejected) {
+  PolicyRegistry registry;
+  registry.add(dummy_descriptor("alpha"));
+  const std::string message =
+      thrown_message([&] { registry.add(dummy_descriptor("alpha")); });
+  EXPECT_NE(message.find("duplicate name 'alpha'"), std::string::npos)
+      << message;
+  // The registry is unchanged by the failed registration.
+  EXPECT_EQ(registry.names(), std::vector<std::string>{"alpha"});
+}
+
+TEST(PolicyRegistry, EmptyNameAndDuplicateKeysRejected) {
+  PolicyRegistry registry;
+  EXPECT_THROW(registry.add(dummy_descriptor("")), std::invalid_argument);
+  PolicyDescriptor twice = dummy_descriptor("twice");
+  twice.keys = {{"steps", ConfigValueKind::Int, "1", ""},
+                {"steps", ConfigValueKind::Int, "2", ""}};
+  EXPECT_THROW(registry.add(std::move(twice)), std::invalid_argument);
+}
+
+TEST(PolicyRegistry, UnknownPolicyErrorListsKnownNames) {
+  const auto& registry = PolicyRegistry::instance();
+  const std::string message =
+      thrown_message([&] { registry.descriptor("warp"); });
+  EXPECT_NE(message.find("unknown policy 'warp'"), std::string::npos);
+  // Actionable: the error enumerates what *is* available.
+  for (const char* name : {"sa", "gsa", "hlf", "heft", "random"}) {
+    EXPECT_NE(message.find(name), std::string::npos) << message;
+  }
+  EXPECT_EQ(registry.find("warp"), nullptr);
+}
+
+TEST(PolicyRegistry, UnknownConfigKeyErrorListsKnownKeys) {
+  PolicyConfig config = PolicyRegistry::instance().make_config("gsa");
+  const std::string message =
+      thrown_message([&] { config.set("chain", "4"); });
+  EXPECT_NE(message.find("has no config key 'chain'"), std::string::npos);
+  EXPECT_NE(message.find("chains"), std::string::npos) << message;
+  // Keyless policies say so instead of listing nothing.
+  PolicyConfig keyless = PolicyRegistry::instance().make_config("etf");
+  const std::string none =
+      thrown_message([&] { keyless.set("x", "1"); });
+  EXPECT_NE(none.find("takes no configuration"), std::string::npos) << none;
+}
+
+TEST(PolicyRegistry, MistypedConfigValuesRejected) {
+  PolicyConfig config = PolicyRegistry::instance().make_config("gsa");
+  EXPECT_THROW(config.set("chains", "many"), std::invalid_argument);
+  EXPECT_THROW(config.set("chains", "2.5"), std::invalid_argument);
+  EXPECT_THROW(config.set_real("chains", 2.0), std::invalid_argument);
+  EXPECT_THROW(config.set_string("chains", "2"), std::invalid_argument);
+  EXPECT_THROW(config.set_int("oracle", 1), std::invalid_argument);
+  config.set("chains", "8");
+  EXPECT_EQ(config.get_int("chains"), 8);
+  config.set_string("oracle", "full");
+  EXPECT_EQ(config.get_string("oracle"), "full");
+  PolicyConfig sa_config = PolicyRegistry::instance().make_config("sa");
+  EXPECT_THROW(sa_config.set("wb", "heavy"), std::invalid_argument);
+  sa_config.set("wb", "0.25");
+  EXPECT_DOUBLE_EQ(sa_config.get_real("wb"), 0.25);
+  // Typed getters enforce the declared kind (a caller bug -> logic_error).
+  EXPECT_THROW(config.get_real("chains"), std::logic_error);
+  EXPECT_THROW(config.get_int("oracle"), std::logic_error);
+  EXPECT_THROW(config.get_int("nope"), std::logic_error);
+  // Typed setters reject unknown keys like set() does.
+  EXPECT_THROW(config.set_int("nope", 1), std::invalid_argument);
+  EXPECT_THROW(config.set_real("nope", 1.0), std::invalid_argument);
+  EXPECT_THROW(config.set_string("nope", "x"), std::invalid_argument);
+}
+
+TEST(PolicyRegistry, SemanticallyInvalidValuesRejectedByFactories) {
+  const auto& registry = PolicyRegistry::instance();
+  PolicyConfig gsa = registry.make_config("gsa");
+  gsa.set_int("chains", 0);  // host-dependent chain counts are banned
+  EXPECT_THROW(registry.make("gsa", gsa), std::invalid_argument);
+  PolicyConfig oracle = registry.make_config("gsa");
+  oracle.set_string("oracle", "warp");
+  EXPECT_THROW(registry.make("gsa", oracle), std::invalid_argument);
+  PolicyConfig sa = registry.make_config("sa");
+  sa.set_real("wb", 1.5);  // weights must stay a convex combination
+  EXPECT_THROW(registry.make("sa", sa), std::invalid_argument);
+  PolicyConfig heft = registry.make_config("heft");
+  heft.set_string("ranking", "upward");
+  EXPECT_THROW(registry.make("heft", heft), std::invalid_argument);
+  // A config built for one policy cannot construct another.
+  EXPECT_THROW(registry.make("peft", registry.make_config("heft")),
+               std::invalid_argument);
+}
+
+TEST(PolicyRegistry, CapabilityFlagsRoundTrip) {
+  // The builtin capability table, asserted flag by flag: these traits are
+  // load-bearing (oracle eligibility, determinism contract), so a silent
+  // registration change must fail a test.
+  struct Expected {
+    const char* name;
+    bool deterministic, stateless, pure, rng, offline;
+  };
+  const Expected expected[] = {
+      {"sa", false, false, false, true, false},
+      {"gsa", false, false, false, true, true},
+      {"hlf", true, true, true, false, false},
+      {"hlf-mincomm", true, true, false, false, false},
+      {"etf", true, true, false, false, false},
+      {"list-hlf", true, true, true, false, false},
+      {"heft", true, true, false, false, true},
+      {"peft", true, true, false, false, true},
+      {"random", false, false, false, true, false},
+      {"pinned", true, true, true, false, false},
+  };
+  const auto& registry = PolicyRegistry::instance();
+  for (const Expected& e : expected) {
+    const PolicyDescriptor& d = registry.descriptor(e.name);
+    EXPECT_EQ(d.caps.deterministic, e.deterministic) << e.name;
+    EXPECT_EQ(d.caps.stateless_per_epoch, e.stateless) << e.name;
+    EXPECT_EQ(d.caps.pure_decision, e.pure) << e.name;
+    EXPECT_EQ(d.caps.uses_rng, e.rng) << e.name;
+    EXPECT_EQ(d.caps.offline_plan, e.offline) << e.name;
+    EXPECT_FALSE(d.doc.empty()) << e.name;
+  }
+}
+
+TEST(PolicyRegistry, ListsTheNineSelectablePoliciesInRegistrationOrder) {
+  const std::vector<std::string> expected = {
+      "sa",  "gsa",      "hlf",  "hlf-mincomm", "etf",
+      "list-hlf", "heft", "peft", "random"};
+  EXPECT_EQ(PolicyRegistry::instance().names(), expected);
+}
+
+TEST(PolicyRegistry, PinnedIsDescriptorOnly) {
+  const auto& registry = PolicyRegistry::instance();
+  // Present for capability queries ...
+  ASSERT_NE(registry.find("pinned"), nullptr);
+  // ... but not selectable: it is not listed and cannot be built.
+  for (const std::string& name : registry.names()) {
+    EXPECT_NE(name, "pinned");
+  }
+  const std::string message =
+      thrown_message([&] { registry.make("pinned"); });
+  EXPECT_NE(message.find("descriptor-only"), std::string::npos) << message;
+}
+
+TEST(PolicyRegistry, DefaultsMirrorTheUnderlyingOptionStructs) {
+  const auto& registry = PolicyRegistry::instance();
+  PolicyConfig sa = registry.make_config("sa");
+  const sa::AnnealOptions anneal_defaults;
+  EXPECT_EQ(sa.get_int("max_steps"), anneal_defaults.cooling.max_steps);
+  EXPECT_EQ(sa.get_int("moves"), anneal_defaults.moves_per_temperature);
+  EXPECT_DOUBLE_EQ(sa.get_real("wb"), anneal_defaults.wb);
+  PolicyConfig gsa = registry.make_config("gsa");
+  const sa::GlobalAnnealOptions gsa_defaults;
+  // chains diverges deliberately: 0 (host-resolved) is banned here.
+  EXPECT_EQ(gsa.get_int("chains"), 2);
+  EXPECT_EQ(gsa.get_int("patience"), gsa_defaults.patience);
+  EXPECT_EQ(gsa.get_string("oracle"), "auto");
+  EXPECT_EQ(registry.make_config("heft").get_string("ranking"), "heft");
+  EXPECT_EQ(registry.make_config("peft").get_string("ranking"), "peft");
+}
+
+TEST(PolicyRegistry, HeftRankingKeyIsThePeftSwitch) {
+  // heft(ranking=peft) must be the same algorithm as peft.
+  const auto& registry = PolicyRegistry::instance();
+  gen::GnpDagOptions options;
+  options.num_tasks = 24;
+  options.edge_probability = 0.15;
+  options.seed = 0xDECAF;
+  const TaskGraph graph = gen::gnp_dag(options);
+  const Topology machine = topo::hypercube(3);
+  const CommModel comm = CommModel::paper_default();
+
+  PolicyConfig as_peft = registry.make_config("heft");
+  as_peft.set_string("ranking", "peft");
+  const auto heft_run =
+      registry.make("heft", as_peft)->run(graph, machine, comm);
+  const auto peft_run = registry.make("peft")->run(graph, machine, comm);
+  EXPECT_EQ(heft_run.result.makespan, peft_run.result.makespan);
+  EXPECT_EQ(heft_run.result.placement, peft_run.result.placement);
+}
+
+TEST(PolicyRegistry, OracleAutoResolvesViaThePureDecisionFlag) {
+  // The global annealer's default oracle is kAuto; it resolves to the
+  // incremental oracle precisely because the registry says the pinned
+  // replay policy's decision is a pure function of (ready, idle, mapping,
+  // levels).  An explicit choice always passes through.
+  EXPECT_TRUE(PolicyRegistry::instance()
+                  .descriptor("pinned")
+                  .caps.pure_decision);
+  EXPECT_EQ(sa::resolve_cost_oracle_kind(sa::CostOracleKind::kAuto),
+            sa::CostOracleKind::kIncremental);
+  EXPECT_EQ(sa::resolve_cost_oracle_kind(sa::CostOracleKind::kFullReplay),
+            sa::CostOracleKind::kFullReplay);
+  EXPECT_EQ(sa::resolve_cost_oracle_kind(sa::CostOracleKind::kIncremental),
+            sa::CostOracleKind::kIncremental);
+  EXPECT_EQ(sa::GlobalAnnealOptions{}.oracle, sa::CostOracleKind::kAuto);
+  // The string forms round-trip, including the new "auto".
+  for (const sa::CostOracleKind kind :
+       {sa::CostOracleKind::kAuto, sa::CostOracleKind::kFullReplay,
+        sa::CostOracleKind::kIncremental}) {
+    EXPECT_EQ(sa::cost_oracle_kind_from_string(sa::to_string(kind)), kind);
+  }
+}
+
+TEST(PolicyRegistry, MalformedRegistrationDefaultFailsAtConfigBuild) {
+  PolicyRegistry registry;
+  PolicyDescriptor bad = dummy_descriptor("bad");
+  bad.keys = {{"steps", ConfigValueKind::Int, "lots", ""}};
+  registry.add(std::move(bad));
+  EXPECT_THROW(registry.make_config("bad"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dagsched

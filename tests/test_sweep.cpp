@@ -41,7 +41,9 @@ TEST(SweepSpec, ParsesEveryField) {
   ASSERT_EQ(spec.topologies.size(), 2u);
   EXPECT_EQ(spec.topologies[0], "ring:4");
   ASSERT_EQ(spec.policies.size(), 3u);
-  EXPECT_EQ(spec.policies[0], sweep::PolicyKind::Sa);
+  EXPECT_EQ(spec.policies[0].name, "sa");
+  EXPECT_TRUE(spec.policies[0].args.empty());
+  EXPECT_EQ(spec.policies[0].canonical(), "sa");
   EXPECT_EQ(spec.sa_options.cooling.max_steps, 12);
   ASSERT_EQ(spec.families.size(), 2u);
   EXPECT_EQ(spec.families[0].kind, sweep::FamilyKind::Gnp);
@@ -222,8 +224,10 @@ family chain count=1 length=4
 )");
   EXPECT_EQ(spec.gsa_options.oracle, sa::CostOracleKind::kFullReplay);
   EXPECT_DOUBLE_EQ(spec.time_budget_ms, 250.5);
-  // The default oracle is the incremental one.
-  EXPECT_EQ(small_spec().gsa_options.oracle,
+  // The default is capability-driven resolution, which lands on the
+  // incremental oracle (the pinned replay policy is pure-decision).
+  EXPECT_EQ(small_spec().gsa_options.oracle, sa::CostOracleKind::kAuto);
+  EXPECT_EQ(sa::resolve_cost_oracle_kind(small_spec().gsa_options.oracle),
             sa::CostOracleKind::kIncremental);
 }
 
@@ -341,10 +345,8 @@ TEST(SweepSpec, ParsesCommAblationKnobs) {
 TEST(SweepSpec, ParsesHeftAndPeftPolicies) {
   const sweep::SweepSpec spec = sweep::parse_spec(kAblationSpec);
   ASSERT_EQ(spec.policies.size(), 4u);
-  EXPECT_EQ(spec.policies[1], sweep::PolicyKind::Heft);
-  EXPECT_EQ(spec.policies[2], sweep::PolicyKind::Peft);
-  EXPECT_EQ(sweep::to_string(sweep::PolicyKind::Heft), "heft");
-  EXPECT_EQ(sweep::to_string(sweep::PolicyKind::Peft), "peft");
+  EXPECT_EQ(spec.policies[1].canonical(), "heft");
+  EXPECT_EQ(spec.policies[2].canonical(), "peft");
 }
 
 TEST(SweepSpec, RejectsBadCommAblationInput) {
@@ -447,6 +449,127 @@ TEST(SweepSummary, SignificanceColumnsAreConsistent) {
   // The sanity baseline loses to the leader decisively.
   const sweep::PolicySummary& worst = ranking.back();
   EXPECT_GT(worst.worse_than_best, worst.better_than_best);
+}
+
+TEST(SweepSpec, ParsesPolicyHyperparameters) {
+  const sweep::SweepSpec spec = sweep::parse_spec(R"(
+seed 5
+topology ring:3
+policy gsa(chains=1,max_steps=6)
+policy heft(ranking=peft)
+policy heft
+family chain count=1 length=4
+)");
+  ASSERT_EQ(spec.policies.size(), 3u);
+  EXPECT_EQ(spec.policies[0].name, "gsa");
+  ASSERT_EQ(spec.policies[0].args.size(), 2u);
+  EXPECT_EQ(spec.policies[0].args[0].first, "chains");
+  EXPECT_EQ(spec.policies[0].args[0].second, "1");
+  EXPECT_EQ(spec.policies[0].canonical(), "gsa(chains=1,max_steps=6)");
+  EXPECT_EQ(spec.policies[1].canonical(), "heft(ranking=peft)");
+  // The overrides land in the effective construction config; the
+  // untouched keys keep the legacy/spec-level values.
+  const sched::PolicyConfig config =
+      sweep::effective_policy_config(spec, spec.policies[0]);
+  EXPECT_EQ(config.get_int("chains"), 1);
+  EXPECT_EQ(config.get_int("max_steps"), 6);
+  EXPECT_EQ(config.get_string("oracle"), "auto");
+}
+
+TEST(SweepSpec, RejectsBadPolicyLines) {
+  const char* tail = "\ntopology ring:3\nfamily chain count=1\n";
+  EXPECT_THROW(sweep::parse_spec(std::string("policy warp") + tail),
+               std::invalid_argument);  // unknown registry name
+  EXPECT_THROW(
+      sweep::parse_spec(std::string("policy gsa(chain=2)") + tail),
+      std::invalid_argument);  // unknown config key
+  EXPECT_THROW(
+      sweep::parse_spec(std::string("policy gsa(chains=two)") + tail),
+      std::invalid_argument);  // mistyped value
+  EXPECT_THROW(
+      sweep::parse_spec(std::string("policy gsa(chains=2") + tail),
+      std::invalid_argument);  // unbalanced parentheses
+  EXPECT_THROW(
+      sweep::parse_spec(std::string("policy gsa(chains=2, moves=8)") + tail),
+      std::invalid_argument);  // space splits the token
+  EXPECT_THROW(
+      sweep::parse_spec(std::string("policy hlf(x)") + tail),
+      std::invalid_argument);  // override without '='
+  // Identical canonical lines are duplicates; the same base policy with
+  // different hyperparameters is a legitimate ablation axis.
+  EXPECT_THROW(sweep::parse_spec(std::string("policy gsa(chains=2)\n"
+                                             "policy gsa(chains=2)\n"
+                                             "gsa_chains 1") +
+                                 tail),
+               std::invalid_argument);
+  const sweep::SweepSpec ablation = sweep::parse_spec(
+      std::string("policy gsa(chains=1)\npolicy gsa(chains=2)\n"
+                  "gsa_max_steps 4") +
+      tail);
+  EXPECT_EQ(ablation.policies.size(), 2u);
+}
+
+TEST(SweepRunner, PolicyHyperparametersApplyEndToEnd) {
+  // `gsa(chains=1,max_steps=6)` must run exactly like the legacy
+  // spec-level knobs `gsa_chains 1` + `gsa_max_steps 6` — same derived
+  // seeds, same makespans — even when the legacy knobs disagree (the
+  // parenthesized overrides win).
+  const char* body = R"(
+seed 21
+topology ring:4
+policy hlf
+family gnp count=2 tasks=10:14
+)";
+  sweep::SweepSpec with_args = sweep::parse_spec(
+      std::string("policy gsa(chains=1,max_steps=6)\ngsa_chains 3\n") +
+      body);
+  sweep::SweepSpec legacy = sweep::parse_spec(
+      std::string("policy gsa\ngsa_chains 1\ngsa_max_steps 6\n") + body);
+  with_args.threads = 1;
+  legacy.threads = 1;
+  const sweep::SweepResult a = sweep::run_sweep(with_args);
+  const sweep::SweepResult b = sweep::run_sweep(legacy);
+  ASSERT_EQ(a.instances.size(), b.instances.size());
+  for (std::size_t i = 0; i < a.instances.size(); ++i) {
+    EXPECT_EQ(a.instances[i].makespans, b.instances[i].makespans);
+  }
+  // The hyperparameterized label flows into the summary artifact.
+  const std::string json = sweep::summary_json(a, sweep::summarize(a));
+  EXPECT_NE(json.find("\"gsa(chains=1,max_steps=6)\""), std::string::npos);
+}
+
+TEST(SweepRunner, HeftRankingOverrideMatchesPeftColumn) {
+  sweep::SweepSpec spec = sweep::parse_spec(R"(
+seed 11
+topology hypercube8
+policy heft(ranking=peft)
+policy peft
+family gnp count=3 tasks=12:20
+)");
+  spec.threads = 1;
+  const sweep::SweepResult result = sweep::run_sweep(spec);
+  for (const sweep::InstanceResult& row : result.instances) {
+    ASSERT_EQ(row.makespans.size(), 2u);
+    EXPECT_EQ(row.makespans[0], row.makespans[1]);
+  }
+}
+
+TEST(SweepSummary, HolmColumnIsConsistent) {
+  sweep::SweepSpec spec = sweep::parse_spec(kAblationSpec);
+  spec.threads = 2;
+  const sweep::SweepResult result = sweep::run_sweep(spec);
+  const std::vector<sweep::PolicySummary> ranking =
+      sweep::summarize(result);
+  EXPECT_DOUBLE_EQ(ranking[0].wilcoxon_p_holm, 1.0);  // leader neutral
+  for (std::size_t i = 1; i < ranking.size(); ++i) {
+    // Holm only ever inflates a p-value, never past 1.
+    EXPECT_GE(ranking[i].wilcoxon_p_holm, ranking[i].wilcoxon_p);
+    EXPECT_LE(ranking[i].wilcoxon_p_holm, 1.0);
+  }
+  const std::string json = sweep::summary_json(result, ranking);
+  EXPECT_NE(json.find("\"wilcoxon_p_holm\""), std::string::npos);
+  const std::string table = sweep::render_summary_table(result, ranking);
+  EXPECT_NE(table.find("p(holm)"), std::string::npos);
 }
 
 TEST(JsonWriter, RendersDeterministicStructure) {

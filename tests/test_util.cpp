@@ -246,25 +246,34 @@ TEST(Stats, WilcoxonHandComputedCases) {
   EXPECT_EQ(wilcoxon_signed_rank(zeros).n, 0);
 
   // Distinct magnitudes {1, -2, 3, 4, 5}: ranks are 1..5 by magnitude,
-  // W+ = 1 + 3 + 4 + 5 = 13, W- = 2.
+  // W+ = 1 + 3 + 4 + 5 = 13, W- = 2.  With n = 5 <= 25 the p-value is
+  // the exact permutation tail: of the 2^5 = 32 sign assignments of the
+  // ranks, the subsets summing to >= 13 are {1,3,4,5}, {2,3,4,5} and
+  // {1,2,3,4,5} — so P(W+ >= 13) = 3/32 and p = 2 * 3/32 = 0.1875.
   const std::vector<double> diffs = {1.0, -2.0, 3.0, 4.0, 5.0};
   const WilcoxonTest test = wilcoxon_signed_rank(diffs);
   EXPECT_EQ(test.n, 5);
   EXPECT_DOUBLE_EQ(test.w_plus, 13.0);
   EXPECT_DOUBLE_EQ(test.w_minus, 2.0);
+  EXPECT_TRUE(test.exact);
+  EXPECT_DOUBLE_EQ(test.p_value, 0.1875);
+  // The z deviate is still reported for reference:
   // mu = 7.5, var = 13.75; z = (13 - 7.5 - 0.5) / sqrt(13.75).
-  const double expected_z = 5.0 / std::sqrt(13.75);
-  EXPECT_NEAR(test.z, expected_z, 1e-12);
-  EXPECT_NEAR(test.p_value, std::erfc(expected_z / std::sqrt(2.0)), 1e-12);
+  EXPECT_NEAR(test.z, 5.0 / std::sqrt(13.75), 1e-12);
 
   // Ties get mid-ranks: {1, 1, -1, 2} -> |d| ranks (2, 2, 2, 4);
-  // W+ = 2 + 2 + 4 = 8, W- = 2, tie correction (t=3): 27 - 3 = 24.
+  // W+ = 2 + 2 + 4 = 8, W- = 2.  Exact over the 16 assignments of
+  // doubled ranks {4, 4, 4, 8}: the doubled-W+ counts are
+  // {0:1, 4:3, 8:4, 12:4, 16:3, 20:1}, the observed doubled W+ is 16, so
+  // P(W+ >= 8) = 4/16 and p = 2 * 4/16 = 0.5.
   const std::vector<double> tied = {1.0, 1.0, -1.0, 2.0};
   const WilcoxonTest tied_test = wilcoxon_signed_rank(tied);
   EXPECT_EQ(tied_test.n, 4);
   EXPECT_DOUBLE_EQ(tied_test.w_plus, 8.0);
   EXPECT_DOUBLE_EQ(tied_test.w_minus, 2.0);
-  // mu = 5, var = 7.5 - 24/48 = 7.0; z = (8 - 5 - 0.5) / sqrt(7).
+  EXPECT_TRUE(tied_test.exact);
+  EXPECT_DOUBLE_EQ(tied_test.p_value, 0.5);
+  // Tie-corrected z: mu = 5, var = 7.5 - 24/48 = 7.0.
   EXPECT_NEAR(tied_test.z, 2.5 / std::sqrt(7.0), 1e-12);
 
   // Zeros are dropped before ranking: {0, 3, -1} behaves like {3, -1}.
@@ -274,20 +283,89 @@ TEST(Stats, WilcoxonHandComputedCases) {
                    wilcoxon_signed_rank(without_zero).p_value);
   EXPECT_EQ(wilcoxon_signed_rank(with_zero).n, 2);
 
-  // Direction symmetry: flipping every sign swaps W+ and W- but keeps p.
+  // Direction symmetry: flipping every sign swaps W+ and W- but keeps p
+  // (the permutation distribution is symmetric).
   std::vector<double> flipped = diffs;
   for (double& d : flipped) d = -d;
   const WilcoxonTest mirror = wilcoxon_signed_rank(flipped);
   EXPECT_DOUBLE_EQ(mirror.w_plus, test.w_minus);
   EXPECT_DOUBLE_EQ(mirror.w_minus, test.w_plus);
-  EXPECT_NEAR(mirror.p_value, test.p_value, 1e-12);
+  EXPECT_DOUBLE_EQ(mirror.p_value, test.p_value);
 
-  // A strongly one-sided sample is significant, a balanced one is not.
+  // All-positive distinct ranks: the one-sided tail is exactly one
+  // assignment, so p = 2 / 2^n.
   const std::vector<double> one_sided = {1.0, 2.0, 3.0, 4.0, 5.0,
                                          6.0, 7.0, 8.0, 9.0, 10.0};
-  EXPECT_LT(wilcoxon_signed_rank(one_sided).p_value, 0.01);
+  EXPECT_DOUBLE_EQ(wilcoxon_signed_rank(one_sided).p_value, 2.0 / 1024.0);
   const std::vector<double> balanced = {1.0, -1.5, 2.0, -2.5, 3.0, -3.5};
   EXPECT_GT(wilcoxon_signed_rank(balanced).p_value, 0.5);
+}
+
+TEST(Stats, WilcoxonExactCutoffAndNormalTail) {
+  // n = kWilcoxonExactMax stays exact; one more sample switches to the
+  // normal approximation, and the two agree closely at the boundary.
+  std::vector<double> diffs;
+  for (int i = 1; i <= kWilcoxonExactMax; ++i) {
+    diffs.push_back(i % 3 == 0 ? -static_cast<double>(i)
+                               : static_cast<double>(i));
+  }
+  const WilcoxonTest at_cutoff = wilcoxon_signed_rank(diffs);
+  EXPECT_EQ(at_cutoff.n, kWilcoxonExactMax);
+  EXPECT_TRUE(at_cutoff.exact);
+
+  diffs.push_back(26.0);
+  const WilcoxonTest beyond = wilcoxon_signed_rank(diffs);
+  EXPECT_EQ(beyond.n, kWilcoxonExactMax + 1);
+  EXPECT_FALSE(beyond.exact);
+  EXPECT_GT(beyond.p_value, 0.0);
+  EXPECT_LE(beyond.p_value, 1.0);
+  EXPECT_NEAR(beyond.p_value, at_cutoff.p_value, 0.1);
+
+  // Cross-check the exact tail against the normal approximation on a
+  // moderately sized sample: they must agree to a few percent.
+  std::vector<double> wide;
+  for (int i = 1; i <= 20; ++i) {
+    wide.push_back(i % 4 == 0 ? -static_cast<double>(i)
+                              : static_cast<double>(i));
+  }
+  const WilcoxonTest exact_test = wilcoxon_signed_rank(wide);
+  ASSERT_TRUE(exact_test.exact);
+  const double normal_p =
+      std::erfc(std::fabs(exact_test.z) / std::sqrt(2.0));
+  EXPECT_NEAR(exact_test.p_value, normal_p, 0.02);
+}
+
+TEST(Stats, HolmBonferroniHandComputedCases) {
+  // Classic worked example: sorted p (.005, .01, .03, .04) scale by
+  // (4, 3, 2, 1) -> (.02, .03, .06, .04); the running max makes the last
+  // step .06.  Results are returned in the input's order.
+  const std::vector<double> p = {0.01, 0.04, 0.03, 0.005};
+  const std::vector<double> adjusted = holm_bonferroni(p);
+  ASSERT_EQ(adjusted.size(), 4u);
+  EXPECT_DOUBLE_EQ(adjusted[0], 0.03);
+  EXPECT_DOUBLE_EQ(adjusted[1], 0.06);
+  EXPECT_DOUBLE_EQ(adjusted[2], 0.06);
+  EXPECT_DOUBLE_EQ(adjusted[3], 0.02);
+
+  // Adjusted values never shrink below the raw ones and cap at 1.
+  const std::vector<double> large = {0.6, 0.5, 0.9};
+  const std::vector<double> capped = holm_bonferroni(large);
+  for (std::size_t i = 0; i < large.size(); ++i) {
+    EXPECT_GE(capped[i], large[i]);
+    EXPECT_LE(capped[i], 1.0);
+  }
+  EXPECT_DOUBLE_EQ(capped[2], 1.0);
+
+  // A single test needs no correction; the empty family is empty.
+  EXPECT_DOUBLE_EQ(holm_bonferroni(std::vector<double>{0.2})[0], 0.2);
+  EXPECT_TRUE(holm_bonferroni({}).empty());
+
+  // Monotone: the adjustment preserves the ordering of the raw p-values.
+  const std::vector<double> raw = {0.001, 0.2, 0.05, 0.012};
+  const std::vector<double> adj = holm_bonferroni(raw);
+  EXPECT_LE(adj[0], adj[3]);
+  EXPECT_LE(adj[3], adj[2]);
+  EXPECT_LE(adj[2], adj[1]);
 }
 
 TEST(Csv, WritesFile) {

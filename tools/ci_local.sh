@@ -75,11 +75,14 @@ cmake --build "${sanitize_dir}" -j"${jobs}"
  ctest --output-on-failure -j"${jobs}")
 
 # --- job: sweep-smoke ------------------------------------------------------
-note "sweep-smoke: determinism contract"
+note "sweep-smoke: determinism contract + registry-migration goldens"
 smoke_dir="${build_root}/${compilers[0]%%:*}-Release"
 cmake --build "${smoke_dir}" --target sweep -j"${jobs}"
 "${repo_root}/tools/sweep_small.sh" "${smoke_dir}/sweep" \
   "${repo_root}/tools/sweep_small.spec"
+"${repo_root}/tools/sweep_golden.sh" "${smoke_dir}/sweep" \
+  "${repo_root}/tools/sweep_golden.spec" "${repo_root}/tools/golden"
+"${smoke_dir}/sweep" --list-policies > /dev/null
 
 # --- job: coverage ---------------------------------------------------------
 if [[ ${quick} -eq 1 ]]; then

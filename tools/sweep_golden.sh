@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Golden regression gate for the scheduler-registry migration: runs the
+# old-style (no parenthesized policy overrides) tools/sweep_golden.spec
+# and asserts the summary JSON and the per-instance CSV are byte-identical
+# to the committed artifacts under tools/golden/.  This locks that policy
+# construction through sched::PolicyRegistry reproduces the historical
+# per-policy switch exactly — makespans, ratios, rankings and labels.
+#
+#   usage: sweep_golden.sh <sweep-binary> <spec-file> <golden-dir>
+#
+# Regenerating the goldens (only after an *intentional* artifact change,
+# with the diff explained in the commit message):
+#   build/sweep tools/sweep_golden.spec --quiet \
+#     --out tools/golden/sweep_golden.json --csv tools/golden/sweep_golden.csv
+set -euo pipefail
+
+if [[ $# -ne 3 ]]; then
+  echo "usage: $0 <sweep-binary> <spec-file> <golden-dir>" >&2
+  exit 1
+fi
+sweep_bin=$1
+spec=$2
+golden_dir=$3
+
+tmp_dir=$(mktemp -d)
+trap 'rm -rf "${tmp_dir}"' EXIT
+
+"${sweep_bin}" "${spec}" --quiet \
+  --out "${tmp_dir}/summary.json" --csv "${tmp_dir}/rows.csv" > /dev/null
+
+diff -u "${golden_dir}/sweep_golden.json" "${tmp_dir}/summary.json"
+diff -u "${golden_dir}/sweep_golden.csv" "${tmp_dir}/rows.csv"
+echo "sweep_golden: summary JSON and per-instance CSV are byte-identical"

@@ -15,9 +15,11 @@
 #include <string>
 #include <vector>
 
+#include "sched/registry.hpp"
 #include "sweep/runner.hpp"
 #include "sweep/spec.hpp"
 #include "sweep/summary.hpp"
+#include "util/table.hpp"
 
 namespace {
 
@@ -31,7 +33,45 @@ void usage(std::ostream& os) {
         "                  override the per-(instance, policy) wall-clock\n"
         "                  budget (0 disables; timed-out cells are marked\n"
         "                  in the summary, at the cost of determinism)\n"
+        "  --list-policies print the scheduler registry (names,\n"
+        "                  capabilities, config keys with defaults) and\n"
+        "                  exit; no spec file needed\n"
         "  --quiet         suppress the progress note on stderr\n";
+}
+
+std::string capability_string(const dagsched::sched::PolicyCapabilities& c) {
+  std::string out;
+  const auto append = [&out](bool flag, const char* token) {
+    if (!flag) return;
+    if (!out.empty()) out += ",";
+    out += token;
+  };
+  append(c.deterministic, "deterministic");
+  append(c.stateless_per_epoch, "stateless");
+  append(c.pure_decision, "pure-decision");
+  append(c.uses_rng, "rng");
+  append(c.offline_plan, "offline-plan");
+  return out.empty() ? "-" : out;
+}
+
+void list_policies(std::ostream& os) {
+  const auto& registry = dagsched::sched::PolicyRegistry::instance();
+  dagsched::TableWriter table(
+      {"policy", "capabilities", "config keys (defaults)", "description"});
+  table.set_alignment({dagsched::Align::Left, dagsched::Align::Left,
+                       dagsched::Align::Left, dagsched::Align::Left});
+  for (const std::string& name : registry.names()) {
+    const dagsched::sched::PolicyDescriptor& d = registry.descriptor(name);
+    std::string keys;
+    for (const dagsched::sched::ConfigKeyDef& key : d.keys) {
+      if (!keys.empty()) keys += ", ";
+      keys += key.name + "=" + key.default_value;
+    }
+    table.add_row({d.name, capability_string(d.caps),
+                   keys.empty() ? "-" : keys, d.doc});
+  }
+  os << "Scheduler registry (spec syntax: `policy name(key=value,...)`):\n"
+     << table.render();
 }
 
 bool write_file(const std::string& path, const std::string& content) {
@@ -67,6 +107,9 @@ int main(int argc, char** argv) {
     };
     if (arg == "--help" || arg == "-h") {
       usage(std::cout);
+      return 0;
+    } else if (arg == "--list-policies") {
+      list_policies(std::cout);
       return 0;
     } else if (arg == "--out") {
       out_path = next_value("--out");
