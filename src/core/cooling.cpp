@@ -1,6 +1,7 @@
 #include "core/cooling.hpp"
 
 #include <cmath>
+#include <stdexcept>
 
 namespace dagsched::sa {
 
@@ -16,6 +17,16 @@ std::string to_string(CoolingKind kind) {
       return "constant";
   }
   return "unknown";
+}
+
+CoolingKind cooling_kind_from_string(const std::string& name) {
+  if (name == "geometric") return CoolingKind::Geometric;
+  if (name == "linear") return CoolingKind::Linear;
+  if (name == "logarithmic") return CoolingKind::Logarithmic;
+  if (name == "constant") return CoolingKind::Constant;
+  throw std::invalid_argument(
+      "unknown cooling schedule '" + name +
+      "' (valid: geometric, linear, logarithmic, constant)");
 }
 
 void CoolingSchedule::validate() const {

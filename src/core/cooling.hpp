@@ -22,6 +22,10 @@ enum class CoolingKind {
 
 std::string to_string(CoolingKind kind);
 
+/// Inverse of to_string; throws std::invalid_argument listing the valid
+/// spellings for an unknown name.
+CoolingKind cooling_kind_from_string(const std::string& name);
+
 struct CoolingSchedule {
   CoolingKind kind = CoolingKind::Geometric;
   double t0 = 2.0;        ///< initial temperature (normalized-cost units)

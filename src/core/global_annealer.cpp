@@ -34,7 +34,8 @@ GlobalAnnealResult anneal_chain(const TaskGraph& graph,
   Rng rng = Rng::stream(options.seed,
                         static_cast<std::uint64_t>(chain_index));
   const std::unique_ptr<CostOracle> oracle =
-      make_cost_oracle(options.oracle, graph, topology, comm);
+      make_cost_oracle(options.oracle, graph, topology, comm,
+                       options.faults);
   const auto chain_start = std::chrono::steady_clock::now();
   GlobalAnnealResult result;
 
@@ -134,7 +135,8 @@ GlobalAnnealResult anneal_global(const TaskGraph& graph,
     GlobalAnnealResult result;
     result.mapping.assign(static_cast<std::size_t>(graph.num_tasks()), 0);
     const std::unique_ptr<CostOracle> oracle =
-        make_cost_oracle(options.oracle, graph, topology, comm);
+        make_cost_oracle(options.oracle, graph, topology, comm,
+                         options.faults);
     result.makespan = oracle->reset(result.mapping);
     result.initial_makespan = result.makespan;
     result.simulations = 1;
@@ -151,8 +153,15 @@ GlobalAnnealResult anneal_global(const TaskGraph& graph,
     sched::HlfScheduler hlf;
     sim::SimOptions sim_options;
     sim_options.record_trace = false;
+    sim_options.faults = options.faults;
     hlf_placement =
         sim::simulate(graph, topology, comm, hlf, sim_options).placement;
+    // Under fault injection the seed run itself can fail (retry
+    // exhaustion), leaving unplaced tasks; park those on proc 0 so every
+    // chain still starts from a complete mapping.
+    for (ProcId& p : hlf_placement) {
+      if (p == kInvalidProc) p = 0;
+    }
   }
 
   const int num_chains = resolve_num_chains(options.num_chains);

@@ -90,6 +90,13 @@ struct GlobalAnnealOptions {
   /// determinism guarantee for bounded latency — results then depend on
   /// host speed.  Used by the sweep runner's per-instance budgets.
   double wall_budget_seconds = 0.0;
+
+  /// Optional fault injection (must outlive the call): moves are then
+  /// priced against the faulty environment, so the annealer optimizes
+  /// the makespan *under* the injected crash/link timelines.  Active
+  /// faults force the full-replay oracle (see resolve_cost_oracle_kind);
+  /// the HLF seed placement is computed under the same faults.
+  const sim::FaultSpec* faults = nullptr;
 };
 
 struct GlobalAnnealResult {

@@ -45,6 +45,14 @@ CostOracleKind resolve_cost_oracle_kind(CostOracleKind kind) {
                                    : CostOracleKind::kFullReplay;
 }
 
+CostOracleKind resolve_cost_oracle_kind(CostOracleKind kind,
+                                        bool faults_active) {
+  if (faults_active && kind == CostOracleKind::kAuto) {
+    return CostOracleKind::kFullReplay;
+  }
+  return resolve_cost_oracle_kind(kind);
+}
+
 CostOracleStats& CostOracleStats::operator+=(const CostOracleStats& other) {
   proposals += other.proposals;
   noop_moves += other.noop_moves;
@@ -62,13 +70,15 @@ CostOracleStats& CostOracleStats::operator+=(const CostOracleStats& other) {
 
 FullReplayOracle::FullReplayOracle(const TaskGraph& graph,
                                    const Topology& topology,
-                                   const CommModel& comm)
+                                   const CommModel& comm,
+                                   const sim::FaultSpec* faults)
     : graph_(graph),
       topology_(topology),
       comm_(comm),
       policy_(std::vector<ProcId>(static_cast<std::size_t>(graph.num_tasks()),
                                   0)) {
   sim_options_.record_trace = false;
+  sim_options_.faults = faults;
 }
 
 Time FullReplayOracle::replay(const std::vector<ProcId>& mapping) {
@@ -78,6 +88,13 @@ Time FullReplayOracle::replay(const std::vector<ProcId>& mapping) {
   ++stats_.full_replays;
   stats_.replayed_epochs += result.num_epochs;
   stats_.baseline_epochs += result.num_epochs;
+  if (result.failed) {
+    // Retry exhaustion under fault injection: the partial makespan of a
+    // failed run would look *cheap* to the annealer.  Price failures above
+    // any plausible success instead so the chain steers away from mappings
+    // that cannot finish under the injected timelines.
+    return graph_.total_work() * 8 + result.makespan;
+  }
   return result.makespan;
 }
 
@@ -467,11 +484,21 @@ void IncrementalReplay::accept() {
 std::unique_ptr<CostOracle> make_cost_oracle(CostOracleKind kind,
                                              const TaskGraph& graph,
                                              const Topology& topology,
-                                             const CommModel& comm) {
-  switch (resolve_cost_oracle_kind(kind)) {
+                                             const CommModel& comm,
+                                             const sim::FaultSpec* faults) {
+  const bool faults_active = faults != nullptr && faults->active();
+  switch (resolve_cost_oracle_kind(kind, faults_active)) {
     case CostOracleKind::kFullReplay:
-      return std::make_unique<FullReplayOracle>(graph, topology, comm);
+      return std::make_unique<FullReplayOracle>(
+          graph, topology, comm, faults_active ? faults : nullptr);
     case CostOracleKind::kIncremental:
+      if (faults_active) {
+        throw std::invalid_argument(
+            "make_cost_oracle: the incremental oracle is unsound under "
+            "fault injection (fault timelines are anchored to absolute "
+            "simulation time, so checkpoint divergence is not move-local); "
+            "use 'full' or 'auto'");
+      }
       return std::make_unique<IncrementalReplay>(graph, topology, comm);
     case CostOracleKind::kAuto:
       break;  // resolve_cost_oracle_kind never returns kAuto

@@ -67,6 +67,16 @@ CostOracleKind cost_oracle_kind_from_string(const std::string& name);
 /// always wins.
 CostOracleKind resolve_cost_oracle_kind(CostOracleKind kind);
 
+/// Fault-aware overload: active fault injection forces kAuto to the full
+/// replay.  Checkpoint-resume pricing assumes a move's damage is local to
+/// the epochs it changes, but fault timelines (crash windows, retry
+/// timers) interleave with *absolute simulation time* — a divergence
+/// anywhere shifts which events every later fault window hits, so resumed
+/// suffixes are no longer bit-identical to full replays.  An explicit
+/// kIncremental with active faults is rejected by make_cost_oracle.
+CostOracleKind resolve_cost_oracle_kind(CostOracleKind kind,
+                                        bool faults_active);
+
 /// Counters describing how an oracle priced its proposals.  All counters
 /// are cumulative since construction; aggregate across chains with +=.
 struct CostOracleStats {
@@ -117,8 +127,13 @@ class CostOracle {
 /// a fresh simulation per call).
 class FullReplayOracle final : public CostOracle {
  public:
+  /// `faults` (optional, must outlive the oracle) injects the given fault
+  /// spec into every replay, pricing mappings against the faulty
+  /// environment (fault timelines are policy- and mapping-independent, so
+  /// paired comparisons stay meaningful).
   FullReplayOracle(const TaskGraph& graph, const Topology& topology,
-                   const CommModel& comm);
+                   const CommModel& comm,
+                   const sim::FaultSpec* faults = nullptr);
 
   Time reset(const std::vector<ProcId>& mapping) override;
   Time propose(const std::vector<ProcId>& mapping, TaskId moved) override;
@@ -242,10 +257,11 @@ class IncrementalReplay final : public CostOracle {
   std::vector<int> scratch_assigned_;  ///< accept-recording stamp scratch
 };
 
-/// Factory used by anneal_global and tests.
-std::unique_ptr<CostOracle> make_cost_oracle(CostOracleKind kind,
-                                             const TaskGraph& graph,
-                                             const Topology& topology,
-                                             const CommModel& comm);
+/// Factory used by anneal_global and tests.  With an active `faults` spec
+/// (which must outlive the oracle) kAuto resolves to the full replay and
+/// an explicit kIncremental is rejected — see resolve_cost_oracle_kind.
+std::unique_ptr<CostOracle> make_cost_oracle(
+    CostOracleKind kind, const TaskGraph& graph, const Topology& topology,
+    const CommModel& comm, const sim::FaultSpec* faults = nullptr);
 
 }  // namespace dagsched::sa

@@ -1,10 +1,49 @@
 #include "report/experiment.hpp"
 
+#include "sched/registry.hpp"
 #include "topology/builders.hpp"
 #include "util/require.hpp"
 #include "workloads/registry.hpp"
 
 namespace dagsched::report {
+
+namespace {
+
+/// Registry name of the HLF baseline for a placement rule.  The harness
+/// compares against registry-constructible baselines only; Random
+/// placement is an implementation-level ablation with no registry entry.
+std::string hlf_policy_name(sched::HlfPlacement placement) {
+  switch (placement) {
+    case sched::HlfPlacement::FirstIdle:
+      return "hlf";
+    case sched::HlfPlacement::MinComm:
+      return "hlf-mincomm";
+    case sched::HlfPlacement::Random:
+      break;
+  }
+  require(false, "compare_sa_hlf: random HLF placement has no registry "
+                 "policy; use FirstIdle or MinComm");
+  return "hlf";
+}
+
+/// Translates the harness's AnnealOptions into the registry's "sa" config
+/// keys, so the comparison runs the exact policy a sweep spec would
+/// construct with the same settings.
+sched::PolicyConfig sa_config(const sa::AnnealOptions& anneal) {
+  sched::PolicyConfig config =
+      sched::PolicyRegistry::instance().make_config("sa");
+  config.set_int("max_steps", anneal.cooling.max_steps);
+  config.set_int("moves", anneal.moves_per_temperature);
+  config.set_real("wb", anneal.wb);
+  config.set_string("cooling", sa::to_string(anneal.cooling.kind));
+  config.set_real("t0", anneal.cooling.t0);
+  config.set_string("init", anneal.init == sa::InitKind::Random
+                                ? "random"
+                                : "highest_level");
+  return config;
+}
+
+}  // namespace
 
 std::string program_key(const std::string& graph_name) {
   if (graph_name == "newton_euler") return "NE";
@@ -25,28 +64,32 @@ ComparisonRow compare_sa_hlf(const std::string& program_name,
   row.with_comm = comm.enabled;
 
   const Time total_work = graph.total_work();
-  sim::SimOptions sim_options;
-  sim_options.record_trace = false;  // speed: the sweep needs numbers only
+  const sched::PolicyRegistry& registry = sched::PolicyRegistry::instance();
+  sched::PolicyRunOptions run_options;
+  run_options.sim.record_trace = false;  // speed: the sweep needs numbers only
 
-  sched::HlfScheduler hlf(options.hlf_placement);
-  const sim::SimResult hlf_result =
-      sim::simulate(graph, topology, comm, hlf, sim_options);
-  row.hlf_makespan = hlf_result.makespan;
-  row.hlf_speedup = hlf_result.speedup(total_work);
+  const auto hlf = registry.make(hlf_policy_name(options.hlf_placement));
+  const sched::PolicyRunOutcome hlf_outcome =
+      hlf->run(graph, topology, comm, run_options);
+  row.hlf_makespan = hlf_outcome.result.makespan;
+  row.hlf_speedup = hlf_outcome.result.speedup(total_work);
 
+  sched::PolicyConfig config = sa_config(options.anneal);
   row.sa_makespan = kTimeInfinity;
   for (int i = 0; i < options.sa_seeds; ++i) {
-    sa::SaSchedulerOptions sa_options;
-    sa_options.anneal = options.anneal;
-    sa_options.seed = options.first_seed + static_cast<std::uint64_t>(i);
-    sa::SaScheduler scheduler(sa_options);
-    const sim::SimResult result =
-        sim::simulate(graph, topology, comm, scheduler, sim_options);
-    if (result.makespan < row.sa_makespan) {
-      row.sa_makespan = result.makespan;
-      row.sa_speedup = result.speedup(total_work);
-      row.sa_best_seed = sa_options.seed;
-      row.sa_stats = scheduler.stats();
+    config.seed = options.first_seed + static_cast<std::uint64_t>(i);
+    const auto policy = registry.make("sa", config);
+    const sched::PolicyRunOutcome outcome =
+        policy->run(graph, topology, comm, run_options);
+    if (outcome.result.makespan < row.sa_makespan) {
+      row.sa_makespan = outcome.result.makespan;
+      row.sa_speedup = outcome.result.speedup(total_work);
+      row.sa_best_seed = config.seed;
+      const auto* scheduler =
+          dynamic_cast<const sa::SaScheduler*>(policy->online_impl());
+      require(scheduler != nullptr,
+              "compare_sa_hlf: registry 'sa' policy is not a SaScheduler");
+      row.sa_stats = scheduler->stats();
     }
   }
   return row;

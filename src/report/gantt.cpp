@@ -79,6 +79,9 @@ std::string render_gantt(const TaskGraph& graph, const Topology& topology,
           case sim::CommKind::Receive:
             paint(recv_row, seg.start, seg.end, 'R');
             break;
+          case sim::CommKind::Stall:
+            paint(task_row, seg.start, seg.end, 'x');
+            break;
         }
       }
       out << margin << send_row << "\n";

@@ -151,7 +151,21 @@ std::vector<std::vector<Time>> optimistic_cost_table(const TaskGraph& graph,
 }
 
 ListSchedule heft_schedule(const TaskGraph& graph, const Topology& topology,
-                           const CommModel& comm, HeftVariant variant) {
+                           const CommModel& comm, HeftVariant variant,
+                           const std::vector<char>* excluded) {
+  if (excluded != nullptr) {
+    bool any_allowed = false;
+    for (ProcId p = 0; p < topology.num_procs(); ++p) {
+      if (static_cast<std::size_t>(p) >= excluded->size() ||
+          !(*excluded)[static_cast<std::size_t>(p)]) {
+        any_allowed = true;
+        break;
+      }
+    }
+    // Everything down: the mask would leave nowhere to plan — ignore it
+    // (the engine dispatches nothing while no processor is idle anyway).
+    if (!any_allowed) excluded = nullptr;
+  }
   // The graph is validated exactly once, by whichever rank computation
   // runs first below (both are public entry points of their own).
   const int num_tasks = graph.num_tasks();
@@ -207,6 +221,11 @@ ListSchedule heft_schedule(const TaskGraph& graph, const Topology& topology,
     Time best_finish = kTimeInfinity;
     double best_key = std::numeric_limits<double>::infinity();
     for (ProcId p = 0; p < num_procs; ++p) {
+      if (excluded != nullptr &&
+          static_cast<std::size_t>(p) < excluded->size() &&
+          (*excluded)[static_cast<std::size_t>(p)]) {
+        continue;
+      }
       const Time est = earliest_start(graph, topology, comm, schedule.tasks,
                                       task, p);
       const Time start =
@@ -248,25 +267,46 @@ ListSchedule heft_schedule(const TaskGraph& graph, const Topology& topology,
   return schedule;
 }
 
-HeftScheduler::HeftScheduler(HeftVariant variant) : variant_(variant) {}
+HeftScheduler::HeftScheduler(HeftVariant variant, FaultResponse on_fault)
+    : variant_(variant), on_fault_(on_fault) {}
 
-void HeftScheduler::on_run_start(const TaskGraph& graph,
-                                 const Topology& topology,
-                                 const CommModel& comm) {
-  plan_ = heft_schedule(graph, topology, comm, variant_);
-  priority_pos_.assign(static_cast<std::size_t>(graph.num_tasks()), 0);
+void HeftScheduler::rebuild_plan(const std::vector<char>* excluded) {
+  plan_ = heft_schedule(*graph_, *topology_, *comm_, variant_, excluded);
+  priority_pos_.assign(static_cast<std::size_t>(graph_->num_tasks()), 0);
   for (std::size_t pos = 0; pos < plan_.priority.size(); ++pos) {
     priority_pos_[static_cast<std::size_t>(plan_.priority[pos])] =
         static_cast<int>(pos);
   }
+}
+
+void HeftScheduler::on_run_start(const TaskGraph& graph,
+                                 const Topology& topology,
+                                 const CommModel& comm) {
+  graph_ = &graph;
+  topology_ = &topology;
+  comm_ = &comm;
+  rebuild_plan(nullptr);
   proc_used_.assign(static_cast<std::size_t>(topology.num_procs()), 0);
   proc_idle_.assign(proc_used_.size(), 0);
+  proc_down_.assign(proc_used_.size(), 0);
+  last_down_.assign(proc_used_.size(), 0);
 }
 
 void HeftScheduler::on_epoch(sim::EpochContext& ctx) {
   // Dispatch ready tasks in plan priority order; each goes to its planned
   // processor as soon as that processor is idle.  Tasks whose processor is
   // busy (or already taken this epoch) simply wait for a later epoch.
+  std::fill(proc_down_.begin(), proc_down_.end(), 0);
+  for (ProcId p : ctx.down_procs()) {
+    proc_down_[static_cast<std::size_t>(p)] = 1;
+  }
+  if (on_fault_ == FaultResponse::Replan && proc_down_ != last_down_) {
+    // The down set changed: recompute the plan around the crashed
+    // machines.  Finished tasks never re-dispatch, so replanning the
+    // whole graph only redirects the tasks still to come.
+    last_down_ = proc_down_;
+    rebuild_plan(ctx.down_procs().empty() ? nullptr : &proc_down_);
+  }
   order_.assign(ctx.ready_tasks().begin(), ctx.ready_tasks().end());
   std::sort(order_.begin(), order_.end(), [this](TaskId a, TaskId b) {
     return priority_pos_[static_cast<std::size_t>(a)] <
@@ -283,6 +323,16 @@ void HeftScheduler::on_epoch(sim::EpochContext& ctx) {
     if (proc_idle_[slot] && !proc_used_[slot]) {
       ctx.assign(task, proc);
       proc_used_[slot] = 1;
+    } else if (on_fault_ == FaultResponse::Repin && proc_down_[slot]) {
+      // Re-pin a survivor: its planned machine crashed, so take the first
+      // still-free idle processor instead of waiting out the repair.
+      for (std::size_t q = 0; q < proc_idle_.size(); ++q) {
+        if (proc_idle_[q] && !proc_used_[q]) {
+          ctx.assign(task, static_cast<ProcId>(q));
+          proc_used_[q] = 1;
+          break;
+        }
+      }
     }
   }
 }

@@ -73,9 +73,24 @@ std::vector<std::vector<Time>> optimistic_cost_table(const TaskGraph& graph,
 
 /// Computes the full offline plan (ranks, placement order, insertion-based
 /// slots).  Deterministic; throws std::invalid_argument for an empty graph.
+/// `excluded` (optional, indexed by ProcId) masks processors out of the
+/// placement loop — the fault-repair path replans around crashed machines
+/// this way.  An all-true mask is ignored (there would be nowhere to plan).
 ListSchedule heft_schedule(const TaskGraph& graph, const Topology& topology,
                            const CommModel& comm,
-                           HeftVariant variant = HeftVariant::Heft);
+                           HeftVariant variant = HeftVariant::Heft,
+                           const std::vector<char>* excluded = nullptr);
+
+/// How an offline-plan policy reacts when its planned processor is down
+/// (sim::EpochContext::down_procs non-empty; see the registry capability
+/// flag `replan_on_fault`).
+enum class FaultResponse {
+  Wait,    ///< keep the plan; affected tasks wait for the machine to return
+  Repin,   ///< re-pin survivors: affected ready tasks take the first free
+           ///< idle processor, in plan priority order
+  Replan,  ///< recompute the whole plan excluding the down machines
+           ///< whenever the down set changes
+};
 
 /// The HEFT/PEFT plan replayed as an online policy: on_run_start computes
 /// the offline plan, on_epoch assigns each ready task to its planned
@@ -86,23 +101,35 @@ ListSchedule heft_schedule(const TaskGraph& graph, const Topology& topology,
 /// resume.
 class HeftScheduler : public sim::SchedulingPolicy {
  public:
-  explicit HeftScheduler(HeftVariant variant = HeftVariant::Heft);
+  explicit HeftScheduler(HeftVariant variant = HeftVariant::Heft,
+                         FaultResponse on_fault = FaultResponse::Wait);
 
   void on_run_start(const TaskGraph& graph, const Topology& topology,
                     const CommModel& comm) override;
   void on_epoch(sim::EpochContext& ctx) override;
   std::string name() const override;
 
-  /// The offline plan of the current/most recent run.
+  /// The offline plan of the current/most recent run.  Under
+  /// FaultResponse::Replan this is the *latest* plan (replans replace it).
   const ListSchedule& plan() const { return plan_; }
 
  private:
+  void rebuild_plan(const std::vector<char>* excluded);
+
   HeftVariant variant_;
+  FaultResponse on_fault_;
   ListSchedule plan_;
   std::vector<int> priority_pos_;  ///< task -> position in plan_.priority
   std::vector<TaskId> order_;      ///< per-epoch scratch
   std::vector<char> proc_used_;    ///< per-epoch scratch
   std::vector<char> proc_idle_;    ///< per-epoch scratch
+  std::vector<char> proc_down_;    ///< per-epoch scratch
+  std::vector<char> last_down_;    ///< Replan: down set the plan excludes
+  /// Replan needs the instance to recompute the plan mid-run; set in
+  /// on_run_start, valid for the duration of the run (engine contract).
+  const TaskGraph* graph_ = nullptr;
+  const Topology* topology_ = nullptr;
+  const CommModel* comm_ = nullptr;
 };
 
 }  // namespace dagsched::sched

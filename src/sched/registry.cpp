@@ -12,6 +12,7 @@
 #include "sched/hlf.hpp"
 #include "sched/pinned.hpp"
 #include "sched/random_policy.hpp"
+#include "sched/repin.hpp"
 #include "util/require.hpp"
 
 namespace dagsched::sched {
@@ -73,6 +74,22 @@ std::int64_t int_at_least(const PolicyConfig& config, const std::string& key,
                                      std::to_string(value));
   }
   return value;
+}
+
+/// Parses the shared `on_fault` repair-strategy key.  `allow_replan` is
+/// false for policies whose plan is a mapping, not a recomputable
+/// schedule (gsa).
+FaultResponse fault_response_from_config(const PolicyConfig& config,
+                                         bool allow_replan) {
+  const std::string& value = config.get_string("on_fault");
+  if (value == "wait") return FaultResponse::Wait;
+  if (value == "repin") return FaultResponse::Repin;
+  if (value == "replan" && allow_replan) return FaultResponse::Replan;
+  fail_policy(config.policy(),
+              std::string("config key 'on_fault' must be ") +
+                  (allow_replan ? "'wait', 'repin' or 'replan'"
+                                : "'wait' or 'repin'") +
+                  ", got '" + value + "'");
 }
 
 }  // namespace
@@ -300,6 +317,8 @@ class OnlinePolicy final : public ScheduledPolicy {
     return outcome;
   }
 
+  sim::SchedulingPolicy* online_impl() override { return impl_.get(); }
+
  private:
   std::string name_;
   std::unique_ptr<sim::SchedulingPolicy> impl_;
@@ -310,7 +329,8 @@ class OnlinePolicy final : public ScheduledPolicy {
 /// a second simulation is only run when the caller wants a trace.
 class GsaPolicy final : public ScheduledPolicy {
  public:
-  explicit GsaPolicy(sa::GlobalAnnealOptions options) : options_(options) {}
+  GsaPolicy(sa::GlobalAnnealOptions options, FaultResponse on_fault)
+      : options_(options), on_fault_(on_fault) {}
 
   std::string name() const override { return "gsa"; }
 
@@ -321,16 +341,36 @@ class GsaPolicy final : public ScheduledPolicy {
     if (run_options.time_budget_ms > 0) {
       options.wall_budget_seconds = run_options.time_budget_ms / 1000.0;
     }
+    // Under fault injection the annealer prices moves against the faulty
+    // environment (same spec, same timelines), so the plan it returns is
+    // optimized for the crashes it will actually encounter.
+    const sim::FaultSpec* faults = run_options.sim.faults;
+    const bool faults_active = faults != nullptr && faults->active();
+    options.faults = faults_active ? faults : nullptr;
     const sa::GlobalAnnealResult annealed =
         sa::anneal_global(graph, topology, comm, options);
     PolicyRunOutcome outcome;
     outcome.timed_out = annealed.timed_out;
-    if (run_options.sim.record_trace) {
-      PinnedScheduler replay(annealed.mapping);
-      outcome.result =
-          sim::simulate(graph, topology, comm, replay, run_options.sim);
-      require(outcome.result.makespan == annealed.makespan,
-              "gsa: pinned replay diverged from the annealed makespan");
+    // A replay is needed for a trace, and under faults also to surface
+    // the retry/restart counters and the failure outcome (the annealed
+    // makespan alone carries neither).
+    if (run_options.sim.record_trace || faults_active) {
+      if (faults_active && on_fault_ == FaultResponse::Repin) {
+        RepinScheduler replay(annealed.mapping);
+        outcome.result =
+            sim::simulate(graph, topology, comm, replay, run_options.sim);
+      } else {
+        PinnedScheduler replay(annealed.mapping);
+        outcome.result =
+            sim::simulate(graph, topology, comm, replay, run_options.sim);
+        // The annealed makespan *is* a pinned-replay makespan, so the two
+        // must agree — except when the best mapping still fails (retry
+        // exhaustion), where the annealer reported a penalty cost instead.
+        if (!outcome.result.failed) {
+          require(outcome.result.makespan == annealed.makespan,
+                  "gsa: pinned replay diverged from the annealed makespan");
+        }
+      }
     } else {
       outcome.result.makespan = annealed.makespan;
       outcome.result.placement = annealed.mapping;
@@ -340,6 +380,7 @@ class GsaPolicy final : public ScheduledPolicy {
 
  private:
   sa::GlobalAnnealOptions options_;
+  FaultResponse on_fault_;
 };
 
 std::unique_ptr<ScheduledPolicy> make_online(
@@ -368,7 +409,13 @@ void register_builtin_policies(PolicyRegistry& registry) {
         {"moves", ConfigValueKind::Int, "0",
          "proposed moves per temperature step (0 = auto)"},
         {"wb", ConfigValueKind::Real, "0.5",
-         "load-balance cost weight; wc = 1 - wb"}},
+         "load-balance cost weight; wc = 1 - wb"},
+        {"cooling", ConfigValueKind::String, "geometric",
+         "schedule: geometric | linear | logarithmic | constant"},
+        {"t0", ConfigValueKind::Real, "2",
+         "initial temperature (normalized-cost units)"},
+        {"init", ConfigValueKind::String, "highest_level",
+         "initial packet mapping: highest_level | random"}},
        [](const PolicyConfig& config) {
          sa::SaSchedulerOptions options;
          options.anneal.cooling.max_steps =
@@ -381,6 +428,28 @@ void register_builtin_policies(PolicyRegistry& registry) {
          }
          options.anneal.wb = wb;
          options.anneal.wc = 1.0 - wb;
+         try {
+           options.anneal.cooling.kind =
+               sa::cooling_kind_from_string(config.get_string("cooling"));
+         } catch (const std::invalid_argument& error) {
+           fail_policy(config.policy(), error.what());
+         }
+         const double t0 = config.get_real("t0");
+         if (t0 <= 0.0) {
+           fail_policy(config.policy(), "config key 't0' must be positive");
+         }
+         options.anneal.cooling.t0 = t0;
+         const std::string& init = config.get_string("init");
+         if (init == "highest_level") {
+           options.anneal.init = sa::InitKind::HighestLevel;
+         } else if (init == "random") {
+           options.anneal.init = sa::InitKind::Random;
+         } else {
+           fail_policy(config.policy(),
+                       "config key 'init' must be 'highest_level' or "
+                       "'random', got '" +
+                           init + "'");
+         }
          options.seed = config.seed;
          return make_online("sa",
                             std::make_unique<sa::SaScheduler>(options));
@@ -389,7 +458,10 @@ void register_builtin_policies(PolicyRegistry& registry) {
   registry.add(
       {"gsa",
        "global whole-schedule annealer, exact simulated-makespan cost",
-       {.deterministic = false, .uses_rng = true, .offline_plan = true},
+       {.deterministic = false,
+        .uses_rng = true,
+        .offline_plan = true,
+        .replan_on_fault = true},
        {{"chains", ConfigValueKind::Int, "2",
          "independent annealing chains (explicit, host-independent)"},
         {"max_steps", ConfigValueKind::Int, "24",
@@ -399,7 +471,9 @@ void register_builtin_policies(PolicyRegistry& registry) {
         {"patience", ConfigValueKind::Int, "20",
          "early stop after this many stale temperature steps"},
         {"oracle", ConfigValueKind::String, "auto",
-         "move-pricing oracle: auto | incremental | full"}},
+         "move-pricing oracle: auto | incremental | full"},
+        {"on_fault", ConfigValueKind::String, "wait",
+         "crash repair for the replayed mapping: wait | repin"}},
        [](const PolicyConfig& config) {
          sa::GlobalAnnealOptions options;
          options.cooling.max_steps =
@@ -417,7 +491,9 @@ void register_builtin_policies(PolicyRegistry& registry) {
            fail_policy(config.policy(), error.what());
          }
          options.seed = config.seed;
-         return std::make_unique<GsaPolicy>(options);
+         return std::make_unique<GsaPolicy>(
+             options,
+             fault_response_from_config(config, /*allow_replan=*/false));
        }});
 
   registry.add({"hlf",
@@ -489,26 +565,36 @@ void register_builtin_policies(PolicyRegistry& registry) {
                   "config key 'ranking' must be 'heft' or 'peft', got '" +
                       ranking + "'");
     }
-    return make_online(config.policy(),
-                       std::make_unique<HeftScheduler>(variant));
+    return make_online(
+        config.policy(),
+        std::make_unique<HeftScheduler>(
+            variant, fault_response_from_config(config,
+                                                /*allow_replan=*/true)));
   };
+  const ConfigKeyDef heft_on_fault_key{
+      "on_fault", ConfigValueKind::String, "wait",
+      "crash repair for the plan: wait | repin | replan"};
   registry.add({"heft",
                 "HEFT rank-u + insertion-based EFT offline plan",
                 {.deterministic = true,
                  .stateless_per_epoch = true,
-                 .offline_plan = true},
+                 .offline_plan = true,
+                 .replan_on_fault = true},
                 {{"ranking", ConfigValueKind::String, "heft",
                   "priority rule: heft (rank-u) | peft (optimistic cost "
-                  "table)"}},
+                  "table)"},
+                 heft_on_fault_key},
                 heft_factory});
   registry.add({"peft",
                 "PEFT optimistic-cost-table variant of HEFT",
                 {.deterministic = true,
                  .stateless_per_epoch = true,
-                 .offline_plan = true},
+                 .offline_plan = true,
+                 .replan_on_fault = true},
                 {{"ranking", ConfigValueKind::String, "peft",
                   "priority rule: heft (rank-u) | peft (optimistic cost "
-                  "table)"}},
+                  "table)"},
+                 heft_on_fault_key},
                 heft_factory});
 
   registry.add(

@@ -39,6 +39,14 @@
 //                          rank-u slots, gsa's annealed mapping) and
 //                          replays it; the simulator stays the
 //                          measurement oracle.
+//  * replan_on_fault     — the policy accepts the `on_fault` config key
+//                          selecting a repair strategy for fault injection
+//                          (sim/faults.hpp): `wait` rides out crashes,
+//                          `repin` moves survivors off crashed machines,
+//                          `replan` (HEFT/PEFT only) recomputes the plan
+//                          around the down set.  Online policies need no
+//                          flag — they reschedule at the next epoch by
+//                          construction.
 //
 // A PolicyConfig is a typed key-value bag: the descriptor declares every
 // key with a kind (Int / Real / String), a default and a doc line; set()
@@ -69,6 +77,7 @@ struct PolicyCapabilities {
   bool pure_decision = false;
   bool uses_rng = false;
   bool offline_plan = false;
+  bool replan_on_fault = false;
 };
 
 /// Value domain of one configuration key.
@@ -175,6 +184,13 @@ class ScheduledPolicy {
                                const Topology& topology,
                                const CommModel& comm,
                                const PolicyRunOptions& options = {}) = 0;
+
+  /// The wrapped sim::SchedulingPolicy when this is a plain online policy
+  /// driven by sim::simulate, else nullptr (offline planners, composites).
+  /// Drivers that need implementation-level state (e.g. the report
+  /// harness reading SaScheduler run statistics) downcast the result;
+  /// the pointer stays owned by, and valid as long as, this policy.
+  virtual sim::SchedulingPolicy* online_impl() { return nullptr; }
 };
 
 /// The one factory signature every policy registers.

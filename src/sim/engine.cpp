@@ -1,8 +1,11 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <map>
+#include <utility>
 
 #include "graph/analysis.hpp"
+#include "sim/faults.hpp"
 #include "sim/machine.hpp"
 #include "util/require.hpp"
 
@@ -25,15 +28,30 @@ double SimResult::utilization() const {
 
 namespace detail {
 
-enum class EventType { TaskDone, CommDone, TransferDone };
+// The fault event kinds only ever enter the queue when fault injection is
+// active (SimOptions::faults), so the zero-fault event stream — types,
+// times and sequence numbers — is byte-identical to the pre-fault engine.
+enum class EventType {
+  TaskDone,
+  CommDone,
+  TransferDone,
+  MachineDown,   // fault: crash window begins on `proc`
+  MachineUp,     // fault: repair window ends on `proc`
+  StallStart,    // fault: transient stall begins on `proc`
+  LinkDown,      // fault: outage/degrade window begins on channel `message`
+  LinkUp,        // fault: link window ends on channel `message`
+  MsgTimeout,    // fault: retransmission timer of message `message`
+  MsgRetry,      // fault: backoff elapsed, retransmit message `message`
+};
 
 struct Event {
   Time time = 0;
   std::uint64_t seq = 0;  ///< FIFO tie-break for equal times
   EventType type = EventType::TaskDone;
-  ProcId proc = kInvalidProc;    // TaskDone, CommDone
-  std::uint64_t gen = 0;         // TaskDone staleness guard
-  int message = -1;              // TransferDone
+  ProcId proc = kInvalidProc;    // TaskDone, CommDone, Machine*/StallStart
+  std::uint64_t gen = 0;         // staleness guard (task/comm/transfer gen,
+                                 // message attempt for MsgTimeout/MsgRetry)
+  int message = -1;              // TransferDone/Msg* id, Link* channel id
 };
 
 struct EventLater {
@@ -52,6 +70,16 @@ struct MessageState {
   TaskId consumer = kInvalidTask;
   ProcId src = kInvalidProc;
   ProcId dst = kInvalidProc;
+
+  // Fault state (always default on the zero-fault path).  32-bit
+  // generations keep the struct at 64 bytes — the messages vector is hot
+  // in the zero-fault event loop, and a retry/restart count can't
+  // plausibly reach 2^32 under the event budget.
+  std::uint32_t attempt = 1;      ///< 1 = initial send, 2 = first retry
+  std::uint32_t transfer_gen = 0; ///< bumped on kill/retry; stales events
+  bool delivered = false;
+  bool cancelled = false;         ///< consumer's reservation was crashed
+
   Time weight = 0;
   std::size_t hop = 0;        ///< index into the route of the holding node
   Time launched = 0;
@@ -118,6 +146,25 @@ struct RunState {
   Time makespan = 0;
   Time total_comm_time = 0;
 
+  // Fault-injection state (empty/zero on the zero-fault path).  The
+  // cursors are plain values, so checkpoints capture fault progress too.
+  std::vector<FaultCursor> machine_faults;  ///< per-proc crash stream
+  std::vector<FaultCursor> stall_faults;    ///< per-proc stall stream
+  std::vector<FaultCursor> link_faults;     ///< per-channel link stream
+  std::vector<ProcId> down_scratch;         ///< per-epoch down list, reused
+  /// Cumulative message launches per (producer, consumer) edge.  A crashed
+  /// destination cancels the reservation and the re-assignment launches
+  /// fresh messages; without this ledger each relaunch would reset the
+  /// retry budget and a crash-cancel-relaunch cycle could outrun
+  /// max_retries forever (an unbounded simulation).  The budget is per
+  /// *edge*, so exhaustion is a structured SimFailure either way.
+  std::map<std::pair<TaskId, TaskId>, int> edge_launches;
+  int num_retries = 0;
+  int num_task_restarts = 0;
+  Time total_stall_time = 0;
+  bool failed = false;
+  SimFailure failure;
+
   Trace trace;
 
   explicit RunState(const Topology& topology) : machine(topology) {}
@@ -127,7 +174,7 @@ struct RunState {
 /// existing buffer capacity wherever the containers allow it — replay
 /// loops run thousands of simulations per second through one state.
 void init_state(RunState& s, const TaskGraph& graph,
-                const Topology& topology) {
+                const Topology& topology, const FaultModel* faults) {
   const auto n = static_cast<std::size_t>(graph.num_tasks());
   const auto p = static_cast<std::size_t>(topology.num_procs());
   if (s.machine.num_procs() == topology.num_procs()) {
@@ -154,17 +201,64 @@ void init_state(RunState& s, const TaskGraph& graph,
   s.epoch_trigger = true;
   s.makespan = 0;
   s.total_comm_time = 0;
+  s.machine_faults.clear();
+  s.stall_faults.clear();
+  s.link_faults.clear();
+  s.down_scratch.clear();
+  s.edge_launches.clear();
+  s.num_retries = 0;
+  s.num_task_restarts = 0;
+  s.total_stall_time = 0;
+  s.failed = false;
+  s.failure = SimFailure{};
   s.trace.task_segments.clear();
   s.trace.comm_segments.clear();
   s.trace.transfers.clear();
   s.trace.messages.clear();
   s.trace.tasks.clear();
   s.trace.epochs.clear();
+  s.trace.faults.clear();
+  s.trace.retries.clear();
 
   for (TaskId t = 0; t < graph.num_tasks(); ++t) {
     s.unfinished_preds[static_cast<std::size_t>(t)] = graph.in_degree(t);
     if (s.unfinished_preds[static_cast<std::size_t>(t)] == 0) {
       s.ready_pool.push_back(t);
+    }
+  }
+
+  if (faults == nullptr) return;
+  // Seed the per-entity fault streams: exactly one outstanding event per
+  // active stream (Down -> Up -> next Down, Stall -> next Stall), pushed
+  // eagerly so the event heap never runs dry while a stream is live.
+  const auto seed_event = [&s](Event event) {
+    event.seq = s.next_seq++;
+    s.events.push_back(event);
+    std::push_heap(s.events.begin(), s.events.end(), EventLater{});
+  };
+  s.machine_faults.reserve(p);
+  s.stall_faults.reserve(p);
+  for (ProcId proc = 0; proc < topology.num_procs(); ++proc) {
+    s.machine_faults.push_back(faults->machine_cursor(proc));
+    const FaultCursor& crash = s.machine_faults.back();
+    if (!crash.exhausted) {
+      seed_event(Event{crash.window.begin, 0, EventType::MachineDown, proc,
+                       0, -1});
+    }
+    s.stall_faults.push_back(faults->stall_cursor(proc));
+    const FaultCursor& stall = s.stall_faults.back();
+    if (!stall.exhausted) {
+      seed_event(Event{stall.window.begin, 0, EventType::StallStart, proc,
+                       0, -1});
+    }
+  }
+  s.link_faults.reserve(static_cast<std::size_t>(topology.num_channels()));
+  for (ChannelId c = 0; c < topology.num_channels(); ++c) {
+    s.link_faults.push_back(faults->link_cursor(c));
+    const FaultCursor& link = s.link_faults.back();
+    if (!link.exhausted) {
+      seed_event(Event{link.window.begin, 0, EventType::LinkDown,
+                       kInvalidProc, 0, static_cast<int>(c)});
     }
   }
 }
@@ -188,7 +282,7 @@ class Run {
   Run(const TaskGraph& graph, const Topology& topology, const CommModel& comm,
       SchedulingPolicy& policy, const SimOptions& options,
       const std::vector<Time>& levels, detail::RouteTable& routes,
-      RunState& state)
+      RunState& state, const FaultModel* faults)
       : graph_(graph),
         topology_(topology),
         comm_(comm),
@@ -196,7 +290,8 @@ class Run {
         options_(options),
         levels_(levels),
         routes_(routes),
-        s_(state) {}
+        s_(state),
+        faults_(faults) {}
 
   SimResult execute(EpochObserver* observer);
 
@@ -213,7 +308,7 @@ class Run {
                         bool completes);
   void enqueue_comm(ProcId p, CommJob job);
   void dispatch_cpu(ProcId p);
-  void on_comm_done(ProcId p);
+  void on_comm_done(ProcId p, std::uint64_t gen);
 
   // --- task execution ------------------------------------------------------
   void try_start_reserved(ProcId p);
@@ -224,9 +319,26 @@ class Run {
   void launch_message(TaskId producer, TaskId consumer, Time weight,
                       ProcId src, ProcId dst);
   void request_transfer(int message);
-  void begin_transfer(int message);
-  void on_transfer_done(int message);
+  void begin_transfer(int message, ChannelId channel_id);
+  void start_next_queued(ChannelId channel_id);
+  void on_transfer_done(int message, std::uint64_t gen);
   void deliver(int message);
+
+  // --- fault injection -----------------------------------------------------
+#if defined(__GNUC__) || defined(__clang__)
+  __attribute__((noinline, cold))
+#endif
+  void handle_fault_event(const Event& event);
+  void record_fault(FaultKind kind, std::int32_t entity);
+  void restart_task(TaskId task);
+  void drop_active_comm(ProcId p);
+  void on_machine_down(ProcId p);
+  void on_machine_up(ProcId p);
+  void on_stall_start(ProcId p);
+  void on_link_down(ChannelId channel_id);
+  void on_link_up(ChannelId channel_id);
+  void on_msg_timeout(int message, std::uint64_t attempt);
+  void on_msg_retry(int message, std::uint64_t attempt);
 
   // --- scheduling ----------------------------------------------------------
   void run_epoch(EpochObserver* observer);
@@ -240,6 +352,7 @@ class Run {
   const std::vector<Time>& levels_;
   detail::RouteTable& routes_;
   RunState& s_;
+  const FaultModel* faults_;  ///< null on the zero-fault fast path
 };
 
 void Run::record_task_span(ProcId p, TaskId task, Time start, Time end,
@@ -282,8 +395,11 @@ void Run::dispatch_cpu(ProcId p) {
     proc.active_comm = proc.comm_queue.front();
     proc.comm_queue.pop_front();
     s_.comm_start[static_cast<std::size_t>(p)] = s_.now;
+    // comm_event_gen (always 0 without faults) stales this completion if
+    // the processor crashes while the job runs.
     push_event(Event{s_.now + proc.active_comm->duration, 0,
-                     EventType::CommDone, p, 0, proc.active_comm->message});
+                     EventType::CommDone, p, proc.comm_event_gen,
+                     proc.active_comm->message});
     return;
   }
   if (proc.running_task != kInvalidTask) {
@@ -296,8 +412,9 @@ void Run::dispatch_cpu(ProcId p) {
   try_start_reserved(p);
 }
 
-void Run::on_comm_done(ProcId p) {
+void Run::on_comm_done(ProcId p, std::uint64_t gen) {
   ProcessorState& proc = s_.machine.proc(p);
+  if (faults_ != nullptr && gen != proc.comm_event_gen) return;  // crashed
   ensure(proc.active_comm.has_value(), "CommDone without an active job");
   const CommJob job = *proc.active_comm;
   const Time start = s_.comm_start[static_cast<std::size_t>(p)];
@@ -306,18 +423,37 @@ void Run::on_comm_done(ProcId p) {
         CommSegment{p, job.kind, job.message, start, s_.now});
   }
   s_.proc_busy[static_cast<std::size_t>(p)] += s_.now - start;
-  s_.total_comm_time += s_.now - start;
+  if (job.kind == CommKind::Stall) {
+    s_.total_stall_time += s_.now - start;
+  } else {
+    s_.total_comm_time += s_.now - start;
+  }
   proc.active_comm.reset();
+
+  // The CPU time above is paid either way; the *message action* is skipped
+  // when the message was retried or cancelled while this job was pending.
+  const bool stale_message =
+      faults_ != nullptr && job.message >= 0 &&
+      (s_.messages[static_cast<std::size_t>(job.message)].cancelled ||
+       job.gen !=
+           s_.messages[static_cast<std::size_t>(job.message)].transfer_gen);
 
   switch (job.kind) {
     case CommKind::Send: {
-      request_transfer(job.message);
+      if (!stale_message) request_transfer(job.message);
       if (comm_.send_cpu == SendCpu::PerTaskOutput) {
         const TaskId producer =
             s_.messages[static_cast<std::size_t>(job.message)].producer;
         s_.sigma_state[static_cast<std::size_t>(producer)] = SigmaState::Paid;
         for (const int pending :
              s_.pending_after_sigma[static_cast<std::size_t>(producer)]) {
+          if (faults_ != nullptr) {
+            const MessageState& m =
+                s_.messages[static_cast<std::size_t>(pending)];
+            // Entries retried or cancelled while sigma was being paid
+            // already re-entered (or left) the network on their own.
+            if (m.cancelled || m.transfer_gen != 0) continue;
+          }
           request_transfer(pending);
         }
         s_.pending_after_sigma[static_cast<std::size_t>(producer)].clear();
@@ -325,11 +461,13 @@ void Run::on_comm_done(ProcId p) {
       break;
     }
     case CommKind::Route:
-      request_transfer(job.message);
+      if (!stale_message) request_transfer(job.message);
       break;
     case CommKind::Receive:
-      deliver(job.message);
+      if (!stale_message) deliver(job.message);
       break;
+    case CommKind::Stall:
+      break;  // the stall window just occupied the CPU
   }
   dispatch_cpu(p);
 }
@@ -382,6 +520,22 @@ void Run::on_task_done(ProcId p, std::uint64_t gen) {
 
 void Run::launch_message(TaskId producer, TaskId consumer, Time weight,
                          ProcId src, ProcId dst) {
+  if (faults_ != nullptr) {
+    // The delivery budget of an edge survives reassignment: a crashed
+    // destination cancels its messages and the next assignment launches
+    // fresh ones, so without this ledger the retry budget would reset on
+    // every crash and a crash-cancel-relaunch cycle could run forever.
+    int& launches = s_.edge_launches[{producer, consumer}];
+    launches += 1;
+    if (launches > faults_->spec().max_retries + 1) {
+      if (!s_.failed) {
+        s_.failed = true;
+        s_.failure =
+            SimFailure{-1, producer, consumer, launches - 1, s_.now};
+      }
+      return;
+    }
+  }
   const int id = static_cast<int>(s_.messages.size());
   MessageState msg;
   msg.id = id;
@@ -394,16 +548,29 @@ void Run::launch_message(TaskId producer, TaskId consumer, Time weight,
   s_.messages.push_back(msg);
   s_.machine.proc(dst).pending_inputs += 1;
 
+  if (faults_ != nullptr) {
+    // Arm the sender-side retransmission timer; it fires regardless of
+    // where the message gets lost (dropped link, crashed CPU, dead
+    // destination reservation).
+    push_event(Event{s_.now + faults_->spec().msg_timeout, 0,
+                     EventType::MsgTimeout, kInvalidProc, msg.attempt, id});
+    if (s_.machine.proc(src).down) {
+      // The source is mid-repair: the message cannot enter the network
+      // now; the timeout above retries once the machine is back.
+      return;
+    }
+  }
+
   // Sender-side CPU cost per CommModel::send_cpu (see comm_model.hpp).
   switch (comm_.send_cpu) {
     case SendCpu::PerMessage:
-      enqueue_comm(src, CommJob{CommKind::Send, id, comm_.sigma});
+      enqueue_comm(src, CommJob{CommKind::Send, id, 0, comm_.sigma});
       break;
     case SendCpu::PerTaskOutput: {
       auto& state = s_.sigma_state[static_cast<std::size_t>(producer)];
       if (state == SigmaState::NotPaid) {
         state = SigmaState::Paying;
-        enqueue_comm(src, CommJob{CommKind::Send, id, comm_.sigma});
+        enqueue_comm(src, CommJob{CommKind::Send, id, 0, comm_.sigma});
       } else if (state == SigmaState::Paying) {
         // The producer's output is still being prepared; this message
         // enters the network when the send job completes.
@@ -429,23 +596,56 @@ void Run::request_transfer(int message) {
   const ChannelId channel_id = topology_.channel(from, to);
   ensure(channel_id != kInvalidChannel, "route uses a missing link");
   ChannelState& channel = s_.machine.channel(channel_id);
-  if (channel.busy) {
-    channel.queue.push_back(PendingTransfer{message, from, to});
+  if (channel.busy || (faults_ != nullptr && channel.down)) {
+    // Busy — or down for repair: the transfer waits for the link to come
+    // back (LinkUp drains the queue).
+    channel.queue.push_back(
+        PendingTransfer{message, from, to, msg.transfer_gen});
     return;
   }
   channel.busy = true;
-  begin_transfer(message);
+  begin_transfer(message, channel_id);
 }
 
-void Run::begin_transfer(int message) {
+void Run::begin_transfer(int message, ChannelId channel_id) {
   MessageState& msg = s_.messages[static_cast<std::size_t>(message)];
   msg.transfer_start = s_.now;
-  push_event(Event{s_.now + msg.weight, 0, EventType::TransferDone,
-                   kInvalidProc, 0, message});
+  Time wire = msg.weight;
+  if (faults_ != nullptr) {
+    // Only the fault paths (link kill, degradation) need the channel
+    // record; the zero-fault path skips the lookup entirely.
+    ChannelState& channel = s_.machine.channel(channel_id);
+    channel.active_message = message;
+    if (channel.degraded) wire *= faults_->spec().link_degrade_factor;
+  }
+  // transfer_gen (always 0 without faults) stales this completion if the
+  // transfer is killed by a link drop or superseded by a retransmission.
+  push_event(Event{s_.now + wire, 0, EventType::TransferDone, kInvalidProc,
+                   msg.transfer_gen, message});
 }
 
-void Run::on_transfer_done(int message) {
+void Run::start_next_queued(ChannelId channel_id) {
+  ChannelState& channel = s_.machine.channel(channel_id);
+  while (!channel.queue.empty()) {
+    const PendingTransfer next = channel.queue.front();
+    channel.queue.pop_front();
+    if (faults_ != nullptr) {
+      const MessageState& m =
+          s_.messages[static_cast<std::size_t>(next.message)];
+      // Skip attempts killed or superseded while they waited in line.
+      if (m.cancelled || m.transfer_gen != next.transfer_gen) continue;
+    }
+    channel.busy = true;
+    begin_transfer(next.message, channel_id);
+    return;
+  }
+}
+
+void Run::on_transfer_done(int message, std::uint64_t gen) {
   MessageState& msg = s_.messages[static_cast<std::size_t>(message)];
+  // Staleness first: a killed/retried attempt already released its channel
+  // and may have reset `hop`, so nothing below would be valid for it.
+  if (faults_ != nullptr && gen != msg.transfer_gen) return;
   const std::vector<ProcId>& path = routes_.route(msg.src, msg.dst);
   const ProcId from = path[msg.hop];
   const ProcId to = path[msg.hop + 1];
@@ -457,28 +657,40 @@ void Run::on_transfer_done(int message) {
   ChannelState& channel = s_.machine.channel(channel_id);
   ensure(channel.busy, "TransferDone on an idle channel");
   channel.busy = false;
-  if (!channel.queue.empty()) {
-    const PendingTransfer next = channel.queue.front();
-    channel.queue.pop_front();
-    channel.busy = true;
-    begin_transfer(next.message);
-  }
+  if (faults_ != nullptr) channel.active_message = -1;
+  start_next_queued(channel_id);
 
   msg.hop += 1;
   const ProcId here = path[msg.hop];
+  if (faults_ != nullptr && s_.machine.proc(here).down) {
+    // The node that should receive/route the message is mid-repair: the
+    // message is lost here and recovered by the sender-side timeout.
+    return;
+  }
   const bool at_destination = here == msg.dst;
   enqueue_comm(here, CommJob{at_destination ? CommKind::Receive
                                             : CommKind::Route,
-                             message, comm_.tau});
+                             message, msg.transfer_gen, comm_.tau});
 }
 
 void Run::deliver(int message) {
   MessageState& msg = s_.messages[static_cast<std::size_t>(message)];
   ProcessorState& proc = s_.machine.proc(msg.dst);
+  if (faults_ != nullptr) {
+    // Under fault injection the destination's reservation may have been
+    // crashed away (and possibly replaced) since this attempt launched;
+    // such deliveries are silently dropped — the consumer's re-assignment
+    // launches fresh messages.
+    if (msg.delivered || msg.cancelled || proc.down ||
+        proc.reserved_task != msg.consumer) {
+      return;
+    }
+  }
   ensure(proc.reserved_task == msg.consumer,
          "message delivered to a processor not reserving its consumer");
   ensure(proc.pending_inputs > 0, "pending input underflow");
   proc.pending_inputs -= 1;
+  msg.delivered = true;
   if (options_.record_trace) {
     s_.trace.messages.push_back(MessageRecord{
         msg.id, msg.producer, msg.consumer, msg.src, msg.dst, msg.weight,
@@ -487,6 +699,222 @@ void Run::deliver(int message) {
   }
   // The CPU is free at this instant (the receive job just ended); the
   // dispatch in on_comm_done starts the task if this was the last input.
+}
+
+void Run::handle_fault_event(const Event& event) {
+  switch (event.type) {
+    case EventType::MachineDown:
+      on_machine_down(event.proc);
+      break;
+    case EventType::MachineUp:
+      on_machine_up(event.proc);
+      break;
+    case EventType::StallStart:
+      on_stall_start(event.proc);
+      break;
+    case EventType::LinkDown:
+      on_link_down(static_cast<ChannelId>(event.message));
+      break;
+    case EventType::LinkUp:
+      on_link_up(static_cast<ChannelId>(event.message));
+      break;
+    case EventType::MsgTimeout:
+      on_msg_timeout(event.message, event.gen);
+      break;
+    case EventType::MsgRetry:
+      on_msg_retry(event.message, event.gen);
+      break;
+    default:
+      ensure(false, "fault event expected");
+  }
+}
+
+void Run::record_fault(FaultKind kind, std::int32_t entity) {
+  if (options_.record_trace) {
+    s_.trace.faults.push_back(FaultRecord{kind, entity, s_.now});
+  }
+}
+
+/// Returns a killed (running or reserved) task to the ready pool; its
+/// records are reset and it is re-assigned at a later epoch.
+void Run::restart_task(TaskId task) {
+  s_.placement[static_cast<std::size_t>(task)] = kInvalidProc;
+  s_.task_started[static_cast<std::size_t>(task)] = false;
+  s_.task_records[static_cast<std::size_t>(task)] = TaskRecord{};
+  s_.ready_pool.insert(
+      std::upper_bound(s_.ready_pool.begin(), s_.ready_pool.end(), task),
+      task);
+}
+
+/// Abandons the comm job occupying p's CPU mid-crash, accounting the
+/// partial segment (the CPU time was genuinely spent).
+void Run::drop_active_comm(ProcId p) {
+  ProcessorState& proc = s_.machine.proc(p);
+  if (!proc.active_comm.has_value()) return;
+  const CommJob job = *proc.active_comm;
+  const Time start = s_.comm_start[static_cast<std::size_t>(p)];
+  if (options_.record_trace && s_.now > start) {
+    s_.trace.comm_segments.push_back(
+        CommSegment{p, job.kind, job.message, start, s_.now});
+  }
+  s_.proc_busy[static_cast<std::size_t>(p)] += s_.now - start;
+  if (job.kind == CommKind::Stall) {
+    s_.total_stall_time += s_.now - start;
+  } else {
+    s_.total_comm_time += s_.now - start;
+  }
+  proc.active_comm.reset();
+}
+
+void Run::on_machine_down(ProcId p) {
+  ProcessorState& proc = s_.machine.proc(p);
+  proc.down = true;
+  record_fault(FaultKind::MachineDown, p);
+
+  // Kill the task being executed (work done so far is lost; finished
+  // tasks' outputs are assumed to survive on stable storage).
+  if (proc.running_task != kInvalidTask) {
+    const TaskId task = proc.running_task;
+    if (proc.task_executing) {
+      record_task_span(p, task, proc.segment_start, s_.now,
+                       /*completes=*/false);
+      s_.proc_busy[static_cast<std::size_t>(p)] +=
+          s_.now - proc.segment_start;
+      proc.task_executing = false;
+    }
+    ++proc.task_event_gen;  // invalidate the scheduled completion
+    proc.running_task = kInvalidTask;
+    proc.task_remaining = 0;
+    restart_task(task);
+    ++s_.num_task_restarts;
+  }
+
+  // Release the reserved task; its undelivered input messages are
+  // cancelled (the re-assignment launches fresh ones).
+  if (proc.reserved_task != kInvalidTask) {
+    const TaskId task = proc.reserved_task;
+    proc.reserved_task = kInvalidTask;
+    proc.pending_inputs = 0;
+    for (MessageState& msg : s_.messages) {
+      if (msg.consumer == task && !msg.delivered) msg.cancelled = true;
+    }
+    restart_task(task);
+  }
+
+  // Drop the comm work occupying this CPU; outstanding CommDone events go
+  // stale through the generation bump.
+  drop_active_comm(p);
+  proc.comm_queue.clear();
+  ++proc.comm_event_gen;
+
+  s_.epoch_trigger = true;  // surviving procs may pick up the returned work
+  push_event(Event{s_.machine_faults[static_cast<std::size_t>(p)].window.end,
+                   0, EventType::MachineUp, p, 0, -1});
+}
+
+void Run::on_machine_up(ProcId p) {
+  ProcessorState& proc = s_.machine.proc(p);
+  proc.down = false;
+  record_fault(FaultKind::MachineUp, p);
+  s_.epoch_trigger = true;  // the repaired processor rejoins the idle pool
+
+  FaultCursor& cursor = s_.machine_faults[static_cast<std::size_t>(p)];
+  faults_->advance_machine(cursor);
+  push_event(Event{cursor.window.begin, 0, EventType::MachineDown, p, 0,
+                   -1});
+}
+
+void Run::on_stall_start(ProcId p) {
+  FaultCursor& cursor = s_.stall_faults[static_cast<std::size_t>(p)];
+  const FaultWindow window = cursor.window;
+  if (!s_.machine.proc(p).down) {
+    record_fault(FaultKind::Stall, p);
+    // A stall occupies the CPU exactly like message handling: it preempts
+    // the running task, which resumes when the window ends.
+    enqueue_comm(p, CommJob{CommKind::Stall, -1, 0, window.end - window.begin});
+  }
+  faults_->advance_stall(cursor);
+  push_event(Event{cursor.window.begin, 0, EventType::StallStart, p, 0, -1});
+}
+
+void Run::on_link_down(ChannelId channel_id) {
+  ChannelState& channel = s_.machine.channel(channel_id);
+  const FaultWindow window =
+      s_.link_faults[static_cast<std::size_t>(channel_id)].window;
+  if (window.drop) {
+    channel.down = true;
+    record_fault(FaultKind::LinkDown, channel_id);
+    if (channel.busy && channel.active_message >= 0) {
+      // The in-flight transfer is lost; the sender-side timeout recovers
+      // it.  The generation bump stales its TransferDone event.
+      MessageState& msg =
+          s_.messages[static_cast<std::size_t>(channel.active_message)];
+      ++msg.transfer_gen;
+    }
+    channel.busy = false;
+    channel.active_message = -1;
+  } else {
+    channel.degraded = true;
+    record_fault(FaultKind::LinkDegrade, channel_id);
+    // Transfers already in flight keep their original completion time;
+    // transfers *started* inside the window pay the degraded wire time.
+  }
+  push_event(Event{window.end, 0, EventType::LinkUp, kInvalidProc, 0,
+                   static_cast<int>(channel_id)});
+}
+
+void Run::on_link_up(ChannelId channel_id) {
+  ChannelState& channel = s_.machine.channel(channel_id);
+  channel.down = false;
+  channel.degraded = false;
+  record_fault(FaultKind::LinkUp, channel_id);
+  if (!channel.busy) start_next_queued(channel_id);
+
+  FaultCursor& cursor = s_.link_faults[static_cast<std::size_t>(channel_id)];
+  faults_->advance_link(cursor);
+  push_event(Event{cursor.window.begin, 0, EventType::LinkDown, kInvalidProc,
+                   0, static_cast<int>(channel_id)});
+}
+
+void Run::on_msg_timeout(int message, std::uint64_t attempt) {
+  MessageState& msg = s_.messages[static_cast<std::size_t>(message)];
+  // Stale when the attempt was delivered, cancelled, or already replaced.
+  if (msg.delivered || msg.cancelled || attempt != msg.attempt) return;
+  const int max_attempts = faults_->spec().max_retries + 1;
+  if (static_cast<int>(msg.attempt) >= max_attempts) {
+    // Retransmission budget exhausted: degrade to a structured failure
+    // instead of spinning forever; the run stops at the next loop check.
+    if (!s_.failed) {
+      s_.failed = true;
+      s_.failure = SimFailure{msg.id, msg.producer, msg.consumer,
+                              static_cast<int>(msg.attempt), s_.now};
+    }
+    return;
+  }
+  push_event(Event{
+      s_.now + faults_->backoff_delay(static_cast<int>(msg.attempt) + 1), 0,
+      EventType::MsgRetry, kInvalidProc, msg.attempt, message});
+}
+
+void Run::on_msg_retry(int message, std::uint64_t attempt) {
+  MessageState& msg = s_.messages[static_cast<std::size_t>(message)];
+  if (msg.delivered || msg.cancelled || attempt != msg.attempt) return;
+  msg.attempt += 1;
+  ++msg.transfer_gen;  // supersede every in-flight trace of the old attempt
+  msg.hop = 0;
+  ++s_.num_retries;
+  if (options_.record_trace) {
+    s_.trace.retries.push_back(
+        RetryRecord{message, static_cast<int>(msg.attempt), s_.now});
+  }
+  push_event(Event{s_.now + faults_->spec().msg_timeout, 0,
+                   EventType::MsgTimeout, kInvalidProc, msg.attempt,
+                   message});
+  // Retransmission is replayed by the link hardware from the primed
+  // output buffer: it does not occupy the producer's CPU again
+  // (deliberate simplification, see ARCHITECTURE.md).  A still-down
+  // source simply waits for the next timeout.
+  if (!s_.machine.proc(msg.src).down) request_transfer(message);
 }
 
 void Run::run_epoch(EpochObserver* observer) {
@@ -502,8 +930,16 @@ void Run::run_epoch(EpochObserver* observer) {
   }
 
   const int index = s_.epoch_count++;
+  if (faults_ != nullptr) {
+    s_.down_scratch.clear();
+    for (ProcId p = 0; p < topology_.num_procs(); ++p) {
+      if (s_.machine.proc(p).down) s_.down_scratch.push_back(p);
+    }
+  }
   EpochContext ctx(s_.now, index, graph_, topology_, comm_, s_.ready_pool,
-                   idle, s_.placement, levels_);
+                   idle, s_.placement, levels_,
+                   faults_ != nullptr ? std::span<const ProcId>(s_.down_scratch)
+                                      : std::span<const ProcId>());
   policy_.on_epoch(ctx);
   if (observer != nullptr) {
     observer->on_epoch_decided(index, ctx.assignments());
@@ -558,6 +994,7 @@ SimResult Run::execute(EpochObserver* observer) {
       run_epoch(observer);
     }
     if (s_.finished_count == graph_.num_tasks()) break;
+    if (s_.failed) break;  // retry exhaustion: stop gracefully
     if (s_.events.empty()) {
       throw SimulationError(
           "simulation stalled: " + std::to_string(s_.finished_count) + "/" +
@@ -580,17 +1017,25 @@ SimResult Run::execute(EpochObserver* observer) {
       std::pop_heap(s_.events.begin(), s_.events.end(),
                     detail::EventLater{});
       s_.events.pop_back();
+      // Only the three zero-fault kinds stay in the hot switch; the fault
+      // kinds (which never enter the queue without SimOptions::faults)
+      // dispatch through one cold, non-inlined handler so the zero-fault
+      // event loop keeps its pre-fault code layout.
       switch (event.type) {
         case EventType::TaskDone:
           on_task_done(event.proc, event.gen);
           break;
         case EventType::CommDone:
-          on_comm_done(event.proc);
+          on_comm_done(event.proc, event.gen);
           break;
         case EventType::TransferDone:
-          on_transfer_done(event.message);
+          on_transfer_done(event.message, event.gen);
+          break;
+        default:
+          handle_fault_event(event);
           break;
       }
+      if (s_.failed) break;
     }
   }
 
@@ -602,6 +1047,11 @@ SimResult Run::execute(EpochObserver* observer) {
   result.total_task_time = graph_.total_work();
   result.total_comm_time = s_.total_comm_time;
   result.proc_busy = s_.proc_busy;
+  result.failed = s_.failed;
+  result.failure = s_.failure;
+  result.num_retries = s_.num_retries;
+  result.num_task_restarts = s_.num_task_restarts;
+  result.total_stall_time = s_.total_stall_time;
   s_.trace.tasks = s_.task_records;
   result.trace = std::move(s_.trace);
   return result;
@@ -626,7 +1076,8 @@ EpochContext::EpochContext(Time now, int epoch_index, const TaskGraph& graph,
                            std::span<const TaskId> ready_tasks,
                            std::span<const ProcId> idle_procs,
                            const std::vector<ProcId>& placement,
-                           const std::vector<Time>& levels)
+                           const std::vector<Time>& levels,
+                           std::span<const ProcId> down_procs)
     : now_(now),
       epoch_index_(epoch_index),
       graph_(graph),
@@ -635,7 +1086,8 @@ EpochContext::EpochContext(Time now, int epoch_index, const TaskGraph& graph,
       ready_tasks_(ready_tasks),
       idle_procs_(idle_procs),
       placement_(placement),
-      levels_(levels) {}
+      levels_(levels),
+      down_procs_(down_procs) {}
 
 void EpochContext::assign(TaskId task, ProcId proc) {
   const bool task_ready =
@@ -661,7 +1113,11 @@ ExecutionEngine::ExecutionEngine(const TaskGraph& graph,
       policy_(policy),
       options_(options),
       levels_(task_levels(graph)),
-      routes_(std::make_unique<detail::RouteTable>(topology)) {}
+      routes_(std::make_unique<detail::RouteTable>(topology)) {
+  if (options_.faults != nullptr && options_.faults->active()) {
+    fault_model_ = std::make_unique<FaultModel>(*options_.faults, topology_);
+  }
+}
 
 ExecutionEngine::~ExecutionEngine() = default;
 
@@ -669,9 +1125,9 @@ SimResult ExecutionEngine::run() {
   graph_.validate();
   policy_.on_run_start(graph_, topology_, comm_);
   detail::RunState state(topology_);
-  detail::init_state(state, graph_, topology_);
+  detail::init_state(state, graph_, topology_, fault_model_.get());
   Run run(graph_, topology_, comm_, policy_, options_, levels_, *routes_,
-          state);
+          state, fault_model_.get());
   return run.execute(nullptr);
 }
 
@@ -688,15 +1144,18 @@ ResumableEngine::ResumableEngine(const TaskGraph& graph,
       routes_(std::make_unique<detail::RouteTable>(topology)),
       scratch_(std::make_unique<detail::RunState>(topology)) {
   graph_.validate();
+  if (options_.faults != nullptr && options_.faults->active()) {
+    fault_model_ = std::make_unique<FaultModel>(*options_.faults, topology_);
+  }
 }
 
 ResumableEngine::~ResumableEngine() = default;
 
 SimResult ResumableEngine::run(EpochObserver* observer) {
   policy_.on_run_start(graph_, topology_, comm_);
-  detail::init_state(*scratch_, graph_, topology_);
+  detail::init_state(*scratch_, graph_, topology_, fault_model_.get());
   Run run(graph_, topology_, comm_, policy_, options_, levels_, *routes_,
-          *scratch_);
+          *scratch_, fault_model_.get());
   return run.execute(observer);
 }
 
@@ -711,7 +1170,7 @@ SimResult ResumableEngine::resume(const SimCheckpoint& from,
   *scratch_ = *from.state_;
   scratch_->epoch_trigger = true;
   Run run(graph_, topology_, comm_, policy_, options_, levels_, *routes_,
-          *scratch_);
+          *scratch_, fault_model_.get());
   return run.execute(observer);
 }
 

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "graph/taskgraph.hpp"
+#include "sim/faults.hpp"
 #include "sim/scheduler_api.hpp"
 #include "sim/trace.hpp"
 #include "topology/comm_model.hpp"
@@ -54,6 +55,11 @@ struct SimOptions {
   /// Hard event-count ceiling; exceeding it raises SimulationError (guards
   /// against pathological policies).
   std::uint64_t max_events = 50'000'000;
+
+  /// Optional fault injection (sim/faults.hpp).  Null or inactive keeps
+  /// the engine on the zero-fault fast path, byte-identical to builds
+  /// before faults existed.  The pointed-to spec must outlive the engine.
+  const FaultSpec* faults = nullptr;
 };
 
 /// Raised when the simulation cannot make progress (a policy stops
@@ -62,6 +68,17 @@ class SimulationError : public std::runtime_error {
  public:
   explicit SimulationError(const std::string& message)
       : std::runtime_error(message) {}
+};
+
+/// Structured outcome of a run that could not complete: a message
+/// exhausted its retransmission budget (FaultSpec::max_retries).  The run
+/// stops gracefully; SimResult::makespan covers the completed prefix.
+struct SimFailure {
+  int message = -1;
+  TaskId producer = kInvalidTask;
+  TaskId consumer = kInvalidTask;
+  int attempts = 0;  ///< total attempts made (initial send + retries)
+  Time when = 0;     ///< simulation time of the exhaustion
 };
 
 struct SimResult {
@@ -73,6 +90,13 @@ struct SimResult {
   Time total_task_time = 0;          ///< CPU time spent executing tasks
   Time total_comm_time = 0;          ///< CPU time spent handling messages
   std::vector<Time> proc_busy;       ///< per-processor busy time
+
+  // Fault-injection outcome (all zero on the zero-fault path).
+  bool failed = false;               ///< a message exhausted max_retries
+  SimFailure failure;                ///< valid iff `failed`
+  int num_retries = 0;               ///< message retransmissions
+  int num_task_restarts = 0;         ///< tasks killed by machine crashes
+  Time total_stall_time = 0;         ///< CPU time lost to transient stalls
 
   /// Speedup S_p = T_1 / T_p for the given sequential time.
   double speedup(Time total_work) const;
@@ -102,6 +126,7 @@ class ExecutionEngine {
   SimOptions options_;
   std::vector<Time> levels_;  ///< task levels, computed once per engine
   std::unique_ptr<detail::RouteTable> routes_;
+  std::unique_ptr<FaultModel> fault_model_;  ///< null on zero-fault path
 };
 
 /// A deep copy of the simulator's state, taken at an assignment-epoch
@@ -218,6 +243,7 @@ class ResumableEngine {
   SimOptions options_;
   std::vector<Time> levels_;  ///< task levels, computed once per engine
   std::unique_ptr<detail::RouteTable> routes_;
+  std::unique_ptr<FaultModel> fault_model_;  ///< null on zero-fault path
   std::unique_ptr<detail::RunState> scratch_;  ///< reused across runs
 };
 

@@ -1,0 +1,158 @@
+#include "sim/faults.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace dagsched::sim {
+
+namespace {
+
+// Stream-index tags keep the three fault classes on disjoint Rng streams
+// even when a processor id collides with a channel id.
+constexpr std::uint64_t kMachineStream = 1;
+constexpr std::uint64_t kStallStream = 2;
+constexpr std::uint64_t kLinkStream = 3;
+
+std::uint64_t stream_tag(std::uint64_t kind, std::int64_t entity) {
+  return (kind << 32) | static_cast<std::uint64_t>(entity);
+}
+
+// +/-50% integer jitter around `mean`, never below 1ns.  Integer draws
+// keep timelines bit-identical across platforms (no libm involved).
+Time jitter(Rng& rng, Time mean) {
+  const Time lo = std::max<Time>(1, mean / 2);
+  const Time hi = mean + mean / 2;
+  return rng.uniform_int(lo, hi);
+}
+
+// Draw order per window is fixed — begin gap, duration, then (links only)
+// the drop/degrade coin — so every window consumes the same number of
+// stream values regardless of outcome.
+void next_window(Rng& rng, Time mtbf, Time mttr, Time from,
+                 FaultWindow& window) {
+  window.begin = from + jitter(rng, mtbf);
+  window.end = window.begin + jitter(rng, mttr);
+  window.drop = true;
+}
+
+}  // namespace
+
+void FaultSpec::validate() const {
+  auto fail = [](const std::string& message) {
+    throw std::invalid_argument("FaultSpec: " + message);
+  };
+  if (machine_mtbf < 0 || stall_mtbf < 0 || link_mtbf < 0) {
+    fail("mean time between faults must be >= 0");
+  }
+  if (machine_mtbf > 0 && machine_mttr <= 0) {
+    fail("machine_mttr must be positive when machine faults are enabled");
+  }
+  if (stall_mtbf > 0 && stall_duration <= 0) {
+    fail("stall_duration must be positive when stalls are enabled");
+  }
+  if (link_mtbf > 0 && link_mttr <= 0) {
+    fail("link_mttr must be positive when link faults are enabled");
+  }
+  if (link_drop_prob < 0.0 || link_drop_prob > 1.0) {
+    fail("link_drop_prob must be in [0, 1]");
+  }
+  if (link_degrade_factor < 1) fail("link_degrade_factor must be >= 1");
+  if (msg_timeout <= 0) fail("msg_timeout must be positive");
+  if (retry_backoff <= 0) fail("retry_backoff must be positive");
+  if (max_retries < 0) fail("max_retries must be >= 0");
+}
+
+FaultModel::FaultModel(const FaultSpec& spec, const Topology& topology)
+    : spec_(spec),
+      num_procs_(topology.num_procs()),
+      num_channels_(topology.num_channels()) {
+  spec_.validate();
+}
+
+FaultCursor FaultModel::machine_cursor(ProcId proc) const {
+  FaultCursor cursor;
+  if (spec_.machine_mtbf <= 0 || proc < 0 || proc >= num_procs_) {
+    return cursor;
+  }
+  cursor.rng = Rng::stream(spec_.seed, stream_tag(kMachineStream, proc));
+  cursor.exhausted = false;
+  next_window(cursor.rng, spec_.machine_mtbf, spec_.machine_mttr, 0,
+              cursor.window);
+  return cursor;
+}
+
+FaultCursor FaultModel::stall_cursor(ProcId proc) const {
+  FaultCursor cursor;
+  if (spec_.stall_mtbf <= 0 || proc < 0 || proc >= num_procs_) {
+    return cursor;
+  }
+  cursor.rng = Rng::stream(spec_.seed, stream_tag(kStallStream, proc));
+  cursor.exhausted = false;
+  next_window(cursor.rng, spec_.stall_mtbf, spec_.stall_duration, 0,
+              cursor.window);
+  return cursor;
+}
+
+FaultCursor FaultModel::link_cursor(ChannelId channel) const {
+  FaultCursor cursor;
+  if (spec_.link_mtbf <= 0 || channel < 0 || channel >= num_channels_) {
+    return cursor;
+  }
+  cursor.rng = Rng::stream(spec_.seed, stream_tag(kLinkStream, channel));
+  cursor.exhausted = false;
+  next_window(cursor.rng, spec_.link_mtbf, spec_.link_mttr, 0,
+              cursor.window);
+  cursor.window.drop = cursor.rng.uniform01() < spec_.link_drop_prob;
+  return cursor;
+}
+
+void FaultModel::advance_machine(FaultCursor& cursor) const {
+  if (cursor.exhausted) return;
+  next_window(cursor.rng, spec_.machine_mtbf, spec_.machine_mttr,
+              cursor.window.end, cursor.window);
+}
+
+void FaultModel::advance_stall(FaultCursor& cursor) const {
+  if (cursor.exhausted) return;
+  next_window(cursor.rng, spec_.stall_mtbf, spec_.stall_duration,
+              cursor.window.end, cursor.window);
+}
+
+void FaultModel::advance_link(FaultCursor& cursor) const {
+  if (cursor.exhausted) return;
+  next_window(cursor.rng, spec_.link_mtbf, spec_.link_mttr,
+              cursor.window.end, cursor.window);
+  cursor.window.drop = cursor.rng.uniform01() < spec_.link_drop_prob;
+}
+
+Time FaultModel::backoff_delay(int attempt) const {
+  // attempt 2 = first retransmission -> base backoff; doubles after that,
+  // capped at 30 shifts to stay in range.
+  const int shift = std::min(std::max(attempt - 2, 0), 30);
+  return spec_.retry_backoff << shift;
+}
+
+std::vector<FaultWindow> FaultModel::machine_windows(ProcId proc,
+                                                     Time horizon) const {
+  std::vector<FaultWindow> windows;
+  FaultCursor cursor = machine_cursor(proc);
+  while (!cursor.exhausted && cursor.window.begin < horizon) {
+    windows.push_back(cursor.window);
+    advance_machine(cursor);
+  }
+  return windows;
+}
+
+std::vector<FaultWindow> FaultModel::link_windows(ChannelId channel,
+                                                  Time horizon) const {
+  std::vector<FaultWindow> windows;
+  FaultCursor cursor = link_cursor(channel);
+  while (!cursor.exhausted && cursor.window.begin < horizon) {
+    windows.push_back(cursor.window);
+    advance_link(cursor);
+  }
+  return windows;
+}
+
+}  // namespace dagsched::sim

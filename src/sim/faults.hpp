@@ -1,0 +1,124 @@
+#pragma once
+
+// Deterministic fault injection for the event simulator.
+//
+// Three fault classes, each drawn from its own dedicated `Rng::stream` so
+// that fault timelines are a stable property of (fault seed, entity id):
+//
+//   * machine crashes   — a processor goes down for a repair window; the
+//     task it was executing is killed and re-executed from scratch, its
+//     reserved task (if any) is released back to the ready pool, and any
+//     communication jobs occupying its CPU are dropped.
+//   * transient stalls  — a processor is preempted for a jittered window
+//     (an OS hiccup / co-tenant burst) without losing work: the running
+//     task resumes afterwards, exactly like a message preemption.
+//   * link faults       — a channel either *drops* (in-flight transfer is
+//     lost, the channel refuses new transfers until repair) or *degrades*
+//     (transfers started inside the window take `link_degrade_factor`
+//     times their nominal wire time).
+//
+// Lost messages are recovered by a sender-side timeout + exponential
+// backoff retransmission; `max_retries` exhaustion surfaces as a
+// structured `SimFailure` on the `SimResult` instead of an abort.  The
+// budget is enforced twice: per message attempt (timeout-driven retries)
+// and per (producer, consumer) edge across reassignments — a crashed
+// destination cancels its in-flight messages and the re-assignment
+// launches fresh ones, and without the edge-level ledger that cycle would
+// reset the retry budget forever and the simulation would never
+// terminate.  Either exhaustion is the same structured failure.
+//
+// Determinism contract (mirrors the PR 4 instance-derivation rule): the
+// window sequence of entity `e` of kind `k` depends only on
+// `Rng::stream(spec.seed, (k << 32) | e)` and the spec parameters — never
+// on the policy under test, simulated load, or the horizon.  All draws are
+// integer (`uniform_int`) or exact threshold comparisons (`uniform01() <
+// p`), so timelines are bit-identical across platforms.
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/topology.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace dagsched::sim {
+
+/// Tunable fault process.  All rates are mean times between *onsets*
+/// (exponential-ish via +/-50% integer jitter); a zero MTBF disables that
+/// fault class entirely.  `active()` false means the engine stays on the
+/// zero-fault fast path, byte-identical to a build without this header.
+struct FaultSpec {
+  Time machine_mtbf = 0;             ///< mean time between machine crashes
+  Time machine_mttr = us(std::int64_t{200});  ///< mean repair window
+  Time stall_mtbf = 0;               ///< mean time between transient stalls
+  Time stall_duration = us(std::int64_t{40});  ///< mean stall length
+  Time link_mtbf = 0;                ///< mean time between link events
+  Time link_mttr = us(std::int64_t{150});  ///< mean link outage/degrade window
+  double link_drop_prob = 1.0;  ///< P(drop) vs degrade per link event
+  int link_degrade_factor = 4;  ///< wire-time multiplier while degraded
+  Time msg_timeout = us(std::int64_t{400});  ///< sender retransmit timeout
+  Time retry_backoff = us(std::int64_t{50});  ///< base backoff, doubles
+  int max_retries = 5;          ///< retransmissions before SimFailure
+  std::uint64_t seed = 1;       ///< dedicated fault-stream seed
+
+  /// True when any fault class can fire.  The engine consults this once;
+  /// everything else is gated on it.
+  bool active() const {
+    return machine_mtbf > 0 || stall_mtbf > 0 || link_mtbf > 0;
+  }
+
+  /// Throws std::invalid_argument on nonsensical parameters.
+  void validate() const;
+};
+
+/// One fault window on one entity, [begin, end).  `drop` distinguishes a
+/// link outage from a degradation (always true for machine/stall windows).
+struct FaultWindow {
+  Time begin = 0;
+  Time end = 0;
+  bool drop = true;
+};
+
+/// Iterator state over one entity's window sequence.  Plain copyable value
+/// so engine checkpoints (ResumableEngine) capture fault progress exactly.
+struct FaultCursor {
+  Rng rng{0};
+  FaultWindow window;
+  bool exhausted = true;  ///< no fault stream for this entity
+};
+
+/// Immutable per-run fault timeline generator: holds the spec plus the
+/// topology dimensions and hands out per-entity cursors.  Shared freely
+/// across threads (all mutation lives in the caller's cursor copies).
+class FaultModel {
+ public:
+  FaultModel(const FaultSpec& spec, const Topology& topology);
+
+  const FaultSpec& spec() const { return spec_; }
+
+  /// First window of each stream (exhausted when the class is disabled).
+  FaultCursor machine_cursor(ProcId proc) const;
+  FaultCursor stall_cursor(ProcId proc) const;
+  FaultCursor link_cursor(ChannelId channel) const;
+
+  /// Advances to the next window of the same stream.
+  void advance_machine(FaultCursor& cursor) const;
+  void advance_stall(FaultCursor& cursor) const;
+  void advance_link(FaultCursor& cursor) const;
+
+  /// Delay before retransmission `attempt` (2 = first retry): base backoff
+  /// doubling per attempt, `retry_backoff << (attempt - 2)`.
+  Time backoff_delay(int attempt) const;
+
+  /// Fault windows of one entity up to `horizon` (validator support).
+  std::vector<FaultWindow> machine_windows(ProcId proc, Time horizon) const;
+  std::vector<FaultWindow> link_windows(ChannelId channel,
+                                        Time horizon) const;
+
+ private:
+  FaultSpec spec_;
+  int num_procs_ = 0;
+  int num_channels_ = 0;
+};
+
+}  // namespace dagsched::sim

@@ -19,10 +19,15 @@ void MachineState::reset() {
     proc.pending_inputs = 0;
     proc.active_comm.reset();
     proc.comm_queue.clear();
+    proc.down = false;
+    proc.comm_event_gen = 0;
   }
   for (ChannelState& channel : channels_) {
     channel.busy = false;
     channel.queue.clear();
+    channel.down = false;
+    channel.degraded = false;
+    channel.active_message = -1;
   }
 }
 

@@ -5,6 +5,7 @@
 // per-channel occupancy (one message at a time, FIFO).
 
 #include <cassert>
+#include <cstdint>
 #include <deque>
 #include <optional>
 #include <vector>
@@ -16,18 +17,26 @@
 
 namespace dagsched::sim {
 
-/// One unit of CPU-side message handling work.
+/// One unit of CPU-side message handling work.  `gen` snapshots the
+/// message's retransmission generation when the job was created; the job's
+/// message action is skipped when the generations no longer match (always
+/// 0 on the zero-fault path, and ignored for Stall jobs).
 struct CommJob {
   CommKind kind = CommKind::Send;
   int message = -1;
+  std::uint32_t gen = 0;
   Time duration = 0;
 };
 
-/// A message waiting for a busy channel.
+/// A message waiting for a busy channel.  `transfer_gen` snapshots the
+/// message's retransmission generation at enqueue time: a queue entry whose
+/// generation no longer matches belongs to a killed/retried attempt and is
+/// skipped when the channel frees up (always 0 on the zero-fault path).
 struct PendingTransfer {
   int message = -1;
   ProcId from = kInvalidProc;
   ProcId to = kInvalidProc;
+  std::uint32_t transfer_gen = 0;
 };
 
 /// CPU state of one processor.
@@ -51,9 +60,15 @@ struct ProcessorState {
   std::optional<CommJob> active_comm;
   std::deque<CommJob> comm_queue;
 
-  /// Free for the scheduler's idle pool: neither running nor reserved.
+  // Fault state (always default on the zero-fault path).
+  bool down = false;                 ///< inside a crash repair window
+  std::uint64_t comm_event_gen = 0;  ///< stale-CommDone guard across crashes
+
+  /// Free for the scheduler's idle pool: neither running, reserved, nor
+  /// down for repair.
   bool idle_for_scheduling() const {
-    return running_task == kInvalidTask && reserved_task == kInvalidTask;
+    return running_task == kInvalidTask && reserved_task == kInvalidTask &&
+           !down;
   }
 
   /// CPU currently unoccupied (comm handling may still be queued).
@@ -64,6 +79,11 @@ struct ProcessorState {
 struct ChannelState {
   bool busy = false;
   std::deque<PendingTransfer> queue;
+
+  // Fault state (always default on the zero-fault path).
+  bool down = false;        ///< link outage: refuses transfers until repair
+  bool degraded = false;    ///< transfers start at degraded wire time
+  int active_message = -1;  ///< message currently occupying the channel
 };
 
 /// The machine: processor and channel state for one run.  Accessors are

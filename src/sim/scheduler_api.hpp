@@ -37,7 +37,8 @@ class EpochContext {
                std::span<const TaskId> ready_tasks,
                std::span<const ProcId> idle_procs,
                const std::vector<ProcId>& placement,
-               const std::vector<Time>& levels);
+               const std::vector<Time>& levels,
+               std::span<const ProcId> down_procs = {});
 
   Time now() const { return now_; }
   int epoch_index() const { return epoch_index_; }
@@ -50,6 +51,12 @@ class EpochContext {
 
   /// Idle processors in ascending id order.
   std::span<const ProcId> idle_procs() const { return idle_procs_; }
+
+  /// Processors currently down for repair (fault injection, ascending id
+  /// order; empty on the zero-fault path).  Down processors never appear
+  /// in idle_procs(); recovery-aware policies use this to repair offline
+  /// plans (see sched::PolicyCapabilities::replan_on_fault).
+  std::span<const ProcId> down_procs() const { return down_procs_; }
 
   /// placement()[t] is the processor of every finished or assigned task t,
   /// kInvalidProc for tasks not yet placed.  Predecessors of every ready
@@ -77,6 +84,7 @@ class EpochContext {
   std::span<const ProcId> idle_procs_;
   const std::vector<ProcId>& placement_;
   const std::vector<Time>& levels_;
+  std::span<const ProcId> down_procs_;
   std::vector<Assignment> assignments_;
 };
 

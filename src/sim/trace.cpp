@@ -14,6 +14,26 @@ std::string to_string(CommKind kind) {
       return "receive";
     case CommKind::Route:
       return "route";
+    case CommKind::Stall:
+      return "stall";
+  }
+  return "unknown";
+}
+
+std::string to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::MachineDown:
+      return "machine_down";
+    case FaultKind::MachineUp:
+      return "machine_up";
+    case FaultKind::Stall:
+      return "stall";
+    case FaultKind::LinkDown:
+      return "link_down";
+    case FaultKind::LinkDegrade:
+      return "link_degrade";
+    case FaultKind::LinkUp:
+      return "link_up";
   }
   return "unknown";
 }

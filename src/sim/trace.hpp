@@ -18,8 +18,10 @@
 namespace dagsched::sim {
 
 /// CPU-side message handling kinds (paper §4.2b: sigma for send, tau for
-/// receive and route).
-enum class CommKind { Send, Receive, Route };
+/// receive and route).  `Stall` is a fault-injected transient slowdown
+/// window occupying the CPU like a comm job (sim/faults.hpp); it never
+/// appears on the zero-fault path.
+enum class CommKind { Send, Receive, Route, Stall };
 
 /// Human-readable name of a CommKind.
 std::string to_string(CommKind kind);
@@ -76,6 +78,35 @@ struct TaskRecord {
   Time finished = 0;   ///< final segment ends
 };
 
+/// Kinds of injected fault events (see sim/faults.hpp).
+enum class FaultKind {
+  MachineDown,
+  MachineUp,
+  Stall,
+  LinkDown,      ///< outage: in-flight transfer lost
+  LinkDegrade,   ///< degradation window: slower wire time
+  LinkUp,
+};
+
+/// Human-readable name of a FaultKind.
+std::string to_string(FaultKind kind);
+
+/// One injected fault event (recorded only when faults are active).
+/// `entity` is a ProcId for machine/stall kinds and a ChannelId for link
+/// kinds.
+struct FaultRecord {
+  FaultKind kind = FaultKind::MachineDown;
+  std::int32_t entity = -1;
+  Time when = 0;
+};
+
+/// One message retransmission (recorded only when faults are active).
+struct RetryRecord {
+  int message = -1;
+  int attempt = 0;  ///< 2 = first retransmission
+  Time when = 0;
+};
+
 /// One scheduling epoch (annealing-packet instant).
 struct EpochRecord {
   int index = -1;
@@ -93,6 +124,8 @@ class Trace {
   std::vector<MessageRecord> messages;
   std::vector<TaskRecord> tasks;
   std::vector<EpochRecord> epochs;
+  std::vector<FaultRecord> faults;    ///< empty on the zero-fault path
+  std::vector<RetryRecord> retries;   ///< empty on the zero-fault path
 
   /// The task record for `task`; throws when the task never ran.
   const TaskRecord& task_record(TaskId task) const;

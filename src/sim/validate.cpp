@@ -4,6 +4,8 @@
 #include <map>
 #include <sstream>
 
+#include "sim/faults.hpp"
+
 namespace dagsched::sim {
 
 namespace {
@@ -176,6 +178,237 @@ std::vector<std::string> validate_run(const TaskGraph& graph,
   }
   for (auto& [channel, spans] : channel_spans) {
     check_disjoint(spans, "channel " + std::to_string(channel), violations);
+  }
+
+  return violations;
+}
+
+std::vector<std::string> validate_faulty_run(const TaskGraph& graph,
+                                             const Topology& topology,
+                                             const CommModel& comm,
+                                             const FaultSpec& faults,
+                                             const SimResult& result) {
+  std::vector<std::string> violations;
+  auto fail = [&violations](const std::string& message) {
+    violations.push_back(message);
+  };
+  const Trace& trace = result.trace;
+  if (result.failed) {
+    fail("validate_faulty_run called on a failed run");
+    return violations;
+  }
+
+  // --- per-task record sanity ---------------------------------------------
+  if (static_cast<int>(trace.tasks.size()) != graph.num_tasks()) {
+    fail("task record count mismatch");
+    return violations;
+  }
+  Time latest_finish = 0;
+  for (TaskId t = 0; t < graph.num_tasks(); ++t) {
+    const TaskRecord& rec = trace.tasks[static_cast<std::size_t>(t)];
+    if (rec.task != t || rec.proc == kInvalidProc) {
+      fail("task " + graph.task_name(t) + ": never assigned");
+      continue;
+    }
+    if (rec.proc != result.placement[static_cast<std::size_t>(t)]) {
+      fail("task " + graph.task_name(t) + ": placement/record mismatch");
+    }
+    if (rec.assigned > rec.started || rec.started > rec.finished) {
+      fail("task " + graph.task_name(t) + ": assigned/started/finished not "
+           "monotone");
+    }
+    latest_finish = std::max(latest_finish, rec.finished);
+  }
+  if (latest_finish != result.makespan) {
+    fail("makespan does not equal the latest task completion");
+  }
+  if (!violations.empty()) return violations;
+
+  // --- completing incarnation: one completion, full duration --------------
+  // Crash-killed incarnations leave partial (completes == false) segments
+  // on other processors / earlier times; only the final incarnation —
+  // segments on the final placement from the final assignment onward —
+  // must tile the task's duration.
+  std::map<TaskId, std::vector<TaskSegment>> by_task;
+  int total_completions = 0;
+  for (const TaskSegment& seg : trace.task_segments) {
+    if (seg.end < seg.start) fail("task segment with negative length");
+    if (seg.completes) ++total_completions;
+    by_task[seg.task].push_back(seg);
+  }
+  if (total_completions != graph.num_tasks()) {
+    fail("expected exactly one completing segment per task");
+  }
+  for (TaskId t = 0; t < graph.num_tasks(); ++t) {
+    const TaskRecord& rec = trace.tasks[static_cast<std::size_t>(t)];
+    auto it = by_task.find(t);
+    if (it == by_task.end()) {
+      fail("task " + graph.task_name(t) + ": no execution segments");
+      continue;
+    }
+    std::vector<TaskSegment> final_segs;
+    for (const TaskSegment& seg : it->second) {
+      if (seg.proc == rec.proc && seg.start >= rec.assigned) {
+        final_segs.push_back(seg);
+      } else if (seg.completes) {
+        fail("task " + graph.task_name(t) + ": completing segment outside "
+             "the final incarnation");
+      }
+    }
+    std::sort(final_segs.begin(), final_segs.end(),
+              [](const TaskSegment& a, const TaskSegment& b) {
+                return a.start < b.start;
+              });
+    Time executed = 0;
+    for (const TaskSegment& seg : final_segs) executed += seg.end - seg.start;
+    if (final_segs.empty()) {
+      fail("task " + graph.task_name(t) + ": no final-incarnation segments");
+      continue;
+    }
+    if (executed != graph.duration(t)) {
+      fail("task " + graph.task_name(t) + ": final incarnation does not "
+           "execute the full task duration");
+    }
+    if (!final_segs.back().completes) {
+      fail("task " + graph.task_name(t) + ": last segment of the final "
+           "incarnation does not complete");
+    }
+    if (final_segs.front().start != rec.started ||
+        final_segs.back().end != rec.finished) {
+      fail("task " + graph.task_name(t) + ": segment envelope does not "
+           "match the task record");
+    }
+  }
+
+  // --- nothing runs on a machine while it is down --------------------------
+  const FaultModel model(faults, topology);
+  const Time horizon = result.makespan + 1;
+  for (ProcId p = 0; p < topology.num_procs(); ++p) {
+    const std::vector<FaultWindow> windows = model.machine_windows(p, horizon);
+    if (windows.empty()) continue;
+    auto overlaps_window = [&windows](Time start, Time end) {
+      for (const FaultWindow& w : windows) {
+        if (start < w.end && w.begin < end) return true;
+      }
+      return false;
+    };
+    for (const TaskSegment& seg : trace.task_segments) {
+      if (seg.proc != p || seg.start == seg.end) continue;
+      if (overlaps_window(seg.start, seg.end)) {
+        fail("task " + graph.task_name(seg.task) +
+             ": segment overlaps a crash window of processor " +
+             std::to_string(p));
+      }
+    }
+    for (const CommSegment& seg : trace.comm_segments) {
+      if (seg.proc != p || seg.start == seg.end) continue;
+      if (overlaps_window(seg.start, seg.end)) {
+        fail(to_string(seg.kind) + " msg" + std::to_string(seg.message) +
+             ": comm segment overlaps a crash window of processor " +
+             std::to_string(p));
+      }
+    }
+  }
+
+  // --- no transfer overlaps a drop window of its channel -------------------
+  for (const TransferSegment& seg : trace.transfers) {
+    if (!topology.has_link(seg.from, seg.to)) {
+      fail("transfer over a missing link " + std::to_string(seg.from) + "-" +
+           std::to_string(seg.to));
+      continue;
+    }
+    if (topology.channel(seg.from, seg.to) != seg.channel) {
+      fail("transfer recorded on the wrong channel");
+    }
+    if (seg.start == seg.end) continue;
+    for (const FaultWindow& w : model.link_windows(seg.channel, horizon)) {
+      if (w.drop && seg.start < w.end && w.begin < seg.end) {
+        fail("msg" + std::to_string(seg.message) +
+             ": transfer overlaps a drop window of channel " +
+             std::to_string(seg.channel));
+      }
+    }
+  }
+
+  // --- precedence + message gating (final incarnations) --------------------
+  std::map<std::pair<TaskId, TaskId>, const MessageRecord*> message_of_edge;
+  for (const MessageRecord& msg : trace.messages) {
+    // Keep the *latest delivered* message per edge: re-assignments after a
+    // crash launch fresh messages; the final incarnation is gated on them.
+    auto& slot = message_of_edge[{msg.producer, msg.consumer}];
+    if (slot == nullptr || msg.delivered > slot->delivered) slot = &msg;
+  }
+  for (const Edge& e : graph.edges()) {
+    const TaskRecord& u = trace.tasks[static_cast<std::size_t>(e.from)];
+    const TaskRecord& v = trace.tasks[static_cast<std::size_t>(e.to)];
+    if (v.assigned < u.finished) {
+      fail("edge " + graph.task_name(e.from) + "->" + graph.task_name(e.to) +
+           ": consumer assigned before producer finished");
+    }
+    if (v.started < u.finished) {
+      fail("edge " + graph.task_name(e.from) + "->" + graph.task_name(e.to) +
+           ": consumer started before producer finished");
+    }
+    if (comm.enabled && u.proc != v.proc) {
+      auto it = message_of_edge.find({e.from, e.to});
+      if (it == message_of_edge.end()) {
+        fail("edge " + graph.task_name(e.from) + "->" +
+             graph.task_name(e.to) + ": remote edge without a message");
+      } else if (it->second->dst != v.proc) {
+        fail("edge " + graph.task_name(e.from) + "->" +
+             graph.task_name(e.to) + ": last delivery went to the wrong "
+             "processor");
+      } else if (v.started < it->second->delivered) {
+        fail("edge " + graph.task_name(e.from) + "->" +
+             graph.task_name(e.to) + ": consumer started before delivery");
+      }
+    }
+  }
+
+  // --- processor / channel exclusivity -------------------------------------
+  for (ProcId p = 0; p < topology.num_procs(); ++p) {
+    std::vector<Span> spans;
+    for (const TaskSegment& seg : trace.task_segments) {
+      if (seg.proc != p || seg.start == seg.end) continue;
+      spans.push_back(Span{seg.start, seg.end,
+                           "task " + graph.task_name(seg.task)});
+    }
+    for (const CommSegment& seg : trace.comm_segments) {
+      if (seg.proc != p || seg.start == seg.end) continue;
+      spans.push_back(Span{seg.start, seg.end,
+                           to_string(seg.kind) + " msg" +
+                               std::to_string(seg.message)});
+    }
+    check_disjoint(spans, "processor " + std::to_string(p), violations);
+  }
+  std::map<ChannelId, std::vector<Span>> channel_spans;
+  for (const TransferSegment& seg : trace.transfers) {
+    if (seg.start == seg.end) continue;
+    channel_spans[seg.channel].push_back(
+        Span{seg.start, seg.end, "msg" + std::to_string(seg.message)});
+  }
+  for (auto& [channel, spans] : channel_spans) {
+    check_disjoint(spans, "channel " + std::to_string(channel), violations);
+  }
+
+  // --- retry discipline: timeout + backoff lower bound ---------------------
+  std::map<int, std::vector<Time>> retries_of_message;
+  for (const RetryRecord& retry : trace.retries) {
+    retries_of_message[retry.message].push_back(retry.when);
+  }
+  const Time min_gap = faults.msg_timeout + faults.retry_backoff;
+  for (auto& [message, times] : retries_of_message) {
+    std::sort(times.begin(), times.end());
+    if (static_cast<int>(times.size()) > faults.max_retries) {
+      fail("msg" + std::to_string(message) + ": more retries than "
+           "max_retries on a successful run");
+    }
+    for (std::size_t i = 1; i < times.size(); ++i) {
+      if (times[i] - times[i - 1] < min_gap) {
+        fail("msg" + std::to_string(message) + ": retransmissions closer "
+             "than msg_timeout + retry_backoff");
+      }
+    }
   }
 
   return violations;

@@ -31,4 +31,25 @@ std::vector<std::string> validate_run(const TaskGraph& graph,
                                       const CommModel& comm,
                                       const SimResult& result);
 
+/// Fault-aware variant of validate_run for traces recorded under an active
+/// FaultSpec (requires SimOptions::record_trace).  Machine crashes produce
+/// partial task segments on processors other than the final placement, so
+/// the zero-fault tiling checks do not apply; instead this validator
+/// checks the recovery semantics:
+///  * every task has exactly one completing segment, on the recorded final
+///    placement, and its completing run of segments sums to the duration;
+///  * no task or comm segment overlaps one of the processor's crash
+///    windows (derived from the FaultModel — timelines are reproducible);
+///  * no transfer overlaps a drop window of its channel;
+///  * per-processor and per-channel exclusivity, precedence via the final
+///    task records, and message gating as in validate_run;
+///  * consecutive retransmissions of one message are at least
+///    msg_timeout + retry_backoff apart (timeout + backoff discipline).
+/// Must only be called on successful runs (`!result.failed`).
+std::vector<std::string> validate_faulty_run(const TaskGraph& graph,
+                                             const Topology& topology,
+                                             const CommModel& comm,
+                                             const FaultSpec& faults,
+                                             const SimResult& result);
+
 }  // namespace dagsched::sim

@@ -30,4 +30,12 @@ std::span<const ParamDef> family_param_defs(FamilyKind kind);
 /// last so specs predating the ablation keep their exact instances.
 std::span<const ParamDef> comm_param_defs();
 
+/// The fault-injection ablation knobs (fault_machine_mtbf_us, ...) as a
+/// ParamDef table, in draw order.  An instance draws them — plus a fault
+/// seed — *after* every other draw (fault_param_defs order, then the
+/// seed), always consumed, so specs predating fault injection keep their
+/// exact instances.  fault_max_retries is a plain spec key, not a drawn
+/// range, and is not in this table.
+std::span<const ParamDef> fault_param_defs();
+
 }  // namespace dagsched::sweep

@@ -33,6 +33,26 @@ struct InstanceDraw {
   std::int64_t sigma_us = 0;
   std::int64_t tau_us = 0;
   SendCpu send_cpu = SendCpu::PerTaskOutput;
+  std::vector<double> fault_params;  ///< parallel to fault_param_defs()
+  std::uint64_t fault_seed = 0;
+
+  /// The instance's effective fault spec (fault_param_defs draw order).
+  sim::FaultSpec fault_spec(const SweepSpec& spec) const {
+    sim::FaultSpec f;
+    f.machine_mtbf = us(static_cast<std::int64_t>(fault_params[0]));
+    f.machine_mttr = us(static_cast<std::int64_t>(fault_params[1]));
+    f.stall_mtbf = us(static_cast<std::int64_t>(fault_params[2]));
+    f.stall_duration = us(static_cast<std::int64_t>(fault_params[3]));
+    f.link_mtbf = us(static_cast<std::int64_t>(fault_params[4]));
+    f.link_mttr = us(static_cast<std::int64_t>(fault_params[5]));
+    f.link_drop_prob = fault_params[6];
+    f.link_degrade_factor = static_cast<int>(fault_params[7]);
+    f.msg_timeout = us(static_cast<std::int64_t>(fault_params[8]));
+    f.retry_backoff = us(static_cast<std::int64_t>(fault_params[9]));
+    f.max_retries = spec.faults.max_retries;
+    f.seed = fault_seed;
+    return f;
+  }
 
   /// The instance's effective communication model.
   CommModel comm_model(bool enabled) const {
@@ -58,6 +78,24 @@ struct InstanceDraw {
     return us(static_cast<std::int64_t>(param(kind, name)));
   }
 };
+
+/// The FaultAblation range behind position `i` of fault_param_defs().
+const ParamRange& fault_range_at(const FaultAblation& faults,
+                                 std::size_t i) {
+  switch (i) {
+    case 0: return faults.machine_mtbf_us;
+    case 1: return faults.machine_mttr_us;
+    case 2: return faults.stall_mtbf_us;
+    case 3: return faults.stall_us;
+    case 4: return faults.link_mtbf_us;
+    case 5: return faults.link_mttr_us;
+    case 6: return faults.link_drop_prob;
+    case 7: return faults.link_degrade_factor;
+    case 8: return faults.msg_timeout_us;
+    case 9: return faults.retry_backoff_us;
+  }
+  throw std::invalid_argument("fault_range_at: index out of range");
+}
 
 InstanceDraw draw_instance(const SweepSpec& spec, int family_index,
                            int repetition) {
@@ -93,6 +131,24 @@ InstanceDraw draw_instance(const SweepSpec& spec, int family_index,
       static_cast<std::int64_t>(spec.comm.tau_us.hi));
   draw.send_cpu =
       spec.comm.send_cpu[rng.uniform_index(spec.comm.send_cpu.size())];
+  // Fault-ablation draws, appended after everything else and always
+  // consumed (even with faults disabled) — same reasoning as the comm
+  // draws: specs predating fault injection keep their exact instances.
+  const auto fault_defs = fault_param_defs();
+  draw.fault_params.reserve(fault_defs.size());
+  for (std::size_t i = 0; i < fault_defs.size(); ++i) {
+    const ParamRange& range = fault_range_at(spec.faults, i);
+    if (fault_defs[i].integer) {
+      draw.fault_params.push_back(static_cast<double>(rng.uniform_int(
+          static_cast<std::int64_t>(range.lo),
+          static_cast<std::int64_t>(range.hi))));
+    } else {
+      draw.fault_params.push_back(range.is_single()
+                                      ? range.lo
+                                      : rng.uniform_real(range.lo, range.hi));
+    }
+  }
+  draw.fault_seed = rng.next_u64();
   return draw;
 }
 
@@ -177,10 +233,17 @@ TaskGraph build_graph(FamilyKind kind, const InstanceDraw& draw) {
 /// sweep config (effective_policy_config) with only the seed left to
 /// assign, so the registry lookup and legacy-knob merge happen once per
 /// sweep, not once per cell.
-Time run_policy(const PolicySpec& policy, sched::PolicyConfig config,
-                const SweepSpec& spec, const TaskGraph& graph,
-                const Topology& topology, const CommModel& comm,
-                std::uint64_t policy_seed, bool* timed_out) {
+/// `faults` (nullable) is forwarded into the simulation; the fault-free
+/// baseline and the faulted run of one cell pass the same policy seed.
+sched::PolicyRunOutcome run_policy(const PolicySpec& policy,
+                                   sched::PolicyConfig config,
+                                   const SweepSpec& spec,
+                                   const TaskGraph& graph,
+                                   const Topology& topology,
+                                   const CommModel& comm,
+                                   std::uint64_t policy_seed,
+                                   const sim::FaultSpec* faults,
+                                   bool* timed_out) {
   *timed_out = false;
   const auto start = std::chrono::steady_clock::now();
 
@@ -189,6 +252,7 @@ Time run_policy(const PolicySpec& policy, sched::PolicyConfig config,
       sched::PolicyRegistry::instance().make(policy.name, config);
   sched::PolicyRunOptions run_options;
   run_options.sim.record_trace = false;
+  run_options.sim.faults = faults;
   run_options.time_budget_ms = spec.time_budget_ms;
   const sched::PolicyRunOutcome outcome =
       runnable->run(graph, topology, comm, run_options);
@@ -199,7 +263,7 @@ Time run_policy(const PolicySpec& policy, sched::PolicyConfig config,
         std::chrono::steady_clock::now() - start;
     if (elapsed.count() > spec.time_budget_ms) *timed_out = true;
   }
-  return outcome.result.makespan;
+  return outcome;
 }
 
 struct InstanceKey {
@@ -297,12 +361,44 @@ SweepResult run_sweep(const SweepSpec& spec) {
             spec.comm_enabled ? dagsched::to_string(draw.send_cpu) : "off";
         row.makespans.resize(spec.policies.size());
         row.timed_out.assign(spec.policies.size(), 0);
+        const bool faulted = spec.faults.enabled();
+        sim::FaultSpec fault_spec;
+        if (faulted) {
+          fault_spec = draw.fault_spec(spec);
+          row.fault_seed = fault_spec.seed;
+          row.base_makespans.resize(spec.policies.size());
+          row.retries.assign(spec.policies.size(), 0);
+          row.restarts.assign(spec.policies.size(), 0);
+          row.failed.assign(spec.policies.size(), 0);
+        }
         for (std::size_t p = 0; p < spec.policies.size(); ++p) {
           bool timed_out = false;
-          row.makespans[p] =
-              run_policy(spec.policies[p], policy_configs[p], spec, graph,
-                         topology, comm, draw.policy_seeds[p], &timed_out);
-          row.timed_out[p] = timed_out ? 1 : 0;
+          const sched::PolicyRunOutcome base = run_policy(
+              spec.policies[p], policy_configs[p], spec, graph, topology,
+              comm, draw.policy_seeds[p], nullptr, &timed_out);
+          if (!faulted) {
+            row.makespans[p] = base.result.makespan;
+            row.timed_out[p] = timed_out ? 1 : 0;
+            continue;
+          }
+          // Faulted pass: same policy seed, same instance, faults on —
+          // the pair (base, faulted) gives the degradation ratio.
+          bool faulted_timed_out = false;
+          const sched::PolicyRunOutcome hit = run_policy(
+              spec.policies[p], policy_configs[p], spec, graph, topology,
+              comm, draw.policy_seeds[p], &fault_spec, &faulted_timed_out);
+          row.base_makespans[p] = base.result.makespan;
+          row.timed_out[p] = (timed_out || faulted_timed_out) ? 1 : 0;
+          row.retries[p] = hit.result.num_retries;
+          row.restarts[p] = hit.result.num_task_restarts;
+          if (hit.result.failed) {
+            row.failed[p] = 1;
+            // Rank a failure strictly worse than any plausible
+            // degradation, deterministically: 8x the paired baseline.
+            row.makespans[p] = base.result.makespan * 8;
+          } else {
+            row.makespans[p] = hit.result.makespan;
+          }
         }
       }
     } catch (...) {

@@ -59,6 +59,18 @@ struct InstanceResult {
   /// took longer than the budget.  All zero when no budget is set.
   std::vector<char> timed_out;
 
+  /// Fault-injection columns, filled only when spec.faults.enabled()
+  /// (empty vectors / zero otherwise).  Each cell then runs twice with
+  /// the same policy seed: `base_makespans` is the fault-free baseline
+  /// and `makespans` above holds the *faulted* makespan — or, for a cell
+  /// whose faulted run failed (retry exhaustion), 8x its baseline, so
+  /// failures rank strictly worse than any plausible degradation.
+  std::uint64_t fault_seed = 0;      ///< derived fault-stream seed
+  std::vector<Time> base_makespans;  ///< parallel to spec.policies
+  std::vector<int> retries;          ///< faulted-run retransmissions
+  std::vector<int> restarts;         ///< faulted-run task re-executions
+  std::vector<char> failed;          ///< 1 = faulted run hit SimFailure
+
   /// Best (smallest) makespan any policy achieved on this instance.
   Time best() const;
 };

@@ -73,6 +73,19 @@ constexpr ParamDef kCommParams[] = {
     {"comm_sigma_us", {7, 7}, true},
     {"comm_tau_us", {9, 9}, true},
 };
+// Defaults mirror FaultAblation (spec.hpp); all MTBFs zero = disabled.
+constexpr ParamDef kFaultParams[] = {
+    {"fault_machine_mtbf_us", {0, 0}, true},
+    {"fault_machine_mttr_us", {200, 200}, true},
+    {"fault_stall_mtbf_us", {0, 0}, true},
+    {"fault_stall_us", {40, 40}, true},
+    {"fault_link_mtbf_us", {0, 0}, true},
+    {"fault_link_mttr_us", {150, 150}, true},
+    {"fault_link_drop_prob", {1.0, 1.0}, false},
+    {"fault_link_degrade_factor", {4, 4}, true},
+    {"fault_msg_timeout_us", {400, 400}, true},
+    {"fault_retry_backoff_us", {50, 50}, true},
+};
 
 [[noreturn]] void fail(int line_number, const std::string& message) {
   throw std::invalid_argument("sweep spec line " +
@@ -241,6 +254,23 @@ PolicySpec parse_policy(const std::string& token, int line_number) {
   return policy;
 }
 
+/// The FaultAblation field behind one fault_param_defs() name; nullptr
+/// for unknown keys.  Keep in sync with kFaultParams.
+ParamRange* fault_range(FaultAblation& faults, const std::string& key) {
+  if (key == "fault_machine_mtbf_us") return &faults.machine_mtbf_us;
+  if (key == "fault_machine_mttr_us") return &faults.machine_mttr_us;
+  if (key == "fault_stall_mtbf_us") return &faults.stall_mtbf_us;
+  if (key == "fault_stall_us") return &faults.stall_us;
+  if (key == "fault_link_mtbf_us") return &faults.link_mtbf_us;
+  if (key == "fault_link_mttr_us") return &faults.link_mttr_us;
+  if (key == "fault_link_drop_prob") return &faults.link_drop_prob;
+  if (key == "fault_link_degrade_factor")
+    return &faults.link_degrade_factor;
+  if (key == "fault_msg_timeout_us") return &faults.msg_timeout_us;
+  if (key == "fault_retry_backoff_us") return &faults.retry_backoff_us;
+  return nullptr;
+}
+
 }  // namespace
 
 std::span<const ParamDef> family_param_defs(FamilyKind kind) {
@@ -264,6 +294,8 @@ std::span<const ParamDef> family_param_defs(FamilyKind kind) {
 }
 
 std::span<const ParamDef> comm_param_defs() { return kCommParams; }
+
+std::span<const ParamDef> fault_param_defs() { return kFaultParams; }
 
 std::string to_string(FamilyKind kind) {
   switch (kind) {
@@ -312,7 +344,8 @@ sched::PolicyConfig effective_policy_config(const SweepSpec& spec,
   sched::PolicyConfig config =
       sched::PolicyRegistry::instance().make_config(policy.name);
   // Spec-level legacy knobs first (they are always present, defaulted by
-  // parse_spec), then the per-policy parenthesized overrides.
+  // parse_spec), then the policy_defaults line for this base name, then
+  // the per-policy parenthesized overrides — later layers win.
   if (policy.name == "sa") {
     config.set_int("max_steps", spec.sa_options.cooling.max_steps);
     config.set_int("moves", spec.sa_options.moves_per_temperature);
@@ -322,6 +355,12 @@ sched::PolicyConfig effective_policy_config(const SweepSpec& spec,
     config.set_int("max_steps", spec.gsa_options.cooling.max_steps);
     config.set_int("moves", spec.gsa_options.moves_per_temperature);
     config.set_string("oracle", sa::to_string(spec.gsa_options.oracle));
+  }
+  for (const PolicySpec& defaults : spec.policy_defaults) {
+    if (defaults.name != policy.name) continue;
+    for (const auto& [key, value] : defaults.args) {
+      config.set(key, value);
+    }
   }
   for (const auto& [key, value] : policy.args) {
     config.set(key, value);
@@ -393,6 +432,36 @@ void SweepSpec::validate() const {
         "sweep spec: comm_sigma_us/comm_tau_us/comm_send_cpu have no "
         "effect with 'comm off'");
   }
+  if (faults.machine_mtbf_us.lo < 0 || faults.stall_mtbf_us.lo < 0 ||
+      faults.link_mtbf_us.lo < 0) {
+    throw std::invalid_argument("sweep spec: negative fault MTBF");
+  }
+  if (faults.machine_mttr_us.lo <= 0 || faults.link_mttr_us.lo <= 0 ||
+      faults.stall_us.lo <= 0) {
+    throw std::invalid_argument(
+        "sweep spec: fault repair/stall durations must be positive");
+  }
+  if (faults.link_drop_prob.lo < 0 || faults.link_drop_prob.hi > 1) {
+    throw std::invalid_argument(
+        "sweep spec: fault_link_drop_prob must stay in [0, 1]");
+  }
+  if (faults.link_degrade_factor.lo < 1) {
+    throw std::invalid_argument(
+        "sweep spec: fault_link_degrade_factor must be >= 1");
+  }
+  if (faults.msg_timeout_us.lo <= 0 || faults.retry_backoff_us.lo <= 0) {
+    throw std::invalid_argument(
+        "sweep spec: fault_msg_timeout_us/fault_retry_backoff_us must be "
+        "positive");
+  }
+  if (faults.max_retries < 0) {
+    throw std::invalid_argument("sweep spec: negative fault_max_retries");
+  }
+  if (!comm_enabled && faults.link_mtbf_us.hi > 0) {
+    throw std::invalid_argument(
+        "sweep spec: fault_link_mtbf_us has no effect with 'comm off' "
+        "(there are no messages to drop)");
+  }
   for (const FamilySpec& family : families) {
     if (family.count <= 0) {
       throw std::invalid_argument("sweep spec: family " +
@@ -408,6 +477,22 @@ void SweepSpec::validate() const {
         throw std::invalid_argument("sweep spec: duplicate policy " +
                                     policies[i].canonical());
       }
+    }
+  }
+  // policy_defaults lines: at most one per base name, and each must
+  // resolve through the registry on its own.
+  for (std::size_t i = 0; i < policy_defaults.size(); ++i) {
+    for (std::size_t j = i + 1; j < policy_defaults.size(); ++j) {
+      if (policy_defaults[i].name == policy_defaults[j].name) {
+        throw std::invalid_argument(
+            "sweep spec: duplicate policy_defaults for '" +
+            policy_defaults[i].name + "'");
+      }
+    }
+    sched::PolicyConfig config = sched::PolicyRegistry::instance().make_config(
+        policy_defaults[i].name);
+    for (const auto& [key, value] : policy_defaults[i].args) {
+      config.set(key, value);
     }
   }
   // Resolve every policy through the registry — name, config keys and
@@ -497,26 +582,64 @@ SweepSpec parse_spec(const std::string& text) {
       spec.topologies.push_back(value);
     } else if (key == "policy") {
       spec.policies.push_back(parse_policy(value, line_number));
-    } else if (key == "sa_max_steps") {
-      spec.sa_options.cooling.max_steps =
-          static_cast<int>(parse_integer(value, line_number));
-    } else if (key == "sa_moves") {
-      spec.sa_options.moves_per_temperature =
-          static_cast<int>(parse_integer(value, line_number));
-    } else if (key == "gsa_chains") {
-      spec.gsa_options.num_chains =
-          static_cast<int>(parse_integer(value, line_number));
-    } else if (key == "gsa_max_steps") {
-      spec.gsa_options.cooling.max_steps =
-          static_cast<int>(parse_integer(value, line_number));
-    } else if (key == "gsa_moves") {
-      spec.gsa_options.moves_per_temperature =
-          static_cast<int>(parse_integer(value, line_number));
-    } else if (key == "gsa_oracle") {
-      try {
-        spec.gsa_options.oracle = sa::cost_oracle_kind_from_string(value);
-      } catch (const std::invalid_argument& error) {
-        fail(line_number, error.what());
+    } else if (key == "policy_defaults") {
+      PolicySpec defaults = parse_policy(value, line_number);
+      if (defaults.args.empty()) {
+        fail(line_number,
+             "policy_defaults needs at least one key: policy_defaults " +
+                 defaults.name + "(key=value,...)");
+      }
+      spec.policy_defaults.push_back(std::move(defaults));
+    } else if (key.rfind("fault_", 0) == 0) {
+      if (key == "fault_max_retries") {
+        spec.faults.max_retries =
+            static_cast<int>(parse_integer(value, line_number));
+      } else {
+        ParamRange* range = fault_range(spec.faults, key);
+        if (range == nullptr) fail(line_number, "unknown key '" + key + "'");
+        const ParamDef* def = nullptr;
+        for (const ParamDef& d : fault_param_defs()) {
+          if (key == d.name) def = &d;
+        }
+        *range = parse_range(value, line_number);
+        if (def != nullptr && def->integer &&
+            (range->lo != static_cast<std::int64_t>(range->lo) ||
+             range->hi != static_cast<std::int64_t>(range->hi))) {
+          fail(line_number, key + " takes integer microseconds");
+        }
+      }
+    } else if (key == "sa_max_steps" || key == "sa_moves" ||
+               key == "gsa_chains" || key == "gsa_max_steps" ||
+               key == "gsa_moves" || key == "gsa_oracle") {
+      // Legacy spec-level policy knobs: still honored (defaults applied
+      // to every line of that policy), but policy_defaults is the
+      // explicit replacement.
+      const std::string base = key.rfind("gsa_", 0) == 0 ? "gsa" : "sa";
+      spec.warnings.push_back(
+          "line " + std::to_string(line_number) + ": '" + key +
+          "' is deprecated; use 'policy_defaults " + base + "(" +
+          key.substr(base.size() + 1) + "=" + value + ")'");
+      if (key == "sa_max_steps") {
+        spec.sa_options.cooling.max_steps =
+            static_cast<int>(parse_integer(value, line_number));
+      } else if (key == "sa_moves") {
+        spec.sa_options.moves_per_temperature =
+            static_cast<int>(parse_integer(value, line_number));
+      } else if (key == "gsa_chains") {
+        spec.gsa_options.num_chains =
+            static_cast<int>(parse_integer(value, line_number));
+      } else if (key == "gsa_max_steps") {
+        spec.gsa_options.cooling.max_steps =
+            static_cast<int>(parse_integer(value, line_number));
+      } else if (key == "gsa_moves") {
+        spec.gsa_options.moves_per_temperature =
+            static_cast<int>(parse_integer(value, line_number));
+      } else {  // gsa_oracle
+        try {
+          spec.gsa_options.oracle = sa::cost_oracle_kind_from_string(value);
+        } catch (const std::invalid_argument& error) {
+          fail(line_number, error.what());
+        }
       }
     } else if (key == "time_budget_ms") {
       spec.time_budget_ms = parse_number(value, line_number);

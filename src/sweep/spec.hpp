@@ -21,6 +21,12 @@
 //   gsa_max_steps 24                 # temperature steps for "gsa"
 //   gsa_oracle auto                  # auto | incremental | full
 //   time_budget_ms 0                 # per-(instance, policy) wall budget
+//   policy_defaults gsa(chains=4)    # defaults for every gsa line
+//   fault_machine_mtbf_us 0          # 0 disables machine crashes
+//   fault_machine_mttr_us 200        # repair time range (integer us)
+//   fault_link_mtbf_us 0             # 0 disables link faults
+//   fault_link_drop_prob 1.0         # P(link fault drops vs degrades)
+//   fault_max_retries 5              # retransmissions before SimFailure
 //   topology hypercube8
 //   topology ring9
 //   policy sa
@@ -60,6 +66,7 @@
 #include "core/annealer.hpp"
 #include "core/global_annealer.hpp"
 #include "sched/registry.hpp"
+#include "sim/faults.hpp"
 #include "topology/comm_model.hpp"
 
 namespace dagsched::sweep {
@@ -137,6 +144,33 @@ struct CommAblation {
   bool is_paper_default() const;
 };
 
+/// Spec-driven fault-injection ablation (sim/faults.hpp): each instance
+/// draws its own fault parameters (fault_param_defs() order, integer
+/// microseconds except the real-valued drop probability) plus a fault
+/// seed, so one sweep covers a slice of the failure space and the
+/// robustness columns of the summary are paired per instance.  The
+/// defaults disable every fault class (all MTBFs zero), so specs that do
+/// not mention the fault_* knobs run — and serialize — exactly as before.
+struct FaultAblation {
+  ParamRange machine_mtbf_us{0, 0};    ///< 0 = no machine crashes
+  ParamRange machine_mttr_us{200, 200};
+  ParamRange stall_mtbf_us{0, 0};      ///< 0 = no transient slowdowns
+  ParamRange stall_us{40, 40};
+  ParamRange link_mtbf_us{0, 0};       ///< 0 = no link faults
+  ParamRange link_mttr_us{150, 150};
+  ParamRange link_drop_prob{1.0, 1.0};   ///< P(fault drops, not degrades)
+  ParamRange link_degrade_factor{4, 4};  ///< wire-time multiplier
+  ParamRange msg_timeout_us{400, 400};
+  ParamRange retry_backoff_us{50, 50};
+  int max_retries = 5;
+
+  /// True when any fault class can fire (any MTBF range reaches > 0).
+  bool enabled() const {
+    return machine_mtbf_us.hi > 0 || stall_mtbf_us.hi > 0 ||
+           link_mtbf_us.hi > 0;
+  }
+};
+
 /// The complete declarative sweep description.
 struct SweepSpec {
   std::uint64_t seed = 1;
@@ -150,9 +184,26 @@ struct SweepSpec {
   /// cannot silently configure nothing).
   CommAblation comm;
 
+  /// Per-instance fault-injection draws; disabled unless a fault_* knob
+  /// raises an MTBF above zero.  With faults enabled the runner runs every
+  /// (instance, policy) cell twice — fault-free baseline, then faulted,
+  /// with the *same* policy seed — so degradation ratios are paired.
+  FaultAblation faults;
+
   std::vector<std::string> topologies;  ///< topo::by_name specs
   std::vector<PolicySpec> policies;     ///< registry names + overrides
   std::vector<FamilySpec> families;
+
+  /// `policy_defaults name(key=value,...)` lines: construction-time
+  /// defaults applied to every policy line of that base name, between the
+  /// legacy spec-level knobs and the per-policy parenthesized overrides
+  /// (which win).  At most one line per base name.
+  std::vector<PolicySpec> policy_defaults;
+
+  /// Non-fatal diagnostics collected while parsing (currently: the legacy
+  /// sa_*/gsa_* knobs are deprecated in favor of policy_defaults).
+  /// Drivers print them to stderr; they never affect results.
+  std::vector<std::string> warnings;
 
   /// Per-(instance, policy) wall-clock budget in milliseconds; 0 = none.
   /// The gsa policy stops cooperatively between temperature steps and
@@ -188,7 +239,8 @@ struct SweepSpec {
 /// The effective construction-time config of `policy` under `spec`: the
 /// registry defaults, overwritten by the spec-level legacy knobs for that
 /// policy name (see sa_options / gsa_options above), overwritten by the
-/// policy's own parenthesized overrides.  The seed is left at its
+/// matching `policy_defaults` line, overwritten by the policy's own
+/// parenthesized overrides.  The seed is left at its
 /// default; the runner assigns one per (instance, policy).  Throws
 /// std::invalid_argument for unknown policy names or config keys.
 sched::PolicyConfig effective_policy_config(const SweepSpec& spec,

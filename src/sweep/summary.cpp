@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <tuple>
 
 #include "sweep/params.hpp"
 #include "util/csv.hpp"
@@ -113,7 +114,130 @@ std::vector<PolicySummary> summarize(const SweepResult& result) {
   for (std::size_t i = 1; i < summaries.size(); ++i) {
     summaries[i].wilcoxon_p_holm = adjusted[i - 1];
   }
+
+  // Robustness block: with fault injection on, every cell additionally
+  // has a paired fault-free baseline, so "which policy degrades least"
+  // is itself a paired comparison — sign/Wilcoxon/Holm against the
+  // least-degrading policy, exactly like vs_best against the fastest.
+  if (result.spec.faults.enabled()) {
+    std::vector<std::vector<double>> degradations(num_policies);
+    for (const InstanceResult& row : result.instances) {
+      require(row.base_makespans.size() == num_policies &&
+                  row.failed.size() == num_policies,
+              "summarize: missing fault columns in a faulted sweep");
+      for (std::size_t p = 0; p < num_policies; ++p) {
+        require(row.base_makespans[p] > 0,
+                "summarize: nonpositive baseline makespan");
+        degradations[p].push_back(static_cast<double>(row.makespans[p]) /
+                                  static_cast<double>(row.base_makespans[p]));
+      }
+    }
+    const auto policy_index_of = [&](const std::string& name) {
+      for (std::size_t p = 0; p < num_policies; ++p) {
+        if (result.spec.policies[p].canonical() == name) return p;
+      }
+      require(false, "summarize: unknown policy in ranking");
+      return std::size_t{0};
+    };
+    for (PolicySummary& s : summaries) {
+      const std::size_t p = policy_index_of(s.policy);
+      double retries_sum = 0.0;
+      double restarts_sum = 0.0;
+      int failures = 0;
+      for (const InstanceResult& row : result.instances) {
+        retries_sum += row.retries[p];
+        restarts_sum += row.restarts[p];
+        failures += row.failed[p] != 0 ? 1 : 0;
+      }
+      s.failures = failures;
+      s.success_rate = 1.0 - failures / instances;
+      s.mean_retries = retries_sum / instances;
+      s.mean_restarts = restarts_sum / instances;
+      double log_sum = 0.0;
+      for (double d : degradations[p]) log_sum += std::log(d);
+      s.geomean_degradation = std::exp(log_sum / instances);
+      s.p99_degradation = quantile(degradations[p], 0.99);
+    }
+    // Least-degrading leader: smallest geomean degradation, ties toward
+    // the fewest failures, then the name (all deterministic).
+    std::size_t leader_row = 0;
+    for (std::size_t i = 1; i < summaries.size(); ++i) {
+      const PolicySummary& a = summaries[i];
+      const PolicySummary& b = summaries[leader_row];
+      if (a.geomean_degradation < b.geomean_degradation ||
+          (a.geomean_degradation == b.geomean_degradation &&
+           (a.failures < b.failures ||
+            (a.failures == b.failures && a.policy < b.policy)))) {
+        leader_row = i;
+      }
+    }
+    const std::size_t leader = policy_index_of(summaries[leader_row].policy);
+    std::vector<double> robust_family;
+    std::vector<std::size_t> robust_rows;
+    for (std::size_t i = 0; i < summaries.size(); ++i) {
+      if (i == leader_row) continue;
+      PolicySummary& s = summaries[i];
+      const std::size_t p = policy_index_of(s.policy);
+      log_diffs.clear();
+      for (std::size_t r = 0; r < degradations[p].size(); ++r) {
+        const double mine = degradations[p][r];
+        const double theirs = degradations[leader][r];
+        if (mine < theirs) ++s.robust_better;
+        if (mine > theirs) ++s.robust_worse;
+        log_diffs.push_back(std::log(mine) - std::log(theirs));
+      }
+      s.robust_sign_p = sign_test(s.robust_better, s.robust_worse).p_value;
+      s.robust_wilcoxon_p = wilcoxon_signed_rank(log_diffs).p_value;
+      robust_family.push_back(s.robust_wilcoxon_p);
+      robust_rows.push_back(i);
+    }
+    const std::vector<double> robust_adjusted =
+        holm_bonferroni(robust_family);
+    for (std::size_t i = 0; i < robust_rows.size(); ++i) {
+      summaries[robust_rows[i]].robust_wilcoxon_p_holm = robust_adjusted[i];
+    }
+  }
   return summaries;
+}
+
+std::vector<std::string> fault_free_ranking(const SweepResult& result) {
+  const std::size_t num_policies = result.spec.policies.size();
+  require(result.spec.faults.enabled(),
+          "fault_free_ranking: sweep has no fault ablation");
+  require(!result.instances.empty(), "fault_free_ranking: empty sweep");
+  struct Row {
+    std::string policy;
+    double geomean = 0.0;
+    int wins = 0;
+  };
+  std::vector<Row> rows(num_policies);
+  std::vector<double> log_sums(num_policies, 0.0);
+  for (const InstanceResult& row : result.instances) {
+    require(row.base_makespans.size() == num_policies,
+            "fault_free_ranking: missing baselines");
+    const Time best = *std::min_element(row.base_makespans.begin(),
+                                        row.base_makespans.end());
+    require(best > 0, "fault_free_ranking: nonpositive baseline");
+    for (std::size_t p = 0; p < num_policies; ++p) {
+      log_sums[p] += std::log(static_cast<double>(row.base_makespans[p]) /
+                              static_cast<double>(best));
+      if (row.base_makespans[p] == best) ++rows[p].wins;
+    }
+  }
+  const double instances = static_cast<double>(result.instances.size());
+  for (std::size_t p = 0; p < num_policies; ++p) {
+    rows[p].policy = result.spec.policies[p].canonical();
+    rows[p].geomean = std::exp(log_sums[p] / instances);
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    if (a.geomean != b.geomean) return a.geomean < b.geomean;
+    if (a.wins != b.wins) return a.wins > b.wins;
+    return a.policy < b.policy;
+  });
+  std::vector<std::string> ranking;
+  ranking.reserve(rows.size());
+  for (const Row& row : rows) ranking.push_back(row.policy);
+  return ranking;
 }
 
 std::string summary_json(const SweepResult& result,
@@ -155,6 +279,25 @@ std::string summary_json(const SweepResult& result,
     w.value(dagsched::to_string(mode));
   }
   w.end_array();
+  // Fault-ablation echo, only when enabled — zero-fault sweeps keep
+  // their historical artifacts byte for byte.
+  if (spec.faults.enabled()) {
+    const auto fault_defs = fault_param_defs();
+    const ParamRange* fault_ranges[] = {
+        &spec.faults.machine_mtbf_us, &spec.faults.machine_mttr_us,
+        &spec.faults.stall_mtbf_us,   &spec.faults.stall_us,
+        &spec.faults.link_mtbf_us,    &spec.faults.link_mttr_us,
+        &spec.faults.link_drop_prob,  &spec.faults.link_degrade_factor,
+        &spec.faults.msg_timeout_us,  &spec.faults.retry_backoff_us};
+    require(fault_defs.size() == std::size(fault_ranges),
+            "summary_json: fault ParamDef table out of sync");
+    for (std::size_t i = 0; i < fault_defs.size(); ++i) {
+      w.key(fault_defs[i].name);
+      emit_range(*fault_ranges[i]);
+    }
+    w.key("fault_max_retries");
+    w.value(spec.faults.max_retries);
+  }
   // Echo the *resolved* oracle kind: the default kAuto resolves through
   // the registry's capability traits, and emitting the resolution keeps
   // old-spec artifacts byte-identical ("incremental") across the change.
@@ -240,18 +383,68 @@ std::string summary_json(const SweepResult& result,
     w.key("wilcoxon_p_holm");
     w.value(s.wilcoxon_p_holm);
     w.end_object();
+    if (spec.faults.enabled()) {
+      w.key("robustness");
+      w.begin_object();
+      w.key("failures");
+      w.value(s.failures);
+      w.key("success_rate");
+      w.value(s.success_rate);
+      w.key("mean_retries");
+      w.value(s.mean_retries);
+      w.key("mean_restarts");
+      w.value(s.mean_restarts);
+      w.key("geomean_degradation");
+      w.value(s.geomean_degradation);
+      w.key("p99_degradation");
+      w.value(s.p99_degradation);
+      w.key("vs_least_degrading");
+      w.begin_object();
+      w.key("better");
+      w.value(s.robust_better);
+      w.key("worse");
+      w.value(s.robust_worse);
+      w.key("sign_p");
+      w.value(s.robust_sign_p);
+      w.key("wilcoxon_p");
+      w.value(s.robust_wilcoxon_p);
+      w.key("wilcoxon_p_holm");
+      w.value(s.robust_wilcoxon_p_holm);
+      w.end_object();
+      w.end_object();
+    }
     w.end_object();
   }
   w.end_array();
+
+  if (spec.faults.enabled()) {
+    // The fault-free ranking of the *same* instances and seeds, so a
+    // robustness-induced flip is visible inside one artifact.
+    w.key("fault_free_ranking");
+    w.begin_array();
+    for (const std::string& policy : fault_free_ranking(result)) {
+      w.value(policy);
+    }
+    w.end_array();
+  }
 
   w.end_object();
   return w.str();
 }
 
 std::string per_instance_csv(const SweepResult& result) {
-  CsvWriter csv({"instance", "family", "repetition", "topology", "tasks",
-                 "edges", "graph_seed", "sigma_us", "tau_us", "send_cpu",
-                 "policy", "makespan_us", "ratio", "timed_out"});
+  // The fault columns appear only for faulted sweeps, so zero-fault CSV
+  // artifacts keep their historical header and rows byte for byte.
+  const bool faulted = result.spec.faults.enabled();
+  std::vector<std::string> header = {
+      "instance", "family",   "repetition", "topology",    "tasks",
+      "edges",    "graph_seed", "sigma_us", "tau_us",      "send_cpu",
+      "policy",   "makespan_us", "ratio",   "timed_out"};
+  if (faulted) {
+    header.insert(header.end(), {"base_makespan_us", "degradation",
+                                 "retries", "restarts", "failed"});
+  }
+  CsvWriter csv(header);
   for (const InstanceResult& row : result.instances) {
     const Time best = row.best();
     for (std::size_t p = 0; p < result.spec.policies.size(); ++p) {
@@ -259,14 +452,27 @@ std::string per_instance_csv(const SweepResult& result) {
                            static_cast<double>(best);
       const bool timed_out =
           p < row.timed_out.size() && row.timed_out[p] != 0;
-      csv.add_row({std::to_string(row.index), row.family,
-                   std::to_string(row.repetition), row.topology,
-                   std::to_string(row.tasks), std::to_string(row.edges),
-                   std::to_string(row.graph_seed),
-                   std::to_string(row.sigma_us), std::to_string(row.tau_us),
-                   row.send_cpu, result.spec.policies[p].canonical(),
-                   format_fixed(to_us(row.makespans[p]), 3),
-                   format_fixed(ratio, 6), timed_out ? "1" : "0"});
+      std::vector<std::string> cells = {
+          std::to_string(row.index), row.family,
+          std::to_string(row.repetition), row.topology,
+          std::to_string(row.tasks), std::to_string(row.edges),
+          std::to_string(row.graph_seed),
+          std::to_string(row.sigma_us), std::to_string(row.tau_us),
+          row.send_cpu, result.spec.policies[p].canonical(),
+          format_fixed(to_us(row.makespans[p]), 3),
+          format_fixed(ratio, 6), timed_out ? "1" : "0"};
+      if (faulted) {
+        const double degradation =
+            static_cast<double>(row.makespans[p]) /
+            static_cast<double>(row.base_makespans[p]);
+        cells.insert(cells.end(),
+                     {format_fixed(to_us(row.base_makespans[p]), 3),
+                      format_fixed(degradation, 6),
+                      std::to_string(row.retries[p]),
+                      std::to_string(row.restarts[p]),
+                      row.failed[p] != 0 ? "1" : "0"});
+      }
+      csv.add_row(cells);
     }
   }
   return csv.render();
@@ -304,6 +510,38 @@ std::string render_summary_table(const SweepResult& result,
                     "Holm-Bonferroni-adjusted Wilcoxon p over the vs-best "
                     "family)\n";
   out += table.render();
+
+  if (result.spec.faults.enabled()) {
+    TableWriter robustness({"policy", "success", "geomean degr", "p99 degr",
+                            "retries", "restarts", "vs least",
+                            "p(holm)"});
+    const PolicySummary* least = nullptr;
+    for (const PolicySummary& s : ranking) {
+      if (least == nullptr ||
+          std::tie(s.geomean_degradation, s.failures, s.policy) <
+              std::tie(least->geomean_degradation, least->failures,
+                       least->policy)) {
+        least = &s;
+      }
+    }
+    for (const PolicySummary& s : ranking) {
+      const bool leader = &s == least;
+      robustness.add_row(
+          {s.policy, format_percent(100.0 * s.success_rate, 1),
+           format_fixed(s.geomean_degradation, 4),
+           format_fixed(s.p99_degradation, 4),
+           format_fixed(s.mean_retries, 2),
+           format_fixed(s.mean_restarts, 2),
+           leader ? "-"
+                  : std::to_string(s.robust_better) + "/" +
+                        std::to_string(s.robust_worse),
+           leader ? "-" : format_fixed(s.robust_wilcoxon_p_holm, 4)});
+    }
+    out += "\nRobustness: degradation = faulted makespan / paired "
+           "fault-free baseline (failures count as 8x); vs least = "
+           "wins/losses against the least-degrading policy\n";
+    out += robustness.render();
+  }
   return out;
 }
 

@@ -58,10 +58,36 @@ struct PolicySummary {
   /// the family-wise error rate honest for wide policy sets).  1.0 for
   /// the leader.
   double wilcoxon_p_holm = 1.0;
+
+  /// Fault-injection robustness (meaningful only when the sweep's
+  /// FaultAblation is enabled; neutral defaults otherwise).  The
+  /// degradation of a cell is its faulted makespan divided by its paired
+  /// fault-free baseline (same policy seed) — failed cells count as 8.
+  /// The vs-least family mirrors vs_best with the *least-degrading*
+  /// policy as the leader, answering "which policy degrades least, and is
+  /// that ranking statistically meaningful?".
+  int failures = 0;                 ///< faulted runs that hit SimFailure
+  double success_rate = 1.0;        ///< 1 - failures / instances
+  double mean_retries = 0.0;        ///< retransmissions per faulted run
+  double mean_restarts = 0.0;       ///< task re-executions per faulted run
+  double geomean_degradation = 0.0; ///< geometric mean degradation ratio
+  double p99_degradation = 0.0;     ///< tail degradation
+  int robust_better = 0;   ///< instances degrading less than the leader
+  int robust_worse = 0;    ///< instances degrading more than the leader
+  double robust_sign_p = 1.0;
+  double robust_wilcoxon_p = 1.0;
+  double robust_wilcoxon_p_holm = 1.0;
 };
 
 /// Computes the per-policy summaries, ranked best (rank 0) to worst.
 std::vector<PolicySummary> summarize(const SweepResult& result);
+
+/// Policy canonical names ranked by the *fault-free* geomean makespan
+/// ratio (the base_makespans baselines; requires the sweep's
+/// FaultAblation to be enabled).  The summary JSON embeds it next to the
+/// faulted ranking so a robustness-induced ranking flip is visible in one
+/// artifact.
+std::vector<std::string> fault_free_ranking(const SweepResult& result);
 
 /// Renders the deterministic summary artifact: spec echo (seed, comm,
 /// topologies, policies, families), instance count, and the ranking.

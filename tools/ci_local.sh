@@ -82,6 +82,8 @@ cmake --build "${smoke_dir}" --target sweep -j"${jobs}"
   "${repo_root}/tools/sweep_small.spec"
 "${repo_root}/tools/sweep_golden.sh" "${smoke_dir}/sweep" \
   "${repo_root}/tools/sweep_golden.spec" "${repo_root}/tools/golden"
+"${repo_root}/tools/sweep_faulty.sh" "${smoke_dir}/sweep" \
+  "${repo_root}/tools/sweep_faulty.spec"
 "${smoke_dir}/sweep" --list-policies > /dev/null
 
 # --- job: coverage ---------------------------------------------------------

@@ -51,6 +51,7 @@ std::string capability_string(const dagsched::sched::PolicyCapabilities& c) {
   append(c.pure_decision, "pure-decision");
   append(c.uses_rng, "rng");
   append(c.offline_plan, "offline-plan");
+  append(c.replan_on_fault, "replan-on-fault");
   return out.empty() ? "-" : out;
 }
 
@@ -178,6 +179,9 @@ int main(int argc, char** argv) {
     if (override_seed) spec.seed = seed;
     if (override_budget) spec.time_budget_ms = time_budget_ms;
     spec.validate();
+    for (const std::string& warning : spec.warnings) {
+      std::cerr << "sweep: warning: " << warning << "\n";
+    }
 
     if (!quiet) {
       std::cerr << "sweep: " << spec.num_instances() << " instances ("
