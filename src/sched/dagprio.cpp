@@ -1,0 +1,64 @@
+#include "sched/dagprio.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/arrivals.hpp"
+
+namespace dagsched::sched {
+
+DagPrioScheduler::DagPrioScheduler(double w_cp, double w_slack, double w_age)
+    : w_cp_(w_cp), w_slack_(w_slack), w_age_(w_age) {}
+
+void DagPrioScheduler::on_epoch(sim::EpochContext& ctx) {
+  const sim::ArrivalPlan* plan = ctx.arrivals();
+  const std::vector<Time>& levels = ctx.levels();
+  const Time now = ctx.now();
+
+  std::vector<TaskId> order(ctx.ready_tasks().begin(),
+                            ctx.ready_tasks().end());
+  std::vector<double> score(order.size(), 0.0);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const TaskId task = order[i];
+    const Time level = levels[static_cast<std::size_t>(task)];
+    double s = w_cp_ * to_us(level);
+    if (plan != nullptr) {
+      const int wf = plan->task_workflow[static_cast<std::size_t>(task)];
+      s += w_age_ * to_us(now - plan->arrival[static_cast<std::size_t>(wf)]);
+      const Time deadline = plan->deadline[static_cast<std::size_t>(wf)];
+      if (deadline != kTimeInfinity) {
+        // Negative slack (already late) raises the score further.
+        s -= w_slack_ * to_us(deadline - now - level);
+      }
+    }
+    score[i] = s;
+  }
+  // Stable rank: score descending, task id ascending on exact ties.
+  std::vector<std::size_t> rank(order.size());
+  for (std::size_t i = 0; i < rank.size(); ++i) rank[i] = i;
+  std::sort(rank.begin(), rank.end(), [&](std::size_t a, std::size_t b) {
+    if (score[a] != score[b]) return score[a] > score[b];
+    return order[a] < order[b];
+  });
+
+  std::vector<ProcId> free(ctx.idle_procs().begin(), ctx.idle_procs().end());
+  const std::size_t count = std::min(order.size(), free.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    const TaskId task = order[rank[i]];
+    std::size_t pick = 0;
+    Time best = incoming_comm_cost(ctx, task, free[0]);
+    for (std::size_t j = 1; j < free.size(); ++j) {
+      const Time cost = incoming_comm_cost(ctx, task, free[j]);
+      if (cost < best) {
+        best = cost;
+        pick = j;
+      }
+    }
+    ctx.assign(task, free[pick]);
+    free.erase(free.begin() + static_cast<std::ptrdiff_t>(pick));
+  }
+}
+
+std::string DagPrioScheduler::name() const { return "dagprio"; }
+
+}  // namespace dagsched::sched

@@ -6,6 +6,7 @@
 #include "core/global_annealer.hpp"
 #include "core/incremental_cost.hpp"
 #include "core/sa_scheduler.hpp"
+#include "sched/dagprio.hpp"
 #include "sched/etf.hpp"
 #include "sched/fixed_list.hpp"
 #include "sched/heft.hpp"
@@ -501,7 +502,8 @@ void register_builtin_policies(PolicyRegistry& registry) {
                 "baseline)",
                 {.deterministic = true,
                  .stateless_per_epoch = true,
-                 .pure_decision = true},
+                 .pure_decision = true,
+                 .online = true},
                 {},
                 [](const PolicyConfig&) {
                   return make_online("hlf", std::make_unique<HlfScheduler>(
@@ -511,7 +513,7 @@ void register_builtin_policies(PolicyRegistry& registry) {
   registry.add(
       {"hlf-mincomm",
        "HLF with communication-aware min-cost placement (ablation)",
-       {.deterministic = true, .stateless_per_epoch = true},
+       {.deterministic = true, .stateless_per_epoch = true, .online = true},
        {},
        [](const PolicyConfig&) {
          return make_online("hlf-mincomm", std::make_unique<HlfScheduler>(
@@ -520,7 +522,9 @@ void register_builtin_policies(PolicyRegistry& registry) {
 
   registry.add({"etf",
                 "earliest (estimated) start time first greedy",
-                {.deterministic = true, .stateless_per_epoch = true},
+                {.deterministic = true,
+                 .stateless_per_epoch = true,
+                 .online = true},
                 {},
                 [](const PolicyConfig&) {
                   return make_online("etf",
@@ -600,11 +604,33 @@ void register_builtin_policies(PolicyRegistry& registry) {
   registry.add(
       {"random",
        "uniformly random assignments (sanity floor)",
-       {.deterministic = false, .uses_rng = true},
+       {.deterministic = false, .uses_rng = true, .online = true},
        {},
        [](const PolicyConfig& config) {
          return make_online(
              "random", std::make_unique<RandomScheduler>(config.seed));
+       }});
+
+  registry.add(
+      {"dagprio",
+       "online dag-priority scorer: remaining CP + slack + age weights",
+       {.deterministic = true, .stateless_per_epoch = true, .online = true},
+       {{"w_cp", ConfigValueKind::Real, "1",
+         "weight of the remaining-critical-path level (us terms)"},
+        {"w_slack", ConfigValueKind::Real, "1",
+         "weight of the deadline slack (tight workflows score higher)"},
+        {"w_age", ConfigValueKind::Real, "0.1",
+         "weight of the workflow age (anti-starvation)"}},
+       [](const PolicyConfig& config) {
+         const double w_cp = config.get_real("w_cp");
+         const double w_slack = config.get_real("w_slack");
+         const double w_age = config.get_real("w_age");
+         if (w_cp < 0 || w_slack < 0 || w_age < 0) {
+           fail_policy(config.policy(),
+                       "score weights w_cp/w_slack/w_age must be >= 0");
+         }
+         return make_online("dagprio", std::make_unique<DagPrioScheduler>(
+                                           w_cp, w_slack, w_age));
        }});
 
   // Descriptor-only: the pinned replay policy is not a sweep-selectable

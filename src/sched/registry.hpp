@@ -47,6 +47,15 @@
 //                          around the down set.  Online policies need no
 //                          flag — they reschedule at the next epoch by
 //                          construction.
+//  * online              — the policy is meaningful when tasks stream in
+//                          over time (sim/arrivals.hpp): it decides epoch
+//                          by epoch from the current ready set and never
+//                          assumes the whole graph is ready at t = 0.
+//                          Offline planners (heft, gsa) lack the flag —
+//                          their up-front plan would start tasks before
+//                          their workflow arrives.  Streamed sweep
+//                          scenarios (`arrival_*` spec knobs) only accept
+//                          policies carrying this flag.
 //
 // A PolicyConfig is a typed key-value bag: the descriptor declares every
 // key with a kind (Int / Real / String), a default and a doc line; set()
@@ -78,6 +87,7 @@ struct PolicyCapabilities {
   bool uses_rng = false;
   bool offline_plan = false;
   bool replan_on_fault = false;
+  bool online = false;
 };
 
 /// Value domain of one configuration key.
@@ -252,12 +262,12 @@ class PolicyRegistry {
   std::vector<PolicyDescriptor> entries_;  ///< registration order
 };
 
-/// Registers the builtin policies: the nine sweep-comparable algorithms
-/// (sa, gsa, hlf, hlf-mincomm, etf, list-hlf, heft, peft, random) plus
-/// the descriptor-only "pinned" entry whose `pure_decision` trait the
-/// global annealer consults for oracle eligibility.  Invoked once by
-/// PolicyRegistry::instance(); exposed so tests can populate private
-/// registries.
+/// Registers the builtin policies: the ten sweep-comparable algorithms
+/// (sa, gsa, hlf, hlf-mincomm, etf, list-hlf, heft, peft, random,
+/// dagprio) plus the descriptor-only "pinned" entry whose `pure_decision`
+/// trait the global annealer consults for oracle eligibility.  Invoked
+/// once by PolicyRegistry::instance(); exposed so tests can populate
+/// private registries.
 void register_builtin_policies(PolicyRegistry& registry);
 
 }  // namespace dagsched::sched

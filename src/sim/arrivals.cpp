@@ -1,0 +1,201 @@
+#include "sim/arrivals.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "graph/analysis.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace dagsched::sim {
+
+namespace {
+
+// Real-valued spec knobs are quantized to permille before any arithmetic so
+// every derived quantity is an integer computation (bit-identical across
+// platforms, like sim/faults.hpp).
+std::int64_t permille(double value) {
+  return static_cast<std::int64_t>(std::llround(value * 1000.0));
+}
+
+// +/-50% integer jitter around `mean`, never below 1ns (the same Poisson-ish
+// gap shape as the fault timelines).
+Time gap_jitter(Rng& rng, Time mean) {
+  const Time lo = std::max<Time>(1, mean / 2);
+  const Time hi = mean + mean / 2;
+  return rng.uniform_int(lo, hi);
+}
+
+}  // namespace
+
+void ArrivalSpec::validate() const {
+  auto fail = [](const std::string& message) {
+    throw std::invalid_argument("ArrivalSpec: " + message);
+  };
+  if (num_workflows < 0) fail("num_workflows must be >= 0");
+  if (num_workflows > 0 && mean_gap <= 0) {
+    fail("mean_gap must be positive when arrivals are enabled");
+  }
+  if (burst_prob < 0.0 || burst_prob > 1.0) {
+    fail("burst_prob must be in [0, 1]");
+  }
+  if (burst_mult < 1.0) fail("burst_mult must be >= 1");
+  if (deadline_slack < 0.0) fail("deadline_slack must be >= 0");
+  if (duration_jitter < 0.0 || duration_jitter >= 1.0) {
+    fail("duration_jitter must be in [0, 1)");
+  }
+  if (weight_max < 1.0) fail("weight_max must be >= 1");
+}
+
+void ArrivalPlan::validate(const TaskGraph& graph) const {
+  auto fail = [](const std::string& message) {
+    throw std::invalid_argument("ArrivalPlan: " + message);
+  };
+  const int workflows = num_workflows();
+  if (workflows <= 0) fail("plan must cover at least one workflow");
+  if (deadline.size() != arrival.size() || weight.size() != arrival.size()) {
+    fail("arrival/deadline/weight must have one entry per workflow");
+  }
+  if (task_workflow.size() != static_cast<std::size_t>(graph.num_tasks())) {
+    fail("task_workflow must have one entry per merged-graph task");
+  }
+  if (!actual_duration.empty() &&
+      actual_duration.size() != static_cast<std::size_t>(graph.num_tasks())) {
+    fail("actual_duration must be empty or cover every task");
+  }
+  for (std::size_t w = 0; w < arrival.size(); ++w) {
+    if (arrival[w] < 0) fail("arrival times must be >= 0");
+    if (w > 0 && arrival[w] < arrival[w - 1]) {
+      fail("arrival times must be non-decreasing");
+    }
+    if (deadline[w] != kTimeInfinity && deadline[w] < arrival[w]) {
+      fail("deadlines must not precede the arrival");
+    }
+    if (weight[w] < 1.0) fail("workflow weights must be >= 1");
+  }
+  for (const int wf : task_workflow) {
+    if (wf < 0 || wf >= workflows) fail("task maps to an unknown workflow");
+  }
+  for (const Time d : actual_duration) {
+    if (d <= 0) fail("actual durations must be positive");
+  }
+}
+
+TaskGraph build_arrival_instance(const ArrivalSpec& spec,
+                                 const WorkflowFactory& factory,
+                                 ArrivalPlan& plan) {
+  spec.validate();
+  require(spec.active(), "build_arrival_instance: spec has no workflows");
+  require(static_cast<bool>(factory),
+          "build_arrival_instance: null workflow factory");
+
+  plan.arrival.clear();
+  plan.deadline.clear();
+  plan.weight.clear();
+  plan.task_workflow.clear();
+  plan.actual_duration.clear();
+
+  const std::int64_t burst_mult_pm = permille(spec.burst_mult);
+  const std::int64_t slack_pm = permille(spec.deadline_slack);
+  const std::int64_t jitter_pm = permille(spec.duration_jitter);
+  const std::int64_t weight_max_pm = permille(spec.weight_max);
+  const bool jittered = jitter_pm > 0;
+
+  TaskGraph merged("arrivals");
+  Time prev_arrival = 0;
+  for (int w = 0; w < spec.num_workflows; ++w) {
+    // Per-workflow identity stream; the draw order below is the contract
+    // documented in the header — append new draws, never reorder.
+    Rng rng = Rng::stream(spec.seed, static_cast<std::uint64_t>(w));
+    const std::uint64_t graph_seed = rng.next_u64();
+    Time gap = gap_jitter(rng, spec.mean_gap);
+    if (rng.uniform01() < spec.burst_prob) {
+      gap = std::max<Time>(1, gap * 1000 / burst_mult_pm);
+    }
+    const std::int64_t weight_pm = rng.uniform_int(1000, weight_max_pm);
+
+    const TaskGraph workflow = factory(w, graph_seed);
+    workflow.validate();
+
+    // Workflow 0 opens the stream at t=0; its gap/burst draws are still
+    // consumed so every workflow's stream layout is identical.
+    const Time arrival = w == 0 ? 0 : prev_arrival + gap;
+    prev_arrival = arrival;
+
+    // Deadline from the *nominal* critical path: the scheduler's estimate
+    // of the work, before duration uncertainty is applied.
+    Time deadline = kTimeInfinity;
+    if (slack_pm > 0) {
+      const std::vector<Time> levels = task_levels(workflow);
+      const Time cp = *std::max_element(levels.begin(), levels.end());
+      deadline = arrival + cp * slack_pm / 1000;
+    }
+
+    const TaskId offset = static_cast<TaskId>(merged.num_tasks());
+    for (TaskId t = 0; t < workflow.num_tasks(); ++t) {
+      merged.add_task("w" + std::to_string(w) + ":" + workflow.task_name(t),
+                      workflow.duration(t));
+      plan.task_workflow.push_back(w);
+      if (jittered) {
+        const std::int64_t mult_pm =
+            rng.uniform_int(1000 - jitter_pm, 1000 + jitter_pm);
+        plan.actual_duration.push_back(
+            std::max<Time>(1, workflow.duration(t) * mult_pm / 1000));
+      }
+    }
+    for (const Edge& edge : workflow.edges()) {
+      merged.add_edge(edge.from + offset, edge.to + offset, edge.weight);
+    }
+
+    plan.arrival.push_back(arrival);
+    plan.deadline.push_back(deadline);
+    plan.weight.push_back(static_cast<double>(weight_pm) / 1000.0);
+  }
+
+  plan.validate(merged);
+  return merged;
+}
+
+OnlineMetrics compute_online_metrics(const ArrivalPlan& plan,
+                                     std::span<const Time> completion) {
+  require(completion.size() == plan.arrival.size(),
+          "compute_online_metrics: one completion time per workflow");
+  OnlineMetrics metrics;
+  metrics.workflows = plan.num_workflows();
+  if (metrics.workflows == 0) return metrics;
+
+  std::vector<Time> responses;
+  responses.reserve(completion.size());
+  int with_deadline = 0;
+  int hits = 0;
+  for (std::size_t w = 0; w < completion.size(); ++w) {
+    const Time response = completion[w] - plan.arrival[w];
+    require(response >= 0,
+            "compute_online_metrics: completion precedes arrival");
+    responses.push_back(response);
+    metrics.weighted_flow_us += plan.weight[w] * to_us(response);
+    if (plan.deadline[w] != kTimeInfinity) {
+      ++with_deadline;
+      if (completion[w] <= plan.deadline[w]) {
+        ++hits;
+      } else {
+        metrics.max_lateness =
+            std::max(metrics.max_lateness, completion[w] - plan.deadline[w]);
+      }
+    }
+  }
+  metrics.hit_rate = with_deadline == 0
+                         ? 1.0
+                         : static_cast<double>(hits) /
+                               static_cast<double>(with_deadline);
+  // Nearest-rank p99 (ceil(0.99 n) smallest response).
+  std::sort(responses.begin(), responses.end());
+  const std::size_t n = responses.size();
+  const std::size_t rank = (99 * n + 99) / 100;  // ceil(0.99 n), 1-based
+  metrics.p99_response = responses[std::min(rank, n) - 1];
+  return metrics;
+}
+
+}  // namespace dagsched::sim

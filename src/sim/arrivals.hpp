@@ -1,0 +1,113 @@
+#pragma once
+
+// Online arrival-stream workloads for the event simulator.
+//
+// Every scenario before this header was offline: one fully-known DAG,
+// minimize makespan.  An ArrivalPlan turns a run into an *online* scenario:
+// several workflows (independent DAGs merged into one TaskGraph) enter the
+// ready set at their arrival times, optionally carry a deadline and a
+// weight, and the metrics of interest become weighted flow time, deadline
+// hit-rate and p99 response instead of makespan (Beránek et al. show
+// scheduler rankings flip under exactly this environment change).
+//
+// Determinism contract (mirrors sim/faults.hpp): workflow `w`'s identity —
+// its graph seed, inter-arrival gap, burst membership, weight, deadline
+// slack and per-task duration multipliers — depends only on
+// `Rng::stream(spec.seed, w)` and the spec parameters, never on the policy
+// under test or the other workflows.  All draws are integer (`uniform_int`
+// over nanoseconds or permille) or exact threshold comparisons
+// (`uniform01() < p`), so arrival streams are bit-identical across
+// platforms.  The per-workflow draw order is: graph seed, gap, burst,
+// weight, then one duration multiplier per task in id order.
+//
+// The plan is caller-precomputed and immutable during the run; the engine
+// only reads it (SimOptions::arrivals).  A null plan keeps the engine on
+// the no-arrival fast path, byte-identical to builds before this header.
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "graph/taskgraph.hpp"
+#include "util/time.hpp"
+
+namespace dagsched::sim {
+
+/// Tunable arrival process: Poisson-ish base rate (mean gap with +/-50%
+/// integer jitter) plus heavy-tail burst knobs (with probability
+/// `burst_prob` a workflow's gap is divided by `burst_mult`), optional
+/// relative deadlines (`deadline_slack` x the workflow's critical path;
+/// zero means no deadline) and duration uncertainty (actual task durations
+/// drawn uniformly within +/-`duration_jitter` of nominal).
+struct ArrivalSpec {
+  int num_workflows = 0;        ///< zero disables the online scenario
+  Time mean_gap = us(std::int64_t{500});  ///< mean inter-arrival gap
+  double burst_prob = 0.0;      ///< P(workflow arrives inside a burst)
+  double burst_mult = 1.0;      ///< burst gap divisor (>= 1)
+  double deadline_slack = 0.0;  ///< deadline = arrival + slack * CP; 0 = none
+  double duration_jitter = 0.0; ///< actual duration in +/-jitter of nominal
+  double weight_max = 1.0;      ///< weights drawn uniformly in [1, max]
+  std::uint64_t seed = 1;       ///< dedicated arrival-stream seed
+
+  /// True when the run is an online scenario.  The engine consults this
+  /// through the plan; the sweep layer consults it directly.
+  bool active() const { return num_workflows > 0; }
+
+  /// Throws std::invalid_argument on nonsensical parameters.
+  void validate() const;
+};
+
+/// The fully materialized online instance: per-workflow arrival times,
+/// deadlines (kTimeInfinity = none) and weights, plus the mapping of every
+/// merged-graph task to its workflow and (optionally) jittered actual
+/// durations.  Immutable during a run; must outlive the engine.
+struct ArrivalPlan {
+  std::vector<Time> arrival;          ///< per workflow, non-decreasing
+  std::vector<Time> deadline;         ///< per workflow; kTimeInfinity = none
+  std::vector<double> weight;         ///< per workflow, >= 1
+  std::vector<int> task_workflow;     ///< per merged-graph task
+  std::vector<Time> actual_duration;  ///< per task; empty = nominal
+
+  int num_workflows() const { return static_cast<int>(arrival.size()); }
+
+  /// Throws std::invalid_argument when the plan is inconsistent with the
+  /// merged graph (sizes, workflow ids, ordering, positive durations).
+  void validate(const TaskGraph& graph) const;
+};
+
+/// Produces workflow `w`'s DAG from its drawn per-workflow graph seed.
+/// Called once per workflow, in workflow order; must not share mutable
+/// state with other calls (the sweep runner passes a pure generator).
+using WorkflowFactory =
+    std::function<TaskGraph(int workflow, std::uint64_t graph_seed)>;
+
+/// Builds the merged online instance: draws every workflow's identity from
+/// `Rng::stream(spec.seed, w)` (see the determinism contract above), asks
+/// the factory for its DAG, and appends it to one merged TaskGraph whose
+/// task names are prefixed "w<id>:".  Workflow 0 arrives at time zero;
+/// workflow w arrives one (possibly burst-compressed) gap after w-1.
+/// Deadlines are `arrival + deadline_slack * critical_path` of the
+/// *nominal* workflow DAG (the scheduler's estimate; the jittered actual
+/// durations are what the engine executes).
+TaskGraph build_arrival_instance(const ArrivalSpec& spec,
+                                 const WorkflowFactory& factory,
+                                 ArrivalPlan& plan);
+
+/// Aggregate online metrics of one run (all zero / empty-safe defaults on
+/// the no-arrival path).
+struct OnlineMetrics {
+  double weighted_flow_us = 0.0;  ///< sum of weight * (completion - arrival)
+  double hit_rate = 1.0;          ///< deadline hits / deadline-bearing wfs
+  Time p99_response = 0;          ///< nearest-rank p99 of completion-arrival
+  Time max_lateness = 0;          ///< worst max(0, completion - deadline)
+  int workflows = 0;              ///< number of workflows measured
+};
+
+/// Computes the online metrics from per-workflow completion times
+/// (completion[w] = finish time of workflow w's last task).  The hit-rate
+/// is 1.0 when no workflow carries a deadline.
+OnlineMetrics compute_online_metrics(const ArrivalPlan& plan,
+                                     std::span<const Time> completion);
+
+}  // namespace dagsched::sim

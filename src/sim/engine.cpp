@@ -28,9 +28,10 @@ double SimResult::utilization() const {
 
 namespace detail {
 
-// The fault event kinds only ever enter the queue when fault injection is
-// active (SimOptions::faults), so the zero-fault event stream — types,
-// times and sequence numbers — is byte-identical to the pre-fault engine.
+// The fault and arrival event kinds only ever enter the queue when their
+// feature is active (SimOptions::faults / SimOptions::arrivals), so the
+// plain offline event stream — types, times and sequence numbers — is
+// byte-identical to the pre-fault, pre-arrival engine.
 enum class EventType {
   TaskDone,
   CommDone,
@@ -42,6 +43,7 @@ enum class EventType {
   LinkUp,        // fault: link window ends on channel `message`
   MsgTimeout,    // fault: retransmission timer of message `message`
   MsgRetry,      // fault: backoff elapsed, retransmit message `message`
+  WorkflowArrival,  // online: workflow `message` enters the ready set
 };
 
 struct Event {
@@ -165,6 +167,15 @@ struct RunState {
   bool failed = false;
   SimFailure failure;
 
+  // Online-arrival state (empty on the no-arrival path).  Roots of every
+  // workflow are withheld from the initial ready pool and released by that
+  // workflow's WorkflowArrival event; all plain values, so checkpoints
+  // capture arrival progress too.
+  std::vector<int> workflow_remaining;   ///< unfinished tasks per workflow
+  std::vector<Time> workflow_completion; ///< finish of the last task, or 0
+  std::vector<TaskId> arrival_roots;     ///< withheld roots, grouped (CSR)
+  std::vector<int> arrival_root_begin;   ///< per-workflow offsets into ^
+
   Trace trace;
 
   explicit RunState(const Topology& topology) : machine(topology) {}
@@ -174,7 +185,8 @@ struct RunState {
 /// existing buffer capacity wherever the containers allow it — replay
 /// loops run thousands of simulations per second through one state.
 void init_state(RunState& s, const TaskGraph& graph,
-                const Topology& topology, const FaultModel* faults) {
+                const Topology& topology, const FaultModel* faults,
+                const ArrivalPlan* arrivals) {
   const auto n = static_cast<std::size_t>(graph.num_tasks());
   const auto p = static_cast<std::size_t>(topology.num_procs());
   if (s.machine.num_procs() == topology.num_procs()) {
@@ -211,6 +223,10 @@ void init_state(RunState& s, const TaskGraph& graph,
   s.total_stall_time = 0;
   s.failed = false;
   s.failure = SimFailure{};
+  s.workflow_remaining.clear();
+  s.workflow_completion.clear();
+  s.arrival_roots.clear();
+  s.arrival_root_begin.clear();
   s.trace.task_segments.clear();
   s.trace.comm_segments.clear();
   s.trace.transfers.clear();
@@ -219,11 +235,61 @@ void init_state(RunState& s, const TaskGraph& graph,
   s.trace.epochs.clear();
   s.trace.faults.clear();
   s.trace.retries.clear();
+  s.trace.workflows.clear();
 
+  // Under an arrival plan every root is withheld from the initial ready
+  // pool and released by its workflow's WorkflowArrival event instead (the
+  // time-zero epoch then sees an empty pool and no-ops; workflow 0's
+  // arrival at t=0 re-triggers it within the same instant).
   for (TaskId t = 0; t < graph.num_tasks(); ++t) {
     s.unfinished_preds[static_cast<std::size_t>(t)] = graph.in_degree(t);
-    if (s.unfinished_preds[static_cast<std::size_t>(t)] == 0) {
+    if (s.unfinished_preds[static_cast<std::size_t>(t)] == 0 &&
+        arrivals == nullptr) {
       s.ready_pool.push_back(t);
+    }
+  }
+
+  const auto seed_event = [&s](Event event) {
+    event.seq = s.next_seq++;
+    s.events.push_back(event);
+    std::push_heap(s.events.begin(), s.events.end(), EventLater{});
+  };
+
+  if (arrivals != nullptr) {
+    // Group the withheld roots per workflow (CSR layout) so an arrival
+    // releases one contiguous slice, and seed one WorkflowArrival event
+    // per workflow.
+    const int workflows = arrivals->num_workflows();
+    s.workflow_remaining.assign(static_cast<std::size_t>(workflows), 0);
+    s.workflow_completion.assign(static_cast<std::size_t>(workflows), 0);
+    for (const int wf : arrivals->task_workflow) {
+      ++s.workflow_remaining[static_cast<std::size_t>(wf)];
+    }
+    s.arrival_root_begin.assign(static_cast<std::size_t>(workflows) + 1, 0);
+    for (TaskId t = 0; t < graph.num_tasks(); ++t) {
+      if (graph.in_degree(t) == 0) {
+        const int wf = arrivals->task_workflow[static_cast<std::size_t>(t)];
+        ++s.arrival_root_begin[static_cast<std::size_t>(wf) + 1];
+      }
+    }
+    for (int w = 0; w < workflows; ++w) {
+      s.arrival_root_begin[static_cast<std::size_t>(w) + 1] +=
+          s.arrival_root_begin[static_cast<std::size_t>(w)];
+    }
+    s.arrival_roots.assign(
+        static_cast<std::size_t>(s.arrival_root_begin.back()), kInvalidTask);
+    std::vector<int> cursor(s.arrival_root_begin.begin(),
+                            s.arrival_root_begin.end() - 1);
+    for (TaskId t = 0; t < graph.num_tasks(); ++t) {
+      if (graph.in_degree(t) == 0) {
+        const int wf = arrivals->task_workflow[static_cast<std::size_t>(t)];
+        s.arrival_roots[static_cast<std::size_t>(
+            cursor[static_cast<std::size_t>(wf)]++)] = t;
+      }
+    }
+    for (int w = 0; w < workflows; ++w) {
+      seed_event(Event{arrivals->arrival[static_cast<std::size_t>(w)], 0,
+                       EventType::WorkflowArrival, kInvalidProc, 0, w});
     }
   }
 
@@ -231,11 +297,6 @@ void init_state(RunState& s, const TaskGraph& graph,
   // Seed the per-entity fault streams: exactly one outstanding event per
   // active stream (Down -> Up -> next Down, Stall -> next Stall), pushed
   // eagerly so the event heap never runs dry while a stream is live.
-  const auto seed_event = [&s](Event event) {
-    event.seq = s.next_seq++;
-    s.events.push_back(event);
-    std::push_heap(s.events.begin(), s.events.end(), EventLater{});
-  };
   s.machine_faults.reserve(p);
   s.stall_faults.reserve(p);
   for (ProcId proc = 0; proc < topology.num_procs(); ++proc) {
@@ -282,7 +343,7 @@ class Run {
   Run(const TaskGraph& graph, const Topology& topology, const CommModel& comm,
       SchedulingPolicy& policy, const SimOptions& options,
       const std::vector<Time>& levels, detail::RouteTable& routes,
-      RunState& state, const FaultModel* faults)
+      RunState& state, const FaultModel* faults, const ArrivalPlan* arrivals)
       : graph_(graph),
         topology_(topology),
         comm_(comm),
@@ -291,7 +352,8 @@ class Run {
         levels_(levels),
         routes_(routes),
         s_(state),
-        faults_(faults) {}
+        faults_(faults),
+        arrivals_(arrivals) {}
 
   SimResult execute(EpochObserver* observer);
 
@@ -340,6 +402,12 @@ class Run {
   void on_msg_timeout(int message, std::uint64_t attempt);
   void on_msg_retry(int message, std::uint64_t attempt);
 
+  // --- online arrivals -----------------------------------------------------
+#if defined(__GNUC__) || defined(__clang__)
+  __attribute__((noinline, cold))
+#endif
+  void on_workflow_arrival(int workflow);
+
   // --- scheduling ----------------------------------------------------------
   void run_epoch(EpochObserver* observer);
   void apply_assignment(TaskId task, ProcId p, int epoch_index);
@@ -353,6 +421,7 @@ class Run {
   detail::RouteTable& routes_;
   RunState& s_;
   const FaultModel* faults_;  ///< null on the zero-fault fast path
+  const ArrivalPlan* arrivals_;  ///< null on the no-arrival fast path
 };
 
 void Run::record_task_span(ProcId p, TaskId task, Time start, Time end,
@@ -479,7 +548,12 @@ void Run::try_start_reserved(ProcId p) {
   const TaskId task = proc.reserved_task;
   proc.reserved_task = kInvalidTask;
   proc.running_task = task;
-  proc.task_remaining = graph_.duration(task);
+  // Under duration uncertainty (online runs) the engine executes the
+  // *actual* duration; graph_.duration stays the scheduler's estimate.
+  proc.task_remaining =
+      arrivals_ != nullptr && !arrivals_->actual_duration.empty()
+          ? arrivals_->actual_duration[static_cast<std::size_t>(task)]
+          : graph_.duration(task);
   proc.task_executing = true;
   proc.segment_start = s_.now;
   schedule_task_done(p);
@@ -515,7 +589,32 @@ void Run::on_task_done(ProcId p, std::uint64_t gen) {
                            succ.task);
     }
   }
+  if (arrivals_ != nullptr) {
+    const int wf =
+        arrivals_->task_workflow[static_cast<std::size_t>(task)];
+    auto& remaining = s_.workflow_remaining[static_cast<std::size_t>(wf)];
+    ensure(remaining > 0, "workflow task count underflow");
+    if (--remaining == 0) {
+      s_.workflow_completion[static_cast<std::size_t>(wf)] = s_.now;
+    }
+  }
   s_.epoch_trigger = true;  // this processor just became idle
+}
+
+/// Releases a workflow's withheld roots into the ready pool at its arrival
+/// time.  Cold: only online runs ever queue WorkflowArrival events.
+void Run::on_workflow_arrival(int workflow) {
+  const int begin =
+      s_.arrival_root_begin[static_cast<std::size_t>(workflow)];
+  const int end =
+      s_.arrival_root_begin[static_cast<std::size_t>(workflow) + 1];
+  for (int i = begin; i < end; ++i) {
+    const TaskId root = s_.arrival_roots[static_cast<std::size_t>(i)];
+    s_.ready_pool.insert(
+        std::upper_bound(s_.ready_pool.begin(), s_.ready_pool.end(), root),
+        root);
+  }
+  s_.epoch_trigger = true;  // fresh work for the idle pool
 }
 
 void Run::launch_message(TaskId producer, TaskId consumer, Time weight,
@@ -939,7 +1038,8 @@ void Run::run_epoch(EpochObserver* observer) {
   EpochContext ctx(s_.now, index, graph_, topology_, comm_, s_.ready_pool,
                    idle, s_.placement, levels_,
                    faults_ != nullptr ? std::span<const ProcId>(s_.down_scratch)
-                                      : std::span<const ProcId>());
+                                      : std::span<const ProcId>(),
+                   arrivals_);
   policy_.on_epoch(ctx);
   if (observer != nullptr) {
     observer->on_epoch_decided(index, ctx.assignments());
@@ -1031,6 +1131,9 @@ SimResult Run::execute(EpochObserver* observer) {
         case EventType::TransferDone:
           on_transfer_done(event.message, event.gen);
           break;
+        case EventType::WorkflowArrival:
+          on_workflow_arrival(event.message);
+          break;
         default:
           handle_fault_event(event);
           break;
@@ -1052,6 +1155,30 @@ SimResult Run::execute(EpochObserver* observer) {
   result.num_retries = s_.num_retries;
   result.num_task_restarts = s_.num_task_restarts;
   result.total_stall_time = s_.total_stall_time;
+  if (arrivals_ != nullptr) {
+    // Executed work is the jittered actual durations, not the nominal
+    // estimate the scheduler saw.
+    if (!arrivals_->actual_duration.empty()) {
+      Time actual_work = 0;
+      for (const Time d : arrivals_->actual_duration) actual_work += d;
+      result.total_task_time = actual_work;
+    }
+    const int workflows = arrivals_->num_workflows();
+    s_.trace.workflows.reserve(static_cast<std::size_t>(workflows));
+    for (int w = 0; w < workflows; ++w) {
+      const auto i = static_cast<std::size_t>(w);
+      s_.trace.workflows.push_back(WorkflowRecord{
+          w, arrivals_->arrival[i], arrivals_->deadline[i],
+          arrivals_->weight[i], s_.workflow_completion[i], 0});
+    }
+    for (const int wf : arrivals_->task_workflow) {
+      ++s_.trace.workflows[static_cast<std::size_t>(wf)].num_tasks;
+    }
+    if (!s_.failed) {
+      result.online =
+          compute_online_metrics(*arrivals_, s_.workflow_completion);
+    }
+  }
   s_.trace.tasks = s_.task_records;
   result.trace = std::move(s_.trace);
   return result;
@@ -1077,7 +1204,8 @@ EpochContext::EpochContext(Time now, int epoch_index, const TaskGraph& graph,
                            std::span<const ProcId> idle_procs,
                            const std::vector<ProcId>& placement,
                            const std::vector<Time>& levels,
-                           std::span<const ProcId> down_procs)
+                           std::span<const ProcId> down_procs,
+                           const ArrivalPlan* arrivals)
     : now_(now),
       epoch_index_(epoch_index),
       graph_(graph),
@@ -1087,7 +1215,8 @@ EpochContext::EpochContext(Time now, int epoch_index, const TaskGraph& graph,
       idle_procs_(idle_procs),
       placement_(placement),
       levels_(levels),
-      down_procs_(down_procs) {}
+      down_procs_(down_procs),
+      arrivals_(arrivals) {}
 
 void EpochContext::assign(TaskId task, ProcId proc) {
   const bool task_ready =
@@ -1117,6 +1246,7 @@ ExecutionEngine::ExecutionEngine(const TaskGraph& graph,
   if (options_.faults != nullptr && options_.faults->active()) {
     fault_model_ = std::make_unique<FaultModel>(*options_.faults, topology_);
   }
+  if (options_.arrivals != nullptr) options_.arrivals->validate(graph_);
 }
 
 ExecutionEngine::~ExecutionEngine() = default;
@@ -1125,9 +1255,10 @@ SimResult ExecutionEngine::run() {
   graph_.validate();
   policy_.on_run_start(graph_, topology_, comm_);
   detail::RunState state(topology_);
-  detail::init_state(state, graph_, topology_, fault_model_.get());
+  detail::init_state(state, graph_, topology_, fault_model_.get(),
+                     options_.arrivals);
   Run run(graph_, topology_, comm_, policy_, options_, levels_, *routes_,
-          state, fault_model_.get());
+          state, fault_model_.get(), options_.arrivals);
   return run.execute(nullptr);
 }
 
@@ -1147,15 +1278,17 @@ ResumableEngine::ResumableEngine(const TaskGraph& graph,
   if (options_.faults != nullptr && options_.faults->active()) {
     fault_model_ = std::make_unique<FaultModel>(*options_.faults, topology_);
   }
+  if (options_.arrivals != nullptr) options_.arrivals->validate(graph_);
 }
 
 ResumableEngine::~ResumableEngine() = default;
 
 SimResult ResumableEngine::run(EpochObserver* observer) {
   policy_.on_run_start(graph_, topology_, comm_);
-  detail::init_state(*scratch_, graph_, topology_, fault_model_.get());
+  detail::init_state(*scratch_, graph_, topology_, fault_model_.get(),
+                     options_.arrivals);
   Run run(graph_, topology_, comm_, policy_, options_, levels_, *routes_,
-          *scratch_, fault_model_.get());
+          *scratch_, fault_model_.get(), options_.arrivals);
   return run.execute(observer);
 }
 
@@ -1170,7 +1303,7 @@ SimResult ResumableEngine::resume(const SimCheckpoint& from,
   *scratch_ = *from.state_;
   scratch_->epoch_trigger = true;
   Run run(graph_, topology_, comm_, policy_, options_, levels_, *routes_,
-          *scratch_, fault_model_.get());
+          *scratch_, fault_model_.get(), options_.arrivals);
   return run.execute(observer);
 }
 

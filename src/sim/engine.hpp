@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "graph/taskgraph.hpp"
+#include "sim/arrivals.hpp"
 #include "sim/faults.hpp"
 #include "sim/scheduler_api.hpp"
 #include "sim/trace.hpp"
@@ -60,6 +61,13 @@ struct SimOptions {
   /// the engine on the zero-fault fast path, byte-identical to builds
   /// before faults existed.  The pointed-to spec must outlive the engine.
   const FaultSpec* faults = nullptr;
+
+  /// Optional online arrival plan (sim/arrivals.hpp): tasks of workflow w
+  /// only become ready once its arrival time passes.  Null keeps the
+  /// engine on the no-arrival fast path, byte-identical to builds before
+  /// arrivals existed.  The pointed-to plan must outlive the engine and
+  /// match the graph (ArrivalPlan::validate).
+  const ArrivalPlan* arrivals = nullptr;
 };
 
 /// Raised when the simulation cannot make progress (a policy stops
@@ -97,6 +105,10 @@ struct SimResult {
   int num_retries = 0;               ///< message retransmissions
   int num_task_restarts = 0;         ///< tasks killed by machine crashes
   Time total_stall_time = 0;         ///< CPU time lost to transient stalls
+
+  /// Online-scenario outcome (defaults on the no-arrival path; zeroed on
+  /// failed runs — per-workflow completions are in Trace::workflows).
+  OnlineMetrics online;
 
   /// Speedup S_p = T_1 / T_p for the given sequential time.
   double speedup(Time total_work) const;

@@ -21,6 +21,8 @@
 
 namespace dagsched::sim {
 
+struct ArrivalPlan;  // sim/arrivals.hpp; non-null only on online runs
+
 /// One (task -> processor) decision made during an epoch.
 struct Assignment {
   TaskId task = kInvalidTask;
@@ -38,7 +40,8 @@ class EpochContext {
                std::span<const ProcId> idle_procs,
                const std::vector<ProcId>& placement,
                const std::vector<Time>& levels,
-               std::span<const ProcId> down_procs = {});
+               std::span<const ProcId> down_procs = {},
+               const ArrivalPlan* arrivals = nullptr);
 
   Time now() const { return now_; }
   int epoch_index() const { return epoch_index_; }
@@ -66,6 +69,12 @@ class EpochContext {
   /// Task levels n_i (see graph/analysis.hpp), precomputed once per run.
   const std::vector<Time>& levels() const { return levels_; }
 
+  /// The online arrival plan of the run, or null on offline runs.  Online
+  /// policies (sched::PolicyCapabilities::online) use it for per-workflow
+  /// arrival, deadline and weight context; every task in ready_tasks() has
+  /// already arrived.
+  const ArrivalPlan* arrivals() const { return arrivals_; }
+
   /// Declares an assignment.  Each task and each processor may be used at
   /// most once per epoch; the task must be in ready_tasks() and the
   /// processor in idle_procs().
@@ -85,6 +94,7 @@ class EpochContext {
   const std::vector<ProcId>& placement_;
   const std::vector<Time>& levels_;
   std::span<const ProcId> down_procs_;
+  const ArrivalPlan* arrivals_;
   std::vector<Assignment> assignments_;
 };
 

@@ -107,6 +107,19 @@ struct RetryRecord {
   Time when = 0;
 };
 
+/// Lifetime summary of one workflow of an online run (recorded only when
+/// an arrival plan is active, see sim/arrivals.hpp).  `completion` is the
+/// finish time of the workflow's last task (zero when the run failed
+/// before the workflow completed).
+struct WorkflowRecord {
+  int workflow = -1;
+  Time arrival = 0;
+  Time deadline = kTimeInfinity;  ///< kTimeInfinity = no deadline
+  double weight = 1.0;
+  Time completion = 0;
+  int num_tasks = 0;
+};
+
 /// One scheduling epoch (annealing-packet instant).
 struct EpochRecord {
   int index = -1;
@@ -126,6 +139,7 @@ class Trace {
   std::vector<EpochRecord> epochs;
   std::vector<FaultRecord> faults;    ///< empty on the zero-fault path
   std::vector<RetryRecord> retries;   ///< empty on the zero-fault path
+  std::vector<WorkflowRecord> workflows;  ///< empty on the no-arrival path
 
   /// The task record for `task`; throws when the task never ran.
   const TaskRecord& task_record(TaskId task) const;

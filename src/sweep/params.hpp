@@ -38,4 +38,11 @@ std::span<const ParamDef> comm_param_defs();
 /// range, and is not in this table.
 std::span<const ParamDef> fault_param_defs();
 
+/// The online arrival-stream knobs (arrival_count, arrival_gap_us, ...) as
+/// a ParamDef table, in draw order.  An instance draws them — plus an
+/// arrival-stream seed — *after* the fault draws and the fault seed
+/// (arrival_param_defs order, then the seed), always consumed, so specs
+/// predating online scenarios keep their exact instances.
+std::span<const ParamDef> arrival_param_defs();
+
 }  // namespace dagsched::sweep

@@ -4,13 +4,16 @@
 #include <atomic>
 #include <chrono>
 #include <exception>
+#include <map>
 #include <mutex>
 #include <thread>
+#include <tuple>
 #include <utility>
 
 #include "graph/analysis.hpp"
 #include "graph/generators.hpp"
 #include "sched/registry.hpp"
+#include "sim/arrivals.hpp"
 #include "sim/engine.hpp"
 #include "sweep/params.hpp"
 #include "topology/builders.hpp"
@@ -35,6 +38,8 @@ struct InstanceDraw {
   SendCpu send_cpu = SendCpu::PerTaskOutput;
   std::vector<double> fault_params;  ///< parallel to fault_param_defs()
   std::uint64_t fault_seed = 0;
+  std::vector<double> arrival_params;  ///< parallel to arrival_param_defs()
+  std::uint64_t arrival_seed = 0;
 
   /// The instance's effective fault spec (fault_param_defs draw order).
   sim::FaultSpec fault_spec(const SweepSpec& spec) const {
@@ -52,6 +57,21 @@ struct InstanceDraw {
     f.max_retries = spec.faults.max_retries;
     f.seed = fault_seed;
     return f;
+  }
+
+  /// The instance's effective arrival spec (arrival_param_defs draw
+  /// order); inactive (zero workflows) for offline sweeps.
+  sim::ArrivalSpec arrival_spec() const {
+    sim::ArrivalSpec a;
+    a.num_workflows = static_cast<int>(arrival_params[0]);
+    a.mean_gap = us(static_cast<std::int64_t>(arrival_params[1]));
+    a.burst_prob = arrival_params[2];
+    a.burst_mult = arrival_params[3];
+    a.deadline_slack = arrival_params[4];
+    a.duration_jitter = arrival_params[5];
+    a.weight_max = arrival_params[6];
+    a.seed = arrival_seed;
+    return a;
   }
 
   /// The instance's effective communication model.
@@ -95,6 +115,21 @@ const ParamRange& fault_range_at(const FaultAblation& faults,
     case 9: return faults.retry_backoff_us;
   }
   throw std::invalid_argument("fault_range_at: index out of range");
+}
+
+/// The ArrivalAblation range behind position `i` of arrival_param_defs().
+const ParamRange& arrival_range_at(const ArrivalAblation& arrivals,
+                                   std::size_t i) {
+  switch (i) {
+    case 0: return arrivals.count;
+    case 1: return arrivals.gap_us;
+    case 2: return arrivals.burst_prob;
+    case 3: return arrivals.burst_mult;
+    case 4: return arrivals.deadline_slack;
+    case 5: return arrivals.jitter;
+    case 6: return arrivals.weight_max;
+  }
+  throw std::invalid_argument("arrival_range_at: index out of range");
 }
 
 InstanceDraw draw_instance(const SweepSpec& spec, int family_index,
@@ -149,6 +184,24 @@ InstanceDraw draw_instance(const SweepSpec& spec, int family_index,
     }
   }
   draw.fault_seed = rng.next_u64();
+  // Arrival-stream draws, appended after the fault block and always
+  // consumed (even with arrivals disabled) — specs predating online
+  // scenarios keep their exact instances.
+  const auto arrival_defs = arrival_param_defs();
+  draw.arrival_params.reserve(arrival_defs.size());
+  for (std::size_t i = 0; i < arrival_defs.size(); ++i) {
+    const ParamRange& range = arrival_range_at(spec.arrivals, i);
+    if (arrival_defs[i].integer) {
+      draw.arrival_params.push_back(static_cast<double>(rng.uniform_int(
+          static_cast<std::int64_t>(range.lo),
+          static_cast<std::int64_t>(range.hi))));
+    } else {
+      draw.arrival_params.push_back(
+          range.is_single() ? range.lo
+                            : rng.uniform_real(range.lo, range.hi));
+    }
+  }
+  draw.arrival_seed = rng.next_u64();
   return draw;
 }
 
@@ -235,6 +288,8 @@ TaskGraph build_graph(FamilyKind kind, const InstanceDraw& draw) {
 /// sweep, not once per cell.
 /// `faults` (nullable) is forwarded into the simulation; the fault-free
 /// baseline and the faulted run of one cell pass the same policy seed.
+/// `arrivals` (nullable) turns the run into a streamed online scenario;
+/// the outcome's SimResult then carries the online metrics.
 sched::PolicyRunOutcome run_policy(const PolicySpec& policy,
                                    sched::PolicyConfig config,
                                    const SweepSpec& spec,
@@ -243,6 +298,7 @@ sched::PolicyRunOutcome run_policy(const PolicySpec& policy,
                                    const CommModel& comm,
                                    std::uint64_t policy_seed,
                                    const sim::FaultSpec* faults,
+                                   const sim::ArrivalPlan* arrivals,
                                    bool* timed_out) {
   *timed_out = false;
   const auto start = std::chrono::steady_clock::now();
@@ -253,6 +309,7 @@ sched::PolicyRunOutcome run_policy(const PolicySpec& policy,
   sched::PolicyRunOptions run_options;
   run_options.sim.record_trace = false;
   run_options.sim.faults = faults;
+  run_options.sim.arrivals = arrivals;
   run_options.time_budget_ms = spec.time_budget_ms;
   const sched::PolicyRunOutcome outcome =
       runnable->run(graph, topology, comm, run_options);
@@ -277,6 +334,13 @@ struct InstanceKey {
 Time InstanceResult::best() const {
   require(!makespans.empty(), "InstanceResult::best: no makespans");
   return *std::min_element(makespans.begin(), makespans.end());
+}
+
+double InstanceResult::best_flow() const {
+  require(!weighted_flow_us.empty(),
+          "InstanceResult::best_flow: not an online instance");
+  return *std::min_element(weighted_flow_us.begin(),
+                           weighted_flow_us.end());
 }
 
 TaskGraph build_instance_graph(const SweepSpec& spec, int family_index,
@@ -315,6 +379,44 @@ SweepResult run_sweep(const SweepSpec& spec) {
     policy_configs.push_back(effective_policy_config(spec, policy));
   }
 
+  // Redundant-replicate elision: when a family's repetitions cannot
+  // differ (its generator ignores the graph seed, every family parameter
+  // is pinned, the comm draw is pinned, and neither faults nor arrivals
+  // add per-instance randomness), a `deterministic` policy produces the
+  // same cell for every repetition — compute it once per (family,
+  // topology, policy) and copy.  Rows stay bit-identical to the
+  // un-memoized runner; only SweepResult::policy_runs shrinks.
+  std::vector<char> policy_deterministic(spec.policies.size(), 0);
+  for (std::size_t p = 0; p < spec.policies.size(); ++p) {
+    policy_deterministic[p] = sched::PolicyRegistry::instance()
+                                  .descriptor(spec.policies[p].name)
+                                  .caps.deterministic
+                              ? 1
+                              : 0;
+  }
+  const bool comm_pinned =
+      !spec.comm_enabled ||
+      (spec.comm.sigma_us.is_single() && spec.comm.tau_us.is_single() &&
+       spec.comm.send_cpu.size() == 1);
+  std::vector<char> replicate_invariant(spec.families.size(), 0);
+  for (std::size_t f = 0; f < spec.families.size(); ++f) {
+    const FamilySpec& family = spec.families[f];
+    const bool seed_free = family.kind != FamilyKind::Layered &&
+                           family.kind != FamilyKind::Gnp;
+    bool params_pinned = true;
+    for (const ParamDef& def : family_param_defs(family.kind)) {
+      if (!family.param(def.name).is_single()) params_pinned = false;
+    }
+    replicate_invariant[f] =
+        (seed_free && params_pinned && comm_pinned &&
+         !spec.faults.enabled() && !spec.arrivals.enabled())
+            ? 1
+            : 0;
+  }
+  std::map<std::tuple<int, int, std::size_t>, std::pair<Time, char>> memo;
+  std::mutex memo_mutex;
+  std::atomic<std::int64_t> policy_runs{0};
+
   int threads = spec.threads;
   if (threads == 0) {
     threads = static_cast<int>(std::thread::hardware_concurrency());
@@ -341,7 +443,21 @@ SweepResult run_sweep(const SweepSpec& spec) {
         const FamilySpec& family = spec.families[key.family_index];
         const InstanceDraw draw =
             draw_instance(spec, key.family_index, key.repetition);
-        const TaskGraph graph = build_graph(family.kind, draw);
+        const bool online = spec.arrivals.enabled();
+        // Online instances merge `arrival_count` workflow DAGs — each
+        // built by the family generator under a per-workflow graph seed
+        // drawn from the arrival stream — into one streamed TaskGraph.
+        sim::ArrivalPlan arrival_plan;
+        const TaskGraph graph =
+            online ? sim::build_arrival_instance(
+                         draw.arrival_spec(),
+                         [&](int, std::uint64_t graph_seed) {
+                           InstanceDraw workflow_draw = draw;
+                           workflow_draw.graph_seed = graph_seed;
+                           return build_graph(family.kind, workflow_draw);
+                         },
+                         arrival_plan)
+                   : build_graph(family.kind, draw);
         const Topology topology =
             topo::by_name(spec.topologies[key.topology_index]);
         const CommModel comm = draw.comm_model(spec.comm_enabled);
@@ -361,6 +477,14 @@ SweepResult run_sweep(const SweepSpec& spec) {
             spec.comm_enabled ? dagsched::to_string(draw.send_cpu) : "off";
         row.makespans.resize(spec.policies.size());
         row.timed_out.assign(spec.policies.size(), 0);
+        if (online) {
+          row.arrival_seed = draw.arrival_seed;
+          row.workflows = arrival_plan.num_workflows();
+          row.weighted_flow_us.resize(spec.policies.size());
+          row.hit_rate.resize(spec.policies.size());
+          row.p99_response.resize(spec.policies.size());
+          row.max_lateness.resize(spec.policies.size());
+        }
         const bool faulted = spec.faults.enabled();
         sim::FaultSpec fault_spec;
         if (faulted) {
@@ -372,13 +496,40 @@ SweepResult run_sweep(const SweepSpec& spec) {
           row.failed.assign(spec.policies.size(), 0);
         }
         for (std::size_t p = 0; p < spec.policies.size(); ++p) {
+          const bool memoizable =
+              replicate_invariant[key.family_index] != 0 &&
+              policy_deterministic[p] != 0;
+          const std::tuple<int, int, std::size_t> memo_key{
+              key.family_index, key.topology_index, p};
+          if (memoizable) {
+            std::lock_guard<std::mutex> lock(memo_mutex);
+            const auto cached = memo.find(memo_key);
+            if (cached != memo.end()) {
+              row.makespans[p] = cached->second.first;
+              row.timed_out[p] = cached->second.second;
+              continue;
+            }
+          }
           bool timed_out = false;
           const sched::PolicyRunOutcome base = run_policy(
               spec.policies[p], policy_configs[p], spec, graph, topology,
-              comm, draw.policy_seeds[p], nullptr, &timed_out);
+              comm, draw.policy_seeds[p], nullptr,
+              online ? &arrival_plan : nullptr, &timed_out);
+          policy_runs.fetch_add(1, std::memory_order_relaxed);
           if (!faulted) {
             row.makespans[p] = base.result.makespan;
             row.timed_out[p] = timed_out ? 1 : 0;
+            if (online) {
+              row.weighted_flow_us[p] = base.result.online.weighted_flow_us;
+              row.hit_rate[p] = base.result.online.hit_rate;
+              row.p99_response[p] = base.result.online.p99_response;
+              row.max_lateness[p] = base.result.online.max_lateness;
+            }
+            if (memoizable) {
+              std::lock_guard<std::mutex> lock(memo_mutex);
+              memo.emplace(memo_key, std::make_pair(row.makespans[p],
+                                                    row.timed_out[p]));
+            }
             continue;
           }
           // Faulted pass: same policy seed, same instance, faults on —
@@ -386,7 +537,9 @@ SweepResult run_sweep(const SweepSpec& spec) {
           bool faulted_timed_out = false;
           const sched::PolicyRunOutcome hit = run_policy(
               spec.policies[p], policy_configs[p], spec, graph, topology,
-              comm, draw.policy_seeds[p], &fault_spec, &faulted_timed_out);
+              comm, draw.policy_seeds[p], &fault_spec, nullptr,
+              &faulted_timed_out);
+          policy_runs.fetch_add(1, std::memory_order_relaxed);
           row.base_makespans[p] = base.result.makespan;
           row.timed_out[p] = (timed_out || faulted_timed_out) ? 1 : 0;
           row.retries[p] = hit.result.num_retries;
@@ -416,6 +569,7 @@ SweepResult run_sweep(const SweepSpec& spec) {
     for (std::thread& t : pool) t.join();
   }
   if (first_error) std::rethrow_exception(first_error);
+  result.policy_runs = policy_runs.load();
   return result;
 }
 

@@ -10,8 +10,11 @@
 //    Rng::stream(spec.seed, (f << 32) | i): first the family parameters in
 //    family_param_defs() table order, then the generator seed, then one
 //    seed per policy in spec order, then the comm-model ablation draws
-//    (comm_param_defs order, then the SendCpu mode — appended last, and
-//    always consumed, so older specs keep their exact instances).
+//    (comm_param_defs order, then the SendCpu mode), then the
+//    fault-ablation draws (fault_param_defs order, then the fault seed),
+//    then the arrival-stream draws (arrival_param_defs order, then the
+//    arrival seed) — each block appended after the previous one and
+//    always consumed, so older specs keep their exact instances.
 //    Nothing is drawn from a shared generator, so results are independent
 //    of scheduling order.
 //  * The same (f, i) graph and comm draw are reused across all topologies
@@ -71,14 +74,38 @@ struct InstanceResult {
   std::vector<int> restarts;         ///< faulted-run task re-executions
   std::vector<char> failed;          ///< 1 = faulted run hit SimFailure
 
+  /// Online arrival-stream columns, filled only when
+  /// spec.arrivals.enabled() (empty vectors / zeros otherwise).  The
+  /// instance is then a merged multi-workflow graph driven by an arrival
+  /// event stream; `makespans` above is the streamed-run makespan and the
+  /// vectors below carry the per-policy online metrics
+  /// (sim::OnlineMetrics).
+  std::uint64_t arrival_seed = 0;        ///< derived arrival-stream seed
+  int workflows = 0;                     ///< workflows in the instance
+  std::vector<double> weighted_flow_us;  ///< parallel to spec.policies
+  std::vector<double> hit_rate;          ///< deadline hit-rate per policy
+  std::vector<Time> p99_response;        ///< nearest-rank p99 response
+  std::vector<Time> max_lateness;        ///< worst deadline overshoot
+
   /// Best (smallest) makespan any policy achieved on this instance.
   Time best() const;
+
+  /// Best (smallest) weighted flow time any policy achieved on this
+  /// instance; only meaningful on online instances.
+  double best_flow() const;
 };
 
 struct SweepResult {
   SweepSpec spec;                        ///< the spec the sweep ran
   std::vector<InstanceResult> instances; ///< enumeration order
   int threads_used = 1;
+  /// Simulations actually executed.  Smaller than instances x policies
+  /// when the runner skipped redundant seed replicates: a `deterministic`
+  /// policy on a family whose instances cannot differ (no generator-seed
+  /// dependence, every parameter pinned, comm pinned, no faults, no
+  /// arrivals) produces the same row for every repetition, so one run is
+  /// computed and copied.  Never serialized — artifacts stay byte-equal.
+  std::int64_t policy_runs = 0;
 };
 
 /// Builds the graph of instance (family_index, repetition) exactly as the

@@ -86,6 +86,16 @@ constexpr ParamDef kFaultParams[] = {
     {"fault_msg_timeout_us", {400, 400}, true},
     {"fault_retry_backoff_us", {50, 50}, true},
 };
+// Defaults mirror ArrivalAblation (spec.hpp); zero count = offline.
+constexpr ParamDef kArrivalParams[] = {
+    {"arrival_count", {0, 0}, true},
+    {"arrival_gap_us", {500, 500}, true},
+    {"arrival_burst_prob", {0, 0}, false},
+    {"arrival_burst_mult", {1, 1}, false},
+    {"arrival_deadline_slack", {0, 0}, false},
+    {"arrival_jitter", {0, 0}, false},
+    {"arrival_weight_max", {1, 1}, false},
+};
 
 [[noreturn]] void fail(int line_number, const std::string& message) {
   throw std::invalid_argument("sweep spec line " +
@@ -271,6 +281,19 @@ ParamRange* fault_range(FaultAblation& faults, const std::string& key) {
   return nullptr;
 }
 
+/// The ArrivalAblation field behind one arrival_param_defs() name; nullptr
+/// for unknown keys.  Keep in sync with kArrivalParams.
+ParamRange* arrival_range(ArrivalAblation& arrivals, const std::string& key) {
+  if (key == "arrival_count") return &arrivals.count;
+  if (key == "arrival_gap_us") return &arrivals.gap_us;
+  if (key == "arrival_burst_prob") return &arrivals.burst_prob;
+  if (key == "arrival_burst_mult") return &arrivals.burst_mult;
+  if (key == "arrival_deadline_slack") return &arrivals.deadline_slack;
+  if (key == "arrival_jitter") return &arrivals.jitter;
+  if (key == "arrival_weight_max") return &arrivals.weight_max;
+  return nullptr;
+}
+
 }  // namespace
 
 std::span<const ParamDef> family_param_defs(FamilyKind kind) {
@@ -296,6 +319,8 @@ std::span<const ParamDef> family_param_defs(FamilyKind kind) {
 std::span<const ParamDef> comm_param_defs() { return kCommParams; }
 
 std::span<const ParamDef> fault_param_defs() { return kFaultParams; }
+
+std::span<const ParamDef> arrival_param_defs() { return kArrivalParams; }
 
 std::string to_string(FamilyKind kind) {
   switch (kind) {
@@ -462,6 +487,60 @@ void SweepSpec::validate() const {
         "sweep spec: fault_link_mtbf_us has no effect with 'comm off' "
         "(there are no messages to drop)");
   }
+  if (arrivals.count.lo < 0) {
+    throw std::invalid_argument("sweep spec: negative arrival_count");
+  }
+  if (arrivals.enabled() && arrivals.count.lo < 1) {
+    throw std::invalid_argument(
+        "sweep spec: arrival_count range must stay >= 1 once arrivals "
+        "are enabled (a zero draw would silently fall back to an offline "
+        "instance)");
+  }
+  if (arrivals.enabled() && faults.enabled()) {
+    throw std::invalid_argument(
+        "sweep spec: arrival_* and fault_* ablations cannot be combined "
+        "— run one scenario axis per sweep");
+  }
+  if (arrivals.gap_us.lo <= 0) {
+    throw std::invalid_argument(
+        "sweep spec: arrival_gap_us must be positive");
+  }
+  if (arrivals.burst_prob.lo < 0 || arrivals.burst_prob.hi > 1) {
+    throw std::invalid_argument(
+        "sweep spec: arrival_burst_prob must stay in [0, 1]");
+  }
+  if (arrivals.burst_mult.lo < 1) {
+    throw std::invalid_argument(
+        "sweep spec: arrival_burst_mult must be >= 1");
+  }
+  if (arrivals.deadline_slack.lo < 0) {
+    throw std::invalid_argument(
+        "sweep spec: negative arrival_deadline_slack");
+  }
+  if (arrivals.jitter.lo < 0 || arrivals.jitter.hi >= 1) {
+    throw std::invalid_argument(
+        "sweep spec: arrival_jitter must stay in [0, 1)");
+  }
+  if (arrivals.weight_max.lo < 1) {
+    throw std::invalid_argument(
+        "sweep spec: arrival_weight_max must be >= 1");
+  }
+  if (arrivals.enabled()) {
+    // A streamed scenario hands tasks to the policy as their workflows
+    // arrive; offline planners would schedule tasks that have not arrived
+    // yet, so only `online`-capable registry policies are accepted.
+    for (const PolicySpec& policy : policies) {
+      const sched::PolicyDescriptor& descriptor =
+          sched::PolicyRegistry::instance().descriptor(policy.name);
+      if (!descriptor.caps.online) {
+        throw std::invalid_argument(
+            "sweep spec: policy '" + policy.name +
+            "' is not online-capable; arrival_* sweeps accept only "
+            "policies whose capability string includes 'online' (see "
+            "`sweep --list-policies`)");
+      }
+    }
+  }
   for (const FamilySpec& family : families) {
     if (family.count <= 0) {
       throw std::invalid_argument("sweep spec: family " +
@@ -607,6 +686,19 @@ SweepSpec parse_spec(const std::string& text) {
              range->hi != static_cast<std::int64_t>(range->hi))) {
           fail(line_number, key + " takes integer microseconds");
         }
+      }
+    } else if (key.rfind("arrival_", 0) == 0) {
+      ParamRange* range = arrival_range(spec.arrivals, key);
+      if (range == nullptr) fail(line_number, "unknown key '" + key + "'");
+      const ParamDef* def = nullptr;
+      for (const ParamDef& d : arrival_param_defs()) {
+        if (key == d.name) def = &d;
+      }
+      *range = parse_range(value, line_number);
+      if (def != nullptr && def->integer &&
+          (range->lo != static_cast<std::int64_t>(range->lo) ||
+           range->hi != static_cast<std::int64_t>(range->hi))) {
+        fail(line_number, key + " takes integers");
       }
     } else if (key == "sa_max_steps" || key == "sa_moves" ||
                key == "gsa_chains" || key == "gsa_max_steps" ||

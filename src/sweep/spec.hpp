@@ -27,6 +27,13 @@
 //   fault_link_mtbf_us 0             # 0 disables link faults
 //   fault_link_drop_prob 1.0         # P(link fault drops vs degrades)
 //   fault_max_retries 5              # retransmissions before SimFailure
+//   arrival_count 6                  # workflows per instance; 0 = offline
+//   arrival_gap_us 300:900           # mean inter-arrival gap (integer us)
+//   arrival_burst_prob 0.3           # P(a workflow arrives in a burst)
+//   arrival_burst_mult 8             # burst gap compression factor (>= 1)
+//   arrival_deadline_slack 1.5       # deadline = arrival + slack*CP; 0 = none
+//   arrival_jitter 0.2               # duration uncertainty in [0, 1)
+//   arrival_weight_max 4             # workflow weights ~ U[1, max]
 //   topology hypercube8
 //   topology ring9
 //   policy sa
@@ -171,6 +178,30 @@ struct FaultAblation {
   }
 };
 
+/// Spec-driven online arrival-stream ablation (sim/arrivals.hpp): when
+/// `arrival_count` can reach > 0, every sweep instance becomes a streamed
+/// multi-DAG scenario — `count` workflows drawn from the instance's family
+/// enter the ready set over time, and the summary grows online metrics
+/// (weighted flow time, deadline hit-rate, p99 response) next to makespan.
+/// Each instance draws its own knob values (arrival_param_defs() order,
+/// integer microseconds for the gap, real-valued otherwise) plus an
+/// arrival-stream seed, appended *after* every other draw so specs that do
+/// not mention the arrival_* knobs run — and serialize — exactly as
+/// before.  Online sweeps only accept policies whose registry capability
+/// says `online` (validate() rejects the rest by name).
+struct ArrivalAblation {
+  ParamRange count{0, 0};           ///< workflows per instance; 0 = offline
+  ParamRange gap_us{500, 500};      ///< mean inter-arrival gap (integer us)
+  ParamRange burst_prob{0, 0};      ///< P(workflow arrives inside a burst)
+  ParamRange burst_mult{1, 1};      ///< burst gap compression factor (>= 1)
+  ParamRange deadline_slack{0, 0};  ///< deadline = arrival + slack*CP; 0=none
+  ParamRange jitter{0, 0};          ///< duration uncertainty in [0, 1)
+  ParamRange weight_max{1, 1};      ///< workflow weights ~ U[1, max]
+
+  /// True when instances can be online (the workflow count reaches > 0).
+  bool enabled() const { return count.hi > 0; }
+};
+
 /// The complete declarative sweep description.
 struct SweepSpec {
   std::uint64_t seed = 1;
@@ -189,6 +220,12 @@ struct SweepSpec {
   /// (instance, policy) cell twice — fault-free baseline, then faulted,
   /// with the *same* policy seed — so degradation ratios are paired.
   FaultAblation faults;
+
+  /// Per-instance online arrival draws; disabled unless arrival_count can
+  /// reach > 0.  With arrivals enabled every instance is a merged
+  /// multi-workflow graph driven by an arrival-event stream, and only
+  /// `online`-capable policies are accepted.
+  ArrivalAblation arrivals;
 
   std::vector<std::string> topologies;  ///< topo::by_name specs
   std::vector<PolicySpec> policies;     ///< registry names + overrides

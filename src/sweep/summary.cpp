@@ -197,6 +197,86 @@ std::vector<PolicySummary> summarize(const SweepResult& result) {
       summaries[robust_rows[i]].robust_wilcoxon_p_holm = robust_adjusted[i];
     }
   }
+
+  // Online block: with arrivals enabled every cell carries the streamed
+  // metrics, and "which policy serves the stream best" is again a paired
+  // per-instance comparison — sign/Wilcoxon/Holm over weighted-flow
+  // log-differences against the online leader (best mean hit-rate, ties
+  // toward the smallest flow geomean, then the name).
+  if (result.spec.arrivals.enabled()) {
+    const auto policy_index_of = [&](const std::string& name) {
+      for (std::size_t p = 0; p < num_policies; ++p) {
+        if (result.spec.policies[p].canonical() == name) return p;
+      }
+      require(false, "summarize: unknown policy in ranking");
+      return std::size_t{0};
+    };
+    std::vector<std::vector<double>> flow_ratios(num_policies);
+    for (const InstanceResult& row : result.instances) {
+      require(row.weighted_flow_us.size() == num_policies &&
+                  row.hit_rate.size() == num_policies,
+              "summarize: missing online columns in an online sweep");
+      const double best = row.best_flow();
+      require(best > 0, "summarize: nonpositive best weighted flow");
+      for (std::size_t p = 0; p < num_policies; ++p) {
+        flow_ratios[p].push_back(row.weighted_flow_us[p] / best);
+      }
+    }
+    for (PolicySummary& s : summaries) {
+      const std::size_t p = policy_index_of(s.policy);
+      double hit_sum = 0.0;
+      double p99_sum = 0.0;
+      double lateness_sum = 0.0;
+      for (const InstanceResult& row : result.instances) {
+        hit_sum += row.hit_rate[p];
+        p99_sum += to_us(row.p99_response[p]);
+        lateness_sum += to_us(row.max_lateness[p]);
+      }
+      s.mean_hit_rate = hit_sum / instances;
+      s.mean_p99_response_us = p99_sum / instances;
+      s.mean_max_lateness_us = lateness_sum / instances;
+      double log_sum = 0.0;
+      for (double ratio : flow_ratios[p]) log_sum += std::log(ratio);
+      s.geomean_flow_ratio = std::exp(log_sum / instances);
+    }
+    std::size_t leader_row = 0;
+    for (std::size_t i = 1; i < summaries.size(); ++i) {
+      const PolicySummary& a = summaries[i];
+      const PolicySummary& b = summaries[leader_row];
+      if (a.mean_hit_rate > b.mean_hit_rate ||
+          (a.mean_hit_rate == b.mean_hit_rate &&
+           (a.geomean_flow_ratio < b.geomean_flow_ratio ||
+            (a.geomean_flow_ratio == b.geomean_flow_ratio &&
+             a.policy < b.policy)))) {
+        leader_row = i;
+      }
+    }
+    const std::size_t leader = policy_index_of(summaries[leader_row].policy);
+    std::vector<double> online_family;
+    std::vector<std::size_t> online_rows;
+    for (std::size_t i = 0; i < summaries.size(); ++i) {
+      if (i == leader_row) continue;
+      PolicySummary& s = summaries[i];
+      const std::size_t p = policy_index_of(s.policy);
+      log_diffs.clear();
+      for (const InstanceResult& row : result.instances) {
+        const double mine = row.weighted_flow_us[p];
+        const double theirs = row.weighted_flow_us[leader];
+        if (mine < theirs) ++s.online_better;
+        if (mine > theirs) ++s.online_worse;
+        log_diffs.push_back(std::log(mine) - std::log(theirs));
+      }
+      s.online_sign_p = sign_test(s.online_better, s.online_worse).p_value;
+      s.online_wilcoxon_p = wilcoxon_signed_rank(log_diffs).p_value;
+      online_family.push_back(s.online_wilcoxon_p);
+      online_rows.push_back(i);
+    }
+    const std::vector<double> online_adjusted =
+        holm_bonferroni(online_family);
+    for (std::size_t i = 0; i < online_rows.size(); ++i) {
+      summaries[online_rows[i]].online_wilcoxon_p_holm = online_adjusted[i];
+    }
+  }
   return summaries;
 }
 
@@ -232,6 +312,49 @@ std::vector<std::string> fault_free_ranking(const SweepResult& result) {
   std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
     if (a.geomean != b.geomean) return a.geomean < b.geomean;
     if (a.wins != b.wins) return a.wins > b.wins;
+    return a.policy < b.policy;
+  });
+  std::vector<std::string> ranking;
+  ranking.reserve(rows.size());
+  for (const Row& row : rows) ranking.push_back(row.policy);
+  return ranking;
+}
+
+std::vector<std::string> online_ranking(const SweepResult& result) {
+  const std::size_t num_policies = result.spec.policies.size();
+  require(result.spec.arrivals.enabled(),
+          "online_ranking: sweep has no arrival ablation");
+  require(!result.instances.empty(), "online_ranking: empty sweep");
+  struct Row {
+    std::string policy;
+    double hit_rate = 0.0;
+    double flow_geomean = 0.0;
+  };
+  std::vector<Row> rows(num_policies);
+  std::vector<double> hit_sums(num_policies, 0.0);
+  std::vector<double> log_sums(num_policies, 0.0);
+  for (const InstanceResult& row : result.instances) {
+    require(row.weighted_flow_us.size() == num_policies &&
+                row.hit_rate.size() == num_policies,
+            "online_ranking: missing online columns");
+    const double best = row.best_flow();
+    require(best > 0, "online_ranking: nonpositive best weighted flow");
+    for (std::size_t p = 0; p < num_policies; ++p) {
+      hit_sums[p] += row.hit_rate[p];
+      log_sums[p] += std::log(row.weighted_flow_us[p] / best);
+    }
+  }
+  const double instances = static_cast<double>(result.instances.size());
+  for (std::size_t p = 0; p < num_policies; ++p) {
+    rows[p].policy = result.spec.policies[p].canonical();
+    rows[p].hit_rate = hit_sums[p] / instances;
+    rows[p].flow_geomean = std::exp(log_sums[p] / instances);
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    if (a.hit_rate != b.hit_rate) return a.hit_rate > b.hit_rate;
+    if (a.flow_geomean != b.flow_geomean) {
+      return a.flow_geomean < b.flow_geomean;
+    }
     return a.policy < b.policy;
   });
   std::vector<std::string> ranking;
@@ -297,6 +420,22 @@ std::string summary_json(const SweepResult& result,
     }
     w.key("fault_max_retries");
     w.value(spec.faults.max_retries);
+  }
+  // Arrival-ablation echo, only when enabled — offline sweeps keep their
+  // historical artifacts byte for byte.
+  if (spec.arrivals.enabled()) {
+    const auto arrival_defs = arrival_param_defs();
+    const ParamRange* arrival_ranges[] = {
+        &spec.arrivals.count,          &spec.arrivals.gap_us,
+        &spec.arrivals.burst_prob,     &spec.arrivals.burst_mult,
+        &spec.arrivals.deadline_slack, &spec.arrivals.jitter,
+        &spec.arrivals.weight_max};
+    require(arrival_defs.size() == std::size(arrival_ranges),
+            "summary_json: arrival ParamDef table out of sync");
+    for (std::size_t i = 0; i < arrival_defs.size(); ++i) {
+      w.key(arrival_defs[i].name);
+      emit_range(*arrival_ranges[i]);
+    }
   }
   // Echo the *resolved* oracle kind: the default kAuto resolves through
   // the registry's capability traits, and emitting the resolution keeps
@@ -413,9 +552,47 @@ std::string summary_json(const SweepResult& result,
       w.end_object();
       w.end_object();
     }
+    if (spec.arrivals.enabled()) {
+      w.key("online");
+      w.begin_object();
+      w.key("mean_hit_rate");
+      w.value(s.mean_hit_rate);
+      w.key("geomean_flow_ratio");
+      w.value(s.geomean_flow_ratio);
+      w.key("mean_p99_response_us");
+      w.value(s.mean_p99_response_us);
+      w.key("mean_max_lateness_us");
+      w.value(s.mean_max_lateness_us);
+      w.key("vs_online_leader");
+      w.begin_object();
+      w.key("better");
+      w.value(s.online_better);
+      w.key("worse");
+      w.value(s.online_worse);
+      w.key("sign_p");
+      w.value(s.online_sign_p);
+      w.key("wilcoxon_p");
+      w.value(s.online_wilcoxon_p);
+      w.key("wilcoxon_p_holm");
+      w.value(s.online_wilcoxon_p_holm);
+      w.end_object();
+      w.end_object();
+    }
     w.end_object();
   }
   w.end_array();
+
+  if (spec.arrivals.enabled()) {
+    // The online ranking of the same instances, next to the makespan
+    // ranking above, so an environment-induced flip is visible inside
+    // one artifact.
+    w.key("online_ranking");
+    w.begin_array();
+    for (const std::string& policy : online_ranking(result)) {
+      w.value(policy);
+    }
+    w.end_array();
+  }
 
   if (spec.faults.enabled()) {
     // The fault-free ranking of the *same* instances and seeds, so a
@@ -436,6 +613,7 @@ std::string per_instance_csv(const SweepResult& result) {
   // The fault columns appear only for faulted sweeps, so zero-fault CSV
   // artifacts keep their historical header and rows byte for byte.
   const bool faulted = result.spec.faults.enabled();
+  const bool online = result.spec.arrivals.enabled();
   std::vector<std::string> header = {
       "instance", "family",   "repetition", "topology",    "tasks",
       "edges",    "graph_seed", "sigma_us", "tau_us",      "send_cpu",
@@ -443,6 +621,12 @@ std::string per_instance_csv(const SweepResult& result) {
   if (faulted) {
     header.insert(header.end(), {"base_makespan_us", "degradation",
                                  "retries", "restarts", "failed"});
+  }
+  if (online) {
+    header.insert(header.end(),
+                  {"arrival_seed", "workflows", "weighted_flow_us",
+                   "flow_ratio", "hit_rate", "p99_response_us",
+                   "max_lateness_us"});
   }
   CsvWriter csv(header);
   for (const InstanceResult& row : result.instances) {
@@ -471,6 +655,17 @@ std::string per_instance_csv(const SweepResult& result) {
                       std::to_string(row.retries[p]),
                       std::to_string(row.restarts[p]),
                       row.failed[p] != 0 ? "1" : "0"});
+      }
+      if (online) {
+        const double flow_ratio = row.weighted_flow_us[p] / row.best_flow();
+        cells.insert(cells.end(),
+                     {std::to_string(row.arrival_seed),
+                      std::to_string(row.workflows),
+                      format_fixed(row.weighted_flow_us[p], 3),
+                      format_fixed(flow_ratio, 6),
+                      format_fixed(row.hit_rate[p], 6),
+                      format_fixed(to_us(row.p99_response[p]), 3),
+                      format_fixed(to_us(row.max_lateness[p]), 3)});
       }
       csv.add_row(cells);
     }
@@ -541,6 +736,36 @@ std::string render_summary_table(const SweepResult& result,
            "fault-free baseline (failures count as 8x); vs least = "
            "wins/losses against the least-degrading policy\n";
     out += robustness.render();
+  }
+
+  if (result.spec.arrivals.enabled()) {
+    TableWriter online({"policy", "hit rate", "flow geomean", "p99 resp",
+                        "max late", "vs leader", "p(holm)"});
+    const PolicySummary* leader = nullptr;
+    for (const PolicySummary& s : ranking) {
+      if (leader == nullptr ||
+          std::tie(leader->mean_hit_rate, s.geomean_flow_ratio, s.policy) <
+              std::tie(s.mean_hit_rate, leader->geomean_flow_ratio,
+                       leader->policy)) {
+        leader = &s;
+      }
+    }
+    for (const PolicySummary& s : ranking) {
+      const bool is_leader = &s == leader;
+      online.add_row(
+          {s.policy, format_percent(100.0 * s.mean_hit_rate, 1),
+           format_fixed(s.geomean_flow_ratio, 4),
+           format_fixed(s.mean_p99_response_us, 1) + "us",
+           format_fixed(s.mean_max_lateness_us, 1) + "us",
+           is_leader ? "-"
+                     : std::to_string(s.online_better) + "/" +
+                           std::to_string(s.online_worse),
+           is_leader ? "-" : format_fixed(s.online_wilcoxon_p_holm, 4)});
+    }
+    out += "\nOnline: flow ratio = weighted flow time / per-instance best; "
+           "vs leader = wins/losses (weighted flow) against the online "
+           "leader (best hit rate, then flow geomean)\n";
+    out += online.render();
   }
   return out;
 }

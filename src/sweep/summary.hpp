@@ -77,6 +77,25 @@ struct PolicySummary {
   double robust_sign_p = 1.0;
   double robust_wilcoxon_p = 1.0;
   double robust_wilcoxon_p_holm = 1.0;
+
+  /// Online arrival-stream metrics (meaningful only when the sweep's
+  /// ArrivalAblation is enabled; neutral defaults otherwise).  The flow
+  /// ratio of a cell is its weighted flow time divided by the best
+  /// weighted flow any policy achieved on that instance (>= 1), the
+  /// online analogue of the makespan ratio.  The vs-online-leader family
+  /// mirrors vs_best with the *online leader* — best mean deadline
+  /// hit-rate, ties toward the smallest flow geomean, then the name — so
+  /// the artifact can say whether an online ranking flip against the
+  /// makespan ranking is statistically meaningful.
+  double mean_hit_rate = 1.0;        ///< mean deadline hit-rate
+  double geomean_flow_ratio = 0.0;   ///< geometric mean weighted-flow ratio
+  double mean_p99_response_us = 0.0; ///< mean nearest-rank p99 response
+  double mean_max_lateness_us = 0.0; ///< mean worst deadline overshoot
+  int online_better = 0;  ///< instances with lower flow than the leader
+  int online_worse = 0;   ///< instances with higher flow than the leader
+  double online_sign_p = 1.0;
+  double online_wilcoxon_p = 1.0;
+  double online_wilcoxon_p_holm = 1.0;
 };
 
 /// Computes the per-policy summaries, ranked best (rank 0) to worst.
@@ -88,6 +107,14 @@ std::vector<PolicySummary> summarize(const SweepResult& result);
 /// faulted ranking so a robustness-induced ranking flip is visible in one
 /// artifact.
 std::vector<std::string> fault_free_ranking(const SweepResult& result);
+
+/// Policy canonical names ranked by the *online* figures of merit — mean
+/// deadline hit-rate (descending), then geomean weighted-flow ratio, then
+/// name; requires the sweep's ArrivalAblation to be enabled.  The summary
+/// JSON embeds it next to the makespan ranking so an
+/// environment-induced ranking flip (offline leader losing under bursty
+/// arrivals) is visible in one artifact.
+std::vector<std::string> online_ranking(const SweepResult& result);
 
 /// Renders the deterministic summary artifact: spec echo (seed, comm,
 /// topologies, policies, families), instance count, and the ranking.

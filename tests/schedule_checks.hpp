@@ -16,9 +16,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstddef>
 #include <string>
 #include <vector>
 
+#include "sim/arrivals.hpp"
 #include "sim/engine.hpp"
 #include "sim/validate.hpp"
 
@@ -43,6 +45,86 @@ inline ::testing::AssertionResult schedule_is_valid(
     failure << "\n  ... (" << violations.size() - shown << " more)";
   }
   return failure;
+}
+
+/// Online-run validity (arrival-stream scenarios, sim/arrivals.hpp): the
+/// full offline invariants against the *executed* durations (the plan's
+/// jittered actuals when present), plus the arrival invariants — no task
+/// starts before its workflow arrives, the trace's workflow records echo
+/// the plan, per-workflow completions match the trace timestamps, and the
+/// reported online metrics are exactly recomputable from the completions.
+inline ::testing::AssertionResult online_run_is_valid(
+    const TaskGraph& graph, const Topology& topology, const CommModel& comm,
+    const sim::ArrivalPlan& plan, const sim::SimResult& result) {
+  // The engine executes the plan's actual durations while graph durations
+  // stay the scheduler's estimate; validate against what actually ran.
+  TaskGraph executed;
+  for (TaskId t = 0; t < graph.num_tasks(); ++t) {
+    const Time duration = plan.actual_duration.empty()
+                              ? graph.duration(t)
+                              : plan.actual_duration[static_cast<std::size_t>(t)];
+    executed.add_task(graph.task_name(t), duration);
+  }
+  for (const auto& edge : graph.edges()) {
+    executed.add_edge(edge.from, edge.to, edge.weight);
+  }
+  const ::testing::AssertionResult base =
+      schedule_is_valid(executed, topology, comm, result);
+  if (!base) return base;
+
+  const sim::Trace& trace = result.trace;
+  if (trace.workflows.size() != static_cast<std::size_t>(plan.num_workflows())) {
+    return ::testing::AssertionFailure()
+           << "trace has " << trace.workflows.size() << " workflow records, "
+           << "plan has " << plan.num_workflows() << " workflows";
+  }
+  std::vector<Time> completion(trace.workflows.size(), 0);
+  std::vector<int> task_counts(trace.workflows.size(), 0);
+  for (TaskId t = 0; t < graph.num_tasks(); ++t) {
+    const std::size_t w =
+        static_cast<std::size_t>(plan.task_workflow[static_cast<std::size_t>(t)]);
+    const sim::TaskRecord& rec = trace.tasks[static_cast<std::size_t>(t)];
+    if (rec.started < plan.arrival[w]) {
+      return ::testing::AssertionFailure()
+             << "task " << graph.task_name(t) << " started at "
+             << rec.started << ", before workflow " << w << " arrived at "
+             << plan.arrival[w];
+    }
+    completion[w] = std::max(completion[w], rec.finished);
+    ++task_counts[w];
+  }
+  for (std::size_t w = 0; w < trace.workflows.size(); ++w) {
+    const sim::WorkflowRecord& rec = trace.workflows[w];
+    if (rec.workflow != static_cast<int>(w) ||
+        rec.arrival != plan.arrival[w] || rec.deadline != plan.deadline[w] ||
+        rec.weight != plan.weight[w]) {
+      return ::testing::AssertionFailure()
+             << "workflow record " << w << " does not echo the plan";
+    }
+    if (rec.completion != completion[w]) {
+      return ::testing::AssertionFailure()
+             << "workflow " << w << " completion " << rec.completion
+             << " differs from its latest task finish " << completion[w];
+    }
+    if (rec.num_tasks != task_counts[w]) {
+      return ::testing::AssertionFailure()
+             << "workflow " << w << " task count " << rec.num_tasks
+             << " differs from the plan's " << task_counts[w];
+    }
+  }
+  const sim::OnlineMetrics expected =
+      sim::compute_online_metrics(plan, completion);
+  const sim::OnlineMetrics& got = result.online;
+  if (got.weighted_flow_us != expected.weighted_flow_us ||
+      got.hit_rate != expected.hit_rate ||
+      got.p99_response != expected.p99_response ||
+      got.max_lateness != expected.max_lateness ||
+      got.workflows != expected.workflows) {
+    return ::testing::AssertionFailure()
+           << "reported online metrics are not recomputable from the "
+              "trace completions";
+  }
+  return ::testing::AssertionSuccess();
 }
 
 }  // namespace dagsched

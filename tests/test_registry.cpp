@@ -142,19 +142,20 @@ TEST(PolicyRegistry, CapabilityFlagsRoundTrip) {
   // registration change must fail a test.
   struct Expected {
     const char* name;
-    bool deterministic, stateless, pure, rng, offline;
+    bool deterministic, stateless, pure, rng, offline, online;
   };
   const Expected expected[] = {
-      {"sa", false, false, false, true, false},
-      {"gsa", false, false, false, true, true},
-      {"hlf", true, true, true, false, false},
-      {"hlf-mincomm", true, true, false, false, false},
-      {"etf", true, true, false, false, false},
-      {"list-hlf", true, true, true, false, false},
-      {"heft", true, true, false, false, true},
-      {"peft", true, true, false, false, true},
-      {"random", false, false, false, true, false},
-      {"pinned", true, true, true, false, false},
+      {"sa", false, false, false, true, false, false},
+      {"gsa", false, false, false, true, true, false},
+      {"hlf", true, true, true, false, false, true},
+      {"hlf-mincomm", true, true, false, false, false, true},
+      {"etf", true, true, false, false, false, true},
+      {"list-hlf", true, true, true, false, false, false},
+      {"heft", true, true, false, false, true, false},
+      {"peft", true, true, false, false, true, false},
+      {"random", false, false, false, true, false, true},
+      {"dagprio", true, true, false, false, false, true},
+      {"pinned", true, true, true, false, false, false},
   };
   const auto& registry = PolicyRegistry::instance();
   for (const Expected& e : expected) {
@@ -164,14 +165,15 @@ TEST(PolicyRegistry, CapabilityFlagsRoundTrip) {
     EXPECT_EQ(d.caps.pure_decision, e.pure) << e.name;
     EXPECT_EQ(d.caps.uses_rng, e.rng) << e.name;
     EXPECT_EQ(d.caps.offline_plan, e.offline) << e.name;
+    EXPECT_EQ(d.caps.online, e.online) << e.name;
     EXPECT_FALSE(d.doc.empty()) << e.name;
   }
 }
 
-TEST(PolicyRegistry, ListsTheNineSelectablePoliciesInRegistrationOrder) {
+TEST(PolicyRegistry, ListsTheTenSelectablePoliciesInRegistrationOrder) {
   const std::vector<std::string> expected = {
       "sa",  "gsa",      "hlf",  "hlf-mincomm", "etf",
-      "list-hlf", "heft", "peft", "random"};
+      "list-hlf", "heft", "peft", "random", "dagprio"};
   EXPECT_EQ(PolicyRegistry::instance().names(), expected);
 }
 

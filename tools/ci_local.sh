@@ -84,13 +84,15 @@ cmake --build "${smoke_dir}" --target sweep -j"${jobs}"
   "${repo_root}/tools/sweep_golden.spec" "${repo_root}/tools/golden"
 "${repo_root}/tools/sweep_faulty.sh" "${smoke_dir}/sweep" \
   "${repo_root}/tools/sweep_faulty.spec"
+"${repo_root}/tools/sweep_online.sh" "${smoke_dir}/sweep" \
+  "${repo_root}/tools/sweep_online.spec"
 "${smoke_dir}/sweep" --list-policies > /dev/null
 
 # --- job: coverage ---------------------------------------------------------
 if [[ ${quick} -eq 1 ]]; then
   skip "coverage (--quick)"
 elif command -v gcovr > /dev/null && command -v g++ > /dev/null; then
-  note "coverage: gcc --coverage + gcovr gate on src/sched/"
+  note "coverage: gcc --coverage + gcovr gate on src/sched/ + src/sim/arrivals"
   # The floor lives in ci.yml; read it from there so the two gates can
   # never drift apart.
   coverage_floor="$(sed -n 's/.*--fail-under-line \([0-9][0-9]*\).*/\1/p' \
@@ -106,7 +108,7 @@ elif command -v gcovr > /dev/null && command -v g++ > /dev/null; then
   cmake --build "${coverage_dir}" -j"${jobs}"
   (cd "${coverage_dir}" && ctest -j"${jobs}" > /dev/null)
   gcovr --root "${repo_root}" --object-directory "${coverage_dir}" \
-    --filter 'src/sched/' --print-summary \
+    --filter 'src/sched/' --filter 'src/sim/arrivals' --print-summary \
     --fail-under-line "${coverage_floor}"
 else
   skip "coverage (gcovr not installed)"

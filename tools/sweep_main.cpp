@@ -52,6 +52,7 @@ std::string capability_string(const dagsched::sched::PolicyCapabilities& c) {
   append(c.uses_rng, "rng");
   append(c.offline_plan, "offline-plan");
   append(c.replan_on_fault, "replan-on-fault");
+  append(c.online, "online");
   return out.empty() ? "-" : out;
 }
 
