@@ -61,13 +61,10 @@ int main() {
     config.seed = 2024;  // ignored by policies flagged `deterministic`
     const sched::PolicyRunOutcome outcome =
         registry.make(name, config)->run(graph, machine, comm);
-    std::printf("%-12s %7.1fus %8.2f  %s%s%s\n", name.c_str(),
+    std::printf("%-12s %7.1fus %8.2f  %s\n", name.c_str(),
                 to_us(outcome.result.makespan),
                 outcome.result.speedup(graph.total_work()),
-                descriptor.caps.deterministic ? "deterministic"
-                                              : "seeded",
-                descriptor.caps.offline_plan ? ", offline plan" : "",
-                descriptor.caps.uses_rng ? ", rng" : "");
+                sched::capability_string(descriptor.caps).c_str());
   }
 
   // 4. The registry returns the uniform ScheduledPolicy view; concrete

@@ -1,6 +1,7 @@
 #include "report/experiment.hpp"
 
 #include "sched/registry.hpp"
+#include "service/service.hpp"
 #include "topology/builders.hpp"
 #include "util/require.hpp"
 #include "workloads/registry.hpp"
@@ -64,27 +65,42 @@ ComparisonRow compare_sa_hlf(const std::string& program_name,
   row.with_comm = comm.enabled;
 
   const Time total_work = graph.total_work();
-  const sched::PolicyRegistry& registry = sched::PolicyRegistry::instance();
-  sched::PolicyRunOptions run_options;
-  run_options.sim.record_trace = false;  // speed: the sweep needs numbers only
 
-  const auto hlf = registry.make(hlf_policy_name(options.hlf_placement));
-  const sched::PolicyRunOutcome hlf_outcome =
-      hlf->run(graph, topology, comm, run_options);
+  // Both legs run through service::ScheduleService — the same execution
+  // path schedd serves — with the plan cache off so every comparison cell
+  // is measured fresh.  (Constructing the policy and simulating by hand,
+  // as this harness did before the service existed, is now an internal
+  // detail of ScheduleService::serve.)
+  service::ScheduleService service(0);
+  service::ScheduleRequest request;
+  request.graph = graph;
+  request.comm = comm;
+  service::ServeOptions serve_options;
+  serve_options.topology = &topology;
+  serve_options.propagate_errors = true;
+
+  sched::PolicyRunOutcome hlf_outcome;
+  serve_options.outcome_out = &hlf_outcome;
+  request.policy = hlf_policy_name(options.hlf_placement);
+  service.serve(request, serve_options);
   row.hlf_makespan = hlf_outcome.result.makespan;
   row.hlf_speedup = hlf_outcome.result.speedup(total_work);
 
-  sched::PolicyConfig config = sa_config(options.anneal);
+  const sched::PolicyConfig config = sa_config(options.anneal);
+  serve_options.config = &config;  // serve() assigns the request's seed
+  request.policy = "sa";
   row.sa_makespan = kTimeInfinity;
   for (int i = 0; i < options.sa_seeds; ++i) {
-    config.seed = options.first_seed + static_cast<std::uint64_t>(i);
-    const auto policy = registry.make("sa", config);
-    const sched::PolicyRunOutcome outcome =
-        policy->run(graph, topology, comm, run_options);
+    request.seed = options.first_seed + static_cast<std::uint64_t>(i);
+    sched::PolicyRunOutcome outcome;
+    std::unique_ptr<sched::ScheduledPolicy> policy;
+    serve_options.outcome_out = &outcome;
+    serve_options.policy_out = &policy;
+    service.serve(request, serve_options);
     if (outcome.result.makespan < row.sa_makespan) {
       row.sa_makespan = outcome.result.makespan;
       row.sa_speedup = outcome.result.speedup(total_work);
-      row.sa_best_seed = config.seed;
+      row.sa_best_seed = request.seed;
       const auto* scheduler =
           dynamic_cast<const sa::SaScheduler*>(policy->online_impl());
       require(scheduler != nullptr,

@@ -286,6 +286,7 @@ void HeftScheduler::on_run_start(const TaskGraph& graph,
   topology_ = &topology;
   comm_ = &comm;
   rebuild_plan(nullptr);
+  initial_plan_makespan_ = plan_.makespan;
   proc_used_.assign(static_cast<std::size_t>(topology.num_procs()), 0);
   proc_idle_.assign(proc_used_.size(), 0);
   proc_down_.assign(proc_used_.size(), 0);

@@ -113,12 +113,18 @@ class HeftScheduler : public sim::SchedulingPolicy {
   /// FaultResponse::Replan this is the *latest* plan (replans replace it).
   const ListSchedule& plan() const { return plan_; }
 
+  /// The *initial* plan's eq. 4 makespan estimate — stable across mid-run
+  /// replans so the reported plan-vs-simulated gap always compares against
+  /// what the planner promised before execution started.
+  Time planned_makespan() const override { return initial_plan_makespan_; }
+
  private:
   void rebuild_plan(const std::vector<char>* excluded);
 
   HeftVariant variant_;
   FaultResponse on_fault_;
   ListSchedule plan_;
+  Time initial_plan_makespan_ = 0;
   std::vector<int> priority_pos_;  ///< task -> position in plan_.priority
   std::vector<TaskId> order_;      ///< per-epoch scratch
   std::vector<char> proc_used_;    ///< per-epoch scratch

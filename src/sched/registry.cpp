@@ -1,6 +1,8 @@
 #include "sched/registry.hpp"
 
+#include <charconv>
 #include <stdexcept>
+#include <system_error>
 #include <utility>
 
 #include "core/global_annealer.hpp"
@@ -15,6 +17,7 @@
 #include "sched/random_policy.hpp"
 #include "sched/repin.hpp"
 #include "util/require.hpp"
+#include "util/string_util.hpp"
 
 namespace dagsched::sched {
 
@@ -315,6 +318,7 @@ class OnlinePolicy final : public ScheduledPolicy {
                        const PolicyRunOptions& options) override {
     PolicyRunOutcome outcome;
     outcome.result = sim::simulate(graph, topology, comm, *impl_, options.sim);
+    outcome.predicted_makespan = impl_->planned_makespan();
     return outcome;
   }
 
@@ -352,6 +356,7 @@ class GsaPolicy final : public ScheduledPolicy {
         sa::anneal_global(graph, topology, comm, options);
     PolicyRunOutcome outcome;
     outcome.timed_out = annealed.timed_out;
+    outcome.predicted_makespan = annealed.makespan;
     // A replay is needed for a trace, and under faults also to surface
     // the retry/restart counters and the failure outcome (the annealed
     // makespan alone carries neither).
@@ -647,6 +652,114 @@ void register_builtin_policies(PolicyRegistry& registry) {
                  .pure_decision = true},
                 {},
                 nullptr});
+}
+
+// --------------------------------------------- call syntax + listing text
+
+std::string PolicyCall::canonical() const {
+  if (args.empty()) return name;
+  std::string out = name + "(";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ",";
+    out += args[i].first + "=" + args[i].second;
+  }
+  out += ")";
+  return out;
+}
+
+PolicyCall parse_policy_call(const std::string& token) {
+  PolicyCall call;
+  const auto open = token.find('(');
+  if (open == std::string::npos) {
+    call.name = token;
+  } else {
+    if (token.back() != ')') {
+      throw std::invalid_argument("policy '" + token +
+                                  "' has unbalanced parentheses");
+    }
+    call.name = token.substr(0, open);
+    const std::string inner = token.substr(open + 1, token.size() - open - 2);
+    if (!inner.empty()) {
+      for (const std::string& item : split(inner, ',')) {
+        const auto eq = item.find('=');
+        if (eq == std::string::npos || eq == 0) {
+          throw std::invalid_argument("policy override '" + item +
+                                      "' must be key=value (no spaces)");
+        }
+        call.args.emplace_back(item.substr(0, eq), item.substr(eq + 1));
+      }
+    }
+  }
+  if (call.name.empty()) {
+    throw std::invalid_argument("policy name is empty in '" + token + "'");
+  }
+  return call;
+}
+
+PolicyConfig config_for_call(const PolicyCall& call) {
+  PolicyConfig config = PolicyRegistry::instance().make_config(call.name);
+  for (const auto& [key, value] : call.args) config.set(key, value);
+  return config;
+}
+
+namespace {
+
+/// Shortest round-trip decimal form (std::to_chars), so a canonical
+/// string never depends on how the value was originally spelled.
+std::string canonical_real(double value) {
+  char buffer[32];
+  const auto result = std::to_chars(buffer, buffer + sizeof buffer, value);
+  require(result.ec == std::errc(), "canonical_real: to_chars failed");
+  return std::string(buffer, result.ptr);
+}
+
+}  // namespace
+
+std::string PolicyConfig::canonical() const {
+  PolicyCall call;
+  call.name = policy_;
+  for (const Entry& entry : entries_) {
+    switch (entry.def.kind) {
+      case ConfigValueKind::Int:
+        call.args.emplace_back(entry.def.name,
+                               std::to_string(entry.int_value));
+        break;
+      case ConfigValueKind::Real:
+        call.args.emplace_back(entry.def.name,
+                               canonical_real(entry.real_value));
+        break;
+      case ConfigValueKind::String:
+        call.args.emplace_back(entry.def.name, entry.string_value);
+        break;
+    }
+  }
+  return call.canonical();
+}
+
+std::string capability_string(const PolicyCapabilities& caps) {
+  std::string out;
+  const auto append = [&out](bool flag, const char* token) {
+    if (!flag) return;
+    if (!out.empty()) out += ",";
+    out += token;
+  };
+  append(caps.deterministic, "deterministic");
+  append(caps.stateless_per_epoch, "stateless");
+  append(caps.pure_decision, "pure-decision");
+  append(caps.uses_rng, "rng");
+  append(caps.offline_plan, "offline-plan");
+  append(caps.replan_on_fault, "replan-on-fault");
+  append(caps.online, "online");
+  return out.empty() ? "-" : out;
+}
+
+std::string config_keys_string(const PolicyDescriptor& descriptor) {
+  std::string keys;
+  for (const ConfigKeyDef& key : descriptor.keys) {
+    if (!keys.empty()) keys += ", ";
+    keys += key.name + "=" + key.default_value;
+  }
+  return keys.empty() ? "-" : keys;
 }
 
 }  // namespace dagsched::sched

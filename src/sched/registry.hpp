@@ -69,6 +69,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "graph/taskgraph.hpp"
@@ -132,6 +133,16 @@ class PolicyConfig {
   double get_real(const std::string& key) const;
   const std::string& get_string(const std::string& key) const;
 
+  /// The full effective call in spec syntax: the policy name with *every*
+  /// config key at its current value, in descriptor key order — e.g.
+  /// "heft(ranking=mean,on_fault=wait)".  Two configs that reach the same
+  /// settings through different spellings (defaults vs. explicit args,
+  /// different arg order) canonicalize identically, which is what the
+  /// service plan cache keys on.  The per-run seed is not part of the
+  /// string (it is not a config key; the cache adds it separately for
+  /// non-deterministic policies).
+  std::string canonical() const;
+
   /// Per-run seed (see class comment).
   std::uint64_t seed = 1;
 
@@ -174,6 +185,12 @@ struct PolicyRunOptions {
 struct PolicyRunOutcome {
   sim::SimResult result;
   bool timed_out = false;  ///< stopped on the cooperative budget
+  /// The policy's own pre-execution makespan estimate, for `offline_plan`
+  /// policies: HEFT/PEFT report the eq. 4 analytic plan makespan, gsa its
+  /// annealed (pinned-replay-exact) makespan.  0 when the policy computes
+  /// no plan.  Drivers report result.makespan / predicted_makespan as the
+  /// plan-vs-simulated gap.
+  Time predicted_makespan = 0;
 };
 
 /// A registry-constructed scheduling algorithm, runnable end to end on one
@@ -261,6 +278,39 @@ class PolicyRegistry {
  private:
   std::vector<PolicyDescriptor> entries_;  ///< registration order
 };
+
+/// One parsed `name(key=value,...)` policy call — the construction syntax
+/// shared by sweep spec lines, the report harness and service requests.
+struct PolicyCall {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> args;  ///< given order
+
+  /// Formats the call back into spec syntax; the bare name when no args.
+  std::string canonical() const;
+};
+
+/// Parses the `name(key=value,...)` syntax (syntax only — registry
+/// validation happens in config_for_call / make).  Throws
+/// std::invalid_argument on unbalanced parentheses, malformed overrides or
+/// an empty name.
+PolicyCall parse_policy_call(const std::string& token);
+
+/// Builds the validated config of a call: the registry defaults for
+/// call.name with every arg applied via set().  Throws
+/// std::invalid_argument for unknown policies, unknown keys and mistyped
+/// values; `seed` is left at its default for the driver to assign.
+PolicyConfig config_for_call(const PolicyCall& call);
+
+/// Comma-joined capability tokens in trait declaration order
+/// ("deterministic,stateless,pure-decision,rng,offline-plan,
+/// replan-on-fault,online"), "-" when none — the one formatter behind
+/// `sweep --list-policies`, the quickstart example and the daemon's
+/// `list_policies` op.
+std::string capability_string(const PolicyCapabilities& caps);
+
+/// "key=default, key=default" summary of a descriptor's config keys in
+/// declaration order; "-" when the policy takes none.
+std::string config_keys_string(const PolicyDescriptor& descriptor);
 
 /// Registers the builtin policies: the ten sweep-comparable algorithms
 /// (sa, gsa, hlf, hlf-mincomm, etf, list-hlf, heft, peft, random,

@@ -1,0 +1,99 @@
+#pragma once
+
+// The unified scheduling entry-point API: one serializable request shape
+// and one response shape, layered on the scheduler registry.  Every
+// driver — the schedd daemon, the sweep runner's per-instance path, the
+// report harness — asks for a schedule through ScheduleRequest /
+// ScheduleResponse (service/service.hpp executes them), so policy
+// construction, budgets, caching and error reporting behave identically
+// whether a request arrives over JSONL or from a batch loop.
+//
+// Wire format (one JSON object per line; all fields optional except
+// `graph`):
+//
+//   {"id":"r1", "policy":"gsa(chains=4)", "seed":7, "time_budget_ms":50,
+//    "priority":2, "topology":"hypercube:3",
+//    "comm":{"enabled":true,"sigma_us":7,"tau_us":9,
+//            "send_cpu":"per_task_output"},
+//    "graph":{"name":"job","durations_us":[20,40,30],
+//             "names":["split","work","merge"],
+//             "edges":[[0,1,8],[1,2,4]]}}
+//
+// Durations/weights come as either `durations_us` + microsecond edge
+// weights (reals allowed) or `durations_ns` + nanosecond weights (exact
+// integers; what to_json emits).  Unknown keys are rejected — a typo
+// must never silently configure nothing.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/taskgraph.hpp"
+#include "topology/comm_model.hpp"
+#include "topology/topology.hpp"
+#include "util/json.hpp"
+
+namespace dagsched::service {
+
+/// One schedule request: the instance, the policy call, and how to run it.
+struct ScheduleRequest {
+  std::string id;          ///< client tag, echoed in the response
+  TaskGraph graph;
+  std::string topology = "hypercube:3";  ///< topo::by_name spec
+  CommModel comm = CommModel::paper_default();
+  std::string policy = "hlf";  ///< `name(key=value,...)` call syntax
+  std::uint64_t seed = 1;
+  double time_budget_ms = 0.0;  ///< 0 = no deadline
+  int priority = 0;             ///< higher runs first under load
+};
+
+enum class ResponseStatus {
+  Ok,
+  Shed,   ///< rejected by admission control (reason in `error`)
+  Error,  ///< malformed request or failed run (reason in `error`)
+};
+
+/// How the plan was obtained.
+enum class CacheStatus {
+  Off,   ///< caching disabled or bypassed (faults/arrivals/trace runs)
+  Miss,  ///< computed fresh (and cached when cacheable)
+  Hit,   ///< served from the plan cache, no policy run
+};
+
+const char* to_string(ResponseStatus status);
+const char* to_string(CacheStatus status);
+
+/// One schedule response.  `placement[t]` is the processor of task t in
+/// the *request's* labels (cache hits are mapped back through the
+/// canonical permutation).
+struct ScheduleResponse {
+  std::string id;
+  ResponseStatus status = ResponseStatus::Ok;
+  std::string error;   ///< structured reason when status != Ok
+  std::string policy;  ///< canonical effective call (all keys, all values)
+  std::uint64_t graph_hash = 0;  ///< canonical instance hash; 0 when Off
+  CacheStatus cache = CacheStatus::Off;
+  Time makespan = 0;
+  Time predicted_makespan = 0;  ///< offline planners' own estimate, else 0
+  bool timed_out = false;
+  std::vector<ProcId> placement;
+  double elapsed_ms = 0.0;  ///< service-side wall clock (never in traces)
+};
+
+/// Parses a request from its JSON document / wire line.  Throws
+/// std::invalid_argument with a structured reason on malformed input.
+/// The daemon-level `op` key is allowed and ignored here.
+ScheduleRequest request_from_json(const JsonValue& value);
+ScheduleRequest request_from_json_text(const std::string& text);
+
+/// Canonical single-line JSON for a request (ns units, exact round-trip).
+std::string to_json(const ScheduleRequest& request);
+
+/// Single-line JSON for a response.  Ok responses carry the full result;
+/// Shed/Error responses carry id/status/error only.  `elapsed_ms` is the
+/// only nondeterministic field and is omitted when `include_timing` is
+/// false (the trace writer's setting).
+std::string to_json(const ScheduleResponse& response,
+                    bool include_timing = true);
+
+}  // namespace dagsched::service

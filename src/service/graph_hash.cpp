@@ -1,0 +1,306 @@
+#include "service/graph_hash.hpp"
+
+#include <algorithm>
+#include <tuple>
+#include <utility>
+
+#include "util/require.hpp"
+
+namespace dagsched::service {
+
+namespace {
+
+/// A node-and-edge-labeled graph in the shape the refinement works on:
+/// per-node integer keys seeding the initial coloring, and (edge key,
+/// neighbor) adjacency.  Directed graphs fill both lists; undirected ones
+/// mirror every edge into `out` and leave `in` empty.
+struct RefinementGraph {
+  std::vector<std::int64_t> node_key;
+  std::vector<std::vector<std::pair<std::int64_t, int>>> in;
+  std::vector<std::vector<std::pair<std::int64_t, int>>> out;
+};
+
+using NeighborList = std::vector<std::pair<std::int64_t, int>>;
+
+/// (own color, in-profile, out-profile) — the 1-WL signature.  Leading
+/// with the old color makes each refinement round a strict refinement of
+/// the previous partition, so dense re-numbering preserves class order.
+using Signature = std::tuple<int, NeighborList, NeighborList>;
+
+/// Individualization-refinement canonical labeling.  Returns the
+/// canonical order: `order[c]` is the node at canonical index c.
+std::vector<int> canonical_order(const RefinementGraph& graph) {
+  const int n = static_cast<int>(graph.node_key.size());
+  std::vector<int> color(static_cast<std::size_t>(n), 0);
+  int num_colors = 0;
+
+  // Initial colors: dense rank of the node key (label-invariant).
+  {
+    std::vector<std::int64_t> keys = graph.node_key;
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    for (int v = 0; v < n; ++v) {
+      color[static_cast<std::size_t>(v)] = static_cast<int>(
+          std::lower_bound(keys.begin(), keys.end(),
+                           graph.node_key[static_cast<std::size_t>(v)]) -
+          keys.begin());
+    }
+    num_colors = static_cast<int>(keys.size());
+  }
+
+  std::vector<Signature> signature(static_cast<std::size_t>(n));
+  std::vector<int> order(static_cast<std::size_t>(n));
+
+  const auto refine = [&]() {
+    while (num_colors < n) {
+      for (int v = 0; v < n; ++v) {
+        const std::size_t vi = static_cast<std::size_t>(v);
+        NeighborList in_profile, out_profile;
+        in_profile.reserve(graph.in[vi].size());
+        for (const auto& [key, u] : graph.in[vi]) {
+          in_profile.emplace_back(key, color[static_cast<std::size_t>(u)]);
+        }
+        out_profile.reserve(graph.out[vi].size());
+        for (const auto& [key, u] : graph.out[vi]) {
+          out_profile.emplace_back(key, color[static_cast<std::size_t>(u)]);
+        }
+        std::sort(in_profile.begin(), in_profile.end());
+        std::sort(out_profile.begin(), out_profile.end());
+        signature[vi] = {color[vi], std::move(in_profile),
+                         std::move(out_profile)};
+      }
+      for (int v = 0; v < n; ++v) order[static_cast<std::size_t>(v)] = v;
+      std::sort(order.begin(), order.end(), [&](int a, int b) {
+        return signature[static_cast<std::size_t>(a)] <
+               signature[static_cast<std::size_t>(b)];
+      });
+      int fresh = 0;
+      for (int i = 0; i < n; ++i) {
+        if (i > 0 && signature[static_cast<std::size_t>(order[
+                         static_cast<std::size_t>(i)])] !=
+                         signature[static_cast<std::size_t>(order[
+                             static_cast<std::size_t>(i - 1)])]) {
+          ++fresh;
+        }
+        color[static_cast<std::size_t>(
+            order[static_cast<std::size_t>(i)])] = fresh;
+      }
+      ++fresh;
+      if (fresh == num_colors) break;  // stable partition
+      num_colors = fresh;
+    }
+  };
+
+  refine();
+  // Individualize until discrete: split the first non-singleton class.
+  // Which member is chosen is label-dependent, but for automorphic tie
+  // classes (every class the sweep's generator families produce) all
+  // choices yield the same canonical form — and a non-automorphic tie can
+  // only cost a cache hit, never correctness, because the cache compares
+  // full keys exactly.
+  while (num_colors < n) {
+    std::vector<int> population(static_cast<std::size_t>(num_colors), 0);
+    for (int v = 0; v < n; ++v)
+      ++population[static_cast<std::size_t>(color[static_cast<std::size_t>(v)])];
+    int target = -1;
+    for (int c = 0; c < num_colors; ++c) {
+      if (population[static_cast<std::size_t>(c)] > 1) {
+        target = c;
+        break;
+      }
+    }
+    require(target >= 0, "canonical_order: no splittable class");
+    for (int v = 0; v < n; ++v) {
+      if (color[static_cast<std::size_t>(v)] == target) {
+        color[static_cast<std::size_t>(v)] = num_colors;  // unique tag
+        break;
+      }
+    }
+    ++num_colors;
+    refine();
+  }
+
+  std::vector<int> canonical(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    canonical[static_cast<std::size_t>(
+        color[static_cast<std::size_t>(v)])] = v;
+  }
+  return canonical;
+}
+
+void append_int(std::string& out, std::int64_t value) {
+  out += std::to_string(value);
+}
+
+}  // namespace
+
+std::uint64_t fnv1a(const std::string& text) {
+  std::uint64_t hash = 14695981039346656037ull;
+  for (const unsigned char c : text) {
+    hash ^= c;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+CanonicalInstance canonicalize_instance(const TaskGraph& graph,
+                                        const Topology& topology,
+                                        const CommModel& comm) {
+  CanonicalInstance instance;
+  const int num_tasks = graph.num_tasks();
+  const int num_procs = topology.num_procs();
+
+  // --- canonical task labeling ---
+  {
+    RefinementGraph rg;
+    rg.node_key.resize(static_cast<std::size_t>(num_tasks));
+    rg.in.resize(rg.node_key.size());
+    rg.out.resize(rg.node_key.size());
+    for (TaskId t = 0; t < num_tasks; ++t) {
+      rg.node_key[static_cast<std::size_t>(t)] = graph.duration(t);
+    }
+    for (const Edge& edge : graph.edges()) {
+      rg.out[static_cast<std::size_t>(edge.from)].emplace_back(edge.weight,
+                                                               edge.to);
+      rg.in[static_cast<std::size_t>(edge.to)].emplace_back(edge.weight,
+                                                            edge.from);
+    }
+    const std::vector<int> order = canonical_order(rg);
+    instance.task_of_canonical.assign(order.begin(), order.end());
+    instance.canonical_of_task.resize(static_cast<std::size_t>(num_tasks));
+    for (int c = 0; c < num_tasks; ++c) {
+      instance.canonical_of_task[static_cast<std::size_t>(
+          order[static_cast<std::size_t>(c)])] = c;
+    }
+  }
+
+  // --- canonical processor labeling ---
+  // Links are undirected; the refinement edge key is the *size* of the
+  // link's contention channel (its sharing degree), which is all the
+  // label-invariant information a single link carries.  Full channel
+  // identity goes into the serialization below.
+  std::vector<std::tuple<ProcId, ProcId, ChannelId>> links;
+  {
+    std::vector<int> channel_size(
+        static_cast<std::size_t>(topology.num_channels()), 0);
+    for (ProcId a = 0; a < num_procs; ++a) {
+      for (ProcId b = a + 1; b < num_procs; ++b) {
+        const ChannelId channel = topology.channel(a, b);
+        if (channel == kInvalidChannel) continue;
+        links.emplace_back(a, b, channel);
+        ++channel_size[static_cast<std::size_t>(channel)];
+      }
+    }
+    RefinementGraph rg;
+    rg.node_key.assign(static_cast<std::size_t>(num_procs), 0);
+    rg.in.resize(rg.node_key.size());
+    rg.out.resize(rg.node_key.size());
+    for (const auto& [a, b, channel] : links) {
+      const std::int64_t key =
+          channel_size[static_cast<std::size_t>(channel)];
+      rg.out[static_cast<std::size_t>(a)].emplace_back(key, b);
+      rg.out[static_cast<std::size_t>(b)].emplace_back(key, a);
+    }
+    const std::vector<int> order = canonical_order(rg);
+    instance.proc_of_canonical.assign(order.begin(), order.end());
+    instance.canonical_of_proc.resize(static_cast<std::size_t>(num_procs));
+    for (int c = 0; c < num_procs; ++c) {
+      instance.canonical_of_proc[static_cast<std::size_t>(
+          order[static_cast<std::size_t>(c)])] = c;
+    }
+  }
+
+  // --- serialization under the canonical labels ---
+  std::string& key = instance.key;
+  key.reserve(64 + 16 * static_cast<std::size_t>(num_tasks) +
+              8 * links.size());
+  key += "g:";
+  append_int(key, num_tasks);
+  key += ";d:";
+  for (int c = 0; c < num_tasks; ++c) {
+    if (c > 0) key += ',';
+    append_int(key,
+               graph.duration(instance.task_of_canonical[
+                   static_cast<std::size_t>(c)]));
+  }
+  key += ";e:";
+  {
+    std::vector<std::tuple<int, int, Time>> edges;
+    edges.reserve(static_cast<std::size_t>(graph.num_edges()));
+    for (const Edge& edge : graph.edges()) {
+      edges.emplace_back(
+          instance.canonical_of_task[static_cast<std::size_t>(edge.from)],
+          instance.canonical_of_task[static_cast<std::size_t>(edge.to)],
+          edge.weight);
+    }
+    std::sort(edges.begin(), edges.end());
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      if (i > 0) key += ';';
+      append_int(key, std::get<0>(edges[i]));
+      key += '-';
+      append_int(key, std::get<1>(edges[i]));
+      key += '-';
+      append_int(key, std::get<2>(edges[i]));
+    }
+  }
+  key += "|p:";
+  append_int(key, num_procs);
+  key += ";l:";
+  {
+    // Canonical link list with channels renumbered by first appearance,
+    // so channel-sharing structure (bus vs. point-to-point) is captured
+    // without depending on the builder's channel numbering.
+    std::vector<std::tuple<int, int, ChannelId>> canonical_links;
+    canonical_links.reserve(links.size());
+    for (const auto& [a, b, channel] : links) {
+      int ca = instance.canonical_of_proc[static_cast<std::size_t>(a)];
+      int cb = instance.canonical_of_proc[static_cast<std::size_t>(b)];
+      if (ca > cb) std::swap(ca, cb);
+      canonical_links.emplace_back(ca, cb, channel);
+    }
+    std::sort(canonical_links.begin(), canonical_links.end());
+    std::vector<int> channel_rank(
+        static_cast<std::size_t>(topology.num_channels()), -1);
+    int next_rank = 0;
+    for (std::size_t i = 0; i < canonical_links.size(); ++i) {
+      const auto& [ca, cb, channel] = canonical_links[i];
+      int& rank = channel_rank[static_cast<std::size_t>(channel)];
+      if (rank < 0) rank = next_rank++;
+      if (i > 0) key += ';';
+      append_int(key, ca);
+      key += '-';
+      append_int(key, cb);
+      key += '-';
+      append_int(key, rank);
+    }
+  }
+  key += "|c:";
+  if (comm.enabled) {
+    key += "1,";
+    append_int(key, comm.sigma);
+    key += ',';
+    append_int(key, comm.tau);
+    key += ',';
+    key += to_string(comm.send_cpu);
+  } else {
+    key += "0";
+  }
+
+  instance.hash = fnv1a(key);
+  return instance;
+}
+
+std::string instance_cache_key(const CanonicalInstance& instance,
+                               const std::string& canonical_policy,
+                               bool include_seed, std::uint64_t seed) {
+  std::string key = instance.key;
+  key += "|policy=";
+  key += canonical_policy;
+  if (include_seed) {
+    key += "|seed=";
+    key += std::to_string(seed);
+  }
+  return key;
+}
+
+}  // namespace dagsched::service

@@ -1,0 +1,49 @@
+#include "service/plan_cache.hpp"
+
+#include <utility>
+
+namespace dagsched::service {
+
+std::optional<PlanCache::Entry> PlanCache::lookup(const std::string& key) {
+  if (capacity_ == 0) return std::nullopt;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto found = index_.find(key);
+  if (found == index_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, found->second);
+  ++stats_.hits;
+  return found->second->second;
+}
+
+void PlanCache::insert(const std::string& key, Entry entry) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto found = index_.find(key);
+  if (found != index_.end()) {
+    found->second->second = std::move(entry);
+    lru_.splice(lru_.begin(), lru_, found->second);
+    return;
+  }
+  if (lru_.size() >= capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.emplace_front(key, std::move(entry));
+  index_.emplace(key, lru_.begin());
+  ++stats_.insertions;
+}
+
+PlanCacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+}  // namespace dagsched::service

@@ -1,0 +1,65 @@
+#pragma once
+
+// LRU cache of completed plans, keyed by the full canonical instance key
+// (service/graph_hash.hpp).  Entries store the plan in *canonical* labels
+// so one cached anneal serves every isomorphic relabeling of the same
+// request; the service maps placements through the request's label
+// permutation on the way in and out.  Thread-safe: the schedd worker pool
+// looks up and inserts concurrently.
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "topology/topology.hpp"
+#include "util/time.hpp"
+
+namespace dagsched::service {
+
+struct PlanCacheStats {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t insertions = 0;
+  std::int64_t evictions = 0;
+};
+
+class PlanCache {
+ public:
+  /// One completed plan under canonical labels: placement[c] is the
+  /// canonical processor index of the canonical task index c.
+  struct Entry {
+    Time makespan = 0;
+    Time predicted_makespan = 0;
+    std::vector<ProcId> placement;
+  };
+
+  /// capacity == 0 disables the cache (lookup always misses, insert is a
+  /// no-op; neither counts in the stats).
+  explicit PlanCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the entry and promotes it to most-recently-used, or nullopt.
+  std::optional<Entry> lookup(const std::string& key);
+
+  /// Inserts (or refreshes) an entry, evicting the least-recently-used
+  /// one when full.
+  void insert(const std::string& key, Entry entry);
+
+  PlanCacheStats stats() const;
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  using LruList = std::list<std::pair<std::string, Entry>>;
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  LruList lru_;  ///< front = most recently used
+  std::unordered_map<std::string, LruList::iterator> index_;
+  PlanCacheStats stats_;
+};
+
+}  // namespace dagsched::service

@@ -1,0 +1,151 @@
+#include "service/service.hpp"
+
+#include <chrono>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "service/graph_hash.hpp"
+#include "topology/builders.hpp"
+#include "util/require.hpp"
+
+namespace dagsched::service {
+
+ScheduleService::ScheduleService(std::size_t cache_capacity)
+    : cache_(cache_capacity) {}
+
+ServiceStats ScheduleService::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+ScheduleResponse ScheduleService::serve(const ScheduleRequest& request,
+                                        const ServeOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  ScheduleResponse response;
+  response.id = request.id;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.requests;
+  }
+  const auto finish = [&]() -> ScheduleResponse& {
+    const std::chrono::duration<double, std::milli> elapsed =
+        std::chrono::steady_clock::now() - start;
+    response.elapsed_ms = elapsed.count();
+    return response;
+  };
+  try {
+    request.graph.validate();
+
+    std::optional<Topology> local_topology;
+    const Topology* topology = options.topology;
+    if (topology == nullptr) {
+      local_topology.emplace(topo::by_name(request.topology));
+      topology = &*local_topology;
+    }
+
+    sched::PolicyConfig config;
+    if (options.config != nullptr) {
+      config = *options.config;
+    } else {
+      config = sched::config_for_call(sched::parse_policy_call(request.policy));
+    }
+    config.seed = request.seed;
+    const sched::PolicyDescriptor& descriptor =
+        sched::PolicyRegistry::instance().descriptor(config.policy());
+    response.policy = config.canonical();
+
+    // Fault/arrival/trace runs bypass the cache: their results depend on
+    // more than the canonical instance.  Timed-out runs are never
+    // inserted either — a budget-truncated plan is not the plan an
+    // unbudgeted run would cache.
+    const bool cacheable = cache_.capacity() > 0 &&
+                           options.faults == nullptr &&
+                           options.arrivals == nullptr &&
+                           !options.record_trace;
+    std::string cache_key;
+    CanonicalInstance canonical;
+    if (cacheable) {
+      canonical = canonicalize_instance(request.graph, *topology,
+                                        request.comm);
+      // The seed only matters when the policy consumes it.
+      cache_key = instance_cache_key(canonical, response.policy,
+                                     !descriptor.caps.deterministic,
+                                     request.seed);
+      response.graph_hash = canonical.hash;
+      if (const auto hit = cache_.lookup(cache_key)) {
+        response.cache = CacheStatus::Hit;
+        response.makespan = hit->makespan;
+        response.predicted_makespan = hit->predicted_makespan;
+        // Map the canonical plan back into the request's labels.  For a
+        // byte-identical repeat the round trip is the identity; for an
+        // isomorphic relabeling it is the matching permutation.
+        response.placement.resize(
+            static_cast<std::size_t>(request.graph.num_tasks()));
+        for (TaskId t = 0; t < request.graph.num_tasks(); ++t) {
+          const int canonical_task =
+              canonical.canonical_of_task[static_cast<std::size_t>(t)];
+          response.placement[static_cast<std::size_t>(t)] =
+              canonical.proc_of_canonical[static_cast<std::size_t>(
+                  hit->placement[static_cast<std::size_t>(canonical_task)])];
+        }
+        return finish();
+      }
+      response.cache = CacheStatus::Miss;
+    }
+
+    std::unique_ptr<sched::ScheduledPolicy> policy =
+        sched::PolicyRegistry::instance().make(config.policy(), config);
+    sched::PolicyRunOptions run_options;
+    run_options.sim.record_trace = options.record_trace;
+    run_options.sim.faults = options.faults;
+    run_options.sim.arrivals = options.arrivals;
+    run_options.time_budget_ms = request.time_budget_ms;
+    sched::PolicyRunOutcome outcome =
+        policy->run(request.graph, *topology, request.comm, run_options);
+
+    response.makespan = outcome.result.makespan;
+    response.predicted_makespan = outcome.predicted_makespan;
+    response.placement = outcome.result.placement;
+    response.timed_out = outcome.timed_out;
+    if (request.time_budget_ms > 0) {
+      const std::chrono::duration<double, std::milli> elapsed =
+          std::chrono::steady_clock::now() - start;
+      if (elapsed.count() > request.time_budget_ms) response.timed_out = true;
+    }
+
+    if (cacheable && !response.timed_out && !outcome.result.failed) {
+      PlanCache::Entry entry;
+      entry.makespan = response.makespan;
+      entry.predicted_makespan = response.predicted_makespan;
+      entry.placement.resize(
+          static_cast<std::size_t>(request.graph.num_tasks()));
+      for (TaskId t = 0; t < request.graph.num_tasks(); ++t) {
+        entry.placement[static_cast<std::size_t>(
+            canonical.canonical_of_task[static_cast<std::size_t>(t)])] =
+            static_cast<ProcId>(
+                canonical.canonical_of_proc[static_cast<std::size_t>(
+                    response.placement[static_cast<std::size_t>(t)])]);
+      }
+      cache_.insert(cache_key, std::move(entry));
+    }
+
+    if (options.outcome_out != nullptr) {
+      *options.outcome_out = std::move(outcome);
+    }
+    if (options.policy_out != nullptr) {
+      *options.policy_out = std::move(policy);
+    }
+  } catch (const std::exception& error) {
+    if (options.propagate_errors) throw;
+    response.status = ResponseStatus::Error;
+    response.error = error.what();
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.errors;
+    }
+  }
+  return finish();
+}
+
+}  // namespace dagsched::service

@@ -1,0 +1,83 @@
+#pragma once
+
+// ScheduleService: executes ScheduleRequests against the scheduler
+// registry, with an LRU plan cache keyed by the canonical instance hash.
+// This is the one execution path behind every driver — schedd serves wire
+// requests through it, and the sweep runner and report harness call it
+// in-process (with the cache off, so measured sweeps always run fresh).
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "sched/registry.hpp"
+#include "service/api.hpp"
+#include "service/plan_cache.hpp"
+#include "sim/arrivals.hpp"
+#include "sim/faults.hpp"
+
+namespace dagsched::service {
+
+/// Driver-side extensions that never travel on the wire.  Batch drivers
+/// (sweep/report) use these to reuse pre-resolved objects and to read the
+/// full simulation result back out.
+struct ServeOptions {
+  /// Pre-resolved topology; when null the request's `topology` spec is
+  /// resolved per call.  Must outlive the serve() call.
+  const Topology* topology = nullptr;
+
+  /// Pre-merged policy config (the sweep's effective_policy_config
+  /// layering).  When null the request's `policy` call string is parsed
+  /// and validated.  The request's seed is assigned either way.
+  const sched::PolicyConfig* config = nullptr;
+
+  /// Fault injection / online arrivals for the simulation.  Either one
+  /// bypasses the plan cache: the cached plan's makespan is a fault-free
+  /// whole-graph number.
+  const sim::FaultSpec* faults = nullptr;
+  const sim::ArrivalPlan* arrivals = nullptr;
+
+  /// Record the full simulation trace (also bypasses the cache — a cache
+  /// hit has no trace to return).
+  bool record_trace = false;
+
+  /// When set, exceptions propagate to the caller instead of turning
+  /// into a ResponseStatus::Error response (batch drivers abort sweeps
+  /// on the first failure; the daemon wants structured errors).
+  bool propagate_errors = false;
+
+  /// Out-parameters: the full PolicyRunOutcome (fault/online metrics) and
+  /// the run policy instance (implementation-level statistics).  Left
+  /// untouched on a cache hit — check ScheduleResponse::cache.
+  sched::PolicyRunOutcome* outcome_out = nullptr;
+  std::unique_ptr<sched::ScheduledPolicy>* policy_out = nullptr;
+};
+
+/// Aggregate service counters (cache stats come from PlanCache).
+struct ServiceStats {
+  std::int64_t requests = 0;
+  std::int64_t errors = 0;
+};
+
+class ScheduleService {
+ public:
+  /// `cache_capacity` 0 disables plan caching (every response says Off).
+  explicit ScheduleService(std::size_t cache_capacity);
+
+  /// Executes one request end to end: resolve topology and policy,
+  /// consult the plan cache, run, cache, map the plan back.  Thread-safe;
+  /// concurrent serve() calls share only the (locked) cache and counters.
+  ScheduleResponse serve(const ScheduleRequest& request,
+                         const ServeOptions& options = {});
+
+  PlanCache& cache() { return cache_; }
+  ServiceStats stats() const;
+
+ private:
+  PlanCache cache_;
+  mutable std::mutex stats_mutex_;
+  ServiceStats stats_;
+};
+
+}  // namespace dagsched::service

@@ -113,6 +113,12 @@ class SchedulingPolicy {
 
   /// Display name for reports.
   virtual std::string name() const = 0;
+
+  /// For offline planners: the analytic makespan of the plan computed at
+  /// on_run_start (0 when the policy computes no plan, or before any run).
+  /// The service/sweep layers report it against the simulated makespan as
+  /// the plan-vs-simulated gap.
+  virtual Time planned_makespan() const { return 0; }
 };
 
 }  // namespace dagsched::sim

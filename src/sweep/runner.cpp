@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
 #include <exception>
 #include <map>
 #include <mutex>
@@ -13,6 +12,7 @@
 #include "graph/analysis.hpp"
 #include "graph/generators.hpp"
 #include "sched/registry.hpp"
+#include "service/service.hpp"
 #include "sim/arrivals.hpp"
 #include "sim/engine.hpp"
 #include "sweep/params.hpp"
@@ -278,8 +278,10 @@ TaskGraph build_graph(FamilyKind kind, const InstanceDraw& draw) {
   throw std::invalid_argument("unknown family kind");
 }
 
-/// Runs one registry-constructed policy on one instance.  `timed_out` is
-/// set when the spec's per-instance wall-clock budget was exceeded:
+/// Runs one registry-constructed policy on one instance through
+/// service::ScheduleService — the same execution path schedd serves, with
+/// the plan cache off so every sweep cell is measured fresh.  `timed_out`
+/// is set when the spec's per-instance wall-clock budget was exceeded:
 /// policies with a cooperative cutoff (gsa) report it themselves through
 /// PolicyRunOutcome, every other policy is measured after the fact (they
 /// have no mid-run cutoff hook).  `config` is the policy's effective
@@ -290,8 +292,8 @@ TaskGraph build_graph(FamilyKind kind, const InstanceDraw& draw) {
 /// baseline and the faulted run of one cell pass the same policy seed.
 /// `arrivals` (nullable) turns the run into a streamed online scenario;
 /// the outcome's SimResult then carries the online metrics.
-sched::PolicyRunOutcome run_policy(const PolicySpec& policy,
-                                   sched::PolicyConfig config,
+sched::PolicyRunOutcome run_policy(service::ScheduleService& service,
+                                   const sched::PolicyConfig& config,
                                    const SweepSpec& spec,
                                    const TaskGraph& graph,
                                    const Topology& topology,
@@ -300,26 +302,23 @@ sched::PolicyRunOutcome run_policy(const PolicySpec& policy,
                                    const sim::FaultSpec* faults,
                                    const sim::ArrivalPlan* arrivals,
                                    bool* timed_out) {
-  *timed_out = false;
-  const auto start = std::chrono::steady_clock::now();
+  service::ScheduleRequest request;
+  request.graph = graph;
+  request.comm = comm;
+  request.seed = policy_seed;
+  request.time_budget_ms = spec.time_budget_ms;
 
-  config.seed = policy_seed;
-  const std::unique_ptr<sched::ScheduledPolicy> runnable =
-      sched::PolicyRegistry::instance().make(policy.name, config);
-  sched::PolicyRunOptions run_options;
-  run_options.sim.record_trace = false;
-  run_options.sim.faults = faults;
-  run_options.sim.arrivals = arrivals;
-  run_options.time_budget_ms = spec.time_budget_ms;
-  const sched::PolicyRunOutcome outcome =
-      runnable->run(graph, topology, comm, run_options);
+  service::ServeOptions options;
+  options.topology = &topology;
+  options.config = &config;
+  options.faults = faults;
+  options.arrivals = arrivals;
+  options.propagate_errors = true;  // abort the sweep on the first failure
+  sched::PolicyRunOutcome outcome;
+  options.outcome_out = &outcome;
 
-  if (outcome.timed_out) *timed_out = true;
-  if (spec.time_budget_ms > 0) {
-    const std::chrono::duration<double, std::milli> elapsed =
-        std::chrono::steady_clock::now() - start;
-    if (elapsed.count() > spec.time_budget_ms) *timed_out = true;
-  }
+  const service::ScheduleResponse response = service.serve(request, options);
+  *timed_out = response.timed_out;
   return outcome;
 }
 
@@ -413,9 +412,18 @@ SweepResult run_sweep(const SweepSpec& spec) {
             ? 1
             : 0;
   }
-  std::map<std::tuple<int, int, std::size_t>, std::pair<Time, char>> memo;
+  struct MemoEntry {
+    Time makespan = 0;
+    char timed_out = 0;
+    Time predicted = 0;
+  };
+  std::map<std::tuple<int, int, std::size_t>, MemoEntry> memo;
   std::mutex memo_mutex;
   std::atomic<std::int64_t> policy_runs{0};
+
+  // Every cell executes through the shared ScheduleService (the same path
+  // schedd serves); the plan cache is off so measured sweeps run fresh.
+  service::ScheduleService service(0);
 
   int threads = spec.threads;
   if (threads == 0) {
@@ -477,6 +485,7 @@ SweepResult run_sweep(const SweepSpec& spec) {
             spec.comm_enabled ? dagsched::to_string(draw.send_cpu) : "off";
         row.makespans.resize(spec.policies.size());
         row.timed_out.assign(spec.policies.size(), 0);
+        row.predicted_makespans.assign(spec.policies.size(), 0);
         if (online) {
           row.arrival_seed = draw.arrival_seed;
           row.workflows = arrival_plan.num_workflows();
@@ -505,17 +514,19 @@ SweepResult run_sweep(const SweepSpec& spec) {
             std::lock_guard<std::mutex> lock(memo_mutex);
             const auto cached = memo.find(memo_key);
             if (cached != memo.end()) {
-              row.makespans[p] = cached->second.first;
-              row.timed_out[p] = cached->second.second;
+              row.makespans[p] = cached->second.makespan;
+              row.timed_out[p] = cached->second.timed_out;
+              row.predicted_makespans[p] = cached->second.predicted;
               continue;
             }
           }
           bool timed_out = false;
           const sched::PolicyRunOutcome base = run_policy(
-              spec.policies[p], policy_configs[p], spec, graph, topology,
+              service, policy_configs[p], spec, graph, topology,
               comm, draw.policy_seeds[p], nullptr,
               online ? &arrival_plan : nullptr, &timed_out);
           policy_runs.fetch_add(1, std::memory_order_relaxed);
+          row.predicted_makespans[p] = base.predicted_makespan;
           if (!faulted) {
             row.makespans[p] = base.result.makespan;
             row.timed_out[p] = timed_out ? 1 : 0;
@@ -527,8 +538,9 @@ SweepResult run_sweep(const SweepSpec& spec) {
             }
             if (memoizable) {
               std::lock_guard<std::mutex> lock(memo_mutex);
-              memo.emplace(memo_key, std::make_pair(row.makespans[p],
-                                                    row.timed_out[p]));
+              memo.emplace(memo_key,
+                           MemoEntry{row.makespans[p], row.timed_out[p],
+                                     row.predicted_makespans[p]});
             }
             continue;
           }
@@ -536,7 +548,7 @@ SweepResult run_sweep(const SweepSpec& spec) {
           // the pair (base, faulted) gives the degradation ratio.
           bool faulted_timed_out = false;
           const sched::PolicyRunOutcome hit = run_policy(
-              spec.policies[p], policy_configs[p], spec, graph, topology,
+              service, policy_configs[p], spec, graph, topology,
               comm, draw.policy_seeds[p], &fault_spec, nullptr,
               &faulted_timed_out);
           policy_runs.fetch_add(1, std::memory_order_relaxed);

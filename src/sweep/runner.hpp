@@ -61,6 +61,13 @@ struct InstanceResult {
   /// cutoff hook — it ran to completion (converged makespan) and merely
   /// took longer than the budget.  All zero when no budget is set.
   std::vector<char> timed_out;
+  /// Parallel to spec.policies: the policy's *planned* makespan — what
+  /// its offline plan predicted before simulation (HEFT/PEFT insertion
+  /// schedule length, gsa's annealed oracle estimate).  Zero for policies
+  /// that build no plan; taken from the fault-free run, so under fault
+  /// injection the plan-vs-simulated gap compares against
+  /// `base_makespans`.
+  std::vector<Time> predicted_makespans;
 
   /// Fault-injection columns, filled only when spec.faults.enabled()
   /// (empty vectors / zero otherwise).  Each cell then runs twice with

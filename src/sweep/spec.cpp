@@ -224,40 +224,22 @@ FamilySpec parse_family(const std::vector<std::string>& tokens,
 
 /// Parses one policy token: `name` or `name(key=value,...)` (no spaces
 /// inside the parentheses — the spec format tokenizes on whitespace).
-/// Name and keys are validated against the scheduler registry so a typo
-/// fails here, with the line number, not mid-sweep.
+/// Syntax and validation both live in the registry layer
+/// (sched::parse_policy_call / config_for_call — the same path service
+/// requests go through); this wrapper only re-raises with the line number.
 PolicySpec parse_policy(const std::string& token, int line_number) {
   PolicySpec policy;
-  const auto open = token.find('(');
-  if (open == std::string::npos) {
-    policy.name = token;
-  } else {
-    if (token.empty() || token.back() != ')') {
-      fail(line_number, "policy '" + token + "' has unbalanced parentheses");
-    }
-    policy.name = token.substr(0, open);
-    const std::string inner = token.substr(open + 1, token.size() - open - 2);
-    if (!inner.empty()) {
-      for (const std::string& item : split(inner, ',')) {
-        const auto eq = item.find('=');
-        if (eq == std::string::npos || eq == 0) {
-          fail(line_number, "policy override '" + item +
-                                "' must be key=value (no spaces)");
-        }
-        policy.args.emplace_back(item.substr(0, eq), item.substr(eq + 1));
-      }
-    }
-  }
   try {
-    sched::PolicyConfig config =
-        sched::PolicyRegistry::instance().make_config(policy.name);
-    for (const auto& [key, value] : policy.args) config.set(key, value);
+    sched::PolicyCall call = sched::parse_policy_call(token);
+    policy.name = std::move(call.name);
+    policy.args = std::move(call.args);
     // Run the factory too so semantic errors (chains=0, oracle=warp)
     // also carry the line number; defaults are always factory-valid, so
     // a failure here can only come from this line's overrides.  (The
     // spec-level legacy knobs are not merged yet — they may appear on
     // any later line — so validate() re-resolves the effective config.)
-    sched::PolicyRegistry::instance().make(policy.name, config);
+    sched::PolicyRegistry::instance().make(
+        policy.name, sched::config_for_call({policy.name, policy.args}));
   } catch (const std::invalid_argument& error) {
     fail(line_number, error.what());
   }
@@ -354,14 +336,7 @@ FamilyKind family_kind_from_string(const std::string& name) {
 }
 
 std::string PolicySpec::canonical() const {
-  if (args.empty()) return name;
-  std::string out = name + "(";
-  for (std::size_t i = 0; i < args.size(); ++i) {
-    if (i > 0) out += ",";
-    out += args[i].first + "=" + args[i].second;
-  }
-  out += ")";
-  return out;
+  return sched::PolicyCall{name, args}.canonical();
 }
 
 sched::PolicyConfig effective_policy_config(const SweepSpec& spec,

@@ -22,6 +22,8 @@ std::vector<PolicySummary> summarize(const SweepResult& result) {
     double makespan_sum_us = 0.0;
     int wins = 0;
     int timeouts = 0;
+    double plan_gap_log_sum = 0.0;
+    int plan_gap_count = 0;
   };
   std::vector<std::vector<double>> ratios(num_policies);
   std::vector<Tally> tallies(num_policies);
@@ -38,6 +40,21 @@ std::vector<PolicySummary> summarize(const SweepResult& result) {
       if (row.makespans[p] == best) ++tallies[p].wins;
       if (p < row.timed_out.size() && row.timed_out[p] != 0) {
         ++tallies[p].timeouts;
+      }
+      // Plan-vs-simulated gap: predicted is nonzero only for policies
+      // that build an offline plan.  Under fault injection the
+      // fault-free baseline (base_makespans) is the simulated side.
+      if (p < row.predicted_makespans.size() &&
+          row.predicted_makespans[p] > 0) {
+        const Time simulated = p < row.base_makespans.size()
+                                   ? row.base_makespans[p]
+                                   : row.makespans[p];
+        if (simulated > 0) {
+          tallies[p].plan_gap_log_sum +=
+              std::log(static_cast<double>(simulated) /
+                       static_cast<double>(row.predicted_makespans[p]));
+          ++tallies[p].plan_gap_count;
+        }
       }
     }
   }
@@ -58,6 +75,10 @@ std::vector<PolicySummary> summarize(const SweepResult& result) {
     s.max_ratio = *std::max_element(ratios[p].begin(), ratios[p].end());
     s.mean_makespan_us = tallies[p].makespan_sum_us / instances;
     s.timed_out = tallies[p].timeouts;
+    if (tallies[p].plan_gap_count > 0) {
+      s.plan_gap_geomean = std::exp(tallies[p].plan_gap_log_sum /
+                                    tallies[p].plan_gap_count);
+    }
   }
 
   std::sort(summaries.begin(), summaries.end(),
@@ -509,6 +530,8 @@ std::string summary_json(const SweepResult& result,
     w.value(s.mean_makespan_us);
     w.key("timed_out");
     w.value(s.timed_out);
+    w.key("plan_gap");
+    w.value(s.plan_gap_geomean);
     w.key("vs_best");
     w.begin_object();
     w.key("better");
@@ -676,8 +699,8 @@ std::string per_instance_csv(const SweepResult& result) {
 std::string render_summary_table(const SweepResult& result,
                                  const std::vector<PolicySummary>& ranking) {
   TableWriter table({"rank", "policy", "win rate", "geomean", "mean", "p50",
-                     "p90", "max", "mean makespan", "timeouts", "vs best",
-                     "p(sign)", "p(wilcoxon)", "p(holm)"});
+                     "p90", "max", "mean makespan", "timeouts", "plan gap",
+                     "vs best", "p(sign)", "p(wilcoxon)", "p(holm)"});
   int rank = 1;
   for (const PolicySummary& s : ranking) {
     const bool is_best = rank == 1;
@@ -690,6 +713,9 @@ std::string render_summary_table(const SweepResult& result,
                    format_fixed(s.max_ratio, 4),
                    format_fixed(s.mean_makespan_us, 1) + "us",
                    std::to_string(s.timed_out),
+                   s.plan_gap_geomean > 0
+                       ? format_fixed(s.plan_gap_geomean, 4)
+                       : "-",
                    is_best ? "-"
                            : std::to_string(s.better_than_best) + "/" +
                                  std::to_string(s.worse_than_best),
@@ -703,7 +729,8 @@ std::string render_summary_table(const SweepResult& result,
                     "wins/losses against the top-ranked policy (paired "
                     "sign / Wilcoxon signed-rank p-values; p(holm) = "
                     "Holm-Bonferroni-adjusted Wilcoxon p over the vs-best "
-                    "family)\n";
+                    "family; plan gap = geomean simulated/planned makespan "
+                    "for offline-plan policies, - = no plan)\n";
   out += table.render();
 
   if (result.spec.faults.enabled()) {

@@ -40,6 +40,14 @@ struct PolicySummary {
   /// Instances where the policy hit the spec's wall-clock budget (its
   /// makespans are best-at-cutoff, not converged); 0 without a budget.
   int timed_out = 0;
+  /// Plan-vs-simulated gap for offline-plan policies: geometric mean of
+  /// simulated / planned makespan over all instances (under fault
+  /// injection the fault-free baseline is the simulated side, so the gap
+  /// measures plan fidelity, not fault damage).  1.0 means the plan's
+  /// predicted makespan matched the simulation exactly; > 1 the plan was
+  /// optimistic; < 1 pessimistic.  0.0 when the policy reports no plan
+  /// (no `offline_plan` capability) on any instance.
+  double plan_gap_geomean = 0.0;
 
   /// Paired comparison against the *top-ranked* policy of the same sweep
   /// (all 1.0 / 0 for the top-ranked row itself): per-instance makespans

@@ -1,14 +1,17 @@
 #include "util/json.hpp"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
 
 #include "util/require.hpp"
 #include "util/string_util.hpp"
 
 namespace dagsched {
 
-JsonWriter::JsonWriter(int double_decimals)
-    : double_decimals_(double_decimals) {
+JsonWriter::JsonWriter(int double_decimals, Style style)
+    : double_decimals_(double_decimals), style_(style) {
   require(double_decimals >= 0 && double_decimals <= 12,
           "JsonWriter: decimals out of range");
 }
@@ -47,6 +50,7 @@ std::string JsonWriter::escape(const std::string& text) {
 }
 
 void JsonWriter::newline_indent() {
+  if (style_ == Style::Compact) return;
   out_ += '\n';
   out_.append(2 * stack_.size(), ' ');
 }
@@ -74,7 +78,7 @@ void JsonWriter::key(const std::string& name) {
   newline_indent();
   out_ += '"';
   out_ += escape(name);
-  out_ += "\": ";
+  out_ += style_ == Style::Compact ? "\":" : "\": ";
   pending_key_ = true;
 }
 
@@ -92,7 +96,7 @@ void JsonWriter::end_object() {
   stack_.pop_back();
   if (had_items) newline_indent();
   out_ += '}';
-  if (stack_.empty()) out_ += '\n';
+  if (stack_.empty() && style_ == Style::Pretty) out_ += '\n';
 }
 
 void JsonWriter::begin_array() {
@@ -108,7 +112,7 @@ void JsonWriter::end_array() {
   stack_.pop_back();
   if (had_items) newline_indent();
   out_ += ']';
-  if (stack_.empty()) out_ += '\n';
+  if (stack_.empty() && style_ == Style::Pretty) out_ += '\n';
 }
 
 void JsonWriter::value(const std::string& text) {
@@ -145,6 +149,376 @@ void JsonWriter::value(bool flag) {
 void JsonWriter::null() {
   before_value();
   out_ += "null";
+}
+
+// --- JsonValue -------------------------------------------------------------
+
+const char* JsonValue::kind_name() const {
+  switch (kind_) {
+    case Kind::Null: return "null";
+    case Kind::Bool: return "bool";
+    case Kind::Number: return "number";
+    case Kind::String: return "string";
+    case Kind::Array: return "array";
+    case Kind::Object: return "object";
+  }
+  return "?";
+}
+
+namespace {
+
+[[noreturn]] void kind_mismatch(const char* wanted, const char* got) {
+  throw std::invalid_argument(std::string("json: expected ") + wanted +
+                              ", got " + got);
+}
+
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  if (kind_ != Kind::Bool) kind_mismatch("bool", kind_name());
+  return bool_;
+}
+
+double JsonValue::as_double() const {
+  if (kind_ != Kind::Number) kind_mismatch("number", kind_name());
+  return number_;
+}
+
+std::int64_t JsonValue::as_int64() const {
+  if (kind_ != Kind::Number) kind_mismatch("integer", kind_name());
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(token_.c_str(), &end, 10);
+  if (errno != 0 || end == token_.c_str() || *end != '\0') {
+    throw std::invalid_argument("json: '" + token_ +
+                                "' is not a 64-bit integer");
+  }
+  return static_cast<std::int64_t>(parsed);
+}
+
+std::uint64_t JsonValue::as_uint64() const {
+  if (kind_ != Kind::Number) kind_mismatch("integer", kind_name());
+  errno = 0;
+  char* end = nullptr;
+  if (!token_.empty() && token_[0] == '-') {
+    throw std::invalid_argument("json: '" + token_ +
+                                "' is not an unsigned integer");
+  }
+  const unsigned long long parsed = std::strtoull(token_.c_str(), &end, 10);
+  if (errno != 0 || end == token_.c_str() || *end != '\0') {
+    throw std::invalid_argument("json: '" + token_ +
+                                "' is not an unsigned integer");
+  }
+  return static_cast<std::uint64_t>(parsed);
+}
+
+const std::string& JsonValue::as_string() const {
+  if (kind_ != Kind::String) kind_mismatch("string", kind_name());
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  if (kind_ != Kind::Array) kind_mismatch("array", kind_name());
+  return items_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members()
+    const {
+  if (kind_ != Kind::Object) kind_mismatch("object", kind_name());
+  return members_;
+}
+
+const JsonValue* JsonValue::find(const std::string& name) const {
+  if (kind_ != Kind::Object) return nullptr;
+  for (const auto& [key, value] : members_) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+JsonValue JsonValue::make_null() { return JsonValue(); }
+
+JsonValue JsonValue::make_bool(bool flag) {
+  JsonValue v;
+  v.kind_ = Kind::Bool;
+  v.bool_ = flag;
+  return v;
+}
+
+JsonValue JsonValue::make_number(double number, std::string token) {
+  JsonValue v;
+  v.kind_ = Kind::Number;
+  v.number_ = number;
+  v.token_ = std::move(token);
+  return v;
+}
+
+JsonValue JsonValue::make_string(std::string text) {
+  JsonValue v;
+  v.kind_ = Kind::String;
+  v.string_ = std::move(text);
+  return v;
+}
+
+JsonValue JsonValue::make_array(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.kind_ = Kind::Array;
+  v.items_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::make_object(
+    std::vector<std::pair<std::string, JsonValue>> members) {
+  JsonValue v;
+  v.kind_ = Kind::Object;
+  v.members_ = std::move(members);
+  return v;
+}
+
+// --- parse_json ------------------------------------------------------------
+
+namespace {
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue value = parse_value(0);
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing content after document");
+    return value;
+  }
+
+ private:
+  // Deep enough for any legitimate request, shallow enough that a
+  // pathological "[[[[..." line cannot overflow the parser's C++ stack.
+  static constexpr int kMaxDepth = 64;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("json: " + what + " at offset " +
+                                std::to_string(pos_));
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* literal) {
+    const std::size_t length = std::string(literal).size();
+    if (text_.compare(pos_, length, literal) != 0) return false;
+    pos_ += length;
+    return true;
+  }
+
+  JsonValue parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    skip_whitespace();
+    const char c = peek();
+    if (c == '{') return parse_object(depth);
+    if (c == '[') return parse_array(depth);
+    if (c == '"') return JsonValue::make_string(parse_string());
+    if (c == 't') {
+      if (!consume_literal("true")) fail("invalid literal");
+      return JsonValue::make_bool(true);
+    }
+    if (c == 'f') {
+      if (!consume_literal("false")) fail("invalid literal");
+      return JsonValue::make_bool(false);
+    }
+    if (c == 'n') {
+      if (!consume_literal("null")) fail("invalid literal");
+      return JsonValue::make_null();
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
+    fail("unexpected character");
+  }
+
+  JsonValue parse_object(int depth) {
+    expect('{');
+    std::vector<std::pair<std::string, JsonValue>> members;
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue::make_object(std::move(members));
+    }
+    while (true) {
+      skip_whitespace();
+      std::string name = parse_string();
+      skip_whitespace();
+      expect(':');
+      members.emplace_back(std::move(name), parse_value(depth + 1));
+      skip_whitespace();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return JsonValue::make_object(std::move(members));
+      }
+      fail("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue parse_array(int depth) {
+    expect('[');
+    std::vector<JsonValue> items;
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue::make_array(std::move(items));
+    }
+    while (true) {
+      items.push_back(parse_value(depth + 1));
+      skip_whitespace();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        return JsonValue::make_array(std::move(items));
+      }
+      fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    if (peek() != '"') fail("expected string");
+    ++pos_;
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (c < 0x20) fail("unescaped control character in string");
+      if (c != '\\') {
+        out += static_cast<char>(c);
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+      const char esc = peek();
+      ++pos_;
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': append_unicode_escape(out); break;
+        default: --pos_; fail("invalid escape");
+      }
+    }
+  }
+
+  unsigned parse_hex4() {
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = peek();
+      ++pos_;
+      code <<= 4;
+      if (c >= '0' && c <= '9') code |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') code |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') code |= static_cast<unsigned>(c - 'A' + 10);
+      else { --pos_; fail("invalid \\u escape"); }
+    }
+    return code;
+  }
+
+  void append_unicode_escape(std::string& out) {
+    unsigned code = parse_hex4();
+    if (code >= 0xd800 && code <= 0xdbff) {  // high surrogate: need the pair
+      if (!consume_literal("\\u")) fail("unpaired surrogate");
+      const unsigned low = parse_hex4();
+      if (low < 0xdc00 || low > 0xdfff) fail("unpaired surrogate");
+      code = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+    } else if (code >= 0xdc00 && code <= 0xdfff) {
+      fail("unpaired surrogate");
+    }
+    // UTF-8 encode.
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xc0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3f));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xe0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (code & 0x3f));
+    } else {
+      out += static_cast<char>(0xf0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3f));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (code & 0x3f));
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (peek() == '0') {
+      ++pos_;
+    } else if (peek() >= '1' && peek() <= '9') {
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9')
+        ++pos_;
+    } else {
+      fail("invalid number");
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9')
+        fail("invalid number");
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9')
+        ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-'))
+        ++pos_;
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9')
+        fail("invalid number");
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9')
+        ++pos_;
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    errno = 0;
+    const double number = std::strtod(token.c_str(), nullptr);
+    if (errno == ERANGE) fail("number out of range");
+    return JsonValue::make_number(number, token);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(const std::string& text) {
+  return JsonParser(text).parse_document();
 }
 
 }  // namespace dagsched

@@ -1,16 +1,23 @@
 #pragma once
 
-// Minimal deterministic JSON emission.
+// Minimal deterministic JSON emission and parsing.
 //
 // The sweep runner's summary artifact must be byte-identical for a fixed
 // seed across runs, thread counts and platforms, so the writer avoids every
 // nondeterminism source: keys are emitted in caller order (no map
 // iteration), doubles are printed with a fixed number of locale-independent
 // decimals (format_fixed), and integer Time values stay integers.  Output
-// is pretty-printed with two-space indentation and "\n" line endings.
+// is pretty-printed with two-space indentation and "\n" line endings by
+// default; Style::Compact emits a single line with no whitespace at all for
+// JSONL streams (the schedd request/response/trace wire format).
+//
+// JsonValue/parse_json is the read side: a small recursive-descent parser
+// into an ordered document tree, strict (no trailing commas, no comments,
+// no NaN/Infinity) because schedd parses untrusted request lines with it.
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace dagsched {
@@ -29,8 +36,13 @@ namespace dagsched {
 ///   std::string text = w.str();
 class JsonWriter {
  public:
+  enum class Style {
+    Pretty,   ///< multi-line, two-space indentation, trailing newline
+    Compact,  ///< one line, no spaces, no trailing newline (JSONL)
+  };
+
   /// `double_decimals` controls the fixed-decimal rendering of doubles.
-  explicit JsonWriter(int double_decimals = 6);
+  explicit JsonWriter(int double_decimals = 6, Style style = Style::Pretty);
 
   void begin_object();
   void end_object();
@@ -66,9 +78,62 @@ class JsonWriter {
   void newline_indent();
 
   int double_decimals_;
+  Style style_;
   std::string out_;
   std::vector<Frame> stack_;
   bool pending_key_ = false;
 };
+
+/// Parsed JSON document node.  Objects keep their members in document
+/// order; numbers keep the raw token alongside the double so integers up
+/// to 64 bits round-trip exactly (as_int64/as_uint64 re-parse the token).
+/// All accessors throw std::invalid_argument on a kind mismatch so callers
+/// can surface one structured error per malformed request.
+class JsonValue {
+ public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::Null; }
+
+  bool as_bool() const;
+  double as_double() const;
+  /// Exact integer accessors; throw when the token is fractional, signed
+  /// the wrong way, or out of range for the target type.
+  std::int64_t as_int64() const;
+  std::uint64_t as_uint64() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& items() const;  // array elements
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  const JsonValue* find(const std::string& name) const;
+
+  // Construction surface used by the parser (and tests building fixtures).
+  static JsonValue make_null();
+  static JsonValue make_bool(bool flag);
+  static JsonValue make_number(double number, std::string token);
+  static JsonValue make_string(std::string text);
+  static JsonValue make_array(std::vector<JsonValue> items);
+  static JsonValue make_object(
+      std::vector<std::pair<std::string, JsonValue>> members);
+
+ private:
+  const char* kind_name() const;
+
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string token_;  // raw number token, exact-integer re-parses
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parses one complete JSON document (trailing whitespace allowed, any
+/// other trailing content rejected).  Throws std::invalid_argument with a
+/// byte offset on malformed input; nesting is capped so untrusted request
+/// lines cannot overflow the stack.
+JsonValue parse_json(const std::string& text);
 
 }  // namespace dagsched

@@ -258,5 +258,78 @@ TEST(PolicyRegistry, MalformedRegistrationDefaultFailsAtConfigBuild) {
   EXPECT_THROW(registry.make_config("bad"), std::invalid_argument);
 }
 
+TEST(PolicyCall, ParsesBareAndParenthesizedCalls) {
+  const sched::PolicyCall bare = sched::parse_policy_call("heft");
+  EXPECT_EQ(bare.name, "heft");
+  EXPECT_TRUE(bare.args.empty());
+  EXPECT_EQ(bare.canonical(), "heft");
+
+  const sched::PolicyCall call =
+      sched::parse_policy_call("gsa(chains=4,max_steps=16)");
+  EXPECT_EQ(call.name, "gsa");
+  ASSERT_EQ(call.args.size(), 2u);
+  EXPECT_EQ(call.args[0].first, "chains");
+  EXPECT_EQ(call.args[0].second, "4");
+  EXPECT_EQ(call.args[1].first, "max_steps");
+  EXPECT_EQ(call.args[1].second, "16");
+  // Canonical form keeps the caller's override order, no spaces.
+  EXPECT_EQ(call.canonical(), "gsa(chains=4,max_steps=16)");
+}
+
+TEST(PolicyCall, RejectsMalformedCalls) {
+  EXPECT_EQ(thrown_message([] { sched::parse_policy_call("gsa(chains=4"); }),
+            "policy 'gsa(chains=4' has unbalanced parentheses");
+  EXPECT_EQ(
+      thrown_message([] { sched::parse_policy_call("gsa(chains)"); }),
+      "policy override 'chains' must be key=value (no spaces)");
+  EXPECT_EQ(thrown_message([] { sched::parse_policy_call("(chains=4)"); }),
+            "policy name is empty in '(chains=4)'");
+}
+
+TEST(PolicyCall, ConfigForCallAppliesOverrides) {
+  const sched::PolicyConfig config = sched::config_for_call(
+      sched::parse_policy_call("gsa(chains=4,max_steps=16)"));
+  EXPECT_EQ(config.get_int("chains"), 4);
+  EXPECT_EQ(config.get_int("max_steps"), 16);
+  EXPECT_THROW(
+      sched::config_for_call(sched::parse_policy_call("gsa(nope=1)")),
+      std::invalid_argument);
+}
+
+TEST(PolicyConfigCanonical, ListsEveryKeyInDescriptorOrder) {
+  sched::PolicyConfig config =
+      PolicyRegistry::instance().make_config("heft");
+  EXPECT_EQ(config.canonical(), "heft(ranking=heft,on_fault=wait)");
+  config.set_string("ranking", "peft");
+  EXPECT_EQ(config.canonical(), "heft(ranking=peft,on_fault=wait)");
+  // Real values render shortest-round-trip, not with trailing zeros.
+  sched::PolicyConfig sa = PolicyRegistry::instance().make_config("sa");
+  EXPECT_NE(sa.canonical().find("wb=0.5"), std::string::npos);
+}
+
+TEST(CapabilityFormat, SharedFormatterTokens) {
+  sched::PolicyCapabilities caps;
+  caps.deterministic = false;
+  EXPECT_EQ(sched::capability_string(caps), "-");
+  caps.deterministic = true;
+  caps.offline_plan = true;
+  caps.online = true;
+  EXPECT_EQ(sched::capability_string(caps),
+            "deterministic,offline-plan,online");
+  sched::PolicyCapabilities rng_caps;
+  rng_caps.deterministic = false;
+  rng_caps.uses_rng = true;
+  rng_caps.replan_on_fault = true;
+  EXPECT_EQ(sched::capability_string(rng_caps), "rng,replan-on-fault");
+
+  const PolicyDescriptor& heft =
+      PolicyRegistry::instance().descriptor("heft");
+  EXPECT_EQ(sched::config_keys_string(heft),
+            "ranking=heft, on_fault=wait");
+  const PolicyDescriptor& random =
+      PolicyRegistry::instance().descriptor("random");
+  EXPECT_EQ(sched::config_keys_string(random), "-");
+}
+
 }  // namespace
 }  // namespace dagsched

@@ -1,0 +1,552 @@
+// The scheduling service (src/service/): canonical instance hashing
+// (relabeling invariance + sensitivity), the plan cache's LRU behavior,
+// admission control, the request/response wire format, end-to-end
+// ScheduleService semantics (hit/miss/bypass, isomorphic plan mapping),
+// and in-process schedd runs over string streams.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "service/api.hpp"
+#include "service/daemon.hpp"
+#include "service/graph_hash.hpp"
+#include "service/plan_cache.hpp"
+#include "service/service.hpp"
+#include "topology/builders.hpp"
+#include "util/rng.hpp"
+
+namespace dagsched {
+namespace {
+
+using service::CacheStatus;
+using service::CanonicalInstance;
+using service::PlanCache;
+using service::ResponseStatus;
+using service::ScheduleRequest;
+using service::ScheduleResponse;
+using service::ScheduleService;
+using service::ServeOptions;
+using service::canonicalize_instance;
+using service::instance_cache_key;
+
+TaskGraph diamond_graph() {
+  TaskGraph graph("diamond");
+  graph.add_task("a", us(std::int64_t{100}));
+  graph.add_task("b", us(std::int64_t{200}));
+  graph.add_task("c", us(std::int64_t{300}));
+  graph.add_task("d", us(std::int64_t{50}));
+  graph.add_edge(0, 1, us(std::int64_t{10}));
+  graph.add_edge(0, 2, us(std::int64_t{20}));
+  graph.add_edge(1, 3, us(std::int64_t{5}));
+  graph.add_edge(2, 3, us(std::int64_t{5}));
+  return graph;
+}
+
+/// `permutation[old]` = new label; edges re-added in permuted order.
+TaskGraph relabel(const TaskGraph& graph,
+                  const std::vector<TaskId>& permutation) {
+  std::vector<TaskId> inverse(permutation.size());
+  for (std::size_t t = 0; t < permutation.size(); ++t) {
+    inverse[static_cast<std::size_t>(permutation[t])] =
+        static_cast<TaskId>(t);
+  }
+  TaskGraph out(graph.name());
+  for (TaskId t = 0; t < graph.num_tasks(); ++t) {
+    const TaskId old = inverse[static_cast<std::size_t>(t)];
+    out.add_task(graph.task_name(old), graph.duration(old));
+  }
+  // Reversed edge order doubles as the edge-reordering invariance check.
+  const auto& edges = graph.edges();
+  for (auto it = edges.rbegin(); it != edges.rend(); ++it) {
+    out.add_edge(permutation[static_cast<std::size_t>(it->from)],
+                 permutation[static_cast<std::size_t>(it->to)], it->weight);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------- graph hash
+
+TEST(GraphHash, TaskRelabelingAndEdgeOrderInvariant) {
+  const TaskGraph graph = diamond_graph();
+  const Topology topology = topo::hypercube(2);
+  const CommModel comm = CommModel::paper_default();
+  const CanonicalInstance base =
+      canonicalize_instance(graph, topology, comm);
+
+  const std::vector<TaskId> permutation{2, 3, 0, 1};
+  const CanonicalInstance relabeled =
+      canonicalize_instance(relabel(graph, permutation), topology, comm);
+  EXPECT_EQ(base.key, relabeled.key);
+  EXPECT_EQ(base.hash, relabeled.hash);
+  // The canonical index of a task is label-independent, so composing the
+  // permutation with the relabeled mapping recovers the original one.
+  for (TaskId t = 0; t < graph.num_tasks(); ++t) {
+    EXPECT_EQ(base.canonical_of_task[static_cast<std::size_t>(t)],
+              relabeled.canonical_of_task[static_cast<std::size_t>(
+                  permutation[static_cast<std::size_t>(t)])]);
+  }
+}
+
+TEST(GraphHash, ProcessorRelabelingInvariant) {
+  const TaskGraph graph = diamond_graph();
+  const CommModel comm = CommModel::paper_default();
+  // A 4-ring and the same ring with rotated processor labels.
+  const Topology ring =
+      Topology::from_links(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}}, "ring:4");
+  const Topology rotated =
+      Topology::from_links(4, {{1, 2}, {2, 3}, {3, 0}, {0, 1}}, "ring:4");
+  const Topology shuffled =
+      Topology::from_links(4, {{2, 0}, {0, 3}, {3, 1}, {1, 2}}, "ring:4");
+  EXPECT_EQ(canonicalize_instance(graph, ring, comm).key,
+            canonicalize_instance(graph, rotated, comm).key);
+  EXPECT_EQ(canonicalize_instance(graph, ring, comm).key,
+            canonicalize_instance(graph, shuffled, comm).key);
+}
+
+TEST(GraphHash, SensitiveToEveryInstanceComponent) {
+  const TaskGraph graph = diamond_graph();
+  const Topology topology = topo::hypercube(2);
+  const CommModel comm = CommModel::paper_default();
+  const std::string base = canonicalize_instance(graph, topology, comm).key;
+
+  TaskGraph duration_changed = diamond_graph();
+  duration_changed.set_duration(1, us(std::int64_t{201}));
+  EXPECT_NE(base,
+            canonicalize_instance(duration_changed, topology, comm).key);
+
+  TaskGraph weight_changed("diamond");
+  for (TaskId t = 0; t < graph.num_tasks(); ++t) {
+    weight_changed.add_task(graph.task_name(t), graph.duration(t));
+  }
+  weight_changed.add_edge(0, 1, us(std::int64_t{11}));
+  weight_changed.add_edge(0, 2, us(std::int64_t{20}));
+  weight_changed.add_edge(1, 3, us(std::int64_t{5}));
+  weight_changed.add_edge(2, 3, us(std::int64_t{5}));
+  EXPECT_NE(base,
+            canonicalize_instance(weight_changed, topology, comm).key);
+
+  EXPECT_NE(base,
+            canonicalize_instance(graph, topo::hypercube(3), comm).key);
+  EXPECT_NE(base, canonicalize_instance(graph, topo::bus(4), comm).key);
+
+  CommModel sigma_changed = comm;
+  sigma_changed.sigma += us(std::int64_t{1});
+  EXPECT_NE(base,
+            canonicalize_instance(graph, topology, sigma_changed).key);
+  EXPECT_NE(base,
+            canonicalize_instance(graph, topology,
+                                  CommModel::disabled()).key);
+}
+
+TEST(GraphHash, RandomRelabelingSweepNoCollisions) {
+  // Across several generator families and seeds: every instance's key is
+  // unique, and a random relabeling of each maps to the same key.
+  const Topology topology = topo::hypercube(3);
+  const CommModel comm = CommModel::paper_default();
+  std::set<std::string> keys;
+  Rng rng(2026);
+  int instances = 0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    gen::GnpDagOptions gnp;
+    gnp.num_tasks = 12;
+    gnp.edge_probability = 0.3;
+    gnp.min_duration = us(std::int64_t{10});
+    gnp.max_duration = us(std::int64_t{500});
+    gnp.min_weight = us(std::int64_t{1});
+    gnp.max_weight = us(std::int64_t{50});
+    gnp.seed = seed;
+    gen::LayeredDagOptions layered;
+    layered.layers = 4;
+    layered.min_width = 2;
+    layered.max_width = 4;
+    layered.edge_probability = 0.5;
+    layered.min_duration = us(std::int64_t{10});
+    layered.max_duration = us(std::int64_t{300});
+    layered.min_weight = us(std::int64_t{1});
+    layered.max_weight = us(std::int64_t{20});
+    layered.seed = seed;
+    for (const TaskGraph& graph :
+         {gen::gnp_dag(gnp), gen::layered_dag(layered),
+          gen::out_tree(3, 2, us(100 + 7 * static_cast<Time>(seed)),
+                        us(std::int64_t{10}))}) {
+      const CanonicalInstance base =
+          canonicalize_instance(graph, topology, comm);
+      EXPECT_TRUE(keys.insert(base.key).second)
+          << "key collision between structurally different instances";
+      std::vector<TaskId> permutation(
+          static_cast<std::size_t>(graph.num_tasks()));
+      std::iota(permutation.begin(), permutation.end(), 0);
+      for (std::size_t i = permutation.size(); i > 1; --i) {
+        std::swap(permutation[i - 1], permutation[rng.uniform_index(i)]);
+      }
+      EXPECT_EQ(base.key,
+                canonicalize_instance(relabel(graph, permutation), topology,
+                                      comm).key)
+          << "random relabeling changed the canonical key";
+      ++instances;
+    }
+  }
+  EXPECT_EQ(instances, 24);
+}
+
+TEST(GraphHash, CacheKeySeedPolicyComposition) {
+  const TaskGraph graph = diamond_graph();
+  const CanonicalInstance instance = canonicalize_instance(
+      graph, topo::hypercube(2), CommModel::paper_default());
+  const std::string deterministic =
+      instance_cache_key(instance, "heft(ranking=heft)", false, 7);
+  EXPECT_EQ(deterministic,
+            instance_cache_key(instance, "heft(ranking=heft)", false, 8))
+      << "seed must not key deterministic policies";
+  EXPECT_NE(instance_cache_key(instance, "gsa(chains=2)", true, 7),
+            instance_cache_key(instance, "gsa(chains=2)", true, 8));
+  EXPECT_NE(deterministic,
+            instance_cache_key(instance, "heft(ranking=peft)", false, 7));
+}
+
+// ---------------------------------------------------------- plan cache
+
+TEST(PlanCacheTest, LruEvictionAndPromotion) {
+  PlanCache cache(2);
+  PlanCache::Entry entry;
+  entry.makespan = us(std::int64_t{100});
+  cache.insert("a", entry);
+  cache.insert("b", entry);
+  ASSERT_TRUE(cache.lookup("a").has_value());  // promotes a over b
+  cache.insert("c", entry);                    // evicts b, the LRU
+  EXPECT_TRUE(cache.lookup("a").has_value());
+  EXPECT_FALSE(cache.lookup("b").has_value());
+  EXPECT_TRUE(cache.lookup("c").has_value());
+  EXPECT_EQ(cache.size(), 2u);
+
+  const service::PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 3);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.insertions, 3);
+  EXPECT_EQ(stats.evictions, 1);
+}
+
+TEST(PlanCacheTest, ZeroCapacityDisables) {
+  PlanCache cache(0);
+  PlanCache::Entry entry;
+  cache.insert("a", entry);
+  EXPECT_FALSE(cache.lookup("a").has_value());
+  EXPECT_EQ(cache.stats().misses, 0);
+  EXPECT_EQ(cache.stats().insertions, 0);
+}
+
+// ---------------------------------------------------- admission control
+
+TEST(Admission, QueueFullAndDeadlineRules) {
+  service::ScheddOptions options;
+  options.max_in_flight = 2;
+  options.max_queue = 3;
+  options.default_cost_ms = 0.0;
+
+  EXPECT_TRUE(service::admit_request(0.0, 2, 100.0, options).admitted);
+  const auto full = service::admit_request(0.0, 3, 0.0, options);
+  EXPECT_FALSE(full.admitted);
+  EXPECT_NE(full.reason.find("queue_full"), std::string::npos);
+
+  // 100 ms of queued work over 2 workers = 50 ms expected wait: a 49 ms
+  // budget is unmeetable, a 51 ms budget is fine, no budget never sheds.
+  const auto late = service::admit_request(49.0, 1, 100.0, options);
+  EXPECT_FALSE(late.admitted);
+  EXPECT_NE(late.reason.find("deadline_unmeetable"), std::string::npos);
+  EXPECT_TRUE(service::admit_request(51.0, 1, 100.0, options).admitted);
+  EXPECT_TRUE(service::admit_request(0.0, 1, 100.0, options).admitted);
+}
+
+// -------------------------------------------------------- wire format
+
+TEST(ServiceApi, RequestJsonRoundTrip) {
+  ScheduleRequest request;
+  request.id = "r1";
+  request.graph = diamond_graph();
+  request.topology = "ring:5";
+  request.policy = "gsa(chains=4)";
+  request.seed = 42;
+  request.time_budget_ms = 12.5;
+  request.priority = 3;
+  request.comm.sigma = us(std::int64_t{7});
+
+  const ScheduleRequest parsed =
+      service::request_from_json_text(service::to_json(request));
+  EXPECT_EQ(parsed.id, "r1");
+  EXPECT_EQ(parsed.policy, "gsa(chains=4)");
+  EXPECT_EQ(parsed.seed, 42u);
+  EXPECT_DOUBLE_EQ(parsed.time_budget_ms, 12.5);
+  EXPECT_EQ(parsed.priority, 3);
+  EXPECT_EQ(parsed.topology, "ring:5");
+  EXPECT_EQ(parsed.comm.sigma, us(std::int64_t{7}));
+  EXPECT_EQ(parsed.graph.num_tasks(), 4);
+  EXPECT_EQ(parsed.graph.duration(2), us(std::int64_t{300}));
+  EXPECT_EQ(parsed.graph.task_name(3), "d");
+  // Canonical form: a second round trip is byte-identical.
+  EXPECT_EQ(service::to_json(request), service::to_json(parsed));
+}
+
+TEST(ServiceApi, RejectsMalformedRequests) {
+  const auto message = [](const std::string& text) {
+    try {
+      service::request_from_json_text(text);
+    } catch (const std::invalid_argument& error) {
+      return std::string(error.what());
+    }
+    return std::string("<no throw>");
+  };
+  EXPECT_NE(message("{}").find("missing 'graph'"), std::string::npos);
+  EXPECT_NE(message(R"({"graph":{"durations_us":[1]},"polcy":"sa"})")
+                .find("no key 'polcy'"),
+            std::string::npos);
+  EXPECT_NE(message(R"({"graph":{"durations_us":[1],"durations_ns":[1]}})")
+                .find("exactly one"),
+            std::string::npos);
+  EXPECT_NE(message(R"({"graph":{"durations_us":[]}})").find("no tasks"),
+            std::string::npos);
+  EXPECT_NE(
+      message(R"({"graph":{"durations_us":[1,2],"edges":[[0,1]]}})")
+          .find("[from, to, weight]"),
+      std::string::npos);
+  EXPECT_NE(
+      message(R"({"graph":{"durations_us":[1,2],"edges":[[0,5,1]]}})")
+          .find("out of range"),
+      std::string::npos);
+  EXPECT_NE(
+      message(R"({"graph":{"durations_us":[1,2],"names":["only"]}})")
+          .find("length differs"),
+      std::string::npos);
+  EXPECT_NE(message("[1,2]").find("must be a JSON object"),
+            std::string::npos);
+}
+
+// ----------------------------------------------------- ScheduleService
+
+TEST(ScheduleServiceTest, MissThenHitWithIdenticalPlan) {
+  ScheduleService schedule_service(16);
+  ScheduleRequest request;
+  request.graph = diamond_graph();
+  request.topology = "hypercube:2";
+  request.policy = "heft";
+
+  const ScheduleResponse first = schedule_service.serve(request);
+  ASSERT_EQ(first.status, ResponseStatus::Ok);
+  EXPECT_EQ(first.cache, CacheStatus::Miss);
+  EXPECT_GT(first.makespan, 0);
+  EXPECT_GT(first.predicted_makespan, 0);
+
+  const ScheduleResponse second = schedule_service.serve(request);
+  EXPECT_EQ(second.cache, CacheStatus::Hit);
+  EXPECT_EQ(second.makespan, first.makespan);
+  EXPECT_EQ(second.predicted_makespan, first.predicted_makespan);
+  EXPECT_EQ(second.placement, first.placement);
+  EXPECT_EQ(second.graph_hash, first.graph_hash);
+}
+
+TEST(ScheduleServiceTest, IsomorphicRequestHitsWithMappedPlan) {
+  ScheduleService schedule_service(16);
+  ScheduleRequest request;
+  request.graph = diamond_graph();
+  request.topology = "hypercube:2";
+  request.policy = "heft";
+  const ScheduleResponse first = schedule_service.serve(request);
+  ASSERT_EQ(first.cache, CacheStatus::Miss);
+
+  const std::vector<TaskId> permutation{2, 3, 0, 1};
+  ScheduleRequest relabeled = request;
+  relabeled.graph = relabel(request.graph, permutation);
+  const ScheduleResponse second = schedule_service.serve(relabeled);
+  ASSERT_EQ(second.status, ResponseStatus::Ok);
+  EXPECT_EQ(second.cache, CacheStatus::Hit);
+  EXPECT_EQ(second.makespan, first.makespan);
+  EXPECT_EQ(second.graph_hash, first.graph_hash);
+  // The cached canonical plan maps back through the permutation: task t
+  // of the original is task permutation[t] of the relabeling.
+  for (TaskId t = 0; t < request.graph.num_tasks(); ++t) {
+    EXPECT_EQ(second.placement[static_cast<std::size_t>(
+                  permutation[static_cast<std::size_t>(t)])],
+              first.placement[static_cast<std::size_t>(t)]);
+  }
+}
+
+TEST(ScheduleServiceTest, SeedKeysOnlyNondeterministicPolicies) {
+  ScheduleService schedule_service(16);
+  ScheduleRequest request;
+  request.graph = diamond_graph();
+  request.topology = "hypercube:2";
+
+  request.policy = "heft";
+  request.seed = 1;
+  EXPECT_EQ(schedule_service.serve(request).cache, CacheStatus::Miss);
+  request.seed = 99;  // deterministic policy: seed ignored by the key
+  EXPECT_EQ(schedule_service.serve(request).cache, CacheStatus::Hit);
+
+  request.policy = "gsa(max_steps=4,chains=1)";
+  request.seed = 1;
+  EXPECT_EQ(schedule_service.serve(request).cache, CacheStatus::Miss);
+  request.seed = 2;  // rng policy: a new seed is a new plan
+  EXPECT_EQ(schedule_service.serve(request).cache, CacheStatus::Miss);
+  request.seed = 1;
+  EXPECT_EQ(schedule_service.serve(request).cache, CacheStatus::Hit);
+}
+
+TEST(ScheduleServiceTest, TraceAndFaultRunsBypassTheCache) {
+  ScheduleService schedule_service(16);
+  ScheduleRequest request;
+  request.graph = diamond_graph();
+  request.topology = "hypercube:2";
+  request.policy = "heft";
+  schedule_service.serve(request);  // warm the cache
+
+  ServeOptions options;
+  options.record_trace = true;
+  EXPECT_EQ(schedule_service.serve(request, options).cache,
+            CacheStatus::Off);
+  sim::FaultSpec faults;
+  faults.machine_mtbf = us(std::int64_t{100000});
+  faults.machine_mttr = us(std::int64_t{100});
+  ServeOptions fault_options;
+  fault_options.faults = &faults;
+  EXPECT_EQ(schedule_service.serve(request, fault_options).cache,
+            CacheStatus::Off);
+}
+
+TEST(ScheduleServiceTest, ErrorsAreStructuredOrPropagated) {
+  ScheduleService schedule_service(0);
+  ScheduleRequest request;
+  request.graph = diamond_graph();
+  request.policy = "no-such-policy";
+  const ScheduleResponse response = schedule_service.serve(request);
+  EXPECT_EQ(response.status, ResponseStatus::Error);
+  EXPECT_NE(response.error.find("unknown policy"), std::string::npos);
+  EXPECT_EQ(schedule_service.stats().errors, 1);
+
+  ServeOptions options;
+  options.propagate_errors = true;
+  EXPECT_THROW(schedule_service.serve(request, options),
+               std::invalid_argument);
+}
+
+// --------------------------------------------------------------- schedd
+
+std::string run_daemon(const std::string& input,
+                       const service::ScheddOptions& options,
+                       std::string* trace_out = nullptr,
+                       service::ScheddStats* stats_out = nullptr) {
+  service::Schedd daemon(options);
+  std::istringstream in(input);
+  std::ostringstream out;
+  std::ostringstream trace;
+  EXPECT_EQ(daemon.run(in, out, trace_out != nullptr ? &trace : nullptr), 0);
+  if (trace_out != nullptr) *trace_out = trace.str();
+  if (stats_out != nullptr) *stats_out = daemon.stats();
+  return out.str();
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) lines.push_back(line);
+  return lines;
+}
+
+const char* kDaemonScript =
+    "{\"op\":\"list_policies\",\"id\":\"lp\"}\n"
+    "{\"id\":\"one\",\"policy\":\"heft\",\"topology\":\"hypercube:2\","
+    "\"graph\":{\"durations_us\":[100,200,50],\"edges\":[[0,1,5],[0,2,5]]}}"
+    "\n"
+    "{\"id\":\"two\",\"policy\":\"heft\",\"topology\":\"hypercube:2\","
+    "\"graph\":{\"durations_us\":[100,200,50],\"edges\":[[0,1,5],[0,2,5]]}}"
+    "\n"
+    "not json at all\n"
+    "{\"op\":\"stats\",\"id\":\"st\"}\n";
+
+TEST(ScheddTest, OrderedResponsesCountersAndTrace) {
+  service::ScheddOptions options;
+  options.max_in_flight = 1;
+  std::string trace;
+  service::ScheddStats stats;
+  const std::vector<std::string> lines =
+      lines_of(run_daemon(kDaemonScript, options, &trace, &stats));
+
+  ASSERT_EQ(lines.size(), 5u);  // responses in request order
+  EXPECT_NE(lines[0].find("\"id\":\"lp\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"name\":\"heft\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"cache\":\"miss\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"predicted_makespan_us\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"cache\":\"hit\""), std::string::npos);
+  EXPECT_NE(lines[3].find("\"status\":\"error\""), std::string::npos);
+  EXPECT_NE(lines[4].find("\"received\":4,\"completed\":3,\"shed\":0,"
+                          "\"errors\":1,\"cache_hits\":1,"
+                          "\"cache_misses\":1"),
+            std::string::npos);
+
+  EXPECT_EQ(stats.received, 5);
+  EXPECT_EQ(stats.completed, 4);  // lp + two schedules + the stats op
+  EXPECT_EQ(stats.errors, 1);
+  EXPECT_EQ(stats.cache_hits, 1);
+
+  // The trace records arrival/start/finish per request plus the drain
+  // summary, and a repeated run is byte-identical.
+  EXPECT_NE(trace.find("\"event\":\"arrival\""), std::string::npos);
+  EXPECT_NE(trace.find("\"event\":\"start\""), std::string::npos);
+  EXPECT_NE(trace.find("\"event\":\"finish\""), std::string::npos);
+  EXPECT_NE(trace.find("\"event\":\"drain\""), std::string::npos);
+  std::string trace_again;
+  run_daemon(kDaemonScript, options, &trace_again);
+  EXPECT_EQ(trace, trace_again);
+}
+
+TEST(ScheddTest, ZeroQueueShedsWithStructuredReason) {
+  service::ScheddOptions options;
+  options.max_in_flight = 1;
+  options.max_queue = 0;
+  const std::string input =
+      "{\"id\":\"a\",\"graph\":{\"durations_us\":[10]}}\n"
+      "{\"id\":\"b\",\"graph\":{\"durations_us\":[10]}}\n";
+  service::ScheddStats stats;
+  const std::string output = run_daemon(input, options, nullptr, &stats);
+  const std::vector<std::string> lines = lines_of(output);
+  ASSERT_EQ(lines.size(), 2u);
+  for (const std::string& line : lines) {
+    EXPECT_NE(line.find("\"status\":\"shed\""), std::string::npos);
+    EXPECT_NE(line.find("queue_full"), std::string::npos);
+  }
+  EXPECT_EQ(stats.shed, 2);
+  EXPECT_EQ(stats.completed, 0);
+}
+
+TEST(ScheddTest, MultiWorkerStillEmitsInRequestOrder) {
+  service::ScheddOptions options;
+  options.max_in_flight = 4;
+  options.cache_capacity = 0;
+  std::string input;
+  for (int i = 0; i < 8; ++i) {
+    input += "{\"id\":\"r" + std::to_string(i) +
+             "\",\"policy\":\"hlf\",\"topology\":\"hypercube:2\","
+             "\"graph\":{\"durations_us\":[40,30,20,10],"
+             "\"edges\":[[0,1,2],[0,2,2],[1,3,1]]}}\n";
+  }
+  const std::vector<std::string> lines =
+      lines_of(run_daemon(input, options));
+  ASSERT_EQ(lines.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_NE(lines[static_cast<std::size_t>(i)].find(
+                  "\"id\":\"r" + std::to_string(i) + "\""),
+              std::string::npos)
+        << "responses must come back in request order";
+  }
+}
+
+}  // namespace
+}  // namespace dagsched

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "util/csv.hpp"
+#include "util/json.hpp"
 #include "util/stats.hpp"
 #include "util/string_util.hpp"
 #include "util/table.hpp"
@@ -377,6 +378,69 @@ TEST(Csv, WritesFile) {
   std::stringstream buffer;
   buffer << in.rdbuf();
   EXPECT_EQ(buffer.str(), "k,v\nx,1\n");
+}
+
+// --- json -------------------------------------------------------------------
+
+TEST(JsonParse, ValuesAndExactIntegers) {
+  const JsonValue doc = parse_json(
+      R"({"name":"x \"quoted\"","n":-42,"big":9007199254740993,)"
+      R"("pi":3.25,"flag":true,"nothing":null,"list":[1,[2,3],{}]})");
+  ASSERT_EQ(doc.kind(), JsonValue::Kind::Object);
+  EXPECT_EQ(doc.find("name")->as_string(), "x \"quoted\"");
+  EXPECT_EQ(doc.find("n")->as_int64(), -42);
+  // Past 2^53 a double round-trip would corrupt the value; the parser
+  // keeps the raw token so integers stay exact.
+  EXPECT_EQ(doc.find("big")->as_int64(), 9007199254740993LL);
+  EXPECT_DOUBLE_EQ(doc.find("pi")->as_double(), 3.25);
+  EXPECT_TRUE(doc.find("flag")->as_bool());
+  EXPECT_EQ(doc.find("nothing")->kind(), JsonValue::Kind::Null);
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  const JsonValue& list = *doc.find("list");
+  ASSERT_EQ(list.items().size(), 3u);
+  EXPECT_EQ(list.items()[1].items()[1].as_int64(), 3);
+  EXPECT_EQ(list.items()[2].kind(), JsonValue::Kind::Object);
+}
+
+TEST(JsonParse, UnicodeEscapesAndErrors) {
+  // 2-byte UTF-8 (U+00E9) and a surrogate pair (U+1F600, 4-byte UTF-8).
+  const std::string escaped =
+      std::string("\"a\\u00e9\\ud83d\\ude00b\"");
+  EXPECT_EQ(parse_json(escaped).as_string(),
+            "a\xc3\xa9\xf0\x9f\x98\x80"
+            "b");
+  EXPECT_EQ(parse_json("\"\\n\\t\\\\\\\"\\/\"").as_string(), "\n\t\\\"/");
+  EXPECT_THROW(parse_json(""), std::invalid_argument);
+  EXPECT_THROW(parse_json("{\"a\":1,}"), std::invalid_argument);
+  EXPECT_THROW(parse_json("{\"a\":1} trailing"), std::invalid_argument);
+  EXPECT_THROW(parse_json("nul"), std::invalid_argument);
+  EXPECT_THROW(parse_json("[1,2"), std::invalid_argument);
+  EXPECT_THROW(parse_json("123."), std::invalid_argument);
+  EXPECT_THROW(parse_json(std::string(70, '[') + std::string(70, ']')),
+               std::invalid_argument);  // depth cap
+  // Type confusion is rejected, not coerced.
+  EXPECT_THROW(parse_json("\"5\"").as_int64(), std::invalid_argument);
+  EXPECT_THROW(parse_json("1.5").as_int64(), std::invalid_argument);
+  EXPECT_THROW(parse_json("-1").as_uint64(), std::invalid_argument);
+}
+
+TEST(JsonWriterStyles, CompactIsSingleLinePrettyUnchanged) {
+  const auto build = [](JsonWriter& writer) {
+    writer.begin_object();
+    writer.key("a");
+    writer.value(1);
+    writer.key("b");
+    writer.begin_array();
+    writer.value("x");
+    writer.end_array();
+    writer.end_object();
+  };
+  JsonWriter compact(3, JsonWriter::Style::Compact);
+  build(compact);
+  EXPECT_EQ(compact.str(), "{\"a\":1,\"b\":[\"x\"]}");
+  JsonWriter pretty(3);
+  build(pretty);
+  EXPECT_EQ(pretty.str(), "{\n  \"a\": 1,\n  \"b\": [\n    \"x\"\n  ]\n}\n");
 }
 
 }  // namespace

@@ -75,9 +75,9 @@ cmake --build "${sanitize_dir}" -j"${jobs}"
  ctest --output-on-failure -j"${jobs}")
 
 # --- job: sweep-smoke ------------------------------------------------------
-note "sweep-smoke: determinism contract + registry-migration goldens"
+note "sweep-smoke: determinism contract + registry-migration goldens + schedd"
 smoke_dir="${build_root}/${compilers[0]%%:*}-Release"
-cmake --build "${smoke_dir}" --target sweep -j"${jobs}"
+cmake --build "${smoke_dir}" --target sweep schedd -j"${jobs}"
 "${repo_root}/tools/sweep_small.sh" "${smoke_dir}/sweep" \
   "${repo_root}/tools/sweep_small.spec"
 "${repo_root}/tools/sweep_golden.sh" "${smoke_dir}/sweep" \
@@ -86,6 +86,8 @@ cmake --build "${smoke_dir}" --target sweep -j"${jobs}"
   "${repo_root}/tools/sweep_faulty.spec"
 "${repo_root}/tools/sweep_online.sh" "${smoke_dir}/sweep" \
   "${repo_root}/tools/sweep_online.spec"
+"${repo_root}/tools/schedd_smoke.sh" "${smoke_dir}/schedd" \
+  "${repo_root}/tools"
 "${smoke_dir}/sweep" --list-policies > /dev/null
 
 # --- job: coverage ---------------------------------------------------------

@@ -1,0 +1,167 @@
+#!/usr/bin/env bash
+# Smoke-tests the schedd daemon end to end (wired into CTest as
+# `schedd_smoke`; see CMakeLists.txt):
+#
+#  1. Replays tools/schedd_requests.jsonl through the daemon and checks
+#     the response stream: an isomorphic relabeling of an earlier request
+#     is served from the plan cache (byte-identical plan modulo the
+#     relabeling, same makespan — and for gsa, a repeat with the same
+#     seed never re-anneals), a different seed misses, a bad policy gets
+#     a structured error, and the stats op reports consistent counters.
+#  2. Runs the same stream twice with --max-in-flight 1 and requires the
+#     JSONL event traces — and the responses minus their elapsed_ms
+#     timing field — to be byte-identical.
+#  3. Floods the daemon with slow anneal requests under --max-queue 0 and
+#     --max-queue 2 and requires structured load-shedding
+#     ("status":"shed" with a queue_full reason).
+#
+# Usage: tools/schedd_smoke.sh <schedd-binary> <tools-dir>
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+schedd_bin="${1:-${repo_root}/build/schedd}"
+tools_dir="${2:-${repo_root}/tools}"
+requests="${tools_dir}/schedd_requests.jsonl"
+
+if [[ ! -x "${schedd_bin}" ]]; then
+  echo "schedd_smoke.sh: schedd binary not found at ${schedd_bin}" >&2
+  exit 1
+fi
+if [[ ! -f "${requests}" ]]; then
+  echo "schedd_smoke.sh: request fixture not found at ${requests}" >&2
+  exit 1
+fi
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "${workdir}"' EXIT
+
+field() {  # field <file> <id> <key>  -> value of "key" on the line for id
+  grep "\"id\":\"$2\"" "$1" | sed -n "s/.*\"$3\":\"\\{0,1\\}\\([^,\"}]*\\)\"\\{0,1\\}[,}].*/\\1/p"
+}
+
+# ---- 1. replay + cache / error semantics -------------------------------
+"${schedd_bin}" --max-in-flight 1 --trace "${workdir}/trace1.jsonl" \
+  < "${requests}" > "${workdir}/out1.jsonl"
+
+lines=$(wc -l < "${workdir}/out1.jsonl")
+if [[ "${lines}" -ne 10 ]]; then
+  echo "FAIL: expected 10 responses, got ${lines}" >&2
+  cat "${workdir}/out1.jsonl" >&2
+  exit 1
+fi
+
+if ! grep -q '"id":"lp".*"name":"heft"' "${workdir}/out1.jsonl"; then
+  echo "FAIL: list_policies response does not list heft" >&2
+  exit 1
+fi
+
+# The isomorphic relabeling must hash identically and hit the cache with
+# the same makespan as the original.
+for key in graph_hash makespan_us; do
+  a="$(field "${workdir}/out1.jsonl" heft-a ${key})"
+  b="$(field "${workdir}/out1.jsonl" heft-a-iso ${key})"
+  if [[ -z "${a}" || "${a}" != "${b}" ]]; then
+    echo "FAIL: isomorphic relabeling changed ${key}: '${a}' vs '${b}'" >&2
+    exit 1
+  fi
+done
+if [[ "$(field "${workdir}/out1.jsonl" heft-a cache)" != "miss" ]]; then
+  echo "FAIL: first heft request should miss the cache" >&2
+  exit 1
+fi
+if [[ "$(field "${workdir}/out1.jsonl" heft-a-iso cache)" != "hit" ]]; then
+  echo "FAIL: isomorphic relabeling should hit the cache" >&2
+  exit 1
+fi
+
+# A gsa repeat with the same seed is served from the cache — no second
+# anneal — with the byte-identical placement; a different seed misses.
+if [[ "$(field "${workdir}/out1.jsonl" gsa-b2 cache)" != "hit" ]]; then
+  echo "FAIL: identical gsa repeat (same seed) should hit the cache" >&2
+  exit 1
+fi
+b1_plan=$(grep '"id":"gsa-b1"' "${workdir}/out1.jsonl" | sed 's/.*"placement":\(\[[^]]*\]\).*/\1/')
+b2_plan=$(grep '"id":"gsa-b2"' "${workdir}/out1.jsonl" | sed 's/.*"placement":\(\[[^]]*\]\).*/\1/')
+if [[ -z "${b1_plan}" || "${b1_plan}" != "${b2_plan}" ]]; then
+  echo "FAIL: cached gsa repeat returned a different plan" >&2
+  exit 1
+fi
+if [[ "$(field "${workdir}/out1.jsonl" gsa-b3 cache)" != "miss" ]]; then
+  echo "FAIL: gsa with a different seed should miss the cache" >&2
+  exit 1
+fi
+
+if [[ "$(field "${workdir}/out1.jsonl" bad-policy status)" != "error" ]]; then
+  echo "FAIL: unknown policy should produce a structured error" >&2
+  exit 1
+fi
+if ! grep -q '"status":"error".*json' "${workdir}/out1.jsonl"; then
+  echo "FAIL: malformed input line should produce a parse error response" >&2
+  exit 1
+fi
+# stats arrives after lp + 5 schedules: 6 received, 6 completed, 3 misses
+# (heft-a, gsa-b1, gsa-b3), 2 hits (heft-a-iso, gsa-b2).  Pin the exact
+# counter line.
+expected_stats='"received":6,"completed":6,"shed":0,"errors":0,"cache_hits":2,"cache_misses":3'
+if ! grep -q "\"id\":\"stats\".*${expected_stats}" "${workdir}/out1.jsonl"; then
+  echo "FAIL: stats counters are wrong; wanted ${expected_stats}, got:" >&2
+  grep '"id":"stats"' "${workdir}/out1.jsonl" >&2
+  exit 1
+fi
+
+# ---- 2. byte-determinism across runs -----------------------------------
+"${schedd_bin}" --max-in-flight 1 --trace "${workdir}/trace2.jsonl" \
+  < "${requests}" > "${workdir}/out2.jsonl"
+if ! cmp -s "${workdir}/trace1.jsonl" "${workdir}/trace2.jsonl"; then
+  echo "FAIL: trace differs between identical runs" >&2
+  diff "${workdir}/trace1.jsonl" "${workdir}/trace2.jsonl" >&2 || true
+  exit 1
+fi
+sed 's/,"elapsed_ms":[^}]*//' "${workdir}/out1.jsonl" > "${workdir}/out1.stable"
+sed 's/,"elapsed_ms":[^}]*//' "${workdir}/out2.jsonl" > "${workdir}/out2.stable"
+if ! cmp -s "${workdir}/out1.stable" "${workdir}/out2.stable"; then
+  echo "FAIL: responses (minus elapsed_ms) differ between identical runs" >&2
+  diff "${workdir}/out1.stable" "${workdir}/out2.stable" >&2 || true
+  exit 1
+fi
+
+# ---- 3. admission control / load shedding ------------------------------
+# A burst of slow anneals over 100-task chains.  The reader parses lines
+# far faster than gsa anneals, so a bounded queue must shed.
+durations="$(seq -s, 100 199)"
+edges="[0,1,1]"
+for ((i = 1; i < 99; ++i)); do
+  edges="${edges},[${i},$((i + 1)),1]"
+done
+: > "${workdir}/burst.jsonl"
+for ((i = 0; i < 12; ++i)); do
+  printf '{"id":"burst-%d","policy":"gsa","seed":%d,"graph":{"durations_us":[%s],"edges":[%s]}}\n' \
+    "${i}" "${i}" "${durations}" "${edges}" >> "${workdir}/burst.jsonl"
+done
+
+# max_queue 0: nothing can wait, every request is shed — deterministic.
+"${schedd_bin}" --max-in-flight 1 --max-queue 0 \
+  < "${workdir}/burst.jsonl" > "${workdir}/shed0.jsonl"
+shed0=$(grep -c '"status":"shed"' "${workdir}/shed0.jsonl" || true)
+if [[ "${shed0}" -ne 12 ]]; then
+  echo "FAIL: --max-queue 0 should shed all 12 requests, shed ${shed0}" >&2
+  exit 1
+fi
+if ! grep -q '"error":"queue_full' "${workdir}/shed0.jsonl"; then
+  echo "FAIL: shed responses lack a structured queue_full reason" >&2
+  exit 1
+fi
+
+# max_queue 2: the burst outpaces one worker, so at least one request is
+# shed while the rest complete (the exact split is timing-dependent).
+"${schedd_bin}" --max-in-flight 1 --max-queue 2 \
+  < "${workdir}/burst.jsonl" > "${workdir}/shed2.jsonl"
+shed2=$(grep -c '"status":"shed"' "${workdir}/shed2.jsonl" || true)
+ok2=$(grep -c '"status":"ok"' "${workdir}/shed2.jsonl" || true)
+if [[ "${shed2}" -lt 1 || "${ok2}" -lt 1 ]]; then
+  echo "FAIL: --max-queue 2 burst should both shed (${shed2}) and complete (${ok2})" >&2
+  exit 1
+fi
+
+echo "OK: schedd cache hits on isomorphic repeats, sheds with structured reasons, trace byte-deterministic"

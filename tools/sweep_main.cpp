@@ -39,24 +39,10 @@ void usage(std::ostream& os) {
         "  --quiet         suppress the progress note on stderr\n";
 }
 
-std::string capability_string(const dagsched::sched::PolicyCapabilities& c) {
-  std::string out;
-  const auto append = [&out](bool flag, const char* token) {
-    if (!flag) return;
-    if (!out.empty()) out += ",";
-    out += token;
-  };
-  append(c.deterministic, "deterministic");
-  append(c.stateless_per_epoch, "stateless");
-  append(c.pure_decision, "pure-decision");
-  append(c.uses_rng, "rng");
-  append(c.offline_plan, "offline-plan");
-  append(c.replan_on_fault, "replan-on-fault");
-  append(c.online, "online");
-  return out.empty() ? "-" : out;
-}
-
 void list_policies(std::ostream& os) {
+  // Shares the capability/keys formatters with the quickstart example and
+  // schedd's `list_policies` op (sched::capability_string & co.), so the
+  // three listings can never drift apart again.
   const auto& registry = dagsched::sched::PolicyRegistry::instance();
   dagsched::TableWriter table(
       {"policy", "capabilities", "config keys (defaults)", "description"});
@@ -64,13 +50,8 @@ void list_policies(std::ostream& os) {
                        dagsched::Align::Left, dagsched::Align::Left});
   for (const std::string& name : registry.names()) {
     const dagsched::sched::PolicyDescriptor& d = registry.descriptor(name);
-    std::string keys;
-    for (const dagsched::sched::ConfigKeyDef& key : d.keys) {
-      if (!keys.empty()) keys += ", ";
-      keys += key.name + "=" + key.default_value;
-    }
-    table.add_row({d.name, capability_string(d.caps),
-                   keys.empty() ? "-" : keys, d.doc});
+    table.add_row({d.name, dagsched::sched::capability_string(d.caps),
+                   dagsched::sched::config_keys_string(d), d.doc});
   }
   os << "Scheduler registry (spec syntax: `policy name(key=value,...)`):\n"
      << table.render();
