@@ -53,6 +53,23 @@ CostOracleKind resolve_cost_oracle_kind(CostOracleKind kind,
   return resolve_cost_oracle_kind(kind);
 }
 
+void CostOracle::price_batch(const std::vector<ProcId>& baseline,
+                             std::span<const MoveCandidate> candidates,
+                             std::vector<Time>& makespans) {
+  // Reference implementation: price each candidate independently against
+  // the unchanged baseline.  propose()'s single-move contract holds for
+  // every iteration because the move is undone before the next one.
+  std::vector<ProcId> scratch = baseline;
+  makespans.clear();
+  makespans.reserve(candidates.size());
+  for (const MoveCandidate& c : candidates) {
+    const auto t = static_cast<std::size_t>(c.task);
+    scratch[t] = c.proc;
+    makespans.push_back(propose(scratch, c.task));
+    scratch[t] = baseline[t];
+  }
+}
+
 CostOracleStats& CostOracleStats::operator+=(const CostOracleStats& other) {
   proposals += other.proposals;
   noop_moves += other.noop_moves;
@@ -129,6 +146,8 @@ class IncrementalReplay::Recorder final : public sim::EpochObserver {
   std::vector<int>* assigned = nullptr;     ///< stamped with epoch index
 
   std::vector<sim::SimCheckpoint>* checkpoints = nullptr;
+  /// Retired snapshots whose buffers new checkpoints recycle (optional).
+  std::vector<sim::SimCheckpoint>* recycle = nullptr;
   int stride = 1;
   int snapshot_from_epoch = 0;
 
@@ -147,7 +166,12 @@ class IncrementalReplay::Recorder final : public sim::EpochObserver {
     }
     if (checkpoints != nullptr && e >= snapshot_from_epoch &&
         e % stride == 0) {
-      checkpoints->push_back(epoch.checkpoint());
+      sim::SimCheckpoint reuse;
+      if (recycle != nullptr && !recycle->empty()) {
+        reuse = std::move(recycle->back());
+        recycle->pop_back();
+      }
+      checkpoints->push_back(epoch.checkpoint(std::move(reuse)));
     }
   }
 
@@ -215,13 +239,14 @@ Time IncrementalReplay::reset(const std::vector<ProcId>& mapping) {
   const auto n = static_cast<std::size_t>(graph_.num_tasks());
   baseline_.first_ready_epoch.assign(n, -1);
   baseline_.assigned_epoch.assign(n, -1);
-  baseline_.checkpoints.clear();
+  retire_checkpoints(0);
 
   Recorder recorder;
   recorder.pool = &baseline_.decisions;
   recorder.first_ready = &baseline_.first_ready_epoch;
   recorder.assigned = &baseline_.assigned_epoch;
   recorder.checkpoints = &baseline_.checkpoints;
+  recorder.recycle = &checkpoint_pool_;
   recorder.stride = stride;
   const sim::SimResult result = engine_.run(&recorder);
 
@@ -325,6 +350,14 @@ Time IncrementalReplay::price(const std::vector<ProcId>& mapping,
   return result.makespan;
 }
 
+void IncrementalReplay::retire_checkpoints(std::size_t keep) {
+  auto& cps = baseline_.checkpoints;
+  for (std::size_t i = keep; i < cps.size(); ++i) {
+    checkpoint_pool_.push_back(std::move(cps[i]));
+  }
+  cps.resize(keep);
+}
+
 void IncrementalReplay::rebuild_baseline(int resume_index) {
   // Re-run the accepted mapping with recording on and splice the suffix
   // into the cached timeline.  Decision records write straight into
@@ -343,22 +376,24 @@ void IncrementalReplay::rebuild_baseline(int resume_index) {
   recorder.first_ready = &scratch_ready_;
   recorder.assigned = &scratch_assigned_;
   recorder.checkpoints = &baseline_.checkpoints;
+  recorder.recycle = &checkpoint_pool_;
   recorder.stride = stride;
 
   int resume_epoch = 0;
   sim::SimResult result;
   if (resume_index < 0) {
-    baseline_.checkpoints.clear();
+    retire_checkpoints(0);
     result = engine_.run(&recorder);
     ++stats_.full_replays;
     stats_.replayed_epochs += result.num_epochs;
   } else {
     // Copy, not reference: the truncation below would invalidate it.
+    // (The copy shares state with the kept prefix entry, so its buffers
+    // are never recycled out from under the resume.)
     const sim::SimCheckpoint cp =
         baseline_.checkpoints[static_cast<std::size_t>(resume_index)];
     resume_epoch = cp.epoch_index();
-    baseline_.checkpoints.resize(static_cast<std::size_t>(resume_index) +
-                                 1);
+    retire_checkpoints(static_cast<std::size_t>(resume_index) + 1);
     recorder.base_epoch = 0;  // decisions index by absolute epoch
     recorder.snapshot_from_epoch = resume_epoch + 1;
     result = engine_.resume(cp, &recorder);
@@ -451,6 +486,23 @@ Time IncrementalReplay::propose(const std::vector<ProcId>& mapping,
   const Time makespan = price(mapping, resume_index, divergence);
   if (moved != kInvalidTask) memo_[memo_key] = makespan;
   return makespan;
+}
+
+void IncrementalReplay::price_batch(
+    const std::vector<ProcId>& baseline,
+    std::span<const MoveCandidate> candidates,
+    std::vector<Time>& makespans) {
+  require(baseline_valid_ && baseline == baseline_.mapping,
+          "IncrementalReplay::price_batch: baseline mismatch");
+  batch_scratch_ = baseline;
+  makespans.clear();
+  makespans.reserve(candidates.size());
+  for (const MoveCandidate& c : candidates) {
+    const auto t = static_cast<std::size_t>(c.task);
+    batch_scratch_[t] = c.proc;
+    makespans.push_back(propose(batch_scratch_, c.task));
+    batch_scratch_[t] = baseline[t];
+  }
 }
 
 void IncrementalReplay::accept() {

@@ -19,6 +19,7 @@ void PinnedScheduler::on_run_start(const TaskGraph& graph,
             "PinnedScheduler: mapping names a missing processor");
   }
   ranks_stale_ = true;  // levels arrive with the first epoch
+  num_procs_ = topology.num_procs();
 }
 
 void PinnedScheduler::on_epoch(sim::EpochContext& ctx) {
@@ -53,22 +54,55 @@ void PinnedScheduler::on_epoch(sim::EpochContext& ctx) {
     ranked_levels_ = levels;
     ranks_stale_ = false;
   }
-  order_.assign(ctx.ready_tasks().begin(), ctx.ready_tasks().end());
-  std::sort(order_.begin(), order_.end(), [this](TaskId a, TaskId b) {
-    return rank_[static_cast<std::size_t>(a)] <
-           rank_[static_cast<std::size_t>(b)];
-  });
-  used_.clear();
-  for (const TaskId task : order_) {
-    const ProcId target = mapping_[static_cast<std::size_t>(task)];
-    const bool idle = std::binary_search(ctx.idle_procs().begin(),
-                                         ctx.idle_procs().end(), target);
-    const bool taken =
-        std::find(used_.begin(), used_.end(), target) != used_.end();
-    if (idle && !taken) {
-      ctx.assign(task, target);
-      used_.push_back(target);
+  // Per-idle-processor argbest scan.  The sorted greedy loop this replaces
+  // (sort ready by rank, assign each task to its pinned target unless the
+  // target was already taken) gives every idle processor to the
+  // lowest-rank ready task pinned to it, emitting winners in rank order —
+  // so computing exactly those winners with one linear pass over the ready
+  // set and sorting only the (at most one per idle processor) winners
+  // reproduces the assignment sequence bit for bit while dropping the
+  // O(r log r) per-epoch sort and the binary searches.
+  const auto procs = static_cast<std::size_t>(num_procs_);
+  if (idle_stamp_.size() != procs) {
+    idle_stamp_.assign(procs, 0);
+    best_stamp_.assign(procs, 0);
+    best_task_.resize(procs);
+    best_rank_.resize(procs);
+  }
+  const std::uint64_t stamp = ++epoch_stamp_;
+  for (const ProcId p : ctx.idle_procs()) {
+    idle_stamp_[static_cast<std::size_t>(p)] = stamp;
+  }
+  for (const TaskId task : ctx.ready_tasks()) {
+    const auto target =
+        static_cast<std::size_t>(mapping_[static_cast<std::size_t>(task)]);
+    if (idle_stamp_[target] != stamp) continue;
+    const int r = rank_[static_cast<std::size_t>(task)];
+    if (best_stamp_[target] != stamp || r < best_rank_[target]) {
+      best_stamp_[target] = stamp;
+      best_task_[target] = task;
+      best_rank_[target] = r;
     }
+  }
+  // Winners are at most one per idle processor — insertion sort beats
+  // std::sort at these sizes.
+  winners_.clear();
+  for (const ProcId p : ctx.idle_procs()) {
+    if (best_stamp_[static_cast<std::size_t>(p)] == stamp) {
+      const TaskId task = best_task_[static_cast<std::size_t>(p)];
+      const int r = rank_[static_cast<std::size_t>(task)];
+      std::size_t at = winners_.size();
+      winners_.push_back(task);
+      while (at > 0 &&
+             rank_[static_cast<std::size_t>(winners_[at - 1])] > r) {
+        winners_[at] = winners_[at - 1];
+        --at;
+      }
+      winners_[at] = task;
+    }
+  }
+  for (const TaskId task : winners_) {
+    ctx.assign(task, mapping_[static_cast<std::size_t>(task)]);
   }
 }
 

@@ -13,6 +13,7 @@
 // Anything that carries decision state from one epoch into the next
 // breaks checkpoint resume.
 
+#include <cstdint>
 #include <vector>
 
 #include "sim/scheduler_api.hpp"
@@ -40,8 +41,16 @@ class PinnedScheduler : public sim::SchedulingPolicy {
 
  private:
   std::vector<ProcId> mapping_;
-  std::vector<TaskId> order_;   ///< per-epoch scratch, reused across runs
-  std::vector<ProcId> used_;    ///< per-epoch scratch, reused across runs
+  /// Per-epoch winner scan scratch (see on_epoch): stamp arrays avoid an
+  /// O(procs) clear per epoch, winners_ holds the per-processor argbest
+  /// tasks before they are emitted in rank order.
+  std::uint64_t epoch_stamp_ = 0;
+  std::vector<std::uint64_t> idle_stamp_;
+  std::vector<std::uint64_t> best_stamp_;
+  std::vector<TaskId> best_task_;
+  std::vector<int> best_rank_;
+  std::vector<TaskId> winners_;
+  int num_procs_ = 0;
   /// rank_[t] is task t's position in the global dispatch order (level
   /// descending, ties toward the lower id), derived from the first
   /// epoch's levels.  Sorting the ready set by this single integer key

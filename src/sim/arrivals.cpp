@@ -7,6 +7,7 @@
 
 #include "graph/analysis.hpp"
 #include "util/require.hpp"
+#include "util/stats.hpp"
 #include "util/rng.hpp"
 
 namespace dagsched::sim {
@@ -164,6 +165,10 @@ OnlineMetrics compute_online_metrics(const ArrivalPlan& plan,
           "compute_online_metrics: one completion time per workflow");
   OnlineMetrics metrics;
   metrics.workflows = plan.num_workflows();
+  // No workflows: nothing to measure.  The default-constructed metrics
+  // are the explicit sentinel (p99_response = 0, max_lateness = 0,
+  // hit_rate = 1.0); returning here also keeps the 1-based nearest-rank
+  // index below from ever underflowing on an empty response set.
   if (metrics.workflows == 0) return metrics;
 
   std::vector<Time> responses;
@@ -190,11 +195,12 @@ OnlineMetrics compute_online_metrics(const ArrivalPlan& plan,
                          ? 1.0
                          : static_cast<double>(hits) /
                                static_cast<double>(with_deadline);
-  // Nearest-rank p99 (ceil(0.99 n) smallest response).
+  // Nearest-rank p99 via the shared util/stats helper; the sweep summary
+  // layer intentionally uses the interpolating quantile() instead for its
+  // cross-instance ratios (see util/stats.hpp for the contrast).
   std::sort(responses.begin(), responses.end());
-  const std::size_t n = responses.size();
-  const std::size_t rank = (99 * n + 99) / 100;  // ceil(0.99 n), 1-based
-  metrics.p99_response = responses[std::min(rank, n) - 1];
+  metrics.p99_response =
+      percentile_nearest_rank(std::span<const Time>(responses), 99);
   return metrics;
 }
 

@@ -32,7 +32,7 @@ namespace detail {
 // feature is active (SimOptions::faults / SimOptions::arrivals), so the
 // plain offline event stream — types, times and sequence numbers — is
 // byte-identical to the pre-fault, pre-arrival engine.
-enum class EventType {
+enum class EventType : std::uint8_t {
   TaskDone,
   CommDone,
   TransferDone,
@@ -46,15 +46,20 @@ enum class EventType {
   WorkflowArrival,  // online: workflow `message` enters the ready set
 };
 
+/// 32-byte packed: seq and gen are 32-bit — both are bounded by the event
+/// budget (SimOptions::max_events, 50M default, far below 2^32), and the
+/// event heap is the hottest data structure of the replay loop, so the
+/// smaller sift moves are measurable.
 struct Event {
   Time time = 0;
-  std::uint64_t seq = 0;  ///< FIFO tie-break for equal times
+  std::uint32_t seq = 0;  ///< FIFO tie-break for equal times
   EventType type = EventType::TaskDone;
   ProcId proc = kInvalidProc;    // TaskDone, CommDone, Machine*/StallStart
-  std::uint64_t gen = 0;         // staleness guard (task/comm/transfer gen,
+  std::uint32_t gen = 0;         // staleness guard (task/comm/transfer gen,
                                  // message attempt for MsgTimeout/MsgRetry)
   int message = -1;              // TransferDone/Msg* id, Link* channel id
 };
+static_assert(sizeof(Event) == 32);
 
 struct EventLater {
   bool operator()(const Event& a, const Event& b) const {
@@ -62,6 +67,56 @@ struct EventLater {
     return a.seq > b.seq;
   }
 };
+
+/// (time, seq) is a total order, so ANY correct priority queue pops the
+/// same event sequence — the heap's internal layout never leaks into the
+/// simulation.  A hand-rolled 4-ary heap halves the sift depth of the
+/// std:: binary heap and keeps parent/child nodes within one cache line
+/// pair, which is measurable at the event rates the incremental oracle
+/// replays at.
+inline bool event_earlier(const Event& a, const Event& b) {
+  if (a.time != b.time) return a.time < b.time;
+  return a.seq < b.seq;
+}
+
+inline void event_heap_push(std::vector<Event>& heap, const Event& event) {
+  heap.push_back(event);
+  std::size_t i = heap.size() - 1;
+  // Hole-bubbling: shift parents down and place the event once, instead
+  // of a full 32-byte swap per level.
+  while (i > 0) {
+    const std::size_t parent = (i - 1) >> 2;
+    if (!event_earlier(event, heap[parent])) break;
+    heap[i] = heap[parent];
+    i = parent;
+  }
+  heap[i] = event;
+}
+
+/// Removes heap.front() (the earliest event); the caller reads it first.
+inline void event_heap_pop(std::vector<Event>& heap) {
+  const std::size_t size = heap.size() - 1;
+  if (size == 0) {
+    heap.pop_back();
+    return;
+  }
+  const Event moved = heap.back();
+  heap.pop_back();
+  std::size_t i = 0;
+  while (true) {
+    const std::size_t first_child = (i << 2) + 1;
+    if (first_child >= size) break;
+    const std::size_t last_child = std::min(first_child + 4, size);
+    std::size_t best = first_child;
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      if (event_earlier(heap[c], heap[best])) best = c;
+    }
+    if (!event_earlier(heap[best], moved)) break;
+    heap[i] = heap[best];
+    i = best;
+  }
+  heap[i] = moved;
+}
 
 /// In-flight interprocessor message.  The route itself lives in the
 /// engine's per-(src, dst) route cache — keeping this struct flat makes
@@ -88,6 +143,14 @@ struct MessageState {
   Time transfer_start = 0;    ///< start of the transfer currently in flight
 };
 
+/// One cached route: the node path plus the channel id of every hop, so
+/// the per-hop transfer handlers never go back to the topology's channel
+/// matrix (Topology::channel was the hottest lookup of the transfer path).
+struct CachedRoute {
+  std::vector<ProcId> path;
+  std::vector<ChannelId> channels;  ///< channels[i] links path[i], path[i+1]
+};
+
 /// Lazy cache of Topology::route results, one per (src, dst) pair.  The
 /// routes are a pure function of the topology, so the cache is shared by
 /// every run (and every checkpoint) of one engine.
@@ -98,18 +161,27 @@ class RouteTable {
         routes_(static_cast<std::size_t>(topology.num_procs()) *
                 static_cast<std::size_t>(topology.num_procs())) {}
 
-  const std::vector<ProcId>& route(ProcId from, ProcId dest) {
-    std::vector<ProcId>& cached =
+  const CachedRoute& route(ProcId from, ProcId dest) {
+    CachedRoute& cached =
         routes_[static_cast<std::size_t>(from) *
                     static_cast<std::size_t>(topology_.num_procs()) +
                 static_cast<std::size_t>(dest)];
-    if (cached.empty()) cached = topology_.route(from, dest);
+    if (cached.path.empty()) {
+      cached.path = topology_.route(from, dest);
+      cached.channels.reserve(cached.path.size() - 1);
+      for (std::size_t i = 0; i + 1 < cached.path.size(); ++i) {
+        const ChannelId c =
+            topology_.channel(cached.path[i], cached.path[i + 1]);
+        ensure(c != kInvalidChannel, "route uses a missing link");
+        cached.channels.push_back(c);
+      }
+    }
     return cached;
   }
 
  private:
   const Topology& topology_;
-  std::vector<std::vector<ProcId>> routes_;
+  std::vector<CachedRoute> routes_;
 };
 
 enum class SigmaState { NotPaid, Paying, Paid };
@@ -133,14 +205,16 @@ struct RunState {
   std::vector<MessageState> messages;
   std::vector<Time> comm_start;  ///< per-proc start of the active comm job
   std::vector<ProcId> idle_scratch;  ///< per-epoch idle list, reused
+  std::vector<Assignment> assign_scratch;  ///< per-epoch assignment sink
 
-  /// Pending events as a binary max-heap under EventLater (std::push_heap
-  /// / pop_heap on a plain vector instead of std::priority_queue, so
-  /// repeated runs reuse the buffer).  EventLater is a total order (seq
-  /// breaks every tie), so the pop sequence — and with it the simulation
-  /// — is independent of the heap's internal layout.
+  /// Pending events as a 4-ary min-heap under event_earlier (hand-rolled
+  /// on a plain vector instead of std::priority_queue, so repeated runs
+  /// reuse the buffer and the sift depth is half the binary heap's).
+  /// (time, seq) is a total order (seq breaks every tie), so the pop
+  /// sequence — and with it the simulation — is independent of the heap's
+  /// internal layout.
   std::vector<Event> events;
-  std::uint64_t next_seq = 0;
+  std::uint32_t next_seq = 0;  ///< bounded by SimOptions::max_events
   Time now = 0;
   int finished_count = 0;
   int epoch_count = 0;
@@ -186,7 +260,7 @@ struct RunState {
 /// loops run thousands of simulations per second through one state.
 void init_state(RunState& s, const TaskGraph& graph,
                 const Topology& topology, const FaultModel* faults,
-                const ArrivalPlan* arrivals) {
+                const ArrivalPlan* arrivals, bool record_trace) {
   const auto n = static_cast<std::size_t>(graph.num_tasks());
   const auto p = static_cast<std::size_t>(topology.num_procs());
   if (s.machine.num_procs() == topology.num_procs()) {
@@ -200,7 +274,13 @@ void init_state(RunState& s, const TaskGraph& graph,
   s.sigma_state.assign(n, SigmaState::NotPaid);
   s.pending_after_sigma.resize(n);
   for (std::vector<int>& pending : s.pending_after_sigma) pending.clear();
-  s.task_records.assign(n, TaskRecord{});
+  // Per-task records feed Trace::tasks only; a traceless run (the replay
+  // loops) keeps the vector empty so every state copy skips it.
+  if (record_trace) {
+    s.task_records.assign(n, TaskRecord{});
+  } else {
+    s.task_records.clear();
+  }
   s.proc_busy.assign(p, 0);
   s.ready_pool.clear();
   s.messages.clear();
@@ -251,8 +331,7 @@ void init_state(RunState& s, const TaskGraph& graph,
 
   const auto seed_event = [&s](Event event) {
     event.seq = s.next_seq++;
-    s.events.push_back(event);
-    std::push_heap(s.events.begin(), s.events.end(), EventLater{});
+    event_heap_push(s.events, event);
   };
 
   if (arrivals != nullptr) {
@@ -361,8 +440,7 @@ class Run {
   // --- event plumbing ------------------------------------------------------
   void push_event(Event event) {
     event.seq = s_.next_seq++;
-    s_.events.push_back(event);
-    std::push_heap(s_.events.begin(), s_.events.end(), detail::EventLater{});
+    detail::event_heap_push(s_.events, event);
   }
 
   // --- processor-side comm handling ---------------------------------------
@@ -370,12 +448,12 @@ class Run {
                         bool completes);
   void enqueue_comm(ProcId p, CommJob job);
   void dispatch_cpu(ProcId p);
-  void on_comm_done(ProcId p, std::uint64_t gen);
+  void on_comm_done(ProcId p, std::uint32_t gen);
 
   // --- task execution ------------------------------------------------------
   void try_start_reserved(ProcId p);
   void schedule_task_done(ProcId p);
-  void on_task_done(ProcId p, std::uint64_t gen);
+  void on_task_done(ProcId p, std::uint32_t gen);
 
   // --- message transport ---------------------------------------------------
   void launch_message(TaskId producer, TaskId consumer, Time weight,
@@ -383,7 +461,7 @@ class Run {
   void request_transfer(int message);
   void begin_transfer(int message, ChannelId channel_id);
   void start_next_queued(ChannelId channel_id);
-  void on_transfer_done(int message, std::uint64_t gen);
+  void on_transfer_done(int message, std::uint32_t gen);
   void deliver(int message);
 
   // --- fault injection -----------------------------------------------------
@@ -399,8 +477,8 @@ class Run {
   void on_stall_start(ProcId p);
   void on_link_down(ChannelId channel_id);
   void on_link_up(ChannelId channel_id);
-  void on_msg_timeout(int message, std::uint64_t attempt);
-  void on_msg_retry(int message, std::uint64_t attempt);
+  void on_msg_timeout(int message, std::uint32_t attempt);
+  void on_msg_retry(int message, std::uint32_t attempt);
 
   // --- online arrivals -----------------------------------------------------
 #if defined(__GNUC__) || defined(__clang__)
@@ -432,7 +510,9 @@ void Run::record_task_span(ProcId p, TaskId task, Time start, Time end,
   if (end > start || completes) {
     if (!s_.task_started[static_cast<std::size_t>(task)]) {
       s_.task_started[static_cast<std::size_t>(task)] = true;
-      s_.task_records[static_cast<std::size_t>(task)].started = start;
+      if (options_.record_trace) {
+        s_.task_records[static_cast<std::size_t>(task)].started = start;
+      }
     }
   }
   if (options_.record_trace && (end > start || completes)) {
@@ -481,7 +561,7 @@ void Run::dispatch_cpu(ProcId p) {
   try_start_reserved(p);
 }
 
-void Run::on_comm_done(ProcId p, std::uint64_t gen) {
+void Run::on_comm_done(ProcId p, std::uint32_t gen) {
   ProcessorState& proc = s_.machine.proc(p);
   if (faults_ != nullptr && gen != proc.comm_event_gen) return;  // crashed
   ensure(proc.active_comm.has_value(), "CommDone without an active job");
@@ -565,7 +645,7 @@ void Run::schedule_task_done(ProcId p) {
                    proc.task_event_gen, -1});
 }
 
-void Run::on_task_done(ProcId p, std::uint64_t gen) {
+void Run::on_task_done(ProcId p, std::uint32_t gen) {
   ProcessorState& proc = s_.machine.proc(p);
   if (!proc.task_executing || gen != proc.task_event_gen) return;  // stale
   const TaskId task = proc.running_task;
@@ -576,7 +656,9 @@ void Run::on_task_done(ProcId p, std::uint64_t gen) {
   proc.running_task = kInvalidTask;
   proc.task_remaining = 0;
 
-  s_.task_records[static_cast<std::size_t>(task)].finished = s_.now;
+  if (options_.record_trace) {
+    s_.task_records[static_cast<std::size_t>(task)].finished = s_.now;
+  }
   s_.makespan = std::max(s_.makespan, s_.now);
   ++s_.finished_count;
 
@@ -688,12 +770,11 @@ void Run::launch_message(TaskId producer, TaskId consumer, Time weight,
 
 void Run::request_transfer(int message) {
   MessageState& msg = s_.messages[static_cast<std::size_t>(message)];
-  const std::vector<ProcId>& path = routes_.route(msg.src, msg.dst);
-  ensure(msg.hop + 1 < path.size(), "transfer past the destination");
-  const ProcId from = path[msg.hop];
-  const ProcId to = path[msg.hop + 1];
-  const ChannelId channel_id = topology_.channel(from, to);
-  ensure(channel_id != kInvalidChannel, "route uses a missing link");
+  const detail::CachedRoute& route = routes_.route(msg.src, msg.dst);
+  ensure(msg.hop + 1 < route.path.size(), "transfer past the destination");
+  const ProcId from = route.path[msg.hop];
+  const ProcId to = route.path[msg.hop + 1];
+  const ChannelId channel_id = route.channels[msg.hop];
   ChannelState& channel = s_.machine.channel(channel_id);
   if (channel.busy || (faults_ != nullptr && channel.down)) {
     // Busy — or down for repair: the transfer waits for the link to come
@@ -740,18 +821,17 @@ void Run::start_next_queued(ChannelId channel_id) {
   }
 }
 
-void Run::on_transfer_done(int message, std::uint64_t gen) {
+void Run::on_transfer_done(int message, std::uint32_t gen) {
   MessageState& msg = s_.messages[static_cast<std::size_t>(message)];
   // Staleness first: a killed/retried attempt already released its channel
   // and may have reset `hop`, so nothing below would be valid for it.
   if (faults_ != nullptr && gen != msg.transfer_gen) return;
-  const std::vector<ProcId>& path = routes_.route(msg.src, msg.dst);
-  const ProcId from = path[msg.hop];
-  const ProcId to = path[msg.hop + 1];
-  const ChannelId channel_id = topology_.channel(from, to);
+  const detail::CachedRoute& route = routes_.route(msg.src, msg.dst);
+  const ChannelId channel_id = route.channels[msg.hop];
   if (options_.record_trace) {
     s_.trace.transfers.push_back(TransferSegment{
-        channel_id, message, from, to, msg.transfer_start, s_.now});
+        channel_id, message, route.path[msg.hop], route.path[msg.hop + 1],
+        msg.transfer_start, s_.now});
   }
   ChannelState& channel = s_.machine.channel(channel_id);
   ensure(channel.busy, "TransferDone on an idle channel");
@@ -760,7 +840,7 @@ void Run::on_transfer_done(int message, std::uint64_t gen) {
   start_next_queued(channel_id);
 
   msg.hop += 1;
-  const ProcId here = path[msg.hop];
+  const ProcId here = route.path[msg.hop];
   if (faults_ != nullptr && s_.machine.proc(here).down) {
     // The node that should receive/route the message is mid-repair: the
     // message is lost here and recovered by the sender-side timeout.
@@ -839,7 +919,9 @@ void Run::record_fault(FaultKind kind, std::int32_t entity) {
 void Run::restart_task(TaskId task) {
   s_.placement[static_cast<std::size_t>(task)] = kInvalidProc;
   s_.task_started[static_cast<std::size_t>(task)] = false;
-  s_.task_records[static_cast<std::size_t>(task)] = TaskRecord{};
+  if (options_.record_trace) {
+    s_.task_records[static_cast<std::size_t>(task)] = TaskRecord{};
+  }
   s_.ready_pool.insert(
       std::upper_bound(s_.ready_pool.begin(), s_.ready_pool.end(), task),
       task);
@@ -975,7 +1057,7 @@ void Run::on_link_up(ChannelId channel_id) {
                    0, static_cast<int>(channel_id)});
 }
 
-void Run::on_msg_timeout(int message, std::uint64_t attempt) {
+void Run::on_msg_timeout(int message, std::uint32_t attempt) {
   MessageState& msg = s_.messages[static_cast<std::size_t>(message)];
   // Stale when the attempt was delivered, cancelled, or already replaced.
   if (msg.delivered || msg.cancelled || attempt != msg.attempt) return;
@@ -995,7 +1077,7 @@ void Run::on_msg_timeout(int message, std::uint64_t attempt) {
       EventType::MsgRetry, kInvalidProc, msg.attempt, message});
 }
 
-void Run::on_msg_retry(int message, std::uint64_t attempt) {
+void Run::on_msg_retry(int message, std::uint32_t attempt) {
   MessageState& msg = s_.messages[static_cast<std::size_t>(message)];
   if (msg.delivered || msg.cancelled || attempt != msg.attempt) return;
   msg.attempt += 1;
@@ -1039,18 +1121,20 @@ void Run::run_epoch(EpochObserver* observer) {
                    idle, s_.placement, levels_,
                    faults_ != nullptr ? std::span<const ProcId>(s_.down_scratch)
                                       : std::span<const ProcId>(),
-                   arrivals_);
+                   arrivals_, &s_.assign_scratch);
   policy_.on_epoch(ctx);
   if (observer != nullptr) {
     observer->on_epoch_decided(index, ctx.assignments());
   }
 
-  s_.trace.epochs.push_back(EpochRecord{index, s_.now,
-                                        static_cast<int>(
-                                            s_.ready_pool.size()),
-                                        static_cast<int>(idle.size()),
-                                        static_cast<int>(
-                                            ctx.assignments().size())});
+  if (options_.record_trace) {
+    s_.trace.epochs.push_back(EpochRecord{index, s_.now,
+                                          static_cast<int>(
+                                              s_.ready_pool.size()),
+                                          static_cast<int>(idle.size()),
+                                          static_cast<int>(
+                                              ctx.assignments().size())});
+  }
   for (const Assignment& a : ctx.assignments()) {
     apply_assignment(a.task, a.proc, index);
   }
@@ -1069,11 +1153,13 @@ void Run::apply_assignment(TaskId task, ProcId p, int epoch_index) {
   proc.reserved_task = task;
   proc.pending_inputs = 0;
 
-  TaskRecord& record = s_.task_records[static_cast<std::size_t>(task)];
-  record.task = task;
-  record.proc = p;
-  record.epoch = epoch_index;
-  record.assigned = s_.now;
+  if (options_.record_trace) {
+    TaskRecord& record = s_.task_records[static_cast<std::size_t>(task)];
+    record.task = task;
+    record.proc = p;
+    record.epoch = epoch_index;
+    record.assigned = s_.now;
+  }
 
   // Launch the input messages; producers already executed, so their
   // placement is known.  Local inputs are free (eq. 4, delta term).
@@ -1114,9 +1200,7 @@ SimResult Run::execute(EpochObserver* observer) {
         throw SimulationError("event budget exceeded");
       }
       const Event event = s_.events.front();
-      std::pop_heap(s_.events.begin(), s_.events.end(),
-                    detail::EventLater{});
-      s_.events.pop_back();
+      detail::event_heap_pop(s_.events);
       // Only the three zero-fault kinds stay in the hot switch; the fault
       // kinds (which never enter the queue without SimOptions::faults)
       // dispatch through one cold, non-inlined handler so the zero-fault
@@ -1163,24 +1247,28 @@ SimResult Run::execute(EpochObserver* observer) {
       for (const Time d : arrivals_->actual_duration) actual_work += d;
       result.total_task_time = actual_work;
     }
-    const int workflows = arrivals_->num_workflows();
-    s_.trace.workflows.reserve(static_cast<std::size_t>(workflows));
-    for (int w = 0; w < workflows; ++w) {
-      const auto i = static_cast<std::size_t>(w);
-      s_.trace.workflows.push_back(WorkflowRecord{
-          w, arrivals_->arrival[i], arrivals_->deadline[i],
-          arrivals_->weight[i], s_.workflow_completion[i], 0});
-    }
-    for (const int wf : arrivals_->task_workflow) {
-      ++s_.trace.workflows[static_cast<std::size_t>(wf)].num_tasks;
+    if (options_.record_trace) {
+      const int workflows = arrivals_->num_workflows();
+      s_.trace.workflows.reserve(static_cast<std::size_t>(workflows));
+      for (int w = 0; w < workflows; ++w) {
+        const auto i = static_cast<std::size_t>(w);
+        s_.trace.workflows.push_back(WorkflowRecord{
+            w, arrivals_->arrival[i], arrivals_->deadline[i],
+            arrivals_->weight[i], s_.workflow_completion[i], 0});
+      }
+      for (const int wf : arrivals_->task_workflow) {
+        ++s_.trace.workflows[static_cast<std::size_t>(wf)].num_tasks;
+      }
     }
     if (!s_.failed) {
       result.online =
           compute_online_metrics(*arrivals_, s_.workflow_completion);
     }
   }
-  s_.trace.tasks = s_.task_records;
-  result.trace = std::move(s_.trace);
+  if (options_.record_trace) {
+    s_.trace.tasks = s_.task_records;
+    result.trace = std::move(s_.trace);
+  }
   return result;
 }
 
@@ -1193,9 +1281,23 @@ std::span<const TaskId> EpochView::ready_tasks() const {
 }
 int EpochView::finished_tasks() const { return state_.finished_count; }
 
-SimCheckpoint EpochView::checkpoint() const {
+SimCheckpoint EpochView::checkpoint() const { return checkpoint({}); }
+
+SimCheckpoint EpochView::checkpoint(SimCheckpoint recycle) const {
+  std::shared_ptr<detail::RunState> buffer;
+  if (recycle.state_ != nullptr && recycle.state_.use_count() == 1) {
+    // Sole owner of a retired snapshot: copy-assign into its buffers
+    // (every container keeps its capacity) instead of deep-allocating.
+    // The const cast is sound — all state buffers are born non-const in
+    // the make_shared below.
+    buffer = std::const_pointer_cast<detail::RunState>(
+        std::move(recycle.state_));
+    *buffer = state_;
+  } else {
+    buffer = std::make_shared<detail::RunState>(state_);
+  }
   return SimCheckpoint(state_.epoch_count, state_.now, state_.finished_count,
-                       std::make_shared<detail::RunState>(state_));
+                       std::move(buffer));
 }
 
 EpochContext::EpochContext(Time now, int epoch_index, const TaskGraph& graph,
@@ -1205,7 +1307,8 @@ EpochContext::EpochContext(Time now, int epoch_index, const TaskGraph& graph,
                            const std::vector<ProcId>& placement,
                            const std::vector<Time>& levels,
                            std::span<const ProcId> down_procs,
-                           const ArrivalPlan* arrivals)
+                           const ArrivalPlan* arrivals,
+                           std::vector<Assignment>* assignments_scratch)
     : now_(now),
       epoch_index_(epoch_index),
       graph_(graph),
@@ -1216,7 +1319,11 @@ EpochContext::EpochContext(Time now, int epoch_index, const TaskGraph& graph,
       placement_(placement),
       levels_(levels),
       down_procs_(down_procs),
-      arrivals_(arrivals) {}
+      arrivals_(arrivals),
+      assignments_(assignments_scratch != nullptr ? assignments_scratch
+                                                  : &own_assignments_) {
+  assignments_->clear();
+}
 
 void EpochContext::assign(TaskId task, ProcId proc) {
   const bool task_ready =
@@ -1225,11 +1332,11 @@ void EpochContext::assign(TaskId task, ProcId proc) {
   const bool proc_idle =
       std::binary_search(idle_procs_.begin(), idle_procs_.end(), proc);
   require(proc_idle, "EpochContext::assign: processor is not idle");
-  for (const Assignment& a : assignments_) {
+  for (const Assignment& a : *assignments_) {
     require(a.task != task, "EpochContext::assign: task assigned twice");
     require(a.proc != proc, "EpochContext::assign: processor used twice");
   }
-  assignments_.push_back(Assignment{task, proc});
+  assignments_->push_back(Assignment{task, proc});
 }
 
 ExecutionEngine::ExecutionEngine(const TaskGraph& graph,
@@ -1256,7 +1363,7 @@ SimResult ExecutionEngine::run() {
   policy_.on_run_start(graph_, topology_, comm_);
   detail::RunState state(topology_);
   detail::init_state(state, graph_, topology_, fault_model_.get(),
-                     options_.arrivals);
+                     options_.arrivals, options_.record_trace);
   Run run(graph_, topology_, comm_, policy_, options_, levels_, *routes_,
           state, fault_model_.get(), options_.arrivals);
   return run.execute(nullptr);
@@ -1286,7 +1393,7 @@ ResumableEngine::~ResumableEngine() = default;
 SimResult ResumableEngine::run(EpochObserver* observer) {
   policy_.on_run_start(graph_, topology_, comm_);
   detail::init_state(*scratch_, graph_, topology_, fault_model_.get(),
-                     options_.arrivals);
+                     options_.arrivals, options_.record_trace);
   Run run(graph_, topology_, comm_, policy_, options_, levels_, *routes_,
           *scratch_, fault_model_.get(), options_.arrivals);
   return run.execute(observer);

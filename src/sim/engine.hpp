@@ -49,8 +49,11 @@ class RouteTable;
 }  // namespace detail
 
 struct SimOptions {
-  /// Record the full trace (segments, transfers, messages).  Task records,
-  /// epoch records and aggregate statistics are always kept.
+  /// Record the full trace (task/epoch records, segments, transfers,
+  /// messages, workflows).  When false, SimResult::trace stays empty and
+  /// the hot replay path skips every trace allocation; the aggregate
+  /// statistics (makespan, num_epochs, proc_busy, online metrics, ...) are
+  /// always kept.
   bool record_trace = true;
 
   /// Hard event-count ceiling; exceeding it raises SimulationError (guards
@@ -193,6 +196,14 @@ class EpochView {
   int finished_tasks() const;
   /// Deep-copies the current simulator state into a resumable checkpoint.
   SimCheckpoint checkpoint() const;
+
+  /// Like checkpoint(), but recycles the buffers of a retired checkpoint:
+  /// when `recycle` holds the last reference to its state, the state is
+  /// copy-assigned in place (reusing every container's capacity) instead
+  /// of deep-allocated from scratch.  Replay loops snapshot thousands of
+  /// checkpoints per second; handing back the ones they retire turns the
+  /// snapshot's allocation storm into a plain buffer copy.
+  SimCheckpoint checkpoint(SimCheckpoint recycle) const;
 
   /// Engine-internal: views are only constructed by the event loop.
   EpochView(const detail::RunState& state, std::span<const ProcId> idle)

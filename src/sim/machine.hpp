@@ -6,7 +6,6 @@
 
 #include <cassert>
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <vector>
 
@@ -39,6 +38,35 @@ struct PendingTransfer {
   std::uint32_t transfer_gen = 0;
 };
 
+/// Minimal FIFO over a flat vector (head cursor instead of pop-front
+/// shifts).  The engine's queues are tiny and copied constantly — every
+/// checkpoint snapshot and resume copies the whole MachineState — so a
+/// trivially-copyable contiguous buffer beats std::deque, whose map/chunk
+/// structure costs ~20 allocations per RunState copy.  Consumed slots are
+/// reclaimed whenever the queue drains (the steady state between bursts).
+template <typename T>
+class FlatFifo {
+ public:
+  bool empty() const { return head_ == items_.size(); }
+  const T& front() const {
+    assert(!empty());
+    return items_[head_];
+  }
+  void push_back(const T& item) { items_.push_back(item); }
+  void pop_front() {
+    assert(!empty());
+    if (++head_ == items_.size()) clear();
+  }
+  void clear() {
+    items_.clear();
+    head_ = 0;
+  }
+
+ private:
+  std::vector<T> items_;
+  std::size_t head_ = 0;
+};
+
 /// CPU state of one processor.
 ///
 /// Invariants: at most one of {comm job active, task segment executing} at
@@ -50,19 +78,20 @@ struct ProcessorState {
   bool task_executing = false;   ///< a segment is in progress right now
   Time task_remaining = 0;       ///< work left (valid when suspended too)
   Time segment_start = 0;        ///< start of the current segment
-  std::uint64_t task_event_gen = 0;  ///< stale-completion-event guard
+  std::uint32_t task_event_gen = 0;  ///< stale-completion-event guard
 
   // Task assigned but not yet started (waiting for inputs / CPU).
   TaskId reserved_task = kInvalidTask;
   int pending_inputs = 0;        ///< messages still to arrive for reserved
 
+  // Fault state (always default on the zero-fault path); `down` sits next
+  // to the task ids so idle_for_scheduling touches one cache line.
+  bool down = false;                 ///< inside a crash repair window
+  std::uint32_t comm_event_gen = 0;  ///< stale-CommDone guard across crashes
+
   // Message handling.
   std::optional<CommJob> active_comm;
-  std::deque<CommJob> comm_queue;
-
-  // Fault state (always default on the zero-fault path).
-  bool down = false;                 ///< inside a crash repair window
-  std::uint64_t comm_event_gen = 0;  ///< stale-CommDone guard across crashes
+  FlatFifo<CommJob> comm_queue;
 
   /// Free for the scheduler's idle pool: neither running, reserved, nor
   /// down for repair.
@@ -78,7 +107,7 @@ struct ProcessorState {
 /// Occupancy state of one channel.
 struct ChannelState {
   bool busy = false;
-  std::deque<PendingTransfer> queue;
+  FlatFifo<PendingTransfer> queue;
 
   // Fault state (always default on the zero-fault path).
   bool down = false;        ///< link outage: refuses transfers until repair

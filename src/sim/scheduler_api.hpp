@@ -34,6 +34,10 @@ struct Assignment {
 /// on_epoch call.
 class EpochContext {
  public:
+  /// `assignments_scratch`, when given, is cleared and used as the
+  /// assignment sink instead of a context-owned vector — the engine passes
+  /// a per-run scratch buffer so the millions of epochs of a replay loop
+  /// reuse one allocation.  The buffer must outlive the context.
   EpochContext(Time now, int epoch_index, const TaskGraph& graph,
                const Topology& topology, const CommModel& comm,
                std::span<const TaskId> ready_tasks,
@@ -41,7 +45,8 @@ class EpochContext {
                const std::vector<ProcId>& placement,
                const std::vector<Time>& levels,
                std::span<const ProcId> down_procs = {},
-               const ArrivalPlan* arrivals = nullptr);
+               const ArrivalPlan* arrivals = nullptr,
+               std::vector<Assignment>* assignments_scratch = nullptr);
 
   Time now() const { return now_; }
   int epoch_index() const { return epoch_index_; }
@@ -81,7 +86,7 @@ class EpochContext {
   void assign(TaskId task, ProcId proc);
 
   /// Assignments made so far in this epoch, in declaration order.
-  const std::vector<Assignment>& assignments() const { return assignments_; }
+  const std::vector<Assignment>& assignments() const { return *assignments_; }
 
  private:
   Time now_;
@@ -95,7 +100,8 @@ class EpochContext {
   const std::vector<Time>& levels_;
   std::span<const ProcId> down_procs_;
   const ArrivalPlan* arrivals_;
-  std::vector<Assignment> assignments_;
+  std::vector<Assignment> own_assignments_;   ///< used when no scratch given
+  std::vector<Assignment>* assignments_;      ///< the active sink
 };
 
 /// Abstract online scheduling policy.  Implementations: HLF and friends in

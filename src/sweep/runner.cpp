@@ -354,7 +354,15 @@ TaskGraph build_instance_graph(const SweepSpec& spec, int family_index,
 }
 
 SweepResult run_sweep(const SweepSpec& spec) {
+  return run_sweep_shard(spec, 0, 1);
+}
+
+SweepResult run_sweep_shard(const SweepSpec& spec, int shard_index,
+                            int num_shards) {
   spec.validate();
+  require(num_shards >= 1, "run_sweep_shard: num_shards must be positive");
+  require(shard_index >= 0 && shard_index < num_shards,
+          "run_sweep_shard: shard index out of range");
 
   std::vector<InstanceKey> keys;
   keys.reserve(static_cast<std::size_t>(spec.num_instances()));
@@ -364,6 +372,15 @@ SweepResult run_sweep(const SweepSpec& spec) {
         keys.push_back({static_cast<int>(f), i, static_cast<int>(t)});
       }
     }
+  }
+  // The shard's deterministic slice: round-robin over enumeration order,
+  // so shard workloads stay balanced even when instance cost correlates
+  // with the enumeration position (families are enumerated in order).
+  std::vector<std::size_t> owned;
+  owned.reserve(keys.size() / static_cast<std::size_t>(num_shards) + 1);
+  for (std::size_t index = static_cast<std::size_t>(shard_index);
+       index < keys.size(); index += static_cast<std::size_t>(num_shards)) {
+    owned.push_back(index);
   }
 
   SweepResult result;
@@ -430,7 +447,7 @@ SweepResult run_sweep(const SweepSpec& spec) {
     threads = static_cast<int>(std::thread::hardware_concurrency());
     if (threads <= 0) threads = 1;
   }
-  threads = std::min<int>(threads, static_cast<int>(keys.size()));
+  threads = std::min<int>(threads, static_cast<int>(owned.size()));
   threads = std::max(threads, 1);
   result.threads_used = threads;
 
@@ -441,8 +458,9 @@ SweepResult run_sweep(const SweepSpec& spec) {
   auto worker = [&]() {
     try {
       for (;;) {
-        const std::size_t index = next.fetch_add(1);
-        if (index >= keys.size()) return;
+        const std::size_t slot = next.fetch_add(1);
+        if (slot >= owned.size()) return;
+        const std::size_t index = owned[slot];
         {
           std::lock_guard<std::mutex> lock(error_mutex);
           if (first_error) return;  // another worker already failed

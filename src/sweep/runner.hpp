@@ -126,4 +126,17 @@ TaskGraph build_instance_graph(const SweepSpec& spec, int family_index,
 /// and propagates the first worker exception (e.g. SimulationError).
 SweepResult run_sweep(const SweepSpec& spec);
 
+/// Runs one deterministic shard of the sweep: only instances whose
+/// enumeration index satisfies index % num_shards == shard_index are
+/// executed (round-robin over the same enumeration order run_sweep uses,
+/// so the partition is independent of thread count and host).  Instance
+/// draws come from per-(family, repetition) Rng streams, so a shard's
+/// rows are bit-identical to the same rows of a full run.  Rows the shard
+/// does not own are left default-constructed; sweep::shard_json
+/// serializes only the owned rows and sweep::merge_shards reassembles a
+/// full SweepResult from a complete shard set.  run_sweep(spec) is
+/// exactly run_sweep_shard(spec, 0, 1).
+SweepResult run_sweep_shard(const SweepSpec& spec, int shard_index,
+                            int num_shards);
+
 }  // namespace dagsched::sweep

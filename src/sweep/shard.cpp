@@ -1,0 +1,303 @@
+#include "sweep/shard.hpp"
+
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "util/json.hpp"
+#include "util/require.hpp"
+
+namespace dagsched::sweep {
+
+namespace {
+
+constexpr const char* kFormat = "dagsched-sweep-shard";
+constexpr int kVersion = 1;
+
+void write_time_array(JsonWriter& w, const char* key,
+                      const std::vector<Time>& values) {
+  w.key(key);
+  w.begin_array();
+  for (const Time v : values) w.value(static_cast<std::int64_t>(v));
+  w.end_array();
+}
+
+void write_int_array(JsonWriter& w, const char* key,
+                     const std::vector<int>& values) {
+  w.key(key);
+  w.begin_array();
+  for (const int v : values) w.value(v);
+  w.end_array();
+}
+
+void write_flag_array(JsonWriter& w, const char* key,
+                      const std::vector<char>& values) {
+  w.key(key);
+  w.begin_array();
+  for (const char v : values) w.value(static_cast<int>(v));
+  w.end_array();
+}
+
+/// Doubles travel as their IEEE-754 bit patterns: a decimal rendering
+/// would round, and the merged artifact must reproduce the shard's
+/// doubles bit for bit.
+void write_double_bits_array(JsonWriter& w, const char* key,
+                             const std::vector<double>& values) {
+  w.key(key);
+  w.begin_array();
+  for (const double v : values) w.value(std::bit_cast<std::uint64_t>(v));
+  w.end_array();
+}
+
+const JsonValue& member(const JsonValue& object, const std::string& name) {
+  const JsonValue* value = object.find(name);
+  if (value == nullptr) {
+    throw std::invalid_argument("sweep shard artifact: missing key '" +
+                                name + "'");
+  }
+  return *value;
+}
+
+std::vector<Time> read_time_array(const JsonValue& object,
+                                  const std::string& name) {
+  std::vector<Time> out;
+  for (const JsonValue& v : member(object, name).items()) {
+    out.push_back(static_cast<Time>(v.as_int64()));
+  }
+  return out;
+}
+
+std::vector<int> read_int_array(const JsonValue& object,
+                                const std::string& name) {
+  std::vector<int> out;
+  for (const JsonValue& v : member(object, name).items()) {
+    out.push_back(static_cast<int>(v.as_int64()));
+  }
+  return out;
+}
+
+std::vector<char> read_flag_array(const JsonValue& object,
+                                  const std::string& name) {
+  std::vector<char> out;
+  for (const JsonValue& v : member(object, name).items()) {
+    out.push_back(static_cast<char>(v.as_int64()));
+  }
+  return out;
+}
+
+std::vector<double> read_double_bits_array(const JsonValue& object,
+                                           const std::string& name) {
+  std::vector<double> out;
+  for (const JsonValue& v : member(object, name).items()) {
+    out.push_back(std::bit_cast<double>(v.as_uint64()));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string shard_json(const SweepResult& result, int shard_index,
+                       int num_shards) {
+  require(num_shards >= 1 && shard_index >= 0 && shard_index < num_shards,
+          "shard_json: shard index out of range");
+  const SweepSpec& spec = result.spec;
+  JsonWriter w;
+  w.begin_object();
+  w.key("format");
+  w.value(kFormat);
+  w.key("version");
+  w.value(kVersion);
+  w.key("shard_index");
+  w.value(shard_index);
+  w.key("num_shards");
+  w.value(num_shards);
+  // Spec echo the merge validates: enough identity to reject an artifact
+  // produced against a different spec (seed, shape, policy set).
+  w.key("seed");
+  w.value(static_cast<std::uint64_t>(spec.seed));
+  w.key("num_instances");
+  w.value(spec.num_instances());
+  w.key("policies");
+  w.begin_array();
+  for (const PolicySpec& policy : spec.policies) w.value(policy.canonical());
+  w.end_array();
+  w.key("topologies");
+  w.begin_array();
+  for (const std::string& topology : spec.topologies) w.value(topology);
+  w.end_array();
+  w.key("policy_runs");
+  w.value(static_cast<std::int64_t>(result.policy_runs));
+  w.key("rows");
+  w.begin_array();
+  for (std::size_t index = static_cast<std::size_t>(shard_index);
+       index < result.instances.size();
+       index += static_cast<std::size_t>(num_shards)) {
+    const InstanceResult& row = result.instances[index];
+    w.begin_object();
+    w.key("index");
+    w.value(row.index);
+    w.key("family");
+    w.value(row.family);
+    w.key("family_index");
+    w.value(row.family_index);
+    w.key("repetition");
+    w.value(row.repetition);
+    w.key("topology");
+    w.value(row.topology);
+    w.key("graph_seed");
+    w.value(static_cast<std::uint64_t>(row.graph_seed));
+    w.key("tasks");
+    w.value(row.tasks);
+    w.key("edges");
+    w.value(row.edges);
+    w.key("sigma_us");
+    w.value(static_cast<std::int64_t>(row.sigma_us));
+    w.key("tau_us");
+    w.value(static_cast<std::int64_t>(row.tau_us));
+    w.key("send_cpu");
+    w.value(row.send_cpu);
+    write_time_array(w, "makespans", row.makespans);
+    write_flag_array(w, "timed_out", row.timed_out);
+    write_time_array(w, "predicted_makespans", row.predicted_makespans);
+    w.key("fault_seed");
+    w.value(static_cast<std::uint64_t>(row.fault_seed));
+    write_time_array(w, "base_makespans", row.base_makespans);
+    write_int_array(w, "retries", row.retries);
+    write_int_array(w, "restarts", row.restarts);
+    write_flag_array(w, "failed", row.failed);
+    w.key("arrival_seed");
+    w.value(static_cast<std::uint64_t>(row.arrival_seed));
+    w.key("workflows");
+    w.value(row.workflows);
+    write_double_bits_array(w, "weighted_flow_bits", row.weighted_flow_us);
+    write_double_bits_array(w, "hit_rate_bits", row.hit_rate);
+    write_time_array(w, "p99_response", row.p99_response);
+    write_time_array(w, "max_lateness", row.max_lateness);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::string run_shard(const SweepSpec& spec, int shard_index,
+                      int num_shards) {
+  const SweepResult result = run_sweep_shard(spec, shard_index, num_shards);
+  return shard_json(result, shard_index, num_shards);
+}
+
+SweepResult merge_shards(const SweepSpec& spec,
+                         const std::vector<std::string>& shard_artifacts) {
+  spec.validate();
+  require(!shard_artifacts.empty(), "merge_shards: no shard artifacts");
+
+  SweepResult result;
+  result.spec = spec;
+  result.instances.resize(
+      static_cast<std::size_t>(spec.num_instances()));
+  result.threads_used = 1;
+  std::vector<char> filled(result.instances.size(), 0);
+  std::vector<char> shard_seen;
+
+  int num_shards = 0;
+  for (const std::string& artifact : shard_artifacts) {
+    const JsonValue doc = parse_json(artifact);
+    require(member(doc, "format").as_string() == kFormat,
+            "merge_shards: not a sweep shard artifact");
+    require(member(doc, "version").as_int64() == kVersion,
+            "merge_shards: unsupported shard artifact version");
+    const int n = static_cast<int>(member(doc, "num_shards").as_int64());
+    const int k = static_cast<int>(member(doc, "shard_index").as_int64());
+    require(n >= 1 && k >= 0 && k < n,
+            "merge_shards: corrupt shard index");
+    if (num_shards == 0) {
+      num_shards = n;
+      shard_seen.assign(static_cast<std::size_t>(n), 0);
+    }
+    require(n == num_shards,
+            "merge_shards: artifacts disagree on the shard count");
+    require(shard_seen[static_cast<std::size_t>(k)] == 0,
+            "merge_shards: duplicate shard artifact");
+    shard_seen[static_cast<std::size_t>(k)] = 1;
+
+    // Spec-identity echo: a shard produced against a different spec would
+    // merge into a silently wrong summary; reject it instead.
+    require(member(doc, "seed").as_uint64() == spec.seed,
+            "merge_shards: shard was run with a different seed");
+    require(member(doc, "num_instances").as_int64() == spec.num_instances(),
+            "merge_shards: shard was run against a different instance set");
+    const auto& policies = member(doc, "policies").items();
+    require(policies.size() == spec.policies.size(),
+            "merge_shards: shard was run with a different policy set");
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+      require(policies[p].as_string() == spec.policies[p].canonical(),
+              "merge_shards: shard was run with a different policy set");
+    }
+    const auto& topologies = member(doc, "topologies").items();
+    require(topologies.size() == spec.topologies.size(),
+            "merge_shards: shard was run with a different topology set");
+    for (std::size_t t = 0; t < topologies.size(); ++t) {
+      require(topologies[t].as_string() == spec.topologies[t],
+              "merge_shards: shard was run with a different topology set");
+    }
+    result.policy_runs += member(doc, "policy_runs").as_int64();
+
+    for (const JsonValue& row_doc : member(doc, "rows").items()) {
+      const int index = static_cast<int>(member(row_doc, "index").as_int64());
+      require(index >= 0 &&
+                  index < static_cast<int>(result.instances.size()),
+              "merge_shards: row index out of range");
+      require(index % num_shards == k,
+              "merge_shards: row does not belong to its shard");
+      require(filled[static_cast<std::size_t>(index)] == 0,
+              "merge_shards: duplicate instance row");
+      filled[static_cast<std::size_t>(index)] = 1;
+
+      InstanceResult& row =
+          result.instances[static_cast<std::size_t>(index)];
+      row.index = index;
+      row.family = member(row_doc, "family").as_string();
+      row.family_index =
+          static_cast<int>(member(row_doc, "family_index").as_int64());
+      row.repetition =
+          static_cast<int>(member(row_doc, "repetition").as_int64());
+      row.topology = member(row_doc, "topology").as_string();
+      row.graph_seed = member(row_doc, "graph_seed").as_uint64();
+      row.tasks = static_cast<int>(member(row_doc, "tasks").as_int64());
+      row.edges = static_cast<int>(member(row_doc, "edges").as_int64());
+      row.sigma_us = member(row_doc, "sigma_us").as_int64();
+      row.tau_us = member(row_doc, "tau_us").as_int64();
+      row.send_cpu = member(row_doc, "send_cpu").as_string();
+      row.makespans = read_time_array(row_doc, "makespans");
+      row.timed_out = read_flag_array(row_doc, "timed_out");
+      row.predicted_makespans =
+          read_time_array(row_doc, "predicted_makespans");
+      row.fault_seed = member(row_doc, "fault_seed").as_uint64();
+      row.base_makespans = read_time_array(row_doc, "base_makespans");
+      row.retries = read_int_array(row_doc, "retries");
+      row.restarts = read_int_array(row_doc, "restarts");
+      row.failed = read_flag_array(row_doc, "failed");
+      row.arrival_seed = member(row_doc, "arrival_seed").as_uint64();
+      row.workflows =
+          static_cast<int>(member(row_doc, "workflows").as_int64());
+      row.weighted_flow_us =
+          read_double_bits_array(row_doc, "weighted_flow_bits");
+      row.hit_rate = read_double_bits_array(row_doc, "hit_rate_bits");
+      row.p99_response = read_time_array(row_doc, "p99_response");
+      row.max_lateness = read_time_array(row_doc, "max_lateness");
+      require(row.makespans.size() == spec.policies.size(),
+              "merge_shards: row has the wrong number of makespans");
+    }
+  }
+
+  for (std::size_t k = 0; k < shard_seen.size(); ++k) {
+    require(shard_seen[k] != 0, "merge_shards: missing shard artifact");
+  }
+  for (std::size_t i = 0; i < filled.size(); ++i) {
+    require(filled[i] != 0, "merge_shards: missing instance row");
+  }
+  return result;
+}
+
+}  // namespace dagsched::sweep

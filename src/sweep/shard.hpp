@@ -1,0 +1,53 @@
+#pragma once
+
+// Process-level sweep sharding: serialize one shard's instance rows to a
+// JSON artifact and reassemble a full SweepResult from a complete shard
+// set, with the merged summary/CSV byte-identical to an unsharded run.
+//
+// Determinism contract (locked by the `sweep_shard` CTest):
+//  * The partition is round-robin over the runner's enumeration order
+//    (instance index % num_shards == shard_index), so it depends only on
+//    the spec — never on thread count, host, or which process runs which
+//    shard.
+//  * Every instance derives its draws from its own Rng stream
+//    (runner.hpp), so a shard's rows are bit-identical to the same rows
+//    of a full run; the merged SweepResult is therefore field-for-field
+//    equal to run_sweep's, and summarize()/summary_json()/
+//    per_instance_csv() downstream produce byte-identical artifacts.
+//  * Exactness through the wire: integer nanosecond Times and seeds are
+//    serialized as exact JSON integers; the floating-point online metrics
+//    (weighted flow, hit rate) are serialized as their IEEE-754 bit
+//    patterns (uint64), so the merge reconstructs the very same doubles
+//    the shard computed — no decimal round-trip loss.
+//  * merge_shards validates the set: same format version, same shard
+//    count, matching seed/instance-count/policy/topology echo against the
+//    spec it is given, all shard indices present exactly once, and every
+//    instance row filled exactly once.  A mismatched or incomplete set
+//    throws instead of producing a silently wrong summary.
+
+#include <string>
+#include <vector>
+
+#include "sweep/runner.hpp"
+
+namespace dagsched::sweep {
+
+/// Serializes the rows `result` owns under (shard_index, num_shards) —
+/// the rows with index % num_shards == shard_index — plus the spec echo
+/// the merge validates against.  `result` is normally the return of
+/// run_sweep_shard(spec, shard_index, num_shards).
+std::string shard_json(const SweepResult& result, int shard_index,
+                       int num_shards);
+
+/// Convenience: run_sweep_shard + shard_json.
+std::string run_shard(const SweepSpec& spec, int shard_index,
+                      int num_shards);
+
+/// Reassembles the full SweepResult from a complete set of shard
+/// artifacts (any order) produced against the same spec.  Throws
+/// std::invalid_argument on version/spec mismatches, duplicate or missing
+/// shards, or duplicate/missing instance rows.
+SweepResult merge_shards(const SweepSpec& spec,
+                         const std::vector<std::string>& shard_artifacts);
+
+}  // namespace dagsched::sweep

@@ -18,9 +18,26 @@ inline void require(bool condition, const std::string& message) {
   if (!condition) throw std::invalid_argument(message);
 }
 
+/// Literal-message overload: the (overwhelmingly common) success path pays
+/// one branch and zero allocations.  The std::string overload above used to
+/// catch literals too, constructing — and for any message past the SSO
+/// limit, heap-allocating — a temporary per call, which made precondition
+/// checks the hottest allocation site of the replay loop.
+inline void require(bool condition, const char* message) {
+  if (!condition) throw std::invalid_argument(message);
+}
+
 /// Validates an internal invariant of the library itself.
 inline void ensure(bool condition, const std::string& message) {
   if (!condition) throw std::logic_error("dagsched internal error: " + message);
+}
+
+/// Literal-message overload; see require(bool, const char*).
+inline void ensure(bool condition, const char* message) {
+  if (!condition) {
+    throw std::logic_error(std::string("dagsched internal error: ") +
+                           message);
+  }
 }
 
 }  // namespace dagsched

@@ -3,8 +3,10 @@
 // Small descriptive-statistics toolkit used by the experiment harnesses
 // (mean speedups over seeds, packet-size statistics, parallelism profiles).
 
+#include <algorithm>
 #include <cstddef>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 namespace dagsched {
@@ -50,6 +52,36 @@ double mean(std::span<const double> values);
 
 /// Linear-interpolation quantile, q in [0,1].  Values need not be sorted.
 double quantile(std::span<const double> values, double q);
+
+/// Nearest-rank percentile: the ceil(percent/100 * n)-th smallest value,
+/// with the rank computed in exact integer arithmetic so it can never
+/// drift off by one ulp.  Unlike quantile() above (which interpolates
+/// between neighbours), this always returns an element of the input —
+/// the right definition for the online p99, which reports a response
+/// time that actually happened.  The two intentionally disagree on small
+/// samples: on {10, 20, 30, 40} the nearest-rank p50 is 20 while the
+/// interpolating quantile(0.5) is 25.
+///
+/// `sorted` must already be sorted ascending; percent in [1, 100].
+/// Throws std::invalid_argument on an empty input instead of letting the
+/// 1-based rank underflow — callers own their empty-case sentinel
+/// (compute_online_metrics returns p99_response = 0 with no workflows).
+template <typename T>
+T percentile_nearest_rank(std::span<const T> sorted, int percent) {
+  if (percent < 1 || percent > 100) {
+    throw std::invalid_argument(
+        "percentile_nearest_rank: percent outside [1, 100]");
+  }
+  if (sorted.empty()) {
+    throw std::invalid_argument("percentile_nearest_rank: empty input");
+  }
+  const std::size_t n = sorted.size();
+  // 1-based rank ceil(percent * n / 100); always in [1, n] for percent
+  // in [1, 100], so rank - 1 indexes safely.
+  const std::size_t rank =
+      (static_cast<std::size_t>(percent) * n + 99) / 100;
+  return sorted[std::min(rank, n) - 1];
+}
 
 /// Relative difference |a-b| / max(|a|,|b|,eps); convenient for
 /// paper-vs-measured comparisons.

@@ -188,6 +188,33 @@ TEST(OnlineMetrics, MatchesHandComputedValues) {
   EXPECT_EQ(m.workflows, 3);
 }
 
+TEST(OnlineMetrics, EmptyPlanReturnsTheSentinelWithoutUnderflow) {
+  // Regression: the nearest-rank p99 index is 1-based, so an empty
+  // response set must short-circuit to the sentinel metrics instead of
+  // computing responses[rank - 1] with rank == 0 (a size_t underflow).
+  const sim::ArrivalPlan plan;
+  const std::vector<Time> completion;
+  const sim::OnlineMetrics m = sim::compute_online_metrics(plan, completion);
+  EXPECT_EQ(m.workflows, 0);
+  EXPECT_EQ(m.p99_response, 0);
+  EXPECT_EQ(m.max_lateness, 0);
+  EXPECT_DOUBLE_EQ(m.weighted_flow_us, 0.0);
+  EXPECT_DOUBLE_EQ(m.hit_rate, 1.0);
+}
+
+TEST(OnlineMetrics, SingleWorkflowP99IsItsOwnResponse) {
+  // n = 1: nearest rank ceil(0.99) = 1 -> the only response, exercising
+  // the smallest non-empty case of the shared util/stats helper.
+  sim::ArrivalPlan plan;
+  plan.arrival = {us(std::int64_t{40})};
+  plan.deadline = {kTimeInfinity};
+  plan.weight = {1.0};
+  const std::vector<Time> completion = {us(std::int64_t{100})};
+  const sim::OnlineMetrics m = sim::compute_online_metrics(plan, completion);
+  EXPECT_EQ(m.workflows, 1);
+  EXPECT_EQ(m.p99_response, us(std::int64_t{60}));
+}
+
 TEST(OnlineMetrics, HitRateIsOneWithoutDeadlines) {
   sim::ArrivalPlan plan;
   plan.arrival = {0, us(std::int64_t{50})};

@@ -274,8 +274,14 @@ TEST(Engine, TraceOffStillProducesResults) {
   sim::ExecutionEngine engine(g, machine, comm, policy, options);
   const auto result = engine.run();
   EXPECT_EQ(result.makespan, us(std::int64_t{40}));
+  // With tracing off the result carries no trace at all (the oracle's
+  // replay loop depends on this staying allocation-free); the aggregate
+  // statistics are still filled.
   EXPECT_TRUE(result.trace.task_segments.empty());
-  EXPECT_FALSE(result.trace.tasks.empty());  // records always kept
+  EXPECT_TRUE(result.trace.tasks.empty());
+  EXPECT_TRUE(result.trace.epochs.empty());
+  EXPECT_EQ(result.num_epochs, 2);
+  EXPECT_EQ(result.placement, (std::vector<ProcId>{0, 1}));
 }
 
 TEST(Engine, EpochsOnlyAtIdleInstants) {

@@ -11,6 +11,7 @@
 #include "graph/taskgraph.hpp"
 #include "sweep/params.hpp"
 #include "sweep/runner.hpp"
+#include "sweep/shard.hpp"
 #include "sweep/spec.hpp"
 #include "sweep/summary.hpp"
 #include "util/json.hpp"
@@ -598,6 +599,79 @@ TEST(JsonWriter, RendersDeterministicStructure) {
             "  ],\n"
             "  \"empty\": {}\n"
             "}\n");
+}
+
+// Process-level sharding: running the spec as N shards and merging the
+// artifacts must reproduce the unsharded run byte for byte — summary JSON
+// and per-instance CSV — regardless of the merge order.  The online spec
+// exercises the IEEE-754 bit-pattern round-trip of the floating-point
+// metric columns (weighted flow, hit rate).
+TEST(SweepShard, MergeReproducesUnshardedRunByteForByte) {
+  sweep::SweepSpec spec = sweep::parse_spec(R"(
+seed 7041
+threads 2
+policy hlf
+policy etf
+arrival_count 3
+arrival_gap_us 200:600
+arrival_deadline_slack 1.5
+arrival_weight_max 3
+family gnp count=3 tasks=10:14 edge_probability=0.2
+family diamond count=2 width=3:5
+topology ring:4
+)");
+  const sweep::SweepResult full = sweep::run_sweep(spec);
+  const auto full_ranking = sweep::summarize(full);
+  const std::string full_json = sweep::summary_json(full, full_ranking);
+  const std::string full_csv = sweep::per_instance_csv(full);
+
+  const int num_shards = 3;
+  std::vector<std::string> artifacts;
+  for (int k = 0; k < num_shards; ++k) {
+    artifacts.push_back(sweep::run_shard(spec, k, num_shards));
+  }
+  // Merge order must not matter.
+  std::rotate(artifacts.begin(), artifacts.begin() + 1, artifacts.end());
+
+  const sweep::SweepResult merged = sweep::merge_shards(spec, artifacts);
+  const auto merged_ranking = sweep::summarize(merged);
+  EXPECT_EQ(sweep::summary_json(merged, merged_ranking), full_json);
+  EXPECT_EQ(sweep::per_instance_csv(merged), full_csv);
+}
+
+TEST(SweepShard, MergeRejectsMismatchedOrIncompleteSets) {
+  sweep::SweepSpec spec = small_spec();
+  spec.threads = 2;
+  std::vector<std::string> artifacts;
+  for (int k = 0; k < 2; ++k) {
+    artifacts.push_back(sweep::run_shard(spec, k, 2));
+  }
+
+  // Missing shard.
+  EXPECT_THROW(sweep::merge_shards(spec, {artifacts[0]}),
+               std::invalid_argument);
+  // Duplicate shard.
+  EXPECT_THROW(sweep::merge_shards(spec, {artifacts[0], artifacts[0]}),
+               std::invalid_argument);
+  // Shard from a different seed.
+  sweep::SweepSpec other = small_spec();
+  other.seed = 123456;
+  EXPECT_THROW(
+      sweep::merge_shards(spec,
+                          {artifacts[0], sweep::run_shard(other, 1, 2)}),
+      std::invalid_argument);
+  // Not a shard artifact at all.
+  EXPECT_THROW(sweep::merge_shards(spec, {"{\"format\": \"nope\"}"}),
+               std::invalid_argument);
+  // The complete set still merges.
+  EXPECT_NO_THROW(sweep::merge_shards(spec, artifacts));
+}
+
+TEST(SweepShard, RunnerShardValidatesItsArguments) {
+  const sweep::SweepSpec spec = small_spec();
+  EXPECT_THROW(sweep::run_sweep_shard(spec, -1, 2), std::invalid_argument);
+  EXPECT_THROW(sweep::run_sweep_shard(spec, 2, 2), std::invalid_argument);
+  EXPECT_THROW(sweep::run_sweep_shard(spec, 0, 0), std::invalid_argument);
 }
 
 }  // namespace

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <fstream>
+#include <span>
 #include <sstream>
 #include <vector>
 
@@ -93,6 +95,66 @@ TEST(Stats, QuantileRejectsBadQ) {
   const std::vector<double> values = {1.0};
   EXPECT_THROW(quantile(values, -0.1), std::invalid_argument);
   EXPECT_THROW(quantile(values, 1.1), std::invalid_argument);
+}
+
+TEST(Stats, NearestRankPercentileHandComputedCases) {
+  // Nearest-rank picks the ceil(p/100 * n)-th smallest element, 1-based.
+  const std::vector<std::int64_t> one = {42};
+  EXPECT_EQ(percentile_nearest_rank(std::span<const std::int64_t>(one), 99),
+            42);
+  EXPECT_EQ(percentile_nearest_rank(std::span<const std::int64_t>(one), 1),
+            42);
+
+  // n = 4: p50 rank = ceil(2.0) = 2 -> 20; p99 rank = ceil(3.96) = 4 -> 40.
+  const std::vector<std::int64_t> four = {10, 20, 30, 40};
+  const std::span<const std::int64_t> four_span(four);
+  EXPECT_EQ(percentile_nearest_rank(four_span, 50), 20);
+  EXPECT_EQ(percentile_nearest_rank(four_span, 99), 40);
+  EXPECT_EQ(percentile_nearest_rank(four_span, 100), 40);
+
+  // n = 100: p99 rank = 99 exactly -> the second-largest element.
+  std::vector<std::int64_t> hundred(100);
+  for (int i = 0; i < 100; ++i) hundred[i] = i + 1;
+  EXPECT_EQ(
+      percentile_nearest_rank(std::span<const std::int64_t>(hundred), 99),
+      99);
+
+  // n = 101: p99 rank = ceil(99.99) = 100 -> the second-largest again.
+  std::vector<std::int64_t> hundred_one(101);
+  for (int i = 0; i < 101; ++i) hundred_one[i] = i + 1;
+  EXPECT_EQ(percentile_nearest_rank(
+                std::span<const std::int64_t>(hundred_one), 99),
+            100);
+
+  // Works for doubles too, and always returns an element of the input.
+  const std::vector<double> doubles = {1.5, 2.5, 3.5};
+  EXPECT_DOUBLE_EQ(
+      percentile_nearest_rank(std::span<const double>(doubles), 50), 2.5);
+}
+
+TEST(Stats, NearestRankPercentileDisagreesWithQuantileBySmallSampleDesign) {
+  // The two percentile definitions the codebase uses, side by side: the
+  // online p99 (nearest rank, an actual sample) vs the sweep summary's
+  // quantile() (Hyndman-Fan type 7 interpolation).  On {10,20,30,40} the
+  // median differs: 20 (rank 2) vs 25 (interpolated).
+  const std::vector<double> four = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(
+      percentile_nearest_rank(std::span<const double>(four), 50), 20.0);
+  EXPECT_DOUBLE_EQ(quantile(four, 0.5), 25.0);
+}
+
+TEST(Stats, NearestRankPercentileRejectsEmptyAndBadPercent) {
+  // An empty input must throw instead of underflowing the 1-based rank
+  // (the regression behind compute_online_metrics' explicit sentinel).
+  const std::vector<std::int64_t> empty;
+  EXPECT_THROW(
+      percentile_nearest_rank(std::span<const std::int64_t>(empty), 99),
+      std::invalid_argument);
+  const std::vector<std::int64_t> one = {1};
+  const std::span<const std::int64_t> one_span(one);
+  EXPECT_THROW(percentile_nearest_rank(one_span, 0), std::invalid_argument);
+  EXPECT_THROW(percentile_nearest_rank(one_span, 101),
+               std::invalid_argument);
 }
 
 TEST(Stats, RelativeDifference) {

@@ -80,6 +80,8 @@ smoke_dir="${build_root}/${compilers[0]%%:*}-Release"
 cmake --build "${smoke_dir}" --target sweep schedd -j"${jobs}"
 "${repo_root}/tools/sweep_small.sh" "${smoke_dir}/sweep" \
   "${repo_root}/tools/sweep_small.spec"
+"${repo_root}/tools/sweep_shard.sh" "${smoke_dir}/sweep" \
+  "${repo_root}/tools/sweep_small.spec"
 "${repo_root}/tools/sweep_golden.sh" "${smoke_dir}/sweep" \
   "${repo_root}/tools/sweep_golden.spec" "${repo_root}/tools/golden"
 "${repo_root}/tools/sweep_faulty.sh" "${smoke_dir}/sweep" \
@@ -130,7 +132,7 @@ elif [[ -f "${smoke_dir}/bench_perf" || -x "${smoke_dir}/bench_perf" ]] ||
     --benchmark_repetitions=3
   python3 "${repo_root}/tools/bench_diff.py" --git-baseline HEAD "${out}" \
     --strict \
-    --strict-filter 'BM_AnnealPacket|BM_MoveDelta|BM_PacketCostEvaluate|BM_TaskLevels' \
+    --strict-filter 'BM_AnnealPacket|BM_MoveDelta|BM_PacketCostEvaluate|BM_TaskLevels|BM_GlobalOracleBatch' \
     --threshold 0.30
 else
   skip "bench-check (google-benchmark not available)"

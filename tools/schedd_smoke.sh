@@ -164,4 +164,32 @@ if [[ "${shed2}" -lt 1 || "${ok2}" -lt 1 ]]; then
   exit 1
 fi
 
-echo "OK: schedd cache hits on isomorphic repeats, sheds with structured reasons, trace byte-deterministic"
+# ---- 4. concurrent workers keep the ordered-emission contract ----------
+# With several workers racing through the plan cache and the admission
+# counters, responses must still come back in input order with the same
+# per-request results as the sequential run.  Only the cache column may
+# legitimately differ: a repeat can be priced in parallel with its
+# original instead of after it, turning a hit into a miss.  (This is the
+# section the CI sanitize job leans on for --max-in-flight > 1 races.)
+"${schedd_bin}" --max-in-flight 4 \
+  < "${requests}" > "${workdir}/out4.jsonl"
+grep -o '"id":"[^"]*"' "${workdir}/out1.jsonl" > "${workdir}/ids1"
+grep -o '"id":"[^"]*"' "${workdir}/out4.jsonl" > "${workdir}/ids4"
+if ! cmp -s "${workdir}/ids1" "${workdir}/ids4"; then
+  echo "FAIL: --max-in-flight 4 broke the input-ordered response stream" >&2
+  diff "${workdir}/ids1" "${workdir}/ids4" >&2 || true
+  exit 1
+fi
+for id in heft-a heft-a-iso gsa-b1 gsa-b2 gsa-b3; do
+  for key in status makespan_us; do
+    seq_value="$(field "${workdir}/out1.jsonl" "${id}" "${key}")"
+    par_value="$(field "${workdir}/out4.jsonl" "${id}" "${key}")"
+    if [[ "${seq_value}" != "${par_value}" ]]; then
+      echo "FAIL: ${id} ${key} differs under --max-in-flight 4:" \
+           "'${seq_value}' vs '${par_value}'" >&2
+      exit 1
+    fi
+  done
+done
+
+echo "OK: schedd cache hits on isomorphic repeats, sheds with structured reasons, trace byte-deterministic, ordered under concurrent workers"

@@ -12,11 +12,15 @@
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <iterator>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sched/registry.hpp"
 #include "sweep/runner.hpp"
+#include "sweep/shard.hpp"
 #include "sweep/spec.hpp"
 #include "sweep/summary.hpp"
 #include "util/table.hpp"
@@ -33,6 +37,14 @@ void usage(std::ostream& os) {
         "                  override the per-(instance, policy) wall-clock\n"
         "                  budget (0 disables; timed-out cells are marked\n"
         "                  in the summary, at the cost of determinism)\n"
+        "  --shard K/N     run only instances with index % N == K and\n"
+        "                  write the shard artifact to --out (requires\n"
+        "                  --out; incompatible with --csv/--merge); merging\n"
+        "                  all N shards reproduces the unsharded summary\n"
+        "                  byte for byte\n"
+        "  --merge         treat the positional arguments after the spec\n"
+        "                  file as shard artifacts and merge them; --out /\n"
+        "                  --csv then write the ordinary summary JSON / CSV\n"
         "  --list-policies print the scheduler registry (names,\n"
         "                  capabilities, config keys with defaults) and\n"
         "                  exit; no spec file needed\n"
@@ -64,6 +76,16 @@ bool write_file(const std::string& path, const std::string& content) {
   return static_cast<bool>(file);
 }
 
+std::string read_file(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    throw std::runtime_error("cannot read '" + path + "'");
+  }
+  std::string content((std::istreambuf_iterator<char>(file)),
+                      std::istreambuf_iterator<char>());
+  return content;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -74,9 +96,13 @@ int main(int argc, char** argv) {
   bool override_threads = false;
   bool override_seed = false;
   bool override_budget = false;
+  bool merge_mode = false;
+  int shard_index = 0;
+  int num_shards = 0;  // 0 = unsharded
   int threads = 0;
   std::uint64_t seed = 0;
   double time_budget_ms = 0.0;
+  std::vector<std::string> shard_paths;
 
   std::vector<std::string> args(argv + 1, argv + argc);
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -136,6 +162,31 @@ int main(int argc, char** argv) {
         return 1;
       }
       override_budget = true;
+    } else if (arg == "--shard") {
+      const std::string value = next_value("--shard");
+      const std::size_t slash = value.find('/');
+      bool ok = slash != std::string::npos;
+      if (ok) {
+        try {
+          std::size_t used = 0;
+          shard_index = std::stoi(value.substr(0, slash), &used);
+          ok = used == slash;
+          const std::string denom = value.substr(slash + 1);
+          used = 0;
+          num_shards = std::stoi(denom, &used);
+          ok = ok && used == denom.size();
+        } catch (const std::exception&) {
+          ok = false;
+        }
+      }
+      if (!ok || num_shards < 1 || shard_index < 0 ||
+          shard_index >= num_shards) {
+        std::cerr << "sweep: --shard needs K/N with 0 <= K < N, got '"
+                  << value << "'\n";
+        return 1;
+      }
+    } else if (arg == "--merge") {
+      merge_mode = true;
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -144,6 +195,8 @@ int main(int argc, char** argv) {
       return 1;
     } else if (spec_path.empty()) {
       spec_path = arg;
+    } else if (merge_mode) {
+      shard_paths.push_back(arg);
     } else {
       std::cerr << "sweep: multiple spec files given\n";
       return 1;
@@ -151,6 +204,26 @@ int main(int argc, char** argv) {
   }
   if (spec_path.empty()) {
     usage(std::cerr);
+    return 1;
+  }
+  if (num_shards > 0 && merge_mode) {
+    std::cerr << "sweep: --shard and --merge are mutually exclusive\n";
+    return 1;
+  }
+  if (num_shards > 0 && !csv_path.empty()) {
+    // A shard cannot emit the per-instance CSV: it holds only its own
+    // rows, and a partial CSV is indistinguishable from a complete one.
+    std::cerr << "sweep: --shard writes a shard artifact, not CSV rows; "
+                 "use --csv on the --merge step\n";
+    return 1;
+  }
+  if (num_shards > 0 && out_path.empty()) {
+    std::cerr << "sweep: --shard requires --out for the shard artifact\n";
+    return 1;
+  }
+  if (merge_mode && shard_paths.empty()) {
+    std::cerr << "sweep: --merge needs shard artifacts after the spec "
+                 "file\n";
     return 1;
   }
 
@@ -173,9 +246,40 @@ int main(int argc, char** argv) {
                 << "\n";
     }
 
+    if (num_shards > 0) {
+      // Shard mode: run this shard's slice and write the shard artifact;
+      // the ranked table and summary come from the --merge step.
+      const auto start = std::chrono::steady_clock::now();
+      const std::string artifact =
+          dagsched::sweep::run_shard(spec, shard_index, num_shards);
+      const double seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      if (!write_file(out_path, artifact)) {
+        std::cerr << "sweep: cannot write '" << out_path << "'\n";
+        return 1;
+      }
+      if (!quiet) {
+        std::cerr << "sweep: shard " << shard_index << "/" << num_shards
+                  << " finished in " << seconds << " s, wrote " << out_path
+                  << "\n";
+      }
+      return 0;
+    }
+
     const auto start = std::chrono::steady_clock::now();
+    dagsched::sweep::SweepResult merged;
+    if (merge_mode) {
+      std::vector<std::string> artifacts;
+      artifacts.reserve(shard_paths.size());
+      for (const std::string& path : shard_paths) {
+        artifacts.push_back(read_file(path));
+      }
+      merged = dagsched::sweep::merge_shards(spec, artifacts);
+    }
     const dagsched::sweep::SweepResult result =
-        dagsched::sweep::run_sweep(spec);
+        merge_mode ? std::move(merged) : dagsched::sweep::run_sweep(spec);
     const auto ranking = dagsched::sweep::summarize(result);
     const double seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -

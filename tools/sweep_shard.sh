@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Shard/merge determinism gate: runs the spec unsharded, then as three
+# process-level shards (sweep --shard K/3), merges the shard artifacts
+# (sweep --merge) and asserts the merged summary JSON *and* per-instance
+# CSV are byte-identical to the unsharded run.  This locks the tentpole
+# contract of process-level sweep sharding: the round-robin partition and
+# the bit-exact artifact round-trip (IEEE-754 bit patterns for the online
+# doubles) make distribution invisible in the output.
+#
+# Also exercises the guard rails: a merge with a missing shard and a merge
+# against a different seed must fail loudly instead of producing a
+# silently wrong summary.
+#
+#   usage: sweep_shard.sh <sweep-binary> <spec-file>
+set -euo pipefail
+
+if [[ $# -ne 2 ]]; then
+  echo "usage: $0 <sweep-binary> <spec-file>" >&2
+  exit 1
+fi
+sweep_bin=$1
+spec=$2
+
+tmp_dir=$(mktemp -d)
+trap 'rm -rf "${tmp_dir}"' EXIT
+
+"${sweep_bin}" "${spec}" --quiet \
+  --out "${tmp_dir}/full.json" --csv "${tmp_dir}/full.csv" > /dev/null
+
+for k in 0 1 2; do
+  "${sweep_bin}" "${spec}" --quiet --shard "${k}/3" \
+    --out "${tmp_dir}/shard_${k}.json" > /dev/null
+done
+
+"${sweep_bin}" "${spec}" --quiet --merge \
+  "${tmp_dir}/shard_0.json" "${tmp_dir}/shard_1.json" \
+  "${tmp_dir}/shard_2.json" \
+  --out "${tmp_dir}/merged.json" --csv "${tmp_dir}/merged.csv" > /dev/null
+
+diff -u "${tmp_dir}/full.json" "${tmp_dir}/merged.json"
+diff -u "${tmp_dir}/full.csv" "${tmp_dir}/merged.csv"
+
+# Guard rails: an incomplete shard set must be rejected ...
+if "${sweep_bin}" "${spec}" --quiet --merge \
+     "${tmp_dir}/shard_0.json" "${tmp_dir}/shard_1.json" \
+     --out "${tmp_dir}/bad.json" > /dev/null 2> "${tmp_dir}/err1"; then
+  echo "sweep_shard: merge with a missing shard unexpectedly succeeded" >&2
+  exit 1
+fi
+grep -q "missing shard" "${tmp_dir}/err1"
+
+# ... and so must a shard produced under a different seed.
+"${sweep_bin}" "${spec}" --quiet --seed 424242 --shard 0/3 \
+  --out "${tmp_dir}/alien.json" > /dev/null
+if "${sweep_bin}" "${spec}" --quiet --merge \
+     "${tmp_dir}/alien.json" "${tmp_dir}/shard_1.json" \
+     "${tmp_dir}/shard_2.json" \
+     --out "${tmp_dir}/bad.json" > /dev/null 2> "${tmp_dir}/err2"; then
+  echo "sweep_shard: merge across seeds unexpectedly succeeded" >&2
+  exit 1
+fi
+grep -q "different seed" "${tmp_dir}/err2"
+
+echo "sweep_shard: merged summary JSON and CSV are byte-identical," \
+     "mismatched merges rejected"
