@@ -87,7 +87,9 @@ class PacketCostModel {
   /// eq. 4 comm cost (us) of placing packet task `task_index` on the
   /// processor in slot `proc_slot`.  A single table lookup.
   double task_comm_cost(int task_index, int proc_slot) const {
+    // LINT-ALLOW(bare-assert): inner-loop table lookup; the move-delta kernel calls this per candidate
     assert(task_index >= 0 && task_index < num_tasks_);
+    // LINT-ALLOW(bare-assert): inner-loop table lookup; the move-delta kernel calls this per candidate
     assert(proc_slot >= 0 && proc_slot < num_procs_);
     return comm_table_[static_cast<std::size_t>(proc_slot) *
                            static_cast<std::size_t>(num_tasks_) +
@@ -97,6 +99,7 @@ class PacketCostModel {
   /// The SoA column of processor slot `proc_slot`: comm cost (us) of every
   /// packet task on that slot, contiguous and indexed by task.
   std::span<const double> comm_of_slot(int proc_slot) const {
+    // LINT-ALLOW(bare-assert): inner-loop SoA column fetch for the vectorized delta kernel
     assert(proc_slot >= 0 && proc_slot < num_procs_);
     return {comm_table_.data() + static_cast<std::size_t>(proc_slot) *
                                      static_cast<std::size_t>(num_tasks_),
@@ -121,6 +124,7 @@ class PacketCostModel {
 
   /// Level of packet task `task_index` in microseconds.
   double task_level_us(int task_index) const {
+    // LINT-ALLOW(bare-assert): inner-loop table lookup on the annealer's per-move path
     assert(task_index >= 0 && task_index < num_tasks_);
     return level_us_[static_cast<std::size_t>(task_index)];
   }

@@ -36,6 +36,7 @@ GlobalAnnealResult anneal_chain(const TaskGraph& graph,
   const std::unique_ptr<CostOracle> oracle =
       make_cost_oracle(options.oracle, graph, topology, comm,
                        options.faults);
+  // LINT-ALLOW(wall-clock): the wall budget is an explicit caller opt-in; results stay seeded, only *when we stop* is wall-dependent and reported via timed_out
   const auto chain_start = std::chrono::steady_clock::now();
   GlobalAnnealResult result;
 
@@ -98,6 +99,7 @@ GlobalAnnealResult anneal_chain(const TaskGraph& graph,
   for (int step = 0; step < options.cooling.max_steps; ++step) {
     if (options.wall_budget_seconds > 0) {
       const std::chrono::duration<double> elapsed =
+          // LINT-ALLOW(wall-clock): wall-budget cutoff check (see chain_start above)
           std::chrono::steady_clock::now() - chain_start;
       if (elapsed.count() > options.wall_budget_seconds) {
         result.timed_out = true;

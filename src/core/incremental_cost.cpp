@@ -438,6 +438,7 @@ Time IncrementalReplay::propose(const std::vector<ProcId>& mapping,
   // proposal takes the full-replay path below).
   if (moved != kInvalidTask) {
     for (std::size_t t = 0; t < mapping.size(); ++t) {
+      // LINT-ALLOW(bare-assert): O(n) contract sweep per proposal; deliberately debug-only by design
       assert(static_cast<TaskId>(t) == moved ||
              mapping[t] == baseline_.mapping[t]);
     }

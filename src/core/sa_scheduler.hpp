@@ -92,7 +92,7 @@ class SaScheduler : public sim::SchedulingPolicy {
 
  private:
   SaSchedulerOptions options_;
-  Rng rng_;
+  Rng rng_;  // LINT-ALLOW(rng-stream): placeholder; reseeded from options_.seed in on_run_start
   SaRunStats stats_;
   std::vector<PacketTrajectory> trajectories_;
 };

@@ -1,0 +1,180 @@
+#include "lint/token.hpp"
+
+#include <cctype>
+
+namespace dagsched::lint {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Multi-character punctuators the checks care about.  Everything else is
+/// emitted one character at a time; the rules only ever look at "::",
+/// "->", "<<" and single characters, so an exhaustive operator table would
+/// be dead weight.
+bool two_char_punct(char a, char b) {
+  return (a == ':' && b == ':') || (a == '-' && b == '>') ||
+         (a == '<' && b == '<') || (a == '>' && b == '>') ||
+         (a == '+' && b == '+') || (a == '-' && b == '-') ||
+         (a == '&' && b == '&') || (a == '|' && b == '|') ||
+         (a == '=' && b == '=') || (a == '!' && b == '=') ||
+         (a == '<' && b == '=') || (a == '>' && b == '=');
+}
+
+}  // namespace
+
+LexResult lex(const std::string& source) {
+  LexResult result;
+  const std::size_t n = source.size();
+  std::size_t i = 0;
+  int line = 1;
+
+  const auto advance = [&](std::size_t count) {
+    for (std::size_t k = 0; k < count && i < n; ++k) {
+      if (source[i] == '\n') ++line;
+      ++i;
+    }
+  };
+
+  while (i < n) {
+    const char c = source[i];
+    if (c == '\n' || std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+
+    // Comments.
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      const int start_line = line;
+      std::size_t j = i + 2;
+      while (j < n && source[j] != '\n') ++j;
+      result.comments.push_back({start_line, source.substr(i + 2, j - i - 2)});
+      advance(j - i);
+      continue;
+    }
+    if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+      const int start_line = line;
+      std::size_t j = i + 2;
+      while (j + 1 < n && !(source[j] == '*' && source[j + 1] == '/')) ++j;
+      const std::size_t end = (j + 1 < n) ? j + 2 : n;
+      result.comments.push_back(
+          {start_line, source.substr(i + 2, end - i - (j + 1 < n ? 4 : 2))});
+      advance(end - i);
+      continue;
+    }
+
+    // Raw string literals: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && source[i + 1] == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && source[j] != '(' && source[j] != '\n' &&
+             delim.size() < 16) {
+        delim += source[j++];
+      }
+      if (j < n && source[j] == '(') {
+        const std::string closer = ")" + delim + "\"";
+        const std::size_t body = j + 1;
+        const std::size_t end = source.find(closer, body);
+        const std::size_t stop = (end == std::string::npos)
+                                     ? n
+                                     : end + closer.size();
+        result.tokens.push_back(
+            {TokenKind::String,
+             source.substr(body, (end == std::string::npos ? n : end) - body),
+             line, false});
+        advance(stop - i);
+        continue;
+      }
+      // 'R' not followed by a raw string: fall through as an identifier.
+    }
+
+    // String / char literals (contents opaque to the checks).
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      const int start_line = line;
+      std::size_t j = i + 1;
+      std::string text;
+      while (j < n && source[j] != quote) {
+        if (source[j] == '\\' && j + 1 < n) {
+          text += source[j];
+          text += source[j + 1];
+          j += 2;
+        } else if (source[j] == '\n') {
+          break;  // unterminated on this line; stop the literal
+        } else {
+          text += source[j++];
+        }
+      }
+      result.tokens.push_back({quote == '"' ? TokenKind::String
+                                            : TokenKind::Char,
+                               text, start_line, false});
+      advance((j < n && source[j] == quote) ? j + 1 - i : j - i);
+      continue;
+    }
+
+    // Numbers.  A leading digit, or '.' followed by a digit.
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
+      std::size_t j = i;
+      bool is_float = false;
+      const bool is_hex =
+          c == '0' && i + 1 < n && (source[i + 1] == 'x' || source[i + 1] == 'X');
+      while (j < n) {
+        const char d = source[j];
+        if (std::isalnum(static_cast<unsigned char>(d)) || d == '\'' ||
+            d == '.') {
+          if (d == '.') is_float = true;
+          if (!is_hex && (d == 'e' || d == 'E') && j + 1 < n &&
+              (std::isdigit(static_cast<unsigned char>(source[j + 1])) ||
+               source[j + 1] == '+' || source[j + 1] == '-')) {
+            is_float = true;
+            ++j;  // consume the exponent sign with the 'e'
+          }
+          ++j;
+          continue;
+        }
+        if ((d == '+' || d == '-') && j > i &&
+            !is_hex && (source[j - 1] == 'e' || source[j - 1] == 'E')) {
+          ++j;
+          continue;
+        }
+        break;
+      }
+      result.tokens.push_back(
+          {TokenKind::Number, source.substr(i, j - i), line, is_float});
+      advance(j - i);
+      continue;
+    }
+
+    // Identifiers / keywords.
+    if (is_ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && is_ident_char(source[j])) ++j;
+      result.tokens.push_back(
+          {TokenKind::Identifier, source.substr(i, j - i), line, false});
+      advance(j - i);
+      continue;
+    }
+
+    // Punctuation.
+    if (i + 1 < n && two_char_punct(c, source[i + 1])) {
+      result.tokens.push_back(
+          {TokenKind::Punct, source.substr(i, 2), line, false});
+      advance(2);
+      continue;
+    }
+    result.tokens.push_back({TokenKind::Punct, std::string(1, c), line, false});
+    advance(1);
+  }
+
+  return result;
+}
+
+}  // namespace dagsched::lint

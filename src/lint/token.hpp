@@ -1,0 +1,52 @@
+#pragma once
+
+// Minimal C++ surface lexer for the contract linter (see lint.hpp).
+//
+// The linter's checks are lexical pattern rules over translation units, so
+// the tokenizer only has to classify enough structure for those rules to be
+// reliable: identifiers, numbers (with a float/integer distinction),
+// string/character literals (contents opaque — a "steady_clock" inside a
+// log message must never fire the wall-clock check), punctuation, and
+// comments (captured separately because `// LINT-ALLOW(...)` suppressions
+// live there).  Preprocessor directives are tokenized like ordinary lines;
+// `#include "..."` shows up as punctuation + a string token, which is all
+// the include-ingestion pass needs.
+
+#include <string>
+#include <vector>
+
+namespace dagsched::lint {
+
+enum class TokenKind {
+  Identifier,  ///< identifiers and keywords (no keyword table needed)
+  Number,      ///< numeric literal; is_float marks a floating literal
+  String,      ///< string literal, raw strings included (text = contents)
+  Char,        ///< character literal
+  Punct,       ///< one operator / punctuator per token (e.g. "::", "<", "(")
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line = 0;          ///< 1-based line of the token's first character
+  bool is_float = false; ///< Number only: contains '.', or a decimal
+                         ///< exponent ('e'/'E' outside hex literals)
+};
+
+/// A comment with its starting line; block comments keep embedded newlines.
+struct Comment {
+  int line = 0;
+  std::string text;  ///< contents without the // or /* */ markers
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+/// Tokenizes `source`.  Never throws on malformed input (an unterminated
+/// literal simply ends at EOF) — the linter must degrade gracefully on any
+/// file a compiler would reject.
+LexResult lex(const std::string& source);
+
+}  // namespace dagsched::lint

@@ -17,6 +17,7 @@ void HlfScheduler::on_run_start(const TaskGraph&, const Topology&,
 void HlfScheduler::on_epoch(sim::EpochContext& ctx) {
   const std::vector<TaskId> order = ready_by_level(ctx);
   std::vector<ProcId> free(ctx.idle_procs().begin(), ctx.idle_procs().end());
+  // LINT-ALLOW(rng-stream): per-epoch reseed from draw_state_ is the policy's pinned bit-compat stream
   Rng rng(draw_state_);
 
   const std::size_t count = std::min(order.size(), free.size());

@@ -16,6 +16,7 @@ void RandomScheduler::on_run_start(const TaskGraph&, const Topology&,
 }
 
 void RandomScheduler::on_epoch(sim::EpochContext& ctx) {
+  // LINT-ALLOW(rng-stream): per-epoch reseed from draw_state_ is the policy's pinned bit-compat stream
   Rng rng(draw_state_);
   std::vector<TaskId> tasks(ctx.ready_tasks().begin(),
                             ctx.ready_tasks().end());

@@ -21,6 +21,7 @@ ServiceStats ScheduleService::stats() const {
 
 ScheduleResponse ScheduleService::serve(const ScheduleRequest& request,
                                         const ServeOptions& options) {
+  // LINT-ALLOW(wall-clock): elapsed_ms is an advisory telemetry field; it is stripped by the trace normalizer before byte comparison
   const auto start = std::chrono::steady_clock::now();
   ScheduleResponse response;
   response.id = request.id;
@@ -30,6 +31,7 @@ ScheduleResponse ScheduleService::serve(const ScheduleRequest& request,
   }
   const auto finish = [&]() -> ScheduleResponse& {
     const std::chrono::duration<double, std::milli> elapsed =
+        // LINT-ALLOW(wall-clock): telemetry only (see serve() start above)
         std::chrono::steady_clock::now() - start;
     response.elapsed_ms = elapsed.count();
     return response;
@@ -110,6 +112,7 @@ ScheduleResponse ScheduleService::serve(const ScheduleRequest& request,
     response.timed_out = outcome.timed_out;
     if (request.time_budget_ms > 0) {
       const std::chrono::duration<double, std::milli> elapsed =
+          // LINT-ALLOW(wall-clock): per-request time budget is a caller opt-in, reported via timed_out
           std::chrono::steady_clock::now() - start;
       if (elapsed.count() > request.time_budget_ms) response.timed_out = true;
     }

@@ -82,6 +82,7 @@ struct FaultWindow {
 /// Iterator state over one entity's window sequence.  Plain copyable value
 /// so engine checkpoints (ResumableEngine) capture fault progress exactly.
 struct FaultCursor {
+  // LINT-ALLOW(rng-stream): checkpointable placeholder; make_cursor overwrites it with an Rng::stream-derived state
   Rng rng{0};
   FaultWindow window;
   bool exhausted = true;  ///< no fault stream for this entity

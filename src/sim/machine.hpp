@@ -49,11 +49,13 @@ class FlatFifo {
  public:
   bool empty() const { return head_ == items_.size(); }
   const T& front() const {
+    // LINT-ALLOW(bare-assert): FlatFifo is on the per-event hot path; require() here costs measurable sim throughput
     assert(!empty());
     return items_[head_];
   }
   void push_back(const T& item) { items_.push_back(item); }
   void pop_front() {
+    // LINT-ALLOW(bare-assert): FlatFifo is on the per-event hot path; require() here costs measurable sim throughput
     assert(!empty());
     if (++head_ == items_.size()) clear();
   }
@@ -124,14 +126,17 @@ class MachineState {
   MachineState(const Topology& topology);
 
   ProcessorState& proc(ProcId p) {
+    // LINT-ALLOW(bare-assert): per-event accessor; bounds are established at construction
     assert(p >= 0 && p < num_procs());
     return procs_[static_cast<std::size_t>(p)];
   }
   const ProcessorState& proc(ProcId p) const {
+    // LINT-ALLOW(bare-assert): per-event accessor; bounds are established at construction
     assert(p >= 0 && p < num_procs());
     return procs_[static_cast<std::size_t>(p)];
   }
   ChannelState& channel(ChannelId c) {
+    // LINT-ALLOW(bare-assert): per-event accessor; bounds are established at construction
     assert(c >= 0 && c < static_cast<ChannelId>(channels_.size()));
     return channels_[static_cast<std::size_t>(c)];
   }

@@ -64,6 +64,7 @@ class Topology {
   /// `distance` without the validity check — for hot paths that have
   /// already validated their processor ids (debug builds still assert).
   int distance_unchecked(ProcId a, ProcId b) const {
+    // LINT-ALLOW(bare-assert): the _unchecked contract is exactly "assert in debug, free in release-bench"
     assert(is_valid_proc(a) && is_valid_proc(b));
     return distance_matrix_[index(a, b)];
   }
@@ -71,6 +72,7 @@ class Topology {
   /// `channel` without the validity check (a == b yields kInvalidChannel
   /// as in the checked version; debug builds still assert the ids).
   ChannelId channel_unchecked(ProcId a, ProcId b) const {
+    // LINT-ALLOW(bare-assert): the _unchecked contract is exactly "assert in debug, free in release-bench"
     assert(is_valid_proc(a) && is_valid_proc(b));
     if (a == b) return kInvalidChannel;
     return channel_matrix_[index(a, b)];

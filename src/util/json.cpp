@@ -124,17 +124,19 @@ void JsonWriter::value(const std::string& text) {
 
 void JsonWriter::value(const char* text) { value(std::string(text)); }
 
-void JsonWriter::value(std::int64_t number) {
+void JsonWriter::value(std::int64_t integer) {
   before_value();
-  out_ += std::to_string(number);
+  out_ += std::to_string(integer);
 }
 
-void JsonWriter::value(std::uint64_t number) {
+void JsonWriter::value(std::uint64_t integer) {
   before_value();
-  out_ += std::to_string(number);
+  out_ += std::to_string(integer);
 }
 
-void JsonWriter::value(int number) { value(static_cast<std::int64_t>(number)); }
+void JsonWriter::value(int integer) {
+  value(static_cast<std::int64_t>(integer));
+}
 
 void JsonWriter::value(double number) {
   before_value();

@@ -54,9 +54,9 @@ class JsonWriter {
 
   void value(const std::string& text);
   void value(const char* text);
-  void value(std::int64_t number);
-  void value(std::uint64_t number);
-  void value(int number);
+  void value(std::int64_t integer);
+  void value(std::uint64_t integer);
+  void value(int integer);
   void value(double number);
   void value(bool flag);
   void null();

@@ -1,7 +1,9 @@
 #include "util/string_util.hpp"
 
 #include <cctype>
+#include <clocale>
 #include <cstdio>
+#include <cstring>
 
 #include "util/require.hpp"
 #include "util/time.hpp"
@@ -11,7 +13,23 @@ namespace dagsched {
 std::string format_fixed(double value, int decimals) {
   require(decimals >= 0 && decimals <= 12, "format_fixed: bad decimals");
   char buffer[64];
+  // This is the one sanctioned floating-point renderer: every artifact
+  // writer (JsonWriter, CSV, tables) routes doubles through here, and the
+  // %f path is what keeps goldens exact — glibc's correctly-rounded
+  // decimal conversion cannot be reproduced with naive scaling.
+  // LINT-ALLOW(float-format): sanctioned renderer; the locale-dependent decimal point is normalized below
   std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
+  // %f spells the decimal point per LC_NUMERIC, so under e.g. de_DE the
+  // bytes would be "3,14" and every golden artifact would change with the
+  // host locale.  Normalize whatever the active locale produced back to
+  // '.' so the documented locale-independence actually holds.
+  const char* point = std::localeconv()->decimal_point;
+  if (point[0] != '.' || point[1] != '\0') {
+    std::string out = buffer;
+    const std::size_t at = out.find(point);
+    if (at != std::string::npos) out.replace(at, std::strlen(point), ".");
+    return out;
+  }
   return buffer;
 }
 

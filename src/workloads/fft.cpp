@@ -33,6 +33,7 @@ std::vector<Time> butterfly_weights(int count) {
     const int vars = i < count * 6 / 72 ? 8 : (i < count * 9 / 72 ? 2 : 1);
     weights.push_back(vars * kVariableCommTime);
   }
+  // LINT-ALLOW(rng-stream): fixed literal seed; the shuffled interleaving is part of the workload definition
   Rng rng(0x0ff7u);  // fixed: the interleaving is part of the workload
   rng.shuffle(weights);
   return weights;

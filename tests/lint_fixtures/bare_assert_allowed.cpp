@@ -1,0 +1,8 @@
+// Fixture: hot-path assert kept with a perf justification.
+#include <cassert>
+
+int hot_half(int value) {
+  // LINT-ALLOW(bare-assert): fixture hot path; require() would cost throughput
+  assert(value % 2 == 0);
+  return value / 2;
+}

@@ -1,0 +1,7 @@
+// Fixture: a bare assert in Release-kept invariant code.
+#include <cassert>
+
+int checked_half(int value) {
+  assert(value % 2 == 0);
+  return value / 2;
+}

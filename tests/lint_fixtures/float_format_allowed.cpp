@@ -1,0 +1,7 @@
+// Fixture: suppressed printf rendering (e.g. a sanctioned renderer).
+#include <cstdio>
+
+void buffer_ratio(char* buffer, double ratio) {
+  // LINT-ALLOW(float-format): fixture stand-in for the sanctioned format_fixed renderer
+  std::snprintf(buffer, 64, "%.4f", ratio);
+}

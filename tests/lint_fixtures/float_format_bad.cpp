@@ -1,0 +1,12 @@
+// Fixture: every unsanctioned floating-point rendering the check covers.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+std::string render_ratio(double ratio) { return std::to_string(ratio); }
+
+void print_ratio(double ratio) { std::cout << ratio << "\n"; }
+
+void buffer_ratio(char* buffer, double ratio) {
+  std::sprintf(buffer, "ratio=%g", ratio);
+}

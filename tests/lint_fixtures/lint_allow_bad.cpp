@@ -1,0 +1,12 @@
+// Fixture: suppression hygiene — unknown check, missing reason, unused.
+#include <cassert>
+
+int bad_suppressions(int value) {
+  // LINT-ALLOW(no-such-check): the check name is not in the catalogue
+  // LINT-ALLOW(bare-assert):
+  assert(value > 0);
+  return value;
+}
+
+// LINT-ALLOW(wall-clock): nothing on this or the next line uses a clock
+int unused_suppression() { return 0; }

@@ -1,0 +1,13 @@
+// Fixture: the sanctioned seam and a reasoned suppression.
+#include "util/rng.hpp"
+
+double stream_roll(unsigned long long seed) {
+  dagsched::Rng rng = dagsched::Rng::stream(seed, 3);
+  return rng.uniform();
+}
+
+double pinned_roll() {
+  // LINT-ALLOW(rng-stream): fixture for a workload-defining literal seed
+  dagsched::Rng rng(0x1234u);
+  return rng.uniform();
+}

@@ -1,0 +1,12 @@
+// Fixture: ad-hoc Rng construction outside the Rng::stream seams.
+#include "util/rng.hpp"
+
+double roll(unsigned long long seed) {
+  dagsched::Rng rng(seed);
+  return rng.uniform();
+}
+
+double reroll() {
+  dagsched::Rng fresh;
+  return fresh.uniform();
+}

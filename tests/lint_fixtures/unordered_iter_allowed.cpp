@@ -1,0 +1,10 @@
+// Fixture: order-insensitive fold, suppressed with a reason.
+#include <string>
+#include <unordered_map>
+
+int count_entries(const std::unordered_map<std::string, int>& counts) {
+  int total = 0;
+  // LINT-ALLOW(unordered-iter): commutative sum; iteration order cannot reach the output
+  for (const auto& entry : counts) total += entry.second;
+  return total;
+}

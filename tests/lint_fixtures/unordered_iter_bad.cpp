@@ -1,0 +1,18 @@
+// Fixture: hash-order iteration in what the options call a writer path.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+int serialize_counts(const std::unordered_map<std::string, int>& counts) {
+  int total = 0;
+  for (const auto& entry : counts) total += entry.second;
+  return total;
+}
+
+int serialize_names(const std::unordered_set<std::string>& names) {
+  int total = 0;
+  for (auto it = names.begin(); it != names.end(); ++it) {
+    total += static_cast<int>(it->size());
+  }
+  return total;
+}

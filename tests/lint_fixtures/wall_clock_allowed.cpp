@@ -1,0 +1,7 @@
+// Fixture: a reasoned suppression silences the finding.
+#include <chrono>
+
+long long budget_start_ns() {
+  // LINT-ALLOW(wall-clock): fixture wall budget; never enters an artifact
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}

@@ -1,0 +1,19 @@
+// Fixture: every wall-clock / host-entropy source the check must catch.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+long long now_ns() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+long long today_ns() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+unsigned host_entropy() {
+  std::random_device device;
+  return device();
+}
+
+int c_library_roll() { return rand() % 6; }

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <clocale>
 #include <cmath>
 #include <cstdint>
 #include <fstream>
@@ -169,6 +170,43 @@ TEST(StringUtil, FormatFixed) {
   EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
   EXPECT_EQ(format_fixed(2.0, 0), "2");
   EXPECT_EQ(format_percent(43.02), "43.0%");
+}
+
+TEST(StringUtil, FormatFixedGoldenBytes) {
+  // Pinned artifact bytes: every golden (sweep summary JSON, CSV, shard
+  // artifacts) renders doubles through format_fixed, so these exact
+  // strings are load-bearing.
+  EXPECT_EQ(format_fixed(1.005, 2), "1.00");  // exact binary is 1.00499...
+  EXPECT_EQ(format_fixed(-0.125, 3), "-0.125");
+  EXPECT_EQ(format_fixed(12345.6789, 4), "12345.6789");
+  EXPECT_EQ(format_fixed(0.0, 6), "0.000000");
+  EXPECT_EQ(format_fixed(1e9, 1), "1000000000.0");
+}
+
+TEST(StringUtil, FormatFixedIsLocaleIndependent) {
+  // The documented contract is locale-independent decimals, but %f spells
+  // the decimal point per LC_NUMERIC.  Under a comma-decimal locale the
+  // bytes must still come out as "1.50".  Containers often ship only the
+  // C locale; skip (don't vacuously pass) when no comma locale exists.
+  const char* previous = std::setlocale(LC_NUMERIC, nullptr);
+  const std::string saved = previous ? previous : "C";
+  const char* comma_locale = nullptr;
+  for (const char* candidate :
+       {"de_DE.UTF-8", "de_DE.utf8", "de_DE", "fr_FR.UTF-8", "fr_FR.utf8"}) {
+    if (std::setlocale(LC_NUMERIC, candidate) != nullptr) {
+      comma_locale = candidate;
+      break;
+    }
+  }
+  if (comma_locale == nullptr) {
+    std::setlocale(LC_NUMERIC, saved.c_str());
+    GTEST_SKIP() << "no comma-decimal locale installed";
+  }
+  const std::string bytes = format_fixed(1.5, 2);
+  const std::string percent = format_percent(12.5, 1);
+  std::setlocale(LC_NUMERIC, saved.c_str());
+  EXPECT_EQ(bytes, "1.50");
+  EXPECT_EQ(percent, "12.5%");
 }
 
 TEST(StringUtil, SplitKeepsEmptyFields) {

@@ -4,11 +4,12 @@
 # are skipped with a notice, never silently).
 #
 # Usage:
-#   tools/ci_local.sh            # all jobs: build-test matrix, sanitize,
-#                                # sweep-smoke, coverage, bench-check
-#   tools/ci_local.sh --quick    # one Release build-test + sanitize +
-#                                # sweep-smoke (skips Debug, clang,
-#                                # coverage, bench)
+#   tools/ci_local.sh            # all jobs: build-test matrix, lint,
+#                                # sanitize, tsan, sweep-smoke, coverage,
+#                                # bench-check
+#   tools/ci_local.sh --quick    # one Release build-test + lint +
+#                                # sanitize + sweep-smoke (skips Debug,
+#                                # clang, tsan, coverage, bench)
 #
 # Build trees live under ci-build/ (git-ignored); pass CI_BUILD_ROOT to
 # relocate them.  Exits nonzero on the first failing job.
@@ -63,6 +64,36 @@ for entry in "${compilers[@]}"; do
   fi
 done
 
+# --- job: lint -------------------------------------------------------------
+note "lint: dagsched-lint + clang-tidy + clang-format"
+lint_dir="${build_root}/${compilers[0]%%:*}-Release"
+cmake --build "${lint_dir}" --target dagsched-lint -j"${jobs}"
+"${lint_dir}/dagsched-lint" -I "${repo_root}/src" "${repo_root}/src" \
+  "${repo_root}/tools/sweep_main.cpp" "${repo_root}/tools/schedd_main.cpp" \
+  "${repo_root}/tools/lint_main.cpp"
+if command -v run-clang-tidy > /dev/null; then
+  # compile_commands.json is exported by every configure
+  # (CMAKE_EXPORT_COMPILE_COMMANDS in CMakeLists.txt).
+  run-clang-tidy -quiet -p "${lint_dir}" "${repo_root}/src"
+else
+  skip "clang-tidy (run-clang-tidy not installed)"
+fi
+if command -v clang-format > /dev/null; then
+  # Mirror the CI rule: check only the files the current change touches.
+  format_base="$(git -C "${repo_root}" rev-parse HEAD~1 2> /dev/null || true)"
+  touched="$(git -C "${repo_root}" diff --name-only --diff-filter=d \
+    "${format_base:-HEAD}" -- 'src/*.cpp' 'src/*.hpp' 'tests/*.cpp' \
+    'tools/*.cpp')"
+  if [[ -n "${touched}" ]]; then
+    (cd "${repo_root}" && echo "${touched}" | \
+     xargs clang-format --dry-run --Werror)
+  else
+    echo "clang-format: no touched C++ files"
+  fi
+else
+  skip "clang-format (not installed)"
+fi
+
 # --- job: sanitize ---------------------------------------------------------
 note "sanitize: ASan + UBSan, full ctest suite"
 sanitize_dir="${build_root}/sanitize"
@@ -73,6 +104,23 @@ cmake --build "${sanitize_dir}" -j"${jobs}"
 (cd "${sanitize_dir}" &&
  ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
  ctest --output-on-failure -j"${jobs}")
+
+# --- job: tsan -------------------------------------------------------------
+if [[ ${quick} -eq 1 ]]; then
+  skip "tsan (--quick)"
+else
+  note "tsan: concurrent surfaces (chains, sweep pool, schedd workers)"
+  tsan_dir="${build_root}/tsan"
+  cmake -B "${tsan_dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDAGSCHED_SANITIZE=thread \
+    -DDAGSCHED_BUILD_BENCHES=OFF -DDAGSCHED_BUILD_EXAMPLES=OFF \
+    "${launcher_args[@]}"
+  cmake --build "${tsan_dir}" -j"${jobs}"
+  (cd "${tsan_dir}" &&
+   TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+   ctest --output-on-failure -j"${jobs}" \
+     -R 'GlobalChains|SweepRunner|SweepSummary|SweepShard|Schedd|Service|schedd_smoke|sweep_smoke')
+fi
 
 # --- job: sweep-smoke ------------------------------------------------------
 note "sweep-smoke: determinism contract + registry-migration goldens + schedd"

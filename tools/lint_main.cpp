@@ -1,0 +1,126 @@
+// dagsched-lint: the determinism-contract linter CLI.
+//
+//   dagsched-lint [-I <include-root>]... [--check <name>]... <path>...
+//
+// Each <path> is a file or a directory (recursed for *.cpp / *.hpp,
+// visited in sorted order so output is stable).  Exit status: 0 clean,
+// 1 findings, 2 usage or I/O error.  See src/lint/lint.hpp for the check
+// catalogue and the LINT-ALLOW suppression syntax.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+void usage(std::ostream& out) {
+  out << "usage: dagsched-lint [options] <file-or-dir>...\n"
+         "  -I <root>        resolve #include \"...\" against <root> too\n"
+         "  --check <name>   run only this check (repeatable)\n"
+         "  --list-checks    print the check names and exit\n";
+}
+
+bool lintable(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cpp" || ext == ".hpp";
+}
+
+/// Expands files/directories into a sorted list of lintable files.
+std::vector<std::string> collect_inputs(const std::vector<std::string>& paths) {
+  std::vector<std::string> files;
+  for (const std::string& path : paths) {
+    if (fs::is_directory(path)) {
+      for (const auto& entry : fs::recursive_directory_iterator(path)) {
+        if (entry.is_regular_file() && lintable(entry.path())) {
+          files.push_back(entry.path().generic_string());
+        }
+      }
+    } else {
+      files.push_back(path);  // explicit files are linted regardless of ext
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dagsched::lint::LintOptions options = dagsched::lint::default_options();
+  std::vector<std::string> inputs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return 0;
+    }
+    if (arg == "--list-checks") {
+      for (const std::string& check : dagsched::lint::known_checks()) {
+        std::cout << check << "\n";
+      }
+      return 0;
+    }
+    if (arg == "-I") {
+      if (++i >= argc) {
+        std::cerr << "dagsched-lint: -I needs an argument\n";
+        return 2;
+      }
+      options.include_roots.push_back(argv[i]);
+      continue;
+    }
+    if (arg == "--check") {
+      if (++i >= argc) {
+        std::cerr << "dagsched-lint: --check needs an argument\n";
+        return 2;
+      }
+      const auto& known = dagsched::lint::known_checks();
+      if (std::find(known.begin(), known.end(), argv[i]) == known.end()) {
+        std::cerr << "dagsched-lint: unknown check '" << argv[i]
+                  << "' (see --list-checks)\n";
+        return 2;
+      }
+      options.checks.push_back(argv[i]);
+      continue;
+    }
+    if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "dagsched-lint: unknown option '" << arg << "'\n";
+      usage(std::cerr);
+      return 2;
+    }
+    inputs.push_back(arg);
+  }
+
+  if (inputs.empty()) {
+    usage(std::cerr);
+    return 2;
+  }
+
+  std::vector<dagsched::lint::Finding> findings;
+  std::size_t files = 0;
+  try {
+    for (const std::string& file : collect_inputs(inputs)) {
+      auto file_findings = dagsched::lint::lint_file(file, options);
+      findings.insert(findings.end(), file_findings.begin(),
+                      file_findings.end());
+      ++files;
+    }
+  } catch (const std::exception& error) {
+    std::cerr << error.what() << "\n";
+    return 2;
+  }
+
+  std::cout << dagsched::lint::format_findings(findings);
+  std::cerr << "dagsched-lint: " << files << " file(s), " << findings.size()
+            << " finding(s)\n";
+  return findings.empty() ? 0 : 1;
+}
